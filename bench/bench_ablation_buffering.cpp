@@ -1,0 +1,108 @@
+// Ablation: the cost of the mpjbuf-style buffering layer (Sec. V-E).
+//
+// The paper attributes the MPJ Express vs mpjdev throughput gap to the
+// pack/unpack copy through the buffering API. This google-benchmark binary
+// measures OUR bufx layer's real per-byte cost against a raw memcpy — the
+// measured ratio is the live counterpart of the gap the netsim model
+// reproduces in Figs. 11/13/15 — plus the costs of strided (vector
+// datatype) packing, object serialization, and the pool's allocation
+// savings.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "bufx/buffer_pool.hpp"
+
+namespace {
+
+using mpcx::buf::Buffer;
+using mpcx::buf::BufferPool;
+
+void BM_RawMemcpy(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(bytes), dst(bytes);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RawMemcpy)->Range(1 << 10, 16 << 20);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = bytes / sizeof(double);
+  std::vector<double> src(count, 1.5), dst(count);
+  Buffer buffer(bytes + 64);
+  for (auto _ : state) {
+    buffer.clear();
+    buffer.write(std::span<const double>(src));
+    buffer.commit();
+    buffer.read(std::span<double>(dst));
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PackUnpack)->Range(1 << 10, 16 << 20);
+
+void BM_PackStridedColumn(benchmark::State& state) {
+  // The paper's Sec. IV-C example: sending one column of a square matrix
+  // with the vector datatype (blocklength 1, stride n).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> matrix(n * n, 2.0f);
+  std::vector<float> column(n);
+  Buffer buffer(n * sizeof(float) + 64);
+  for (auto _ : state) {
+    buffer.clear();
+    buffer.write_strided(matrix.data(), n, 1, static_cast<std::ptrdiff_t>(n));
+    buffer.commit();
+    buffer.read(std::span<float>(column));
+    benchmark::DoNotOptimize(column.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_PackStridedColumn)->Range(64, 4096);
+
+void BM_ObjectSerialize(benchmark::State& state) {
+  const std::size_t items = static_cast<std::size_t>(state.range(0));
+  std::vector<std::pair<int, double>> value(items, {7, 3.5});
+  Buffer buffer(64);
+  for (auto _ : state) {
+    buffer.clear();
+    buffer.write_object(value);
+    buffer.commit();
+    auto out = buffer.read_object<std::vector<std::pair<int, double>>>();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_ObjectSerialize)->Range(16, 16 << 10);
+
+void BM_PoolGetPut(benchmark::State& state) {
+  BufferPool pool(40);
+  for (auto _ : state) {
+    auto buffer = pool.get(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(buffer.get());
+    pool.put(std::move(buffer));
+  }
+}
+BENCHMARK(BM_PoolGetPut)->Range(1 << 10, 1 << 20);
+
+void BM_FreshAllocation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto buffer = std::make_unique<Buffer>(static_cast<std::size_t>(state.range(0)), 40);
+    benchmark::DoNotOptimize(buffer.get());
+  }
+}
+BENCHMARK(BM_FreshAllocation)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Ablation: collective algorithm choice (DESIGN.md §5).
+//
+// MPCX's high level uses the classic 2006-era algorithms: binomial-tree
+// Bcast/Reduce, ring Allgather, dissemination Barrier. This bench races
+// them (live, 8 ranks over mxdev) against the naive linear alternatives a
+// first implementation would use, demonstrating why the tree/ring shapes
+// are the right default at the paper's scale.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kRanks = 8;
+constexpr int kReps = 300;
+
+/// Linear broadcast: root sends to every rank individually.
+void linear_bcast(const mpcx::Intracomm& comm, void* buf, int count, int root) {
+  using namespace mpcx;
+  if (comm.Rank() == root) {
+    for (int r = 0; r < comm.Size(); ++r) {
+      if (r != root) comm.Send(buf, 0, count, types::INT(), r, 77);
+    }
+  } else {
+    comm.Recv(buf, 0, count, types::INT(), root, 77);
+  }
+}
+
+/// Linear barrier: everyone reports to rank 0, rank 0 releases everyone.
+void linear_barrier(const mpcx::Intracomm& comm) {
+  using namespace mpcx;
+  int token = 1;
+  if (comm.Rank() == 0) {
+    for (int r = 1; r < comm.Size(); ++r) comm.Recv(&token, 0, 1, types::INT(), r, 78);
+    for (int r = 1; r < comm.Size(); ++r) comm.Send(&token, 0, 1, types::INT(), r, 78);
+  } else {
+    comm.Send(&token, 0, 1, types::INT(), 0, 78);
+    comm.Recv(&token, 0, 1, types::INT(), 0, 78);
+  }
+}
+
+struct Timing {
+  double tree_us = 0;
+  double linear_us = 0;
+};
+
+Timing bench_bcast(int count) {
+  Timing timing;
+  mpcx::cluster::launch(kRanks, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<int> data(static_cast<std::size_t>(count), comm.Rank());
+    comm.Barrier();
+    auto start = Clock::now();
+    for (int i = 0; i < kReps; ++i) comm.Bcast(data.data(), 0, count, types::INT(), 0);
+    comm.Barrier();
+    if (comm.Rank() == 0) {
+      timing.tree_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / kReps;
+    }
+    comm.Barrier();
+    start = Clock::now();
+    for (int i = 0; i < kReps; ++i) linear_bcast(comm, data.data(), count, 0);
+    comm.Barrier();
+    if (comm.Rank() == 0) {
+      timing.linear_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / kReps;
+    }
+  });
+  return timing;
+}
+
+Timing bench_barrier() {
+  Timing timing;
+  mpcx::cluster::launch(kRanks, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    comm.Barrier();
+    auto start = Clock::now();
+    for (int i = 0; i < kReps; ++i) comm.Barrier();
+    if (comm.Rank() == 0) {
+      timing.tree_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / kReps;
+    }
+    comm.Barrier();
+    start = Clock::now();
+    for (int i = 0; i < kReps; ++i) linear_barrier(comm);
+    if (comm.Rank() == 0) {
+      timing.linear_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / kReps;
+    }
+  });
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: collective algorithms, %d ranks (mxdev), %d reps ==\n", kRanks,
+              kReps);
+  std::printf("%-22s %14s %14s %10s\n", "collective", "tree/ring us", "linear us", "speedup");
+  const Timing barrier = bench_barrier();
+  std::printf("%-22s %14.1f %14.1f %9.2fx\n", "Barrier (dissemination)", barrier.tree_us,
+              barrier.linear_us, barrier.linear_us / barrier.tree_us);
+  for (const int count : {16, 1024, 65536}) {
+    const Timing bcast = bench_bcast(count);
+    std::printf("Bcast %7zu bytes     %14.1f %14.1f %9.2fx\n", count * sizeof(int),
+                bcast.tree_us, bcast.linear_us, bcast.linear_us / bcast.tree_us);
+  }
+  return 0;
+}

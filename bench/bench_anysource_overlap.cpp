@@ -1,0 +1,151 @@
+// Sec. V-A qualitative experiment: ANY_SOURCE receives overlapped with
+// computation.
+//
+// Paper setup: two processes each post 100 non-blocking receives with
+// MPI.ANY_SOURCE, multiply two 3000x3000 matrices, then send 100 messages
+// to each other. Because MPJ Express matches wildcard receives with the
+// four-key hash (Sec. IV-E.2) and a single sleeping progress thread, the
+// posted receives cost no CPU while the matmul runs; MPJ/Ibis's design
+// (a service thread per operation contending for the CPU) slowed the
+// matmul by ~11%.
+//
+// This harness runs the SAME code twice on the real MPCX stack (tcpdev,
+// the niodev analog):
+//   * "MPCX"      — plain: 100 Irecv(ANY_SOURCE), matmul, 100 sends.
+//   * "Ibis-style"— identical, plus one polling service thread per
+//     outstanding receive (emulating the per-operation threads of the
+//     baseline; each loops Iprobe + yield until told to stop).
+// Reported: matmul time under each and the slowdown of the baseline.
+// (The matrix is scaled to 700x700 so the bench completes in seconds; the
+// contention effect is size-independent.)
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kMessages = 100;
+constexpr int kMatrix = 700;
+constexpr int kMsgInts = 1024;
+
+double run_matmul(std::vector<double>& a, std::vector<double>& b, std::vector<double>& c) {
+  const auto start = Clock::now();
+  for (int i = 0; i < kMatrix; ++i) {
+    for (int k = 0; k < kMatrix; ++k) {
+      const double aik = a[static_cast<std::size_t>(i) * kMatrix + k];
+      for (int j = 0; j < kMatrix; ++j) {
+        c[static_cast<std::size_t>(i) * kMatrix + j] +=
+            aik * b[static_cast<std::size_t>(k) * kMatrix + j];
+      }
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One run of the paper's scenario; returns this rank's matmul seconds.
+double scenario(mpcx::World& world, bool ibis_style_pollers) {
+  using namespace mpcx;
+  Intracomm& comm = world.COMM_WORLD();
+  const int peer = 1 - comm.Rank();
+
+  std::vector<std::vector<int>> landing(kMessages, std::vector<int>(kMsgInts));
+  std::vector<Request> recvs;
+  recvs.reserve(kMessages);
+  for (int i = 0; i < kMessages; ++i) {
+    recvs.push_back(
+        comm.Irecv(landing[static_cast<std::size_t>(i)].data(), 0, kMsgInts, types::INT(),
+                   ANY_SOURCE, i));
+  }
+
+  // Ibis-style baseline: service threads burn CPU on behalf of the
+  // outstanding receives while the computation runs.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pollers;
+  if (ibis_style_pollers) {
+    // One service thread per outstanding operation, as in MPJ/Ibis.
+    for (int t = 0; t < kMessages; ++t) {
+      pollers.emplace_back([&comm, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)comm.Iprobe(ANY_SOURCE, ANY_TAG);
+          std::this_thread::yield();
+        }
+      });
+    }
+  }
+
+  std::vector<double> a(static_cast<std::size_t>(kMatrix) * kMatrix, 1.0);
+  std::vector<double> b(static_cast<std::size_t>(kMatrix) * kMatrix, 2.0);
+  std::vector<double> c(static_cast<std::size_t>(kMatrix) * kMatrix, 0.0);
+  const double seconds = run_matmul(a, b, c);
+
+  // Computation done: exchange the 100 messages.
+  std::vector<int> payload(kMsgInts, comm.Rank());
+  for (int i = 0; i < kMessages; ++i) {
+    comm.Send(payload.data(), 0, kMsgInts, types::INT(), peer, i);
+  }
+  Request::Waitall(recvs);
+
+  stop = true;
+  for (std::thread& t : pollers) t.join();
+  comm.Barrier();
+  return seconds;
+}
+
+double rank0_matmul_seconds(bool ibis_style) {
+  double result = 0.0;
+  mpcx::cluster::Options options;
+  options.device = "tcpdev";
+  mpcx::cluster::launch(2, [&](mpcx::World& world) {
+    const double seconds = scenario(world, ibis_style);
+    if (world.Rank() == 0) result = seconds;
+  }, options);
+  return result;
+}
+
+/// Pin the process (and all threads subsequently created) to two CPUs —
+/// the paper's nodes were dual Xeons, and the contention between service
+/// threads and the matmul only exists when cores are scarce.
+void pin_to_two_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(0, &set);
+  CPU_SET(1, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    std::perror("sched_setaffinity (continuing unpinned)");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sec. V-A: ANY_SOURCE overlap (2 procs, %d irecv(ANY_SOURCE), %dx%d matmul, "
+              "%d sends) ==\n",
+              kMessages, kMatrix, kMatrix, kMessages);
+  std::printf("(process pinned to 2 CPUs to match the paper's dual-Xeon nodes)\n");
+  pin_to_two_cpus();
+  // Interleave repetitions and keep the best of each: scheduler noise on a
+  // 2-CPU budget is large relative to the effect.
+  double mpcx_seconds = 1e9;
+  double ibis_seconds = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    mpcx_seconds = std::min(mpcx_seconds, rank0_matmul_seconds(false));
+    ibis_seconds = std::min(ibis_seconds, rank0_matmul_seconds(true));
+  }
+  const double speedup = (ibis_seconds - mpcx_seconds) / ibis_seconds * 100.0;
+  std::printf("matmul at rank 0, MPCX engine      : %.3f s\n", mpcx_seconds);
+  std::printf("matmul at rank 0, Ibis-style pollers: %.3f s\n", ibis_seconds);
+  std::printf("matmul speedup with MPCX: %.1f%%  (paper reports 11%% for MPJ Express vs "
+              "MPJ/Ibis)\n",
+              speedup);
+  return 0;
+}

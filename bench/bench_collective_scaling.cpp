@@ -1,0 +1,49 @@
+// Collective-algorithm scaling projected onto the paper's 2006 networks.
+//
+// Complements bench_ablation_collectives (live, shared-memory, where wire
+// latency is ~0): here the SAME algorithms src/core implements are costed
+// on the Fast Ethernet and Myrinet models, the regime they were designed
+// for. Shows where the tree/ring algorithms pay off (log n rounds vs n
+// serialized root sends) and by how much at StarBug-era latencies.
+#include <cstdio>
+
+#include "netsim/collective_model.hpp"
+#include "netsim/profiles.hpp"
+
+int main() {
+  using namespace mpcx::netsim;
+  const SoftwareProfile mpcx_profile{.name = "MPCX",
+                                     .send_setup_us = 35,
+                                     .recv_setup_us = 35,
+                                     .send_per_byte_us = 0.0039,
+                                     .recv_per_byte_us = 0.0038,
+                                     .eager_threshold = 128 * 1024};
+
+  const struct {
+    const char* name;
+    LinkSpec link;
+    NicSpec nic;
+  } networks[] = {
+      {"Fast Ethernet", fast_ethernet_link(), ethernet_nic()},
+      {"Myrinet", myrinet_link(), myrinet_nic()},
+  };
+
+  for (const auto& net : networks) {
+    const CollectiveModel model(PingPongModel(net.link, net.nic, mpcx_profile));
+    std::printf("== collective scaling on the %s model ==\n", net.name);
+    std::printf("%6s %14s %14s %16s %16s %14s %18s\n", "nodes", "barrier-diss", "barrier-lin",
+                "bcast64K-tree", "bcast64K-lin", "allgather-ring", "allgather-gthbcst");
+    for (const int n : {2, 4, 8, 16, 32, 64}) {
+      std::printf("%6d %12.1fus %12.1fus %14.1fus %14.1fus %12.1fus %16.1fus\n", n,
+                  model.barrier_dissemination_us(n), model.barrier_linear_us(n),
+                  model.bcast_binomial_us(n, 64 * 1024), model.bcast_linear_us(n, 64 * 1024),
+                  model.allgather_ring_us(n, 8 * 1024),
+                  model.allgather_gather_bcast_us(n, 8 * 1024));
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: at wire latencies the tree/ring algorithms win by n/log2(n);\n"
+              "in the live shared-memory ablation the gap nearly vanishes — both results\n"
+              "are consistent with the algorithms' LogP costs.\n");
+  return 0;
+}

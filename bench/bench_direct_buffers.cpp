@@ -1,0 +1,104 @@
+// Extension bench: the paper's Sec. VI proposal, measured.
+//
+// "There is an overhead associated with MPJ Express pure Java devices that
+// can potentially be resolved by extending the MPJ API to allow
+// communicating data to and from ByteBuffers."
+//
+// This harness ping-pongs through the REAL stack (tcpdev, loopback) two
+// ways at each size:
+//   * classic  — Send/Recv with the datatype path: user array -> pack ->
+//     device -> unpack -> user array (the MPJ Express path);
+//   * direct   — Send_buffer/Recv_buffer on caller-owned, device-ready
+//     buffers: no pack/unpack pass (the proposed ByteBuffer API = the
+//     mpjdev path of Figs. 11/13/15).
+// The gap between the two is the live counterpart of the MPJE-vs-mpjdev
+// separation in the paper's throughput figures — and the direct API closes
+// it.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::size_t bytes;
+  double classic_us;
+  double direct_us;
+};
+
+std::vector<Row> run(const char* device) {
+  std::vector<Row> rows;
+  mpcx::cluster::Options options;
+  options.device = device;
+  mpcx::cluster::launch(2, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    const int peer = 1 - comm.Rank();
+    for (std::size_t bytes = 1024; bytes <= (16u << 20); bytes <<= 2) {
+      const int reps = bytes <= (1u << 16) ? 400 : 30;
+      const std::size_t count = bytes / sizeof(double);
+      std::vector<double> data(count, 1.0);
+
+      comm.Barrier();
+      auto start = Clock::now();
+      for (int i = 0; i < reps; ++i) {
+        if (comm.Rank() == 0) {
+          comm.Send(data.data(), 0, static_cast<int>(count), types::DOUBLE(), peer, 0);
+          comm.Recv(data.data(), 0, static_cast<int>(count), types::DOUBLE(), peer, 0);
+        } else {
+          comm.Recv(data.data(), 0, static_cast<int>(count), types::DOUBLE(), peer, 0);
+          comm.Send(data.data(), 0, static_cast<int>(count), types::DOUBLE(), peer, 0);
+        }
+      }
+      const double classic =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / (2.0 * reps);
+
+      // Direct path: the payload lives in a device-ready buffer the whole
+      // time (packed once, outside the timed loop).
+      auto buffer = comm.make_buffer(bytes + 64);
+      buffer->write(std::span<const double>(data));
+      buffer->commit();
+      auto landing = comm.make_buffer(bytes + 64);
+      comm.Barrier();
+      start = Clock::now();
+      for (int i = 0; i < reps; ++i) {
+        if (comm.Rank() == 0) {
+          comm.Send_buffer(*buffer, peer, 0);
+          comm.Recv_buffer(*landing, peer, 0);
+        } else {
+          comm.Recv_buffer(*landing, peer, 0);
+          comm.Send_buffer(*buffer, peer, 0);
+        }
+      }
+      const double direct =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / (2.0 * reps);
+      comm.release_buffer(std::move(buffer));
+      comm.release_buffer(std::move(landing));
+
+      if (comm.Rank() == 0) rows.push_back(Row{bytes, classic, direct});
+    }
+  }, options);
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== direct-buffer API (paper Sec. VI future work) vs classic datatype path ==\n");
+  for (const char* device : {"tcpdev", "mxdev", "shmdev"}) {
+    std::printf("-- %s --\n%12s %14s %14s %12s\n", device, "size", "classic us", "direct us",
+                "speedup");
+    for (const Row& row : run(device)) {
+      std::printf("%12zu %14.2f %14.2f %11.2fx\n", row.bytes, row.classic_us, row.direct_us,
+                  row.classic_us / row.direct_us);
+    }
+  }
+  std::printf("(direct path removes the pack/unpack copy — the MPJE-vs-mpjdev gap of "
+              "Figs. 11/13/15)\n");
+  return 0;
+}

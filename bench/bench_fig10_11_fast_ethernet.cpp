@@ -1,0 +1,45 @@
+// Figures 10 & 11: transfer time and throughput on Fast Ethernet.
+//
+// Paper observations this harness must reproduce (Sec. V-B):
+//   * C MPI latency lowest; mpijava next; pure-Java systems higher;
+//     MPJ Express 164 us vs MPJ/Ibis ~143-144 us; mpjdev slightly below
+//     MPJ Express.
+//   * At 16 MB everyone reaches > 84% of line rate; mpijava is the 84%
+//     floor (JNI copy); LAM and MPJ/Ibis ~90%.
+//   * MPICH, mpijava and MPJ Express dip at 128 KB (eager -> rendezvous).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const auto systems = netsim::fast_ethernet_systems();
+  bench::print_figure_tables("Fig 10/11", "Fast Ethernet (100 Mbps)", systems);
+  bench::maybe_write_csv(argc, argv, "fig10_11_fast_ethernet", systems);
+
+  const auto& mpje = bench::system_named(systems, "MPJ Express");
+  const auto& ibis_tcp = bench::system_named(systems, "MPJ/Ibis (TCPIbis)");
+  const auto& ibis_nio = bench::system_named(systems, "MPJ/Ibis (NIOIbis)");
+  const auto& mpijava = bench::system_named(systems, "mpijava");
+  const auto& lam = bench::system_named(systems, "LAM/MPI");
+  const std::size_t big = 16u << 20;
+
+  bench::print_targets(
+      "Fig 10/11",
+      {
+          {"latency (1B, us)", "MPJ Express", 164.0, mpje.transfer_time_us(1)},
+          {"latency (1B, us)", "MPJ/Ibis (TCPIbis)", 144.0, ibis_tcp.transfer_time_us(1)},
+          {"latency (1B, us)", "MPJ/Ibis (NIOIbis)", 143.0, ibis_nio.transfer_time_us(1)},
+          {"throughput@16M (% line)", "mpijava", 84.0, mpijava.throughput_mbps(big) / 100.0 * 100},
+          {"throughput@16M (% line)", "LAM/MPI", 90.0, lam.throughput_mbps(big) / 100.0 * 100},
+          {"throughput@16M (% line)", "MPJ Express", 87.0, mpje.throughput_mbps(big)},
+      });
+
+  // The 128 KB protocol dip: throughput at 128 KB should exceed 256 KB for
+  // the rendezvous systems' *time-per-byte* trend only briefly; report the
+  // local ratio so EXPERIMENTS.md can record it.
+  const double at_128k = mpje.throughput_mbps(128 * 1024);
+  const double at_256k = mpje.throughput_mbps(256 * 1024);
+  std::printf("MPJ Express eager->rendezvous dip: tput(128K)=%.1f tput(256K)=%.1f Mbps "
+              "(dip visible: %s)\n",
+              at_128k, at_256k, at_128k > at_256k ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figures 12 & 13: transfer time and throughput on Gigabit Ethernet
+// (512 KB socket buffers, Sec. V-C).
+//
+// Paper observations this harness must reproduce:
+//   * Same latency ordering as Fast Ethernet, all values reduced.
+//   * Throughput at 16 MB: LAM/MPI and both MPJ/Ibis devices ~90% of line
+//     rate; MPICH 76%; MPJ Express 68%; mpijava 60%; mpjdev ~90% (no
+//     mpjbuf packing) — the MPJE-vs-mpjdev gap isolates the buffering
+//     overhead the paper's Sec. V-E analyses.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const auto systems = netsim::gigabit_systems();
+  bench::print_figure_tables("Fig 12/13", "Gigabit Ethernet (1000 Mbps)", systems);
+  bench::maybe_write_csv(argc, argv, "fig12_13_gigabit", systems);
+
+  const std::size_t big = 16u << 20;
+  auto pct = [&](const char* name) {
+    return bench::system_named(systems, name).throughput_mbps(big) / 1000.0 * 100.0;
+  };
+
+  bench::print_targets(
+      "Fig 12/13",
+      {
+          {"throughput@16M (% line)", "LAM/MPI", 90.0, pct("LAM/MPI")},
+          {"throughput@16M (% line)", "MPJ/Ibis (TCPIbis)", 90.0, pct("MPJ/Ibis (TCPIbis)")},
+          {"throughput@16M (% line)", "MPJ/Ibis (NIOIbis)", 90.0, pct("MPJ/Ibis (NIOIbis)")},
+          {"throughput@16M (% line)", "MPICH", 76.0, pct("MPICH")},
+          {"throughput@16M (% line)", "MPJ Express", 68.0, pct("MPJ Express")},
+          {"throughput@16M (% line)", "mpijava", 60.0, pct("mpijava")},
+          {"throughput@16M (% line)", "mpjdev", 90.0, pct("mpjdev")},
+      });
+
+  std::printf("MPJE vs mpjdev gap at 16M: %.1f%% vs %.1f%% of line rate "
+              "(difference = mpjbuf packing, paper Sec. V-E)\n",
+              pct("MPJ Express"), pct("mpjdev"));
+  return 0;
+}

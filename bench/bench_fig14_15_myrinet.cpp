@@ -1,0 +1,44 @@
+// Figures 14 & 15: transfer time and throughput on 2G Myrinet (MX).
+//
+// Paper observations this harness must reproduce (Sec. V-D):
+//   * Latency: MPICH-MX 4 us, mpijava 12 us, MPJ Express 23 us.
+//   * Throughput at 16 MB: MPICH-MX 1800 Mbps; MPJ Express 1097 Mbps;
+//     mpjdev 1826 Mbps (beats MPICH-MX — direct byte buffers avoid the
+//     JNI copy entirely, Sec. V-E).
+//   * mpijava peaks at 1347 Mbps at 64 KB then COLLAPSES to 868 Mbps at
+//     16 MB (JNI copy falls out of cache).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const auto systems = netsim::myrinet_systems();
+  bench::print_figure_tables("Fig 14/15", "Myrinet (2000 Mbps, MX)", systems);
+  bench::maybe_write_csv(argc, argv, "fig14_15_myrinet", systems);
+
+  const auto& mpje = bench::system_named(systems, "MPJ Express");
+  const auto& mpjdev = bench::system_named(systems, "mpjdev");
+  const auto& mx = bench::system_named(systems, "MPICH-MX");
+  const auto& mpijava = bench::system_named(systems, "mpijava");
+  const std::size_t big = 16u << 20;
+
+  bench::print_targets(
+      "Fig 14/15",
+      {
+          {"latency (1B, us)", "MPICH-MX", 4.0, mx.transfer_time_us(1)},
+          {"latency (1B, us)", "mpijava", 12.0, mpijava.transfer_time_us(1)},
+          {"latency (1B, us)", "MPJ Express", 23.0, mpje.transfer_time_us(1)},
+          {"throughput@16M (Mbps)", "MPICH-MX", 1800.0, mx.throughput_mbps(big)},
+          {"throughput@16M (Mbps)", "MPJ Express", 1097.0, mpje.throughput_mbps(big)},
+          {"throughput@16M (Mbps)", "mpjdev", 1826.0, mpjdev.throughput_mbps(big)},
+          {"throughput@64K (Mbps)", "mpijava", 1347.0, mpijava.throughput_mbps(64 * 1024)},
+          {"throughput@16M (Mbps)", "mpijava", 868.0, mpijava.throughput_mbps(big)},
+      });
+
+  std::printf("mpjdev beats MPICH-MX at 16M: %.0f vs %.0f Mbps (%s, as in the paper)\n",
+              mpjdev.throughput_mbps(big), mx.throughput_mbps(big),
+              mpjdev.throughput_mbps(big) > mx.throughput_mbps(big) ? "yes" : "NO");
+  std::printf("mpijava peak-then-collapse: peak %.0f @64K -> %.0f @16M (collapse: %s)\n",
+              mpijava.throughput_mbps(64 * 1024), mpijava.throughput_mbps(big),
+              mpijava.throughput_mbps(64 * 1024) > mpijava.throughput_mbps(big) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Sec. VI claim: "it is possible to post any number of non-blocking
+// receive methods using MPJ Express. Whereas, MPJ/Ibis fails with 'cannot
+// create native threads' while posting 650 simultaneous receive
+// operations" — because MPJ/Ibis starts a thread per operation.
+//
+// This harness posts 1000 simultaneous Irecvs on the real MPCX stack and
+// reports the process thread count before and after: posting receives is
+// O(1) in threads (they sit in the four-key PostedRecvSet; the single
+// input-handler completes them). It then satisfies and verifies all 1000.
+// For contrast it prints what a thread-per-operation design would need.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+int thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+  }
+  return -1;
+}
+
+constexpr int kReceives = 1000;
+
+}  // namespace
+
+int main() {
+  using namespace mpcx;
+  std::printf("== Sec. VI: %d simultaneous non-blocking receives ==\n", kReceives);
+
+  int before = 0, during = 0;
+  bool all_correct = true;
+  cluster::Options options;
+  options.device = "tcpdev";
+  cluster::launch(2, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      before = thread_count();
+      std::vector<std::vector<int>> landing(kReceives, std::vector<int>(4));
+      std::vector<Request> recvs;
+      recvs.reserve(kReceives);
+      for (int i = 0; i < kReceives; ++i) {
+        recvs.push_back(comm.Irecv(landing[static_cast<std::size_t>(i)].data(), 0, 4,
+                                   types::INT(), 1, i));
+      }
+      during = thread_count();
+      comm.Barrier();  // release the sender
+      Request::Waitall(recvs);
+      for (int i = 0; i < kReceives; ++i) {
+        if (landing[static_cast<std::size_t>(i)][0] != i) all_correct = false;
+      }
+    } else {
+      comm.Barrier();  // wait until all receives are posted
+      std::vector<int> payload(4);
+      for (int i = 0; i < kReceives; ++i) {
+        payload[0] = i;
+        comm.Send(payload.data(), 0, 4, types::INT(), 0, i);
+      }
+    }
+  }, options);
+
+  std::printf("threads before posting          : %d\n", before);
+  std::printf("threads with %d receives posted: %d (delta %d)\n", kReceives, during,
+              during - before);
+  std::printf("thread-per-operation design would need: %d extra threads (MPJ/Ibis died at 650)\n",
+              kReceives);
+  std::printf("all %d messages matched in posted order and verified: %s\n", kReceives,
+              all_correct ? "yes" : "NO");
+  return all_correct && during - before == 0 ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// The paper's motivating comparison (Sec. I), measured.
+//
+// "The current trend towards SMP clusters underscores the importance of
+// thread-safe HPC libraries. Using a thread-safe communication library to
+// program such clusters is an alternative to traditional approaches like
+// hybrid MPI and OpenMP code, or using shared memory devices in the MPI
+// libraries."
+//
+// This harness runs identical SMP workloads over MPCX's three devices:
+//   * mxdev  — ranks as THREADS over the in-memory fabric: the paper's
+//     thread-safe-library approach (what MPJ Express argues for);
+//   * shmdev — ranks over shared-memory rings: the classic MPI
+//     shared-memory-device approach the paper names as the alternative;
+//   * tcpdev — loopback TCP: what a cluster-device MPI falls back to on
+//     one node without a shared-memory device.
+// Workloads: latency-bound ping-pong, collective-bound allreduce chains,
+// and a bandwidth-bound large exchange.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double pingpong_us(const char* device, std::size_t bytes, int reps) {
+  double result = 0;
+  mpcx::cluster::Options options;
+  options.device = device;
+  mpcx::cluster::launch(2, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<std::int8_t> data(bytes);
+    comm.Barrier();
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      if (comm.Rank() == 0) {
+        comm.Send(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 1, 0);
+        comm.Recv(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 1, 0);
+      } else {
+        comm.Recv(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 0, 0);
+        comm.Send(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 0, 0);
+      }
+    }
+    if (comm.Rank() == 0) {
+      result =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count() / (2.0 * reps);
+    }
+  }, options);
+  return result;
+}
+
+double allreduce_us(const char* device, int ranks, int reps) {
+  double result = 0;
+  mpcx::cluster::Options options;
+  options.device = device;
+  mpcx::cluster::launch(ranks, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<double> mine(256, comm.Rank());
+    std::vector<double> out(256);
+    comm.Barrier();
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      comm.Allreduce(mine.data(), 0, out.data(), 0, 256, types::DOUBLE(), ops::SUM());
+    }
+    comm.Barrier();
+    if (comm.Rank() == 0) {
+      result = std::chrono::duration<double, std::micro>(Clock::now() - start).count() / reps;
+    }
+  }, options);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sec. I: SMP programming approaches on one node ==\n");
+  std::printf("threads+fabric (mxdev) vs shared-memory device (shmdev) vs loopback TCP "
+              "(tcpdev)\n\n");
+
+  std::printf("%-34s %12s %12s %12s\n", "workload", "mxdev", "shmdev", "tcpdev");
+  const struct {
+    const char* name;
+    std::size_t bytes;
+    int reps;
+  } pp[] = {{"ping-pong 64 B (us)", 64, 3000},
+            {"ping-pong 64 KB (us)", 64 * 1024, 500},
+            {"ping-pong 4 MB (us)", 4u << 20, 30}};
+  for (const auto& row : pp) {
+    std::printf("%-34s %12.2f %12.2f %12.2f\n", row.name,
+                pingpong_us("mxdev", row.bytes, row.reps),
+                pingpong_us("shmdev", row.bytes, row.reps),
+                pingpong_us("tcpdev", row.bytes, row.reps));
+  }
+  std::printf("%-34s %12.2f %12.2f %12.2f\n", "allreduce 2 KB x4 ranks (us)",
+              allreduce_us("mxdev", 4, 500), allreduce_us("shmdev", 4, 500),
+              allreduce_us("tcpdev", 4, 500));
+
+  std::printf("\nReading: the thread-based path avoids both the kernel socket stack and the\n"
+              "shared-memory ring copies — the paper's case for thread-safe messaging on\n"
+              "SMP nodes. shmdev beats TCP but pays ring-copy + cross-process wakeups.\n");
+  return 0;
+}

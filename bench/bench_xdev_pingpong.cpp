@@ -1,0 +1,72 @@
+// Real (non-simulated) ping-pong over the full MPCX stack on loopback.
+//
+// These are OUR numbers on TODAY's hardware — the honest complement to the
+// netsim figure models: tcpdev exercises the complete niodev-style protocol
+// stack (eager + rendezvous over real TCP), mxdev the MX-style in-memory
+// fabric. Reported per size: one-way transfer time and throughput, plus
+// the eager->rendezvous transition at 128 KB (visible as a time step for
+// tcpdev, mirroring the paper's Figs. 10-13 dip).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::size_t bytes;
+  double oneway_us;
+};
+
+std::vector<Row> pingpong(const char* device) {
+  std::vector<Row> rows;
+  mpcx::cluster::Options options;
+  options.device = device;
+  mpcx::cluster::launch(2, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    for (std::size_t bytes = 1; bytes <= (16u << 20); bytes <<= 2) {
+      const int reps = bytes <= 4096 ? 2000 : (bytes <= (1u << 20) ? 200 : 20);
+      std::vector<std::int8_t> data(bytes);
+      comm.Barrier();
+      const auto start = Clock::now();
+      for (int i = 0; i < reps; ++i) {
+        if (comm.Rank() == 0) {
+          comm.Send(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 1, 0);
+          comm.Recv(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 1, 0);
+        } else {
+          comm.Recv(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 0, 0);
+          comm.Send(data.data(), 0, static_cast<int>(bytes), types::BYTE(), 0, 0);
+        }
+      }
+      const double us = std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+      if (comm.Rank() == 0) rows.push_back(Row{bytes, us / (2.0 * reps)});
+    }
+  }, options);
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== real loopback ping-pong through the full MPCX stack ==\n");
+  std::printf("%10s %12s %14s %12s %14s %12s %14s\n", "size", "tcpdev us", "tcpdev Mbps",
+              "mxdev us", "mxdev Mbps", "shmdev us", "shmdev Mbps");
+  const auto tcp = pingpong("tcpdev");
+  const auto mx = pingpong("mxdev");
+  const auto shm = pingpong("shmdev");
+  for (std::size_t i = 0; i < tcp.size(); ++i) {
+    auto mbps = [&](const Row& row) {
+      return static_cast<double>(row.bytes) * 8.0 / row.oneway_us;
+    };
+    std::printf("%10zu %12.2f %14.1f %12.2f %14.1f %12.2f %14.1f\n", tcp[i].bytes,
+                tcp[i].oneway_us, mbps(tcp[i]), mx[i].oneway_us, mbps(mx[i]), shm[i].oneway_us,
+                mbps(shm[i]));
+  }
+  std::printf("(tcpdev switches eager->rendezvous at 128 KB, as in the paper)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared table printer for the figure-reproduction benchmarks.
+//
+// Each figure bench sweeps the paper's message sizes (1 B .. 16 MB) over
+// the per-system netsim models and prints two tables matching the paper's
+// two panels: transfer time (the Fig. 10/12/14 series) and throughput
+// (Fig. 11/13/15). A final block compares the headline endpoints against
+// the values the paper reports in its text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "netsim/netsim.hpp"
+#include "netsim/profiles.hpp"
+
+namespace mpcx::bench {
+
+inline std::string size_label(std::size_t bytes) {
+  if (bytes >= (1u << 20)) return std::to_string(bytes >> 20) + "M";
+  if (bytes >= 1024) return std::to_string(bytes >> 10) + "K";
+  return std::to_string(bytes);
+}
+
+/// Print the transfer-time and throughput tables for one network.
+inline void print_figure_tables(const char* figure_ids, const char* network,
+                                const std::vector<netsim::PingPongModel>& systems) {
+  const auto sizes = netsim::figure_sweep();
+
+  std::printf("== %s: transfer time (us) on %s ==\n", figure_ids, network);
+  std::printf("%10s", "size");
+  for (const auto& model : systems) std::printf(" %20s", model.profile().name.c_str());
+  std::printf("\n");
+  for (const std::size_t size : sizes) {
+    std::printf("%10s", size_label(size).c_str());
+    for (const auto& model : systems) std::printf(" %20.1f", model.transfer_time_us(size));
+    std::printf("\n");
+  }
+
+  std::printf("\n== %s: throughput (Mbps) on %s ==\n", figure_ids, network);
+  std::printf("%10s", "size");
+  for (const auto& model : systems) std::printf(" %20s", model.profile().name.c_str());
+  std::printf("\n");
+  for (const std::size_t size : sizes) {
+    std::printf("%10s", size_label(size).c_str());
+    for (const auto& model : systems) std::printf(" %20.1f", model.throughput_mbps(size));
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+struct PaperTarget {
+  const char* metric;   // e.g. "latency (1B, us)"
+  const char* system;
+  double paper;
+  double measured;
+};
+
+inline void print_targets(const char* figure_ids, const std::vector<PaperTarget>& targets) {
+  std::printf("== %s: paper-reported values vs this model ==\n", figure_ids);
+  std::printf("%-28s %-22s %12s %12s %9s\n", "metric", "system", "paper", "model", "ratio");
+  for (const PaperTarget& t : targets) {
+    std::printf("%-28s %-22s %12.1f %12.1f %8.2fx\n", t.metric, t.system, t.paper, t.measured,
+                t.measured / t.paper);
+  }
+  std::printf("\n");
+}
+
+/// Optional CSV export: when the bench is invoked as `bench --csv DIR`,
+/// write DIR/<stem>_time.csv and DIR/<stem>_throughput.csv with one row per
+/// message size and one column per system — ready for gnuplot/matplotlib
+/// reconstruction of the paper's figures.
+inline void maybe_write_csv(int argc, char** argv, const char* stem,
+                            const std::vector<netsim::PingPongModel>& systems) {
+  std::string dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") dir = argv[i + 1];
+  }
+  if (dir.empty()) return;
+  const auto sizes = netsim::figure_sweep();
+  for (const bool throughput : {false, true}) {
+    const std::string path =
+        dir + "/" + stem + (throughput ? "_throughput.csv" : "_time.csv");
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "bytes");
+    for (const auto& model : systems) std::fprintf(out, ",%s", model.profile().name.c_str());
+    std::fprintf(out, "\n");
+    for (const std::size_t size : sizes) {
+      std::fprintf(out, "%zu", size);
+      for (const auto& model : systems) {
+        std::fprintf(out, ",%.3f",
+                     throughput ? model.throughput_mbps(size) : model.transfer_time_us(size));
+      }
+      std::fprintf(out, "\n");
+    }
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+/// Find a system model by name.
+inline const netsim::PingPongModel& system_named(
+    const std::vector<netsim::PingPongModel>& systems, const std::string& name) {
+  for (const auto& model : systems) {
+    if (model.profile().name == name) return model;
+  }
+  std::fprintf(stderr, "unknown system %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace mpcx::bench

@@ -1,0 +1,111 @@
+// nbody — mini Gadget: direct-sum gravitational N-body with a ring
+// exchange of particle blocks (the paper's flagship application, Sec. VI,
+// scaled to laptop size; see DESIGN.md §4.8 for the substitution).
+//
+//   ./nbody [particles_per_rank] [steps] [nprocs] [device]
+//
+// Each rank owns a block of particles. Every step the blocks travel around
+// the ring (Sendrecv_replace), each rank accumulating forces from every
+// block, followed by a leapfrog update and a global kinetic-energy
+// Allreduce — the same communication skeleton as Gadget-2's domain sweep.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+constexpr double kDt = 1e-3;
+constexpr double kSoftening = 1e-2;
+
+struct Block {
+  std::vector<double> px, py, pz, mass;
+  explicit Block(std::size_t n) : px(n), py(n), pz(n), mass(n, 1.0) {}
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const int per_rank = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 20;
+  const int nprocs = argc > 3 ? std::atoi(argv[3]) : 4;
+  cluster::Options options;
+  if (argc > 4) options.device = argv[4];
+
+  std::printf("nbody: %d ranks x %d particles, %d steps, device %s\n", nprocs, per_rank, steps,
+              options.device.c_str());
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  cluster::launch(nprocs, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    const int n = comm.Size();
+    const int right = (rank + 1) % n;
+    const int left = (rank - 1 + n) % n;
+    const std::size_t count = static_cast<std::size_t>(per_rank);
+
+    Block mine(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double t = static_cast<double>(i + 1) * (rank + 1);
+      mine.px[i] = std::sin(t) * 10.0;
+      mine.py[i] = std::cos(t * 1.3) * 10.0;
+      mine.pz[i] = std::sin(t * 0.7) * 10.0;
+    }
+    std::vector<double> vx(count), vy(count), vz(count);
+
+    for (int step = 0; step < steps; ++step) {
+      std::vector<double> ax(count), ay(count), az(count);
+      Block travelling = mine;
+      for (int hop = 0; hop < n; ++hop) {
+        for (std::size_t i = 0; i < count; ++i) {
+          double fx = 0, fy = 0, fz = 0;
+          for (std::size_t j = 0; j < count; ++j) {
+            const double dx = travelling.px[j] - mine.px[i];
+            const double dy = travelling.py[j] - mine.py[i];
+            const double dz = travelling.pz[j] - mine.pz[i];
+            const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
+            const double inv = travelling.mass[j] / (r2 * std::sqrt(r2));
+            fx += dx * inv;
+            fy += dy * inv;
+            fz += dz * inv;
+          }
+          ax[i] += fx;
+          ay[i] += fy;
+          az[i] += fz;
+        }
+        if (hop + 1 < n) {
+          for (std::vector<double>* field :
+               {&travelling.px, &travelling.py, &travelling.pz, &travelling.mass}) {
+            comm.Sendrecv_replace(field->data(), 0, per_rank, types::DOUBLE(), right, step, left,
+                                  step);
+          }
+        }
+      }
+      double kinetic = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        vx[i] += ax[i] * kDt;
+        vy[i] += ay[i] * kDt;
+        vz[i] += az[i] * kDt;
+        mine.px[i] += vx[i] * kDt;
+        mine.py[i] += vy[i] * kDt;
+        mine.pz[i] += vz[i] * kDt;
+        kinetic += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+      }
+      double total_kinetic = 0.0;
+      comm.Allreduce(&kinetic, 0, &total_kinetic, 0, 1, types::DOUBLE(), ops::SUM());
+      if (rank == 0 && (step + 1) % 10 == 0) {
+        std::printf("step %4d  total kinetic energy %.6f\n", step + 1, total_kinetic);
+      }
+    }
+  }, options);
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::printf("nbody done: %.2f s (%.2f steps/s)\n", seconds, steps / seconds);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// pi_montecarlo — the classic first parallel program, MPCX edition.
+//
+//   ./pi_montecarlo [samples_per_rank] [nprocs]
+//
+// Every rank throws darts at the unit square with its own deterministic
+// LCG stream; a Reduce collects hits at rank 0, which prints the estimate.
+// Demonstrates Bcast + Reduce + per-rank work in a dozen lines.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const long samples = argc > 1 ? std::atol(argv[1]) : 2'000'000;
+  const int nprocs = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  cluster::launch(nprocs, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+
+    // Rank 0 decides the sample count; everyone learns it via Bcast.
+    long per_rank = comm.Rank() == 0 ? samples : 0;
+    comm.Bcast(&per_rank, 0, 1, types::LONG(), 0);
+
+    std::uint64_t state = 0x9E3779B97F4A7C15ull * (comm.Rank() + 1);
+    auto next = [&state] {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<double>(state >> 11) / static_cast<double>(1ull << 53);
+    };
+
+    long hits = 0;
+    for (long i = 0; i < per_rank; ++i) {
+      const double x = next(), y = next();
+      if (x * x + y * y <= 1.0) ++hits;
+    }
+
+    long total_hits = 0;
+    comm.Reduce(&hits, 0, &total_hits, 0, 1, types::LONG(), ops::SUM(), 0);
+    if (comm.Rank() == 0) {
+      const double pi = 4.0 * static_cast<double>(total_hits) /
+                        (static_cast<double>(per_rank) * comm.Size());
+      std::printf("pi ~= %.6f  (%ld samples across %d ranks)\n", pi, per_rank * comm.Size(),
+                  comm.Size());
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,134 @@
+// task_farm — master/worker with serialized-object messages.
+//
+//   ./task_farm [tasks] [nprocs]
+//
+// The mpiJava ecosystem leaned on Java object serialization for irregular,
+// structured messages; MPCX's dynamic section plus the Serializable
+// concept plays the same role. Rank 0 farms out WorkItem objects (each a
+// string plus parameters), workers reply with Result objects, and the
+// master hands out new work as results come back — the classic elastic
+// task farm, entirely over object transport with ANY_SOURCE matching.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bufx/serializer.hpp"
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace {
+
+constexpr int kTagWork = 1;
+constexpr int kTagResult = 2;
+constexpr int kTagStop = 3;
+
+struct WorkItem {
+  int id = 0;
+  std::string text;
+  int rounds = 0;
+
+  void serialize(mpcx::buf::ByteSink& sink) const {
+    sink.put(id);
+    sink.put_string(text);
+    sink.put(rounds);
+  }
+  static WorkItem deserialize(mpcx::buf::ByteSource& source) {
+    WorkItem item;
+    item.id = source.get<int>();
+    item.text = source.get_string();
+    item.rounds = source.get<int>();
+    return item;
+  }
+};
+
+struct Result {
+  int id = 0;
+  std::uint64_t digest = 0;
+
+  void serialize(mpcx::buf::ByteSink& sink) const {
+    sink.put(id);
+    sink.put(digest);
+  }
+  static Result deserialize(mpcx::buf::ByteSource& source) {
+    Result result;
+    result.id = source.get<int>();
+    result.digest = source.get<std::uint64_t>();
+    return result;
+  }
+};
+
+/// The "work": an iterated FNV-1a digest of the task text.
+std::uint64_t crunch(const WorkItem& item) {
+  std::uint64_t digest = 1469598103934665603ull;
+  for (int round = 0; round < item.rounds; ++round) {
+    for (const char c : item.text) {
+      digest = (digest ^ static_cast<std::uint64_t>(c + round)) * 1099511628211ull;
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcx;
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int nprocs = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  std::printf("task_farm: %d tasks over %d ranks (1 master + %d workers)\n", tasks, nprocs,
+              nprocs - 1);
+
+  cluster::launch(nprocs, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    const int workers = comm.Size() - 1;
+
+    if (rank == 0) {
+      // Master: prime one task per worker, then re-feed on each result.
+      std::map<int, std::uint64_t> results;
+      int next_task = 0;
+      auto make_task = [&] {
+        WorkItem item;
+        item.id = next_task++;
+        item.text = "task-" + std::to_string(item.id) + "-payload";
+        item.rounds = 2000 + 37 * item.id;
+        return item;
+      };
+      for (int w = 1; w <= workers && next_task < tasks; ++w) {
+        comm.send_object(make_task(), w, kTagWork);
+      }
+      int outstanding = std::min(workers, tasks);
+      while (outstanding > 0) {
+        Status status;
+        const Result result = comm.recv_object<Result>(ANY_SOURCE, kTagResult, &status);
+        results[result.id] = result.digest;
+        if (next_task < tasks) {
+          comm.send_object(make_task(), status.Get_source(), kTagWork);
+        } else {
+          --outstanding;
+        }
+      }
+      for (int w = 1; w <= workers; ++w) {
+        comm.send_object(WorkItem{}, w, kTagStop);
+      }
+      std::printf("master collected %zu results; digest of task 0 = %016llx\n", results.size(),
+                  static_cast<unsigned long long>(results.at(0)));
+    } else {
+      int done = 0;
+      for (;;) {
+        const Status probe = comm.Probe(0, ANY_TAG);
+        if (probe.Get_tag() == kTagStop) {
+          (void)comm.recv_object<WorkItem>(0, kTagStop);
+          break;
+        }
+        const WorkItem item = comm.recv_object<WorkItem>(0, kTagWork);
+        comm.send_object(Result{item.id, crunch(item)}, 0, kTagResult);
+        ++done;
+      }
+      std::printf("worker %d processed %d tasks\n", rank, done);
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "bufx/buffer.hpp"
+
+#include <cstring>
+
+namespace mpcx::buf {
+
+Buffer::Buffer(std::size_t capacity, std::size_t header_reserve)
+    : storage_(header_reserve + capacity), header_reserve_(header_reserve), capacity_(capacity) {}
+
+void Buffer::require_write(const char* op) const {
+  if (mode_ != Mode::Write) throw BufferError(std::string(op) + ": buffer not in write mode");
+}
+
+void Buffer::require_read(const char* op) const {
+  if (mode_ != Mode::Read) throw BufferError(std::string(op) + ": buffer not in read mode");
+}
+
+std::byte* Buffer::begin_section(TypeCode type, std::size_t count, std::size_t elsize) {
+  require_write("write");
+  const std::size_t payload = count * elsize;
+  const std::size_t need = kSectionHeaderBytes + payload;
+  const std::size_t start = static_size_;
+  const std::size_t end = start + need;
+  if (end > capacity_) {
+    throw BufferError("static section overflow: need " + std::to_string(end) + " bytes, capacity " +
+                      std::to_string(capacity_));
+  }
+  std::byte* base = storage_.data() + header_reserve_ + start;
+  base[0] = static_cast<std::byte>(type);
+  base[1] = std::byte{0};
+  store_wire<std::uint16_t>(base + 2, 0);
+  store_wire<std::uint32_t>(base + 4, static_cast<std::uint32_t>(count));
+  static_size_ = end;
+  return base + kSectionHeaderBytes;
+}
+
+const std::byte* Buffer::open_section(TypeCode type, std::size_t count, std::size_t elsize) {
+  require_read("read");
+  const auto info = peek_section();
+  if (!info) throw BufferError("read: no section remaining");
+  if (info->type != type) {
+    throw BufferError("read: section holds " + type_code_name(info->type) + ", requested " +
+                      type_code_name(type));
+  }
+  if (info->count != count) {
+    throw BufferError("read: section has " + std::to_string(info->count) + " elements, requested " +
+                      std::to_string(count));
+  }
+  const std::byte* payload = storage_.data() + header_reserve_ + read_pos_ + kSectionHeaderBytes;
+  read_pos_ += kSectionHeaderBytes + count * elsize;
+  return payload;
+}
+
+std::optional<SectionInfo> Buffer::peek_section() const {
+  require_read("peek_section");
+  if (read_pos_ >= static_size_) return std::nullopt;
+  if (read_pos_ + kSectionHeaderBytes > static_size_) {
+    throw BufferError("peek_section: truncated section header");
+  }
+  const std::byte* base = storage_.data() + header_reserve_ + read_pos_;
+  const auto raw_type = static_cast<std::uint8_t>(base[0]);
+  if (raw_type < 1 || raw_type > 8) {
+    throw BufferError("peek_section: corrupt type code " + std::to_string(raw_type));
+  }
+  const auto type = static_cast<TypeCode>(raw_type);
+  const auto count = static_cast<std::size_t>(load_wire<std::uint32_t>(base + 4));
+  if (read_pos_ + kSectionHeaderBytes + count * type_code_size(type) > static_size_) {
+    throw BufferError("peek_section: section payload exceeds static region");
+  }
+  return SectionInfo{type, count};
+}
+
+void Buffer::write_object_bytes(std::span<const std::byte> encoded) {
+  require_write("write_object_bytes");
+  const std::size_t mark = dynamic_.size();
+  dynamic_.resize(mark + 4 + encoded.size());
+  store_wire<std::uint32_t>(dynamic_.data() + mark, static_cast<std::uint32_t>(encoded.size()));
+  std::memcpy(dynamic_.data() + mark + 4, encoded.data(), encoded.size());
+  ++object_count_;
+}
+
+std::span<const std::byte> Buffer::next_object_bytes() {
+  require_read("read_object");
+  if (objects_read_ >= object_count_) throw BufferError("read_object: no object remaining");
+  if (dyn_read_pos_ + 4 > dynamic_.size()) throw BufferError("read_object: truncated prefix");
+  const auto size =
+      static_cast<std::size_t>(load_wire<std::uint32_t>(dynamic_.data() + dyn_read_pos_));
+  if (dyn_read_pos_ + 4 + size > dynamic_.size()) {
+    throw BufferError("read_object: object exceeds dynamic region");
+  }
+  std::span<const std::byte> view{dynamic_.data() + dyn_read_pos_ + 4, size};
+  dyn_read_pos_ += 4 + size;
+  ++objects_read_;
+  return view;
+}
+
+std::size_t Buffer::objects_remaining() const {
+  require_read("objects_remaining");
+  return object_count_ - objects_read_;
+}
+
+void Buffer::commit() {
+  require_write("commit");
+  mode_ = Mode::Read;
+  read_pos_ = 0;
+  dyn_read_pos_ = 0;
+  objects_read_ = 0;
+}
+
+void Buffer::clear() {
+  mode_ = Mode::Write;
+  static_size_ = 0;
+  read_pos_ = 0;
+  dyn_read_pos_ = 0;
+  object_count_ = 0;
+  objects_read_ = 0;
+  dynamic_.clear();
+}
+
+std::span<std::byte> Buffer::prepare_static(std::size_t size) {
+  if (size > capacity_) {
+    throw BufferError("prepare_static: incoming payload (" + std::to_string(size) +
+                      " bytes) exceeds capacity " + std::to_string(capacity_));
+  }
+  mode_ = Mode::Write;
+  static_size_ = size;
+  return {storage_.data() + header_reserve_, size};
+}
+
+std::span<std::byte> Buffer::prepare_dynamic(std::size_t size) {
+  dynamic_.resize(size);
+  return {dynamic_.data(), size};
+}
+
+void Buffer::seal_received() {
+  // Re-derive the object count by walking the length prefixes; this also
+  // validates that the dynamic payload is well formed before any read.
+  object_count_ = 0;
+  std::size_t pos = 0;
+  while (pos < dynamic_.size()) {
+    if (pos + 4 > dynamic_.size()) throw BufferError("seal_received: truncated object prefix");
+    const auto size = static_cast<std::size_t>(load_wire<std::uint32_t>(dynamic_.data() + pos));
+    pos += 4 + size;
+    if (pos > dynamic_.size()) throw BufferError("seal_received: object exceeds dynamic region");
+    ++object_count_;
+  }
+  mode_ = Mode::Read;
+  read_pos_ = 0;
+  dyn_read_pos_ = 0;
+  objects_read_ = 0;
+}
+
+void Buffer::copy_in(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+
+void Buffer::copy_out(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+
+}  // namespace mpcx::buf

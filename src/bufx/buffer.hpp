@@ -1,0 +1,230 @@
+// Message buffer — the C++ analog of mpjbuf (Sec. III / IV-C of the paper).
+//
+// A Buffer carries one message. It has:
+//
+//  * a fixed-capacity STATIC region holding typed sections of primitive
+//    elements (the paper packs primitives into a direct ByteBuffer; we pack
+//    into one contiguous allocation that devices can hand to the wire or to
+//    mxsim without further copies), and
+//  * a growable DYNAMIC region holding length-prefixed serialized objects
+//    (the analog of Java object serialization).
+//
+// A device may reserve `header_reserve` bytes at the very front of the
+// allocation and write its frame header there (header_region()), so a send
+// is a single contiguous write of [header | static payload] followed by the
+// dynamic payload — this is why the paper reports getSendOverhead() /
+// getRecvOverhead() through the xdev API.
+//
+// The buffer is moded: writes are legal only in Write mode, reads only in
+// Read mode. commit() seals a locally packed buffer for reading; receivers
+// instead fill the regions via prepare_static/prepare_dynamic and then call
+// seal_received().
+//
+// Static region layout: a sequence of sections (no padding, so the wire
+// length of a single-section message determines its element count exactly —
+// Status::Get_count relies on this):
+//   [u8 type][u8 0][u16 0][u32 count][count * elsize payload]
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bufx/serializer.hpp"
+#include "bufx/type_codes.hpp"
+#include "support/endian.hpp"
+#include "support/error.hpp"
+
+namespace mpcx::buf {
+
+/// Description of the next section available for reading.
+struct SectionInfo {
+  TypeCode type;
+  std::size_t count;
+};
+
+class Buffer {
+ public:
+  static constexpr std::size_t kSectionHeaderBytes = 8;
+  static constexpr std::size_t kAlignment = 8;
+
+  /// Create a buffer whose static region can hold `capacity` bytes of
+  /// sections, with `header_reserve` untyped bytes up front for the device.
+  explicit Buffer(std::size_t capacity, std::size_t header_reserve = 0);
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  // ---- write mode ----------------------------------------------------------
+
+  /// Append one typed section of primitive elements.
+  template <Primitive T>
+  void write(std::span<const T> values) {
+    std::byte* dst = begin_section(type_code_of<T>(), values.size(), sizeof(T));
+    copy_in(dst, values.data(), values.size() * sizeof(T));
+  }
+
+  /// Append a strided section: `blocks` blocks of `blocklen` elements taken
+  /// from base + b*stride (stride in elements). This is the gather step the
+  /// paper describes for the vector derived datatype (Sec. IV-C).
+  template <Primitive T>
+  void write_strided(const T* base, std::size_t blocks, std::size_t blocklen,
+                     std::ptrdiff_t stride) {
+    std::byte* dst = begin_section(type_code_of<T>(), blocks * blocklen, sizeof(T));
+    for (std::size_t b = 0; b < blocks; ++b) {
+      copy_in(dst, base + static_cast<std::ptrdiff_t>(b) * stride, blocklen * sizeof(T));
+      dst += blocklen * sizeof(T);
+    }
+  }
+
+  /// Append a gather section: element i is taken from base + offsets[i]
+  /// (offsets in elements). Used for the indexed/struct derived datatypes.
+  template <Primitive T>
+  void write_gather(const T* base, std::span<const std::ptrdiff_t> offsets) {
+    std::byte* dst = begin_section(type_code_of<T>(), offsets.size(), sizeof(T));
+    for (const std::ptrdiff_t off : offsets) {
+      copy_in(dst, base + off, sizeof(T));
+      dst += sizeof(T);
+    }
+  }
+
+  /// Serialize one object into the dynamic section.
+  template <typename T>
+  void write_object(const T& value) {
+    require_write("write_object");
+    const std::size_t mark = dynamic_.size();
+    dynamic_.resize(mark + 4);  // placeholder for the length prefix
+    ByteSink sink(dynamic_);
+    encode_value(sink, value);
+    store_wire<std::uint32_t>(dynamic_.data() + mark,
+                              static_cast<std::uint32_t>(dynamic_.size() - mark - 4));
+    ++object_count_;
+  }
+
+  /// Append one pre-encoded object payload.
+  void write_object_bytes(std::span<const std::byte> encoded);
+
+  /// Seal a locally packed buffer; switches to Read mode.
+  void commit();
+
+  // ---- read mode ------------------------------------------------------------
+
+  /// Type and element count of the next unread section, if any.
+  std::optional<SectionInfo> peek_section() const;
+
+  /// Read the next section into `values` (must match type and count exactly).
+  template <Primitive T>
+  void read(std::span<T> values) {
+    const std::byte* src = open_section(type_code_of<T>(), values.size(), sizeof(T));
+    copy_out(values.data(), src, values.size() * sizeof(T));
+  }
+
+  /// Scatter the next section into strided blocks (inverse of write_strided).
+  template <Primitive T>
+  void read_strided(T* base, std::size_t blocks, std::size_t blocklen, std::ptrdiff_t stride) {
+    const std::byte* src = open_section(type_code_of<T>(), blocks * blocklen, sizeof(T));
+    for (std::size_t b = 0; b < blocks; ++b) {
+      copy_out(base + static_cast<std::ptrdiff_t>(b) * stride, src, blocklen * sizeof(T));
+      src += blocklen * sizeof(T);
+    }
+  }
+
+  /// Scatter the next section to base + offsets[i] (inverse of write_gather).
+  template <Primitive T>
+  void read_scatter(T* base, std::span<const std::ptrdiff_t> offsets) {
+    const std::byte* src = open_section(type_code_of<T>(), offsets.size(), sizeof(T));
+    for (const std::ptrdiff_t off : offsets) {
+      copy_out(base + off, src, sizeof(T));
+      src += sizeof(T);
+    }
+  }
+
+  /// Deserialize the next object from the dynamic section.
+  template <typename T>
+  T read_object() {
+    const auto encoded = next_object_bytes();
+    return decode_from_bytes<T>(encoded);
+  }
+
+  /// Raw bytes of the next dynamic-section object.
+  std::span<const std::byte> next_object_bytes();
+
+  /// Number of objects remaining to read in the dynamic section.
+  std::size_t objects_remaining() const;
+
+  // ---- lifecycle -------------------------------------------------------------
+
+  /// Reset to an empty Write-mode buffer (keeps the allocation).
+  void clear();
+
+  bool in_write_mode() const { return mode_ == Mode::Write; }
+  bool in_read_mode() const { return mode_ == Mode::Read; }
+
+  // ---- device access ----------------------------------------------------------
+
+  std::size_t header_reserve() const { return header_reserve_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Mutable view of the device header prefix.
+  std::span<std::byte> header_region() { return {storage_.data(), header_reserve_}; }
+
+  /// Committed static payload (excludes the header prefix).
+  std::span<const std::byte> static_payload() const {
+    return {storage_.data() + header_reserve_, static_size_};
+  }
+
+  /// Header prefix and static payload as one contiguous wire segment.
+  std::span<const std::byte> framed_payload() const {
+    return {storage_.data(), header_reserve_ + static_size_};
+  }
+
+  /// Committed dynamic payload.
+  std::span<const std::byte> dynamic_payload() const { return {dynamic_.data(), dynamic_.size()}; }
+
+  std::size_t static_size() const { return static_size_; }
+  std::size_t dynamic_size() const { return dynamic_.size(); }
+
+  /// Receiver path: expose `size` writable bytes for the incoming static
+  /// payload. Invalidates any packed content.
+  std::span<std::byte> prepare_static(std::size_t size);
+
+  /// Receiver path: expose `size` writable bytes for the incoming dynamic
+  /// payload.
+  std::span<std::byte> prepare_dynamic(std::size_t size);
+
+  /// Receiver path: after the regions are filled from the wire, switch to
+  /// Read mode (re-scans the dynamic section for object boundaries).
+  void seal_received();
+
+ private:
+  enum class Mode { Write, Read };
+
+  void require_write(const char* op) const;
+  void require_read(const char* op) const;
+
+  /// Reserve space for a section header + payload; returns payload cursor.
+  std::byte* begin_section(TypeCode type, std::size_t count, std::size_t elsize);
+
+  /// Validate and open the next section for reading; returns payload cursor.
+  const std::byte* open_section(TypeCode type, std::size_t count, std::size_t elsize);
+
+  static void copy_in(void* dst, const void* src, std::size_t bytes);
+  static void copy_out(void* dst, const void* src, std::size_t bytes);
+
+  std::vector<std::byte> storage_;  ///< header_reserve_ + capacity_ bytes
+  std::vector<std::byte> dynamic_;
+  std::size_t header_reserve_;
+  std::size_t capacity_;
+  std::size_t static_size_ = 0;   ///< bytes of committed sections
+  std::size_t read_pos_ = 0;      ///< cursor into the static payload (Read mode)
+  std::size_t dyn_read_pos_ = 0;  ///< cursor into the dynamic payload (Read mode)
+  std::size_t object_count_ = 0;
+  std::size_t objects_read_ = 0;
+  Mode mode_ = Mode::Write;
+};
+
+}  // namespace mpcx::buf

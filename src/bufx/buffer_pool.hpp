@@ -1,0 +1,78 @@
+// Buffer pooling.
+//
+// mpjbuf recycles direct ByteBuffers because allocating them is expensive;
+// our equivalent avoids repeated heap allocation on hot send/recv paths.
+// Buffers are binned by power-of-two capacity; get() returns the smallest
+// pooled buffer that fits (or allocates), put() clears and recycles.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+
+namespace mpcx::buf {
+
+class BufferPool {
+ public:
+  /// All buffers handed out by one pool share a header reserve (the device
+  /// that owns the pool knows its own frame-header size).
+  explicit BufferPool(std::size_t header_reserve = 0) : header_reserve_(header_reserve) {}
+
+  /// Fetch a buffer whose static capacity is at least `min_capacity`.
+  std::unique_ptr<Buffer> get(std::size_t min_capacity) {
+    const std::size_t bin = bin_capacity(min_capacity);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = bins_.find(bin);
+      if (it != bins_.end() && !it->second.empty()) {
+        auto buffer = std::move(it->second.back());
+        it->second.pop_back();
+        ++hits_;
+        return buffer;
+      }
+      ++misses_;
+    }
+    return std::make_unique<Buffer>(bin, header_reserve_);
+  }
+
+  /// Recycle a buffer previously handed out by this pool.
+  void put(std::unique_ptr<Buffer> buffer) {
+    if (!buffer || buffer->header_reserve() != header_reserve_) return;
+    buffer->clear();
+    const std::size_t bin = buffer->capacity();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = bins_[bin];
+    if (list.size() < kMaxPerBin) list.push_back(std::move(buffer));
+  }
+
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+  /// Capacity class a request is rounded up to (power of two, min 256).
+  static std::size_t bin_capacity(std::size_t min_capacity) {
+    std::size_t cap = 256;
+    while (cap < min_capacity) cap <<= 1;
+    return cap;
+  }
+
+ private:
+  static constexpr std::size_t kMaxPerBin = 64;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, std::vector<std::unique_ptr<Buffer>>> bins_;
+  std::size_t header_reserve_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace mpcx::buf

@@ -1,0 +1,235 @@
+// Object serialization for the buffer's dynamic section.
+//
+// MPJ Express relies on JDK default serialization for Java objects; our
+// analog is a small explicit codec: types either are arithmetic / standard
+// containers (handled generically) or model the Serializable concept by
+// providing serialize(ByteSink&) and a static deserialize(ByteSource&).
+// Encoded bytes land in a Buffer's dynamic section and travel as the second
+// message segment, exactly like mpjbuf's dynamic section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/endian.hpp"
+#include "support/error.hpp"
+
+namespace mpcx::buf {
+
+/// Append-only byte stream used while encoding an object.
+class ByteSink {
+ public:
+  explicit ByteSink(std::vector<std::byte>& out) : out_(out) {}
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), bytes, bytes + size);
+  }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void put(T value) {
+    if constexpr (std::is_integral_v<T>) {
+      const T wire = to_wire(value);
+      put_bytes(&wire, sizeof(wire));
+    } else {
+      // IEEE-754 floats are stored via their integral bit pattern.
+      using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+      Bits bits;
+      std::memcpy(&bits, &value, sizeof(bits));
+      put(bits);
+    }
+  }
+
+  void put_string(const std::string& text) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+    put_bytes(text.data(), text.size());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Consuming view over encoded bytes while decoding an object.
+class ByteSource {
+ public:
+  explicit ByteSource(std::span<const std::byte> data) : data_(data) {}
+
+  void get_bytes(void* out, std::size_t size) {
+    if (pos_ + size > data_.size()) throw BufferError("ByteSource: read past end");
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  T get() {
+    if constexpr (std::is_integral_v<T>) {
+      T wire;
+      get_bytes(&wire, sizeof(wire));
+      return from_wire(wire);
+    } else {
+      using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+      const Bits bits = get<Bits>();
+      T value;
+      std::memcpy(&value, &bits, sizeof(value));
+      return value;
+    }
+  }
+
+  std::string get_string() {
+    const auto size = get<std::uint32_t>();
+    std::string text(size, '\0');
+    get_bytes(text.data(), size);
+    return text;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// User types opt into object transport by modeling this concept.
+template <typename T>
+concept Serializable = requires(const T& value, ByteSink& sink, ByteSource& source) {
+  { value.serialize(sink) } -> std::same_as<void>;
+  { T::deserialize(source) } -> std::same_as<T>;
+};
+
+// ---- generic encode/decode -------------------------------------------------
+//
+// encode_value / decode_value handle arithmetic types, std::string,
+// std::pair, std::vector and std::map recursively, and fall back to the
+// Serializable concept for user types.
+
+template <typename T>
+void encode_value(ByteSink& sink, const T& value);
+
+template <typename T>
+T decode_value(ByteSource& source);
+
+namespace detail {
+
+template <typename T>
+struct Codec {
+  static void encode(ByteSink& sink, const T& value)
+    requires Serializable<T>
+  {
+    value.serialize(sink);
+  }
+  static T decode(ByteSource& source)
+    requires Serializable<T>
+  {
+    return T::deserialize(source);
+  }
+};
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct ArithmeticCodec {
+  static void encode(ByteSink& sink, const T& value) { sink.put(value); }
+  static T decode(ByteSource& source) { return source.get<T>(); }
+};
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct Codec<T> : ArithmeticCodec<T> {};
+
+template <>
+struct Codec<std::string> {
+  static void encode(ByteSink& sink, const std::string& value) { sink.put_string(value); }
+  static std::string decode(ByteSource& source) { return source.get_string(); }
+};
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void encode(ByteSink& sink, const std::pair<A, B>& value) {
+    encode_value(sink, value.first);
+    encode_value(sink, value.second);
+  }
+  static std::pair<A, B> decode(ByteSource& source) {
+    A first = decode_value<A>(source);
+    B second = decode_value<B>(source);
+    return {std::move(first), std::move(second)};
+  }
+};
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void encode(ByteSink& sink, const std::vector<T>& value) {
+    sink.put<std::uint32_t>(static_cast<std::uint32_t>(value.size()));
+    for (const T& item : value) encode_value(sink, item);
+  }
+  static std::vector<T> decode(ByteSource& source) {
+    const auto size = source.get<std::uint32_t>();
+    std::vector<T> out;
+    out.reserve(size);
+    for (std::uint32_t i = 0; i < size; ++i) out.push_back(decode_value<T>(source));
+    return out;
+  }
+};
+
+template <typename K, typename V>
+struct Codec<std::map<K, V>> {
+  static void encode(ByteSink& sink, const std::map<K, V>& value) {
+    sink.put<std::uint32_t>(static_cast<std::uint32_t>(value.size()));
+    for (const auto& [key, val] : value) {
+      encode_value(sink, key);
+      encode_value(sink, val);
+    }
+  }
+  static std::map<K, V> decode(ByteSource& source) {
+    const auto size = source.get<std::uint32_t>();
+    std::map<K, V> out;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      K key = decode_value<K>(source);
+      V val = decode_value<V>(source);
+      out.emplace(std::move(key), std::move(val));
+    }
+    return out;
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+void encode_value(ByteSink& sink, const T& value) {
+  detail::Codec<T>::encode(sink, value);
+}
+
+template <typename T>
+T decode_value(ByteSource& source) {
+  return detail::Codec<T>::decode(source);
+}
+
+/// Encode a value to a standalone byte vector.
+template <typename T>
+std::vector<std::byte> encode_to_bytes(const T& value) {
+  std::vector<std::byte> out;
+  ByteSink sink(out);
+  encode_value(sink, value);
+  return out;
+}
+
+/// Decode a value from a byte span (must consume it exactly).
+template <typename T>
+T decode_from_bytes(std::span<const std::byte> data) {
+  ByteSource source(data);
+  T value = decode_value<T>(source);
+  if (!source.exhausted()) throw BufferError("decode_from_bytes: trailing bytes");
+  return value;
+}
+
+}  // namespace mpcx::buf

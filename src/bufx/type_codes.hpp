@@ -1,0 +1,89 @@
+// Type codes for buffer sections, mirroring mpjbuf.
+//
+// Every section in a buffer's static region is tagged with the primitive
+// type it holds so that the receiver can type-check unpacking (the paper's
+// mpjbuf does the same; mismatches are programming errors surfaced as
+// BufferError rather than silent reinterpretation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "support/error.hpp"
+
+namespace mpcx::buf {
+
+enum class TypeCode : std::uint8_t {
+  Byte = 1,
+  Char = 2,
+  Short = 3,
+  Int = 4,
+  Long = 5,
+  Float = 6,
+  Double = 7,
+  Boolean = 8,
+  Object = 9,  ///< marker used in the dynamic section
+};
+
+/// Human-readable name for diagnostics.
+inline std::string type_code_name(TypeCode code) {
+  switch (code) {
+    case TypeCode::Byte: return "byte";
+    case TypeCode::Char: return "char";
+    case TypeCode::Short: return "short";
+    case TypeCode::Int: return "int";
+    case TypeCode::Long: return "long";
+    case TypeCode::Float: return "float";
+    case TypeCode::Double: return "double";
+    case TypeCode::Boolean: return "boolean";
+    case TypeCode::Object: return "object";
+  }
+  return "unknown(" + std::to_string(static_cast<int>(code)) + ")";
+}
+
+/// Size in bytes of one element of the given primitive code.
+inline std::size_t type_code_size(TypeCode code) {
+  switch (code) {
+    case TypeCode::Byte: return 1;
+    case TypeCode::Char: return 1;
+    case TypeCode::Short: return 2;
+    case TypeCode::Int: return 4;
+    case TypeCode::Long: return 8;
+    case TypeCode::Float: return 4;
+    case TypeCode::Double: return 8;
+    case TypeCode::Boolean: return 1;
+    case TypeCode::Object: return 0;
+  }
+  throw BufferError("type_code_size: bad code");
+}
+
+/// Maps a C++ element type onto its mpjbuf type code. Works for every
+/// integral width regardless of platform aliasing (long vs long long).
+template <typename T>
+constexpr TypeCode type_code_of() {
+  if constexpr (std::is_same_v<T, bool>) {
+    return TypeCode::Boolean;
+  } else if constexpr (std::is_same_v<T, char>) {
+    return TypeCode::Char;
+  } else if constexpr (std::is_same_v<T, float>) {
+    return TypeCode::Float;
+  } else if constexpr (std::is_same_v<T, double>) {
+    return TypeCode::Double;
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 1) {
+    return TypeCode::Byte;
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 2) {
+    return TypeCode::Short;
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 4) {
+    return TypeCode::Int;
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 8) {
+    return TypeCode::Long;
+  } else {
+    static_assert(sizeof(T) == 0, "type has no mpjbuf type code");
+  }
+}
+
+template <typename T>
+concept Primitive = std::is_arithmetic_v<T> && sizeof(T) <= 8;
+
+}  // namespace mpcx::buf

@@ -1,0 +1,152 @@
+#include "core/cartcomm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace mpcx {
+
+Cartcomm::Cartcomm(World* world, Group group, int ptp_context, int coll_context,
+                   std::vector<int> dims, std::vector<bool> periods)
+    : Intracomm(world, std::move(group), ptp_context, coll_context),
+      dims_(std::move(dims)),
+      periods_(std::move(periods)) {}
+
+CartParms Cartcomm::Get() const {
+  CartParms parms;
+  parms.dims = dims_;
+  parms.periods = periods_;
+  parms.coords = Coords(Comm::Rank());
+  return parms;
+}
+
+int Cartcomm::Rank(std::span<const int> coords) const {
+  if (coords.size() != dims_.size()) throw ArgumentError("Cartcomm::Rank: wrong arity");
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    const int extent = dims_[d];
+    if (c < 0 || c >= extent) {
+      if (!periods_[d]) {
+        throw ArgumentError("Cartcomm::Rank: coordinate out of range on non-periodic dimension");
+      }
+      c = ((c % extent) + extent) % extent;
+    }
+    rank = rank * extent + c;
+  }
+  return rank;
+}
+
+std::vector<int> Cartcomm::Coords(int rank) const {
+  if (rank < 0 || rank >= Size()) throw ArgumentError("Cartcomm::Coords: rank out of range");
+  std::vector<int> coords(dims_.size());
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    coords[d] = rank % dims_[d];
+    rank /= dims_[d];
+  }
+  return coords;
+}
+
+ShiftParms Cartcomm::Shift(int dimension, int disp) const {
+  if (dimension < 0 || dimension >= Ndims()) throw ArgumentError("Cartcomm::Shift: bad dimension");
+  std::vector<int> coords = Coords(Comm::Rank());
+  ShiftParms parms;
+
+  const int extent = dims_[static_cast<std::size_t>(dimension)];
+  const bool periodic = periods_[static_cast<std::size_t>(dimension)];
+
+  auto resolve = [&](int delta) -> int {
+    const int c = coords[static_cast<std::size_t>(dimension)] + delta;
+    if (c < 0 || c >= extent) {
+      if (!periodic) return PROC_NULL;
+    }
+    std::vector<int> shifted = coords;
+    shifted[static_cast<std::size_t>(dimension)] = ((c % extent) + extent) % extent;
+    return Rank(shifted);
+  };
+
+  parms.rank_dest = resolve(disp);
+  parms.rank_source = resolve(-disp);
+  return parms;
+}
+
+std::unique_ptr<Cartcomm> Cartcomm::Sub(std::span<const bool> remain_dims) const {
+  if (remain_dims.size() != dims_.size()) throw ArgumentError("Cartcomm::Sub: wrong arity");
+  const std::vector<int> coords = Coords(Comm::Rank());
+
+  // Color = position in the dropped dimensions; key = position in the kept
+  // ones (row-major), so ranks in the sub-grid follow grid order.
+  int color = 0;
+  int key = 0;
+  std::vector<int> sub_dims;
+  std::vector<bool> sub_periods;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (remain_dims[d]) {
+      key = key * dims_[d] + coords[d];
+      sub_dims.push_back(dims_[d]);
+      sub_periods.push_back(periods_[d]);
+    } else {
+      color = color * dims_[d] + coords[d];
+    }
+  }
+  if (sub_dims.empty()) {
+    sub_dims.push_back(1);
+    sub_periods.push_back(false);
+  }
+
+  auto flat = Split(color, key);
+  if (!flat) return nullptr;
+  // Rebuild as a Cartcomm over the kept dimensions (contexts are reused
+  // from the Split result; the topology is pure bookkeeping).
+  return std::make_unique<Cartcomm>(world_, flat->group(), flat->ptp_context(),
+                                    flat->coll_context(), std::move(sub_dims),
+                                    std::move(sub_periods));
+}
+
+std::vector<int> Cartcomm::Dims_create(int nnodes, std::span<const int> dims) {
+  std::vector<int> out(dims.begin(), dims.end());
+  int fixed = 1;
+  int free_dims = 0;
+  for (const int d : out) {
+    if (d < 0) throw ArgumentError("Dims_create: negative dimension");
+    if (d > 0) fixed *= d;
+    else ++free_dims;
+  }
+  if (fixed == 0) throw ArgumentError("Dims_create: zero fixed product");
+  if (nnodes % fixed != 0) throw ArgumentError("Dims_create: nnodes not divisible by fixed dims");
+  int remaining = nnodes / fixed;
+  if (free_dims == 0) {
+    if (remaining != 1) throw ArgumentError("Dims_create: dims do not multiply to nnodes");
+    return out;
+  }
+
+  // Greedy balanced factorization: repeatedly peel the largest prime factor
+  // onto the currently smallest free dimension.
+  std::vector<int> factors;
+  int n = remaining;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::vector<std::size_t> free_index;
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    if (out[d] == 0) {
+      out[d] = 1;
+      free_index.push_back(d);
+    }
+  }
+  for (const int f : factors) {
+    auto smallest = std::min_element(free_index.begin(), free_index.end(),
+                                     [&](std::size_t a, std::size_t b) { return out[a] < out[b]; });
+    out[*smallest] *= f;
+  }
+  std::sort(free_index.begin(), free_index.end());
+  return out;
+}
+
+}  // namespace mpcx

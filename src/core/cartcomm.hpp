@@ -1,0 +1,61 @@
+// Cartcomm — Cartesian virtual topology (mpiJava Cartcomm analog).
+//
+// Ranks are laid out row-major over `dims`; per-dimension periodicity
+// controls wraparound for Shift and coordinate arithmetic.
+#pragma once
+
+#include <vector>
+
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+
+/// Result of Shift: where my data comes from and goes to (PROC_NULL at a
+/// non-periodic boundary).
+struct ShiftParms {
+  int rank_source = PROC_NULL;
+  int rank_dest = PROC_NULL;
+};
+
+/// Topology description returned by Get().
+struct CartParms {
+  std::vector<int> dims;
+  std::vector<bool> periods;
+  std::vector<int> coords;  ///< of the calling process
+};
+
+class Cartcomm final : public Intracomm {
+ public:
+  Cartcomm(World* world, Group group, int ptp_context, int coll_context, std::vector<int> dims,
+           std::vector<bool> periods);
+
+  int Ndims() const { return static_cast<int>(dims_.size()); }
+
+  /// Dims, periods and the caller's coordinates.
+  CartParms Get() const;
+
+  /// Rank at `coords` (periodic dimensions wrap; out-of-range coordinates
+  /// on non-periodic dimensions are an error). The zero-argument overload
+  /// from Comm (the caller's own rank) stays visible.
+  using Comm::Rank;
+  int Rank(std::span<const int> coords) const;
+
+  /// Coordinates of `rank`.
+  std::vector<int> Coords(int rank) const;
+
+  /// Source/destination ranks for a shift of `disp` along `dimension`.
+  ShiftParms Shift(int dimension, int disp) const;
+
+  /// Sub-grid communicator keeping the dimensions flagged in remain_dims.
+  std::unique_ptr<Cartcomm> Sub(std::span<const bool> remain_dims) const;
+
+  /// Balanced factorization of nnodes into ndims dimensions
+  /// (MPI_Dims_create; nonzero entries in `dims` are kept fixed).
+  static std::vector<int> Dims_create(int nnodes, std::span<const int> dims);
+
+ private:
+  std::vector<int> dims_;
+  std::vector<bool> periods_;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,78 @@
+#include "core/cluster.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/socket.hpp"
+
+namespace mpcx::cluster {
+namespace {
+
+/// ProcessIDs must be unique per launch even across sequential launches in
+/// one test binary (the mxsim global fabric is process-wide) AND across
+/// runs on one machine (shmdev derives /dev/shm segment names from them; a
+/// crashed run's stale segment must never collide with a fresh launch).
+/// Pids recycle far too fast (pid_max is often 32768), so the seed is a
+/// nanosecond timestamp mixed with the pid.
+std::uint64_t uuid_seed() {
+  const auto ns = std::chrono::steady_clock::now().time_since_epoch().count();
+  return (static_cast<std::uint64_t>(ns) << 20) ^
+         (static_cast<std::uint64_t>(::getpid()) << 8);
+}
+
+std::atomic<std::uint64_t> next_uuid{uuid_seed()};
+
+}  // namespace
+
+void launch(int nprocs, const std::function<void(World&)>& body, const Options& options) {
+  if (nprocs <= 0) throw ArgumentError("cluster::launch: nprocs must be positive");
+
+  // Build the shared world layout.
+  std::vector<xdev::EndpointInfo> world(static_cast<std::size_t>(nprocs));
+  std::vector<std::shared_ptr<net::Acceptor>> acceptors(static_cast<std::size_t>(nprocs));
+  const bool is_tcp = options.device == "tcpdev" || options.device == "niodev";
+  for (int r = 0; r < nprocs; ++r) {
+    auto& info = world[static_cast<std::size_t>(r)];
+    info.id = xdev::ProcessID{next_uuid.fetch_add(1)};
+    info.host = "127.0.0.1";
+    if (is_tcp) {
+      // Bind every listener up front so peers can connect immediately.
+      acceptors[static_cast<std::size_t>(r)] = std::make_shared<net::Acceptor>(0);
+      info.port = acceptors[static_cast<std::size_t>(r)]->port();
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        xdev::DeviceConfig config;
+        config.self_index = static_cast<std::size_t>(r);
+        config.world = world;
+        config.eager_threshold = options.eager_threshold;
+        config.socket_buffer_bytes = options.socket_buffer_bytes;
+        config.acceptor = acceptors[static_cast<std::size_t>(r)];
+        World rank_world(options.device, config);
+        body(rank_world);
+        rank_world.Finalize();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mpcx::cluster

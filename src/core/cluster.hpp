@@ -1,0 +1,32 @@
+// In-process cluster harness.
+//
+// Runs an n-rank MPCX world inside one OS process: each rank is a thread
+// with its own World (its own device endpoint). With tcpdev the ranks talk
+// over real loopback TCP sockets; with mxdev over the in-memory mxsim
+// fabric. This is how the test suite and most benchmarks exercise the full
+// stack without the multi-process runtime (which lives in src/runtime).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/world.hpp"
+
+namespace mpcx::cluster {
+
+struct Options {
+  /// "mxdev" (default: in-memory fabric) or "tcpdev" (real loopback TCP).
+  std::string device = "mxdev";
+  /// Eager/rendezvous switch-over (tcpdev); paper default 128 KB.
+  std::size_t eager_threshold = 128 * 1024;
+  /// Socket buffer sizes (tcpdev); 0 = OS default.
+  int socket_buffer_bytes = 0;
+};
+
+/// Launch `nprocs` ranks, run `body(world)` on each rank's thread, then
+/// Finalize every world. Rethrows the first rank exception after all
+/// threads join.
+void launch(int nprocs, const std::function<void(World&)>& body, const Options& options = {});
+
+}  // namespace mpcx::cluster

@@ -1,0 +1,354 @@
+#include "core/comm.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "core/world.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+namespace {
+
+const std::byte* byte_base(const void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<const std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+std::byte* byte_base(void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+void validate_send_tag(int tag) {
+  if (tag < 0 || tag > kMaxUserTag) {
+    throw ArgumentError("send tag must be in [0, " + std::to_string(kMaxUserTag) + "]");
+  }
+}
+
+void validate_recv_tag(int tag) {
+  if (tag != ANY_TAG && (tag < 0 || tag > kMaxUserTag)) {
+    throw ArgumentError("receive tag must be ANY_TAG or in [0, " + std::to_string(kMaxUserTag) +
+                        "]");
+  }
+}
+
+Status proc_null_status() { return Status(PROC_NULL, ANY_TAG, 0, 0, false); }
+
+}  // namespace
+
+Comm::Comm(World* world, Group group, int ptp_context, int coll_context)
+    : world_(world),
+      group_(std::move(group)),
+      ptp_context_(ptp_context),
+      coll_context_(coll_context) {
+  local_rank_ = group_.Rank_of_world(world_->Rank());
+}
+
+mpdev::Engine& Comm::engine() const { return world_->engine(); }
+
+int Comm::world_dest(int local_rank) const { return group_.world_rank(local_rank); }
+
+int Comm::world_source(int local_rank) const {
+  if (local_rank == ANY_SOURCE) return mpdev::kAnySource;
+  return group_.world_rank(local_rank);
+}
+
+Status Comm::to_local_status(const mpdev::Status& dev) const {
+  const int local_source = dev.source >= 0 ? group_.Rank_of_world(dev.source) : dev.source;
+  return Status(local_source, dev.tag, dev.static_bytes, dev.dynamic_bytes, dev.truncated,
+                dev.cancelled);
+}
+
+void Comm::validate(const void* buf, int count, const DatatypePtr& type, const char* op) {
+  if (count < 0) throw ArgumentError(std::string(op) + ": negative count");
+  if (!type) throw ArgumentError(std::string(op) + ": null datatype");
+  if (buf == nullptr && count > 0) throw ArgumentError(std::string(op) + ": null buffer");
+}
+
+std::unique_ptr<buf::Buffer> Comm::take_buffer(std::size_t min_capacity) const {
+  return world_->take_buffer(min_capacity);
+}
+
+void Comm::give_buffer(std::unique_ptr<buf::Buffer> buffer) const {
+  world_->give_buffer(std::move(buffer));
+}
+
+std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int count,
+                                                const DatatypePtr& type) const {
+  auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
+  type->pack(byte_base(buf, offset, type), static_cast<std::size_t>(count), *buffer);
+  buffer->commit();
+  return buffer;
+}
+
+// ---- internal context-addressed point-to-point -----------------------------------
+
+void Comm::ctx_send(int context, int tag, const void* buf, int offset, int count,
+                    const DatatypePtr& type, int dest_local) const {
+  auto buffer = pack_message(buf, offset, count, type);
+  engine().send(*buffer, world_dest(dest_local), tag, context);
+  give_buffer(std::move(buffer));
+}
+
+Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
+                      const DatatypePtr& type, int source_local) const {
+  auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
+  const mpdev::Status dev = engine().recv(*buffer, world_source(source_local), tag, context);
+  if (dev.truncated) {
+    give_buffer(std::move(buffer));
+    throw CommError("receive truncated: message larger than the posted buffer");
+  }
+  type->unpack_available(*buffer, byte_base(buf, offset, type), static_cast<std::size_t>(count));
+  give_buffer(std::move(buffer));
+  return to_local_status(dev);
+}
+
+Request Comm::ctx_isend(int context, int tag, const void* buf, int offset, int count,
+                        const DatatypePtr& type, int dest_local) const {
+  auto buffer = pack_message(buf, offset, count, type);
+  mpdev::Request dev = engine().isend(*buffer, world_dest(dest_local), tag, context);
+  return Request::make_send(this, std::move(dev), std::move(buffer));
+}
+
+Request Comm::ctx_irecv(int context, int tag, void* buf, int offset, int count,
+                        const DatatypePtr& type, int source_local) const {
+  auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
+  buf::Buffer& landing = *buffer;
+  mpdev::Request dev = engine().irecv(landing, world_source(source_local), tag, context);
+  return Request::make_recv(this, std::move(dev), std::move(buffer), type,
+                            byte_base(buf, offset, type), static_cast<std::size_t>(count));
+}
+
+// ---- blocking sends -----------------------------------------------------------------
+
+void Comm::Send(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                int tag) const {
+  validate(buf, count, type, "Send");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return;
+  ctx_send(ptp_context_, tag, buf, offset, count, type, dest);
+}
+
+void Comm::Ssend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const {
+  validate(buf, count, type, "Ssend");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return;
+  auto buffer = pack_message(buf, offset, count, type);
+  engine().ssend(*buffer, world_dest(dest), tag, ptp_context_);
+  give_buffer(std::move(buffer));
+}
+
+void Comm::Bsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const {
+  validate(buf, count, type, "Bsend");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return;
+  auto buffer = pack_message(buf, offset, count, type);
+  const std::size_t bytes = buffer->static_size() + buffer->dynamic_size();
+  mpdev::Request dev = engine().isend(*buffer, world_dest(dest), tag, ptp_context_);
+  // Completes locally: the World tracks the in-flight send and its storage.
+  world_->bsend_reserve(bytes, std::move(dev), std::move(buffer));
+}
+
+void Comm::Rsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const {
+  // Ready mode: the standard-mode protocol is always legal for it.
+  Send(buf, offset, count, type, dest, tag);
+}
+
+Status Comm::Recv(void* buf, int offset, int count, const DatatypePtr& type, int source,
+                  int tag) const {
+  validate(buf, count, type, "Recv");
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return proc_null_status();
+  return ctx_recv(ptp_context_, tag, buf, offset, count, type, source);
+}
+
+// ---- non-blocking -----------------------------------------------------------------------
+
+Request Comm::Isend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                    int tag) const {
+  validate(buf, count, type, "Isend");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return Request();
+  return ctx_isend(ptp_context_, tag, buf, offset, count, type, dest);
+}
+
+Request Comm::Issend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                     int tag) const {
+  validate(buf, count, type, "Issend");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return Request();
+  auto buffer = pack_message(buf, offset, count, type);
+  mpdev::Request dev = engine().issend(*buffer, world_dest(dest), tag, ptp_context_);
+  return Request::make_send(this, std::move(dev), std::move(buffer));
+}
+
+Request Comm::Ibsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                     int tag) const {
+  // The buffered send is tracked by the World; the returned request is the
+  // device request (it still completes quickly — data is already copied).
+  validate(buf, count, type, "Ibsend");
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return Request();
+  Bsend(buf, offset, count, type, dest, tag);
+  return Request();  // buffered sends are complete from the caller's view
+}
+
+Request Comm::Irsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                     int tag) const {
+  return Isend(buf, offset, count, type, dest, tag);
+}
+
+Request Comm::Irecv(void* buf, int offset, int count, const DatatypePtr& type, int source,
+                    int tag) const {
+  validate(buf, count, type, "Irecv");
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return Request();
+  return ctx_irecv(ptp_context_, tag, buf, offset, count, type, source);
+}
+
+// ---- persistent ----------------------------------------------------------------------------
+
+Prequest Comm::Send_init(const void* buf, int offset, int count, const DatatypePtr& type,
+                         int dest, int tag) const {
+  validate(buf, count, type, "Send_init");
+  validate_send_tag(tag);
+  auto recipe = std::make_shared<Prequest::Recipe>();
+  recipe->comm = this;
+  recipe->is_send = true;
+  recipe->send_buf = buf;
+  recipe->offset = offset;
+  recipe->count = count;
+  recipe->type = type;
+  recipe->peer = dest;
+  recipe->tag = tag;
+  return Prequest(std::move(recipe));
+}
+
+Prequest Comm::Recv_init(void* buf, int offset, int count, const DatatypePtr& type, int source,
+                         int tag) const {
+  validate(buf, count, type, "Recv_init");
+  validate_recv_tag(tag);
+  auto recipe = std::make_shared<Prequest::Recipe>();
+  recipe->comm = this;
+  recipe->is_send = false;
+  recipe->recv_buf = buf;
+  recipe->offset = offset;
+  recipe->count = count;
+  recipe->type = type;
+  recipe->peer = source;
+  recipe->tag = tag;
+  return Prequest(std::move(recipe));
+}
+
+// ---- probe -----------------------------------------------------------------------------------
+
+Status Comm::Probe(int source, int tag) const {
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return proc_null_status();
+  return to_local_status(engine().probe(world_source(source), tag, ptp_context_));
+}
+
+std::optional<Status> Comm::Iprobe(int source, int tag) const {
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return proc_null_status();
+  auto dev = engine().iprobe(world_source(source), tag, ptp_context_);
+  if (!dev) return std::nullopt;
+  return to_local_status(*dev);
+}
+
+// ---- combined ----------------------------------------------------------------------------------
+
+Status Comm::Sendrecv(const void* sendbuf, int sendoffset, int sendcount,
+                      const DatatypePtr& sendtype, int dest, int sendtag, void* recvbuf,
+                      int recvoffset, int recvcount, const DatatypePtr& recvtype, int source,
+                      int recvtag) const {
+  Request recv = Irecv(recvbuf, recvoffset, recvcount, recvtype, source, recvtag);
+  Send(sendbuf, sendoffset, sendcount, sendtype, dest, sendtag);
+  if (recv.is_null()) return proc_null_status();
+  return recv.Wait();
+}
+
+// ---- pack / unpack ------------------------------------------------------------------
+
+void Comm::Pack(const void* inbuf, int offset, int count, const DatatypePtr& type,
+                buf::Buffer& buffer) const {
+  validate(inbuf, count, type, "Pack");
+  type->pack(byte_base(inbuf, offset, type), static_cast<std::size_t>(count), buffer);
+}
+
+void Comm::Unpack(buf::Buffer& buffer, void* outbuf, int offset, int count,
+                  const DatatypePtr& type) const {
+  validate(outbuf, count, type, "Unpack");
+  type->unpack(buffer, byte_base(outbuf, offset, type), static_cast<std::size_t>(count));
+}
+
+// ---- attribute caching ----------------------------------------------------------------
+
+int Comm::Keyval_create() {
+  static std::atomic<int> next_keyval{1};
+  return next_keyval.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Comm::Attr_put(int keyval, std::any value) const {
+  std::lock_guard<std::mutex> lock(attrs_mu_);
+  attrs_[keyval] = std::move(value);
+}
+
+std::optional<std::any> Comm::Attr_get(int keyval) const {
+  std::lock_guard<std::mutex> lock(attrs_mu_);
+  auto it = attrs_.find(keyval);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Comm::Attr_delete(int keyval) const {
+  std::lock_guard<std::mutex> lock(attrs_mu_);
+  attrs_.erase(keyval);
+}
+
+// ---- direct-buffer extension (paper Sec. VI future work) ------------------------
+
+void Comm::Send_buffer(buf::Buffer& buffer, int dest, int tag) const {
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return;
+  if (!buffer.in_read_mode()) throw ArgumentError("Send_buffer: buffer must be committed");
+  engine().send(buffer, world_dest(dest), tag, ptp_context_);
+}
+
+Request Comm::Isend_buffer(buf::Buffer& buffer, int dest, int tag) const {
+  validate_send_tag(tag);
+  if (dest == PROC_NULL) return Request();
+  if (!buffer.in_read_mode()) throw ArgumentError("Isend_buffer: buffer must be committed");
+  return Request::make_bare(this, engine().isend(buffer, world_dest(dest), tag, ptp_context_));
+}
+
+Status Comm::Recv_buffer(buf::Buffer& buffer, int source, int tag) const {
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return proc_null_status();
+  const mpdev::Status dev = engine().recv(buffer, world_source(source), tag, ptp_context_);
+  if (dev.truncated) {
+    throw CommError("Recv_buffer: message larger than the supplied buffer");
+  }
+  return to_local_status(dev);
+}
+
+Request Comm::Irecv_buffer(buf::Buffer& buffer, int source, int tag) const {
+  validate_recv_tag(tag);
+  if (source == PROC_NULL) return Request();
+  return Request::make_bare(this, engine().irecv(buffer, world_source(source), tag, ptp_context_));
+}
+
+Status Comm::Sendrecv_replace(void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                              int sendtag, int source, int recvtag) const {
+  // Isend packs (copies) the outgoing data synchronously, so receiving into
+  // the same user region afterwards is safe.
+  Request send = Isend(buf, offset, count, type, dest, sendtag);
+  Status status = Recv(buf, offset, count, type, source, recvtag);
+  if (!send.is_null()) send.Wait();
+  return status;
+}
+
+}  // namespace mpcx

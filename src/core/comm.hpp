@@ -1,0 +1,243 @@
+// Comm — communicator base class (mpiJava Comm analog).
+//
+// Provides the full point-to-point surface of the mpiJava 1.2 spec: the
+// four send modes (standard, synchronous, buffered, ready), blocking and
+// non-blocking variants, wildcards (ANY_SOURCE / ANY_TAG), Probe/Iprobe,
+// Sendrecv, persistent requests, and serialized-object transport via the
+// buffer's dynamic section.
+//
+// Every communicator owns two context ids: one for point-to-point traffic
+// and one for collectives, so user messages can never match internal
+// collective messages. Ranks in the public API are communicator-local; the
+// Group maps them onto world ranks understood by the mpdev engine.
+//
+// All operations are thread-safe (MPI_THREAD_MULTIPLE) — thread safety is
+// inherited from the device layer exactly as in the paper.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/datatype.hpp"
+#include "core/group.hpp"
+#include "core/request.hpp"
+#include "core/status.hpp"
+#include "core/types.hpp"
+#include "mpdev/engine.hpp"
+
+namespace mpcx {
+
+class World;
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  /// Rank of the calling process in this communicator.
+  int Rank() const { return local_rank_; }
+
+  /// Number of processes in this communicator's (local) group.
+  int Size() const { return group_.Size(); }
+
+  /// The communicator's local group.
+  const Group& group() const { return group_; }
+
+  World& world() const { return *world_; }
+
+  /// Context ids (introspection; useful for debugging and internal reuse).
+  int ptp_context() const { return ptp_context_; }
+  int coll_context() const { return coll_context_; }
+
+  // ---- blocking point-to-point ---------------------------------------------
+
+  /// Standard-mode send of `count` items of `type`, starting `offset` base
+  /// elements into `buf` (mpiJava signature).
+  void Send(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+            int tag) const;
+
+  /// Synchronous-mode send: returns only once the receive is matched.
+  void Ssend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+             int tag) const;
+
+  /// Buffered-mode send: completes locally using attached buffer space
+  /// (World::Buffer_attach).
+  void Bsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+             int tag) const;
+
+  /// Ready-mode send: caller asserts a matching receive is posted. MPCX,
+  /// like many MPI implementations, maps it to a standard send.
+  void Rsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+             int tag) const;
+
+  /// Blocking receive. source may be ANY_SOURCE, tag may be ANY_TAG.
+  Status Recv(void* buf, int offset, int count, const DatatypePtr& type, int source,
+              int tag) const;
+
+  // ---- non-blocking point-to-point ---------------------------------------------
+
+  Request Isend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                int tag) const;
+  Request Issend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const;
+  Request Ibsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const;
+  Request Irsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                 int tag) const;
+  Request Irecv(void* buf, int offset, int count, const DatatypePtr& type, int source,
+                int tag) const;
+
+  // ---- persistent requests --------------------------------------------------------
+
+  Prequest Send_init(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                     int tag) const;
+  Prequest Recv_init(void* buf, int offset, int count, const DatatypePtr& type, int source,
+                     int tag) const;
+
+  // ---- probe -------------------------------------------------------------------
+
+  /// Block until a matching message is available (not consumed).
+  Status Probe(int source, int tag) const;
+
+  /// Non-blocking probe.
+  std::optional<Status> Iprobe(int source, int tag) const;
+
+  // ---- combined ------------------------------------------------------------------
+
+  Status Sendrecv(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+                  int dest, int sendtag, void* recvbuf, int recvoffset, int recvcount,
+                  const DatatypePtr& recvtype, int source, int recvtag) const;
+
+  Status Sendrecv_replace(void* buf, int offset, int count, const DatatypePtr& type, int dest,
+                          int sendtag, int source, int recvtag) const;
+
+  // ---- serialized-object transport (dynamic section; the analog of
+  // mpiJava's MPI.OBJECT datatype over JDK serialization) -----------------------
+
+  template <typename T>
+  void send_object(const T& value, int dest, int tag) const {
+    auto buffer = take_buffer(0);
+    buffer->write_object(value);
+    buffer->commit();
+    engine().send(*buffer, world_dest(dest), tag, ptp_context_);
+    give_buffer(std::move(buffer));
+  }
+
+  template <typename T>
+  T recv_object(int source, int tag, Status* status_out = nullptr) const {
+    auto buffer = take_buffer(0);
+    const mpdev::Status dev = engine().recv(*buffer, world_source(source), tag, ptp_context_);
+    if (dev.truncated) throw CommError("recv_object: message truncated");
+    T value = buffer->read_object<T>();
+    if (status_out != nullptr) *status_out = to_local_status(dev);
+    give_buffer(std::move(buffer));
+    return value;
+  }
+
+  // ---- direct-buffer extension -------------------------------------------------
+  //
+  // The paper's future-work proposal (Sec. VI): "the overhead associated
+  // with MPJ Express pure Java devices ... can potentially be resolved by
+  // extending the MPJ API to allow communicating data to and from
+  // ByteBuffers." These methods do exactly that: the application packs a
+  // device-ready buffer ONCE (obtained from make_buffer(), which carries
+  // the device's header reserve) and the library adds no further copy —
+  // the mpjdev-level fast path, measured by bench_direct_buffers.
+
+  /// Allocate a buffer sized for the device (use buf::Buffer::write /
+  /// write_object to fill it, then commit()). Return it with
+  /// release_buffer() to recycle.
+  std::unique_ptr<buf::Buffer> make_buffer(std::size_t min_capacity) const {
+    return take_buffer(min_capacity);
+  }
+  void release_buffer(std::unique_ptr<buf::Buffer> buffer) const {
+    give_buffer(std::move(buffer));
+  }
+
+  /// Send a committed buffer as-is (no packing pass). The buffer must stay
+  /// alive and unmodified until the call (or returned request) completes.
+  void Send_buffer(buf::Buffer& buffer, int dest, int tag) const;
+  Request Isend_buffer(buf::Buffer& buffer, int dest, int tag) const;
+
+  /// Receive into a caller-owned buffer; on return it is sealed for
+  /// reading (no unpack pass — read sections straight out of it).
+  Status Recv_buffer(buf::Buffer& buffer, int source, int tag) const;
+  Request Irecv_buffer(buf::Buffer& buffer, int source, int tag) const;
+
+  // ---- explicit pack/unpack (MPI_Pack / MPI_Unpack analogs) ---------------------
+  //
+  // Pack typed data into a caller-owned buffer (several Pack calls may
+  // append to one buffer); after commit() the buffer can travel via
+  // Send_buffer, and Unpack pulls typed data back out on the receiver.
+
+  void Pack(const void* inbuf, int offset, int count, const DatatypePtr& type,
+            buf::Buffer& buffer) const;
+  void Unpack(buf::Buffer& buffer, void* outbuf, int offset, int count,
+              const DatatypePtr& type) const;
+
+  // ---- attribute caching (mpiJava Attr_put / Attr_get / Attr_delete) -------------
+  //
+  // Communicator-local key/value cache. Keys come from Keyval_create (a
+  // process-wide allocator); values are std::any. Caching is local state:
+  // it involves no communication.
+
+  /// Allocate a fresh attribute key (process-wide unique).
+  static int Keyval_create();
+
+  void Attr_put(int keyval, std::any value) const;
+  std::optional<std::any> Attr_get(int keyval) const;
+  void Attr_delete(int keyval) const;
+
+ protected:
+  friend class Request;
+  friend class Prequest;
+
+  Comm(World* world, Group group, int ptp_context, int coll_context);
+
+  mpdev::Engine& engine() const;
+
+  /// Communicator-local -> world rank (throws on out-of-range; PROC_NULL
+  /// must be filtered by the caller). Intercomms address the remote group.
+  virtual int world_dest(int local_rank) const;
+
+  /// Local source (possibly ANY_SOURCE) -> world rank / wildcard.
+  virtual int world_source(int local_rank) const;
+
+  /// Engine status (world ranks) -> communicator-local Status.
+  virtual Status to_local_status(const mpdev::Status& dev) const;
+
+  /// Pack user data into a pooled buffer ready to send.
+  std::unique_ptr<buf::Buffer> pack_message(const void* buf, int offset, int count,
+                                            const DatatypePtr& type) const;
+
+  std::unique_ptr<buf::Buffer> take_buffer(std::size_t min_capacity) const;
+  void give_buffer(std::unique_ptr<buf::Buffer> buffer) const;
+
+  static void validate(const void* buf, int count, const DatatypePtr& type, const char* op);
+
+  /// Internal typed point-to-point on an arbitrary context (collectives use
+  /// coll_context_ with reserved negative tags).
+  void ctx_send(int context, int tag, const void* buf, int offset, int count,
+                const DatatypePtr& type, int dest_local) const;
+  Status ctx_recv(int context, int tag, void* buf, int offset, int count, const DatatypePtr& type,
+                  int source_local) const;
+  Request ctx_isend(int context, int tag, const void* buf, int offset, int count,
+                    const DatatypePtr& type, int dest_local) const;
+  Request ctx_irecv(int context, int tag, void* buf, int offset, int count,
+                    const DatatypePtr& type, int source_local) const;
+
+  World* world_;
+  Group group_;
+  int ptp_context_;
+  int coll_context_;
+  int local_rank_;  ///< this process's rank in group_ (UNDEFINED if absent)
+
+  // Attribute cache (mutable: caching on a const communicator is fine).
+  mutable std::mutex attrs_mu_;
+  mutable std::map<int, std::any> attrs_;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,389 @@
+#include "core/datatype.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace mpcx {
+namespace {
+
+using buf::TypeCode;
+
+/// Invoke f with the C++ type corresponding to a runtime type code.
+template <typename F>
+decltype(auto) dispatch(TypeCode code, F&& f) {
+  switch (code) {
+    case TypeCode::Byte: return f(static_cast<std::int8_t*>(nullptr));
+    case TypeCode::Char: return f(static_cast<char*>(nullptr));
+    case TypeCode::Short: return f(static_cast<std::int16_t*>(nullptr));
+    case TypeCode::Int: return f(static_cast<std::int32_t*>(nullptr));
+    case TypeCode::Long: return f(static_cast<std::int64_t*>(nullptr));
+    case TypeCode::Float: return f(static_cast<float*>(nullptr));
+    case TypeCode::Double: return f(static_cast<double*>(nullptr));
+    case TypeCode::Boolean: return f(static_cast<bool*>(nullptr));
+    case TypeCode::Object: break;
+  }
+  throw ArgumentError("datatype: bad type code");
+}
+
+constexpr std::size_t kSectionHeader = buf::Buffer::kSectionHeaderBytes;
+
+// ---- primitive ------------------------------------------------------------------
+
+class PrimitiveDatatype final : public Datatype {
+ public:
+  explicit PrimitiveDatatype(TypeCode code) : code_(code) {}
+
+  TypeCode base() const override { return code_; }
+  std::size_t extent_bytes() const override { return buf::type_code_size(code_); }
+  std::size_t size_elements() const override { return 1; }
+  std::size_t size_bytes() const override { return buf::type_code_size(code_); }
+
+  std::size_t packed_bound(std::size_t count) const override {
+    return kSectionHeader + count * buf::type_code_size(code_);
+  }
+
+  void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const override {
+    dispatch(code_, [&]<typename T>(T*) {
+      buffer.write(std::span<const T>(reinterpret_cast<const T*>(base), count));
+    });
+  }
+
+  void unpack(buf::Buffer& buffer, std::byte* base, std::size_t count) const override {
+    dispatch(code_, [&]<typename T>(T*) {
+      buffer.read(std::span<T>(reinterpret_cast<T*>(base), count));
+    });
+  }
+
+  std::size_t unpack_available(buf::Buffer& buffer, std::byte* base,
+                               std::size_t max_items) const override {
+    const auto info = buffer.peek_section();
+    if (!info) return 0;
+    if (info->count > max_items) {
+      throw BufferError("unpack: message holds more items than the posted receive");
+    }
+    unpack(buffer, base, info->count);
+    return info->count;
+  }
+
+ private:
+  TypeCode code_;
+};
+
+// ---- homogeneous derived (contiguous / vector / indexed) --------------------------
+
+/// One primitive leaf type; per-item layout described by element offsets.
+class HomogeneousDatatype final : public Datatype {
+ public:
+  HomogeneousDatatype(TypeCode code, std::vector<std::ptrdiff_t> offsets,
+                      std::size_t extent_elements)
+      : code_(code), offsets_(std::move(offsets)), extent_elements_(extent_elements) {
+    contiguous_ = true;
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      if (offsets_[i] != static_cast<std::ptrdiff_t>(i)) {
+        contiguous_ = false;
+        break;
+      }
+    }
+  }
+
+  TypeCode base() const override { return code_; }
+  std::size_t extent_bytes() const override {
+    return extent_elements_ * buf::type_code_size(code_);
+  }
+  std::size_t size_elements() const override { return offsets_.size(); }
+  std::size_t size_bytes() const override {
+    return offsets_.size() * buf::type_code_size(code_);
+  }
+
+  std::size_t packed_bound(std::size_t count) const override {
+    return kSectionHeader + count * size_bytes();
+  }
+
+  const std::vector<std::ptrdiff_t>& offsets() const { return offsets_; }
+  std::size_t extent_elements() const { return extent_elements_; }
+
+  void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const override {
+    dispatch(code_, [&]<typename T>(T*) {
+      const T* elems = reinterpret_cast<const T*>(base);
+      if (contiguous_ && extent_elements_ == offsets_.size()) {
+        buffer.write(std::span<const T>(elems, count * offsets_.size()));
+        return;
+      }
+      std::vector<std::ptrdiff_t> gathered;
+      gathered.reserve(count * offsets_.size());
+      for (std::size_t item = 0; item < count; ++item) {
+        const std::ptrdiff_t shift =
+            static_cast<std::ptrdiff_t>(item) * static_cast<std::ptrdiff_t>(extent_elements_);
+        for (const std::ptrdiff_t off : offsets_) gathered.push_back(shift + off);
+      }
+      buffer.write_gather(elems, std::span<const std::ptrdiff_t>(gathered));
+    });
+  }
+
+  void unpack(buf::Buffer& buffer, std::byte* base, std::size_t count) const override {
+    dispatch(code_, [&]<typename T>(T*) {
+      T* elems = reinterpret_cast<T*>(base);
+      if (contiguous_ && extent_elements_ == offsets_.size()) {
+        buffer.read(std::span<T>(elems, count * offsets_.size()));
+        return;
+      }
+      std::vector<std::ptrdiff_t> scattered;
+      scattered.reserve(count * offsets_.size());
+      for (std::size_t item = 0; item < count; ++item) {
+        const std::ptrdiff_t shift =
+            static_cast<std::ptrdiff_t>(item) * static_cast<std::ptrdiff_t>(extent_elements_);
+        for (const std::ptrdiff_t off : offsets_) scattered.push_back(shift + off);
+      }
+      buffer.read_scatter(elems, std::span<const std::ptrdiff_t>(scattered));
+    });
+  }
+
+  std::size_t unpack_available(buf::Buffer& buffer, std::byte* base,
+                               std::size_t max_items) const override {
+    const auto info = buffer.peek_section();
+    if (!info) return 0;
+    const std::size_t per_item = offsets_.size();
+    if (per_item == 0) return 0;
+    if (info->count % per_item != 0) {
+      throw BufferError("unpack: message is not a whole number of datatype items");
+    }
+    const std::size_t items = info->count / per_item;
+    if (items > max_items) {
+      throw BufferError("unpack: message holds more items than the posted receive");
+    }
+    unpack(buffer, base, items);
+    return items;
+  }
+
+ private:
+  TypeCode code_;
+  std::vector<std::ptrdiff_t> offsets_;  ///< element offsets of one item
+  std::size_t extent_elements_;
+  bool contiguous_;
+};
+
+// ---- heterogeneous struct (also the fallback for derived-of-struct) ----------------
+
+class StructDatatype final : public Datatype {
+ public:
+  struct Block {
+    std::size_t blocklength;
+    std::ptrdiff_t byte_displacement;
+    DatatypePtr type;
+  };
+
+  StructDatatype(std::vector<Block> blocks, std::size_t extent)
+      : blocks_(std::move(blocks)), extent_(extent) {
+    for (const Block& block : blocks_) {
+      size_elements_ += block.blocklength * block.type->size_elements();
+      size_bytes_ += block.blocklength * block.type->size_bytes();
+    }
+  }
+
+  TypeCode base() const override { return TypeCode::Byte; }
+  std::size_t extent_bytes() const override { return extent_; }
+  std::size_t size_elements() const override { return size_elements_; }
+  std::size_t size_bytes() const override { return size_bytes_; }
+
+  std::size_t packed_bound(std::size_t count) const override {
+    std::size_t per_item = 0;
+    for (const Block& block : blocks_) per_item += block.type->packed_bound(block.blocklength);
+    return count * per_item;
+  }
+
+  void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const override {
+    for (std::size_t item = 0; item < count; ++item) {
+      const std::byte* item_base = base + item * extent_;
+      for (const Block& block : blocks_) {
+        block.type->pack(item_base + block.byte_displacement, block.blocklength, buffer);
+      }
+    }
+  }
+
+  void unpack(buf::Buffer& buffer, std::byte* base, std::size_t count) const override {
+    for (std::size_t item = 0; item < count; ++item) {
+      std::byte* item_base = base + item * extent_;
+      for (const Block& block : blocks_) {
+        block.type->unpack(buffer, item_base + block.byte_displacement, block.blocklength);
+      }
+    }
+  }
+
+  std::size_t unpack_available(buf::Buffer& buffer, std::byte* base,
+                               std::size_t max_items) const override {
+    std::size_t items = 0;
+    while (buffer.peek_section()) {
+      if (items == max_items) {
+        throw BufferError("unpack: message holds more items than the posted receive");
+      }
+      unpack(buffer, base + items * extent_, 1);
+      ++items;
+    }
+    return items;
+  }
+
+ private:
+  std::vector<Block> blocks_;
+  std::size_t extent_;
+  std::size_t size_elements_ = 0;
+  std::size_t size_bytes_ = 0;
+};
+
+/// Per-item element offsets of a type, if it has a single primitive leaf
+/// laid out on an element grid (primitive or homogeneous); nullptr for
+/// struct types.
+struct HomogeneousView {
+  TypeCode code;
+  std::vector<std::ptrdiff_t> offsets;
+  std::size_t extent_elements;
+};
+
+std::optional<HomogeneousView> homogeneous_view(const DatatypePtr& type) {
+  if (auto* prim = dynamic_cast<const PrimitiveDatatype*>(type.get())) {
+    return HomogeneousView{prim->base(), {0}, 1};
+  }
+  if (auto* homo = dynamic_cast<const HomogeneousDatatype*>(type.get())) {
+    return HomogeneousView{homo->base(), homo->offsets(), homo->extent_elements()};
+  }
+  return std::nullopt;
+}
+
+/// Build a homogeneous derived type from (blocklength, item-displacement)
+/// block descriptors expressed in items of `old`.
+DatatypePtr compose_homogeneous(const HomogeneousView& old,
+                                std::span<const std::pair<std::size_t, std::ptrdiff_t>> blocks,
+                                std::size_t extent_items) {
+  std::vector<std::ptrdiff_t> offsets;
+  for (const auto& [blocklength, displacement] : blocks) {
+    for (std::size_t b = 0; b < blocklength; ++b) {
+      const std::ptrdiff_t item_base =
+          (displacement + static_cast<std::ptrdiff_t>(b)) *
+          static_cast<std::ptrdiff_t>(old.extent_elements);
+      for (const std::ptrdiff_t off : old.offsets) offsets.push_back(item_base + off);
+    }
+  }
+  return std::make_shared<HomogeneousDatatype>(old.code, std::move(offsets),
+                                               extent_items * old.extent_elements);
+}
+
+/// Fallback for derived-over-struct: express the blocks as a StructDatatype.
+DatatypePtr compose_struct(const DatatypePtr& old,
+                           std::span<const std::pair<std::size_t, std::ptrdiff_t>> blocks,
+                           std::size_t extent_items) {
+  std::vector<StructDatatype::Block> out;
+  out.reserve(blocks.size());
+  for (const auto& [blocklength, displacement] : blocks) {
+    out.push_back(StructDatatype::Block{
+        blocklength, displacement * static_cast<std::ptrdiff_t>(old->extent_bytes()), old});
+  }
+  return std::make_shared<StructDatatype>(std::move(out), extent_items * old->extent_bytes());
+}
+
+DatatypePtr compose(const DatatypePtr& old,
+                    std::span<const std::pair<std::size_t, std::ptrdiff_t>> blocks,
+                    std::size_t extent_items) {
+  if (auto view = homogeneous_view(old)) return compose_homogeneous(*view, blocks, extent_items);
+  return compose_struct(old, blocks, extent_items);
+}
+
+}  // namespace
+
+// ---- factories --------------------------------------------------------------------
+
+DatatypePtr Datatype::contiguous(std::size_t count, const DatatypePtr& old) {
+  const std::pair<std::size_t, std::ptrdiff_t> blocks[] = {{count, 0}};
+  return compose(old, blocks, count);
+}
+
+DatatypePtr Datatype::vector(std::size_t count, std::size_t blocklength, std::ptrdiff_t stride,
+                             const DatatypePtr& old) {
+  std::vector<std::pair<std::size_t, std::ptrdiff_t>> blocks;
+  blocks.reserve(count);
+  std::ptrdiff_t max_end = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::ptrdiff_t displacement = static_cast<std::ptrdiff_t>(b) * stride;
+    blocks.emplace_back(blocklength, displacement);
+    max_end = std::max(max_end, displacement + static_cast<std::ptrdiff_t>(blocklength));
+  }
+  // MPI extent of a vector: from element 0 to the end of the last block.
+  return compose(old, blocks, static_cast<std::size_t>(max_end));
+}
+
+DatatypePtr Datatype::indexed(std::span<const int> blocklengths,
+                              std::span<const int> displacements, const DatatypePtr& old) {
+  if (blocklengths.size() != displacements.size()) {
+    throw ArgumentError("Datatype::indexed: blocklengths/displacements size mismatch");
+  }
+  std::vector<std::pair<std::size_t, std::ptrdiff_t>> blocks;
+  blocks.reserve(blocklengths.size());
+  std::ptrdiff_t max_end = 0;
+  for (std::size_t b = 0; b < blocklengths.size(); ++b) {
+    if (blocklengths[b] < 0) throw ArgumentError("Datatype::indexed: negative block length");
+    blocks.emplace_back(static_cast<std::size_t>(blocklengths[b]), displacements[b]);
+    max_end = std::max(max_end, static_cast<std::ptrdiff_t>(displacements[b]) + blocklengths[b]);
+  }
+  return compose(old, blocks, static_cast<std::size_t>(max_end));
+}
+
+DatatypePtr Datatype::structured(std::span<const int> blocklengths,
+                                 std::span<const std::ptrdiff_t> displacements,
+                                 std::span<const DatatypePtr> types, std::size_t extent) {
+  if (blocklengths.size() != displacements.size() || blocklengths.size() != types.size()) {
+    throw ArgumentError("Datatype::structured: array size mismatch");
+  }
+  std::vector<StructDatatype::Block> blocks;
+  blocks.reserve(blocklengths.size());
+  for (std::size_t b = 0; b < blocklengths.size(); ++b) {
+    if (blocklengths[b] < 0) throw ArgumentError("Datatype::structured: negative block length");
+    blocks.push_back(StructDatatype::Block{static_cast<std::size_t>(blocklengths[b]),
+                                           displacements[b], types[b]});
+  }
+  return std::make_shared<StructDatatype>(std::move(blocks), extent);
+}
+
+// ---- predefined instances ------------------------------------------------------------
+
+namespace types {
+namespace {
+DatatypePtr make(TypeCode code) { return std::make_shared<PrimitiveDatatype>(code); }
+}  // namespace
+
+const DatatypePtr& BYTE() {
+  static const DatatypePtr instance = make(TypeCode::Byte);
+  return instance;
+}
+const DatatypePtr& CHAR() {
+  static const DatatypePtr instance = make(TypeCode::Char);
+  return instance;
+}
+const DatatypePtr& SHORT() {
+  static const DatatypePtr instance = make(TypeCode::Short);
+  return instance;
+}
+const DatatypePtr& INT() {
+  static const DatatypePtr instance = make(TypeCode::Int);
+  return instance;
+}
+const DatatypePtr& LONG() {
+  static const DatatypePtr instance = make(TypeCode::Long);
+  return instance;
+}
+const DatatypePtr& FLOAT() {
+  static const DatatypePtr instance = make(TypeCode::Float);
+  return instance;
+}
+const DatatypePtr& DOUBLE() {
+  static const DatatypePtr instance = make(TypeCode::Double);
+  return instance;
+}
+const DatatypePtr& BOOLEAN() {
+  static const DatatypePtr instance = make(TypeCode::Boolean);
+  return instance;
+}
+
+}  // namespace types
+}  // namespace mpcx

@@ -1,0 +1,126 @@
+// Datatypes — basic and derived (paper Sec. IV-C).
+//
+// MPJ Express implements the four MPI derived datatypes (contiguous,
+// vector, indexed, struct) by gathering elements through the mpjbuf
+// buffering API at send time and scattering on receive. We reproduce that:
+// a Datatype knows how to pack `count` items from user memory into a
+// bufx::Buffer and unpack them back.
+//
+// Internally there are three implementations:
+//   * PrimitiveDatatype   — one contiguous typed section per pack call;
+//   * HomogeneousDatatype — contiguous/vector/indexed (and their nestings
+//     over a homogeneous child): a per-item element-offset template,
+//     gathered into ONE typed section per pack call;
+//   * StructDatatype      — heterogeneous fields, packed field-block by
+//     field-block (one section per block per item).
+//
+// Offsets in the public Comm API are expressed in elements of a datatype's
+// base primitive (mpiJava semantics); for struct types the base is BYTE, so
+// offsets are byte offsets.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "bufx/type_codes.hpp"
+
+namespace mpcx {
+
+class Datatype;
+using DatatypePtr = std::shared_ptr<const Datatype>;
+
+class Datatype {
+ public:
+  virtual ~Datatype() = default;
+
+  /// Leaf primitive code (BYTE for heterogeneous structs).
+  virtual buf::TypeCode base() const = 0;
+
+  /// Size in bytes of one base element.
+  std::size_t base_size() const { return buf::type_code_size(base()); }
+
+  /// Distance in bytes between consecutive items of this type in user
+  /// memory (MPI extent).
+  virtual std::size_t extent_bytes() const = 0;
+
+  /// Number of primitive leaf elements actually transferred per item
+  /// (MPI size, in elements).
+  virtual std::size_t size_elements() const = 0;
+
+  /// MPI size in bytes per item.
+  virtual std::size_t size_bytes() const = 0;
+
+  /// Upper bound on buffer capacity needed to pack `count` items
+  /// (payload + section headers).
+  virtual std::size_t packed_bound(std::size_t count) const = 0;
+
+  /// Pack `count` items starting at `base` into the buffer.
+  virtual void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const = 0;
+
+  /// Unpack `count` items from the buffer into user memory at `base`.
+  virtual void unpack(buf::Buffer& buffer, std::byte* base, std::size_t count) const = 0;
+
+  /// Unpack however many whole items the buffer holds (a receiver may post
+  /// more items than the sender sent). Returns the item count; throws
+  /// BufferError if the message holds more than `max_items` or a partial
+  /// item.
+  virtual std::size_t unpack_available(buf::Buffer& buffer, std::byte* base,
+                                       std::size_t max_items) const = 0;
+
+  /// mpiJava compatibility: derived datatypes are committed before use.
+  /// Packing templates here are precomputed at construction, so this is a
+  /// documented no-op.
+  void Commit() const {}
+
+  // ---- mpiJava-style factories -------------------------------------------------
+
+  /// `count` consecutive items of `old`.
+  static DatatypePtr contiguous(std::size_t count, const DatatypePtr& old);
+
+  /// `count` blocks of `blocklength` items, consecutive blocks `stride`
+  /// items apart (stride in items of `old`, as in MPI_Type_vector).
+  static DatatypePtr vector(std::size_t count, std::size_t blocklength, std::ptrdiff_t stride,
+                            const DatatypePtr& old);
+
+  /// Blocks of varying length at varying displacements (in items of `old`).
+  static DatatypePtr indexed(std::span<const int> blocklengths,
+                             std::span<const int> displacements, const DatatypePtr& old);
+
+  /// Heterogeneous struct: block i is `blocklengths[i]` items of `types[i]`
+  /// at byte displacement `displacements[i]`. `extent` is the total byte
+  /// extent of one struct item (usually sizeof the C++ struct).
+  static DatatypePtr structured(std::span<const int> blocklengths,
+                                std::span<const std::ptrdiff_t> displacements,
+                                std::span<const DatatypePtr> types, std::size_t extent);
+};
+
+/// Predefined basic datatypes (MPI.BYTE, MPI.INT, ... analogs).
+namespace types {
+const DatatypePtr& BYTE();
+const DatatypePtr& CHAR();
+const DatatypePtr& SHORT();
+const DatatypePtr& INT();
+const DatatypePtr& LONG();
+const DatatypePtr& FLOAT();
+const DatatypePtr& DOUBLE();
+const DatatypePtr& BOOLEAN();
+
+/// Map a C++ arithmetic type onto its predefined datatype.
+template <buf::Primitive T>
+const DatatypePtr& of() {
+  constexpr buf::TypeCode code = buf::type_code_of<T>();
+  if constexpr (code == buf::TypeCode::Byte) return BYTE();
+  else if constexpr (code == buf::TypeCode::Char) return CHAR();
+  else if constexpr (code == buf::TypeCode::Short) return SHORT();
+  else if constexpr (code == buf::TypeCode::Int) return INT();
+  else if constexpr (code == buf::TypeCode::Long) return LONG();
+  else if constexpr (code == buf::TypeCode::Float) return FLOAT();
+  else if constexpr (code == buf::TypeCode::Double) return DOUBLE();
+  else return BOOLEAN();
+}
+}  // namespace types
+
+}  // namespace mpcx

@@ -1,0 +1,38 @@
+#include "core/graphcomm.hpp"
+
+#include "support/error.hpp"
+
+namespace mpcx {
+
+Graphcomm::Graphcomm(World* world, Group group, int ptp_context, int coll_context,
+                     std::vector<int> index, std::vector<int> edges)
+    : Intracomm(world, std::move(group), ptp_context, coll_context),
+      index_(std::move(index)),
+      edges_(std::move(edges)) {
+  int prev = 0;
+  for (const int cumulative : index_) {
+    if (cumulative < prev) throw ArgumentError("Graphcomm: index array must be non-decreasing");
+    prev = cumulative;
+  }
+  if (!index_.empty() && static_cast<std::size_t>(index_.back()) != edges_.size()) {
+    throw ArgumentError("Graphcomm: index/edges arrays are inconsistent");
+  }
+  for (const int edge : edges_) {
+    if (edge < 0 || edge >= Nnodes()) throw ArgumentError("Graphcomm: edge target out of range");
+  }
+}
+
+int Graphcomm::Neighbours_count(int rank) const {
+  if (rank < 0 || rank >= Nnodes()) throw ArgumentError("Graphcomm: rank out of range");
+  const int begin = rank == 0 ? 0 : index_[static_cast<std::size_t>(rank) - 1];
+  return index_[static_cast<std::size_t>(rank)] - begin;
+}
+
+std::vector<int> Graphcomm::Neighbours(int rank) const {
+  if (rank < 0 || rank >= Nnodes()) throw ArgumentError("Graphcomm: rank out of range");
+  const int begin = rank == 0 ? 0 : index_[static_cast<std::size_t>(rank) - 1];
+  const int end = index_[static_cast<std::size_t>(rank)];
+  return std::vector<int>(edges_.begin() + begin, edges_.begin() + end);
+}
+
+}  // namespace mpcx

@@ -1,0 +1,36 @@
+// Graphcomm — general graph virtual topology (mpiJava Graphcomm analog).
+//
+// The topology is the standard MPI CSR-ish encoding: index[i] is the
+// cumulative neighbour count through node i; edges holds the concatenated
+// adjacency lists.
+#pragma once
+
+#include <vector>
+
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+
+class Graphcomm final : public Intracomm {
+ public:
+  Graphcomm(World* world, Group group, int ptp_context, int coll_context, std::vector<int> index,
+            std::vector<int> edges);
+
+  /// Number of topology nodes and total edges (MPI_Graphdims_get).
+  int Nnodes() const { return static_cast<int>(index_.size()); }
+  int Nedges() const { return static_cast<int>(edges_.size()); }
+
+  const std::vector<int>& index() const { return index_; }
+  const std::vector<int>& edges() const { return edges_; }
+
+  /// Adjacency list of `rank`.
+  std::vector<int> Neighbours(int rank) const;
+
+  int Neighbours_count(int rank) const;
+
+ private:
+  std::vector<int> index_;
+  std::vector<int> edges_;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,117 @@
+#include "core/group.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace mpcx {
+
+int Group::Rank_of_world(int world_rank) const {
+  for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
+    if (world_ranks_[i] == world_rank) return static_cast<int>(i);
+  }
+  return UNDEFINED;
+}
+
+int Group::world_rank(int group_rank) const {
+  if (group_rank < 0 || group_rank >= Size()) {
+    throw ArgumentError("Group: rank " + std::to_string(group_rank) + " out of range");
+  }
+  return world_ranks_[static_cast<std::size_t>(group_rank)];
+}
+
+std::vector<int> Group::Translate_ranks(std::span<const int> ranks, const Group& other) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (const int rank : ranks) {
+    out.push_back(other.Rank_of_world(world_rank(rank)));
+  }
+  return out;
+}
+
+Group Group::Union(const Group& other) const {
+  std::vector<int> ranks = world_ranks_;
+  std::unordered_set<int> seen(world_ranks_.begin(), world_ranks_.end());
+  for (const int rank : other.world_ranks_) {
+    if (seen.insert(rank).second) ranks.push_back(rank);
+  }
+  return Group(std::move(ranks));
+}
+
+Group Group::Intersection(const Group& other) const {
+  std::unordered_set<int> theirs(other.world_ranks_.begin(), other.world_ranks_.end());
+  std::vector<int> ranks;
+  for (const int rank : world_ranks_) {
+    if (theirs.count(rank) > 0) ranks.push_back(rank);
+  }
+  return Group(std::move(ranks));
+}
+
+Group Group::Difference(const Group& other) const {
+  std::unordered_set<int> theirs(other.world_ranks_.begin(), other.world_ranks_.end());
+  std::vector<int> ranks;
+  for (const int rank : world_ranks_) {
+    if (theirs.count(rank) == 0) ranks.push_back(rank);
+  }
+  return Group(std::move(ranks));
+}
+
+Group Group::Incl(std::span<const int> ranks) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (const int rank : ranks) out.push_back(world_rank(rank));
+  return Group(std::move(out));
+}
+
+Group Group::Excl(std::span<const int> ranks) const {
+  std::unordered_set<int> excluded;
+  for (const int rank : ranks) {
+    if (rank < 0 || rank >= Size()) throw ArgumentError("Group::Excl: rank out of range");
+    excluded.insert(rank);
+  }
+  std::vector<int> out;
+  for (int rank = 0; rank < Size(); ++rank) {
+    if (excluded.count(rank) == 0) out.push_back(world_ranks_[static_cast<std::size_t>(rank)]);
+  }
+  return Group(std::move(out));
+}
+
+namespace {
+std::vector<int> expand_ranges(std::span<const std::array<int, 3>> ranges, int limit) {
+  std::vector<int> out;
+  for (const auto& [first, last, stride] : ranges) {
+    if (stride == 0) throw ArgumentError("Group range: zero stride");
+    if (stride > 0) {
+      for (int r = first; r <= last; r += stride) out.push_back(r);
+    } else {
+      for (int r = first; r >= last; r += stride) out.push_back(r);
+    }
+  }
+  for (const int r : out) {
+    if (r < 0 || r >= limit) throw ArgumentError("Group range: rank out of range");
+  }
+  return out;
+}
+}  // namespace
+
+Group Group::Range_incl(std::span<const std::array<int, 3>> ranges) const {
+  return Incl(expand_ranges(ranges, Size()));
+}
+
+Group Group::Range_excl(std::span<const std::array<int, 3>> ranges) const {
+  return Excl(expand_ranges(ranges, Size()));
+}
+
+Group::Compare Group::compare(const Group& other) const {
+  if (world_ranks_ == other.world_ranks_) return Compare::Ident;
+  if (world_ranks_.size() != other.world_ranks_.size()) return Compare::Unequal;
+  std::vector<int> a = world_ranks_;
+  std::vector<int> b = other.world_ranks_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b ? Compare::Similar : Compare::Unequal;
+}
+
+}  // namespace mpcx

@@ -1,0 +1,65 @@
+// Group — an ordered set of processes (mpiJava Group analog).
+//
+// A Group is a pure value: an ordered list of WORLD ranks. Communicators
+// hold a Group; group rank i is the communicator-local rank i.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mpcx {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> world_ranks) : world_ranks_(std::move(world_ranks)) {}
+
+  /// Number of processes in the group.
+  int Size() const { return static_cast<int>(world_ranks_.size()); }
+
+  /// Group rank of the process with the given world rank, or UNDEFINED.
+  int Rank_of_world(int world_rank) const;
+
+  /// World rank of the process with the given group rank.
+  int world_rank(int group_rank) const;
+
+  bool contains_world(int world_rank) const { return Rank_of_world(world_rank) != UNDEFINED; }
+
+  const std::vector<int>& world_ranks() const { return world_ranks_; }
+
+  /// Translate ranks of this group into ranks of `other` (UNDEFINED where
+  /// a process is not a member of `other`). MPI Group_translate_ranks.
+  std::vector<int> Translate_ranks(std::span<const int> ranks, const Group& other) const;
+
+  // ---- set operations (MPI semantics: union/intersection keep this group's
+  // ordering first) ---------------------------------------------------------
+
+  Group Union(const Group& other) const;
+  Group Intersection(const Group& other) const;
+  Group Difference(const Group& other) const;
+
+  /// Subgroup of the listed group ranks, in the listed order.
+  Group Incl(std::span<const int> ranks) const;
+
+  /// Subgroup excluding the listed group ranks (original order kept).
+  Group Excl(std::span<const int> ranks) const;
+
+  /// Incl over rank ranges [first, last] step stride (MPI Range_incl).
+  Group Range_incl(std::span<const std::array<int, 3>> ranges) const;
+  Group Range_excl(std::span<const std::array<int, 3>> ranges) const;
+
+  /// MPI comparison: IDENT (same members, same order), SIMILAR (same
+  /// members), UNEQUAL.
+  enum class Compare { Ident, Similar, Unequal };
+  Compare compare(const Group& other) const;
+
+  friend bool operator==(const Group&, const Group&) = default;
+
+ private:
+  std::vector<int> world_ranks_;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,78 @@
+#include "core/intercomm.hpp"
+
+#include <algorithm>
+
+#include "core/intracomm.hpp"
+#include "core/world.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+
+Intercomm::Intercomm(World* world, Group local_group, Group remote_group, int ptp_context,
+                     int coll_context)
+    : Comm(world, std::move(local_group), ptp_context, coll_context),
+      remote_group_(std::move(remote_group)) {}
+
+int Intercomm::world_dest(int local_rank) const { return remote_group_.world_rank(local_rank); }
+
+int Intercomm::world_source(int local_rank) const {
+  if (local_rank == ANY_SOURCE) return mpdev::kAnySource;
+  return remote_group_.world_rank(local_rank);
+}
+
+Status Intercomm::to_local_status(const mpdev::Status& dev) const {
+  const int source = dev.source >= 0 ? remote_group_.Rank_of_world(dev.source) : dev.source;
+  return Status(source, dev.tag, dev.static_bytes, dev.dynamic_bytes, dev.truncated,
+                dev.cancelled);
+}
+
+std::unique_ptr<Intracomm> Intercomm::Merge(bool high) const {
+  // A throw-away intracomm over the local side drives the intra-side
+  // agreement steps (real MPI implementations keep one internally too).
+  Intracomm local_side(world_, group_, ptp_context_, coll_context_);
+
+  int proposal = world_->context_proposal();
+  int local_max = 0;
+  local_side.Allreduce(&proposal, 0, &local_max, 0, 1, types::INT(), ops::MAX());
+
+  // Local leaders (local rank 0 on each side) exchange (context, high flag).
+  const int merge_tag = static_cast<int>(CollTag::Merge);
+  int payload[2] = {local_max, high ? 1 : 0};
+  int remote_payload[2] = {0, 0};
+  if (Rank() == 0) {
+    // Order by world rank to avoid a blocking cycle.
+    const int my_world = group_.world_rank(0);
+    const int their_world = remote_group_.world_rank(0);
+    // Internal exchange uses the intercomm's collective context.
+    if (my_world < their_world) {
+      ctx_send(coll_context_, merge_tag, payload, 0, 2, types::INT(), 0);
+      ctx_recv(coll_context_, merge_tag, remote_payload, 0, 2, types::INT(), 0);
+    } else {
+      ctx_recv(coll_context_, merge_tag, remote_payload, 0, 2, types::INT(), 0);
+      ctx_send(coll_context_, merge_tag, payload, 0, 2, types::INT(), 0);
+    }
+  }
+  local_side.Bcast(remote_payload, 0, 2, types::INT(), 0);
+
+  const int agreed = std::max(local_max, remote_payload[0]);
+  world_->raise_context_floor(agreed + 2);
+
+  const bool remote_high = remote_payload[1] != 0;
+  bool local_first;
+  if (high != remote_high) {
+    local_first = !high;  // the low side comes first
+  } else {
+    // MPI leaves the order undefined when both sides agree; we break the
+    // tie deterministically by leader world rank.
+    local_first = group_.world_rank(0) < remote_group_.world_rank(0);
+  }
+
+  std::vector<int> merged = local_first ? group_.world_ranks() : remote_group_.world_ranks();
+  const std::vector<int>& second =
+      local_first ? remote_group_.world_ranks() : group_.world_ranks();
+  merged.insert(merged.end(), second.begin(), second.end());
+
+  return std::make_unique<Intracomm>(world_, Group(std::move(merged)), agreed, agreed + 1);
+}
+
+}  // namespace mpcx

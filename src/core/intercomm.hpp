@@ -1,0 +1,43 @@
+// Intercomm — inter-communicator (mpiJava Intercomm analog).
+//
+// Point-to-point ranks (dest/source) refer to the REMOTE group; Rank() and
+// Size() refer to the local group, per MPI semantics. Built by
+// Intracomm::Create_intercomm; Merge() fuses the two sides back into one
+// intra-communicator.
+#pragma once
+
+#include <memory>
+
+#include "core/comm.hpp"
+
+namespace mpcx {
+
+class Intracomm;
+
+class Intercomm final : public Comm {
+ public:
+  Intercomm(World* world, Group local_group, Group remote_group, int ptp_context,
+            int coll_context);
+
+  /// Size of the remote group.
+  int Remote_size() const { return remote_group_.Size(); }
+
+  const Group& remote_group() const { return remote_group_; }
+
+  /// Merge both sides into one intra-communicator. The side(s) passing
+  /// high=true are ordered after the low side; ties broken by leader world
+  /// rank (MPI leaves the order undefined in that case).
+  std::unique_ptr<Intracomm> Merge(bool high) const;
+
+ protected:
+  // Inter-communicator sends address the remote group.
+  int world_dest(int local_rank) const override;
+  int world_source(int local_rank) const override;
+  Status to_local_status(const mpdev::Status& dev) const override;
+
+  friend class Intracomm;
+
+  Group remote_group_;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,627 @@
+#include "core/intracomm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "core/cartcomm.hpp"
+#include "core/graphcomm.hpp"
+#include "core/intercomm.hpp"
+#include "core/world.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+namespace {
+
+int coll_tag(CollTag tag) { return static_cast<int>(tag); }
+
+const std::byte* cbyte(const void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<const std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+std::byte* mbyte(void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+/// Offset (in base elements) of item slot `index` when items are
+/// `count`-sized blocks of `type`.
+int slot_offset(int base_offset, int index, int count, const DatatypePtr& type) {
+  const std::size_t extent_elems = type->extent_bytes() / type->base_size();
+  return base_offset + index * count * static_cast<int>(extent_elems);
+}
+
+int displ_offset(int base_offset, int displ, const DatatypePtr& type) {
+  const std::size_t extent_elems = type->extent_bytes() / type->base_size();
+  return base_offset + displ * static_cast<int>(extent_elems);
+}
+
+}  // namespace
+
+void Intracomm::require_contiguous(const DatatypePtr& type, const char* op) {
+  if (type->extent_bytes() != type->size_bytes()) {
+    throw ArgumentError(std::string(op) +
+                        ": reduction datatypes must be memory-contiguous "
+                        "(primitive or contiguous derived)");
+  }
+}
+
+// ---- barrier (dissemination) -------------------------------------------------------
+
+void Intracomm::Barrier() const {
+  const int n = Size();
+  const int rank = Rank();
+  std::uint8_t token = 1;
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (rank + k) % n;
+    const int from = (rank - k + n) % n;
+    Request recv = ctx_irecv(coll_context_, coll_tag(CollTag::Barrier), &token, 0, 1,
+                             types::BYTE(), from);
+    ctx_send(coll_context_, coll_tag(CollTag::Barrier), &token, 0, 1, types::BYTE(), to);
+    recv.Wait();
+  }
+}
+
+// ---- broadcast (binomial tree) ------------------------------------------------------
+
+void Intracomm::Bcast(void* buf, int offset, int count, const DatatypePtr& type, int root) const {
+  validate(buf, count, type, "Bcast");
+  const int n = Size();
+  if (root < 0 || root >= n) throw ArgumentError("Bcast: bad root");
+  if (n == 1) return;
+  const int vrank = (Rank() - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % n;
+      ctx_recv(coll_context_, coll_tag(CollTag::Bcast), buf, offset, count, type, src);
+      break;
+    }
+    mask <<= 1;
+  }
+  // After the loop, mask is the lowest set bit of vrank (or >= n for the
+  // root); every child vrank+mask' for mask' < mask receives from us.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      ctx_send(coll_context_, coll_tag(CollTag::Bcast), buf, offset, count, type, dst);
+    }
+    mask >>= 1;
+  }
+}
+
+// ---- gather family --------------------------------------------------------------------
+
+void Intracomm::Gather(const void* sendbuf, int sendoffset, int sendcount,
+                       const DatatypePtr& sendtype, void* recvbuf, int recvoffset, int recvcount,
+                       const DatatypePtr& recvtype, int root) const {
+  const int n = Size();
+  const int rank = Rank();
+  if (rank != root) {
+    ctx_send(coll_context_, coll_tag(CollTag::Gather), sendbuf, sendoffset, sendcount, sendtype,
+             root);
+    return;
+  }
+  for (int src = 0; src < n; ++src) {
+    const int slot = slot_offset(recvoffset, src, recvcount, recvtype);
+    if (src == rank) {
+      // Local copy through the pack/unpack machinery (honours datatypes).
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+      sendtype->pack(cbyte(sendbuf, sendoffset, sendtype), static_cast<std::size_t>(sendcount),
+                     *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, slot, recvtype),
+                                 static_cast<std::size_t>(recvcount));
+      give_buffer(std::move(tmp));
+    } else {
+      ctx_recv(coll_context_, coll_tag(CollTag::Gather), recvbuf, slot, recvcount, recvtype, src);
+    }
+  }
+}
+
+void Intracomm::Gatherv(const void* sendbuf, int sendoffset, int sendcount,
+                        const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                        std::span<const int> recvcounts, std::span<const int> displs,
+                        const DatatypePtr& recvtype, int root) const {
+  const int n = Size();
+  const int rank = Rank();
+  if (rank != root) {
+    ctx_send(coll_context_, coll_tag(CollTag::Gather), sendbuf, sendoffset, sendcount, sendtype,
+             root);
+    return;
+  }
+  if (static_cast<int>(recvcounts.size()) != n || static_cast<int>(displs.size()) != n) {
+    throw ArgumentError("Gatherv: recvcounts/displs must have one entry per rank");
+  }
+  for (int src = 0; src < n; ++src) {
+    const int slot = displ_offset(recvoffset, displs[src], recvtype);
+    if (src == rank) {
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+      sendtype->pack(cbyte(sendbuf, sendoffset, sendtype), static_cast<std::size_t>(sendcount),
+                     *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, slot, recvtype),
+                                 static_cast<std::size_t>(recvcounts[src]));
+      give_buffer(std::move(tmp));
+    } else {
+      ctx_recv(coll_context_, coll_tag(CollTag::Gather), recvbuf, slot, recvcounts[src], recvtype,
+               src);
+    }
+  }
+}
+
+void Intracomm::Scatter(const void* sendbuf, int sendoffset, int sendcount,
+                        const DatatypePtr& sendtype, void* recvbuf, int recvoffset, int recvcount,
+                        const DatatypePtr& recvtype, int root) const {
+  const int n = Size();
+  const int rank = Rank();
+  if (rank != root) {
+    ctx_recv(coll_context_, coll_tag(CollTag::Scatter), recvbuf, recvoffset, recvcount, recvtype,
+             root);
+    return;
+  }
+  for (int dst = 0; dst < n; ++dst) {
+    const int slot = slot_offset(sendoffset, dst, sendcount, sendtype);
+    if (dst == rank) {
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+      sendtype->pack(cbyte(sendbuf, slot, sendtype), static_cast<std::size_t>(sendcount), *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, recvoffset, recvtype),
+                                 static_cast<std::size_t>(recvcount));
+      give_buffer(std::move(tmp));
+    } else {
+      ctx_send(coll_context_, coll_tag(CollTag::Scatter), sendbuf, slot, sendcount, sendtype, dst);
+    }
+  }
+}
+
+void Intracomm::Scatterv(const void* sendbuf, int sendoffset, std::span<const int> sendcounts,
+                         std::span<const int> displs, const DatatypePtr& sendtype, void* recvbuf,
+                         int recvoffset, int recvcount, const DatatypePtr& recvtype,
+                         int root) const {
+  const int n = Size();
+  const int rank = Rank();
+  if (rank != root) {
+    ctx_recv(coll_context_, coll_tag(CollTag::Scatter), recvbuf, recvoffset, recvcount, recvtype,
+             root);
+    return;
+  }
+  if (static_cast<int>(sendcounts.size()) != n || static_cast<int>(displs.size()) != n) {
+    throw ArgumentError("Scatterv: sendcounts/displs must have one entry per rank");
+  }
+  for (int dst = 0; dst < n; ++dst) {
+    const int slot = displ_offset(sendoffset, displs[dst], sendtype);
+    if (dst == rank) {
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcounts[dst])));
+      sendtype->pack(cbyte(sendbuf, slot, sendtype), static_cast<std::size_t>(sendcounts[dst]),
+                     *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, recvoffset, recvtype),
+                                 static_cast<std::size_t>(recvcount));
+      give_buffer(std::move(tmp));
+    } else {
+      ctx_send(coll_context_, coll_tag(CollTag::Scatter), sendbuf, slot, sendcounts[dst], sendtype,
+               dst);
+    }
+  }
+}
+
+// ---- allgather (ring) --------------------------------------------------------------------
+
+void Intracomm::Allgather(const void* sendbuf, int sendoffset, int sendcount,
+                          const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                          int recvcount, const DatatypePtr& recvtype) const {
+  const int n = Size();
+  const int rank = Rank();
+  // Place own contribution.
+  {
+    auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+    sendtype->pack(cbyte(sendbuf, sendoffset, sendtype), static_cast<std::size_t>(sendcount),
+                   *tmp);
+    tmp->commit();
+    recvtype->unpack_available(*tmp,
+                               mbyte(recvbuf, slot_offset(recvoffset, rank, recvcount, recvtype),
+                                     recvtype),
+                               static_cast<std::size_t>(recvcount));
+    give_buffer(std::move(tmp));
+  }
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+  for (int step = 1; step < n; ++step) {
+    const int send_idx = (rank - step + 1 + n) % n;
+    const int recv_idx = (rank - step + n) % n;
+    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+                             slot_offset(recvoffset, send_idx, recvcount, recvtype), recvcount,
+                             recvtype, right);
+    ctx_recv(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+             slot_offset(recvoffset, recv_idx, recvcount, recvtype), recvcount, recvtype, left);
+    send.Wait();
+  }
+}
+
+void Intracomm::Allgatherv(const void* sendbuf, int sendoffset, int sendcount,
+                           const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                           std::span<const int> recvcounts, std::span<const int> displs,
+                           const DatatypePtr& recvtype) const {
+  const int n = Size();
+  const int rank = Rank();
+  {
+    auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+    sendtype->pack(cbyte(sendbuf, sendoffset, sendtype), static_cast<std::size_t>(sendcount),
+                   *tmp);
+    tmp->commit();
+    recvtype->unpack_available(
+        *tmp, mbyte(recvbuf, displ_offset(recvoffset, displs[rank], recvtype), recvtype),
+        static_cast<std::size_t>(recvcounts[rank]));
+    give_buffer(std::move(tmp));
+  }
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+  for (int step = 1; step < n; ++step) {
+    const int send_idx = (rank - step + 1 + n) % n;
+    const int recv_idx = (rank - step + n) % n;
+    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+                             displ_offset(recvoffset, displs[send_idx], recvtype),
+                             recvcounts[send_idx], recvtype, right);
+    ctx_recv(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+             displ_offset(recvoffset, displs[recv_idx], recvtype), recvcounts[recv_idx], recvtype,
+             left);
+    send.Wait();
+  }
+}
+
+// ---- alltoall (pairwise) --------------------------------------------------------------------
+
+void Intracomm::Alltoall(const void* sendbuf, int sendoffset, int sendcount,
+                         const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                         int recvcount, const DatatypePtr& recvtype) const {
+  const int n = Size();
+  const int rank = Rank();
+  for (int step = 0; step < n; ++step) {
+    const int dst = (rank + step) % n;
+    const int src = (rank - step + n) % n;
+    const int send_slot = slot_offset(sendoffset, dst, sendcount, sendtype);
+    const int recv_slot = slot_offset(recvoffset, src, recvcount, recvtype);
+    if (step == 0) {
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
+      sendtype->pack(cbyte(sendbuf, send_slot, sendtype), static_cast<std::size_t>(sendcount),
+                     *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, recv_slot, recvtype),
+                                 static_cast<std::size_t>(recvcount));
+      give_buffer(std::move(tmp));
+      continue;
+    }
+    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot,
+                             sendcount, sendtype, dst);
+    ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcount, recvtype,
+             src);
+    send.Wait();
+  }
+}
+
+void Intracomm::Alltoallv(const void* sendbuf, int sendoffset, std::span<const int> sendcounts,
+                          std::span<const int> sdispls, const DatatypePtr& sendtype,
+                          void* recvbuf, int recvoffset, std::span<const int> recvcounts,
+                          std::span<const int> rdispls, const DatatypePtr& recvtype) const {
+  const int n = Size();
+  const int rank = Rank();
+  for (int step = 0; step < n; ++step) {
+    const int dst = (rank + step) % n;
+    const int src = (rank - step + n) % n;
+    const int send_slot = displ_offset(sendoffset, sdispls[dst], sendtype);
+    const int recv_slot = displ_offset(recvoffset, rdispls[src], recvtype);
+    if (step == 0) {
+      auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcounts[dst])));
+      sendtype->pack(cbyte(sendbuf, send_slot, sendtype),
+                     static_cast<std::size_t>(sendcounts[dst]), *tmp);
+      tmp->commit();
+      recvtype->unpack_available(*tmp, mbyte(recvbuf, recv_slot, recvtype),
+                                 static_cast<std::size_t>(recvcounts[src]));
+      give_buffer(std::move(tmp));
+      continue;
+    }
+    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot,
+                             sendcounts[dst], sendtype, dst);
+    ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcounts[src],
+             recvtype, src);
+    send.Wait();
+  }
+}
+
+// ---- reductions --------------------------------------------------------------------------------
+
+void Intracomm::reduce_elements(const void* sendbuf, void* recvbuf, std::size_t elements,
+                                buf::TypeCode code, const Op& op, int root) const {
+  const int n = Size();
+  const int rank = Rank();
+  const std::size_t elsize = buf::type_code_size(code);
+  const std::size_t bytes = elements * elsize;
+  const DatatypePtr wire = types::BYTE();
+
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+
+  if (op.is_commutative()) {
+    // Binomial tree rooted at `root`.
+    const int vrank = (rank - root + n) % n;
+    std::vector<std::byte> incoming(bytes);
+    int mask = 1;
+    while (mask < n) {
+      if (vrank & mask) {
+        const int dst = ((vrank - mask) + root) % n;
+        ctx_send(coll_context_, coll_tag(CollTag::Reduce), acc.data(), 0,
+                 static_cast<int>(bytes), wire, dst);
+        break;
+      }
+      const int src_vrank = vrank + mask;
+      if (src_vrank < n) {
+        const int src = (src_vrank + root) % n;
+        ctx_recv(coll_context_, coll_tag(CollTag::Reduce), incoming.data(), 0,
+                 static_cast<int>(bytes), wire, src);
+        op.apply(code, incoming.data(), acc.data(), elements);
+      }
+      mask <<= 1;
+    }
+  } else {
+    // Non-commutative: linear fold in canonical rank order at the root.
+    if (rank == root) {
+      std::vector<std::byte> incoming(bytes);
+      std::vector<std::byte> folded(bytes);
+      bool first = true;
+      for (int src = 0; src < n; ++src) {
+        const std::byte* contribution;
+        if (src == rank) {
+          contribution = acc.data();
+        } else {
+          ctx_recv(coll_context_, coll_tag(CollTag::Reduce), incoming.data(), 0,
+                   static_cast<int>(bytes), wire, src);
+          contribution = incoming.data();
+        }
+        if (first) {
+          std::memcpy(folded.data(), contribution, bytes);
+          first = false;
+        } else {
+          op.apply(code, contribution, folded.data(), elements);
+        }
+      }
+      acc = std::move(folded);
+    } else {
+      ctx_send(coll_context_, coll_tag(CollTag::Reduce), acc.data(), 0, static_cast<int>(bytes),
+               wire, root);
+    }
+  }
+
+  if (rank == root) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+void Intracomm::Reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                       int count, const DatatypePtr& type, const Op& op, int root) const {
+  validate(sendbuf, count, type, "Reduce");
+  require_contiguous(type, "Reduce");
+  const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+  reduce_elements(cbyte(sendbuf, sendoffset, type),
+                  Rank() == root ? mbyte(recvbuf, recvoffset, type) : nullptr, elements,
+                  type->base(), op, root);
+}
+
+void Intracomm::Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                          int count, const DatatypePtr& type, const Op& op) const {
+  validate(sendbuf, count, type, "Allreduce");
+  require_contiguous(type, "Allreduce");
+  const int n = Size();
+  // Recursive doubling for commutative ops on power-of-two sizes
+  // (log2(n) rounds instead of reduce+bcast's 2*log2(n));
+  // otherwise reduce to rank 0 and broadcast.
+  if (op.is_commutative() && n > 1 && (n & (n - 1)) == 0) {
+    const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+    const std::size_t bytes = elements * type->base_size();
+    std::byte* acc = mbyte(recvbuf, recvoffset, type);
+    std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
+    std::vector<std::byte> incoming(bytes);
+    const DatatypePtr wire = types::BYTE();
+    const int rank = Rank();
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const int partner = rank ^ mask;
+      Request send = ctx_isend(coll_context_, coll_tag(CollTag::Reduce), acc, 0,
+                               static_cast<int>(bytes), wire, partner);
+      ctx_recv(coll_context_, coll_tag(CollTag::Reduce), incoming.data(), 0,
+               static_cast<int>(bytes), wire, partner);
+      send.Wait();
+      op.apply(type->base(), incoming.data(), acc, elements);
+    }
+    return;
+  }
+  Reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, 0);
+  Bcast(recvbuf, recvoffset, count, type, 0);
+}
+
+void Intracomm::Reduce_scatter(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                               std::span<const int> recvcounts, const DatatypePtr& type,
+                               const Op& op) const {
+  const int n = Size();
+  if (static_cast<int>(recvcounts.size()) != n) {
+    throw ArgumentError("Reduce_scatter: recvcounts must have one entry per rank");
+  }
+  require_contiguous(type, "Reduce_scatter");
+  const int total = std::accumulate(recvcounts.begin(), recvcounts.end(), 0);
+  std::vector<std::byte> full(static_cast<std::size_t>(total) * type->size_bytes());
+  Reduce(sendbuf, sendoffset, full.data(), 0, total, type, op, 0);
+  std::vector<int> displs(static_cast<std::size_t>(n), 0);
+  for (int i = 1; i < n; ++i) displs[static_cast<std::size_t>(i)] = displs[i - 1] + recvcounts[i - 1];
+  Scatterv(full.data(), 0, recvcounts, displs, type, recvbuf, recvoffset, recvcounts[Rank()],
+           type, 0);
+}
+
+void Intracomm::Scan(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                     int count, const DatatypePtr& type, const Op& op) const {
+  validate(sendbuf, count, type, "Scan");
+  require_contiguous(type, "Scan");
+  const int n = Size();
+  const int rank = Rank();
+  const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+  const std::size_t bytes = elements * type->base_size();
+  const DatatypePtr wire = types::BYTE();
+
+  std::byte* result = mbyte(recvbuf, recvoffset, type);
+  std::memcpy(result, cbyte(sendbuf, sendoffset, type), bytes);
+  if (rank > 0) {
+    // Receive prefix over ranks 0..rank-1 and fold own contribution after it.
+    std::vector<std::byte> prefix(bytes);
+    ctx_recv(coll_context_, coll_tag(CollTag::Scan), prefix.data(), 0, static_cast<int>(bytes),
+             wire, rank - 1);
+    op.apply(type->base(), result, prefix.data(), elements);  // prefix ∘ own
+    std::memcpy(result, prefix.data(), bytes);
+  }
+  if (rank + 1 < n) {
+    ctx_send(coll_context_, coll_tag(CollTag::Scan), result, 0, static_cast<int>(bytes), wire,
+             rank + 1);
+  }
+}
+
+// ---- communicator construction ---------------------------------------------------------------
+
+int Intracomm::agree_contexts(int groups) const {
+  int proposal = world_->context_proposal();
+  int agreed = 0;
+  Allreduce(&proposal, 0, &agreed, 0, 1, types::INT(), ops::MAX());
+  world_->raise_context_floor(agreed + 2 * groups);
+  return agreed;
+}
+
+std::unique_ptr<Intracomm> Intracomm::Dup() const {
+  const int base = agree_contexts(1);
+  return std::make_unique<Intracomm>(world_, group_, base, base + 1);
+}
+
+std::unique_ptr<Intracomm> Intracomm::Create(const Group& new_group) const {
+  const int base = agree_contexts(1);
+  if (!new_group.contains_world(world_->Rank())) return nullptr;
+  return std::make_unique<Intracomm>(world_, new_group, base, base + 1);
+}
+
+std::unique_ptr<Intracomm> Intracomm::Split(int color, int key) const {
+  const int n = Size();
+  const int rank = Rank();
+  // Gather (color, key) from everyone.
+  std::vector<int> mine = {color, key};
+  std::vector<int> all(static_cast<std::size_t>(n) * 2);
+  Allgather(mine.data(), 0, 2, types::INT(), all.data(), 0, 2, types::INT());
+
+  const int base = agree_contexts(1);  // disjoint groups may share contexts
+  if (color == UNDEFINED) return nullptr;
+
+  // Members of my color, ordered by (key, parent rank).
+  std::vector<std::pair<int, int>> members;  // (key, parent rank)
+  for (int r = 0; r < n; ++r) {
+    if (all[static_cast<std::size_t>(r) * 2] == color) {
+      members.emplace_back(all[static_cast<std::size_t>(r) * 2 + 1], r);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> world_ranks;
+  world_ranks.reserve(members.size());
+  for (const auto& [k, r] : members) world_ranks.push_back(group_.world_rank(r));
+  (void)rank;
+  return std::make_unique<Intracomm>(world_, Group(std::move(world_ranks)), base, base + 1);
+}
+
+std::unique_ptr<Cartcomm> Intracomm::Create_cart(std::span<const int> dims,
+                                                 std::span<const bool> periods,
+                                                 bool /*reorder*/) const {
+  if (dims.size() != periods.size()) {
+    throw ArgumentError("Create_cart: dims/periods size mismatch");
+  }
+  int nodes = 1;
+  for (const int d : dims) {
+    if (d <= 0) throw ArgumentError("Create_cart: dimensions must be positive");
+    nodes *= d;
+  }
+  if (nodes > Size()) throw ArgumentError("Create_cart: grid larger than communicator");
+  const int base = agree_contexts(1);
+  if (Rank() >= nodes) return nullptr;
+  std::vector<int> world_ranks;
+  world_ranks.reserve(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) world_ranks.push_back(group_.world_rank(r));
+  return std::make_unique<Cartcomm>(world_, Group(std::move(world_ranks)), base, base + 1,
+                                    std::vector<int>(dims.begin(), dims.end()),
+                                    std::vector<bool>(periods.begin(), periods.end()));
+}
+
+std::unique_ptr<Graphcomm> Intracomm::Create_graph(std::span<const int> index,
+                                                   std::span<const int> edges,
+                                                   bool /*reorder*/) const {
+  const int nodes = static_cast<int>(index.size());
+  if (nodes > Size()) throw ArgumentError("Create_graph: more nodes than processes");
+  const int base = agree_contexts(1);
+  if (Rank() >= nodes) return nullptr;
+  std::vector<int> world_ranks;
+  world_ranks.reserve(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) world_ranks.push_back(group_.world_rank(r));
+  return std::make_unique<Graphcomm>(world_, Group(std::move(world_ranks)), base, base + 1,
+                                     std::vector<int>(index.begin(), index.end()),
+                                     std::vector<int>(edges.begin(), edges.end()));
+}
+
+std::unique_ptr<Intercomm> Intracomm::Create_intercomm(int local_leader, const Comm& peer_comm,
+                                                       int remote_leader, int tag) const {
+  const int rank = Rank();
+
+  // Local context proposal, agreed within the local side first.
+  int proposal = world_->context_proposal();
+  int local_max = 0;
+  Allreduce(&proposal, 0, &local_max, 0, 1, types::INT(), ops::MAX());
+
+  // Leaders exchange (context proposal, group membership) through peer_comm.
+  int agreed = local_max;
+  std::vector<int> remote_ranks;
+  if (rank == local_leader) {
+    struct Handshake {
+      int context;
+      std::vector<int> ranks;
+      void serialize(buf::ByteSink& sink) const {
+        sink.put<std::int32_t>(context);
+        buf::encode_value(sink, ranks);
+      }
+      static Handshake deserialize(buf::ByteSource& source) {
+        Handshake h;
+        h.context = source.get<std::int32_t>();
+        h.ranks = buf::decode_value<std::vector<int>>(source);
+        return h;
+      }
+    };
+    const Handshake ours{local_max, group_.world_ranks()};
+    // Order the exchange by world rank so both leaders can use blocking
+    // object sends without risk of a rendezvous cycle.
+    if (group_.world_rank(rank) < peer_comm.group().world_rank(remote_leader)) {
+      peer_comm.send_object(ours, remote_leader, tag);
+      const Handshake theirs = peer_comm.recv_object<Handshake>(remote_leader, tag);
+      agreed = std::max(local_max, theirs.context);
+      remote_ranks = theirs.ranks;
+    } else {
+      const Handshake theirs = peer_comm.recv_object<Handshake>(remote_leader, tag);
+      peer_comm.send_object(ours, remote_leader, tag);
+      agreed = std::max(local_max, theirs.context);
+      remote_ranks = theirs.ranks;
+    }
+  }
+
+  // Leaders broadcast the agreed context and the remote group locally.
+  Bcast(&agreed, 0, 1, types::INT(), local_leader);
+  int remote_size = static_cast<int>(remote_ranks.size());
+  Bcast(&remote_size, 0, 1, types::INT(), local_leader);
+  remote_ranks.resize(static_cast<std::size_t>(remote_size));
+  if (remote_size > 0) {
+    Bcast(remote_ranks.data(), 0, remote_size, types::INT(), local_leader);
+  }
+  world_->raise_context_floor(agreed + 2);
+
+  return std::make_unique<Intercomm>(world_, group_, Group(std::move(remote_ranks)), agreed,
+                                     agreed + 1);
+}
+
+}  // namespace mpcx

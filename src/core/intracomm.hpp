@@ -1,0 +1,137 @@
+// Intracomm — intra-communicator with the full mpiJava 1.2 collective set
+// and communicator-construction operations.
+//
+// Collective algorithms (classic, matching the 2006 era the paper targets):
+//   Barrier          dissemination (log2 n rounds)
+//   Bcast            binomial tree
+//   Gather/Scatter   linear to/from root (v-variants with displacements)
+//   Allgather        ring (n-1 steps)
+//   Alltoall         pairwise exchange
+//   Reduce           binomial tree (commutative ops); linear in rank order
+//                    for non-commutative user ops
+//   Allreduce        reduce + bcast
+//   Reduce_scatter   reduce + scatterv
+//   Scan             linear prefix chain
+// The `bench_ablation_collectives` benchmark compares the tree/ring
+// algorithms against naive linear ones.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/comm.hpp"
+#include "core/op.hpp"
+
+namespace mpcx {
+
+class Cartcomm;
+class Graphcomm;
+class Intercomm;
+
+class Intracomm : public Comm {
+ public:
+  Intracomm(World* world, Group group, int ptp_context, int coll_context)
+      : Comm(world, std::move(group), ptp_context, coll_context) {}
+
+  // ---- collectives ------------------------------------------------------------
+
+  /// Block until every member has entered the barrier.
+  void Barrier() const;
+
+  /// Broadcast `count` items from `root`'s buffer to everyone's.
+  void Bcast(void* buf, int offset, int count, const DatatypePtr& type, int root) const;
+
+  /// Root gathers everyone's `sendcount` items, laid out by rank.
+  void Gather(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+              void* recvbuf, int recvoffset, int recvcount, const DatatypePtr& recvtype,
+              int root) const;
+
+  /// Gather with per-rank counts and displacements (displacements in items
+  /// of recvtype, MPI semantics).
+  void Gatherv(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+               void* recvbuf, int recvoffset, std::span<const int> recvcounts,
+               std::span<const int> displs, const DatatypePtr& recvtype, int root) const;
+
+  void Scatter(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+               void* recvbuf, int recvoffset, int recvcount, const DatatypePtr& recvtype,
+               int root) const;
+
+  void Scatterv(const void* sendbuf, int sendoffset, std::span<const int> sendcounts,
+                std::span<const int> displs, const DatatypePtr& sendtype, void* recvbuf,
+                int recvoffset, int recvcount, const DatatypePtr& recvtype, int root) const;
+
+  void Allgather(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+                 void* recvbuf, int recvoffset, int recvcount, const DatatypePtr& recvtype) const;
+
+  void Allgatherv(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+                  void* recvbuf, int recvoffset, std::span<const int> recvcounts,
+                  std::span<const int> displs, const DatatypePtr& recvtype) const;
+
+  void Alltoall(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+                void* recvbuf, int recvoffset, int recvcount, const DatatypePtr& recvtype) const;
+
+  void Alltoallv(const void* sendbuf, int sendoffset, std::span<const int> sendcounts,
+                 std::span<const int> sdispls, const DatatypePtr& sendtype, void* recvbuf,
+                 int recvoffset, std::span<const int> recvcounts, std::span<const int> rdispls,
+                 const DatatypePtr& recvtype) const;
+
+  /// Elementwise reduction of `count` items to `root`. The datatype must be
+  /// memory-contiguous (primitive or contiguous derived); see DESIGN.md.
+  void Reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
+              const DatatypePtr& type, const Op& op, int root) const;
+
+  void Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
+                 const DatatypePtr& type, const Op& op) const;
+
+  /// Reduce then scatter: rank i receives recvcounts[i] reduced items.
+  void Reduce_scatter(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                      std::span<const int> recvcounts, const DatatypePtr& type,
+                      const Op& op) const;
+
+  /// Inclusive prefix reduction: rank r receives op over ranks 0..r.
+  void Scan(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
+            const DatatypePtr& type, const Op& op) const;
+
+  // ---- communicator construction (all collective over this comm) ------------------
+
+  /// Duplicate: same group, fresh contexts.
+  std::unique_ptr<Intracomm> Dup() const;
+
+  /// Sub-communicator for `group` (same group on every caller); callers not
+  /// in the group receive nullptr.
+  std::unique_ptr<Intracomm> Create(const Group& new_group) const;
+
+  /// Partition by color (UNDEFINED -> nullptr), ordered by (key, rank).
+  std::unique_ptr<Intracomm> Split(int color, int key) const;
+
+  /// Cartesian topology over the first prod(dims) ranks.
+  std::unique_ptr<Cartcomm> Create_cart(std::span<const int> dims, std::span<const bool> periods,
+                                        bool reorder) const;
+
+  /// Graph topology (CSR-style index/edges arrays, MPI_Graph_create).
+  std::unique_ptr<Graphcomm> Create_graph(std::span<const int> index, std::span<const int> edges,
+                                          bool reorder) const;
+
+  /// Build an inter-communicator: this (local) comm paired with a remote
+  /// comm; the two leaders are connected through peer_comm.
+  std::unique_ptr<Intercomm> Create_intercomm(int local_leader, const Comm& peer_comm,
+                                              int remote_leader, int tag) const;
+
+ protected:
+  friend class Intercomm;
+
+  /// Collectively agree on a fresh (ptp, coll) context pair. `groups` is the
+  /// number of disjoint sub-communicators being created at once (Split
+  /// reserves one pair per color).
+  int agree_contexts(int groups) const;
+
+  /// Internal reduce into `inout` at root (contiguous elements).
+  void reduce_elements(const void* sendbuf, void* recvbuf, std::size_t elements,
+                       buf::TypeCode code, const Op& op, int root) const;
+
+  /// Validate op datatypes: must be contiguous so reductions can run
+  /// directly on user arrays.
+  static void require_contiguous(const DatatypePtr& type, const char* op);
+};
+
+}  // namespace mpcx

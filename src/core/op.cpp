@@ -1,0 +1,150 @@
+#include "core/op.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace mpcx {
+namespace {
+
+using buf::TypeCode;
+
+template <typename F>
+void dispatch_all(TypeCode code, F&& f) {
+  switch (code) {
+    case TypeCode::Byte: f(static_cast<std::int8_t*>(nullptr)); return;
+    case TypeCode::Char: f(static_cast<char*>(nullptr)); return;
+    case TypeCode::Short: f(static_cast<std::int16_t*>(nullptr)); return;
+    case TypeCode::Int: f(static_cast<std::int32_t*>(nullptr)); return;
+    case TypeCode::Long: f(static_cast<std::int64_t*>(nullptr)); return;
+    case TypeCode::Float: f(static_cast<float*>(nullptr)); return;
+    case TypeCode::Double: f(static_cast<double*>(nullptr)); return;
+    case TypeCode::Boolean: f(static_cast<bool*>(nullptr)); return;
+    case TypeCode::Object: break;
+  }
+  throw ArgumentError("Op: bad element type code");
+}
+
+template <typename F>
+void dispatch_integral(TypeCode code, F&& f) {
+  switch (code) {
+    case TypeCode::Byte: f(static_cast<std::int8_t*>(nullptr)); return;
+    case TypeCode::Char: f(static_cast<char*>(nullptr)); return;
+    case TypeCode::Short: f(static_cast<std::int16_t*>(nullptr)); return;
+    case TypeCode::Int: f(static_cast<std::int32_t*>(nullptr)); return;
+    case TypeCode::Long: f(static_cast<std::int64_t*>(nullptr)); return;
+    case TypeCode::Boolean: f(static_cast<bool*>(nullptr)); return;
+    default: throw ArgumentError("Op: logical/bitwise op requires an integral type");
+  }
+}
+
+/// inout[i] = f(in[i], inout[i]) over all primitive types.
+template <typename Combine>
+Op::Fn elementwise(Combine combine) {
+  return [combine](TypeCode code, const void* in, void* inout, std::size_t count) {
+    dispatch_all(code, [&]<typename T>(T*) {
+      const T* a = static_cast<const T*>(in);
+      T* b = static_cast<T*>(inout);
+      for (std::size_t i = 0; i < count; ++i) b[i] = combine(b[i], a[i]);
+    });
+  };
+}
+
+/// Integral-only variant (logical / bitwise ops).
+template <typename Combine>
+Op::Fn elementwise_integral(Combine combine) {
+  return [combine](TypeCode code, const void* in, void* inout, std::size_t count) {
+    dispatch_integral(code, [&]<typename T>(T*) {
+      const T* a = static_cast<const T*>(in);
+      T* b = static_cast<T*>(inout);
+      for (std::size_t i = 0; i < count; ++i) b[i] = combine(b[i], a[i]);
+    });
+  };
+}
+
+/// (value, index) pair reduction; `Better(a, b)` selects whether a's value
+/// beats b's. Ties keep the lower index (MPI MAXLOC/MINLOC rule).
+template <typename Better>
+Op::Fn locwise(Better better) {
+  return [better](TypeCode code, const void* in, void* inout, std::size_t count) {
+    if (count % 2 != 0) throw ArgumentError("MAXLOC/MINLOC: element count must be even");
+    dispatch_all(code, [&]<typename T>(T*) {
+      const T* a = static_cast<const T*>(in);
+      T* b = static_cast<T*>(inout);
+      for (std::size_t i = 0; i < count; i += 2) {
+        const T av = a[i], ai = a[i + 1];
+        const T bv = b[i], bi = b[i + 1];
+        if (better(av, bv) || (av == bv && ai < bi)) {
+          b[i] = av;
+          b[i + 1] = ai;
+        }
+      }
+    });
+  };
+}
+
+}  // namespace
+
+namespace ops {
+
+const Op& MAX() {
+  static const Op op(elementwise([](auto a, auto b) { return std::max(a, b); }), true);
+  return op;
+}
+const Op& MIN() {
+  static const Op op(elementwise([](auto a, auto b) { return std::min(a, b); }), true);
+  return op;
+}
+const Op& SUM() {
+  static const Op op(elementwise([](auto a, auto b) { return static_cast<decltype(b)>(a + b); }),
+                     true);
+  return op;
+}
+const Op& PROD() {
+  static const Op op(elementwise([](auto a, auto b) { return static_cast<decltype(b)>(a * b); }),
+                     true);
+  return op;
+}
+const Op& LAND() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(a && b); }), true);
+  return op;
+}
+const Op& LOR() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(a || b); }), true);
+  return op;
+}
+const Op& LXOR() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(!a != !b); }),
+      true);
+  return op;
+}
+const Op& BAND() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(a & b); }), true);
+  return op;
+}
+const Op& BOR() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(a | b); }), true);
+  return op;
+}
+const Op& BXOR() {
+  static const Op op(
+      elementwise_integral([](auto a, auto b) { return static_cast<decltype(b)>(a ^ b); }), true);
+  return op;
+}
+const Op& MAXLOC() {
+  static const Op op(locwise([](auto a, auto b) { return a > b; }), true);
+  return op;
+}
+const Op& MINLOC() {
+  static const Op op(locwise([](auto a, auto b) { return a < b; }), true);
+  return op;
+}
+
+}  // namespace ops
+}  // namespace mpcx

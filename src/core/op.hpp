@@ -1,0 +1,72 @@
+// Reduction operations (MPI.SUM, MPI.MAX, ... analogs) including
+// user-defined operations.
+//
+// An Op combines `count` elements of a primitive type: inout[i] =
+// f(in[i], inout[i]). Predefined ops dispatch on the runtime type code;
+// user ops supply their own function.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "bufx/type_codes.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+
+class Op {
+ public:
+  /// Accumulate: inout[i] = combine(inout[i], in[i]) for i in [0, count).
+  /// Collectives feed contributions in ascending rank order, so for a
+  /// non-commutative user op the canonical MPI ordering
+  /// (rank0 op rank1 op ...) is preserved.
+  using Fn = std::function<void(buf::TypeCode, const void* in, void* inout, std::size_t count)>;
+
+  Op(Fn fn, bool commutative) : fn_(std::move(fn)), commutative_(commutative) {}
+
+  void apply(buf::TypeCode code, const void* in, void* inout, std::size_t count) const {
+    fn_(code, in, inout, count);
+  }
+
+  bool is_commutative() const { return commutative_; }
+
+  /// Convenience: build a user op from a typed binary functor.
+  /// Applied as inout[i] = f(inout[i], in[i]), i.e. f(accumulated, next).
+  template <buf::Primitive T, typename F>
+  static Op make_user(F f, bool commutative = true) {
+    return Op(
+        [f](buf::TypeCode code, const void* in, void* inout, std::size_t count) {
+          if (code != buf::type_code_of<T>()) {
+            throw ArgumentError("user Op applied to wrong element type");
+          }
+          const T* a = static_cast<const T*>(in);
+          T* b = static_cast<T*>(inout);
+          for (std::size_t i = 0; i < count; ++i) b[i] = f(b[i], a[i]);
+        },
+        commutative);
+  }
+
+ private:
+  Fn fn_;
+  bool commutative_;
+};
+
+/// Predefined operations. MAXLOC/MINLOC operate on (value, index) pairs of
+/// one primitive type (the MPI_2INT-style layout); count must be even and is
+/// interpreted as pairs*2 elements.
+namespace ops {
+const Op& MAX();
+const Op& MIN();
+const Op& SUM();
+const Op& PROD();
+const Op& LAND();
+const Op& LOR();
+const Op& LXOR();
+const Op& BAND();
+const Op& BOR();
+const Op& BXOR();
+const Op& MAXLOC();
+const Op& MINLOC();
+}  // namespace ops
+
+}  // namespace mpcx

@@ -1,0 +1,226 @@
+#include "core/request.hpp"
+
+#include <mutex>
+
+#include "core/comm.hpp"
+#include "core/world.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+
+struct Request::State {
+  const Comm* comm = nullptr;
+  mpdev::Request dev;
+  std::unique_ptr<buf::Buffer> buffer;
+
+  // Receive recipe (unset for sends).
+  DatatypePtr type;
+  std::byte* user_base = nullptr;
+  std::size_t max_items = 0;
+  bool is_recv = false;
+
+  std::mutex mu;
+  bool finalized = false;
+  Status cached;
+};
+
+Request Request::make_send(const Comm* comm, mpdev::Request dev,
+                           std::unique_ptr<buf::Buffer> buffer) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->dev = std::move(dev);
+  state->buffer = std::move(buffer);
+  return Request(std::move(state));
+}
+
+Request Request::make_bare(const Comm* comm, mpdev::Request dev) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->dev = std::move(dev);
+  return Request(std::move(state));
+}
+
+Request Request::make_recv(const Comm* comm, mpdev::Request dev,
+                           std::unique_ptr<buf::Buffer> buffer, DatatypePtr type,
+                           std::byte* user_base, std::size_t max_items) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->dev = std::move(dev);
+  state->buffer = std::move(buffer);
+  state->type = std::move(type);
+  state->user_base = user_base;
+  state->max_items = max_items;
+  state->is_recv = true;
+  return Request(std::move(state));
+}
+
+bool Request::is_complete() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->finalized) return true;
+  return state_->dev.is_complete();
+}
+
+bool Request::Cancel() {
+  if (!state_) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->finalized) return false;
+  }
+  return state_->comm->engine().device().cancel(state_->dev.dev());
+}
+
+Status Request::finalize(const mpdev::Status& dev_status) {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.finalized) return s.cached;
+  s.finalized = true;
+  if (dev_status.truncated) {
+    // Release resources, then surface the truncation as an error.
+    if (s.buffer) s.comm->give_buffer(std::move(s.buffer));
+    throw CommError("receive truncated: message larger than the posted buffer");
+  }
+  if (s.is_recv && !dev_status.cancelled) {
+    s.type->unpack_available(*s.buffer, s.user_base, s.max_items);
+  }
+  s.cached = s.comm->to_local_status(dev_status);
+  if (s.buffer) s.comm->give_buffer(std::move(s.buffer));
+  return s.cached;
+}
+
+Status Request::Wait() {
+  if (!state_) throw CommError("Wait on a null request");
+  return finalize(state_->dev.wait());
+}
+
+std::optional<Status> Request::Test() {
+  if (!state_) throw CommError("Test on a null request");
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->finalized) return state_->cached;
+  }
+  auto dev_status = state_->dev.test();
+  if (!dev_status) return std::nullopt;
+  return finalize(*dev_status);
+}
+
+std::vector<Status> Request::Waitall(std::span<Request> requests) {
+  std::vector<Status> statuses;
+  statuses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].is_null()) {
+      statuses.emplace_back();
+      continue;
+    }
+    Status status = requests[i].Wait();
+    status.index = static_cast<int>(i);
+    statuses.push_back(status);
+  }
+  return statuses;
+}
+
+Status Request::Waitany(std::span<Request> requests) {
+  // Collect the device-level requests of all active (non-finalized) entries.
+  std::vector<mpdev::Request> dev;
+  std::vector<std::size_t> owner;
+  mpdev::Engine* engine = nullptr;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request& request = requests[i];
+    if (request.is_null()) continue;
+    {
+      std::lock_guard<std::mutex> lock(request.state_->mu);
+      if (request.state_->finalized) continue;
+    }
+    dev.push_back(request.state_->dev);
+    owner.push_back(i);
+    engine = &request.state_->comm->engine();
+  }
+  if (engine == nullptr) {
+    Status status;
+    status.index = UNDEFINED;
+    return status;
+  }
+  int dev_index = -1;
+  engine->waitany(std::span<mpdev::Request>(dev), dev_index);
+  if (dev_index < 0) {
+    Status status;
+    status.index = UNDEFINED;
+    return status;
+  }
+  Request& winner = requests[owner[static_cast<std::size_t>(dev_index)]];
+  Status status = winner.Wait();  // already complete; finalizes
+  status.index = static_cast<int>(owner[static_cast<std::size_t>(dev_index)]);
+  return status;
+}
+
+std::vector<Status> Request::Waitsome(std::span<Request> requests) {
+  std::vector<Status> statuses;
+  Status first = Waitany(requests);
+  if (first.index == UNDEFINED) return statuses;
+  statuses.push_back(first);
+  // Harvest everything else that has completed meanwhile.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (static_cast<int>(i) == first.index || requests[i].is_null()) continue;
+    {
+      std::lock_guard<std::mutex> lock(requests[i].state_->mu);
+      if (requests[i].state_->finalized) continue;
+    }
+    if (auto status = requests[i].Test()) {
+      status->index = static_cast<int>(i);
+      statuses.push_back(*status);
+    }
+  }
+  return statuses;
+}
+
+std::optional<std::vector<Status>> Request::Testall(std::span<Request> requests) {
+  for (Request& request : requests) {
+    if (!request.is_null() && !request.is_complete()) return std::nullopt;
+  }
+  return Waitall(requests);  // everything is complete; Wait just finalizes
+}
+
+std::optional<Status> Request::Testany(std::span<Request> requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].is_null()) continue;
+    {
+      std::lock_guard<std::mutex> lock(requests[i].state_->mu);
+      if (requests[i].state_->finalized) continue;
+    }
+    if (auto status = requests[i].Test()) {
+      status->index = static_cast<int>(i);
+      return status;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Prequest -----------------------------------------------------------------------
+
+void Prequest::Start() {
+  if (!active_.is_null() && !active_.is_complete()) {
+    throw CommError("Prequest::Start: previous activation still in flight");
+  }
+  const Recipe& r = *recipe_;
+  if (r.is_send) {
+    active_ = r.comm->Isend(r.send_buf, r.offset, r.count, r.type, r.peer, r.tag);
+  } else {
+    active_ = r.comm->Irecv(r.recv_buf, r.offset, r.count, r.type, r.peer, r.tag);
+  }
+}
+
+void Prequest::Startall(std::span<Prequest> requests) {
+  for (Prequest& request : requests) request.Start();
+}
+
+Status Prequest::Wait() {
+  if (active_.is_null()) throw CommError("Prequest::Wait before Start");
+  return active_.Wait();
+}
+
+std::optional<Status> Prequest::Test() {
+  if (active_.is_null()) throw CommError("Prequest::Test before Start");
+  return active_.Test();
+}
+
+}  // namespace mpcx

@@ -1,0 +1,135 @@
+// Request — handle for a non-blocking core-level operation (mpiJava Request
+// analog), plus the persistent-request variant (Prequest).
+//
+// A core Request owns the library-side resources of one operation:
+//   * sends: the packed bufx buffer, recycled to the World's pool once the
+//     device is done with it;
+//   * receives: the landing buffer plus the unpack recipe (datatype, user
+//     pointer, max count) executed exactly once when completion is first
+//     observed (Wait/Test/Waitany/...).
+//
+// Copies share state; the Wait/Test family is safe to call from any thread
+// (MPCX runs at THREAD_MULTIPLE).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/datatype.hpp"
+#include "core/status.hpp"
+#include "mpdev/engine.hpp"
+
+namespace mpcx {
+
+class Comm;
+
+class Request {
+ public:
+  Request() = default;
+
+  /// Block until the operation completes; finalizes (unpacks / recycles)
+  /// and returns the Status.
+  Status Wait();
+
+  /// Non-blocking completion check; finalizes on success.
+  std::optional<Status> Test();
+
+  /// True for a default-constructed (inactive) request.
+  bool is_null() const { return state_ == nullptr; }
+
+  /// True once the underlying operation has completed (does not finalize).
+  bool is_complete() const;
+
+  /// Attempt to cancel a pending receive (mpiJava Request.Cancel). On
+  /// success the request completes with a status whose Test_cancelled() is
+  /// true. Returns false if the operation already matched/completed (or is
+  /// a send, which MPCX — like most MPI implementations — cannot cancel).
+  bool Cancel();
+
+  // ---- families over request arrays (mpiJava statics) -----------------------
+
+  /// Wait for all requests; returns one Status per request.
+  static std::vector<Status> Waitall(std::span<Request> requests);
+
+  /// Wait for any one; Status.index identifies it. If every request is
+  /// null, returns a Status with index == UNDEFINED.
+  static Status Waitany(std::span<Request> requests);
+
+  /// Wait until at least one completes; returns statuses of all that have
+  /// (each with .index set), emptying completed slots.
+  static std::vector<Status> Waitsome(std::span<Request> requests);
+
+  /// Test all: statuses if every request is complete, nullopt otherwise.
+  static std::optional<std::vector<Status>> Testall(std::span<Request> requests);
+
+  /// Test any: the status of some completed request (index set), if any.
+  static std::optional<Status> Testany(std::span<Request> requests);
+
+ private:
+  friend class Comm;
+  friend class Prequest;
+
+  struct State;
+
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  /// Build a send request owning its packed buffer.
+  static Request make_send(const Comm* comm, mpdev::Request dev,
+                           std::unique_ptr<buf::Buffer> buffer);
+
+  /// Build a receive request with an unpack recipe.
+  static Request make_recv(const Comm* comm, mpdev::Request dev,
+                           std::unique_ptr<buf::Buffer> buffer, DatatypePtr type,
+                           std::byte* user_base, std::size_t max_items);
+
+  /// Direct-buffer operation: the caller owns the buffer; the request only
+  /// tracks completion (used by Isend_buffer / Irecv_buffer).
+  static Request make_bare(const Comm* comm, mpdev::Request dev);
+
+  Status finalize(const mpdev::Status& dev_status);
+
+  std::shared_ptr<State> state_;
+};
+
+/// Persistent request (mpiJava Prequest): parameters bound once by
+/// Send_init/Recv_init, re-armed by Start(). Between Start and completion it
+/// behaves like the equivalent Request.
+class Prequest {
+ public:
+  /// Re-arm the operation. Erroneous while a previous activation is pending.
+  void Start();
+
+  /// Start every prequest in the span (MPI Startall).
+  static void Startall(std::span<Prequest> requests);
+
+  Status Wait();
+  std::optional<Status> Test();
+
+  /// The currently active Request (null before the first Start).
+  Request& active() { return active_; }
+
+ private:
+  friend class Comm;
+
+  /// The bound operation parameters (captured by Send_init / Recv_init).
+  struct Recipe {
+    const Comm* comm = nullptr;
+    bool is_send = true;
+    const void* send_buf = nullptr;
+    void* recv_buf = nullptr;
+    int offset = 0;
+    int count = 0;
+    DatatypePtr type;
+    int peer = 0;
+    int tag = 0;
+  };
+
+  explicit Prequest(std::shared_ptr<Recipe> recipe) : recipe_(std::move(recipe)) {}
+
+  std::shared_ptr<Recipe> recipe_;
+  Request active_;
+};
+
+}  // namespace mpcx

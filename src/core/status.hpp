@@ -1,0 +1,81 @@
+// Status — completion record of a receive/probe (mpiJava Status analog).
+#pragma once
+
+#include <cstddef>
+
+#include "core/datatype.hpp"
+#include "core/types.hpp"
+
+namespace mpcx {
+
+class Status {
+ public:
+  Status() = default;
+  Status(int source, int tag, std::size_t static_bytes, std::size_t dynamic_bytes, bool truncated,
+         bool cancelled = false)
+      : source_(source),
+        tag_(tag),
+        static_bytes_(static_bytes),
+        dynamic_bytes_(dynamic_bytes),
+        truncated_(truncated),
+        cancelled_(cancelled) {}
+
+  /// Rank of the sender (in the communicator the operation ran on).
+  int Get_source() const { return source_; }
+
+  /// Message tag.
+  int Get_tag() const { return tag_; }
+
+  /// Number of complete items of `type` in the message, or UNDEFINED when
+  /// the payload is not a whole number of items. Computable because buffer
+  /// sections carry no padding: a single-section message of n primitive
+  /// elements occupies exactly 8 + n*elsize bytes.
+  int Get_count(const Datatype& type) const {
+    const int elements = Get_elements(type);
+    if (elements == UNDEFINED) return UNDEFINED;
+    const std::size_t per_item = type.size_elements();
+    if (per_item == 0) return 0;
+    if (static_cast<std::size_t>(elements) % per_item != 0) return UNDEFINED;
+    return static_cast<int>(static_cast<std::size_t>(elements) / per_item);
+  }
+
+  /// Number of primitive base elements in the message (MPI Get_elements).
+  /// Exact for single-section (homogeneous-datatype) messages; multi-section
+  /// struct messages yield UNDEFINED unless they divide evenly.
+  int Get_elements(const Datatype& type) const {
+    if (static_bytes_ == 0) return 0;
+    const std::size_t header = buf::Buffer::kSectionHeaderBytes;
+    if (static_bytes_ < header) return UNDEFINED;
+    const std::size_t payload = static_bytes_ - header;
+    const std::size_t elsize = type.base_size();
+    if (payload % elsize != 0) return UNDEFINED;
+    return static_cast<int>(payload / elsize);
+  }
+
+  /// Total wire bytes of the static (primitive) payload, including section
+  /// headers.
+  std::size_t bytes() const { return static_bytes_; }
+
+  /// Bytes of serialized-object (dynamic section) payload.
+  std::size_t object_bytes() const { return dynamic_bytes_; }
+
+  /// True if the message was larger than the posted receive and was dropped
+  /// (surfaced as a CommError by Wait/Recv; exposed here for Probe users).
+  bool truncated() const { return truncated_; }
+
+  /// True if the operation was cancelled (mpiJava Status.Test_cancelled).
+  bool Test_cancelled() const { return cancelled_; }
+
+  /// Index of the completed request, set by Waitany/Waitsome/Testany.
+  int index = UNDEFINED;
+
+ private:
+  int source_ = PROC_NULL;
+  int tag_ = ANY_TAG;
+  std::size_t static_bytes_ = 0;
+  std::size_t dynamic_bytes_ = 0;
+  bool truncated_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace mpcx

@@ -1,0 +1,46 @@
+// Public constants and small shared types for the MPCX core API.
+//
+// The core API follows the mpiJava 1.2 specification that MPJ Express
+// implements (method names like Send/Recv/Isend/Bcast, wildcard values,
+// thread levels), transliterated to C++.
+#pragma once
+
+#include <cstddef>
+
+namespace mpcx {
+
+/// Wildcards and sentinels (mpiJava values).
+inline constexpr int ANY_SOURCE = -2;
+inline constexpr int ANY_TAG = -1;
+inline constexpr int PROC_NULL = -3;
+inline constexpr int UNDEFINED = -32766;
+
+/// Thread-safety levels of MPI 2.0 Sec. IV-B. MPJ Express — and MPCX — run
+/// at THREAD_MULTIPLE by default: any thread may communicate concurrently.
+enum class ThreadLevel : int {
+  Single = 0,     ///< only one thread exists
+  Funneled = 1,   ///< only the main thread makes MPI calls
+  Serialized = 2, ///< any thread, but one at a time
+  Multiple = 3,   ///< unrestricted (MPCX native level)
+};
+
+/// Tags reserved for internal collective traffic on the collective context.
+/// User tags must be >= 0, so negative internal tags can never collide.
+enum class CollTag : int {
+  Barrier = -10,
+  Bcast = -11,
+  Gather = -12,
+  Scatter = -13,
+  Allgather = -14,
+  Alltoall = -15,
+  Reduce = -16,
+  Scan = -17,
+  ContextAgree = -18,
+  Split = -19,
+  Intercomm = -20,
+  Merge = -21,
+};
+
+inline constexpr int kMaxUserTag = 0x3FFFFFFF;
+
+}  // namespace mpcx

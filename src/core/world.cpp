@@ -1,0 +1,163 @@
+#include "core/world.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/intracomm.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace mpcx {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, sep)) parts.push_back(item);
+  return parts;
+}
+
+}  // namespace
+
+World::World(const std::string& device_name, const xdev::DeviceConfig& config)
+    : engine_(xdev::new_device(device_name), config),
+      // Buffers handed to the device carry its frame-header reserve.
+      pool_(static_cast<std::size_t>(engine_.send_overhead())) {
+  std::vector<int> world_ranks(static_cast<std::size_t>(engine_.size()));
+  for (int r = 0; r < engine_.size(); ++r) world_ranks[static_cast<std::size_t>(r)] = r;
+  comm_world_ = std::make_unique<Intracomm>(this, Group(std::move(world_ranks)),
+                                            /*ptp_context=*/0, /*coll_context=*/1);
+}
+
+std::unique_ptr<World> World::from_env() {
+  const char* rank_env = std::getenv("MPCX_RANK");
+  const char* world_env = std::getenv("MPCX_WORLD");
+  if (rank_env == nullptr || world_env == nullptr) {
+    throw RuntimeError("World::from_env: MPCX_RANK / MPCX_WORLD not set (use mpcxrun)");
+  }
+  const char* device_env = std::getenv("MPCX_DEVICE");
+  const std::string device = device_env != nullptr ? device_env : "tcpdev";
+
+  xdev::DeviceConfig config;
+  config.self_index = static_cast<std::size_t>(std::atoi(rank_env));
+  // ProcessIDs must be unique per launch session on one machine (shmdev
+  // derives shared-memory segment names from them); mpcxrun provides a
+  // session token for the high bits.
+  std::uint64_t session = 0;
+  if (const char* session_env = std::getenv("MPCX_SESSION")) {
+    session = static_cast<std::uint64_t>(std::atoll(session_env));
+  }
+  std::uint64_t uuid = (session << 24) + 1;
+  for (const std::string& entry : split(world_env, ',')) {
+    // Each entry is host:port; the ProcessID is session<<24 | position+1.
+    const auto parts = split(entry, ':');
+    if (parts.size() != 2) throw RuntimeError("World::from_env: bad MPCX_WORLD entry " + entry);
+    xdev::EndpointInfo info;
+    info.id = xdev::ProcessID{uuid++};
+    info.host = parts[0];
+    info.port = static_cast<std::uint16_t>(std::atoi(parts[1].c_str()));
+    config.world.push_back(info);
+  }
+  if (const char* eager = std::getenv("MPCX_EAGER_THRESHOLD")) {
+    config.eager_threshold = static_cast<std::size_t>(std::atoll(eager));
+  }
+  if (const char* sockbuf = std::getenv("MPCX_SOCKET_BUFFER")) {
+    config.socket_buffer_bytes = std::atoi(sockbuf);
+  }
+  return std::make_unique<World>(device, config);
+}
+
+World::~World() {
+  try {
+    if (!finalized_) {
+      // Best effort: tear down the device without the collective barrier
+      // (the user skipped Finalize).
+      engine_.finish();
+      finalized_ = true;
+    }
+  } catch (const Error& e) {
+    log::warn("World teardown: ", e.what());
+  }
+}
+
+void World::Finalize() {
+  if (finalized_) return;
+  // Drain buffered sends, then synchronize before tearing the device down.
+  {
+    std::lock_guard<std::mutex> lock(bsend_mu_);
+    for (BsendEntry& entry : bsend_inflight_) entry.request.wait();
+    bsend_inflight_.clear();
+    bsend_used_ = 0;
+  }
+  comm_world_->Barrier();
+  engine_.finish();
+  finalized_ = true;
+}
+
+double World::Wtime() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+double World::Wtick() {
+  return static_cast<double>(std::chrono::steady_clock::period::num) /
+         static_cast<double>(std::chrono::steady_clock::period::den);
+}
+
+std::string World::Get_processor_name() {
+  char name[256] = {};
+  if (::gethostname(name, sizeof(name) - 1) != 0) return "unknown";
+  return name;
+}
+
+void World::raise_context_floor(int value) {
+  int current = next_context_.load();
+  while (current < value && !next_context_.compare_exchange_weak(current, value)) {
+  }
+}
+
+void World::Buffer_attach(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(bsend_mu_);
+  bsend_capacity_ += bytes;
+}
+
+std::size_t World::Buffer_detach() {
+  std::lock_guard<std::mutex> lock(bsend_mu_);
+  for (BsendEntry& entry : bsend_inflight_) entry.request.wait();
+  bsend_inflight_.clear();
+  bsend_used_ = 0;
+  const std::size_t size = bsend_capacity_;
+  bsend_capacity_ = 0;
+  return size;
+}
+
+void World::reap_bsends_locked() {
+  auto it = bsend_inflight_.begin();
+  while (it != bsend_inflight_.end()) {
+    if (it->request.is_complete()) {
+      bsend_used_ -= it->bytes;
+      pool_.put(std::move(it->storage));
+      it = bsend_inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void World::bsend_reserve(std::size_t bytes, mpdev::Request request,
+                          std::unique_ptr<buf::Buffer> storage) {
+  std::lock_guard<std::mutex> lock(bsend_mu_);
+  reap_bsends_locked();
+  if (bsend_used_ + bytes > bsend_capacity_) {
+    throw CommError("Bsend: attached buffer space exhausted (" + std::to_string(bsend_used_) +
+                    " of " + std::to_string(bsend_capacity_) + " bytes in use; Buffer_attach more)");
+  }
+  bsend_used_ += bytes;
+  bsend_inflight_.push_back(BsendEntry{std::move(request), std::move(storage), bytes});
+}
+
+}  // namespace mpcx

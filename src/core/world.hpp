@@ -1,0 +1,124 @@
+// World — per-process MPCX environment (the analog of mpiJava's MPI class
+// plus MPJ Express's per-process runtime state).
+//
+// One World object exists per MPI process. Because the in-process cluster
+// harness runs many "processes" (ranks) inside one OS process, World is an
+// object rather than process-global static state; each rank's threads share
+// that rank's World.
+//
+// Responsibilities:
+//   * owns the mpdev Engine (which owns the xdev device);
+//   * provides COMM_WORLD;
+//   * allocates context ids for new communicators;
+//   * pools bufx buffers sized with the device's send overhead;
+//   * implements Bsend buffer accounting (Buffer_attach/detach);
+//   * reports the thread level (always THREAD_MULTIPLE, Sec. IV-B).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bufx/buffer_pool.hpp"
+#include "core/types.hpp"
+#include "mpdev/engine.hpp"
+
+namespace mpcx {
+
+class Intracomm;
+
+class World {
+ public:
+  /// Bootstrap with the named device ("tcpdev" / "mxdev") and a world
+  /// layout (the paper's MPI.Init; see cluster::launch and the runtime for
+  /// how configs are produced).
+  World(const std::string& device_name, const xdev::DeviceConfig& config);
+
+  /// Bootstrap from MPCX_* environment variables set by the mpcxrun
+  /// launcher (multi-process mode).
+  static std::unique_ptr<World> from_env();
+
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// The world communicator (analog of MPI.COMM_WORLD).
+  Intracomm& COMM_WORLD() { return *comm_world_; }
+
+  int Rank() const { return engine_.rank(); }
+  int Size() const { return engine_.size(); }
+
+  /// MPI-2 thread environment. MPCX always provides THREAD_MULTIPLE — the
+  /// paper's headline property ("MPJ Express runs with level
+  /// MPI_THREAD_MULTIPLE by default").
+  ThreadLevel Init_thread(ThreadLevel /*required*/) { return ThreadLevel::Multiple; }
+  ThreadLevel Query_thread() const { return ThreadLevel::Multiple; }
+
+  /// Collective shutdown: barrier over COMM_WORLD, then device teardown.
+  void Finalize();
+
+  /// Wall-clock seconds since an arbitrary epoch (MPI.Wtime analog).
+  static double Wtime();
+
+  /// Resolution of Wtime in seconds (MPI.Wtick analog).
+  static double Wtick();
+
+  /// Host name of this process's node (MPI.Get_processor_name analog).
+  static std::string Get_processor_name();
+
+  bool finalized() const { return finalized_; }
+
+  mpdev::Engine& engine() { return engine_; }
+
+  // ---- buffer pool ----------------------------------------------------------
+
+  std::unique_ptr<buf::Buffer> take_buffer(std::size_t min_capacity) {
+    return pool_.get(min_capacity);
+  }
+  void give_buffer(std::unique_ptr<buf::Buffer> buffer) { pool_.put(std::move(buffer)); }
+
+  // ---- context allocation ------------------------------------------------------
+
+  /// This process's next free context id (agreement happens collectively in
+  /// Intracomm::agree_contexts).
+  int context_proposal() const { return next_context_.load(); }
+  /// Raise the local floor after a collective agreement.
+  void raise_context_floor(int value);
+
+  // ---- Bsend buffer accounting ----------------------------------------------------
+
+  /// Attach `bytes` of buffered-send space (MPI Buffer_attach).
+  void Buffer_attach(std::size_t bytes);
+
+  /// Detach: waits for outstanding buffered sends, returns the size.
+  std::size_t Buffer_detach();
+
+  /// Claim `bytes` for a buffered send; registers the in-flight request.
+  /// Throws CommError if the attached space is exhausted.
+  void bsend_reserve(std::size_t bytes, mpdev::Request request,
+                     std::unique_ptr<buf::Buffer> storage);
+
+ private:
+  void reap_bsends_locked();
+
+  mpdev::Engine engine_;
+  buf::BufferPool pool_;
+  std::unique_ptr<Intracomm> comm_world_;
+  std::atomic<int> next_context_{2};  // contexts 0/1 belong to COMM_WORLD
+  bool finalized_ = false;
+
+  struct BsendEntry {
+    mpdev::Request request;
+    std::unique_ptr<buf::Buffer> storage;
+    std::size_t bytes = 0;
+  };
+  std::mutex bsend_mu_;
+  std::size_t bsend_capacity_ = 0;
+  std::size_t bsend_used_ = 0;
+  std::vector<BsendEntry> bsend_inflight_;
+};
+
+}  // namespace mpcx

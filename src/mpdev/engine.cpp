@@ -1,0 +1,237 @@
+#include "mpdev/engine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace mpcx::mpdev {
+
+// ---- Request -------------------------------------------------------------------
+
+Status Request::wait() {
+  if (!dev_) throw CommError("Request::wait on null request");
+  return engine_->to_status(dev_->wait());
+}
+
+std::optional<Status> Request::test() {
+  if (!dev_) throw CommError("Request::test on null request");
+  auto dev_status = dev_->test();
+  if (!dev_status) return std::nullopt;
+  return engine_->to_status(*dev_status);
+}
+
+// ---- Engine ---------------------------------------------------------------------
+
+Engine::Engine(std::unique_ptr<xdev::Device> device, const xdev::DeviceConfig& config)
+    : device_(std::move(device)) {
+  world_ = device_->init(config);
+  for (std::size_t i = 0; i < world_.size(); ++i) {
+    rank_by_pid_.emplace(world_[i].value, static_cast<int>(i));
+  }
+  rank_ = static_cast<int>(config.self_index);
+}
+
+Engine::~Engine() {
+  try {
+    finish();
+  } catch (const Error&) {
+  }
+}
+
+void Engine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  device_->finish();
+}
+
+xdev::ProcessID Engine::pid_of(int rank) const {
+  if (rank == kAnySource) return xdev::ProcessID::any();
+  if (rank < 0 || rank >= size()) {
+    throw ArgumentError("mpdev: rank " + std::to_string(rank) + " out of range [0, " +
+                        std::to_string(size()) + ")");
+  }
+  return world_[static_cast<std::size_t>(rank)];
+}
+
+int Engine::rank_of(xdev::ProcessID pid) const {
+  auto it = rank_by_pid_.find(pid.value);
+  if (it == rank_by_pid_.end()) return -1;
+  return it->second;
+}
+
+Status Engine::to_status(const xdev::DevStatus& dev) const {
+  Status status;
+  status.source = rank_of(dev.source);
+  status.tag = dev.tag;
+  status.context = dev.context;
+  status.static_bytes = dev.static_bytes;
+  status.dynamic_bytes = dev.dynamic_bytes;
+  status.truncated = dev.truncated;
+  status.cancelled = dev.cancelled;
+  return status;
+}
+
+Request Engine::isend(buf::Buffer& buffer, int dst, int tag, int context) {
+  return Request(device_->isend(buffer, pid_of(dst), tag, context), this);
+}
+
+Request Engine::issend(buf::Buffer& buffer, int dst, int tag, int context) {
+  return Request(device_->issend(buffer, pid_of(dst), tag, context), this);
+}
+
+void Engine::send(buf::Buffer& buffer, int dst, int tag, int context) {
+  device_->send(buffer, pid_of(dst), tag, context);
+}
+
+void Engine::ssend(buf::Buffer& buffer, int dst, int tag, int context) {
+  device_->ssend(buffer, pid_of(dst), tag, context);
+}
+
+Request Engine::irecv(buf::Buffer& buffer, int src, int tag, int context) {
+  return Request(device_->irecv(buffer, pid_of(src), tag, context), this);
+}
+
+Status Engine::recv(buf::Buffer& buffer, int src, int tag, int context) {
+  return to_status(device_->recv(buffer, pid_of(src), tag, context));
+}
+
+Status Engine::probe(int src, int tag, int context) {
+  return to_status(device_->probe(pid_of(src), tag, context));
+}
+
+std::optional<Status> Engine::iprobe(int src, int tag, int context) {
+  auto dev_status = device_->iprobe(pid_of(src), tag, context);
+  if (!dev_status) return std::nullopt;
+  return to_status(*dev_status);
+}
+
+// ---- Waitany (Sec. IV-E.1) ---------------------------------------------------------
+
+struct Engine::WaitAnyObj final : xdev::CompletionHook {
+  enum class Wake { None, Completed, Leader };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Wake wake = Wake::None;
+  xdev::DevRequest completed;  // valid when wake == Completed
+
+  /// Paper: "all the other WaitAny objects call WaitAny.waitfor()".
+  Wake wait_for_wake() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return wake != Wake::None; });
+    const Wake kind = wake;
+    wake = Wake::None;
+    return kind;
+  }
+
+  /// Paper: "Waitany.wake() is called for it".
+  void wake_up(Wake kind, xdev::DevRequest request = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      wake = kind;
+      completed = std::move(request);
+    }
+    cv.notify_one();
+  }
+};
+
+Status Engine::waitany(std::span<Request> requests, int& index) {
+  index = -1;
+
+  // Fast path (paper: "We call Test() for each element"): some request may
+  // already be complete, or all may be invalid.
+  bool any_valid = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].valid()) continue;
+    any_valid = true;
+    if (auto status = requests[i].dev_->test()) {
+      index = static_cast<int>(i);
+      return to_status(*status);
+    }
+  }
+  if (!any_valid) return Status{};
+
+  auto wa = std::make_shared<WaitAnyObj>();
+
+  // Install the WaitAny reference on every request. If one completed in the
+  // meantime, set_hook reports it and we bail out before queueing.
+  auto clear_hooks = [&] {
+    for (Request& request : requests) {
+      if (request.valid()) request.dev_->clear_hook();
+    }
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].valid()) continue;
+    if (!requests[i].dev_->set_hook(wa)) {
+      clear_hooks();
+      index = static_cast<int>(i);
+      return to_status(*requests[i].dev_->test());
+    }
+  }
+
+  auto finish_with = [&](const xdev::DevRequest& dev) -> Status {
+    clear_hooks();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].valid() && requests[i].dev_ == dev) {
+        index = static_cast<int>(i);
+        break;
+      }
+    }
+    return to_status(*dev->test());
+  };
+
+  bool leader;
+  {
+    std::lock_guard<std::mutex> lock(waitany_mu_);
+    waitany_queue_.push_back(wa);
+    leader = waitany_queue_.front() == wa;
+  }
+
+  for (;;) {
+    if (!leader) {
+      const WaitAnyObj::Wake kind = wa->wait_for_wake();
+      if (kind == WaitAnyObj::Wake::Completed) {
+        return finish_with(wa->completed);
+      }
+      leader = true;  // promoted: fall through to peek
+      continue;
+    }
+
+    // Leader: "The WaitAny object at the front of this queue is now
+    // responsible for calling the peek() method."
+    xdev::DevRequest completed = device_->peek();
+    auto hook = completed->hook();
+
+    if (hook == wa) {
+      // Scenario 1: ours. Promote the next queued WaitAny to leader.
+      {
+        std::lock_guard<std::mutex> lock(waitany_mu_);
+        waitany_queue_.pop_front();
+        if (!waitany_queue_.empty()) {
+          waitany_queue_.front()->wake_up(WaitAnyObj::Wake::Leader);
+        }
+      }
+      return finish_with(completed);
+    }
+
+    if (hook) {
+      // Scenario 2: belongs to another queued WaitAny — wake it.
+      std::shared_ptr<WaitAnyObj> other;
+      {
+        std::lock_guard<std::mutex> lock(waitany_mu_);
+        auto it = std::find_if(waitany_queue_.begin(), waitany_queue_.end(),
+                               [&](const auto& q) { return q.get() == hook.get(); });
+        if (it != waitany_queue_.end()) {
+          other = *it;
+          waitany_queue_.erase(it);
+        }
+      }
+      if (other) other->wake_up(WaitAnyObj::Wake::Completed, std::move(completed));
+      continue;
+    }
+
+    // Scenario 3: no live WaitAny reference — ignore this completion.
+  }
+}
+
+}  // namespace mpcx::mpdev

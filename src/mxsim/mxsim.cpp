@@ -1,0 +1,301 @@
+#include "mxsim/mxsim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace mpcx::mxsim {
+
+// ---- MxMessage ---------------------------------------------------------------
+
+std::size_t MxMessage::total_bytes() const {
+  std::size_t total = 0;
+  for (const Segment& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+std::span<const std::byte> MxMessage::chunk(std::size_t index) const {
+  if (index >= chunks_.size()) throw DeviceError("MxMessage: chunk index out of range");
+  return {chunks_[index].data, chunks_[index].size};
+}
+
+namespace {
+
+MxStatus status_of(const MxMessage& msg) {
+  MxStatus status;
+  status.source = msg.source();
+  status.match = msg.match();
+  status.total_bytes = msg.total_bytes();
+  status.chunk_sizes.reserve(msg.chunk_count());
+  for (std::size_t i = 0; i < msg.chunk_count(); ++i) status.chunk_sizes.push_back(msg.chunk(i).size());
+  return status;
+}
+
+bool match_accepts(MatchBits posted_match, MatchBits mask, MatchBits incoming) {
+  return (incoming & mask) == (posted_match & mask);
+}
+
+}  // namespace
+
+// ---- Endpoint ----------------------------------------------------------------
+
+Endpoint::Endpoint(Fabric* fabric, EndpointAddr addr, std::size_t eager_limit)
+    : fabric_(fabric), addr_(addr), eager_limit_(eager_limit) {}
+
+Endpoint::~Endpoint() {
+  close();
+  fabric_->remove(addr_);
+}
+
+bool Endpoint::recv_accepts(const PostedRecv& recv, const MxMessage& msg) {
+  if (!match_accepts(recv.match, recv.mask, msg.match())) return false;
+  if (recv.src.has_value() && *recv.src != msg.source()) return false;
+  return true;
+}
+
+void Endpoint::run_sink(const PostedRecv& recv, const std::shared_ptr<MxMessage>& msg) {
+  recv.sink(*msg);
+  recv.request->complete(status_of(*msg));
+  if (msg->send_request) {
+    // Rendezvous / synchronous send: the sender learns the drain finished.
+    MxStatus status;
+    status.source = msg->source();
+    status.match = msg->match();
+    status.total_bytes = msg->total_bytes();
+    msg->send_request->complete(status);
+  }
+}
+
+MxRequest Endpoint::isend(std::span<const Segment> segments, EndpointAddr dst, MatchBits match) {
+  std::size_t total = 0;
+  for (const Segment& s : segments) total += s.size;
+
+  auto msg = std::make_shared<MxMessage>();
+  msg->source_ = addr_;
+  msg->match_ = match;
+  auto request = std::make_shared<MxRequestState>();
+
+  if (total <= eager_limit_) {
+    // Eager: copy now, complete immediately (receiver buffers if needed).
+    msg->owned_.reserve(segments.size());
+    msg->chunks_.reserve(segments.size());
+    for (const Segment& s : segments) {
+      std::vector<std::byte> copy(s.size);
+      if (s.size > 0) std::memcpy(copy.data(), s.data, s.size);
+      msg->owned_.push_back(std::move(copy));
+      msg->chunks_.push_back(Segment{msg->owned_.back().data(), msg->owned_.back().size()});
+    }
+    fabric_->connect(dst)->deliver(msg);
+    MxStatus status;
+    status.source = addr_;
+    status.match = match;
+    status.total_bytes = total;
+    request->complete(status);
+    return request;
+  }
+
+  // Rendezvous: reference sender memory; the request completes when a
+  // receiver matches and drains the message.
+  msg->synchronous_ = true;
+  msg->views_.assign(segments.begin(), segments.end());
+  msg->chunks_ = msg->views_;
+  msg->send_request = request;
+  fabric_->connect(dst)->deliver(msg);
+  return request;
+}
+
+MxRequest Endpoint::issend(std::span<const Segment> segments, EndpointAddr dst, MatchBits match) {
+  auto msg = std::make_shared<MxMessage>();
+  msg->source_ = addr_;
+  msg->match_ = match;
+  msg->synchronous_ = true;
+  msg->views_.assign(segments.begin(), segments.end());
+  msg->chunks_ = msg->views_;
+  auto request = std::make_shared<MxRequestState>();
+  msg->send_request = request;
+  fabric_->connect(dst)->deliver(msg);
+  return request;
+}
+
+MxRequest Endpoint::irecv(MatchBits match, MatchBits mask, std::optional<EndpointAddr> src,
+                          ReceiveSink sink) {
+  auto request = std::make_shared<MxRequestState>();
+  PostedRecv recv{match, mask, src, std::move(sink), request};
+
+  std::shared_ptr<MxMessage> matched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw DeviceError("mxsim: irecv on closed endpoint");
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (recv_accepts(recv, **it)) {
+        matched = *it;
+        unexpected_.erase(it);
+        break;
+      }
+    }
+    if (!matched) {
+      posted_.push_back(std::move(recv));
+      return request;
+    }
+  }
+  run_sink(recv, matched);
+  return request;
+}
+
+void Endpoint::deliver(std::shared_ptr<MxMessage> message) {
+  PostedRecv matched{};
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // dropped, like a NIC after shutdown
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (recv_accepts(*it, *message)) {
+        matched = std::move(*it);
+        posted_.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unexpected_.push_back(std::move(message));
+      arrival_cv_.notify_all();
+      return;
+    }
+  }
+  run_sink(matched, message);
+}
+
+std::optional<ProbeInfo> Endpoint::iprobe(MatchBits match, MatchBits mask,
+                                          std::optional<EndpointAddr> src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& msg : unexpected_) {
+    if (match_accepts(match, mask, msg->match()) &&
+        (!src.has_value() || *src == msg->source())) {
+      ProbeInfo info;
+      info.source = msg->source();
+      info.match = msg->match();
+      info.total_bytes = msg->total_bytes();
+      for (std::size_t i = 0; i < msg->chunk_count(); ++i) {
+        info.chunk_sizes.push_back(msg->chunk(i).size());
+      }
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
+ProbeInfo Endpoint::probe(MatchBits match, MatchBits mask, std::optional<EndpointAddr> src) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (const auto& msg : unexpected_) {
+      if (match_accepts(match, mask, msg->match()) &&
+          (!src.has_value() || *src == msg->source())) {
+        ProbeInfo info;
+        info.source = msg->source();
+        info.match = msg->match();
+        info.total_bytes = msg->total_bytes();
+        for (std::size_t i = 0; i < msg->chunk_count(); ++i) {
+          info.chunk_sizes.push_back(msg->chunk(i).size());
+        }
+        return info;
+      }
+    }
+    if (closed_) throw DeviceError("mxsim: probe on closed endpoint");
+    arrival_cv_.wait(lock);
+  }
+}
+
+bool Endpoint::cancel(const MxRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (it->request.get() == request.get()) {
+        posted_.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  MxStatus status;
+  status.cancelled = true;
+  request->complete(status);
+  return true;
+}
+
+void Endpoint::close() {
+  std::list<PostedRecv> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    orphans.swap(posted_);
+    unexpected_.clear();
+  }
+  arrival_cv_.notify_all();
+  for (const PostedRecv& recv : orphans) {
+    MxStatus status;
+    status.cancelled = true;
+    recv.request->complete(status);
+  }
+}
+
+std::size_t Endpoint::unexpected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unexpected_.size();
+}
+
+// ---- Fabric ------------------------------------------------------------------
+
+Fabric::~Fabric() = default;
+
+std::shared_ptr<Endpoint> Fabric::open_endpoint(EndpointAddr addr) {
+  std::shared_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(addr);
+    if (it != endpoints_.end() && !it->second.expired()) {
+      throw DeviceError("mxsim: endpoint address already open: " + std::to_string(addr));
+    }
+    endpoint = std::make_shared<Endpoint>(this, addr, eager_limit_);
+    endpoints_[addr] = endpoint;
+  }
+  opened_cv_.notify_all();
+  return endpoint;
+}
+
+std::shared_ptr<Endpoint> Fabric::connect(EndpointAddr addr, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto it = endpoints_.find(addr);
+    if (it != endpoints_.end()) {
+      if (auto endpoint = it->second.lock()) return endpoint;
+    }
+    if (opened_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw DeviceError("mxsim: endpoint " + std::to_string(addr) + " not reachable");
+    }
+  }
+}
+
+void Fabric::remove(EndpointAddr addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(addr);
+}
+
+std::size_t Fabric::endpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t alive = 0;
+  for (const auto& [addr, weak] : endpoints_) {
+    if (!weak.expired()) ++alive;
+  }
+  return alive;
+}
+
+Fabric& Fabric::global() {
+  static Fabric instance;
+  return instance;
+}
+
+}  // namespace mpcx::mxsim

@@ -1,0 +1,264 @@
+// mxsim — a from-scratch, MX-like message layer (Myrinet eXpress analog).
+//
+// The paper's mxdev is a thin JNI wrapper over Myricom's MX library: MX
+// itself implements the communication protocols (eager + rendezvous),
+// matching (64-bit match bits), segment-list sends (so mpjbuf's static and
+// dynamic sections travel in one mx_isend), thread-safe completion, and a
+// blocking "peek" for the most recently completed request.
+//
+// We do not have Myrinet hardware, so mxsim reimplements that contract as a
+// shared-memory fabric (see DESIGN.md §4.3):
+//
+//   * Fabric        — the "interconnect": a registry of endpoints.
+//   * Endpoint      — mx_open_endpoint: send/recv with match bits + mask +
+//                     optional source filter, probe/iprobe, completion
+//                     callbacks. All entry points are thread-safe
+//                     (MX's communication functions are thread-safe, which
+//                     is what lets mxdev skip all locking).
+//   * Messages preserve the sender's segment boundaries, so a receiver can
+//     scatter chunk 0 (static section) and chunk 1 (dynamic section) into
+//     different destinations — the moral equivalent of MX's segment lists.
+//
+// Protocols, as in MX:
+//   * eager  (size <= eager_limit): payload is copied into the receiver's
+//     unexpected storage immediately; the send completes at once.
+//   * rendezvous (size > eager_limit): no copy at send time; the message
+//     references the sender's memory and the send request completes only
+//     when a receiver matches and drains it (synchronous-like completion).
+//   * issend always completes only on match, regardless of size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mpcx::mxsim {
+
+using MatchBits = std::uint64_t;
+using EndpointAddr = std::uint64_t;
+
+/// One contiguous piece of a send (mx_segment_t analog).
+struct Segment {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Completion record.
+struct MxStatus {
+  EndpointAddr source = 0;
+  MatchBits match = 0;
+  std::size_t total_bytes = 0;
+  std::vector<std::size_t> chunk_sizes;  ///< sender segment boundaries
+  bool cancelled = false;
+};
+
+class MxRequestState;
+using MxRequest = std::shared_ptr<MxRequestState>;
+
+/// A matched message as presented to the receiver: chunked payload
+/// preserving the sender's segment boundaries.
+class MxMessage {
+ public:
+  EndpointAddr source() const { return source_; }
+  MatchBits match() const { return match_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t total_bytes() const;
+  std::span<const std::byte> chunk(std::size_t index) const;
+
+ private:
+  friend class Endpoint;
+  friend class Fabric;
+
+  EndpointAddr source_ = 0;
+  MatchBits match_ = 0;
+  bool synchronous_ = false;  ///< true for issend and rendezvous sends
+  /// Eager messages own their bytes; rendezvous chunks view sender memory.
+  std::vector<std::vector<std::byte>> owned_;
+  std::vector<Segment> views_;
+  std::vector<Segment> chunks_;       ///< canonical view over owned_ or views_
+  MxRequest send_request;             ///< completed when a rendezvous drain finishes
+};
+
+/// Invoked exactly once when a posted receive matches; must copy what it
+/// needs out of the message before returning (afterwards rendezvous chunks
+/// may be invalidated by the sender reusing its buffer).
+using ReceiveSink = std::function<void(const MxMessage&)>;
+
+class MxRequestState {
+ public:
+  void complete(const MxStatus& status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = status;
+      done_ = true;
+    }
+    cv_.notify_all();
+    CompletionFn fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn = std::move(on_complete_);
+      on_complete_ = nullptr;
+    }
+    if (fn) fn(status);
+  }
+
+  MxStatus wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return status_;
+  }
+
+  std::optional<MxStatus> test() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done_) return std::nullopt;
+    return status_;
+  }
+
+  using CompletionFn = std::function<void(const MxStatus&)>;
+
+  /// Register a completion callback. If the request already completed, the
+  /// callback runs immediately on the calling thread.
+  void on_complete(CompletionFn fn) {
+    bool run_now = false;
+    MxStatus status;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done_) {
+        run_now = true;
+        status = status_;
+      } else {
+        on_complete_ = std::move(fn);
+      }
+    }
+    if (run_now) fn(status);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  MxStatus status_{};
+  bool done_ = false;
+  CompletionFn on_complete_;
+};
+
+/// Probe result (mx_iprobe analog): message metadata without consuming it.
+struct ProbeInfo {
+  EndpointAddr source = 0;
+  MatchBits match = 0;
+  std::size_t total_bytes = 0;
+  std::vector<std::size_t> chunk_sizes;
+};
+
+class Fabric;
+
+class Endpoint {
+ public:
+  Endpoint(Fabric* fabric, EndpointAddr addr, std::size_t eager_limit);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  EndpointAddr address() const { return addr_; }
+
+  /// Standard-mode non-blocking send of a segment list (mx_isend analog).
+  MxRequest isend(std::span<const Segment> segments, EndpointAddr dst, MatchBits match);
+
+  /// Synchronous-mode non-blocking send: completes only when matched.
+  MxRequest issend(std::span<const Segment> segments, EndpointAddr dst, MatchBits match);
+
+  /// Post a receive. The sink runs exactly once, on whichever thread matches
+  /// the message (the sender's thread for late receives, this thread when a
+  /// buffered message is already waiting). The returned request completes
+  /// after the sink has run.
+  MxRequest irecv(MatchBits match, MatchBits mask, std::optional<EndpointAddr> src,
+                  ReceiveSink sink);
+
+  /// Non-blocking probe for a buffered (unexpected) message.
+  std::optional<ProbeInfo> iprobe(MatchBits match, MatchBits mask,
+                                  std::optional<EndpointAddr> src);
+
+  /// Blocking probe.
+  ProbeInfo probe(MatchBits match, MatchBits mask, std::optional<EndpointAddr> src);
+
+  /// Cancel one posted-but-unmatched receive: removes it and completes its
+  /// request with cancelled=true. Returns false if it already matched.
+  bool cancel(const MxRequest& request);
+
+  /// Close the endpoint: cancels posted receives (their requests complete
+  /// with cancelled=true and the sink is dropped).
+  void close();
+
+  std::size_t eager_limit() const { return eager_limit_; }
+
+  /// Number of buffered unexpected messages (introspection for tests).
+  std::size_t unexpected_count() const;
+
+ private:
+  friend class Fabric;
+
+  struct PostedRecv {
+    MatchBits match;
+    MatchBits mask;
+    std::optional<EndpointAddr> src;
+    ReceiveSink sink;
+    MxRequest request;
+  };
+
+  /// Called by the fabric on the *sender's* thread to hand over a message.
+  void deliver(std::shared_ptr<MxMessage> message);
+
+  static bool recv_accepts(const PostedRecv& recv, const MxMessage& msg);
+  static void run_sink(const PostedRecv& recv, const std::shared_ptr<MxMessage>& msg);
+
+  Fabric* const fabric_;
+  const EndpointAddr addr_;
+  const std::size_t eager_limit_;
+
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;  ///< signalled on unexpected arrivals
+  std::list<PostedRecv> posted_;
+  std::list<std::shared_ptr<MxMessage>> unexpected_;
+  bool closed_ = false;
+};
+
+/// The interconnect: a registry of endpoints. Typically one Fabric per
+/// in-process cluster (tests may create isolated fabrics); a global default
+/// instance backs mxdev.
+class Fabric {
+ public:
+  explicit Fabric(std::size_t eager_limit = 32 * 1024) : eager_limit_(eager_limit) {}
+  ~Fabric();
+
+  /// mx_open_endpoint analog. addr must be unique within the fabric.
+  std::shared_ptr<Endpoint> open_endpoint(EndpointAddr addr);
+
+  /// Resolve a peer (mx_connect analog). Blocks until the peer endpoint is
+  /// opened (bootstrap races are normal); throws after `timeout_ms`.
+  std::shared_ptr<Endpoint> connect(EndpointAddr addr, int timeout_ms = 30000) const;
+
+  void remove(EndpointAddr addr);
+
+  std::size_t endpoint_count() const;
+
+  /// Process-wide default fabric used by mxdev.
+  static Fabric& global();
+
+ private:
+  const std::size_t eager_limit_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable opened_cv_;
+  std::unordered_map<EndpointAddr, std::weak_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace mpcx::mxsim

@@ -1,0 +1,51 @@
+#include "netsim/collective_model.hpp"
+
+#include "support/error.hpp"
+
+namespace mpcx::netsim {
+
+int CollectiveModel::log2_rounds(int n) {
+  if (n < 1) throw ArgumentError("CollectiveModel: n must be >= 1");
+  int rounds = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double CollectiveModel::barrier_dissemination_us(int n) const {
+  return log2_rounds(n) * p2p_.transfer_time_us(1);
+}
+
+double CollectiveModel::barrier_linear_us(int n) const {
+  return 2.0 * (n - 1) * p2p_.transfer_time_us(1);
+}
+
+double CollectiveModel::bcast_binomial_us(int n, std::size_t bytes) const {
+  return log2_rounds(n) * p2p_.transfer_time_us(bytes);
+}
+
+double CollectiveModel::bcast_linear_us(int n, std::size_t bytes) const {
+  return (n - 1) * p2p_.transfer_time_us(bytes);
+}
+
+double CollectiveModel::reduce_binomial_us(int n, std::size_t bytes,
+                                           double combine_us_per_byte) const {
+  const double per_round =
+      p2p_.transfer_time_us(bytes) + combine_us_per_byte * static_cast<double>(bytes);
+  return log2_rounds(n) * per_round;
+}
+
+double CollectiveModel::allgather_ring_us(int n, std::size_t block_bytes) const {
+  return (n - 1) * p2p_.transfer_time_us(block_bytes);
+}
+
+double CollectiveModel::allgather_gather_bcast_us(int n, std::size_t block_bytes) const {
+  const double gather = (n - 1) * p2p_.transfer_time_us(block_bytes);
+  const double bcast = bcast_binomial_us(n, block_bytes * static_cast<std::size_t>(n));
+  return gather + bcast;
+}
+
+}  // namespace mpcx::netsim

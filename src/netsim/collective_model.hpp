@@ -1,0 +1,61 @@
+// Collective-algorithm scaling model over the netsim link models.
+//
+// The live collective ablation (bench_ablation_collectives) runs in a
+// shared-memory fabric where wire latency is ~0 and tree algorithms barely
+// pay off. This model projects OUR collective algorithms (the ones
+// src/core implements: dissemination barrier, binomial bcast/reduce, ring
+// allgather) onto the paper's 2006 cluster models, where a round trip
+// costs real microseconds — the regime the algorithms were designed for.
+//
+// Model assumptions (classic LogP-style): the cluster is n nodes on a
+// full-duplex switch; in one "round" every node can send one message and
+// receive one message concurrently; a round costs one modeled one-way
+// transfer (PingPongModel::transfer_time_us). Sequential (linear)
+// algorithms serialize their sends at the root.
+#pragma once
+
+#include <cstddef>
+
+#include "netsim/netsim.hpp"
+
+namespace mpcx::netsim {
+
+class CollectiveModel {
+ public:
+  explicit CollectiveModel(PingPongModel p2p) : p2p_(std::move(p2p)) {}
+
+  /// Dissemination barrier (what Intracomm::Barrier runs): ceil(log2 n)
+  /// rounds of 1-byte messages.
+  double barrier_dissemination_us(int n) const;
+
+  /// Linear barrier: everyone reports to rank 0, rank 0 releases everyone —
+  /// 2(n-1) sequential messages through the root's link.
+  double barrier_linear_us(int n) const;
+
+  /// Binomial-tree broadcast (Intracomm::Bcast): ceil(log2 n) rounds, the
+  /// payload travelling once per round.
+  double bcast_binomial_us(int n, std::size_t bytes) const;
+
+  /// Linear broadcast: root sends n-1 copies back to back.
+  double bcast_linear_us(int n, std::size_t bytes) const;
+
+  /// Binomial-tree reduce: like bcast plus a per-round combine cost.
+  double reduce_binomial_us(int n, std::size_t bytes, double combine_us_per_byte) const;
+
+  /// Ring allgather (Intracomm::Allgather): n-1 concurrent-neighbour rounds
+  /// of one block each.
+  double allgather_ring_us(int n, std::size_t block_bytes) const;
+
+  /// Gather-to-root allgather alternative: root collects n-1 blocks
+  /// sequentially, then broadcasts the n-block result binomially.
+  double allgather_gather_bcast_us(int n, std::size_t block_bytes) const;
+
+  const PingPongModel& p2p() const { return p2p_; }
+
+ private:
+  static int log2_rounds(int n);
+
+  PingPongModel p2p_;
+};
+
+}  // namespace mpcx::netsim

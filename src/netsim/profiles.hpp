@@ -1,0 +1,140 @@
+// Calibrated system profiles for the paper's evaluation (Figs. 10-15).
+//
+// Each profile models one messaging system the paper measures. The MODEL is
+// mechanistic (see netsim.hpp); the CONSTANTS are calibrated per network to
+// the paper's reported endpoints (1-byte latency and 16 MB throughput), so
+// the interesting content — orderings, crossovers, the 128 KB protocol dip,
+// the mpijava out-of-cache collapse on Myrinet — emerges from the protocol
+// and copy mechanics rather than from per-point curve fitting.
+//
+// Per-system software structure (from the paper):
+//   MPICH / LAM      native C, kernel socket path, no extra copies
+//   mpijava          JNI wrapper over MPICH: one JNI copy each side
+//   MPJ/Ibis         pure Java streams: no packing, but higher setup
+//   mpjdev           MPJ Express device level: NIO path, no mpjbuf packing
+//   MPJ Express      mpjdev + mpjbuf pack/unpack copy on each side
+#pragma once
+
+#include <vector>
+
+#include "netsim/netsim.hpp"
+
+namespace mpcx::netsim {
+
+/// The StarBug cluster's three networks (Sec. V).
+inline LinkSpec fast_ethernet_link() {
+  return LinkSpec{/*bandwidth_mbps=*/100.0, /*latency_us=*/60.0,
+                  /*mtu_payload=*/1460, /*frame_overhead=*/78};
+}
+
+inline LinkSpec gigabit_link() {
+  return LinkSpec{/*bandwidth_mbps=*/1000.0, /*latency_us=*/25.0,
+                  /*mtu_payload=*/1460, /*frame_overhead=*/78};
+}
+
+inline LinkSpec myrinet_link() {
+  // MX framing is negligible next to Ethernet's.
+  return LinkSpec{/*bandwidth_mbps=*/2000.0, /*latency_us=*/3.0,
+                  /*mtu_payload=*/4096, /*frame_overhead=*/16};
+}
+
+/// The e1000 driver's 64 us polling latency (Sec. V); MX busy-polls.
+inline NicSpec ethernet_nic() { return NicSpec{64.0}; }
+inline NicSpec myrinet_nic() { return NicSpec{0.0}; }
+
+inline constexpr std::size_t kEagerThreshold = 128 * 1024;  // TCP systems
+inline constexpr std::size_t kMxThreshold = 32 * 1024;      // MX internal
+
+/// Figure 10/11 systems (Fast Ethernet), in the paper's legend order.
+inline std::vector<PingPongModel> fast_ethernet_systems() {
+  const LinkSpec link = fast_ethernet_link();
+  const NicSpec nic = ethernet_nic();
+  auto model = [&](SoftwareProfile profile) { return PingPongModel(link, nic, profile); };
+  return {
+      model({.name = "MPJ Express", .send_setup_us = 35, .recv_setup_us = 35,
+             .send_per_byte_us = 0.0039, .recv_per_byte_us = 0.0038,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "mpjdev", .send_setup_us = 30, .recv_setup_us = 30,
+             .send_per_byte_us = 0.0033, .recv_per_byte_us = 0.0033,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "MPICH", .send_setup_us = 10, .recv_setup_us = 10,
+             .send_per_byte_us = 0.0033, .recv_per_byte_us = 0.0033,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "mpijava", .send_setup_us = 15, .recv_setup_us = 15,
+             .send_per_byte_us = 0.0055, .recv_per_byte_us = 0.0054,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "LAM/MPI", .send_setup_us = 10, .recv_setup_us = 10,
+             .send_per_byte_us = 0.0023, .recv_per_byte_us = 0.0023}),
+      model({.name = "MPJ/Ibis (TCPIbis)", .send_setup_us = 25, .recv_setup_us = 25,
+             .send_per_byte_us = 0.0023, .recv_per_byte_us = 0.0023}),
+      model({.name = "MPJ/Ibis (NIOIbis)", .send_setup_us = 25, .recv_setup_us = 24,
+             .send_per_byte_us = 0.0023, .recv_per_byte_us = 0.0023}),
+  };
+}
+
+/// Figure 12/13 systems (Gigabit Ethernet; 512 KB socket buffers, Sec. V-C).
+inline std::vector<PingPongModel> gigabit_systems() {
+  const LinkSpec link = gigabit_link();
+  const NicSpec nic = ethernet_nic();
+  constexpr std::size_t kWindow = 512 * 1024;
+  auto model = [&](SoftwareProfile profile) {
+    profile.socket_buffer_bytes = kWindow;
+    return PingPongModel(link, nic, profile);
+  };
+  return {
+      model({.name = "MPJ Express", .send_setup_us = 35, .recv_setup_us = 35,
+             .send_per_byte_us = 0.00167, .recv_per_byte_us = 0.00166,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "mpjdev", .send_setup_us = 30, .recv_setup_us = 30,
+             .send_per_byte_us = 0.00023, .recv_per_byte_us = 0.00023,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "mpijava", .send_setup_us = 15, .recv_setup_us = 15,
+             .send_per_byte_us = 0.00245, .recv_per_byte_us = 0.00245,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "MPICH", .send_setup_us = 10, .recv_setup_us = 10,
+             .send_per_byte_us = 0.00105, .recv_per_byte_us = 0.00105,
+             .eager_threshold = kEagerThreshold}),
+      model({.name = "MPJ/Ibis (TCPIbis)", .send_setup_us = 25, .recv_setup_us = 25,
+             .send_per_byte_us = 0.00023, .recv_per_byte_us = 0.00023}),
+      model({.name = "MPJ/Ibis (NIOIbis)", .send_setup_us = 25, .recv_setup_us = 24,
+             .send_per_byte_us = 0.00023, .recv_per_byte_us = 0.00023}),
+      model({.name = "LAM/MPI", .send_setup_us = 10, .recv_setup_us = 10,
+             .send_per_byte_us = 0.00023, .recv_per_byte_us = 0.00023}),
+  };
+}
+
+/// Figure 14/15 systems (2G Myrinet over MX). mxdev has no frame header —
+/// match bits carry the envelope — hence header_bytes = 0.
+inline std::vector<PingPongModel> myrinet_systems() {
+  const LinkSpec link = myrinet_link();
+  const NicSpec nic = myrinet_nic();
+  auto model = [&](SoftwareProfile profile) {
+    profile.header_bytes = 0;
+    return PingPongModel(link, nic, profile);
+  };
+  return {
+      model({.name = "MPJ Express", .send_setup_us = 10, .recv_setup_us = 10,
+             .send_per_byte_us = 0.00164, .recv_per_byte_us = 0.00164,
+             .eager_threshold = kMxThreshold}),
+      model({.name = "mpjdev", .send_setup_us = 9, .recv_setup_us = 9,
+             .send_per_byte_us = 0.00018, .recv_per_byte_us = 0.00018,
+             .eager_threshold = kMxThreshold}),
+      model({.name = "MPICH-MX", .send_setup_us = 0.5, .recv_setup_us = 0.5,
+             .send_per_byte_us = 0.00021, .recv_per_byte_us = 0.00021,
+             .eager_threshold = kMxThreshold}),
+      model({.name = "mpijava", .send_setup_us = 4.5, .recv_setup_us = 4.5,
+             .send_per_byte_us = 0.00096, .recv_per_byte_us = 0.00096,
+             .large_send_per_byte_us = 0.0026, .large_recv_per_byte_us = 0.0026,
+             .large_threshold = 64 * 1024, .eager_threshold = kMxThreshold}),
+  };
+}
+
+/// Message-size sweep used by all figure benchmarks: 1 byte to 16 MB in
+/// powers of two (the paper's x axis).
+inline std::vector<std::size_t> figure_sweep() {
+  std::vector<std::size_t> sizes = {1};
+  for (std::size_t size = 2; size <= (16u << 20); size <<= 1) sizes.push_back(size);
+  return sizes;
+}
+
+}  // namespace mpcx::netsim

@@ -1,0 +1,233 @@
+#include "runtime/daemon.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <vector>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace mpcx::runtime {
+namespace {
+
+std::string default_session_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = tmp != nullptr ? tmp : "/tmp";
+  std::string dir = base + "/mpcxd-XXXXXX";
+  std::vector<char> buffer(dir.begin(), dir.end());
+  buffer.push_back('\0');
+  if (::mkdtemp(buffer.data()) == nullptr) {
+    throw RuntimeError(std::string("mkdtemp: ") + std::strerror(errno));
+  }
+  return std::string(buffer.data());
+}
+
+}  // namespace
+
+Daemon::Daemon(std::uint16_t port, std::string session_dir)
+    : acceptor_(port),
+      session_dir_(session_dir.empty() ? default_session_dir() : std::move(session_dir)) {
+  ::mkdir(session_dir_.c_str(), 0755);  // ok if it already exists
+}
+
+Daemon::~Daemon() {
+  try {
+    stop();
+  } catch (const Error& e) {
+    log::warn("daemon teardown: ", e.what());
+  }
+}
+
+void Daemon::start() {
+  serve_thread_ = std::thread([this] {
+    try {
+      serve();
+    } catch (const Error& e) {
+      log::error("mpcxd serve loop: ", e.what());
+    }
+  });
+}
+
+void Daemon::stop() {
+  if (!serve_thread_.joinable()) return;
+  if (!stopping_.load()) {
+    // Nudge the accept loop with a shutdown connection.
+    try {
+      net::Socket sock = net::Socket::connect("127.0.0.1", port(), 2000);
+      write_frame(sock, MsgKind::Shutdown);
+      (void)read_frame(sock);
+    } catch (const Error&) {
+      stopping_ = true;
+    }
+  }
+  serve_thread_.join();
+}
+
+void Daemon::serve() {
+  log::info("mpcxd listening on port ", port(), ", session dir ", session_dir_);
+  // One handler thread per client connection: mpcxrun keeps its connection
+  // open for the whole run, and Shutdown must still get through.
+  std::vector<std::thread> handlers;
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<net::Socket>> conns;
+  while (!stopping_.load()) {
+    auto sock = acceptor_.accept_for(200);
+    if (!sock) continue;
+    auto conn = std::make_shared<net::Socket>(std::move(*sock));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(conn);
+    }
+    handlers.emplace_back([this, conn] { handle_connection(*conn); });
+  }
+  // Force any idle handler out of its blocking read, then collect them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& conn : conns) {
+      if (conn->valid()) ::shutdown(conn->fd(), SHUT_RDWR);
+    }
+  }
+  for (std::thread& handler : handlers) handler.join();
+}
+
+void Daemon::handle_connection(net::Socket& sock) {
+  try {
+    for (;;) {
+      const Frame frame = read_frame(sock);
+      switch (frame.kind) {
+        case MsgKind::Spawn:
+          write_frame(sock, MsgKind::SpawnReply, handle_spawn(frame.as<SpawnRequest>()));
+          break;
+        case MsgKind::Status:
+          write_frame(sock, MsgKind::StatusReply, handle_status(frame.as<StatusRequest>()));
+          break;
+        case MsgKind::Fetch:
+          write_frame(sock, MsgKind::FetchReply, handle_fetch(frame.as<FetchRequest>()));
+          break;
+        case MsgKind::Shutdown:
+          stopping_ = true;
+          write_frame(sock, MsgKind::ShutdownReply);
+          return;
+        default:
+          throw RuntimeError("mpcxd: unexpected frame kind");
+      }
+    }
+  } catch (const net::SocketError&) {
+    // Client hung up; normal.
+  } catch (const Error& e) {
+    log::warn("mpcxd connection: ", e.what());
+  }
+}
+
+SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
+  SpawnReply reply;
+  std::string exe_path = request.exe;
+
+  if (request.staged) {
+    // Fig. 9b "remote classloading": materialize the shipped binary.
+    std::string staged;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      staged = session_dir_ + "/staged_" + std::to_string(next_stage_id_++) + "_" + request.exe;
+    }
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      reply.error = "cannot write staged binary " + staged;
+      return reply;
+    }
+    out.write(reinterpret_cast<const char*>(request.binary.data()),
+              static_cast<std::streamsize>(request.binary.size()));
+    out.close();
+    ::chmod(staged.c_str(), 0755);
+    exe_path = staged;
+  }
+
+  const std::string log_path =
+      session_dir_ + "/proc_" + std::to_string(next_stage_id_++) + ".log";
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    reply.error = std::string("fork: ") + std::strerror(errno);
+    return reply;
+  }
+  if (pid == 0) {
+    // Child: redirect output, apply env, exec.
+    const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    for (const auto& [key, value] : request.env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exe_path.c_str()));
+    for (const std::string& arg : request.args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(exe_path.c_str(), argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", exe_path.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    children_[pid] = Child{pid, log_path, false, -1};
+  }
+  log::info("mpcxd spawned pid ", pid, " (", exe_path, ")");
+  reply.pid = pid;
+  return reply;
+}
+
+StatusReply Daemon::handle_status(const StatusRequest& request) {
+  StatusReply reply;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(request.pid);
+  if (it == children_.end()) {
+    reply.error = "unknown pid " + std::to_string(request.pid);
+    return reply;
+  }
+  Child& child = it->second;
+  if (!child.exited) {
+    int status = 0;
+    const pid_t rc = ::waitpid(child.pid, &status, WNOHANG);
+    if (rc == child.pid) {
+      child.exited = true;
+      child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+    }
+  }
+  reply.exited = child.exited;
+  reply.exit_code = child.exit_code;
+  return reply;
+}
+
+FetchReply Daemon::handle_fetch(const FetchRequest& request) {
+  FetchReply reply;
+  std::string log_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = children_.find(request.pid);
+    if (it == children_.end()) {
+      reply.error = "unknown pid " + std::to_string(request.pid);
+      return reply;
+    }
+    log_path = it->second.log_path;
+  }
+  std::ifstream in(log_path, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  reply.output = content.str();
+  return reply;
+}
+
+}  // namespace mpcx::runtime

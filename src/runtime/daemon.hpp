@@ -1,0 +1,71 @@
+// mpcxd — the compute-node daemon of the MPCX runtime (Sec. IV-D).
+//
+// The paper's daemon is "a Java application listening on an IP port, which
+// starts a new JVM whenever there is a request to execute an MPJE
+// process"; ours listens on a TCP port and fork/execs MPCX processes.
+// Child stdout+stderr are captured to per-process log files under the
+// daemon's session directory so the launcher can Fetch them — the moral
+// equivalent of mpjrun showing remote output.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace mpcx::runtime {
+
+class Daemon {
+ public:
+  /// Bind to `port` (0 = ephemeral) and prepare a session directory for
+  /// staged binaries and child logs.
+  explicit Daemon(std::uint16_t port = 0, std::string session_dir = "");
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  std::uint16_t port() const { return acceptor_.port(); }
+  const std::string& session_dir() const { return session_dir_; }
+
+  /// Serve until a Shutdown request arrives (blocking).
+  void serve();
+
+  /// Serve on a background thread.
+  void start();
+
+  /// Request shutdown and join the background thread.
+  void stop();
+
+ private:
+  void handle_connection(net::Socket& sock);
+  SpawnReply handle_spawn(const SpawnRequest& request);
+  StatusReply handle_status(const StatusRequest& request);
+  FetchReply handle_fetch(const FetchRequest& request);
+
+  struct Child {
+    pid_t pid = -1;
+    std::string log_path;
+    bool exited = false;
+    int exit_code = -1;
+  };
+
+  net::Acceptor acceptor_;
+  std::string session_dir_;
+  std::atomic<bool> stopping_{false};
+  std::thread serve_thread_;
+
+  std::mutex mu_;
+  std::map<std::int32_t, Child> children_;
+  int next_stage_id_ = 0;
+};
+
+}  // namespace mpcx::runtime

@@ -1,0 +1,169 @@
+#include "runtime/launcher.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace mpcx::runtime {
+
+DaemonClient::DaemonClient(const DaemonAddr& addr)
+    : sock_(net::Socket::connect(addr.host, addr.port, 5000)) {}
+
+SpawnReply DaemonClient::spawn(const SpawnRequest& request) {
+  write_frame(sock_, MsgKind::Spawn, request);
+  const Frame frame = read_frame(sock_);
+  if (frame.kind != MsgKind::SpawnReply) throw RuntimeError("mpcxrun: bad spawn reply");
+  return frame.as<SpawnReply>();
+}
+
+StatusReply DaemonClient::status(std::int32_t pid) {
+  write_frame(sock_, MsgKind::Status, StatusRequest{pid});
+  const Frame frame = read_frame(sock_);
+  if (frame.kind != MsgKind::StatusReply) throw RuntimeError("mpcxrun: bad status reply");
+  return frame.as<StatusReply>();
+}
+
+FetchReply DaemonClient::fetch(std::int32_t pid) {
+  write_frame(sock_, MsgKind::Fetch, FetchRequest{pid});
+  const Frame frame = read_frame(sock_);
+  if (frame.kind != MsgKind::FetchReply) throw RuntimeError("mpcxrun: bad fetch reply");
+  return frame.as<FetchReply>();
+}
+
+void DaemonClient::shutdown() {
+  write_frame(sock_, MsgKind::Shutdown);
+  (void)read_frame(sock_);
+}
+
+namespace {
+
+std::vector<std::byte> read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw RuntimeError("mpcxrun: cannot read executable " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  const auto* bytes = reinterpret_cast<const std::byte*>(text.data());
+  return std::vector<std::byte>(bytes, bytes + text.size());
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Reserve nprocs consecutive listen ports by probing bind() on a base.
+std::uint16_t pick_port_range(int nprocs) {
+  for (std::uint16_t base = 24000; base < 60000; base = static_cast<std::uint16_t>(base + 64)) {
+    bool free = true;
+    std::vector<net::Acceptor> probes;
+    for (int i = 0; i < nprocs; ++i) {
+      try {
+        probes.emplace_back(static_cast<std::uint16_t>(base + i));
+      } catch (const Error&) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return base;  // probes close here; a race is possible but the
+                            // window is tiny and tcpdev fails loudly.
+  }
+  throw RuntimeError("mpcxrun: no free port range found");
+}
+
+}  // namespace
+
+std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
+  if (spec.nprocs <= 0) throw ArgumentError("mpcxrun: nprocs must be positive");
+  if (spec.daemons.empty()) throw ArgumentError("mpcxrun: need at least one daemon");
+
+  const std::uint16_t base_port =
+      spec.base_port != 0 ? spec.base_port : pick_port_range(spec.nprocs);
+
+  // Build MPCX_WORLD: host:port per rank, in rank order. Ranks placed
+  // round-robin over the daemons; the port is rank-local on that host.
+  std::vector<std::string> entries;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    const DaemonAddr& daemon = spec.daemons[static_cast<std::size_t>(r) % spec.daemons.size()];
+    entries.push_back(daemon.host + ":" + std::to_string(base_port + r));
+  }
+  std::string world;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) world += ",";
+    world += entries[i];
+  }
+
+  std::vector<std::byte> binary;
+  if (spec.stage_binary) binary = read_binary(spec.exe);
+
+  // One client connection per daemon, reused for all its ranks.
+  std::vector<DaemonClient> clients;
+  clients.reserve(spec.daemons.size());
+  for (const DaemonAddr& addr : spec.daemons) clients.emplace_back(addr);
+
+  struct Placement {
+    std::size_t daemon;
+    std::int32_t pid;
+  };
+  // One session token for the whole launch: every rank must derive the
+  // same ProcessIDs. Time-based so ProcessIDs (and shmdev segment names)
+  // never collide with stale runs even when pids recycle.
+  const std::string session = std::to_string(
+      (std::chrono::steady_clock::now().time_since_epoch().count() >> 10) ^
+      (static_cast<long long>(::getpid()) << 16));
+  std::vector<Placement> placements;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    const std::size_t d = static_cast<std::size_t>(r) % spec.daemons.size();
+    SpawnRequest request;
+    request.staged = spec.stage_binary;
+    request.exe = spec.stage_binary ? basename_of(spec.exe) : spec.exe;
+    request.args = spec.args;
+    request.binary = binary;
+    request.env = {
+        {"MPCX_RANK", std::to_string(r)},
+        {"MPCX_WORLD", world},
+        {"MPCX_DEVICE", spec.device},
+        {"MPCX_SESSION", session},
+    };
+    if (spec.eager_threshold > 0) {
+      request.env.emplace_back("MPCX_EAGER_THRESHOLD", std::to_string(spec.eager_threshold));
+    }
+    if (spec.socket_buffer_bytes > 0) {
+      request.env.emplace_back("MPCX_SOCKET_BUFFER", std::to_string(spec.socket_buffer_bytes));
+    }
+    const SpawnReply reply = clients[d].spawn(request);
+    if (reply.pid < 0) throw RuntimeError("mpcxrun: spawn failed: " + reply.error);
+    placements.push_back(Placement{d, reply.pid});
+  }
+
+  // Wait for every rank.
+  std::vector<ProcessResult> results(static_cast<std::size_t>(spec.nprocs));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (int r = 0; r < spec.nprocs; ++r) {
+    const Placement& placement = placements[static_cast<std::size_t>(r)];
+    for (;;) {
+      const StatusReply status = clients[placement.daemon].status(placement.pid);
+      if (!status.error.empty()) throw RuntimeError("mpcxrun: " + status.error);
+      if (status.exited) {
+        results[static_cast<std::size_t>(r)].pid = placement.pid;
+        results[static_cast<std::size_t>(r)].exit_code = status.exit_code;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw RuntimeError("mpcxrun: timeout waiting for rank " + std::to_string(r));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    results[static_cast<std::size_t>(r)].output =
+        clients[placement.daemon].fetch(placement.pid).output;
+  }
+  return results;
+}
+
+}  // namespace mpcx::runtime

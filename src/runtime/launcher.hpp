@@ -1,0 +1,60 @@
+// mpcxrun — the launcher side of the MPCX runtime (the paper's mpjrun
+// module, Sec. IV-D).
+//
+// Contacts one or more mpcxd daemons, asks each to start MPCX processes
+// with the right MPCX_RANK/MPCX_WORLD environment, then waits for them and
+// collects their output. Supports both Fig. 9 modes: local exec (shared
+// filesystem) and staged upload ("remote classloading").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/protocol.hpp"
+
+namespace mpcx::runtime {
+
+/// One daemon endpoint.
+struct DaemonAddr {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Client for a single daemon connection.
+class DaemonClient {
+ public:
+  explicit DaemonClient(const DaemonAddr& addr);
+
+  SpawnReply spawn(const SpawnRequest& request);
+  StatusReply status(std::int32_t pid);
+  FetchReply fetch(std::int32_t pid);
+  void shutdown();
+
+ private:
+  net::Socket sock_;
+};
+
+struct LaunchSpec {
+  int nprocs = 2;
+  std::string exe;                 ///< path to the MPCX program
+  std::vector<std::string> args;
+  std::string device = "tcpdev";   ///< multi-process requires tcpdev
+  std::uint16_t base_port = 0;     ///< 0: pick a free range automatically
+  bool stage_binary = false;       ///< ship the executable to the daemons
+  std::vector<DaemonAddr> daemons; ///< round-robin placement; >= 1
+  std::size_t eager_threshold = 0; ///< 0 = library default
+  int socket_buffer_bytes = 0;
+};
+
+struct ProcessResult {
+  std::int32_t pid = -1;
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Launch spec.nprocs processes across the daemons, wait for all of them,
+/// and return per-rank results (exit code + captured output).
+std::vector<ProcessResult> launch_world(const LaunchSpec& spec);
+
+}  // namespace mpcx::runtime

@@ -1,0 +1,28 @@
+// mpcxd — compute-node daemon executable.
+//
+//   mpcxd [port]        (default 20617)
+//
+// Runs in the foreground; install under your service manager of choice
+// (the paper wrapped its Java daemon with the Java Service Wrapper — the
+// C++ equivalent is a systemd unit).
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/daemon.hpp"
+#include "support/logging.hpp"
+
+int main(int argc, char** argv) {
+  const auto port = static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 20617);
+  mpcx::log::set_level(mpcx::log::Level::Info);
+  try {
+    mpcx::runtime::Daemon daemon(port);
+    std::printf("mpcxd: listening on %u, session dir %s\n", daemon.port(),
+                daemon.session_dir().c_str());
+    std::fflush(stdout);
+    daemon.serve();
+  } catch (const mpcx::Error& e) {
+    std::fprintf(stderr, "mpcxd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// mpcxrun — launcher executable (the paper's mpjrun module).
+//
+//   mpcxrun -np N [-daemon host:port]... [-stage] [-device tcpdev]
+//           [-ports BASE] program [args...]
+//
+// Starts N ranks of `program` through the listed mpcxd daemons (default:
+// one daemon at 127.0.0.1:20617), waits for completion, prints each rank's
+// captured output, and exits with the first non-zero rank exit code.
+// -stage ships the executable bytes to the daemons (Fig. 9b "remote
+// classloading") instead of assuming a shared filesystem.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/launcher.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: mpcxrun -np N [-daemon host:port]... [-stage] [-device DEV] "
+               "[-ports BASE] program [args...]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcx::runtime;
+  LaunchSpec spec;
+  spec.nprocs = 0;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-np" && i + 1 < argc) {
+      spec.nprocs = std::atoi(argv[++i]);
+    } else if (arg == "-daemon" && i + 1 < argc) {
+      const std::string addr = argv[++i];
+      const auto colon = addr.find(':');
+      if (colon == std::string::npos) usage();
+      spec.daemons.push_back(DaemonAddr{addr.substr(0, colon),
+                                        static_cast<std::uint16_t>(
+                                            std::atoi(addr.c_str() + colon + 1))});
+    } else if (arg == "-stage") {
+      spec.stage_binary = true;
+    } else if (arg == "-device" && i + 1 < argc) {
+      spec.device = argv[++i];
+    } else if (arg == "-ports" && i + 1 < argc) {
+      spec.base_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg[0] == '-') {
+      usage();
+    } else {
+      break;
+    }
+  }
+  if (spec.nprocs <= 0 || i >= argc) usage();
+  spec.exe = argv[i++];
+  for (; i < argc; ++i) spec.args.emplace_back(argv[i]);
+  if (spec.daemons.empty()) spec.daemons.push_back(DaemonAddr{"127.0.0.1", 20617});
+
+  try {
+    const auto results = launch_world(spec);
+    int exit_code = 0;
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      std::printf("---- rank %zu (pid %d, exit %d) ----\n%s", r, results[r].pid,
+                  results[r].exit_code, results[r].output.c_str());
+      if (results[r].exit_code != 0 && exit_code == 0) exit_code = results[r].exit_code;
+    }
+    return exit_code;
+  } catch (const mpcx::Error& e) {
+    std::fprintf(stderr, "mpcxrun: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,173 @@
+// Wire protocol between the mpcxrun launcher and mpcxd daemons
+// (the paper's runtime, Sec. IV-D / Fig. 9).
+//
+// Frames are [u32 length][payload]; payloads are encoded with the bufx
+// serializer. Request kinds:
+//   Spawn    — start one MPCX process. Two modes, mirroring Fig. 9:
+//              * local  (Fig. 9a "local classloading"): exec a path that
+//                already exists on the compute node / shared filesystem;
+//              * staged (Fig. 9b "remote classloading"): the executable
+//                bytes travel WITH the request; the daemon materializes
+//                and runs them — no shared filesystem needed.
+//   Status   — poll a spawned process (running / exited + code).
+//   Fetch    — retrieve the captured stdout+stderr of a finished process.
+//   Shutdown — stop the daemon loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bufx/serializer.hpp"
+#include "support/socket.hpp"
+
+namespace mpcx::runtime {
+
+enum class MsgKind : std::uint8_t {
+  Spawn = 1,
+  SpawnReply = 2,
+  Status = 3,
+  StatusReply = 4,
+  Fetch = 5,
+  FetchReply = 6,
+  Shutdown = 7,
+  ShutdownReply = 8,
+};
+
+struct SpawnRequest {
+  bool staged = false;
+  std::string exe;  ///< path (local mode) or a name for the staged binary
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> env;
+  std::vector<std::byte> binary;  ///< executable bytes (staged mode)
+
+  void serialize(buf::ByteSink& sink) const {
+    sink.put<std::uint8_t>(staged ? 1 : 0);
+    sink.put_string(exe);
+    buf::encode_value(sink, args);
+    buf::encode_value(sink, env);
+    sink.put<std::uint32_t>(static_cast<std::uint32_t>(binary.size()));
+    sink.put_bytes(binary.data(), binary.size());
+  }
+  static SpawnRequest deserialize(buf::ByteSource& source) {
+    SpawnRequest req;
+    req.staged = source.get<std::uint8_t>() != 0;
+    req.exe = source.get_string();
+    req.args = buf::decode_value<std::vector<std::string>>(source);
+    req.env = buf::decode_value<std::vector<std::pair<std::string, std::string>>>(source);
+    req.binary.resize(source.get<std::uint32_t>());
+    source.get_bytes(req.binary.data(), req.binary.size());
+    return req;
+  }
+};
+
+struct SpawnReply {
+  std::int32_t pid = -1;
+  std::string error;
+
+  void serialize(buf::ByteSink& sink) const {
+    sink.put(pid);
+    sink.put_string(error);
+  }
+  static SpawnReply deserialize(buf::ByteSource& source) {
+    SpawnReply reply;
+    reply.pid = source.get<std::int32_t>();
+    reply.error = source.get_string();
+    return reply;
+  }
+};
+
+struct StatusRequest {
+  std::int32_t pid = -1;
+  void serialize(buf::ByteSink& sink) const { sink.put(pid); }
+  static StatusRequest deserialize(buf::ByteSource& source) {
+    return StatusRequest{source.get<std::int32_t>()};
+  }
+};
+
+struct StatusReply {
+  bool exited = false;
+  std::int32_t exit_code = -1;
+  std::string error;
+
+  void serialize(buf::ByteSink& sink) const {
+    sink.put<std::uint8_t>(exited ? 1 : 0);
+    sink.put(exit_code);
+    sink.put_string(error);
+  }
+  static StatusReply deserialize(buf::ByteSource& source) {
+    StatusReply reply;
+    reply.exited = source.get<std::uint8_t>() != 0;
+    reply.exit_code = source.get<std::int32_t>();
+    reply.error = source.get_string();
+    return reply;
+  }
+};
+
+struct FetchRequest {
+  std::int32_t pid = -1;
+  void serialize(buf::ByteSink& sink) const { sink.put(pid); }
+  static FetchRequest deserialize(buf::ByteSource& source) {
+    return FetchRequest{source.get<std::int32_t>()};
+  }
+};
+
+struct FetchReply {
+  std::string output;
+  std::string error;
+  void serialize(buf::ByteSink& sink) const {
+    sink.put_string(output);
+    sink.put_string(error);
+  }
+  static FetchReply deserialize(buf::ByteSource& source) {
+    FetchReply reply;
+    reply.output = source.get_string();
+    reply.error = source.get_string();
+    return reply;
+  }
+};
+
+/// Write one [kind][length][payload] frame.
+template <typename T>
+void write_frame(net::Socket& sock, MsgKind kind, const T& message) {
+  std::vector<std::byte> payload;
+  buf::ByteSink sink(payload);
+  message.serialize(sink);
+  std::vector<std::byte> frame(5 + payload.size());
+  frame[0] = static_cast<std::byte>(kind);
+  store_wire<std::uint32_t>(frame.data() + 1, static_cast<std::uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), frame.begin() + 5);
+  sock.write_all(frame);
+}
+
+/// Header-only frame (Shutdown / ShutdownReply).
+inline void write_frame(net::Socket& sock, MsgKind kind) {
+  std::array<std::byte, 5> frame{};
+  frame[0] = static_cast<std::byte>(kind);
+  store_wire<std::uint32_t>(frame.data() + 1, 0);
+  sock.write_all(frame);
+}
+
+struct Frame {
+  MsgKind kind;
+  std::vector<std::byte> payload;
+
+  template <typename T>
+  T as() const {
+    buf::ByteSource source(payload);
+    return T::deserialize(source);
+  }
+};
+
+inline Frame read_frame(net::Socket& sock) {
+  std::array<std::byte, 5> header{};
+  sock.read_all(header);
+  Frame frame;
+  frame.kind = static_cast<MsgKind>(header[0]);
+  frame.payload.resize(load_wire<std::uint32_t>(header.data() + 1));
+  if (!frame.payload.empty()) sock.read_all(frame.payload);
+  return frame;
+}
+
+}  // namespace mpcx::runtime

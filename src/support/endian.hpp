@@ -1,0 +1,60 @@
+// Byte-order helpers for wire formats (tcpdev frames, runtime protocol,
+// bufx section headers). All MPCX wire formats are little-endian, matching
+// the dominant deployment platform; these helpers make that explicit and
+// keep the code correct on big-endian hosts.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace mpcx {
+
+template <typename T>
+  requires std::is_integral_v<T>
+constexpr T byteswap(T value) {
+  auto bytes = std::bit_cast<std::array<std::uint8_t, sizeof(T)>>(value);
+  for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+    std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+  }
+  return std::bit_cast<T>(bytes);
+}
+
+/// Convert host integer to MPCX wire order (little-endian).
+template <typename T>
+  requires std::is_integral_v<T>
+constexpr T to_wire(T value) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return value;
+  } else {
+    return byteswap(value);
+  }
+}
+
+/// Convert MPCX wire order (little-endian) integer to host order.
+template <typename T>
+  requires std::is_integral_v<T>
+constexpr T from_wire(T value) {
+  return to_wire(value);  // involution
+}
+
+/// Store an integer into a byte buffer in wire order.
+template <typename T>
+  requires std::is_integral_v<T>
+void store_wire(void* dst, T value) {
+  const T wire = to_wire(value);
+  std::memcpy(dst, &wire, sizeof(T));
+}
+
+/// Load an integer from a byte buffer in wire order.
+template <typename T>
+  requires std::is_integral_v<T>
+T load_wire(const void* src) {
+  T wire;
+  std::memcpy(&wire, src, sizeof(T));
+  return from_wire(wire);
+}
+
+}  // namespace mpcx

@@ -1,0 +1,50 @@
+// Error hierarchy for MPCX.
+//
+// The paper's Java library throws XDevException / MPJException; we mirror
+// that with a small exception tree rooted at mpcx::Error so callers can
+// catch per-layer or catch-all.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpcx {
+
+/// Root of all MPCX exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument passed to a public API (bad rank, negative count, ...).
+class ArgumentError : public Error {
+ public:
+  explicit ArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the buffering layer (overflow, read/write mode violation,
+/// malformed section header). Analog of mpjbuf exceptions.
+class BufferError : public Error {
+ public:
+  explicit BufferError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by device layers (xdev / mxsim / tcpdev). Analog of XDevException.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the communicator/high layers. Analog of MPJException.
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the runtime (daemon / launcher / staging).
+class RuntimeError : public Error {
+ public:
+  explicit RuntimeError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mpcx

@@ -1,0 +1,58 @@
+#include "support/logging.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mpcx::log {
+namespace {
+
+Level parse_level(const char* text) {
+  if (text == nullptr) return Level::Warn;
+  if (std::strcmp(text, "trace") == 0) return Level::Trace;
+  if (std::strcmp(text, "debug") == 0) return Level::Debug;
+  if (std::strcmp(text, "info") == 0) return Level::Info;
+  if (std::strcmp(text, "warn") == 0) return Level::Warn;
+  if (std::strcmp(text, "error") == 0) return Level::Error;
+  if (std::strcmp(text, "off") == 0) return Level::Off;
+  return Level::Warn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(parse_level(std::getenv("MPCX_LOG")))};
+  return storage;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) { level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  static std::mutex mu;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%10lld.%06lld] %-5s %s\n", static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), level_name(lvl), message.c_str());
+}
+
+}  // namespace mpcx::log

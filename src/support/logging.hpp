@@ -1,0 +1,46 @@
+// Minimal thread-safe leveled logger.
+//
+// The library is quiet by default (level = Warn); tests and the runtime
+// daemon raise the level via MPCX_LOG or set_level(). Messages are written
+// atomically (single write call) so concurrent ranks do not interleave.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpcx::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Current global level; initialized from the MPCX_LOG environment variable
+/// ("trace".."error", "off") on first use.
+Level level();
+
+/// Override the global level.
+void set_level(Level lvl);
+
+/// Emit one message at `lvl` (no-op if below the global level).
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(const Args&... args) { detail::emit(Level::Trace, args...); }
+template <typename... Args>
+void debug(const Args&... args) { detail::emit(Level::Debug, args...); }
+template <typename... Args>
+void info(const Args&... args) { detail::emit(Level::Info, args...); }
+template <typename... Args>
+void warn(const Args&... args) { detail::emit(Level::Warn, args...); }
+template <typename... Args>
+void error(const Args&... args) { detail::emit(Level::Error, args...); }
+
+}  // namespace mpcx::log

@@ -1,0 +1,270 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace mpcx::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw SocketError(op + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("inet_pton failed for host " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return Socket(fd);
+    }
+    const int err = errno;
+    ::close(fd);
+    if ((err == ECONNREFUSED || err == ETIMEDOUT || err == EAGAIN) &&
+        std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    throw SocketError("connect to " + host + ":" + std::to_string(port) + ": " +
+                      std::strerror(err));
+  }
+}
+
+int Socket::release() { return std::exchange(fd_, -1); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool enable) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void Socket::set_nodelay(bool enable) {
+  const int value = enable ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) < 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void Socket::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
+  if (snd_bytes > 0 &&
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &snd_bytes, sizeof(snd_bytes)) < 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+  if (rcv_bytes > 0 &&
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcv_bytes, sizeof(rcv_bytes)) < 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+void Socket::write_all(std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::read_all(std::span<std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::recv(fd_, data.data() + done, data.size() - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) throw SocketError("recv: connection closed by peer");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+IoStatus Socket::read_some(std::span<std::byte> data, std::size_t& transferred) {
+  transferred = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data.data(), data.size(), 0);
+    if (n > 0) {
+      transferred = static_cast<std::size_t>(n);
+      return IoStatus::Ok;
+    }
+    if (n == 0) return IoStatus::Eof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::WouldBlock;
+    throw_errno("recv");
+  }
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Acceptor::Acceptor(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr("127.0.0.1", port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError("bind port " + std::to_string(port) + ": " + std::strerror(err));
+  }
+  if (::listen(fd_, 128) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+Acceptor::~Acceptor() { close(); }
+
+Acceptor::Acceptor(Acceptor&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Acceptor& Acceptor::operator=(Acceptor&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Socket Acceptor::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+std::optional<Socket> Acceptor::accept_for(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc == 0) return std::nullopt;
+    return accept();
+  }
+}
+
+void Acceptor::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Poller::Poller() {
+  if (::pipe(wake_pipe_) < 0) throw_errno("pipe");
+  for (int end : wake_pipe_) {
+    const int flags = ::fcntl(end, F_GETFL, 0);
+    ::fcntl(end, F_SETFL, flags | O_NONBLOCK);
+  }
+  fds_.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+}
+
+Poller::~Poller() {
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void Poller::add(int fd) { fds_.push_back(pollfd{fd, POLLIN, 0}); }
+
+void Poller::remove(int fd) {
+  for (auto it = fds_.begin() + 1; it != fds_.end(); ++it) {
+    if (it->fd == fd) {
+      fds_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<PollEvent> Poller::wait(int timeout_ms) {
+  std::vector<PollEvent> events;
+  const int rc = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return events;
+    throw_errno("poll");
+  }
+  if (rc == 0) return events;
+  // Drain the self-pipe if it fired.
+  if (fds_[0].revents & POLLIN) {
+    char scratch[64];
+    while (::read(wake_pipe_[0], scratch, sizeof(scratch)) > 0) {
+    }
+  }
+  for (std::size_t i = 1; i < fds_.size(); ++i) {
+    const short re = fds_[i].revents;
+    if (re == 0) continue;
+    events.push_back(PollEvent{fds_[i].fd, (re & POLLIN) != 0, (re & POLLHUP) != 0,
+                               (re & POLLERR) != 0});
+  }
+  return events;
+}
+
+void Poller::wakeup() {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+}  // namespace mpcx::net

@@ -1,0 +1,146 @@
+// RAII TCP socket wrappers and a poll(2)-based readiness multiplexer.
+//
+// tcpdev (the paper's niodev analog) uses:
+//   - blocking sockets for writing messages (one write channel per peer,
+//     guarded by a per-destination lock), and
+//   - non-blocking sockets for reading, all registered with one Poller that
+//     drives the single input-handler ("progress engine") thread — the C++
+//     equivalent of a java.nio Selector.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mpcx::net {
+
+/// Error from the socket layer; wraps errno text.
+class SocketError : public DeviceError {
+ public:
+  explicit SocketError(const std::string& what) : DeviceError(what) {}
+};
+
+/// Result of a non-blocking read attempt.
+enum class IoStatus {
+  Ok,        ///< some bytes transferred
+  WouldBlock,///< no data available right now
+  Eof,       ///< orderly shutdown by peer
+};
+
+/// Owning TCP socket. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connect to host:port (blocking), retrying for up to `timeout_ms` while
+  /// the peer is not yet listening (bootstrap races are normal).
+  static Socket connect(const std::string& host, std::uint16_t port, int timeout_ms = 10000);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Release ownership of the descriptor.
+  int release();
+  void close();
+
+  void set_nonblocking(bool enable);
+  void set_nodelay(bool enable);
+  void set_buffer_sizes(int snd_bytes, int rcv_bytes);
+
+  /// Write the whole span (blocking). Throws SocketError on failure.
+  void write_all(std::span<const std::byte> data);
+
+  /// Read exactly data.size() bytes (blocking). Throws on EOF/failure.
+  void read_all(std::span<std::byte> data);
+
+  /// Non-blocking read into `data`; sets `transferred` to the byte count on
+  /// Ok. Requires the socket to be in non-blocking mode.
+  IoStatus read_some(std::span<std::byte> data, std::size_t& transferred);
+
+  /// Local port this socket is bound to.
+  std::uint16_t local_port() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1:<port> (port 0 = ephemeral).
+class Acceptor {
+ public:
+  Acceptor() = default;
+  explicit Acceptor(std::uint16_t port);
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+  Acceptor(Acceptor&& other) noexcept;
+  Acceptor& operator=(Acceptor&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection (blocking).
+  Socket accept();
+
+  /// Accept with timeout; nullopt if none arrived.
+  std::optional<Socket> accept_for(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Readiness event reported by Poller::wait.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool hangup = false;
+  bool error = false;
+};
+
+/// poll(2)-based multiplexer with a self-pipe wakeup, mirroring
+/// Selector.select()/wakeup() from java.nio that niodev's input handler
+/// is built on.
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Register a descriptor for read-readiness events.
+  void add(int fd);
+  /// Deregister a descriptor.
+  void remove(int fd);
+
+  /// Wait up to timeout_ms (-1 = forever) and return ready descriptors.
+  /// A wakeup() call makes wait return early with an empty (or partial) set.
+  std::vector<PollEvent> wait(int timeout_ms);
+
+  /// Interrupt a concurrent wait().
+  void wakeup();
+
+ private:
+  std::vector<pollfd> fds_;  // fds_[0] is the self-pipe read end
+  int wake_pipe_[2] = {-1, -1};
+};
+
+}  // namespace mpcx::net

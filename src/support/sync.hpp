@@ -1,0 +1,109 @@
+// Small synchronization primitives used across the library.
+//
+// The paper's thread-safety story rests on classic monitor-style locking
+// (per-destination channel locks, locked communication sets, wait/notify on
+// request objects). These helpers keep that style explicit and testable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace mpcx {
+
+/// One-shot countdown latch: count_down() `count` times releases all waiters.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) throw ArgumentError("CountdownLatch: count_down past zero");
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return count_ == 0; });
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// Reusable barrier for `parties` threads (generation-counted, so threads may
+/// immediately re-enter). Used by the in-process cluster harness and tests.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties), waiting_(0), generation_(0) {
+    if (parties == 0) throw ArgumentError("CyclicBarrier: parties must be > 0");
+  }
+
+  /// Block until all parties arrive. Returns true for exactly one caller per
+  /// generation (the "serial" thread, as in java.util.concurrent).
+  bool arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::size_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  std::size_t waiting_;
+  std::size_t generation_;
+};
+
+/// Single-value rendezvous slot: one producer sets, one consumer takes.
+template <typename T>
+class Exchanger {
+ public:
+  void put(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (full_) throw Error("Exchanger: put on full slot");
+    value_ = std::move(value);
+    full_ = true;
+    cv_.notify_one();
+  }
+
+  T take() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return full_; });
+    full_ = false;
+    return std::move(value_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  T value_{};
+  bool full_ = false;
+};
+
+}  // namespace mpcx

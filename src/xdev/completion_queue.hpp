@@ -1,0 +1,36 @@
+// Completion queue backing xdev's peek().
+//
+// Devices publish hooked completed requests here; peek() blocks popping the
+// next one — "the most recently completed Request object" in the paper's
+// wording. Only requests carrying a live CompletionHook are ever published
+// (see DevRequestState::complete), so the queue stays bounded by the number
+// of outstanding Waitany calls rather than by total traffic.
+#pragma once
+
+#include "support/blocking_queue.hpp"
+#include "support/error.hpp"
+#include "xdev/request.hpp"
+
+namespace mpcx::xdev {
+
+class CompletionQueue final : public CompletionSink {
+ public:
+  void publish(DevRequest completed) override { queue_.push(std::move(completed)); }
+
+  /// Block for the next hooked completion. Throws DeviceError if the device
+  /// shut down while waiting.
+  DevRequest pop() {
+    auto req = queue_.pop();
+    if (!req) throw DeviceError("peek: device finished");
+    return std::move(*req);
+  }
+
+  void shutdown() { queue_.close(); }
+
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  BlockingQueue<DevRequest> queue_;
+};
+
+}  // namespace mpcx::xdev

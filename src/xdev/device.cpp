@@ -1,0 +1,29 @@
+#include "xdev/device.hpp"
+
+namespace mpcx::xdev {
+
+void Device::send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+  isend(buffer, dst, tag, context)->wait();
+}
+
+void Device::ssend(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+  issend(buffer, dst, tag, context)->wait();
+}
+
+DevStatus Device::recv(buf::Buffer& buffer, ProcessID src, int tag, int context) {
+  return irecv(buffer, src, tag, context)->wait();
+}
+
+// Defined in tcpdev.cpp / mxdev.cpp / shmdev.cpp respectively.
+std::unique_ptr<Device> make_tcpdev();
+std::unique_ptr<Device> make_mxdev();
+std::unique_ptr<Device> make_shmdev();
+
+std::unique_ptr<Device> new_device(const std::string& name) {
+  if (name == "tcpdev" || name == "niodev") return make_tcpdev();
+  if (name == "mxdev") return make_mxdev();
+  if (name == "shmdev") return make_shmdev();
+  throw DeviceError("unknown device: " + name + " (expected tcpdev, mxdev or shmdev)");
+}
+
+}  // namespace mpcx::xdev

@@ -1,0 +1,121 @@
+// The xdev Device API — C++ rendering of the paper's Figure 2.
+//
+// xdev is the pluggable transport layer: it knows nothing about ranks,
+// groups or communicators (those live in mpdev and above); it moves
+// mpjbuf-style Buffers between ProcessIDs matched on (tag, context).
+//
+// Two devices are provided, mirroring the paper:
+//   * tcpdev  — the niodev analog: TCP sockets, two channels per peer,
+//               one input-handler thread, eager + rendezvous protocols.
+//   * mxdev   — the Myrinet-eXpress analog: a thin wrapper over the mxsim
+//               message layer, which implements the protocols internally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "support/error.hpp"
+#include "xdev/process_id.hpp"
+#include "xdev/request.hpp"
+
+namespace mpcx::net {
+class Acceptor;
+}
+
+namespace mpcx::xdev {
+
+/// One process's contact information within a bootstrapped world.
+struct EndpointInfo {
+  ProcessID id;
+  std::string host;    ///< tcpdev: IP to connect to ("127.0.0.1" in-process)
+  std::uint16_t port = 0;  ///< tcpdev: listen port; mxsim: endpoint index
+};
+
+/// Bootstrap configuration handed to Device::init. The world vector is in a
+/// canonical order shared by all processes (mpdev derives ranks from it).
+struct DeviceConfig {
+  std::size_t self_index = 0;
+  std::vector<EndpointInfo> world;
+  std::size_t eager_threshold = 128 * 1024;  ///< paper default: 128 KB
+  /// Socket buffer sizes (tcpdev); 0 = OS default. The paper sets 512 KB on
+  /// Gigabit Ethernet (Sec. V-C).
+  int socket_buffer_bytes = 0;
+  /// Optional pre-bound listener for tcpdev. The in-process cluster harness
+  /// binds every rank's acceptor up front (port 0 = ephemeral), records the
+  /// real ports in `world`, and hands each device its acceptor here — this
+  /// removes the bind/advertise race entirely. When null, tcpdev binds
+  /// `world[self_index].port` itself (the multi-process runtime path).
+  std::shared_ptr<net::Acceptor> acceptor;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Bootstrap: wire up connections to every process in config.world.
+  /// Returns the world's ProcessIDs in canonical order (paper: init(args)).
+  virtual std::vector<ProcessID> init(const DeviceConfig& config) = 0;
+
+  /// Bytes the device reserves at the front of each send buffer for its
+  /// frame header (paper: getSendOverhead / getRecvOverhead).
+  virtual int send_overhead() const = 0;
+  virtual int recv_overhead() const = 0;
+
+  /// This process's id.
+  virtual ProcessID id() const = 0;
+
+  /// Shut down: drain in-flight traffic, stop the progress engine, close
+  /// connections. Idempotent.
+  virtual void finish() = 0;
+
+  /// Non-blocking standard-mode send. The buffer must stay alive and
+  /// unmodified until the returned request completes.
+  virtual DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) = 0;
+
+  /// Blocking standard-mode send.
+  virtual void send(buf::Buffer& buffer, ProcessID dst, int tag, int context);
+
+  /// Non-blocking synchronous send: completes only once the receiver has
+  /// matched the message.
+  virtual DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) = 0;
+
+  /// Blocking synchronous send.
+  virtual void ssend(buf::Buffer& buffer, ProcessID dst, int tag, int context);
+
+  /// Non-blocking receive into `buffer`. src may be ProcessID::any(), tag may
+  /// be kAnyTag. On completion the buffer is sealed for reading.
+  virtual DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) = 0;
+
+  /// Blocking receive.
+  virtual DevStatus recv(buf::Buffer& buffer, ProcessID src, int tag, int context);
+
+  /// Block until a matching message is available; does not consume it.
+  virtual DevStatus probe(ProcessID src, int tag, int context) = 0;
+
+  /// Non-blocking probe.
+  virtual std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) = 0;
+
+  /// Block until some hooked request completes and return it — "the most
+  /// recently completed Request object" (paper Fig. 2; idea borrowed from
+  /// the MX library). Backs the mpdev Waitany machinery.
+  virtual DevRequest peek() = 0;
+
+  /// Attempt to cancel a posted-but-unmatched receive (mpiJava
+  /// Request.Cancel). On success the request completes with
+  /// DevStatus::cancelled set and true is returned; a request that already
+  /// matched (or a send) cannot be cancelled and false is returned.
+  virtual bool cancel(const DevRequest& request) {
+    (void)request;
+    return false;
+  }
+};
+
+/// Factory: `name` is "tcpdev" or "mxdev" (paper: Device.newInstance).
+/// The returned device is not yet initialized.
+std::unique_ptr<Device> new_device(const std::string& name);
+
+}  // namespace mpcx::xdev

@@ -1,0 +1,186 @@
+// Message matching machinery shared by pure-software devices (Sec. IV-E.2).
+//
+// A message is uniquely identified by (context, tag, source). A posted
+// receive may use wildcards for tag and/or source, so an incoming concrete
+// message can match a posted request under any of FOUR keys:
+//
+//   (ctx, tag, src)  (ctx, ANY_TAG, src)  (ctx, tag, ANY_SRC)  (ctx, ANY, ANY)
+//
+// PostedRecvSet stores posted receives bucketed by their own (possibly
+// wildcarded) key; an arriving message probes its four derived keys and
+// takes the request that was posted EARLIEST among all candidates (MPI
+// posted-order matching), using a global post sequence number as the tie
+// breaker across buckets. This gives O(1) matching regardless of how many
+// receives are outstanding — the property behind the paper's 650-irecv
+// claim (Sec. VI) and the ANY_SOURCE overlap win (Sec. V-A).
+//
+// UnexpectedSet is the mirror structure for messages that arrive before a
+// matching receive is posted; a newly posted receive scans it in arrival
+// order (MPI requires the earliest matching message).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "xdev/process_id.hpp"
+
+namespace mpcx::xdev {
+
+/// Matching key. tag == kAnyTag and src == ProcessID::any() act as
+/// wildcards when used in a posted receive.
+struct MatchKey {
+  int context = 0;
+  int tag = 0;
+  ProcessID src{};
+
+  friend bool operator==(const MatchKey&, const MatchKey&) = default;
+};
+
+struct MatchKeyHash {
+  std::size_t operator()(const MatchKey& key) const noexcept {
+    std::size_t h = std::hash<int>{}(key.context);
+    h = h * 1000003u ^ std::hash<int>{}(key.tag);
+    h = h * 1000003u ^ std::hash<ProcessID>{}(key.src);
+    return h;
+  }
+};
+
+/// Set of posted-but-unmatched receive requests ("pending-recv-request-set"
+/// in the paper's pseudocode). T is the device's per-receive record.
+/// Not internally synchronized: the device guards it with its
+/// receive-communication-sets lock, exactly as in Figs. 4–8.
+template <typename T>
+class PostedRecvSet {
+ public:
+  /// Post a receive under its (possibly wildcarded) key.
+  void add(const MatchKey& key, T value) {
+    buckets_[key].push_back(Entry{seq_++, std::move(value)});
+    ++size_;
+  }
+
+  /// Match an incoming concrete (no wildcards) message key against the
+  /// posted receives; removes and returns the earliest-posted match.
+  std::optional<T> match(const MatchKey& incoming) {
+    const MatchKey candidates[4] = {
+        incoming,
+        MatchKey{incoming.context, kAnyTag, incoming.src},
+        MatchKey{incoming.context, incoming.tag, ProcessID::any()},
+        MatchKey{incoming.context, kAnyTag, ProcessID::any()},
+    };
+    std::deque<Entry>* best = nullptr;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (const MatchKey& key : candidates) {
+      auto it = buckets_.find(key);
+      if (it == buckets_.end() || it->second.empty()) continue;
+      if (it->second.front().seq < best_seq) {
+        best_seq = it->second.front().seq;
+        best = &it->second;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    T value = std::move(best->front().value);
+    best->pop_front();
+    --size_;
+    return value;
+  }
+
+  /// Remove the first entry matching `pred` across ALL buckets (linear
+  /// scan; used by Request.Cancel where the key is not at hand).
+  bool remove_scan(const std::function<bool(const T&)>& pred) {
+    for (auto& [key, entries] : buckets_) {
+      for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (pred(it->value)) {
+          entries.erase(it);
+          --size_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Remove a specific posted entry (used by cancel). Predicate receives T&.
+  bool remove_if(const MatchKey& key, const std::function<bool(const T&)>& pred) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return false;
+    for (auto e = it->second.begin(); e != it->second.end(); ++e) {
+      if (pred(e->value)) {
+        it->second.erase(e);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t seq;
+    T value;
+  };
+
+  std::unordered_map<MatchKey, std::deque<Entry>, MatchKeyHash> buckets_;
+  std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Arrival-ordered set of messages with no matching posted receive.
+/// A receive (possibly wildcarded) scans for the earliest arrival whose
+/// concrete key it accepts.
+template <typename T>
+class UnexpectedSet {
+ public:
+  void add(const MatchKey& concrete_key, T value) {
+    entries_.push_back(Entry{concrete_key, std::move(value)});
+  }
+
+  /// Find (and remove) the earliest message matching a receive's key.
+  std::optional<T> match(const MatchKey& recv_key) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (accepts(recv_key, it->key)) {
+        T value = std::move(it->value);
+        entries_.erase(it);
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Find without removing (backs probe/iprobe). Returns pointer valid until
+  /// the set is next modified.
+  const T* find(const MatchKey& recv_key) const {
+    for (const auto& entry : entries_) {
+      if (accepts(recv_key, entry.key)) return &entry.value;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True if a receive posted with `recv_key` accepts a message carrying
+  /// `msg_key` (wildcard-aware; contexts never wildcard).
+  static bool accepts(const MatchKey& recv_key, const MatchKey& msg_key) {
+    if (recv_key.context != msg_key.context) return false;
+    if (recv_key.tag != kAnyTag && recv_key.tag != msg_key.tag) return false;
+    if (!recv_key.src.is_any() && !(recv_key.src == msg_key.src)) return false;
+    return true;
+  }
+
+ private:
+  struct Entry {
+    MatchKey key;
+    T value;
+  };
+
+  std::list<Entry> entries_;
+};
+
+}  // namespace mpcx::xdev

@@ -1,0 +1,224 @@
+// mxdev — xdev device over the mxsim message layer (paper Sec. IV-A.3).
+//
+// Like the paper's mxdev, this device implements NO communication protocols
+// of its own: eager/rendezvous live inside mxsim, matching is done with
+// 64-bit match bits, and thread safety comes for free because every mxsim
+// entry point is thread-safe. The device's job is purely representational:
+//
+//   * (context, tag) are packed into the match bits:
+//       match = context << 32 | tag     (ANY_TAG => mask off the low word)
+//   * ProcessID.value is used directly as the mxsim endpoint address.
+//   * A buffer's static and dynamic sections are sent as a two-entry
+//     segment list — the paper's motivating use of mx_isend segment lists —
+//     and scattered back into the two sections on receive.
+//
+// send_overhead() is 0: no frame header is needed because the match bits
+// and the fabric carry all metadata. (Contrast tcpdev.)
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "mxsim/mxsim.hpp"
+#include "xdev/completion_queue.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx::xdev {
+namespace {
+
+constexpr mxsim::MatchBits kFullMask = ~mxsim::MatchBits{0};
+constexpr mxsim::MatchBits kAnyTagMask = 0xFFFFFFFF00000000ull;
+
+mxsim::MatchBits pack_match(int context, int tag) {
+  return (static_cast<mxsim::MatchBits>(static_cast<std::uint32_t>(context)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+int match_tag(mxsim::MatchBits match) {
+  return static_cast<int>(static_cast<std::uint32_t>(match & 0xFFFFFFFFull));
+}
+
+int match_context(mxsim::MatchBits match) {
+  return static_cast<int>(static_cast<std::uint32_t>(match >> 32));
+}
+
+class MxDevice final : public Device {
+ public:
+  std::vector<ProcessID> init(const DeviceConfig& config) override {
+    if (config.self_index >= config.world.size()) {
+      throw DeviceError("mxdev: self_index out of range");
+    }
+    self_ = config.world[config.self_index].id;
+    endpoint_ = mxsim::Fabric::global().open_endpoint(self_.value);
+    std::vector<ProcessID> world;
+    world.reserve(config.world.size());
+    for (const EndpointInfo& info : config.world) world.push_back(info.id);
+    return world;
+  }
+
+  int send_overhead() const override { return 0; }
+  int recv_overhead() const override { return 0; }
+
+  ProcessID id() const override { return self_; }
+
+  void finish() override {
+    if (endpoint_) {
+      endpoint_->close();
+      endpoint_.reset();
+    }
+    completions_.shutdown();
+  }
+
+  DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return send_common(buffer, dst, tag, context, /*synchronous=*/false);
+  }
+
+  DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return send_common(buffer, dst, tag, context, /*synchronous=*/true);
+  }
+
+  DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
+    require_open("irecv");
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    const mxsim::MatchBits match = pack_match(context, tag == kAnyTag ? 0 : tag);
+    const mxsim::MatchBits mask = tag == kAnyTag ? kAnyTagMask : kFullMask;
+    std::optional<mxsim::EndpointAddr> filter;
+    if (!src.is_any()) filter = src.value;
+
+    buf::Buffer* dest = &buffer;
+    auto mx = endpoint_->irecv(match, mask, filter,
+                               [this, dest, request](const mxsim::MxMessage& msg) {
+      forget_posted(request.get());
+      const auto static_bytes = msg.chunk_count() > 0 ? msg.chunk(0) : std::span<const std::byte>{};
+      const auto dynamic_bytes =
+          msg.chunk_count() > 1 ? msg.chunk(1) : std::span<const std::byte>{};
+      DevStatus status;
+      status.source = ProcessID{msg.source()};
+      status.tag = match_tag(msg.match());
+      status.context = match_context(msg.match());
+      status.static_bytes = static_bytes.size();
+      status.dynamic_bytes = dynamic_bytes.size();
+      if (static_bytes.size() > dest->capacity()) {
+        status.truncated = true;  // message dropped; see DevStatus::truncated
+        request->complete(status);
+        return;
+      }
+      auto static_dst = dest->prepare_static(static_bytes.size());
+      if (!static_bytes.empty()) {
+        std::memcpy(static_dst.data(), static_bytes.data(), static_bytes.size());
+      }
+      auto dynamic_dst = dest->prepare_dynamic(dynamic_bytes.size());
+      if (!dynamic_bytes.empty()) {
+        std::memcpy(dynamic_dst.data(), dynamic_bytes.data(), dynamic_bytes.size());
+      }
+      dest->seal_received();
+      request->complete(status);
+    });
+    {
+      // Remember the mxsim handle so cancel() can reach it.
+      std::lock_guard<std::mutex> lock(recv_map_mu_);
+      posted_recvs_.emplace(request.get(), std::move(mx));
+    }
+    return request;
+  }
+
+  bool cancel(const DevRequest& request) override {
+    if (!request || request->kind() != DevRequestState::Kind::Recv || !endpoint_) return false;
+    mxsim::MxRequest mx;
+    {
+      std::lock_guard<std::mutex> lock(recv_map_mu_);
+      auto it = posted_recvs_.find(request.get());
+      if (it == posted_recvs_.end()) return false;
+      mx = it->second;
+    }
+    if (!endpoint_->cancel(mx)) return false;  // already matched
+    forget_posted(request.get());
+    DevStatus status;
+    status.cancelled = true;
+    request->complete(status);
+    return true;
+  }
+
+  void forget_posted(const DevRequestState* request) {
+    std::lock_guard<std::mutex> lock(recv_map_mu_);
+    posted_recvs_.erase(request);
+  }
+
+  DevStatus probe(ProcessID src, int tag, int context) override {
+    require_open("probe");
+    const auto info = endpoint_->probe(pack_match(context, tag == kAnyTag ? 0 : tag),
+                                       tag == kAnyTag ? kAnyTagMask : kFullMask, src_filter(src));
+    return probe_status(info);
+  }
+
+  std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    require_open("iprobe");
+    const auto info = endpoint_->iprobe(pack_match(context, tag == kAnyTag ? 0 : tag),
+                                        tag == kAnyTag ? kAnyTagMask : kFullMask, src_filter(src));
+    if (!info) return std::nullopt;
+    return probe_status(*info);
+  }
+
+  DevRequest peek() override { return completions_.pop(); }
+
+ private:
+  void require_open(const char* op) const {
+    if (!endpoint_) throw DeviceError(std::string("mxdev: ") + op + " before init / after finish");
+  }
+
+  static std::optional<mxsim::EndpointAddr> src_filter(ProcessID src) {
+    if (src.is_any()) return std::nullopt;
+    return src.value;
+  }
+
+  static DevStatus probe_status(const mxsim::ProbeInfo& info) {
+    DevStatus status;
+    status.source = ProcessID{info.source};
+    status.tag = match_tag(info.match);
+    status.context = match_context(info.match);
+    status.static_bytes = info.chunk_sizes.empty() ? 0 : info.chunk_sizes[0];
+    status.dynamic_bytes = info.chunk_sizes.size() > 1 ? info.chunk_sizes[1] : 0;
+    return status;
+  }
+
+  DevRequest send_common(buf::Buffer& buffer, ProcessID dst, int tag, int context,
+                         bool synchronous) {
+    require_open("send");
+    if (!buffer.in_read_mode()) {
+      throw DeviceError("mxdev: send buffer must be committed");
+    }
+    const mxsim::Segment segments[2] = {
+        {buffer.static_payload().data(), buffer.static_payload().size()},
+        {buffer.dynamic_payload().data(), buffer.dynamic_payload().size()},
+    };
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    const ProcessID self = self_;
+    auto on_done = [request, self, tag, context](const mxsim::MxStatus& status) {
+      DevStatus dev;
+      dev.source = self;
+      dev.tag = tag;
+      dev.context = context;
+      dev.static_bytes = status.chunk_sizes.empty() ? status.total_bytes : status.chunk_sizes[0];
+      request->complete(dev);
+    };
+    const mxsim::MatchBits match = pack_match(context, tag);
+    mxsim::MxRequest mx = synchronous ? endpoint_->issend(segments, dst.value, match)
+                                      : endpoint_->isend(segments, dst.value, match);
+    mx->on_complete(on_done);
+    return request;
+  }
+
+  ProcessID self_{};
+  std::shared_ptr<mxsim::Endpoint> endpoint_;
+  CompletionQueue completions_;
+
+  // Posted-receive bookkeeping for cancel(); entries are dropped on match.
+  std::mutex recv_map_mu_;
+  std::unordered_map<const DevRequestState*, mxsim::MxRequest> posted_recvs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> make_mxdev() { return std::make_unique<MxDevice>(); }
+
+}  // namespace mpcx::xdev

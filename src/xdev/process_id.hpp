@@ -1,0 +1,43 @@
+// ProcessID — the xdev layer's rank-free process identity (paper Sec. III-A).
+//
+// xdev deliberately does not know about MPI ranks, groups or communicators;
+// it only addresses processes by an opaque unique id. The mpdev layer above
+// maps ranks onto ProcessIDs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mpcx::xdev {
+
+/// Wildcard tag accepted by recv/probe (device-level MPI.ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+struct ProcessID {
+  std::uint64_t value = 0;
+
+  /// Wildcard id used by irecv/probe to accept any source process
+  /// (the device-level carrier of MPI.ANY_SOURCE).
+  static constexpr std::uint64_t kAnyValue = ~std::uint64_t{0};
+
+  static ProcessID any() { return ProcessID{kAnyValue}; }
+
+  bool is_any() const { return value == kAnyValue; }
+
+  friend bool operator==(const ProcessID&, const ProcessID&) = default;
+  friend auto operator<=>(const ProcessID&, const ProcessID&) = default;
+
+  std::string to_string() const {
+    return is_any() ? "ANY" : "pid:" + std::to_string(value);
+  }
+};
+
+}  // namespace mpcx::xdev
+
+template <>
+struct std::hash<mpcx::xdev::ProcessID> {
+  std::size_t operator()(const mpcx::xdev::ProcessID& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,140 @@
+// Device-level request and status objects.
+//
+// A DevRequest is the handle for one in-flight non-blocking operation at the
+// xdev level. Completion is signalled once by the device (from a user thread
+// for immediate eager sends, or from the input-handler / progress engine);
+// any number of threads may wait()/test() concurrently.
+//
+// To support the paper's Waitany() design (Sec. IV-E.1), a request can carry
+// a *completion hook*: an opaque object installed by the mpdev layer's
+// WaitAny machinery. If a hook is installed when the request completes, the
+// request is also pushed onto the device's completion queue, which is what
+// xdev's peek() consumes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "xdev/process_id.hpp"
+
+namespace mpcx::xdev {
+
+/// Completion record for one receive (or send) operation.
+struct DevStatus {
+  ProcessID source{};
+  int tag = 0;
+  int context = 0;
+  std::size_t static_bytes = 0;   ///< bytes of static payload received
+  std::size_t dynamic_bytes = 0;  ///< bytes of dynamic payload received
+  /// True when the incoming message exceeded the posted receive buffer's
+  /// capacity; the payload was drained and discarded. Higher layers turn
+  /// this into an error on Wait/Test (MPI truncation semantics).
+  bool truncated = false;
+  /// True when the operation was cancelled before matching (Request.Cancel).
+  bool cancelled = false;
+};
+
+/// Opaque base for objects hung off a request by higher layers (the paper's
+/// "WaitAny object reference stored in the Request").
+class CompletionHook {
+ public:
+  virtual ~CompletionHook() = default;
+};
+
+class DevRequestState;
+using DevRequest = std::shared_ptr<DevRequestState>;
+
+/// Sink the device uses to publish hooked completions (backs peek()).
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  virtual void publish(DevRequest completed) = 0;
+};
+
+class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
+ public:
+  enum class Kind { Send, Recv };
+
+  DevRequestState(Kind kind, CompletionSink* sink) : kind_(kind), sink_(sink) {}
+
+  Kind kind() const { return kind_; }
+
+  /// Device side: mark complete and wake all waiters. Must be called at most
+  /// once. If a hook is installed, the request is also published to the
+  /// device's completion queue for peek().
+  void complete(const DevStatus& status) {
+    std::shared_ptr<CompletionHook> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = status;
+      complete_ = true;
+      hook = hook_.lock();
+    }
+    cv_.notify_all();
+    if (hook && sink_ != nullptr) sink_->publish(shared_from_this());
+  }
+
+  /// Block until complete; returns the completion status.
+  DevStatus wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return complete_; });
+    return status_;
+  }
+
+  /// Non-blocking completion check.
+  std::optional<DevStatus> test() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!complete_) return std::nullopt;
+    return status_;
+  }
+
+  bool is_complete() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return complete_;
+  }
+
+  /// Install a completion hook. Returns false if the request had already
+  /// completed (in which case the hook is NOT installed and the caller must
+  /// treat the request as done — this closes the race between a Waitany
+  /// registering interest and the progress engine completing the request).
+  bool set_hook(const std::shared_ptr<CompletionHook>& hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (complete_) return false;
+    hook_ = hook;
+    return true;
+  }
+
+  /// Remove the hook (Waitany finished with this request still pending).
+  void clear_hook() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook_.reset();
+  }
+
+  /// The hook installed at completion time, if it is still alive.
+  std::shared_ptr<CompletionHook> hook() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hook_.lock();
+  }
+
+ private:
+  const Kind kind_;
+  CompletionSink* const sink_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::weak_ptr<CompletionHook> hook_;
+  DevStatus status_{};
+  bool complete_ = false;
+};
+
+/// Convenience: a request that is already complete ("non-pending" in the
+/// paper's eager-send pseudocode, Fig. 3).
+inline DevRequest make_completed_request(DevRequestState::Kind kind, const DevStatus& status) {
+  auto req = std::make_shared<DevRequestState>(kind, nullptr);
+  req->complete(status);
+  return req;
+}
+
+}  // namespace mpcx::xdev

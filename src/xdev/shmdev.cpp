@@ -1,0 +1,602 @@
+// shmdev — xdev device over POSIX shared memory.
+//
+// The paper's introduction frames thread-safe messaging as an ALTERNATIVE
+// to "using shared memory devices in the MPI libraries" for SMP clusters.
+// shmdev is that alternative, built so the two approaches can be compared
+// on the same harness (bench_smp_approaches): it moves messages between
+// PROCESSES on one node through per-process shared-memory rings, the way a
+// classic MPI ch_shmem device does. (MPJ Express itself later grew exactly
+// such a device.)
+//
+// Structure:
+//   * Every process owns one POSIX shm segment ("/mpcx_<id>") holding a
+//     byte RING protected by a process-shared mutex + condvars. Senders
+//     map the receiver's segment and push length-prefixed records;
+//     the owner's input thread pops them.
+//   * Records carry (src, msg_id, context, tag, static/dynamic lengths);
+//     messages larger than a chunk are split and reassembled by the
+//     receiver, so arbitrarily large messages flow through a fixed ring.
+//   * Matching reuses the four-key machinery (Sec. IV-E.2), identical to
+//     tcpdev. Standard sends complete once fully copied into the ring
+//     (buffered semantics); synchronous sends wait for an ACK record that
+//     the receiver emits when the message matches a posted receive.
+//   * Works identically whether the ranks are threads of one process (the
+//     cluster harness) or real processes (the mpcxrun runtime) — POSIX shm
+//     and process-shared pthread primitives don't care.
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bufx/buffer_pool.hpp"
+#include "support/endian.hpp"
+#include "support/logging.hpp"
+#include "xdev/completion_queue.hpp"
+#include "xdev/device.hpp"
+#include "xdev/matching.hpp"
+
+namespace mpcx::xdev {
+namespace {
+
+constexpr std::size_t kRingBytes = 1 << 22;        // 4 MB ring per process
+constexpr std::size_t kMaxChunk = kRingBytes / 4;  // payload bytes per record
+constexpr std::uint32_t kMagicReady = 0x4D504358;  // "MPCX"
+
+enum class RecType : std::uint8_t { Data = 1, Ack = 2, Shutdown = 3 };
+enum RecFlags : std::uint8_t { kLastChunk = 1, kNeedAck = 2 };
+
+// Fixed 40-byte record header inside the ring (byte layout, wire order).
+constexpr std::size_t kRecHeader = 40;
+
+struct RecInfo {
+  std::uint32_t record_len = 0;  // header + chunk payload
+  RecType type = RecType::Data;
+  std::uint8_t flags = 0;
+  std::uint64_t src = 0;
+  std::uint64_t msg_id = 0;
+  std::int32_t context = 0;
+  std::int32_t tag = 0;
+  std::uint32_t static_len = 0;
+  std::uint32_t dynamic_len = 0;
+};
+
+void encode_rec(std::byte* out, const RecInfo& rec) {
+  store_wire<std::uint32_t>(out, rec.record_len);
+  out[4] = static_cast<std::byte>(rec.type);
+  out[5] = static_cast<std::byte>(rec.flags);
+  store_wire<std::uint16_t>(out + 6, 0);
+  store_wire<std::uint64_t>(out + 8, rec.src);
+  store_wire<std::uint64_t>(out + 16, rec.msg_id);
+  store_wire<std::int32_t>(out + 24, rec.context);
+  store_wire<std::int32_t>(out + 28, rec.tag);
+  store_wire<std::uint32_t>(out + 32, rec.static_len);
+  store_wire<std::uint32_t>(out + 36, rec.dynamic_len);
+}
+
+RecInfo decode_rec(const std::byte* in) {
+  RecInfo rec;
+  rec.record_len = load_wire<std::uint32_t>(in);
+  rec.type = static_cast<RecType>(in[4]);
+  rec.flags = static_cast<std::uint8_t>(in[5]);
+  rec.src = load_wire<std::uint64_t>(in + 8);
+  rec.msg_id = load_wire<std::uint64_t>(in + 16);
+  rec.context = load_wire<std::int32_t>(in + 24);
+  rec.tag = load_wire<std::int32_t>(in + 28);
+  rec.static_len = load_wire<std::uint32_t>(in + 32);
+  rec.dynamic_len = load_wire<std::uint32_t>(in + 36);
+  return rec;
+}
+
+/// Shared-memory segment layout: control block + byte ring.
+struct SegmentHeader {
+  std::uint32_t magic;  // kMagicReady once initialized
+  std::uint32_t reserved;
+  pthread_mutex_t mu;
+  pthread_cond_t nonempty;
+  pthread_cond_t nonfull;
+  std::uint64_t head;  // consumer cursor (monotonic)
+  std::uint64_t tail;  // producer cursor (monotonic)
+};
+
+constexpr std::size_t kDataOffset = (sizeof(SegmentHeader) + 63) & ~std::size_t{63};
+constexpr std::size_t kSegmentBytes = kDataOffset + kRingBytes;
+
+std::string segment_name(std::uint64_t id) { return "/mpcx_seg_" + std::to_string(id); }
+
+/// RAII mapping of one process's segment (owned or peer).
+class Segment {
+ public:
+  /// Create and initialize the segment we own.
+  static std::unique_ptr<Segment> create(std::uint64_t id) {
+    const std::string name = segment_name(id);
+    ::shm_unlink(name.c_str());  // stale segment from a crashed run
+    const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) throw DeviceError("shmdev: shm_open(create " + name + "): " + std::strerror(errno));
+    if (::ftruncate(fd, static_cast<off_t>(kSegmentBytes)) != 0) {
+      ::close(fd);
+      throw DeviceError(std::string("shmdev: ftruncate: ") + std::strerror(errno));
+    }
+    auto segment = map(fd, name, /*owner=*/true);
+    auto* header = segment->header();
+    pthread_mutexattr_t mu_attr;
+    pthread_mutexattr_init(&mu_attr);
+    pthread_mutexattr_setpshared(&mu_attr, PTHREAD_PROCESS_SHARED);
+    pthread_mutex_init(&header->mu, &mu_attr);
+    pthread_mutexattr_destroy(&mu_attr);
+    pthread_condattr_t cv_attr;
+    pthread_condattr_init(&cv_attr);
+    pthread_condattr_setpshared(&cv_attr, PTHREAD_PROCESS_SHARED);
+    pthread_cond_init(&header->nonempty, &cv_attr);
+    pthread_cond_init(&header->nonfull, &cv_attr);
+    pthread_condattr_destroy(&cv_attr);
+    header->head = 0;
+    header->tail = 0;
+    std::atomic_thread_fence(std::memory_order_release);
+    header->magic = kMagicReady;
+    return segment;
+  }
+
+  /// Map a peer's segment, waiting for it to be created and initialized.
+  static std::unique_ptr<Segment> open_peer(std::uint64_t id, int timeout_ms = 30000) {
+    const std::string name = segment_name(id);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd >= 0) {
+        // Creation is not atomic: wait until the creator's ftruncate has
+        // sized the file, or mapping it would SIGBUS on first touch.
+        struct stat st {};
+        while (::fstat(fd, &st) == 0 && st.st_size < static_cast<off_t>(kSegmentBytes)) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            ::close(fd);
+            throw DeviceError("shmdev: peer segment never sized: " + name);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        auto segment = map(fd, name, /*owner=*/false);
+        while (segment->header()->magic != kMagicReady) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            throw DeviceError("shmdev: peer segment never initialized: " + name);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return segment;
+      }
+      if (errno != ENOENT || std::chrono::steady_clock::now() > deadline) {
+        throw DeviceError("shmdev: shm_open(" + name + "): " + std::strerror(errno));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  ~Segment() {
+    if (base_ != nullptr) ::munmap(base_, kSegmentBytes);
+    if (owner_) ::shm_unlink(name_.c_str());
+  }
+
+  SegmentHeader* header() { return reinterpret_cast<SegmentHeader*>(base_); }
+  std::byte* data() { return static_cast<std::byte*>(base_) + kDataOffset; }
+
+  /// Push one record (header + payload chunks) into the ring, blocking
+  /// while the ring is too full.
+  void push(const RecInfo& rec, std::span<const std::byte> chunk_a,
+            std::span<const std::byte> chunk_b) {
+    const std::size_t need = kRecHeader + chunk_a.size() + chunk_b.size();
+    SegmentHeader* h = header();
+    pthread_mutex_lock(&h->mu);
+    while (kRingBytes - (h->tail - h->head) < need) {
+      pthread_cond_wait(&h->nonfull, &h->mu);
+    }
+    std::byte scratch[kRecHeader];
+    RecInfo out = rec;
+    out.record_len = static_cast<std::uint32_t>(need);
+    encode_rec(scratch, out);
+    write_wrapped(h->tail, scratch, kRecHeader);
+    write_wrapped(h->tail + kRecHeader, chunk_a.data(), chunk_a.size());
+    write_wrapped(h->tail + kRecHeader + chunk_a.size(), chunk_b.data(), chunk_b.size());
+    h->tail += need;
+    pthread_cond_signal(&h->nonempty);
+    pthread_mutex_unlock(&h->mu);
+  }
+
+  /// Pop one record; blocks until one is available. Returns the decoded
+  /// header and the payload bytes.
+  RecInfo pop(std::vector<std::byte>& payload) {
+    SegmentHeader* h = header();
+    pthread_mutex_lock(&h->mu);
+    while (h->tail == h->head) pthread_cond_wait(&h->nonempty, &h->mu);
+    std::byte scratch[kRecHeader];
+    read_wrapped(h->head, scratch, kRecHeader);
+    const RecInfo rec = decode_rec(scratch);
+    const std::size_t body = rec.record_len - kRecHeader;
+    payload.resize(body);
+    read_wrapped(h->head + kRecHeader, payload.data(), body);
+    h->head += rec.record_len;
+    pthread_cond_broadcast(&h->nonfull);
+    pthread_mutex_unlock(&h->mu);
+    return rec;
+  }
+
+ private:
+  static std::unique_ptr<Segment> map(int fd, const std::string& name, bool owner) {
+    void* base = ::mmap(nullptr, kSegmentBytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      throw DeviceError(std::string("shmdev: mmap: ") + std::strerror(errno));
+    }
+    auto segment = std::make_unique<Segment>();
+    segment->base_ = base;
+    segment->name_ = name;
+    segment->owner_ = owner;
+    return segment;
+  }
+
+  void write_wrapped(std::uint64_t pos, const void* src, std::size_t size) {
+    if (size == 0) return;
+    const std::size_t at = static_cast<std::size_t>(pos % kRingBytes);
+    const std::size_t first = std::min(size, kRingBytes - at);
+    std::memcpy(data() + at, src, first);
+    if (first < size) {
+      std::memcpy(data(), static_cast<const std::byte*>(src) + first, size - first);
+    }
+  }
+
+  void read_wrapped(std::uint64_t pos, void* dst, std::size_t size) {
+    if (size == 0) return;
+    const std::size_t at = static_cast<std::size_t>(pos % kRingBytes);
+    const std::size_t first = std::min(size, kRingBytes - at);
+    std::memcpy(dst, data() + at, first);
+    if (first < size) {
+      std::memcpy(static_cast<std::byte*>(dst) + first, data(), size - first);
+    }
+  }
+
+  void* base_ = nullptr;
+  std::string name_;
+  bool owner_ = false;
+
+ public:
+  Segment() = default;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+};
+
+/// A message being reassembled from ring chunks.
+struct Assembly {
+  RecInfo first;
+  std::vector<std::byte> bytes;  // concatenated static || dynamic payload
+};
+
+/// A fully arrived message with no matching posted receive.
+struct ShmUnexp {
+  MatchKey key;
+  RecInfo info;
+  std::vector<std::byte> bytes;
+};
+
+/// Posted receive record.
+struct ShmRecv {
+  DevRequest request;
+  buf::Buffer* buffer = nullptr;
+};
+
+struct AssemblyKey {
+  std::uint64_t src = 0;
+  std::uint64_t msg_id = 0;
+  friend bool operator==(const AssemblyKey&, const AssemblyKey&) = default;
+};
+struct AssemblyKeyHash {
+  std::size_t operator()(const AssemblyKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(key.src) * 1000003u ^
+           std::hash<std::uint64_t>{}(key.msg_id);
+  }
+};
+
+class ShmDevice final : public Device {
+ public:
+  ~ShmDevice() override {
+    try {
+      finish();
+    } catch (const Error&) {
+    }
+  }
+
+  std::vector<ProcessID> init(const DeviceConfig& config) override {
+    if (config.self_index >= config.world.size()) {
+      throw DeviceError("shmdev: self_index out of range");
+    }
+    self_ = config.world[config.self_index].id;
+    own_ = Segment::create(self_.value);
+    for (const EndpointInfo& info : config.world) {
+      peers_.emplace(info.id.value, Segment::open_peer(info.id.value));
+    }
+    running_ = true;
+    input_thread_ = std::thread([this] { input_loop(); });
+    std::vector<ProcessID> world;
+    world.reserve(config.world.size());
+    for (const EndpointInfo& info : config.world) world.push_back(info.id);
+    return world;
+  }
+
+  int send_overhead() const override { return 0; }
+  int recv_overhead() const override { return 0; }
+  ProcessID id() const override { return self_; }
+
+  void finish() override {
+    if (running_.exchange(false)) {
+      // Unblock our own input thread with a shutdown record.
+      RecInfo rec;
+      rec.type = RecType::Shutdown;
+      rec.src = self_.value;
+      own_->push(rec, {}, {});
+      input_thread_.join();
+    }
+    peers_.clear();
+    own_.reset();
+    completions_.shutdown();
+  }
+
+  DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return send_common(buffer, dst, tag, context, /*need_ack=*/false);
+  }
+
+  DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return send_common(buffer, dst, tag, context, /*need_ack=*/true);
+  }
+
+  DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    const MatchKey key{context, tag, src};
+    std::unique_ptr<ShmUnexp> hit;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto found = unexpected_.match(key);
+      if (!found) {
+        posted_.add(key, ShmRecv{request, &buffer});
+        return request;
+      }
+      hit = std::move(*found);
+    }
+    deliver(*hit, buffer, request);
+    return request;
+  }
+
+  DevStatus probe(ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::unique_lock<std::mutex> lock(recv_mu_);
+    for (;;) {
+      const auto* entry = unexpected_.find(key);
+      if (entry != nullptr) return unexp_status(**entry);
+      if (!running_) throw DeviceError("shmdev: probe after finish");
+      arrival_cv_.wait(lock);
+    }
+  }
+
+  std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    const auto* entry = unexpected_.find(key);
+    if (entry == nullptr) return std::nullopt;
+    return unexp_status(**entry);
+  }
+
+  DevRequest peek() override { return completions_.pop(); }
+
+  bool cancel(const DevRequest& request) override {
+    if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
+    bool removed = false;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      removed = posted_.remove_scan(
+          [&](const ShmRecv& rec) { return rec.request.get() == request.get(); });
+    }
+    if (!removed) return false;
+    DevStatus status;
+    status.cancelled = true;
+    request->complete(status);
+    return true;
+  }
+
+ private:
+  Segment& peer(std::uint64_t id) {
+    auto it = peers_.find(id);
+    if (it == peers_.end()) throw DeviceError("shmdev: unknown destination " + std::to_string(id));
+    return *it->second;
+  }
+
+  DevRequest send_common(buf::Buffer& buffer, ProcessID dst, int tag, int context,
+                         bool need_ack) {
+    if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+
+    if (need_ack) {
+      std::lock_guard<std::mutex> lock(ack_mu_);
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.static_bytes = buffer.static_size();
+      status.dynamic_bytes = buffer.dynamic_size();
+      awaiting_ack_.emplace(msg_id, AckWait{request, status});
+    }
+
+    // Stream static || dynamic through chunk-sized records.
+    const auto s = buffer.static_payload();
+    const auto d = buffer.dynamic_payload();
+    const std::size_t total = s.size() + d.size();
+    Segment& ring = peer(dst.value);
+    std::size_t sent = 0;
+    do {
+      const std::size_t chunk = std::min(kMaxChunk, total - sent);
+      RecInfo rec;
+      rec.type = RecType::Data;
+      rec.src = self_.value;
+      rec.msg_id = msg_id;
+      rec.context = context;
+      rec.tag = tag;
+      rec.static_len = static_cast<std::uint32_t>(s.size());
+      rec.dynamic_len = static_cast<std::uint32_t>(d.size());
+      rec.flags = static_cast<std::uint8_t>(sent + chunk == total ? kLastChunk : 0) |
+                  static_cast<std::uint8_t>(need_ack ? kNeedAck : 0);
+      // The chunk may straddle the static/dynamic boundary.
+      std::span<const std::byte> part_a, part_b;
+      if (sent < s.size()) {
+        part_a = s.subspan(sent, std::min(chunk, s.size() - sent));
+        if (chunk > part_a.size()) part_b = d.subspan(0, chunk - part_a.size());
+      } else {
+        part_a = d.subspan(sent - s.size(), chunk);
+      }
+      ring.push(rec, part_a, part_b);
+      sent += chunk;
+    } while (sent < total);
+
+    if (!need_ack) {
+      // Buffered semantics: data fully copied into the receiver's ring.
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.static_bytes = s.size();
+      status.dynamic_bytes = d.size();
+      request->complete(status);
+    }
+    return request;
+  }
+
+  void send_ack(std::uint64_t to, std::uint64_t msg_id) {
+    RecInfo rec;
+    rec.type = RecType::Ack;
+    rec.src = self_.value;
+    rec.msg_id = msg_id;
+    peer(to).push(rec, {}, {});
+  }
+
+  static DevStatus unexp_status(const ShmUnexp& msg) {
+    DevStatus status;
+    status.source = msg.key.src;
+    status.tag = msg.key.tag;
+    status.context = msg.key.context;
+    status.static_bytes = msg.info.static_len;
+    status.dynamic_bytes = msg.info.dynamic_len;
+    return status;
+  }
+
+  /// Copy a complete message into the user's buffer and finish the receive.
+  void deliver(const ShmUnexp& msg, buf::Buffer& buffer, const DevRequest& request) {
+    DevStatus status = unexp_status(msg);
+    if (msg.info.static_len > buffer.capacity()) {
+      status.truncated = true;
+    } else {
+      auto sdst = buffer.prepare_static(msg.info.static_len);
+      std::memcpy(sdst.data(), msg.bytes.data(), msg.info.static_len);
+      auto ddst = buffer.prepare_dynamic(msg.info.dynamic_len);
+      if (msg.info.dynamic_len > 0) {
+        std::memcpy(ddst.data(), msg.bytes.data() + msg.info.static_len, msg.info.dynamic_len);
+      }
+      buffer.seal_received();
+    }
+    if (msg.info.flags & kNeedAck) send_ack(msg.info.src, msg.info.msg_id);
+    request->complete(status);
+  }
+
+  void input_loop() {
+    std::vector<std::byte> payload;
+    while (running_) {
+      const RecInfo rec = own_->pop(payload);
+      switch (rec.type) {
+        case RecType::Shutdown:
+          return;
+        case RecType::Ack: {
+          AckWait wait;
+          {
+            std::lock_guard<std::mutex> lock(ack_mu_);
+            auto it = awaiting_ack_.find(rec.msg_id);
+            if (it == awaiting_ack_.end()) continue;
+            wait = std::move(it->second);
+            awaiting_ack_.erase(it);
+          }
+          wait.request->complete(wait.status);
+          continue;
+        }
+        case RecType::Data:
+          handle_data(rec, payload);
+          continue;
+      }
+    }
+  }
+
+  void handle_data(const RecInfo& rec, std::vector<std::byte>& payload) {
+    const AssemblyKey akey{rec.src, rec.msg_id};
+    auto it = assemblies_.find(akey);
+    if (it == assemblies_.end()) {
+      it = assemblies_.emplace(akey, Assembly{rec, {}}).first;
+      it->second.bytes.reserve(rec.static_len + rec.dynamic_len);
+    }
+    it->second.bytes.insert(it->second.bytes.end(), payload.begin(), payload.end());
+    if (!(rec.flags & kLastChunk)) return;
+
+    const MatchKey key{rec.context, rec.tag, ProcessID{rec.src}};
+    auto message = std::make_unique<ShmUnexp>();
+    message->key = key;
+    message->info = it->second.first;
+    message->info.flags = rec.flags;  // LAST carries the final NEED_ACK bit
+    message->bytes = std::move(it->second.bytes);
+    assemblies_.erase(it);
+
+    std::optional<ShmRecv> posted;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      posted = posted_.match(key);
+      if (!posted) {
+        // NOTE: the key is passed as a separate value — evaluation order of
+        // `message->key` next to `std::move(message)` would be unspecified.
+        unexpected_.add(key, std::move(message));
+        arrival_cv_.notify_all();
+        return;
+      }
+    }
+    deliver(*message, *posted->buffer, posted->request);
+  }
+
+  struct AckWait {
+    DevRequest request;
+    DevStatus status;
+  };
+
+  ProcessID self_{};
+  std::unique_ptr<Segment> own_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Segment>> peers_;
+  std::thread input_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex recv_mu_;
+  std::condition_variable arrival_cv_;
+  PostedRecvSet<ShmRecv> posted_;
+  UnexpectedSet<std::unique_ptr<ShmUnexp>> unexpected_;
+  std::unordered_map<AssemblyKey, Assembly, AssemblyKeyHash> assemblies_;  // input thread only
+
+  std::mutex ack_mu_;
+  std::unordered_map<std::uint64_t, AckWait> awaiting_ack_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+
+  CompletionQueue completions_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> make_shmdev() { return std::make_unique<ShmDevice>(); }
+
+}  // namespace mpcx::xdev

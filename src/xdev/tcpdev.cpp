@@ -1,0 +1,761 @@
+// tcpdev — the paper's niodev rendered over POSIX TCP sockets.
+//
+// Structure (Sec. IV-A):
+//   * Each process connects TWO channels with every peer (including itself,
+//     for uniformity): one it WRITES on (blocking mode, guarded by a
+//     per-destination lock) and one it READS from (non-blocking, registered
+//     with a Poller). Java NIO forbids mixing blocking modes on one channel,
+//     which is where the two-channel design comes from; we keep it because
+//     it also removes all reader/writer interference.
+//   * One INPUT-HANDLER thread (the progress engine) poll()s every read
+//     channel and runs the receive state machine. No lock is needed for
+//     reading because only this thread reads.
+//   * Messages <= eager_threshold use the EAGER protocol (Figs. 3-5);
+//     larger messages and all synchronous-mode sends use the RENDEZVOUS
+//     protocol (Figs. 6-8), including the forked rendez-write-thread that
+//     keeps the input handler from blocking on large writes.
+//   * Matching uses the four-key scheme of Sec. IV-E.2 via PostedRecvSet /
+//     UnexpectedSet; "receive-communication-sets" are guarded by recv_mu_
+//     and "send-communication-sets" by send_mu_, with the same
+//     release-before-channel-lock discipline as the paper's pseudocode.
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bufx/buffer_pool.hpp"
+#include "support/logging.hpp"
+#include "support/socket.hpp"
+#include "xdev/completion_queue.hpp"
+#include "xdev/device.hpp"
+#include "xdev/matching.hpp"
+#include "xdev/tcpdev_frame.hpp"
+
+namespace mpcx::xdev {
+namespace {
+
+using tcp::FrameHeader;
+using tcp::FrameType;
+using tcp::kHeaderBytes;
+
+/// A message that arrived (or was announced via RTS) before any matching
+/// receive was posted.
+struct UnexpMsg {
+  MatchKey key;  // concrete
+  FrameType kind = FrameType::Eager;
+  std::uint32_t static_len = 0;
+  std::uint32_t dynamic_len = 0;
+  std::uint64_t msg_id = 0;  // RTS only
+  std::unique_ptr<buf::Buffer> temp;  // eager payload (possibly still arriving)
+  bool data_complete = false;
+  // Set when a receive claimed this entry while its payload was still
+  // arriving; the input handler finishes the hand-off.
+  DevRequest claimant;
+  buf::Buffer* claim_buffer = nullptr;
+};
+
+/// A posted-but-unmatched receive.
+struct RecvRec {
+  DevRequest request;
+  buf::Buffer* buffer = nullptr;
+};
+
+/// A rendezvous receive waiting for its data frame.
+struct RndvPending {
+  DevRequest request;
+  buf::Buffer* buffer = nullptr;
+};
+
+/// An outgoing rendezvous send waiting for ready-to-recv.
+struct SendRec {
+  DevRequest request;
+  buf::Buffer* buffer = nullptr;
+  ProcessID dst{};
+  int tag = 0;
+  int context = 0;
+};
+
+/// Key for the rendezvous-pending map: (source process, sender's msg id).
+struct RndvKey {
+  std::uint64_t src = 0;
+  std::uint64_t msg_id = 0;
+  friend bool operator==(const RndvKey&, const RndvKey&) = default;
+};
+
+struct RndvKeyHash {
+  std::size_t operator()(const RndvKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(key.src) * 1000003u ^ std::hash<std::uint64_t>{}(key.msg_id);
+  }
+};
+
+class TcpDevice final : public Device {
+ public:
+  ~TcpDevice() override {
+    try {
+      finish();
+    } catch (const Error&) {
+    }
+  }
+
+  std::vector<ProcessID> init(const DeviceConfig& config) override {
+    if (config.self_index >= config.world.size()) {
+      throw DeviceError("tcpdev: self_index out of range");
+    }
+    config_ = config;
+    self_ = config.world[config.self_index].id;
+    const auto& self_info = config.world[config.self_index];
+
+    if (config.acceptor) {
+      acceptor_ = std::move(*config.acceptor);
+    } else {
+      acceptor_ = net::Acceptor(self_info.port);
+    }
+    const std::size_t n = config.world.size();
+
+    // Accept read channels from every process (including ourselves) while
+    // concurrently connecting our write channels outward.
+    std::vector<net::Socket> accepted(n);
+    std::vector<std::uint64_t> accepted_ids(n, 0);
+    std::exception_ptr accept_error;
+    std::thread accept_thread([&] {
+      try {
+        for (std::size_t i = 0; i < n; ++i) {
+          auto sock = acceptor_.accept_for(30000);
+          if (!sock) throw DeviceError("tcpdev: timed out accepting peer connections");
+          std::array<std::byte, kHeaderBytes> hello{};
+          sock->read_all(hello);
+          const FrameHeader hdr = tcp::decode_header(hello);
+          if (hdr.type != FrameType::Hello) {
+            throw DeviceError("tcpdev: expected hello frame during bootstrap");
+          }
+          accepted_ids[i] = hdr.src;
+          accepted[i] = std::move(*sock);
+        }
+      } catch (...) {
+        accept_error = std::current_exception();
+      }
+    });
+
+    try {
+      for (const EndpointInfo& info : config.world) {
+        net::Socket sock = net::Socket::connect(info.host, info.port, 30000);
+        sock.set_nodelay(true);
+        if (config.socket_buffer_bytes > 0) {
+          sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
+        }
+        FrameHeader hello;
+        hello.type = FrameType::Hello;
+        hello.src = self_.value;
+        std::array<std::byte, kHeaderBytes> bytes{};
+        tcp::encode_header(bytes, hello);
+        sock.write_all(bytes);
+        auto peer = std::make_unique<Peer>();
+        peer->write_channel = std::move(sock);
+        peers_.emplace(info.id.value, std::move(peer));
+      }
+    } catch (...) {
+      accept_thread.join();
+      throw;
+    }
+    accept_thread.join();
+    if (accept_error) std::rethrow_exception(accept_error);
+
+    // Wire up the read channels and hand them to the input handler.
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = peers_.find(accepted_ids[i]);
+      if (it == peers_.end()) {
+        throw DeviceError("tcpdev: hello from unknown process " + std::to_string(accepted_ids[i]));
+      }
+      net::Socket sock = std::move(accepted[i]);
+      sock.set_nodelay(true);
+      if (config.socket_buffer_bytes > 0) {
+        sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
+      }
+      sock.set_nonblocking(true);
+      auto conn = std::make_unique<Conn>();
+      conn->peer = accepted_ids[i];
+      conn->sock = std::move(sock);
+      conns_by_fd_.emplace(conn->sock.fd(), std::move(conn));
+    }
+
+    for (const auto& [fd, conn] : conns_by_fd_) poller_.add(fd);
+    running_ = true;
+    input_thread_ = std::thread([this] { input_loop(); });
+
+    std::vector<ProcessID> world;
+    world.reserve(n);
+    for (const EndpointInfo& info : config.world) world.push_back(info.id);
+    return world;
+  }
+
+  int send_overhead() const override { return static_cast<int>(kHeaderBytes); }
+  int recv_overhead() const override { return 0; }
+
+  ProcessID id() const override { return self_; }
+
+  void finish() override {
+    bool was_running = running_.exchange(false);
+    if (was_running) {
+      poller_.wakeup();
+      if (input_thread_.joinable()) input_thread_.join();
+    }
+    // Wait for forked rendez-write-threads to drain.
+    {
+      std::unique_lock<std::mutex> lock(writer_mu_);
+      writer_cv_.wait(lock, [&] { return active_writers_ == 0; });
+    }
+    conns_by_fd_.clear();
+    peers_.clear();
+    acceptor_.close();
+    completions_.shutdown();
+  }
+
+  // ---- send side (Figs. 3 and 6) --------------------------------------------
+
+  DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    require_buffer_committed(buffer);
+    const std::size_t total = buffer.static_size() + buffer.dynamic_size();
+    if (total <= config_.eager_threshold) return eager_send(buffer, dst, tag, context);
+    return rndv_send(buffer, dst, tag, context);
+  }
+
+  DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    // Synchronous mode always rendezvouses: completion implies the receiver
+    // matched (the RTR proves it).
+    require_buffer_committed(buffer);
+    return rndv_send(buffer, dst, tag, context);
+  }
+
+  // ---- receive side (Figs. 4 and 7) ------------------------------------------
+
+  DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    const MatchKey key{context, tag, src};
+
+    std::shared_ptr<UnexpMsg> msg;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto found = unexpected_.match(key);
+      if (!found) {
+        posted_.add(key, RecvRec{request, &buffer});
+        return request;
+      }
+      msg = std::move(*found);
+      if (msg->kind == FrameType::Eager && !msg->data_complete) {
+        // Payload still arriving: leave the hand-off to the input handler.
+        msg->claimant = request;
+        msg->claim_buffer = &buffer;
+        arriving_claims_.emplace(msg.get(), msg);
+        return request;
+      }
+      if (msg->kind == FrameType::Rts) {
+        rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id},
+                              RndvPending{request, &buffer});
+      }
+    }
+    // Locks released before touching any channel, as in Fig. 7.
+    if (msg->kind == FrameType::Eager) {
+      deliver_buffered(*msg, buffer, request);
+    } else {
+      send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+               msg->dynamic_len, msg->msg_id);
+    }
+    return request;
+  }
+
+  DevStatus probe(ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::unique_lock<std::mutex> lock(recv_mu_);
+    for (;;) {
+      const auto* entry = unexpected_.find(key);
+      if (entry != nullptr) return unexpected_status(**entry);
+      if (!running_) throw DeviceError("tcpdev: probe after finish");
+      arrival_cv_.wait(lock);
+    }
+  }
+
+  std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    const auto* entry = unexpected_.find(key);
+    if (entry == nullptr) return std::nullopt;
+    return unexpected_status(**entry);
+  }
+
+  DevRequest peek() override { return completions_.pop(); }
+
+  bool cancel(const DevRequest& request) override {
+    if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
+    bool removed = false;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      removed = posted_.remove_scan(
+          [&](const RecvRec& rec) { return rec.request.get() == request.get(); });
+    }
+    if (!removed) return false;  // already matched (or never posted here)
+    DevStatus status;
+    status.cancelled = true;
+    request->complete(status);
+    return true;
+  }
+
+ private:
+  // ---- connection state -------------------------------------------------------
+
+  /// Per-peer write channel ("dest channel" in the pseudocode).
+  struct Peer {
+    std::mutex write_mu;
+    net::Socket write_channel;
+  };
+
+  /// Per-read-channel state machine. `body_*` is the continuation record —
+  /// the moral equivalent of niodev attaching a half-read message to its
+  /// SelectionKey.
+  struct Conn {
+    std::uint64_t peer = 0;
+    net::Socket sock;
+
+    std::array<std::byte, kHeaderBytes> hdr_bytes{};
+    std::size_t hdr_got = 0;
+
+    bool in_body = false;
+    std::byte* static_dst = nullptr;
+    std::size_t static_len = 0;
+    std::byte* dynamic_dst = nullptr;
+    std::size_t dynamic_len = 0;
+    std::size_t body_got = 0;
+    std::function<void()> on_body_done;
+  };
+
+  void require_buffer_committed(const buf::Buffer& buffer) const {
+    if (!buffer.in_read_mode()) throw DeviceError("tcpdev: send buffer must be committed");
+  }
+
+  Peer& peer_for(std::uint64_t id) {
+    auto it = peers_.find(id);
+    if (it == peers_.end()) throw DeviceError("tcpdev: unknown destination " + std::to_string(id));
+    return *it->second;
+  }
+
+  // ---- eager protocol, send side (Fig. 3) --------------------------------------
+
+  DevRequest eager_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+    FrameHeader hdr;
+    hdr.type = FrameType::Eager;
+    hdr.context = tag_to_wire(context);
+    hdr.tag = tag_to_wire(tag);
+    hdr.src = self_.value;
+    hdr.static_len = static_cast<std::uint32_t>(buffer.static_size());
+    hdr.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
+    write_message(buffer, peer_for(dst.value), hdr);
+    DevStatus status;
+    status.source = self_;
+    status.tag = tag;
+    status.context = context;
+    status.static_bytes = buffer.static_size();
+    status.dynamic_bytes = buffer.dynamic_size();
+    return make_completed_request(DevRequestState::Kind::Send, status);
+  }
+
+  /// Write [header | static] (one call) then the dynamic section, under the
+  /// destination channel lock.
+  void write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr) {
+    if (buffer.header_reserve() >= kHeaderBytes) {
+      // Header written in place: a single contiguous wire segment.
+      auto header = buffer.header_region();
+      tcp::encode_header(header.subspan(header.size() - kHeaderBytes), hdr);
+      std::lock_guard<std::mutex> lock(peer.write_mu);
+      peer.write_channel.write_all(buffer.framed_payload().subspan(
+          buffer.header_reserve() - kHeaderBytes));
+      if (buffer.dynamic_size() > 0) peer.write_channel.write_all(buffer.dynamic_payload());
+    } else {
+      std::array<std::byte, kHeaderBytes> bytes{};
+      tcp::encode_header(bytes, hdr);
+      std::lock_guard<std::mutex> lock(peer.write_mu);
+      peer.write_channel.write_all(bytes);
+      if (buffer.static_size() > 0) peer.write_channel.write_all(buffer.static_payload());
+      if (buffer.dynamic_size() > 0) peer.write_channel.write_all(buffer.dynamic_payload());
+    }
+  }
+
+  // ---- rendezvous protocol, send side (Fig. 6) ----------------------------------
+
+  DevRequest rndv_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      pending_sends_.emplace(id, SendRec{request, &buffer, dst, tag, context});
+    }
+    FrameHeader rts;
+    rts.type = FrameType::Rts;
+    rts.context = tag_to_wire(context);
+    rts.tag = tag_to_wire(tag);
+    rts.src = self_.value;
+    rts.static_len = static_cast<std::uint32_t>(buffer.static_size());
+    rts.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
+    rts.msg_id = id;
+    write_control(peer_for(dst.value), rts);
+    return request;
+  }
+
+  void write_control(Peer& peer, const FrameHeader& hdr) {
+    std::array<std::byte, kHeaderBytes> bytes{};
+    tcp::encode_header(bytes, hdr);
+    std::lock_guard<std::mutex> lock(peer.write_mu);
+    peer.write_channel.write_all(bytes);
+  }
+
+  void send_rtr(std::uint64_t to, int context, int tag, std::uint32_t static_len,
+                std::uint32_t dynamic_len, std::uint64_t msg_id) {
+    FrameHeader rtr;
+    rtr.type = FrameType::Rtr;
+    rtr.context = tag_to_wire(context);
+    rtr.tag = tag_to_wire(tag);
+    rtr.src = self_.value;
+    rtr.static_len = static_len;
+    rtr.dynamic_len = dynamic_len;
+    rtr.msg_id = msg_id;
+    write_control(peer_for(to), rtr);
+  }
+
+  static std::int32_t tag_to_wire(int value) { return static_cast<std::int32_t>(value); }
+
+  // ---- input handler (Figs. 5 and 8) ---------------------------------------------
+
+  void input_loop() {
+    while (running_) {
+      auto events = poller_.wait(200);
+      for (const net::PollEvent& event : events) {
+        auto it = conns_by_fd_.find(event.fd);
+        if (it == conns_by_fd_.end()) continue;
+        try {
+          pump(*it->second);
+        } catch (const Error& e) {
+          // Peer went away mid-run; drop the channel. Outstanding receives
+          // from that peer will never complete — matching real MPI behavior
+          // on a died rank.
+          if (running_) log::debug("tcpdev input handler: ", e.what());
+          poller_.remove(event.fd);
+          conns_by_fd_.erase(it);
+        }
+      }
+    }
+  }
+
+  /// Drain as many frames as currently available on one connection.
+  void pump(Conn& conn) {
+    for (;;) {
+      if (!conn.in_body) {
+        std::size_t got = 0;
+        const auto io = conn.sock.read_some(
+            std::span<std::byte>(conn.hdr_bytes).subspan(conn.hdr_got), got);
+        if (io == net::IoStatus::Eof) throw net::SocketError("peer closed");
+        if (io == net::IoStatus::WouldBlock) return;
+        conn.hdr_got += got;
+        if (conn.hdr_got < kHeaderBytes) continue;
+        conn.hdr_got = 0;
+        handle_frame(conn, tcp::decode_header(conn.hdr_bytes));
+        continue;
+      }
+      // Body: static bytes first, then dynamic, into the prepared spans.
+      while (conn.body_got < conn.static_len + conn.dynamic_len) {
+        std::span<std::byte> target;
+        if (conn.body_got < conn.static_len) {
+          target = {conn.static_dst + conn.body_got, conn.static_len - conn.body_got};
+        } else {
+          const std::size_t off = conn.body_got - conn.static_len;
+          target = {conn.dynamic_dst + off, conn.dynamic_len - off};
+        }
+        std::size_t got = 0;
+        const auto io = conn.sock.read_some(target, got);
+        if (io == net::IoStatus::Eof) throw net::SocketError("peer closed mid-message");
+        if (io == net::IoStatus::WouldBlock) return;  // continuation stays attached
+        conn.body_got += got;
+      }
+      conn.in_body = false;
+      auto done = std::move(conn.on_body_done);
+      conn.on_body_done = nullptr;
+      if (done) done();
+    }
+  }
+
+  void begin_body(Conn& conn, std::span<std::byte> static_dst, std::span<std::byte> dynamic_dst,
+                  std::function<void()> on_done) {
+    conn.in_body = true;
+    conn.static_dst = static_dst.data();
+    conn.static_len = static_dst.size();
+    conn.dynamic_dst = dynamic_dst.data();
+    conn.dynamic_len = dynamic_dst.size();
+    conn.body_got = 0;
+    conn.on_body_done = std::move(on_done);
+  }
+
+  void handle_frame(Conn& conn, const FrameHeader& hdr) {
+    switch (hdr.type) {
+      case FrameType::Eager:
+        handle_eager(conn, hdr);
+        return;
+      case FrameType::Rts:
+        handle_rts(hdr);
+        return;
+      case FrameType::Rtr:
+        handle_rtr(hdr);
+        return;
+      case FrameType::RndvData:
+        handle_rndv_data(conn, hdr);
+        return;
+      case FrameType::Hello:
+        throw DeviceError("tcpdev: unexpected hello after bootstrap");
+    }
+  }
+
+  DevStatus status_from(const FrameHeader& hdr, bool truncated = false) const {
+    DevStatus status;
+    status.source = ProcessID{hdr.src};
+    status.tag = hdr.tag;
+    status.context = hdr.context;
+    status.static_bytes = hdr.static_len;
+    status.dynamic_bytes = hdr.dynamic_len;
+    status.truncated = truncated;
+    return status;
+  }
+
+  static DevStatus unexpected_status(const UnexpMsg& msg) {
+    DevStatus status;
+    status.source = msg.key.src;
+    status.tag = msg.key.tag;
+    status.context = msg.key.context;
+    status.static_bytes = msg.static_len;
+    status.dynamic_bytes = msg.dynamic_len;
+    return status;
+  }
+
+  /// Fig. 5: eager data frame.
+  void handle_eager(Conn& conn, const FrameHeader& hdr) {
+    const MatchKey key{hdr.context, hdr.tag, ProcessID{hdr.src}};
+    std::optional<RecvRec> rec;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      rec = posted_.match(key);
+      if (!rec) {
+        // No receive posted yet: buffer into a pool buffer and publish the
+        // (still-arriving) message so probes and late receives can see it.
+        auto msg = std::make_shared<UnexpMsg>();
+        msg->key = key;
+        msg->kind = FrameType::Eager;
+        msg->static_len = hdr.static_len;
+        msg->dynamic_len = hdr.dynamic_len;
+        msg->temp = pool_.get(hdr.static_len);
+        auto static_dst = msg->temp->prepare_static(hdr.static_len);
+        auto dynamic_dst = msg->temp->prepare_dynamic(hdr.dynamic_len);
+        unexpected_.add(key, msg);
+        arrival_cv_.notify_all();
+        begin_body(conn, static_dst, dynamic_dst, [this, msg] { finish_unexpected(msg); });
+        return;
+      }
+    }
+    // Posted receive found: stream straight into the user's buffer.
+    if (hdr.static_len > rec->buffer->capacity()) {
+      drain_truncated(conn, hdr, rec->request);
+      return;
+    }
+    auto static_dst = rec->buffer->prepare_static(hdr.static_len);
+    auto dynamic_dst = rec->buffer->prepare_dynamic(hdr.dynamic_len);
+    buf::Buffer* buffer = rec->buffer;
+    DevRequest request = rec->request;
+    const DevStatus status = status_from(hdr);
+    begin_body(conn, static_dst, dynamic_dst, [buffer, request, status] {
+      buffer->seal_received();
+      request->complete(status);
+    });
+  }
+
+  /// The eager payload of an unexpected message finished arriving.
+  void finish_unexpected(const std::shared_ptr<UnexpMsg>& msg) {
+    msg->temp->seal_received();
+    DevRequest claimant;
+    buf::Buffer* claim_buffer = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      msg->data_complete = true;
+      claimant = std::move(msg->claimant);
+      claim_buffer = msg->claim_buffer;
+      arriving_claims_.erase(msg.get());
+    }
+    if (claimant) deliver_buffered(*msg, *claim_buffer, claimant);
+  }
+
+  /// Copy a fully buffered unexpected message into the user's buffer and
+  /// complete the receive.
+  void deliver_buffered(UnexpMsg& msg, buf::Buffer& buffer, const DevRequest& request) {
+    DevStatus status = unexpected_status(msg);
+    if (msg.static_len > buffer.capacity()) {
+      status.truncated = true;
+      request->complete(status);
+      pool_.put(std::move(msg.temp));
+      return;
+    }
+    auto static_dst = buffer.prepare_static(msg.static_len);
+    std::memcpy(static_dst.data(), msg.temp->static_payload().data(), msg.static_len);
+    auto dynamic_dst = buffer.prepare_dynamic(msg.dynamic_len);
+    if (msg.dynamic_len > 0) {
+      std::memcpy(dynamic_dst.data(), msg.temp->dynamic_payload().data(), msg.dynamic_len);
+    }
+    buffer.seal_received();
+    pool_.put(std::move(msg.temp));
+    request->complete(status);
+  }
+
+  /// Incoming message too large for the posted buffer: drain and discard.
+  void drain_truncated(Conn& conn, const FrameHeader& hdr, const DevRequest& request) {
+    auto scratch = pool_.get(hdr.static_len);
+    auto static_dst = scratch->prepare_static(hdr.static_len);
+    auto dynamic_dst = scratch->prepare_dynamic(hdr.dynamic_len);
+    auto* pool = &pool_;
+    auto holder = std::make_shared<std::unique_ptr<buf::Buffer>>(std::move(scratch));
+    const DevStatus status = status_from(hdr, /*truncated=*/true);
+    begin_body(conn, static_dst, dynamic_dst, [holder, pool, request, status] {
+      pool->put(std::move(*holder));
+      request->complete(status);
+    });
+  }
+
+  /// Fig. 8: ready-to-send control frame.
+  void handle_rts(const FrameHeader& hdr) {
+    const MatchKey key{hdr.context, hdr.tag, ProcessID{hdr.src}};
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto rec = posted_.match(key);
+      if (!rec) {
+        auto msg = std::make_shared<UnexpMsg>();
+        msg->key = key;
+        msg->kind = FrameType::Rts;
+        msg->static_len = hdr.static_len;
+        msg->dynamic_len = hdr.dynamic_len;
+        msg->msg_id = hdr.msg_id;
+        unexpected_.add(key, msg);
+        arrival_cv_.notify_all();
+        return;
+      }
+      rndv_pending_.emplace(RndvKey{hdr.src, hdr.msg_id},
+                            RndvPending{rec->request, rec->buffer});
+    }
+    // recv sets unlocked before taking the channel lock, as in Fig. 8.
+    send_rtr(hdr.src, hdr.context, hdr.tag, hdr.static_len, hdr.dynamic_len, hdr.msg_id);
+  }
+
+  /// Fig. 8: ready-to-recv — fork a rendez-write-thread so the input
+  /// handler never blocks on a large data write (the paper's deadlock
+  /// avoidance for simultaneous large sends).
+  void handle_rtr(const FrameHeader& hdr) {
+    SendRec rec;
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      auto it = pending_sends_.find(hdr.msg_id);
+      if (it == pending_sends_.end()) {
+        throw DeviceError("tcpdev: RTR for unknown send " + std::to_string(hdr.msg_id));
+      }
+      rec = std::move(it->second);
+      pending_sends_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      ++active_writers_;
+    }
+    std::thread([this, rec = std::move(rec), msg_id = hdr.msg_id] {
+      try {
+        FrameHeader data;
+        data.type = FrameType::RndvData;
+        data.context = tag_to_wire(rec.context);
+        data.tag = tag_to_wire(rec.tag);
+        data.src = self_.value;
+        data.static_len = static_cast<std::uint32_t>(rec.buffer->static_size());
+        data.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
+        data.msg_id = msg_id;
+        write_message(*rec.buffer, peer_for(rec.dst.value), data);
+        DevStatus status;
+        status.source = self_;
+        status.tag = rec.tag;
+        status.context = rec.context;
+        status.static_bytes = rec.buffer->static_size();
+        status.dynamic_bytes = rec.buffer->dynamic_size();
+        rec.request->complete(status);
+      } catch (const Error& e) {
+        log::error("tcpdev rendez-write-thread: ", e.what());
+      }
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      if (--active_writers_ == 0) writer_cv_.notify_all();
+    }).detach();
+  }
+
+  /// Fig. 8: rendezvous data frame.
+  void handle_rndv_data(Conn& conn, const FrameHeader& hdr) {
+    RndvPending pending;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto it = rndv_pending_.find(RndvKey{hdr.src, hdr.msg_id});
+      if (it == rndv_pending_.end()) {
+        throw DeviceError("tcpdev: rendezvous data with no pending receive");
+      }
+      pending = std::move(it->second);
+      rndv_pending_.erase(it);
+    }
+    if (hdr.static_len > pending.buffer->capacity()) {
+      drain_truncated(conn, hdr, pending.request);
+      return;
+    }
+    auto static_dst = pending.buffer->prepare_static(hdr.static_len);
+    auto dynamic_dst = pending.buffer->prepare_dynamic(hdr.dynamic_len);
+    buf::Buffer* buffer = pending.buffer;
+    DevRequest request = pending.request;
+    const DevStatus status = status_from(hdr);
+    begin_body(conn, static_dst, dynamic_dst, [buffer, request, status] {
+      buffer->seal_received();
+      request->complete(status);
+    });
+  }
+
+  // ---- members -----------------------------------------------------------------
+
+  DeviceConfig config_;
+  ProcessID self_{};
+  net::Acceptor acceptor_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;  // by ProcessID value
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_by_fd_;
+  net::Poller poller_;
+  std::thread input_thread_;
+  std::atomic<bool> running_{false};
+
+  // "receive-communication-sets" (Figs. 4/5/7/8).
+  std::mutex recv_mu_;
+  std::condition_variable arrival_cv_;
+  PostedRecvSet<RecvRec> posted_;
+  UnexpectedSet<std::shared_ptr<UnexpMsg>> unexpected_;
+  std::unordered_map<RndvKey, RndvPending, RndvKeyHash> rndv_pending_;
+  // Keeps still-arriving claimed messages alive until their payload lands.
+  std::unordered_map<const UnexpMsg*, std::shared_ptr<UnexpMsg>> arriving_claims_;
+
+  // "send-communication-sets" (Fig. 6).
+  std::mutex send_mu_;
+  std::unordered_map<std::uint64_t, SendRec> pending_sends_;
+  std::atomic<std::uint64_t> next_send_id_{1};
+
+  std::mutex writer_mu_;
+  std::condition_variable writer_cv_;
+  int active_writers_ = 0;
+
+  buf::BufferPool pool_;
+  CompletionQueue completions_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> make_tcpdev() { return std::make_unique<TcpDevice>(); }
+
+}  // namespace mpcx::xdev

@@ -1,0 +1,73 @@
+// Wire frame format for tcpdev (the niodev analog).
+//
+// Every unit on a tcpdev channel starts with a fixed 40-byte header. Eager
+// and rendezvous-data frames are followed by the static payload and then the
+// dynamic payload; control frames (hello / ready-to-send / ready-to-recv)
+// are header-only.
+//
+// The header fits inside the buffer's device reserve (send_overhead() == 40)
+// so an eager send is a single contiguous write of [header | static] plus
+// one write for the dynamic section — the paper's reason for exposing
+// getSendOverhead() through the xdev API.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "support/endian.hpp"
+#include "support/error.hpp"
+
+namespace mpcx::xdev::tcp {
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,     ///< connection setup: announces the connector's ProcessID
+  Eager = 2,     ///< eager protocol: header + full payload (Fig. 3)
+  Rts = 3,       ///< rendezvous ready-to-send (Fig. 6)
+  Rtr = 4,       ///< rendezvous ready-to-recv (Figs. 7/8)
+  RndvData = 5,  ///< rendezvous payload (Fig. 8, rendez-write-thread)
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::Hello;
+  std::int32_t context = 0;
+  std::int32_t tag = 0;
+  std::uint64_t src = 0;       ///< sender's ProcessID value
+  std::uint32_t static_len = 0;
+  std::uint32_t dynamic_len = 0;
+  std::uint64_t msg_id = 0;    ///< send-record id correlating RTS/RTR/data
+};
+
+inline constexpr std::size_t kHeaderBytes = 40;
+
+inline void encode_header(std::span<std::byte> out, const FrameHeader& hdr) {
+  if (out.size() < kHeaderBytes) throw DeviceError("tcpdev: header span too small");
+  out[0] = static_cast<std::byte>(hdr.type);
+  out[1] = out[2] = out[3] = std::byte{0};
+  store_wire<std::int32_t>(out.data() + 4, hdr.context);
+  store_wire<std::int32_t>(out.data() + 8, hdr.tag);
+  store_wire<std::uint64_t>(out.data() + 12, hdr.src);
+  store_wire<std::uint32_t>(out.data() + 20, hdr.static_len);
+  store_wire<std::uint32_t>(out.data() + 24, hdr.dynamic_len);
+  store_wire<std::uint64_t>(out.data() + 28, hdr.msg_id);
+  store_wire<std::uint32_t>(out.data() + 36, 0);  // reserved
+}
+
+inline FrameHeader decode_header(std::span<const std::byte> in) {
+  if (in.size() < kHeaderBytes) throw DeviceError("tcpdev: truncated header");
+  FrameHeader hdr;
+  const auto raw = static_cast<std::uint8_t>(in[0]);
+  if (raw < 1 || raw > 5) {
+    throw DeviceError("tcpdev: corrupt frame type " + std::to_string(raw));
+  }
+  hdr.type = static_cast<FrameType>(raw);
+  hdr.context = load_wire<std::int32_t>(in.data() + 4);
+  hdr.tag = load_wire<std::int32_t>(in.data() + 8);
+  hdr.src = load_wire<std::uint64_t>(in.data() + 12);
+  hdr.static_len = load_wire<std::uint32_t>(in.data() + 20);
+  hdr.dynamic_len = load_wire<std::uint32_t>(in.data() + 24);
+  hdr.msg_id = load_wire<std::uint64_t>(in.data() + 28);
+  return hdr;
+}
+
+}  // namespace mpcx::xdev::tcp

@@ -1,0 +1,75 @@
+// Test harness: bring up an in-process world of N raw xdev devices
+// (no mpdev/core on top), so device semantics can be tested directly.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/socket.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx::xdev::testing {
+
+class DeviceWorld {
+ public:
+  DeviceWorld(const std::string& device_name, int nprocs,
+              std::size_t eager_threshold = 128 * 1024) {
+    // Time-seeded so stale shmdev segments from crashed runs never collide
+    // (pids recycle too fast to be a safe nonce on their own).
+    static std::atomic<std::uint64_t> next_uuid{
+        (static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count())
+         << 20) ^
+        (static_cast<std::uint64_t>(::getpid()) << 8)};
+    std::vector<EndpointInfo> world(static_cast<std::size_t>(nprocs));
+    std::vector<std::shared_ptr<net::Acceptor>> acceptors(static_cast<std::size_t>(nprocs));
+    const bool is_tcp = device_name == "tcpdev";
+    for (int i = 0; i < nprocs; ++i) {
+      world[static_cast<std::size_t>(i)].id = ProcessID{next_uuid.fetch_add(1)};
+      world[static_cast<std::size_t>(i)].host = "127.0.0.1";
+      if (is_tcp) {
+        acceptors[static_cast<std::size_t>(i)] = std::make_shared<net::Acceptor>(0);
+        world[static_cast<std::size_t>(i)].port = acceptors[static_cast<std::size_t>(i)]->port();
+      }
+    }
+    devices_.resize(static_cast<std::size_t>(nprocs));
+    ids_.resize(static_cast<std::size_t>(nprocs));
+    // tcpdev init blocks until all peers connect: bootstrap concurrently.
+    std::vector<std::thread> boot;
+    for (int i = 0; i < nprocs; ++i) {
+      boot.emplace_back([&, i] {
+        DeviceConfig config;
+        config.self_index = static_cast<std::size_t>(i);
+        config.world = world;
+        config.eager_threshold = eager_threshold;
+        config.acceptor = acceptors[static_cast<std::size_t>(i)];
+        auto device = new_device(device_name);
+        ids_[static_cast<std::size_t>(i)] = device->init(config);
+        devices_[static_cast<std::size_t>(i)] = std::move(device);
+      });
+    }
+    for (auto& t : boot) t.join();
+  }
+
+  ~DeviceWorld() {
+    for (auto& device : devices_) {
+      if (device) device->finish();
+    }
+  }
+
+  Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+  ProcessID id(int i) const { return ids_[0][static_cast<std::size_t>(i)]; }
+  int size() const { return static_cast<int>(devices_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::vector<ProcessID>> ids_;
+};
+
+}  // namespace mpcx::xdev::testing

@@ -1,0 +1,333 @@
+// Unit tests for the buffering layer (mpjbuf analog): typed sections,
+// read/write modes, strided/gather packing, the dynamic (object) section,
+// receive-side fill, pooling, and the serializer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "bufx/buffer_pool.hpp"
+#include "bufx/serializer.hpp"
+
+namespace mpcx::buf {
+namespace {
+
+TEST(Buffer, WriteReadSingleSection) {
+  Buffer buffer(1024);
+  std::vector<std::int32_t> in(10);
+  std::iota(in.begin(), in.end(), 1);
+  buffer.write(std::span<const std::int32_t>(in));
+  buffer.commit();
+  std::vector<std::int32_t> out(10);
+  buffer.read(std::span<std::int32_t>(out));
+  EXPECT_EQ(in, out);
+}
+
+TEST(Buffer, MultipleTypedSectionsInOrder) {
+  Buffer buffer(1024);
+  const std::vector<double> doubles = {1.5, 2.5};
+  const std::vector<std::int16_t> shorts = {7, 8, 9};
+  const std::vector<char> chars = {'a', 'b'};
+  buffer.write(std::span<const double>(doubles));
+  buffer.write(std::span<const std::int16_t>(shorts));
+  buffer.write(std::span<const char>(chars));
+  buffer.commit();
+
+  auto info = buffer.peek_section();
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->type, TypeCode::Double);
+  EXPECT_EQ(info->count, 2u);
+
+  std::vector<double> d(2);
+  std::vector<std::int16_t> s(3);
+  std::vector<char> c(2);
+  buffer.read(std::span<double>(d));
+  buffer.read(std::span<std::int16_t>(s));
+  buffer.read(std::span<char>(c));
+  EXPECT_EQ(d, doubles);
+  EXPECT_EQ(s, shorts);
+  EXPECT_EQ(c, chars);
+  EXPECT_FALSE(buffer.peek_section());
+}
+
+TEST(Buffer, TypeMismatchThrows) {
+  Buffer buffer(256);
+  const std::vector<std::int32_t> in = {1, 2, 3};
+  buffer.write(std::span<const std::int32_t>(in));
+  buffer.commit();
+  std::vector<float> wrong(3);
+  EXPECT_THROW(buffer.read(std::span<float>(wrong)), BufferError);
+}
+
+TEST(Buffer, CountMismatchThrows) {
+  Buffer buffer(256);
+  const std::vector<std::int32_t> in = {1, 2, 3};
+  buffer.write(std::span<const std::int32_t>(in));
+  buffer.commit();
+  std::vector<std::int32_t> wrong(2);
+  EXPECT_THROW(buffer.read(std::span<std::int32_t>(wrong)), BufferError);
+}
+
+TEST(Buffer, ModeViolationsThrow) {
+  Buffer buffer(256);
+  std::vector<std::int32_t> data = {1};
+  EXPECT_THROW(buffer.read(std::span<std::int32_t>(data)), BufferError);  // write mode
+  buffer.write(std::span<const std::int32_t>(data));
+  EXPECT_THROW(buffer.peek_section(), BufferError);  // still write mode
+  buffer.commit();
+  EXPECT_THROW(buffer.write(std::span<const std::int32_t>(data)), BufferError);  // read mode
+  EXPECT_THROW(buffer.commit(), BufferError);  // double commit
+}
+
+TEST(Buffer, OverflowThrows) {
+  Buffer buffer(64);
+  std::vector<double> big(32);  // 256 bytes > 64
+  EXPECT_THROW(buffer.write(std::span<const double>(big)), BufferError);
+}
+
+TEST(Buffer, ClearResetsForReuse) {
+  Buffer buffer(256);
+  const std::vector<std::int32_t> first = {1, 2};
+  buffer.write(std::span<const std::int32_t>(first));
+  buffer.commit();
+  buffer.clear();
+  EXPECT_TRUE(buffer.in_write_mode());
+  const std::vector<std::int64_t> second = {10, 20, 30};
+  buffer.write(std::span<const std::int64_t>(second));
+  buffer.commit();
+  std::vector<std::int64_t> out(3);
+  buffer.read(std::span<std::int64_t>(out));
+  EXPECT_EQ(out, second);
+}
+
+TEST(Buffer, StridedRoundTripMatrixColumn) {
+  // The paper's Sec. IV-C example: column of a 4x4 matrix, blocklength 1,
+  // stride 4.
+  Buffer buffer(256);
+  std::vector<float> matrix(16);
+  std::iota(matrix.begin(), matrix.end(), 0.0f);
+  buffer.write_strided(matrix.data(), /*blocks=*/4, /*blocklen=*/1, /*stride=*/4);
+  buffer.commit();
+  std::vector<float> column(4);
+  buffer.read(std::span<float>(column));
+  EXPECT_EQ(column, (std::vector<float>{0.0f, 4.0f, 8.0f, 12.0f}));
+}
+
+TEST(Buffer, StridedScatterInverse) {
+  Buffer buffer(256);
+  const std::vector<float> column = {1, 2, 3, 4};
+  buffer.write(std::span<const float>(column));
+  buffer.commit();
+  std::vector<float> matrix(16, 0.0f);
+  buffer.read_strided(matrix.data(), 4, 1, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(matrix[static_cast<std::size_t>(i) * 4], column[i]);
+}
+
+TEST(Buffer, GatherScatterOffsets) {
+  Buffer buffer(256);
+  std::vector<std::int32_t> source = {0, 10, 20, 30, 40, 50};
+  const std::vector<std::ptrdiff_t> offsets = {5, 0, 3};
+  buffer.write_gather(source.data(), std::span<const std::ptrdiff_t>(offsets));
+  buffer.commit();
+  std::vector<std::int32_t> landed(6, -1);
+  buffer.read_scatter(landed.data(), std::span<const std::ptrdiff_t>(offsets));
+  EXPECT_EQ(landed[5], 50);
+  EXPECT_EQ(landed[0], 0);
+  EXPECT_EQ(landed[3], 30);
+}
+
+TEST(Buffer, ObjectsThroughDynamicSection) {
+  Buffer buffer(64);
+  buffer.write_object(std::string("hello"));
+  buffer.write_object(std::vector<int>{1, 2, 3});
+  buffer.commit();
+  EXPECT_EQ(buffer.objects_remaining(), 2u);
+  EXPECT_EQ(buffer.read_object<std::string>(), "hello");
+  EXPECT_EQ(buffer.read_object<std::vector<int>>(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(buffer.objects_remaining(), 0u);
+  EXPECT_THROW(buffer.read_object<int>(), BufferError);
+}
+
+TEST(Buffer, MixedStaticAndDynamic) {
+  Buffer buffer(256);
+  const std::vector<double> nums = {3.25};
+  buffer.write(std::span<const double>(nums));
+  buffer.write_object(std::string("tail"));
+  buffer.commit();
+  std::vector<double> out(1);
+  buffer.read(std::span<double>(out));
+  EXPECT_EQ(out[0], 3.25);
+  EXPECT_EQ(buffer.read_object<std::string>(), "tail");
+}
+
+TEST(Buffer, ReceivePathRoundTrip) {
+  // Sender packs; receiver fills raw regions from the "wire" and seals.
+  Buffer sender(256, /*header_reserve=*/40);
+  const std::vector<std::int32_t> payload = {4, 5, 6};
+  sender.write(std::span<const std::int32_t>(payload));
+  sender.write_object(std::string("obj"));
+  sender.commit();
+
+  Buffer receiver(256);
+  auto sdst = receiver.prepare_static(sender.static_size());
+  std::memcpy(sdst.data(), sender.static_payload().data(), sender.static_size());
+  auto ddst = receiver.prepare_dynamic(sender.dynamic_size());
+  std::memcpy(ddst.data(), sender.dynamic_payload().data(), sender.dynamic_size());
+  receiver.seal_received();
+
+  std::vector<std::int32_t> out(3);
+  receiver.read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(receiver.read_object<std::string>(), "obj");
+}
+
+TEST(Buffer, SealRejectsCorruptDynamicPrefix) {
+  Buffer receiver(64);
+  auto ddst = receiver.prepare_dynamic(4);
+  // Length prefix says 100 bytes follow, but nothing does.
+  store_wire<std::uint32_t>(ddst.data(), 100);
+  EXPECT_THROW(receiver.seal_received(), BufferError);
+}
+
+TEST(Buffer, PrepareStaticOverCapacityThrows) {
+  Buffer receiver(64);
+  EXPECT_THROW(receiver.prepare_static(65), BufferError);
+}
+
+TEST(Buffer, HeaderReserveIsContiguousWithStatic) {
+  Buffer buffer(64, 16);
+  const std::vector<std::int8_t> data = {1, 2, 3};
+  buffer.write(std::span<const std::int8_t>(data));
+  buffer.commit();
+  auto framed = buffer.framed_payload();
+  EXPECT_EQ(framed.size(), 16u + buffer.static_size());
+  EXPECT_EQ(buffer.header_region().size(), 16u);
+}
+
+// ---- parameterized: section sizes across all primitive types ------------------
+
+template <typename T>
+class BufferTypedTest : public ::testing::Test {};
+
+using AllPrimitives =
+    ::testing::Types<std::int8_t, char, std::int16_t, std::int32_t, std::int64_t, float, double,
+                     bool>;
+TYPED_TEST_SUITE(BufferTypedTest, AllPrimitives);
+
+TYPED_TEST(BufferTypedTest, RoundTripVariousCounts) {
+  // unique_ptr<T[]> rather than vector<T>: vector<bool> has no data().
+  for (const std::size_t count : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    Buffer buffer(count * sizeof(TypeParam) + 64);
+    auto in = std::make_unique<TypeParam[]>(count);
+    for (std::size_t i = 0; i < count; ++i) in[i] = static_cast<TypeParam>(i % 120);
+    buffer.write(std::span<const TypeParam>(in.get(), count));
+    buffer.commit();
+    auto out = std::make_unique<TypeParam[]>(count);
+    buffer.read(std::span<TypeParam>(out.get(), count));
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(in[i], out[i]) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+// ---- pool -----------------------------------------------------------------------
+
+TEST(BufferPool, RoundsUpToPowerOfTwoBins) {
+  EXPECT_EQ(BufferPool::bin_capacity(0), 256u);
+  EXPECT_EQ(BufferPool::bin_capacity(256), 256u);
+  EXPECT_EQ(BufferPool::bin_capacity(257), 512u);
+  EXPECT_EQ(BufferPool::bin_capacity(100000), 131072u);
+}
+
+TEST(BufferPool, RecyclesBuffers) {
+  BufferPool pool(40);
+  auto first = pool.get(1000);
+  Buffer* raw = first.get();
+  EXPECT_EQ(first->header_reserve(), 40u);
+  pool.put(std::move(first));
+  auto second = pool.get(900);  // same bin (1024)
+  EXPECT_EQ(second.get(), raw);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, RecycledBufferIsCleared) {
+  BufferPool pool;
+  auto buffer = pool.get(256);
+  const std::vector<std::int32_t> data = {1};
+  buffer->write(std::span<const std::int32_t>(data));
+  buffer->commit();
+  pool.put(std::move(buffer));
+  auto again = pool.get(256);
+  EXPECT_TRUE(again->in_write_mode());
+  EXPECT_EQ(again->static_size(), 0u);
+}
+
+TEST(BufferPool, RejectsForeignReserve) {
+  BufferPool pool(40);
+  pool.put(std::make_unique<Buffer>(256, 8));  // wrong reserve: dropped
+  auto fetched = pool.get(256);
+  EXPECT_EQ(fetched->header_reserve(), 40u);
+}
+
+// ---- serializer ---------------------------------------------------------------------
+
+TEST(Serializer, PrimitivesAndStrings) {
+  const auto bytes = encode_to_bytes(std::string("abc"));
+  EXPECT_EQ(decode_from_bytes<std::string>(bytes), "abc");
+  EXPECT_EQ(decode_from_bytes<double>(encode_to_bytes(2.75)), 2.75);
+  EXPECT_EQ(decode_from_bytes<std::int64_t>(encode_to_bytes<std::int64_t>(-9)), -9);
+  EXPECT_EQ(decode_from_bytes<bool>(encode_to_bytes(true)), true);
+}
+
+TEST(Serializer, NestedContainers) {
+  std::map<std::string, std::vector<std::pair<int, double>>> value;
+  value["a"] = {{1, 1.5}, {2, 2.5}};
+  value["b"] = {};
+  const auto bytes = encode_to_bytes(value);
+  EXPECT_EQ(decode_from_bytes<decltype(value)>(bytes), value);
+}
+
+struct CustomPoint {
+  int x = 0;
+  int y = 0;
+  void serialize(ByteSink& sink) const {
+    sink.put(x);
+    sink.put(y);
+  }
+  static CustomPoint deserialize(ByteSource& source) {
+    CustomPoint p;
+    p.x = source.get<int>();
+    p.y = source.get<int>();
+    return p;
+  }
+  friend bool operator==(const CustomPoint&, const CustomPoint&) = default;
+};
+
+TEST(Serializer, UserTypeViaConcept) {
+  static_assert(Serializable<CustomPoint>);
+  const CustomPoint p{3, -4};
+  EXPECT_EQ(decode_from_bytes<CustomPoint>(encode_to_bytes(p)), p);
+  // And nested inside containers:
+  const std::vector<CustomPoint> many = {{1, 2}, {3, 4}};
+  EXPECT_EQ(decode_from_bytes<std::vector<CustomPoint>>(encode_to_bytes(many)), many);
+}
+
+TEST(Serializer, TruncatedInputThrows) {
+  auto bytes = encode_to_bytes(std::string("hello"));
+  bytes.pop_back();
+  EXPECT_THROW(decode_from_bytes<std::string>(bytes), BufferError);
+}
+
+TEST(Serializer, TrailingBytesThrow) {
+  auto bytes = encode_to_bytes<std::int32_t>(1);
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(decode_from_bytes<std::int32_t>(bytes), BufferError);
+}
+
+}  // namespace
+}  // namespace mpcx::buf

@@ -1,0 +1,319 @@
+// Collective-operation tests, parameterized over (device, nprocs) — each
+// collective verified against independently computed expectations,
+// including non-power-of-two world sizes and non-root roots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ protected:
+  cluster::Options opts() {
+    cluster::Options options;
+    options.device = std::get<0>(GetParam());
+    return options;
+  }
+  int nprocs() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(Collectives, BarrierSynchronizes) {
+  // Every rank increments a shared epoch between barriers; after each
+  // barrier all ranks must observe the full epoch.
+  std::atomic<int> arrivals{0};
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      ++arrivals;
+      comm.Barrier();
+      EXPECT_GE(arrivals.load(), epoch * comm.Size());
+      comm.Barrier();
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    for (int root = 0; root < comm.Size(); ++root) {
+      std::vector<std::int32_t> data(17, comm.Rank() == root ? root * 7 : -1);
+      comm.Bcast(data.data(), 0, 17, types::INT(), root);
+      for (const std::int32_t v : data) EXPECT_EQ(v, root * 7);
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, GatherScatterRoundTrip) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int root = n - 1;
+    std::vector<std::int32_t> mine = {comm.Rank() * 2, comm.Rank() * 2 + 1};
+    std::vector<std::int32_t> all(static_cast<std::size_t>(2 * n), -1);
+    comm.Gather(mine.data(), 0, 2, types::INT(), all.data(), 0, 2, types::INT(), root);
+    if (comm.Rank() == root) {
+      for (int i = 0; i < 2 * n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+    // Scatter it back: every rank should recover its own slice.
+    std::vector<std::int32_t> slice(2, -1);
+    comm.Scatter(all.data(), 0, 2, types::INT(), slice.data(), 0, 2, types::INT(), root);
+    EXPECT_EQ(slice, mine);
+  }, opts());
+}
+
+TEST_P(Collectives, GathervScattervWithDisplacements) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    // Rank r contributes r+1 values of value r, laid out back to back.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(rank + 1), rank);
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r + 1;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += r + 1;
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(total), -1);
+    comm.Gatherv(mine.data(), 0, rank + 1, types::INT(), all.data(), 0, counts, displs,
+                 types::INT(), 0);
+    if (rank == 0) {
+      int pos = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[static_cast<std::size_t>(pos++)], r);
+      }
+    }
+    std::vector<std::int32_t> back(static_cast<std::size_t>(rank + 1), -1);
+    comm.Scatterv(all.data(), 0, counts, displs, types::INT(), back.data(), 0, rank + 1,
+                  types::INT(), 0);
+    EXPECT_EQ(back, mine);
+  }, opts());
+}
+
+TEST_P(Collectives, AllgatherRing) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    std::vector<double> mine = {comm.Rank() + 0.5};
+    std::vector<double> all(static_cast<std::size_t>(n), -1.0);
+    comm.Allgather(mine.data(), 0, 1, types::DOUBLE(), all.data(), 0, 1, types::DOUBLE());
+    for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 0.5);
+  }, opts());
+}
+
+TEST_P(Collectives, AllgathervVaryingSizes) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(rank + 1), rank * 10);
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r + 1;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += r + 1;
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(total), -1);
+    comm.Allgatherv(mine.data(), 0, rank + 1, types::INT(), all.data(), 0, counts, displs,
+                    types::INT());
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k <= r; ++k) {
+        EXPECT_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + k)], r * 10);
+      }
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, AlltoallPermutation) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    // Element for destination d encodes (source, dest).
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) send[static_cast<std::size_t>(d)] = rank * 100 + d;
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(n), -1);
+    comm.Alltoall(send.data(), 0, 1, types::INT(), recv.data(), 0, 1, types::INT());
+    for (int s = 0; s < n; ++s) EXPECT_EQ(recv[static_cast<std::size_t>(s)], s * 100 + rank);
+  }, opts());
+}
+
+TEST_P(Collectives, AlltoallvRaggedPermutation) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    // Rank r sends (d+1) copies of r*100+d to destination d.
+    std::vector<int> sendcounts(static_cast<std::size_t>(n));
+    std::vector<int> sdispls(static_cast<std::size_t>(n));
+    int total_send = 0;
+    for (int d = 0; d < n; ++d) {
+      sendcounts[static_cast<std::size_t>(d)] = d + 1;
+      sdispls[static_cast<std::size_t>(d)] = total_send;
+      total_send += d + 1;
+    }
+    std::vector<std::int32_t> send(static_cast<std::size_t>(total_send));
+    for (int d = 0; d < n; ++d) {
+      for (int k = 0; k <= d; ++k) {
+        send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(d)] + k)] = rank * 100 + d;
+      }
+    }
+    // Everyone receives (rank+1) items from each source.
+    std::vector<int> recvcounts(static_cast<std::size_t>(n), rank + 1);
+    std::vector<int> rdispls(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) rdispls[static_cast<std::size_t>(s)] = s * (rank + 1);
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(n * (rank + 1)), -1);
+    comm.Alltoallv(send.data(), 0, sendcounts, sdispls, types::INT(), recv.data(), 0, recvcounts,
+                   rdispls, types::INT());
+    for (int s = 0; s < n; ++s) {
+      for (int k = 0; k <= rank; ++k) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(s)] + k)],
+                  s * 100 + rank);
+      }
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, ReduceSumAndMax) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int root = n / 2;
+    std::vector<std::int32_t> mine = {comm.Rank() + 1, -(comm.Rank() + 1)};
+    std::vector<std::int32_t> out(2, 0);
+    comm.Reduce(mine.data(), 0, out.data(), 0, 2, types::INT(), ops::SUM(), root);
+    if (comm.Rank() == root) {
+      EXPECT_EQ(out[0], n * (n + 1) / 2);
+      EXPECT_EQ(out[1], -n * (n + 1) / 2);
+    }
+    comm.Reduce(mine.data(), 0, out.data(), 0, 2, types::INT(), ops::MAX(), root);
+    if (comm.Rank() == root) {
+      EXPECT_EQ(out[0], n);
+      EXPECT_EQ(out[1], -1);
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, AllreduceEveryRankSeesResult) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    double mine = 1.0 / (comm.Rank() + 1);
+    double total = 0;
+    comm.Allreduce(&mine, 0, &total, 0, 1, types::DOUBLE(), ops::SUM());
+    double expected = 0;
+    for (int r = 0; r < comm.Size(); ++r) expected += 1.0 / (r + 1);
+    EXPECT_NEAR(total, expected, 1e-12);
+  }, opts());
+}
+
+TEST_P(Collectives, NonCommutativeUserOpCanonicalOrder) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // f(a, b) = a*10 + b: result encodes rank order 0,1,...,n-1 in digits.
+    const Op digits = Op::make_user<std::int64_t>(
+        [](std::int64_t a, std::int64_t b) { return a * 10 + b; }, /*commutative=*/false);
+    std::int64_t mine = comm.Rank();
+    std::int64_t out = -1;
+    comm.Reduce(&mine, 0, &out, 0, 1, types::LONG(), digits, 0);
+    if (comm.Rank() == 0) {
+      std::int64_t expected = 0;
+      for (int r = 1; r < comm.Size(); ++r) expected = expected * 10 + r;
+      EXPECT_EQ(out, expected);
+    }
+  }, opts());
+}
+
+TEST_P(Collectives, MaxlocFindsOwner) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    // value = (rank*7) % n so the max owner is nontrivial; pair = (value, rank).
+    std::int32_t pair[2] = {(comm.Rank() * 7) % n, comm.Rank()};
+    std::int32_t out[2] = {0, 0};
+    comm.Allreduce(pair, 0, out, 0, 2, types::INT(), ops::MAXLOC());
+    int best = 0, owner = 0;
+    for (int r = 0; r < n; ++r) {
+      if ((r * 7) % n > best) {
+        best = (r * 7) % n;
+        owner = r;
+      }
+    }
+    EXPECT_EQ(out[0], best);
+    EXPECT_EQ(out[1], owner);
+  }, opts());
+}
+
+TEST_P(Collectives, ScanInclusivePrefix) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::int32_t mine = comm.Rank() + 1;
+    std::int32_t prefix = 0;
+    comm.Scan(&mine, 0, &prefix, 0, 1, types::INT(), ops::SUM());
+    EXPECT_EQ(prefix, (comm.Rank() + 1) * (comm.Rank() + 2) / 2);
+  }, opts());
+}
+
+TEST_P(Collectives, ReduceScatterSlices) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    std::vector<int> counts(static_cast<std::size_t>(n), 2);
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(2 * n));
+    for (int i = 0; i < 2 * n; ++i) mine[static_cast<std::size_t>(i)] = comm.Rank() + i;
+    std::vector<std::int32_t> slice(2, -1);
+    comm.Reduce_scatter(mine.data(), 0, slice.data(), 0, counts, types::INT(), ops::SUM());
+    // Sum over ranks of (r + i) = n*i + n(n-1)/2 at element i.
+    const int base = n * (n - 1) / 2;
+    const int i0 = comm.Rank() * 2;
+    EXPECT_EQ(slice[0], n * i0 + base);
+    EXPECT_EQ(slice[1], n * (i0 + 1) + base);
+  }, opts());
+}
+
+TEST_P(Collectives, LargePayloadBcastAndReduce) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    constexpr int kCount = 200000;  // 800 KB of ints: rendezvous territory
+    std::vector<std::int32_t> data(kCount);
+    if (comm.Rank() == 0) std::iota(data.begin(), data.end(), 0);
+    comm.Bcast(data.data(), 0, kCount, types::INT(), 0);
+    EXPECT_EQ(data[kCount - 1], kCount - 1);
+
+    std::vector<std::int32_t> sums(kCount);
+    comm.Allreduce(data.data(), 0, sums.data(), 0, kCount, types::INT(), ops::SUM());
+    EXPECT_EQ(sums[1], comm.Size());
+  }, opts());
+}
+
+TEST_P(Collectives, ReduceRejectsNonContiguousType) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const auto strided = Datatype::vector(2, 1, 3, types::INT());
+    std::vector<std::int32_t> a(6, 1), b(6, 0);
+    EXPECT_THROW(comm.Allreduce(a.data(), 0, b.data(), 0, 1, strided, ops::SUM()),
+                 ArgumentError);
+    comm.Barrier();
+  }, opts());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceBySize, Collectives,
+    ::testing::Combine(::testing::Values("mxdev", "tcpdev", "shmdev"), ::testing::Values(1, 2, 3, 4, 7)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_np" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcx

@@ -1,0 +1,302 @@
+// Communicator construction: Dup, Create, Split, context isolation,
+// Cartesian/graph topologies, inter-communicators and Merge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cartcomm.hpp"
+#include "core/cluster.hpp"
+#include "core/graphcomm.hpp"
+#include "core/intercomm.hpp"
+
+namespace mpcx {
+namespace {
+
+TEST(CommConstruction, DupIsIndependentUniverse) {
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto dup = comm.Dup();
+    ASSERT_TRUE(dup);
+    EXPECT_EQ(dup->Rank(), comm.Rank());
+    EXPECT_EQ(dup->Size(), comm.Size());
+    EXPECT_NE(dup->ptp_context(), comm.ptp_context());
+
+    // A wildcard receive on the dup must NOT see world-comm traffic.
+    if (comm.Rank() == 0) {
+      int original = 1, duplicate = 2;
+      comm.Send(&original, 0, 1, types::INT(), 1, 0);
+      dup->Send(&duplicate, 0, 1, types::INT(), 1, 0);
+    } else if (comm.Rank() == 1) {
+      int value = 0;
+      dup->Recv(&value, 0, 1, types::INT(), ANY_SOURCE, ANY_TAG);
+      EXPECT_EQ(value, 2);
+      comm.Recv(&value, 0, 1, types::INT(), ANY_SOURCE, ANY_TAG);
+      EXPECT_EQ(value, 1);
+    }
+    dup->Barrier();
+  });
+}
+
+TEST(CommConstruction, CreateSubgroup) {
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // Evens only, reversed order: local rank 0 = world rank 2.
+    Group evens = comm.group().Incl(std::vector<int>{2, 0});
+    auto sub = comm.Create(evens);
+    if (comm.Rank() % 2 == 0) {
+      ASSERT_TRUE(sub);
+      EXPECT_EQ(sub->Size(), 2);
+      EXPECT_EQ(sub->Rank(), comm.Rank() == 2 ? 0 : 1);
+      int token = comm.Rank();
+      int other = -1;
+      sub->Sendrecv(&token, 0, 1, types::INT(), 1 - sub->Rank(), 0, &other, 0, 1, types::INT(),
+                    1 - sub->Rank(), 0);
+      EXPECT_EQ(other, comm.Rank() == 2 ? 0 : 2);
+    } else {
+      EXPECT_FALSE(sub);
+    }
+  });
+}
+
+TEST(CommConstruction, SplitByColorOrderedByKey) {
+  cluster::launch(6, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int color = comm.Rank() % 2;
+    const int key = -comm.Rank();  // reverse order within each color
+    auto half = comm.Split(color, key);
+    ASSERT_TRUE(half);
+    EXPECT_EQ(half->Size(), 3);
+    // Reverse key order: highest world rank becomes local rank 0.
+    const std::vector<int> expected =
+        color == 0 ? std::vector<int>{4, 2, 0} : std::vector<int>{5, 3, 1};
+    EXPECT_EQ(half->group().world_ranks(), expected);
+
+    int sum = 0;
+    int mine = comm.Rank();
+    half->Allreduce(&mine, 0, &sum, 0, 1, types::INT(), ops::SUM());
+    EXPECT_EQ(sum, color == 0 ? 6 : 9);
+  });
+}
+
+TEST(CommConstruction, SplitUndefinedGetsNull) {
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto sub = comm.Split(comm.Rank() == 0 ? UNDEFINED : 1, 0);
+    if (comm.Rank() == 0) {
+      EXPECT_FALSE(sub);
+    } else {
+      ASSERT_TRUE(sub);
+      EXPECT_EQ(sub->Size(), 2);
+    }
+  });
+}
+
+TEST(CommConstruction, NestedConstructionChains) {
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto dup = comm.Dup();
+    auto split = dup->Split(comm.Rank() / 2, comm.Rank());
+    ASSERT_TRUE(split);
+    auto dup2 = split->Dup();
+    int one = 1, total = 0;
+    dup2->Allreduce(&one, 0, &total, 0, 1, types::INT(), ops::SUM());
+    EXPECT_EQ(total, 2);
+  });
+}
+
+TEST(Cart, GridGeometry) {
+  cluster::launch(6, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int dims[2] = {2, 3};
+    const bool periods[2] = {false, true};
+    auto cart = comm.Create_cart(dims, periods, false);
+    ASSERT_TRUE(cart);
+    EXPECT_EQ(cart->Ndims(), 2);
+    const auto coords = cart->Coords(cart->Rank());
+    EXPECT_EQ(cart->Rank(coords), cart->Rank());
+    // Row-major: rank = row*3 + col.
+    EXPECT_EQ(coords[0], cart->Rank() / 3);
+    EXPECT_EQ(coords[1], cart->Rank() % 3);
+    const CartParms parms = cart->Get();
+    EXPECT_EQ(parms.dims, (std::vector<int>{2, 3}));
+    EXPECT_TRUE(parms.periods[1]);
+  });
+}
+
+TEST(Cart, ShiftBoundariesAndPeriodicity) {
+  cluster::launch(6, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int dims[2] = {2, 3};
+    const bool periods[2] = {false, true};
+    auto cart = comm.Create_cart(dims, periods, false);
+    ASSERT_TRUE(cart);
+    const auto coords = cart->Coords(cart->Rank());
+
+    const ShiftParms rows = cart->Shift(0, 1);  // non-periodic
+    if (coords[0] == 0) {
+      EXPECT_EQ(rows.rank_source, PROC_NULL);
+    }
+    if (coords[0] == 1) {
+      EXPECT_EQ(rows.rank_dest, PROC_NULL);
+    }
+
+    const ShiftParms cols = cart->Shift(1, 1);  // periodic: never PROC_NULL
+    EXPECT_NE(cols.rank_source, PROC_NULL);
+    EXPECT_NE(cols.rank_dest, PROC_NULL);
+    // dest of my source is me.
+    const auto src_coords = cart->Coords(cols.rank_source);
+    std::vector<int> expect = coords;
+    expect[1] = (coords[1] + 2) % 3;
+    EXPECT_EQ(src_coords, expect);
+  });
+}
+
+TEST(Cart, ShiftedHaloExchange) {
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int dims[1] = {4};
+    const bool periods[1] = {true};
+    auto ring = comm.Create_cart(dims, periods, false);
+    ASSERT_TRUE(ring);
+    const ShiftParms shift = ring->Shift(0, 1);
+    int mine = ring->Rank();
+    int from_left = -1;
+    ring->Sendrecv(&mine, 0, 1, types::INT(), shift.rank_dest, 0, &from_left, 0, 1, types::INT(),
+                   shift.rank_source, 0);
+    EXPECT_EQ(from_left, (ring->Rank() + 3) % 4);
+  });
+}
+
+TEST(Cart, SubGrids) {
+  cluster::launch(6, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int dims[2] = {2, 3};
+    const bool periods[2] = {false, false};
+    auto cart = comm.Create_cart(dims, periods, false);
+    ASSERT_TRUE(cart);
+    const bool keep_cols[2] = {false, true};  // rows of 3
+    auto row = cart->Sub(keep_cols);
+    ASSERT_TRUE(row);
+    EXPECT_EQ(row->Size(), 3);
+    const auto coords = cart->Coords(cart->Rank());
+    EXPECT_EQ(row->Rank(), coords[1]);
+    int sum = 0;
+    int mine = cart->Rank();
+    row->Allreduce(&mine, 0, &sum, 0, 1, types::INT(), ops::SUM());
+    // Row r contains ranks 3r, 3r+1, 3r+2.
+    EXPECT_EQ(sum, 9 * coords[0] + 3);
+  });
+}
+
+TEST(Cart, DimsCreateBalanced) {
+  const auto square = Cartcomm::Dims_create(12, std::vector<int>{0, 0});
+  EXPECT_EQ(square[0] * square[1], 12);
+  EXPECT_LE(std::abs(square[0] - square[1]), 2);
+  const auto fixed = Cartcomm::Dims_create(12, std::vector<int>{3, 0});
+  EXPECT_EQ(fixed, (std::vector<int>{3, 4}));
+  const auto cube = Cartcomm::Dims_create(8, std::vector<int>{0, 0, 0});
+  EXPECT_EQ(cube, (std::vector<int>{2, 2, 2}));
+  EXPECT_THROW(Cartcomm::Dims_create(7, std::vector<int>{2, 0}), ArgumentError);
+}
+
+TEST(Cart, GridLargerThanCommThrows) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int dims[2] = {2, 3};
+    const bool periods[2] = {false, false};
+    EXPECT_THROW(comm.Create_cart(dims, periods, false), ArgumentError);
+  });
+}
+
+TEST(Graph, NeighboursFromCsr) {
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // 0-1, 0-2, 1-3 (undirected -> both directions listed).
+    const int index[4] = {2, 4, 5, 6};
+    const int edges[6] = {1, 2, 0, 3, 0, 1};
+    auto graph = comm.Create_graph(index, edges, false);
+    ASSERT_TRUE(graph);
+    EXPECT_EQ(graph->Nnodes(), 4);
+    EXPECT_EQ(graph->Nedges(), 6);
+    EXPECT_EQ(graph->Neighbours(0), (std::vector<int>{1, 2}));
+    EXPECT_EQ(graph->Neighbours(3), (std::vector<int>{1}));
+    EXPECT_EQ(graph->Neighbours_count(1), 2);
+
+    // Exchange with every neighbour.
+    std::vector<Request> recvs;
+    const auto mine = graph->Neighbours(graph->Rank());
+    std::vector<int> landing(mine.size(), -1);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      recvs.push_back(graph->Irecv(&landing[i], 0, 1, types::INT(), mine[i], 0));
+    }
+    int token = graph->Rank();
+    for (const int neighbour : mine) {
+      graph->Send(&token, 0, 1, types::INT(), neighbour, 0);
+    }
+    Request::Waitall(recvs);
+    for (std::size_t i = 0; i < mine.size(); ++i) EXPECT_EQ(landing[i], mine[i]);
+  });
+}
+
+TEST(Graph, InvalidTopologiesRejected) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int bad_index[2] = {2, 1};  // decreasing
+    const int edges[2] = {0, 1};
+    EXPECT_THROW(comm.Create_graph(bad_index, edges, false), ArgumentError);
+    comm.Barrier();
+  });
+}
+
+TEST(Intercomm, CreateAndTalkAcross) {
+  cluster::launch(5, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // Side A = ranks {0,1,2}, side B = {3,4}; leaders 0 and 3.
+    const int color = comm.Rank() < 3 ? 0 : 1;
+    auto local = comm.Split(color, comm.Rank());
+    ASSERT_TRUE(local);
+    auto inter = local->Create_intercomm(0, comm, color == 0 ? 3 : 0, 77);
+    ASSERT_TRUE(inter);
+    EXPECT_EQ(inter->Size(), color == 0 ? 3 : 2);
+    EXPECT_EQ(inter->Remote_size(), color == 0 ? 2 : 3);
+
+    // Local rank 0 of A talks to local rank 0 of B through the intercomm.
+    if (color == 0 && inter->Rank() == 0) {
+      int hello = 123;
+      inter->Send(&hello, 0, 1, types::INT(), /*remote rank*/ 0, 5);
+      int reply = 0;
+      inter->Recv(&reply, 0, 1, types::INT(), 0, 6);
+      EXPECT_EQ(reply, 321);
+    } else if (color == 1 && inter->Rank() == 0) {
+      int hello = 0;
+      Status st = inter->Recv(&hello, 0, 1, types::INT(), ANY_SOURCE, 5);
+      EXPECT_EQ(hello, 123);
+      EXPECT_EQ(st.Get_source(), 0);  // remote-group rank
+      int reply = 321;
+      inter->Send(&reply, 0, 1, types::INT(), 0, 6);
+    }
+  });
+}
+
+TEST(Intercomm, MergeOrdersLowFirst) {
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // Side A = {0,1} (high=false), side B = {2,3} (high=true).
+    const int color = comm.Rank() / 2;
+    auto local = comm.Split(color, comm.Rank());
+    auto inter = local->Create_intercomm(0, comm, color == 0 ? 2 : 0, 11);
+    auto merged = inter->Merge(/*high=*/color == 1);
+    ASSERT_TRUE(merged);
+    EXPECT_EQ(merged->Size(), 4);
+    // Low side (A) first: merged rank == world rank here.
+    EXPECT_EQ(merged->Rank(), comm.Rank());
+    int one = 1, total = 0;
+    merged->Allreduce(&one, 0, &total, 0, 1, types::INT(), ops::SUM());
+    EXPECT_EQ(total, 4);
+  });
+}
+
+}  // namespace
+}  // namespace mpcx

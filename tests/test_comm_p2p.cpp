@@ -1,0 +1,325 @@
+// Core-layer point-to-point tests, parameterized over both devices:
+// the four send modes, non-blocking requests + Wait/Test families,
+// wildcards, probe, Sendrecv, persistent requests, buffered sends,
+// PROC_NULL, truncation errors, and object transport.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+namespace {
+
+class CommP2P : public ::testing::TestWithParam<const char*> {
+ protected:
+  cluster::Options opts() {
+    cluster::Options options;
+    options.device = GetParam();
+    options.eager_threshold = 8 * 1024;  // exercise rendezvous cheaply
+    return options;
+  }
+};
+
+TEST_P(CommP2P, FourSendModes) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<std::int32_t> data = {1, 2, 3};
+    if (comm.Rank() == 0) {
+      world.Buffer_attach(1 << 16);
+      comm.Send(data.data(), 0, 3, types::INT(), 1, 1);
+      comm.Ssend(data.data(), 0, 3, types::INT(), 1, 2);
+      comm.Bsend(data.data(), 0, 3, types::INT(), 1, 3);
+      comm.Rsend(data.data(), 0, 3, types::INT(), 1, 4);
+      world.Buffer_detach();
+    } else {
+      for (int tag = 1; tag <= 4; ++tag) {
+        std::vector<std::int32_t> out(3, 0);
+        Status st = comm.Recv(out.data(), 0, 3, types::INT(), 0, tag);
+        EXPECT_EQ(st.Get_tag(), tag);
+        EXPECT_EQ(out, data);
+      }
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, OffsetsInElements) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<double> data = {0, 0, 7.5, 8.5, 0};
+      comm.Send(data.data(), 2, 2, types::DOUBLE(), 1, 0);
+    } else {
+      std::vector<double> out(6, 0);
+      comm.Recv(out.data(), 3, 2, types::DOUBLE(), 0, 0);
+      EXPECT_EQ(out, (std::vector<double>{0, 0, 0, 7.5, 8.5, 0}));
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, WaitTestFamilies) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> payload = {1};
+      for (int tag = 0; tag < 4; ++tag) {
+        comm.Send(payload.data(), 0, 1, types::INT(), 1, tag);
+      }
+    } else {
+      std::vector<std::int32_t> boxes(4);
+      std::vector<Request> requests;
+      for (int tag = 0; tag < 4; ++tag) {
+        requests.push_back(
+            comm.Irecv(&boxes[static_cast<std::size_t>(tag)], 0, 1, types::INT(), 0, tag));
+      }
+      // Waitany picks one; Waitsome may drain more; Waitall gets the rest.
+      Status first = Request::Waitany(requests);
+      EXPECT_GE(first.index, 0);
+      auto some = Request::Waitsome(requests);
+      (void)some;
+      auto rest = Request::Waitall(requests);
+      EXPECT_EQ(rest.size(), 4u);
+      for (const std::int32_t v : boxes) EXPECT_EQ(v, 1);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, TestallTestany) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int sink = 0;
+      Request pending = comm.Irecv(&sink, 0, 1, types::INT(), 1, 99);  // never satisfied early
+      std::vector<Request> requests = {pending};
+      EXPECT_FALSE(Request::Testany(requests).has_value());
+      EXPECT_FALSE(Request::Testall(requests).has_value());
+      comm.Barrier();
+      // Peer now sends; eventually Testany succeeds.
+      while (!Request::Testany(requests).has_value()) {
+      }
+    } else {
+      comm.Barrier();
+      int value = 5;
+      comm.Send(&value, 0, 1, types::INT(), 0, 99);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, WildcardStatusReportsRealEnvelope) {
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int seen_sources = 0;
+      for (int i = 0; i < 2; ++i) {
+        int value = 0;
+        Status st = comm.Recv(&value, 0, 1, types::INT(), ANY_SOURCE, ANY_TAG);
+        EXPECT_EQ(st.Get_tag(), st.Get_source() * 10);
+        EXPECT_EQ(value, st.Get_source());
+        seen_sources += st.Get_source();
+      }
+      EXPECT_EQ(seen_sources, 3);  // ranks 1 and 2
+    } else {
+      int value = comm.Rank();
+      comm.Send(&value, 0, 1, types::INT(), 0, comm.Rank() * 10);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, ProbeThenRecvBySize) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int64_t> data(37, 4);
+      comm.Send(data.data(), 0, 37, types::LONG(), 1, 3);
+    } else {
+      Status st = comm.Probe(ANY_SOURCE, ANY_TAG);
+      const int count = st.Get_count(*types::LONG());
+      EXPECT_EQ(count, 37);
+      std::vector<std::int64_t> out(static_cast<std::size_t>(count));
+      comm.Recv(out.data(), 0, count, types::LONG(), st.Get_source(), st.Get_tag());
+      EXPECT_EQ(out[36], 4);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, IprobeNonBlocking) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      EXPECT_FALSE(comm.Iprobe(1, 1).has_value());
+      comm.Barrier();
+      while (!comm.Iprobe(1, 1).has_value()) {
+      }
+      int v = 0;
+      comm.Recv(&v, 0, 1, types::INT(), 1, 1);
+      EXPECT_EQ(v, 9);
+    } else {
+      comm.Barrier();
+      int v = 9;
+      comm.Send(&v, 0, 1, types::INT(), 0, 1);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, SendrecvAndReplace) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int me = comm.Rank();
+    const int peer = 1 - me;
+    int outgoing = me * 11;
+    int incoming = -1;
+    comm.Sendrecv(&outgoing, 0, 1, types::INT(), peer, 0, &incoming, 0, 1, types::INT(), peer, 0);
+    EXPECT_EQ(incoming, peer * 11);
+
+    int value = me;
+    comm.Sendrecv_replace(&value, 0, 1, types::INT(), peer, 1, peer, 1);
+    EXPECT_EQ(value, peer);
+  }, opts());
+}
+
+TEST_P(CommP2P, PersistentRequests) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    constexpr int kRounds = 5;
+    if (comm.Rank() == 0) {
+      int slot = -1;
+      Prequest recv = comm.Recv_init(&slot, 0, 1, types::INT(), 1, 8);
+      for (int i = 0; i < kRounds; ++i) {
+        recv.Start();
+        recv.Wait();
+        EXPECT_EQ(slot, i * i);
+      }
+    } else {
+      int slot = 0;
+      Prequest send = comm.Send_init(&slot, 0, 1, types::INT(), 0, 8);
+      for (int i = 0; i < kRounds; ++i) {
+        slot = i * i;  // persistent send re-reads the bound buffer
+        send.Start();
+        send.Wait();
+      }
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, BsendExhaustionThrows) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      world.Buffer_attach(256);
+      std::vector<std::int32_t> big(4096, 1);
+      EXPECT_THROW(comm.Bsend(big.data(), 0, 4096, types::INT(), 1, 1), CommError);
+      // Tell the peer nothing is coming.
+      int nothing = 0;
+      comm.Send(&nothing, 0, 1, types::INT(), 1, 2);
+      world.Buffer_detach();
+    } else {
+      int nothing = -1;
+      comm.Recv(&nothing, 0, 1, types::INT(), 0, 2);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, ProcNullIsNoop) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    int value = 3;
+    comm.Send(&value, 0, 1, types::INT(), PROC_NULL, 0);
+    Status st = comm.Recv(&value, 0, 1, types::INT(), PROC_NULL, 0);
+    EXPECT_EQ(st.Get_source(), PROC_NULL);
+    EXPECT_EQ(value, 3);  // untouched
+    Request r = comm.Isend(&value, 0, 1, types::INT(), PROC_NULL, 0);
+    EXPECT_TRUE(r.is_null());
+  }, opts());
+}
+
+TEST_P(CommP2P, TruncationSurfacesAsError) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> big(100, 1);
+      comm.Send(big.data(), 0, 100, types::INT(), 1, 1);
+    } else {
+      std::vector<std::int32_t> small(2);
+      EXPECT_THROW(comm.Recv(small.data(), 0, 2, types::INT(), 0, 1), CommError);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, ShorterMessageThanPosted) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> data = {1, 2};
+      comm.Send(data.data(), 0, 2, types::INT(), 1, 1);
+    } else {
+      std::vector<std::int32_t> out(10, -1);
+      Status st = comm.Recv(out.data(), 0, 10, types::INT(), 0, 1);
+      EXPECT_EQ(st.Get_count(*types::INT()), 2);
+      EXPECT_EQ(out[0], 1);
+      EXPECT_EQ(out[1], 2);
+      EXPECT_EQ(out[2], -1);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, ObjectTransport) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::map<std::string, std::vector<int>> payload;
+      payload["evens"] = {2, 4, 6};
+      payload["odds"] = {1, 3};
+      comm.send_object(payload, 1, 7);
+    } else {
+      Status st;
+      const auto payload =
+          comm.recv_object<std::map<std::string, std::vector<int>>>(0, 7, &st);
+      EXPECT_EQ(payload.at("evens"), (std::vector<int>{2, 4, 6}));
+      EXPECT_EQ(st.Get_source(), 0);
+      EXPECT_GT(st.object_bytes(), 0u);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, DerivedDatatypeOverTheWire) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // Send the main diagonal of a 5x5 matrix via vector(5, 1, 6).
+    const auto diagonal = Datatype::vector(5, 1, 6, types::DOUBLE());
+    if (comm.Rank() == 0) {
+      std::vector<double> matrix(25);
+      std::iota(matrix.begin(), matrix.end(), 0.0);
+      comm.Send(matrix.data(), 0, 1, diagonal, 1, 2);
+    } else {
+      std::vector<double> matrix(25, -1.0);
+      comm.Recv(matrix.data(), 0, 1, diagonal, 0, 2);
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(matrix[static_cast<std::size_t>(i) * 6], i * 6.0);
+      }
+      EXPECT_EQ(matrix[1], -1.0);
+    }
+  }, opts());
+}
+
+TEST_P(CommP2P, ArgumentValidation) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    int v = 0;
+    EXPECT_THROW(comm.Send(&v, 0, -1, types::INT(), 0, 0), ArgumentError);
+    EXPECT_THROW(comm.Send(nullptr, 0, 1, types::INT(), 0, 0), ArgumentError);
+    EXPECT_THROW(comm.Send(&v, 0, 1, types::INT(), 0, -5), ArgumentError);
+    EXPECT_THROW(comm.Send(&v, 0, 1, nullptr, 0, 0), ArgumentError);
+    EXPECT_THROW(comm.Recv(&v, 0, 1, types::INT(), 0, -5), ArgumentError);
+    EXPECT_THROW(comm.Send(&v, 0, 1, types::INT(), 7, 0), ArgumentError);  // bad rank
+  }, opts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, CommP2P, ::testing::Values("mxdev", "tcpdev", "shmdev"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mpcx

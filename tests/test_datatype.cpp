@@ -1,0 +1,216 @@
+// Tests for basic and derived datatypes (Sec. IV-C): contiguous, vector,
+// indexed, struct, nesting, pack/unpack round trips, and Status counting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/datatype.hpp"
+#include "core/status.hpp"
+
+namespace mpcx {
+namespace {
+
+/// Pack `count` items then unpack into a fresh destination; both through a
+/// fresh buffer.
+template <typename T>
+std::vector<T> round_trip(const DatatypePtr& type, const std::vector<T>& source,
+                          std::size_t count, std::size_t dest_elems) {
+  buf::Buffer buffer(type->packed_bound(count) + 64);
+  type->pack(reinterpret_cast<const std::byte*>(source.data()), count, buffer);
+  buffer.commit();
+  std::vector<T> dest(dest_elems, T{});
+  type->unpack(buffer, reinterpret_cast<std::byte*>(dest.data()), count);
+  return dest;
+}
+
+TEST(Datatype, PrimitiveProperties) {
+  EXPECT_EQ(types::INT()->base_size(), 4u);
+  EXPECT_EQ(types::DOUBLE()->extent_bytes(), 8u);
+  EXPECT_EQ(types::SHORT()->size_elements(), 1u);
+  EXPECT_EQ(types::BYTE()->size_bytes(), 1u);
+}
+
+TEST(Datatype, ContiguousRoundTrip) {
+  const auto type = Datatype::contiguous(3, types::INT());
+  EXPECT_EQ(type->size_elements(), 3u);
+  EXPECT_EQ(type->extent_bytes(), 12u);
+  std::vector<std::int32_t> data = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(round_trip(type, data, 2, 6), data);
+}
+
+TEST(Datatype, VectorMatrixColumn) {
+  // The paper's example: first column of a 4x4 float matrix =
+  // vector(count=4, blocklength=1, stride=4).
+  const auto column = Datatype::vector(4, 1, 4, types::FLOAT());
+  EXPECT_EQ(column->size_elements(), 4u);
+  std::vector<float> matrix(16);
+  std::iota(matrix.begin(), matrix.end(), 0.0f);
+
+  buf::Buffer buffer(256);
+  column->pack(reinterpret_cast<const std::byte*>(matrix.data()), 1, buffer);
+  buffer.commit();
+  std::vector<float> landed(16, -1.0f);
+  column->unpack(buffer, reinterpret_cast<std::byte*>(landed.data()), 1);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(landed[static_cast<std::size_t>(r) * 4], matrix[static_cast<std::size_t>(r) * 4]);
+  }
+  EXPECT_EQ(landed[1], -1.0f);  // untouched off-column element
+}
+
+TEST(Datatype, VectorWithBlocks) {
+  const auto type = Datatype::vector(2, 2, 3, types::INT());
+  EXPECT_EQ(type->size_elements(), 4u);
+  EXPECT_EQ(type->extent_bytes(), 5u * 4u);  // last block ends at element 5
+  std::vector<std::int32_t> data = {0, 1, 2, 3, 4, 5};
+  buf::Buffer buffer(256);
+  type->pack(reinterpret_cast<const std::byte*>(data.data()), 1, buffer);
+  buffer.commit();
+  std::vector<std::int32_t> out(6, -1);
+  type->unpack(buffer, reinterpret_cast<std::byte*>(out.data()), 1);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1, -1, 3, 4, -1}));
+}
+
+TEST(Datatype, Indexed) {
+  const int blocklengths[] = {2, 1};
+  const int displacements[] = {3, 0};
+  const auto type = Datatype::indexed(blocklengths, displacements, types::DOUBLE());
+  EXPECT_EQ(type->size_elements(), 3u);
+  std::vector<double> data = {10, 11, 12, 13, 14};
+  buf::Buffer buffer(256);
+  type->pack(reinterpret_cast<const std::byte*>(data.data()), 1, buffer);
+  buffer.commit();
+  std::vector<double> out(5, 0);
+  type->unpack(buffer, reinterpret_cast<std::byte*>(out.data()), 1);
+  EXPECT_EQ(out, (std::vector<double>{10, 0, 0, 13, 14}));
+}
+
+struct Particle {
+  double position[3];
+  float mass;
+  std::int32_t id;
+};
+
+DatatypePtr particle_type() {
+  const int blocklengths[] = {3, 1, 1};
+  const std::ptrdiff_t displacements[] = {offsetof(Particle, position), offsetof(Particle, mass),
+                                          offsetof(Particle, id)};
+  const DatatypePtr fieldtypes[] = {types::DOUBLE(), types::FLOAT(), types::INT()};
+  return Datatype::structured(blocklengths, displacements, fieldtypes, sizeof(Particle));
+}
+
+TEST(Datatype, StructRoundTrip) {
+  const auto type = particle_type();
+  EXPECT_EQ(type->size_elements(), 5u);
+  EXPECT_EQ(type->extent_bytes(), sizeof(Particle));
+
+  std::vector<Particle> in(3);
+  for (int i = 0; i < 3; ++i) {
+    in[static_cast<std::size_t>(i)] = Particle{{i + 0.1, i + 0.2, i + 0.3},
+                                               static_cast<float>(i) * 2.0f, 100 + i};
+  }
+  buf::Buffer buffer(type->packed_bound(3) + 64);
+  type->pack(reinterpret_cast<const std::byte*>(in.data()), 3, buffer);
+  buffer.commit();
+  std::vector<Particle> out(3);
+  type->unpack(buffer, reinterpret_cast<std::byte*>(out.data()), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].id, 100 + i);
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)].mass, i * 2.0f);
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)].position[2], i + 0.3);
+  }
+}
+
+TEST(Datatype, NestedVectorOfContiguous) {
+  // vector(2 blocks of 1 item, stride 2) over contiguous(2, INT):
+  // picks item 0 and item 2 of a run of contiguous pairs.
+  const auto pair2 = Datatype::contiguous(2, types::INT());
+  const auto type = Datatype::vector(2, 1, 2, pair2);
+  EXPECT_EQ(type->size_elements(), 4u);
+  std::vector<std::int32_t> data = {0, 1, 2, 3, 4, 5, 6, 7};
+  buf::Buffer buffer(256);
+  type->pack(reinterpret_cast<const std::byte*>(data.data()), 1, buffer);
+  buffer.commit();
+  std::vector<std::int32_t> out(8, -1);
+  type->unpack(buffer, reinterpret_cast<std::byte*>(out.data()), 1);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1, -1, -1, 4, 5, -1, -1}));
+}
+
+TEST(Datatype, NestedContiguousOfStruct) {
+  const auto type = Datatype::contiguous(2, particle_type());
+  EXPECT_EQ(type->size_elements(), 10u);
+  std::vector<Particle> in(4);
+  for (int i = 0; i < 4; ++i) in[static_cast<std::size_t>(i)].id = i;
+  buf::Buffer buffer(type->packed_bound(2) + 64);
+  type->pack(reinterpret_cast<const std::byte*>(in.data()), 2, buffer);
+  buffer.commit();
+  std::vector<Particle> out(4);
+  type->unpack(buffer, reinterpret_cast<std::byte*>(out.data()), 2);
+  EXPECT_EQ(out[3].id, 3);
+}
+
+TEST(Datatype, UnpackAvailablePartial) {
+  // Receiver posts room for 8 items but only 3 arrive.
+  buf::Buffer buffer(256);
+  const auto type = types::INT();
+  std::vector<std::int32_t> sent = {7, 8, 9};
+  type->pack(reinterpret_cast<const std::byte*>(sent.data()), 3, buffer);
+  buffer.commit();
+  std::vector<std::int32_t> out(8, 0);
+  const std::size_t items =
+      type->unpack_available(buffer, reinterpret_cast<std::byte*>(out.data()), 8);
+  EXPECT_EQ(items, 3u);
+  EXPECT_EQ(out[2], 9);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST(Datatype, UnpackAvailableOverflowThrows) {
+  buf::Buffer buffer(256);
+  std::vector<std::int32_t> sent = {1, 2, 3};
+  types::INT()->pack(reinterpret_cast<const std::byte*>(sent.data()), 3, buffer);
+  buffer.commit();
+  std::vector<std::int32_t> out(2);
+  EXPECT_THROW(
+      types::INT()->unpack_available(buffer, reinterpret_cast<std::byte*>(out.data()), 2),
+      BufferError);
+}
+
+TEST(Datatype, FactoryValidation) {
+  const int lens[] = {1, 2};
+  const int displs[] = {0};
+  EXPECT_THROW(Datatype::indexed(lens, displs, types::INT()), ArgumentError);
+  const int neg[] = {-1};
+  const int zero[] = {0};
+  EXPECT_THROW(Datatype::indexed(neg, zero, types::INT()), ArgumentError);
+}
+
+TEST(StatusCounting, ExactForSingleSection) {
+  // 5 ints = 8-byte section header + 20 payload bytes.
+  Status status(0, 0, 28, 0, false);
+  EXPECT_EQ(status.Get_count(*types::INT()), 5);
+  EXPECT_EQ(status.Get_elements(*types::INT()), 5);
+}
+
+TEST(StatusCounting, DerivedItems) {
+  const auto type = Datatype::contiguous(3, types::DOUBLE());
+  // 2 items = 6 doubles = 8 + 48 bytes.
+  Status status(0, 0, 56, 0, false);
+  EXPECT_EQ(status.Get_count(*type), 2);
+  EXPECT_EQ(status.Get_elements(*type), 6);
+}
+
+TEST(StatusCounting, PartialItemUndefined) {
+  const auto type = Datatype::contiguous(4, types::INT());
+  // 8 + 12 bytes = 3 ints: not a whole number of 4-int items.
+  Status status(0, 0, 20, 0, false);
+  EXPECT_EQ(status.Get_count(*type), UNDEFINED);
+  EXPECT_EQ(status.Get_elements(*type), 3);
+}
+
+TEST(StatusCounting, EmptyMessage) {
+  Status status(0, 0, 0, 0, false);
+  EXPECT_EQ(status.Get_count(*types::INT()), 0);
+}
+
+}  // namespace
+}  // namespace mpcx

@@ -1,0 +1,86 @@
+// Integration tests over the example binaries: every example must run to
+// completion, exit 0, and print its self-verification line. Paths come
+// from the MPCX_EXAMPLES_DIR environment variable set by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+std::string examples_dir() {
+  if (const char* env = std::getenv("MPCX_EXAMPLES_DIR")) return env;
+  return "./examples";
+}
+
+/// Run a command, capture stdout+stderr, return (exit code, output).
+std::pair<int, std::string> run(const std::string& command) {
+  std::string output;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return {-1, "popen failed"};
+  std::array<char, 4096> chunk{};
+  while (std::fgets(chunk.data(), chunk.size(), pipe) != nullptr) output += chunk.data();
+  const int status = ::pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, output};
+}
+
+TEST(Examples, Quickstart) {
+  const auto [code, output] = run(examples_dir() + "/quickstart 4");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("token went around the ring: 1003"), std::string::npos) << output;
+  EXPECT_NE(output.find("quickstart done."), std::string::npos) << output;
+}
+
+TEST(Examples, QuickstartOverTcp) {
+  const auto [code, output] = run(examples_dir() + "/quickstart 3 tcpdev");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("token went around the ring: 1002"), std::string::npos) << output;
+}
+
+TEST(Examples, Heat2d) {
+  const auto [code, output] = run(examples_dir() + "/heat2d 64 10 4");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("total heat after 10 steps"), std::string::npos) << output;
+}
+
+TEST(Examples, Nbody) {
+  const auto [code, output] = run(examples_dir() + "/nbody 128 10 3");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("total kinetic energy"), std::string::npos) << output;
+  EXPECT_NE(output.find("nbody done"), std::string::npos) << output;
+}
+
+TEST(Examples, Multithreaded) {
+  const auto [code, output] = run(examples_dir() + "/multithreaded 4 2");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("-> OK"), std::string::npos) << output;
+}
+
+TEST(Examples, PiMonteCarlo) {
+  const auto [code, output] = run(examples_dir() + "/pi_montecarlo 200000 4");
+  EXPECT_EQ(code, 0) << output;
+  // pi to at least one decimal with 800k samples.
+  EXPECT_NE(output.find("pi ~= 3.1"), std::string::npos) << output;
+}
+
+TEST(Examples, TaskFarm) {
+  const auto [code, output] = run(examples_dir() + "/task_farm 24 4");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("master collected 24 results"), std::string::npos) << output;
+}
+
+TEST(Examples, CgSolver) {
+  const auto [code, output] = run(examples_dir() + "/cg_solver 1024 4");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("-> OK"), std::string::npos) << output;
+}
+
+TEST(Examples, CgSolverOverShm) {
+  const auto [code, output] = run(examples_dir() + "/cg_solver 512 2 shmdev");
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("-> OK"), std::string::npos) << output;
+}
+
+}  // namespace

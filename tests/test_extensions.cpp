@@ -1,0 +1,193 @@
+// Tests for the extension features:
+//   * direct-buffer communication (the paper's Sec. VI future-work item),
+//   * Request.Cancel / Status.Test_cancelled,
+//   * the recursive-doubling Allreduce fast path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+namespace {
+
+class Extensions : public ::testing::TestWithParam<const char*> {
+ protected:
+  cluster::Options opts() {
+    cluster::Options options;
+    options.device = GetParam();
+    return options;
+  }
+};
+
+TEST_P(Extensions, DirectBufferRoundTrip) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      auto buffer = comm.make_buffer(1024);
+      std::vector<double> data = {1.5, 2.5, 3.5};
+      buffer->write(std::span<const double>(data));
+      buffer->write_object(std::string("direct"));
+      buffer->commit();
+      comm.Send_buffer(*buffer, 1, 3);
+      comm.release_buffer(std::move(buffer));
+    } else {
+      auto buffer = comm.make_buffer(1024);
+      Status st = comm.Recv_buffer(*buffer, 0, 3);
+      EXPECT_EQ(st.Get_source(), 0);
+      EXPECT_EQ(st.Get_count(*types::DOUBLE()), 3);
+      std::vector<double> out(3);
+      buffer->read(std::span<double>(out));
+      EXPECT_EQ(out, (std::vector<double>{1.5, 2.5, 3.5}));
+      EXPECT_EQ(buffer->read_object<std::string>(), "direct");
+      comm.release_buffer(std::move(buffer));
+    }
+  }, opts());
+}
+
+TEST_P(Extensions, DirectBufferNonBlocking) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto buffer = comm.make_buffer(256);
+    if (comm.Rank() == 0) {
+      const std::int32_t value = 77;
+      buffer->write(std::span<const std::int32_t>(&value, 1));
+      buffer->commit();
+      Request send = comm.Isend_buffer(*buffer, 1, 1);
+      send.Wait();
+    } else {
+      Request recv = comm.Irecv_buffer(*buffer, 0, 1);
+      Status st = recv.Wait();
+      EXPECT_EQ(st.Get_count(*types::INT()), 1);
+      std::int32_t out = 0;
+      buffer->read(std::span<std::int32_t>(&out, 1));
+      EXPECT_EQ(out, 77);
+    }
+    comm.release_buffer(std::move(buffer));
+  }, opts());
+}
+
+TEST_P(Extensions, DirectBufferRequiresCommit) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto buffer = comm.make_buffer(64);
+    EXPECT_THROW(comm.Send_buffer(*buffer, 0, 0), ArgumentError);  // write mode
+  }, opts());
+}
+
+TEST_P(Extensions, CancelPendingReceive) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int slot = -1;
+      Request recv = comm.Irecv(&slot, 0, 1, types::INT(), 1, 42);  // never sent
+      EXPECT_TRUE(recv.Cancel());
+      Status st = recv.Wait();
+      EXPECT_TRUE(st.Test_cancelled());
+      EXPECT_EQ(slot, -1);  // untouched
+      EXPECT_FALSE(recv.Cancel());  // already finalized
+    }
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(Extensions, CancelAfterMatchFails) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int slot = -1;
+      Request recv = comm.Irecv(&slot, 0, 1, types::INT(), 1, 1);
+      comm.Barrier();     // sender fires now
+      recv.Wait();        // matched
+      EXPECT_FALSE(recv.Cancel());
+      EXPECT_EQ(slot, 9);
+    } else {
+      comm.Barrier();
+      int value = 9;
+      comm.Send(&value, 0, 1, types::INT(), 0, 1);
+    }
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(Extensions, CancelledReceiveDoesNotStealLaterMessage) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int first = -1, second = -1;
+      Request cancelled = comm.Irecv(&first, 0, 1, types::INT(), 1, 5);
+      ASSERT_TRUE(cancelled.Cancel());
+      comm.Barrier();  // sender fires after the cancel
+      Status st = comm.Recv(&second, 0, 1, types::INT(), 1, 5);
+      EXPECT_EQ(second, 123);
+      EXPECT_FALSE(st.Test_cancelled());
+      EXPECT_EQ(first, -1);
+    } else {
+      comm.Barrier();
+      int value = 123;
+      comm.Send(&value, 0, 1, types::INT(), 0, 5);
+    }
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(Extensions, CancelSendUnsupported) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      int value = 1;
+      Request send = comm.Isend(&value, 0, 1, types::INT(), 1, 1);
+      EXPECT_FALSE(send.Cancel());
+      send.Wait();
+    } else {
+      int value = 0;
+      comm.Recv(&value, 0, 1, types::INT(), 0, 1);
+    }
+  }, opts());
+}
+
+TEST_P(Extensions, RecursiveDoublingMatchesFallback) {
+  // Same reduction on a power-of-two comm (recursive doubling) and on a
+  // 3-rank sub-comm (reduce+bcast) — results must be identical maths.
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<double> mine(64);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = (comm.Rank() + 1) * static_cast<double>(i);
+    }
+    std::vector<double> full(64, 0);
+    comm.Allreduce(mine.data(), 0, full.data(), 0, 64, types::DOUBLE(), ops::SUM());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_DOUBLE_EQ(full[i], 10.0 * static_cast<double>(i));  // 1+2+3+4
+    }
+
+    auto trio = comm.Split(comm.Rank() < 3 ? 0 : UNDEFINED, comm.Rank());
+    if (trio) {
+      std::vector<double> part(64, 0);
+      trio->Allreduce(mine.data(), 0, part.data(), 0, 64, types::DOUBLE(), ops::SUM());
+      for (std::size_t i = 0; i < part.size(); ++i) {
+        EXPECT_DOUBLE_EQ(part[i], 6.0 * static_cast<double>(i));  // 1+2+3
+      }
+    }
+  }, opts());
+}
+
+TEST_P(Extensions, RecursiveDoublingMaxloc) {
+  cluster::launch(8, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::int32_t pair[2] = {(comm.Rank() * 3) % 8, comm.Rank()};
+    std::int32_t out[2] = {0, 0};
+    comm.Allreduce(pair, 0, out, 0, 2, types::INT(), ops::MAXLOC());
+    EXPECT_EQ(out[0], 7);  // max of (r*3)%8 over r=0..7 is 7 at r=5
+    EXPECT_EQ(out[1], 5);
+  }, opts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, Extensions, ::testing::Values("mxdev", "tcpdev", "shmdev"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mpcx

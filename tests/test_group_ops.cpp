@@ -1,0 +1,161 @@
+// Tests for Group set algebra and the predefined/user reduction Ops.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/op.hpp"
+
+namespace mpcx {
+namespace {
+
+// ---- Group ------------------------------------------------------------------------
+
+TEST(Group, RankLookups) {
+  Group group({4, 2, 7});
+  EXPECT_EQ(group.Size(), 3);
+  EXPECT_EQ(group.Rank_of_world(2), 1);
+  EXPECT_EQ(group.Rank_of_world(5), UNDEFINED);
+  EXPECT_EQ(group.world_rank(2), 7);
+  EXPECT_THROW(group.world_rank(3), ArgumentError);
+  EXPECT_TRUE(group.contains_world(4));
+}
+
+TEST(Group, UnionKeepsFirstOrderThenNew) {
+  Group a({0, 1, 2});
+  Group b({2, 3, 1, 4});
+  EXPECT_EQ(a.Union(b).world_ranks(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Group, Intersection) {
+  Group a({0, 1, 2, 3});
+  Group b({3, 1, 9});
+  EXPECT_EQ(a.Intersection(b).world_ranks(), (std::vector<int>{1, 3}));
+}
+
+TEST(Group, Difference) {
+  Group a({0, 1, 2, 3});
+  Group b({1, 3});
+  EXPECT_EQ(a.Difference(b).world_ranks(), (std::vector<int>{0, 2}));
+}
+
+TEST(Group, InclExclByGroupRank) {
+  Group group({10, 11, 12, 13});
+  const int pick[] = {3, 0};
+  EXPECT_EQ(group.Incl(pick).world_ranks(), (std::vector<int>{13, 10}));
+  const int drop[] = {1, 2};
+  EXPECT_EQ(group.Excl(drop).world_ranks(), (std::vector<int>{10, 13}));
+  const int bad[] = {9};
+  EXPECT_THROW(group.Incl(bad), ArgumentError);
+}
+
+TEST(Group, RangeInclExcl) {
+  Group group({0, 1, 2, 3, 4, 5, 6, 7});
+  const std::array<int, 3> every_other{0, 6, 2};
+  EXPECT_EQ(group.Range_incl(std::span(&every_other, 1)).world_ranks(),
+            (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(group.Range_excl(std::span(&every_other, 1)).world_ranks(),
+            (std::vector<int>{1, 3, 5, 7}));
+  const std::array<int, 3> descending{3, 1, -1};
+  EXPECT_EQ(group.Range_incl(std::span(&descending, 1)).world_ranks(),
+            (std::vector<int>{3, 2, 1}));
+  const std::array<int, 3> zero_stride{0, 1, 0};
+  EXPECT_THROW(group.Range_incl(std::span(&zero_stride, 1)), ArgumentError);
+}
+
+TEST(Group, TranslateRanks) {
+  Group a({5, 6, 7, 8});
+  Group b({8, 6});
+  const int ranks[] = {0, 1, 3};
+  EXPECT_EQ(a.Translate_ranks(ranks, b), (std::vector<int>{UNDEFINED, 1, 0}));
+}
+
+TEST(Group, CompareSemantics) {
+  Group a({1, 2, 3});
+  EXPECT_EQ(a.compare(Group({1, 2, 3})), Group::Compare::Ident);
+  EXPECT_EQ(a.compare(Group({3, 1, 2})), Group::Compare::Similar);
+  EXPECT_EQ(a.compare(Group({1, 2})), Group::Compare::Unequal);
+  EXPECT_EQ(a.compare(Group({1, 2, 4})), Group::Compare::Unequal);
+}
+
+// ---- Ops --------------------------------------------------------------------------
+
+template <typename T>
+std::vector<T> apply(const Op& op, std::vector<T> inout, const std::vector<T>& in) {
+  op.apply(buf::type_code_of<T>(), in.data(), inout.data(), inout.size());
+  return inout;
+}
+
+TEST(Ops, SumMaxMinProd) {
+  EXPECT_EQ(apply<int>(ops::SUM(), {1, 2}, {10, 20}), (std::vector<int>{11, 22}));
+  EXPECT_EQ(apply<double>(ops::MAX(), {1.0, 9.0}, {5.0, 2.0}), (std::vector<double>{5.0, 9.0}));
+  EXPECT_EQ(apply<std::int64_t>(ops::MIN(), {5, -1}, {2, 3}), (std::vector<std::int64_t>{2, -1}));
+  EXPECT_EQ(apply<float>(ops::PROD(), {2.0f}, {3.5f}), (std::vector<float>{7.0f}));
+}
+
+TEST(Ops, LogicalAndBitwise) {
+  EXPECT_EQ(apply<int>(ops::LAND(), {1, 0, 2}, {1, 1, 0}), (std::vector<int>{1, 0, 0}));
+  EXPECT_EQ(apply<int>(ops::LOR(), {0, 0}, {0, 3}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(apply<int>(ops::LXOR(), {1, 1}, {1, 0}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(apply<int>(ops::BAND(), {0b1100}, {0b1010}), (std::vector<int>{0b1000}));
+  EXPECT_EQ(apply<int>(ops::BOR(), {0b1100}, {0b1010}), (std::vector<int>{0b1110}));
+  EXPECT_EQ(apply<int>(ops::BXOR(), {0b1100}, {0b1010}), (std::vector<int>{0b0110}));
+}
+
+TEST(Ops, BitwiseRejectsFloat) {
+  std::vector<float> a = {1.0f}, b = {2.0f};
+  EXPECT_THROW(ops::BAND().apply(buf::TypeCode::Float, a.data(), b.data(), 1), ArgumentError);
+}
+
+TEST(Ops, MaxlocMinloc) {
+  // Pairs: (value, index).
+  auto out = apply<int>(ops::MAXLOC(), {5, 0, 7, 1}, {9, 2, 3, 3});
+  EXPECT_EQ(out, (std::vector<int>{9, 2, 7, 1}));
+  out = apply<int>(ops::MINLOC(), {5, 0, 7, 1}, {9, 2, 3, 3});
+  EXPECT_EQ(out, (std::vector<int>{5, 0, 3, 3}));
+  // Ties keep the lower index.
+  out = apply<int>(ops::MAXLOC(), {5, 4}, {5, 2});
+  EXPECT_EQ(out, (std::vector<int>{5, 2}));
+}
+
+TEST(Ops, MaxlocOddCountThrows) {
+  std::vector<int> a = {1, 2, 3}, b = {1, 2, 3};
+  EXPECT_THROW(ops::MAXLOC().apply(buf::TypeCode::Int, a.data(), b.data(), 3), ArgumentError);
+}
+
+TEST(Ops, UserOpAccumulationOrder) {
+  // Non-commutative op: f(acc, next) = 2*acc + next. Verifies the
+  // documented inout-then-in order.
+  const Op op = Op::make_user<int>([](int acc, int next) { return 2 * acc + next; }, false);
+  EXPECT_FALSE(op.is_commutative());
+  std::vector<int> acc = {1};
+  const std::vector<int> next = {3};
+  op.apply(buf::TypeCode::Int, next.data(), acc.data(), 1);
+  EXPECT_EQ(acc[0], 5);  // 2*1 + 3
+}
+
+TEST(Ops, UserOpWrongTypeThrows) {
+  const Op op = Op::make_user<int>([](int a, int b) { return a + b; });
+  std::vector<double> a = {1.0}, b = {2.0};
+  EXPECT_THROW(op.apply(buf::TypeCode::Double, a.data(), b.data(), 1), ArgumentError);
+}
+
+TEST(Ops, AllPrimitiveTypesSupported) {
+  // SUM must work across the full primitive set (bool saturates).
+  const bool truth = true;
+  bool acc = false;
+  ops::SUM().apply(buf::TypeCode::Boolean, &truth, &acc, 1);
+  EXPECT_TRUE(acc);
+  const std::int8_t in8 = 3;
+  std::int8_t io8 = 4;
+  ops::SUM().apply(buf::TypeCode::Byte, &in8, &io8, 1);
+  EXPECT_EQ(io8, 7);
+  const std::int16_t in16 = 1;
+  std::int16_t io16 = 2;
+  ops::MAX().apply(buf::TypeCode::Short, &in16, &io16, 1);
+  EXPECT_EQ(io16, 2);
+}
+
+}  // namespace
+}  // namespace mpcx

@@ -1,0 +1,190 @@
+// Unit tests for the four-key matching machinery (Sec. IV-E.2):
+// PostedRecvSet bucket matching with wildcards and posted-order
+// guarantees; UnexpectedSet arrival-order scanning.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "xdev/matching.hpp"
+
+namespace mpcx::xdev {
+namespace {
+
+constexpr int kCtx = 5;
+ProcessID pid(std::uint64_t v) { return ProcessID{v}; }
+
+TEST(PostedRecvSet, ExactKeyMatch) {
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, 3, pid(1)}, 100);
+  EXPECT_FALSE(set.match(MatchKey{kCtx, 4, pid(1)}));      // wrong tag
+  EXPECT_FALSE(set.match(MatchKey{kCtx, 3, pid(2)}));      // wrong source
+  EXPECT_FALSE(set.match(MatchKey{kCtx + 1, 3, pid(1)}));  // wrong context
+  auto hit = set.match(MatchKey{kCtx, 3, pid(1)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 100);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PostedRecvSet, AnyTagWildcard) {
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, kAnyTag, pid(1)}, 1);
+  auto hit = set.match(MatchKey{kCtx, 999, pid(1)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 1);
+}
+
+TEST(PostedRecvSet, AnySourceWildcard) {
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, 7, ProcessID::any()}, 2);
+  auto hit = set.match(MatchKey{kCtx, 7, pid(42)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 2);
+}
+
+TEST(PostedRecvSet, DoubleWildcard) {
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, kAnyTag, ProcessID::any()}, 3);
+  auto hit = set.match(MatchKey{kCtx, 1, pid(9)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 3);
+}
+
+TEST(PostedRecvSet, ContextNeverWildcards) {
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, kAnyTag, ProcessID::any()}, 3);
+  EXPECT_FALSE(set.match(MatchKey{kCtx + 1, 1, pid(9)}));
+}
+
+TEST(PostedRecvSet, EarliestPostedWinsAcrossBuckets) {
+  // MPI requires matching in posted order even when the candidates live in
+  // different wildcard buckets.
+  PostedRecvSet<int> set;
+  set.add(MatchKey{kCtx, kAnyTag, ProcessID::any()}, 1);  // posted first
+  set.add(MatchKey{kCtx, 7, pid(1)}, 2);                  // exact, posted second
+  auto hit = set.match(MatchKey{kCtx, 7, pid(1)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 1);
+  hit = set.match(MatchKey{kCtx, 7, pid(1)});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 2);
+}
+
+TEST(PostedRecvSet, FifoWithinOneBucket) {
+  PostedRecvSet<int> set;
+  for (int i = 0; i < 5; ++i) set.add(MatchKey{kCtx, 1, pid(1)}, i);
+  for (int i = 0; i < 5; ++i) {
+    auto hit = set.match(MatchKey{kCtx, 1, pid(1)});
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, i);
+  }
+}
+
+TEST(PostedRecvSet, RemoveIf) {
+  PostedRecvSet<int> set;
+  const MatchKey key{kCtx, 2, pid(3)};
+  set.add(key, 10);
+  set.add(key, 11);
+  EXPECT_TRUE(set.remove_if(key, [](const int& v) { return v == 11; }));
+  EXPECT_FALSE(set.remove_if(key, [](const int& v) { return v == 11; }));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(PostedRecvSet, ManyOutstandingConstantWork) {
+  // The 650-irecv scenario: thousands of posted receives must not degrade
+  // matching (hash buckets, not scans).
+  PostedRecvSet<int> set;
+  for (int i = 0; i < 5000; ++i) set.add(MatchKey{kCtx, i, pid(1)}, i);
+  EXPECT_EQ(set.size(), 5000u);
+  for (int i = 4999; i >= 0; --i) {
+    auto hit = set.match(MatchKey{kCtx, i, pid(1)});
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, i);
+  }
+}
+
+TEST(UnexpectedSet, ArrivalOrderForWildcardReceive) {
+  UnexpectedSet<int> set;
+  set.add(MatchKey{kCtx, 5, pid(2)}, 100);
+  set.add(MatchKey{kCtx, 6, pid(3)}, 200);
+  // ANY/ANY receive takes the EARLIEST arrival.
+  auto hit = set.match(MatchKey{kCtx, kAnyTag, ProcessID::any()});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 100);
+  hit = set.match(MatchKey{kCtx, kAnyTag, ProcessID::any()});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 200);
+}
+
+TEST(UnexpectedSet, SelectiveReceiveSkipsNonMatching) {
+  UnexpectedSet<int> set;
+  set.add(MatchKey{kCtx, 5, pid(2)}, 100);
+  set.add(MatchKey{kCtx, 6, pid(3)}, 200);
+  auto hit = set.match(MatchKey{kCtx, 6, ProcessID::any()});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 200);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(UnexpectedSet, FindDoesNotConsume) {
+  UnexpectedSet<int> set;
+  set.add(MatchKey{kCtx, 1, pid(1)}, 7);
+  EXPECT_NE(set.find(MatchKey{kCtx, kAnyTag, pid(1)}), nullptr);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.find(MatchKey{kCtx, 2, pid(1)}), nullptr);
+}
+
+TEST(UnexpectedSet, AcceptsMatrix) {
+  const MatchKey msg{kCtx, 3, pid(7)};
+  EXPECT_TRUE(UnexpectedSet<int>::accepts(MatchKey{kCtx, 3, pid(7)}, msg));
+  EXPECT_TRUE(UnexpectedSet<int>::accepts(MatchKey{kCtx, kAnyTag, pid(7)}, msg));
+  EXPECT_TRUE(UnexpectedSet<int>::accepts(MatchKey{kCtx, 3, ProcessID::any()}, msg));
+  EXPECT_TRUE(UnexpectedSet<int>::accepts(MatchKey{kCtx, kAnyTag, ProcessID::any()}, msg));
+  EXPECT_FALSE(UnexpectedSet<int>::accepts(MatchKey{kCtx, 4, pid(7)}, msg));
+  EXPECT_FALSE(UnexpectedSet<int>::accepts(MatchKey{kCtx, 3, pid(8)}, msg));
+  EXPECT_FALSE(UnexpectedSet<int>::accepts(MatchKey{kCtx + 1, 3, pid(7)}, msg));
+}
+
+// Property: for random interleavings of posts and arrivals, every message
+// matches the earliest compatible posted receive — the pair (PostedRecvSet,
+// UnexpectedSet) must agree with a brute-force oracle.
+TEST(MatchingProperty, AgreesWithBruteForceOracle) {
+  std::mt19937 rng(20060505);
+  for (int round = 0; round < 50; ++round) {
+    PostedRecvSet<int> posted;
+    std::vector<std::pair<MatchKey, int>> oracle;  // insertion-ordered
+    int next_id = 0;
+    for (int step = 0; step < 200; ++step) {
+      if (rng() % 2 == 0) {
+        // Post a receive with random wildcards.
+        const int tag = rng() % 3 == 0 ? kAnyTag : static_cast<int>(rng() % 4);
+        const ProcessID src = rng() % 3 == 0 ? ProcessID::any() : pid(rng() % 3);
+        const MatchKey key{kCtx, tag, src};
+        posted.add(key, next_id);
+        oracle.emplace_back(key, next_id);
+        ++next_id;
+      } else {
+        // Deliver a concrete message; compare against the oracle.
+        const MatchKey msg{kCtx, static_cast<int>(rng() % 4), pid(rng() % 3)};
+        auto got = posted.match(msg);
+        int expected = -1;
+        for (auto it = oracle.begin(); it != oracle.end(); ++it) {
+          if (UnexpectedSet<int>::accepts(it->first, msg)) {
+            expected = it->second;
+            oracle.erase(it);
+            break;
+          }
+        }
+        if (expected < 0) {
+          EXPECT_FALSE(got);
+        } else {
+          ASSERT_TRUE(got);
+          EXPECT_EQ(*got, expected);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcx::xdev

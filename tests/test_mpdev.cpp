@@ -1,0 +1,223 @@
+// Tests for the mpdev rank layer, centred on the multi-threaded Waitany
+// machinery of Sec. IV-E.1 (the WaitanyQueue / peek() leader scheme).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mpdev/engine.hpp"
+#include "support/socket.hpp"
+
+namespace mpcx::mpdev {
+namespace {
+
+/// Two- (or N-) engine world over a chosen device.
+class EngineWorld {
+ public:
+  EngineWorld(const std::string& device_name, int nprocs) {
+    static std::atomic<std::uint64_t> next_uuid{
+        (static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count())
+         << 20) ^
+        (static_cast<std::uint64_t>(::getpid()) << 8) ^ 0xABCD};
+    std::vector<xdev::EndpointInfo> world(static_cast<std::size_t>(nprocs));
+    std::vector<std::shared_ptr<net::Acceptor>> acceptors(static_cast<std::size_t>(nprocs));
+    for (int i = 0; i < nprocs; ++i) {
+      world[static_cast<std::size_t>(i)].id = xdev::ProcessID{next_uuid.fetch_add(1)};
+      world[static_cast<std::size_t>(i)].host = "127.0.0.1";
+      if (device_name == "tcpdev") {
+        acceptors[static_cast<std::size_t>(i)] = std::make_shared<net::Acceptor>(0);
+        world[static_cast<std::size_t>(i)].port = acceptors[static_cast<std::size_t>(i)]->port();
+      }
+    }
+    engines_.resize(static_cast<std::size_t>(nprocs));
+    std::vector<std::thread> boot;
+    for (int i = 0; i < nprocs; ++i) {
+      boot.emplace_back([&, i] {
+        xdev::DeviceConfig config;
+        config.self_index = static_cast<std::size_t>(i);
+        config.world = world;
+        config.acceptor = acceptors[static_cast<std::size_t>(i)];
+        engines_[static_cast<std::size_t>(i)] =
+            std::make_unique<Engine>(xdev::new_device(device_name), config);
+      });
+    }
+    for (auto& t : boot) t.join();
+  }
+
+  Engine& engine(int i) { return *engines_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+buf::Buffer make_packed(int value, int overhead) {
+  buf::Buffer buffer(64, static_cast<std::size_t>(overhead));
+  const std::int32_t v = value;
+  buffer.write(std::span<const std::int32_t>(&v, 1));
+  buffer.commit();
+  return buffer;
+}
+
+TEST(Engine, RankAndSize) {
+  EngineWorld world("mxdev", 3);
+  EXPECT_EQ(world.engine(0).rank(), 0);
+  EXPECT_EQ(world.engine(2).rank(), 2);
+  EXPECT_EQ(world.engine(1).size(), 3);
+}
+
+TEST(Engine, RankDenominatedStatus) {
+  EngineWorld world("mxdev", 2);
+  buf::Buffer sbuf = make_packed(7, world.engine(0).send_overhead());
+  world.engine(0).send(sbuf, 1, 5, 0);
+  buf::Buffer rbuf(64);
+  const Status status = world.engine(1).recv(rbuf, kAnySource, kAnyTag, 0);
+  EXPECT_EQ(status.source, 0);  // a RANK, not a ProcessID
+  EXPECT_EQ(status.tag, 5);
+}
+
+TEST(Engine, BadRankThrows) {
+  EngineWorld world("mxdev", 2);
+  buf::Buffer sbuf = make_packed(1, world.engine(0).send_overhead());
+  EXPECT_THROW(world.engine(0).send(sbuf, 5, 0, 0), ArgumentError);
+  EXPECT_THROW(world.engine(0).send(sbuf, -1, 0, 0), ArgumentError);
+}
+
+TEST(Engine, WaitanyFastPathAlreadyComplete) {
+  EngineWorld world("mxdev", 2);
+  buf::Buffer sbuf = make_packed(1, world.engine(0).send_overhead());
+  world.engine(0).send(sbuf, 1, 1, 0);
+
+  buf::Buffer rbuf(64);
+  Request recv = world.engine(1).irecv(rbuf, 0, 1, 0);
+  recv.wait();  // complete before waitany
+
+  std::vector<Request> requests = {recv};
+  int index = -1;
+  world.engine(1).waitany(requests, index);
+  EXPECT_EQ(index, 0);
+}
+
+TEST(Engine, WaitanyBlocksUntilOneCompletes) {
+  EngineWorld world("mxdev", 2);
+  buf::Buffer rbuf_a(64), rbuf_b(64);
+  Request a = world.engine(1).irecv(rbuf_a, 0, 1, 0);
+  Request b = world.engine(1).irecv(rbuf_b, 0, 2, 0);
+
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    buf::Buffer sbuf = make_packed(22, world.engine(0).send_overhead());
+    world.engine(0).send(sbuf, 1, 2, 0);  // satisfies b
+  });
+  std::vector<Request> requests = {a, b};
+  int index = -1;
+  const Status status = world.engine(1).waitany(requests, index);
+  EXPECT_EQ(index, 1);
+  EXPECT_EQ(status.tag, 2);
+  sender.join();
+  // Cleanly satisfy the other request too.
+  buf::Buffer sbuf = make_packed(1, world.engine(0).send_overhead());
+  world.engine(0).send(sbuf, 1, 1, 0);
+  a.wait();
+}
+
+TEST(Engine, WaitanyAllNull) {
+  EngineWorld world("mxdev", 1);
+  std::vector<Request> requests(3);
+  int index = 99;
+  world.engine(0).waitany(requests, index);
+  EXPECT_EQ(index, -1);
+}
+
+TEST(Engine, ConcurrentWaitanyManyThreads) {
+  // The paper's core scenario: multiple threads block in Waitany at once;
+  // one leader peeks, the others wait on their WaitAny objects and are
+  // woken with the right request (scenario 2) or promoted (scenario 1).
+  for (const char* device : {"mxdev", "tcpdev"}) {
+    EngineWorld world(device, 2);
+    constexpr int kThreads = 8;
+    std::vector<buf::Buffer> buffers;
+    buffers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) buffers.emplace_back(64);
+
+    std::vector<Request> requests;
+    requests.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      requests.push_back(world.engine(1).irecv(buffers[static_cast<std::size_t>(t)], 0, t, 0));
+    }
+
+    std::atomic<int> satisfied{0};
+    std::vector<std::thread> waiters;
+    for (int t = 0; t < kThreads; ++t) {
+      waiters.emplace_back([&, t] {
+        std::vector<Request> mine = {requests[static_cast<std::size_t>(t)]};
+        int index = -1;
+        const Status status = world.engine(1).waitany(mine, index);
+        EXPECT_EQ(index, 0);
+        EXPECT_EQ(status.tag, t);
+        ++satisfied;
+      });
+    }
+    // Sends arrive in reverse tag order with small gaps.
+    for (int t = kThreads - 1; t >= 0; --t) {
+      buf::Buffer sbuf = make_packed(t, world.engine(0).send_overhead());
+      world.engine(0).send(sbuf, 1, t, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (auto& w : waiters) w.join();
+    EXPECT_EQ(satisfied.load(), kThreads) << device;
+  }
+}
+
+TEST(Engine, WaitanyOverlappingSets) {
+  // Two threads wait on OVERLAPPING request sets; one request completes.
+  // Exactly one waiter should claim it; the other must keep waiting until
+  // its other request completes.
+  EngineWorld world("mxdev", 2);
+  buf::Buffer ra(64), rb(64);
+  Request a = world.engine(1).irecv(ra, 0, 1, 0);
+  Request b = world.engine(1).irecv(rb, 0, 2, 0);
+
+  std::atomic<int> got_a{0}, got_b{0};
+  std::thread w1([&] {
+    std::vector<Request> set = {a, b};
+    int index = -1;
+    const Status status = world.engine(1).waitany(set, index);
+    (status.tag == 1 ? got_a : got_b)++;
+  });
+  std::thread w2([&] {
+    std::vector<Request> set = {b};
+    int index = -1;
+    world.engine(1).waitany(set, index);
+    got_b++;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buf::Buffer s2 = make_packed(2, world.engine(0).send_overhead());
+  world.engine(0).send(s2, 1, 2, 0);  // completes b: wakes one or both b-waiters
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buf::Buffer s1 = make_packed(1, world.engine(0).send_overhead());
+  world.engine(0).send(s1, 1, 1, 0);  // completes a
+
+  w1.join();
+  w2.join();
+  EXPECT_EQ(got_a.load() + got_b.load(), 2);
+}
+
+TEST(Engine, ProbeThroughRankLayer) {
+  EngineWorld world("mxdev", 2);
+  EXPECT_FALSE(world.engine(1).iprobe(0, 1, 0).has_value());
+  buf::Buffer sbuf = make_packed(1, world.engine(0).send_overhead());
+  world.engine(0).send(sbuf, 1, 1, 0);
+  const Status status = world.engine(1).probe(kAnySource, kAnyTag, 0);
+  EXPECT_EQ(status.source, 0);
+  buf::Buffer rbuf(64);
+  world.engine(1).recv(rbuf, 0, 1, 0);
+}
+
+}  // namespace
+}  // namespace mpcx::mpdev

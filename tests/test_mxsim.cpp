@@ -1,0 +1,234 @@
+// Unit tests for mxsim — the MX-like message layer: match bits + masks,
+// source filters, segment-boundary preservation, eager vs rendezvous
+// completion semantics, probes, unexpected buffering, and thread safety.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mxsim/mxsim.hpp"
+
+namespace mpcx::mxsim {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  const auto* p = reinterpret_cast<const std::byte*>(text.data());
+  return {p, p + text.size()};
+}
+
+std::string text_of(std::span<const std::byte> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+class MxsimTest : public ::testing::Test {
+ protected:
+  Fabric fabric_{/*eager_limit=*/64};
+};
+
+TEST_F(MxsimTest, EagerSendCompletesImmediately) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const auto payload = bytes_of("hi");
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  auto send = a->isend(segments, 2, 0x42);
+  EXPECT_TRUE(send->test().has_value());  // buffered: done before any recv
+  EXPECT_EQ(b->unexpected_count(), 1u);
+
+  std::string received;
+  auto recv = b->irecv(0x42, ~MatchBits{0}, std::nullopt,
+                       [&](const MxMessage& msg) { received = text_of(msg.chunk(0)); });
+  recv->wait();
+  EXPECT_EQ(received, "hi");
+}
+
+TEST_F(MxsimTest, RendezvousSendCompletesOnMatch) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const std::vector<std::byte> payload(1024, std::byte{7});  // > eager_limit
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  auto send = a->isend(segments, 2, 1);
+  EXPECT_FALSE(send->test().has_value());  // waits for the receiver
+
+  std::size_t got = 0;
+  auto recv = b->irecv(1, ~MatchBits{0}, std::nullopt,
+                       [&](const MxMessage& msg) { got = msg.total_bytes(); });
+  recv->wait();
+  send->wait();
+  EXPECT_EQ(got, 1024u);
+}
+
+TEST_F(MxsimTest, IssendAlwaysSynchronous) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const auto payload = bytes_of("x");  // tiny, still must wait
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  auto send = a->issend(segments, 2, 9);
+  EXPECT_FALSE(send->test().has_value());
+  auto recv = b->irecv(9, ~MatchBits{0}, std::nullopt, [](const MxMessage&) {});
+  recv->wait();
+  EXPECT_TRUE(send->test().has_value());
+}
+
+TEST_F(MxsimTest, SegmentBoundariesPreserved) {
+  // The paper's point: static and dynamic sections in ONE mx_isend.
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const auto part1 = bytes_of("static");
+  const auto part2 = bytes_of("dynamic");
+  const Segment segments[] = {{part1.data(), part1.size()}, {part2.data(), part2.size()}};
+  a->isend(segments, 2, 3);
+  std::string c0, c1;
+  b->irecv(3, ~MatchBits{0}, std::nullopt, [&](const MxMessage& msg) {
+    ASSERT_EQ(msg.chunk_count(), 2u);
+    c0 = text_of(msg.chunk(0));
+    c1 = text_of(msg.chunk(1));
+  })->wait();
+  EXPECT_EQ(c0, "static");
+  EXPECT_EQ(c1, "dynamic");
+}
+
+TEST_F(MxsimTest, MatchMaskIgnoresLowBits) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const auto payload = bytes_of("t");
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  a->isend(segments, 2, 0x500000001ull);
+  // Receive with the low 32 bits masked out (ANY_TAG-style).
+  MatchBits seen = 0;
+  b->irecv(0x500000000ull, 0xFFFFFFFF00000000ull, std::nullopt,
+           [&](const MxMessage& msg) { seen = msg.match(); })
+      ->wait();
+  EXPECT_EQ(seen, 0x500000001ull);
+}
+
+TEST_F(MxsimTest, NonMatchingBitsDoNotMatch) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  const auto payload = bytes_of("t");
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  a->isend(segments, 2, 7);
+  auto recv = b->irecv(8, ~MatchBits{0}, std::nullopt, [](const MxMessage&) {});
+  EXPECT_FALSE(recv->test().has_value());
+  EXPECT_EQ(b->unexpected_count(), 1u);
+}
+
+TEST_F(MxsimTest, SourceFilter) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  auto c = fabric_.open_endpoint(3);
+  const auto payload = bytes_of("s");
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  a->isend(segments, 3, 1);
+  b->isend(segments, 3, 1);
+  EndpointAddr from = 0;
+  // Only accept from endpoint 2 (b).
+  c->irecv(1, ~MatchBits{0}, EndpointAddr{2}, [&](const MxMessage& msg) { from = msg.source(); })
+      ->wait();
+  EXPECT_EQ(from, 2u);
+  EXPECT_EQ(c->unexpected_count(), 1u);  // a's message still buffered
+}
+
+TEST_F(MxsimTest, UnexpectedMatchedInArrivalOrder) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  for (int i = 0; i < 3; ++i) {
+    const auto payload = bytes_of(std::to_string(i));
+    const Segment segments[] = {{payload.data(), payload.size()}};
+    a->isend(segments, 2, 5);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::string got;
+    b->irecv(5, ~MatchBits{0}, std::nullopt,
+             [&](const MxMessage& msg) { got = text_of(msg.chunk(0)); })
+        ->wait();
+    EXPECT_EQ(got, std::to_string(i));
+  }
+}
+
+TEST_F(MxsimTest, ProbeReportsWithoutConsuming) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  EXPECT_FALSE(b->iprobe(4, ~MatchBits{0}, std::nullopt).has_value());
+  const auto payload = bytes_of("abcd");
+  const Segment segments[] = {{payload.data(), payload.size()}};
+  a->isend(segments, 2, 4);
+  const auto info = b->iprobe(4, ~MatchBits{0}, std::nullopt);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->total_bytes, 4u);
+  EXPECT_EQ(info->source, 1u);
+  EXPECT_EQ(b->unexpected_count(), 1u);  // not consumed
+}
+
+TEST_F(MxsimTest, BlockingProbeWakesOnArrival) {
+  auto a = fabric_.open_endpoint(1);
+  auto b = fabric_.open_endpoint(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto payload = bytes_of("zz");
+    const Segment segments[] = {{payload.data(), payload.size()}};
+    a->isend(segments, 2, 6);
+  });
+  const ProbeInfo info = b->probe(6, ~MatchBits{0}, std::nullopt);
+  EXPECT_EQ(info.total_bytes, 2u);
+  sender.join();
+}
+
+TEST_F(MxsimTest, CloseCancelsPostedReceives) {
+  auto a = fabric_.open_endpoint(1);
+  auto recv = a->irecv(1, ~MatchBits{0}, std::nullopt, [](const MxMessage&) {});
+  a->close();
+  const MxStatus status = recv->wait();
+  EXPECT_TRUE(status.cancelled);
+}
+
+TEST_F(MxsimTest, DuplicateAddressRejected) {
+  auto a = fabric_.open_endpoint(1);
+  EXPECT_THROW(fabric_.open_endpoint(1), DeviceError);
+}
+
+TEST_F(MxsimTest, ConnectWaitsForLateOpen) {
+  auto a = fabric_.open_endpoint(1);
+  std::thread opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto late = fabric_.open_endpoint(9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  EXPECT_NO_THROW(fabric_.connect(9, 2000));
+  opener.join();
+}
+
+TEST_F(MxsimTest, ConnectToMissingTimesOut) {
+  EXPECT_THROW(fabric_.connect(1234, 50), DeviceError);
+}
+
+TEST_F(MxsimTest, ConcurrentSendersAreSerializedSafely) {
+  auto rx = fabric_.open_endpoint(100);
+  constexpr int kSenders = 8;
+  constexpr int kEach = 200;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      auto tx = fabric_.open_endpoint(static_cast<EndpointAddr>(s + 1));
+      for (int i = 0; i < kEach; ++i) {
+        const std::uint32_t value = static_cast<std::uint32_t>(s * kEach + i);
+        const Segment segments[] = {{reinterpret_cast<const std::byte*>(&value), sizeof(value)}};
+        tx->isend(segments, 100, 1)->wait();
+      }
+    });
+  }
+  std::vector<bool> seen(kSenders * kEach, false);
+  for (int i = 0; i < kSenders * kEach; ++i) {
+    std::uint32_t value = 0;
+    rx->irecv(1, ~MatchBits{0}, std::nullopt, [&](const MxMessage& msg) {
+        std::memcpy(&value, msg.chunk(0).data(), sizeof(value));
+      })->wait();
+    ASSERT_LT(value, seen.size());
+    EXPECT_FALSE(seen[value]);
+    seen[value] = true;
+  }
+  for (auto& t : senders) t.join();
+}
+
+}  // namespace
+}  // namespace mpcx::mxsim

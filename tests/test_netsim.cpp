@@ -1,0 +1,231 @@
+// Tests for the discrete-event network model: simulator ordering, wire
+// arithmetic, NIC quantization, protocol switch effects, socket-buffer
+// capping, and figure-level invariants the paper reports.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "netsim/collective_model.hpp"
+#include "netsim/netsim.hpp"
+#include "support/error.hpp"
+#include "netsim/profiles.hpp"
+
+namespace mpcx::netsim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30.0, [&] { order.push_back(3); });
+  sim.at(10.0, [&] { order.push_back(1); });
+  sim.at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, FifoForSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(1.0, recurse);
+  };
+  sim.after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.at(10.0, [&] { EXPECT_THROW(sim.at(5.0, [] {}), ArgumentError); });
+  sim.run();
+}
+
+TEST(Link, WireTimeIncludesFraming) {
+  const LinkSpec fast = fast_ethernet_link();
+  // One full frame: (1460 + 78) * 8 bits at 100 Mbps = 123.04 us.
+  EXPECT_NEAR(wire_time_us(fast, 1460), 123.04, 0.01);
+  // Two frames for 1461 bytes.
+  EXPECT_GT(wire_time_us(fast, 1461), wire_time_us(fast, 1460) + 6.0);
+  // Ceiling below line rate.
+  EXPECT_NEAR(line_rate_ceiling_mbps(fast), 100.0 * 1460 / 1538, 0.01);
+}
+
+TEST(Link, MonotoneInSize) {
+  const LinkSpec gig = gigabit_link();
+  double prev = 0;
+  for (std::size_t bytes = 1; bytes <= (1u << 22); bytes <<= 1) {
+    const double t = wire_time_us(gig, bytes);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Model, NicPollQuantizesLatency) {
+  SoftwareProfile profile{.name = "x", .send_setup_us = 1, .recv_setup_us = 1};
+  const PingPongModel polled(fast_ethernet_link(), NicSpec{64.0}, profile);
+  const PingPongModel unpolled(fast_ethernet_link(), NicSpec{0.0}, profile);
+  // Polling can only add latency, in sub-64us quanta.
+  const double with_poll = polled.transfer_time_us(1);
+  const double without = unpolled.transfer_time_us(1);
+  EXPECT_GE(with_poll, without);
+  EXPECT_LE(with_poll - without, 64.0);
+}
+
+TEST(Model, RendezvousCostsOneMoreRoundTrip) {
+  SoftwareProfile eager{.name = "e", .send_setup_us = 5, .recv_setup_us = 5};
+  SoftwareProfile rndv = eager;
+  rndv.eager_threshold = 1;  // always rendezvous
+  const PingPongModel me(gigabit_link(), NicSpec{0.0}, eager);
+  const PingPongModel mr(gigabit_link(), NicSpec{0.0}, rndv);
+  const double gap = mr.transfer_time_us(1024) - me.transfer_time_us(1024);
+  // Two extra control messages: >= 2 * link latency.
+  EXPECT_GE(gap, 2 * gigabit_link().latency_us);
+}
+
+TEST(Model, ProtocolDipAtThreshold) {
+  // The Fig. 10-13 feature: time-per-byte jumps right above the eager
+  // threshold for systems that switch protocols.
+  const auto systems = gigabit_systems();
+  for (const auto& model : systems) {
+    if (model.profile().eager_threshold == 0) continue;
+    const std::size_t at = model.profile().eager_threshold;
+    const double below = model.transfer_time_us(at) / static_cast<double>(at);
+    const double above = model.transfer_time_us(at + 1) / static_cast<double>(at + 1);
+    EXPECT_GT(above, below) << model.profile().name;
+  }
+}
+
+TEST(Model, SocketBufferCapsStreaming) {
+  SoftwareProfile capped{.name = "c", .socket_buffer_bytes = 64 * 1024};
+  SoftwareProfile open{.name = "o"};
+  const PingPongModel mc(gigabit_link(), NicSpec{0.0}, capped);
+  const PingPongModel mo(gigabit_link(), NicSpec{0.0}, open);
+  EXPECT_GT(mc.transfer_time_us(1 << 20), mo.transfer_time_us(1 << 20));
+  EXPECT_EQ(mc.transfer_time_us(1024), mo.transfer_time_us(1024));  // under the window
+}
+
+TEST(Model, ThroughputBoundedByLineCeiling) {
+  for (const auto& model : fast_ethernet_systems()) {
+    EXPECT_LE(model.throughput_mbps(16u << 20),
+              line_rate_ceiling_mbps(fast_ethernet_link()) + 0.01)
+        << model.profile().name;
+  }
+}
+
+// ---- figure-level invariants the paper reports --------------------------------------
+
+TEST(Figures, FastEthernetLatencyOrdering) {
+  const auto systems = fast_ethernet_systems();
+  auto latency = [&](const char* name) {
+    for (const auto& m : systems) {
+      if (m.profile().name == name) return m.transfer_time_us(1);
+    }
+    ADD_FAILURE() << name;
+    return 0.0;
+  };
+  // Paper Sec. V-B: C MPI < mpijava < MPJ/Ibis < mpjdev < MPJ Express.
+  EXPECT_LT(latency("MPICH"), latency("mpijava"));
+  EXPECT_LT(latency("mpijava"), latency("MPJ/Ibis (TCPIbis)"));
+  EXPECT_LT(latency("MPJ/Ibis (TCPIbis)"), latency("MPJ Express"));
+  EXPECT_LT(latency("mpjdev"), latency("MPJ Express"));
+  EXPECT_NEAR(latency("MPJ Express"), 164.0, 15.0);
+}
+
+TEST(Figures, GigabitThroughputOrdering) {
+  const auto systems = gigabit_systems();
+  auto tput = [&](const char* name) {
+    for (const auto& m : systems) {
+      if (m.profile().name == name) return m.throughput_mbps(16u << 20);
+    }
+    ADD_FAILURE() << name;
+    return 0.0;
+  };
+  // Paper Sec. V-C: LAM/Ibis/mpjdev ~90% > MPICH 76% > MPJE 68% > mpijava 60%.
+  EXPECT_GT(tput("LAM/MPI"), tput("MPICH"));
+  EXPECT_GT(tput("MPICH"), tput("MPJ Express"));
+  EXPECT_GT(tput("MPJ Express"), tput("mpijava"));
+  EXPECT_GT(tput("mpjdev"), tput("MPJ Express"));  // the buffering gap
+  EXPECT_NEAR(tput("MPJ Express"), 680.0, 40.0);
+  EXPECT_NEAR(tput("mpijava"), 600.0, 40.0);
+}
+
+TEST(Figures, MyrinetHeadlines) {
+  const auto systems = myrinet_systems();
+  auto find = [&](const char* name) -> const PingPongModel& {
+    for (const auto& m : systems) {
+      if (m.profile().name == name) return m;
+    }
+    throw std::runtime_error(name);
+  };
+  EXPECT_NEAR(find("MPICH-MX").transfer_time_us(1), 4.0, 1.0);
+  EXPECT_NEAR(find("mpijava").transfer_time_us(1), 12.0, 2.0);
+  EXPECT_NEAR(find("MPJ Express").transfer_time_us(1), 23.0, 3.0);
+  // mpjdev beats MPICH-MX at 16 MB (direct buffers beat the JNI copy).
+  EXPECT_GT(find("mpjdev").throughput_mbps(16u << 20),
+            find("MPICH-MX").throughput_mbps(16u << 20));
+  // mpijava peaks at 64K then collapses.
+  EXPECT_GT(find("mpijava").throughput_mbps(64 * 1024),
+            find("mpijava").throughput_mbps(16u << 20));
+}
+
+// ---- collective scaling model -----------------------------------------------------
+
+TEST(CollectiveModel, TreeBeatsLinearBeyondTwoNodes) {
+  const CollectiveModel model(
+      PingPongModel(fast_ethernet_link(), ethernet_nic(),
+                    SoftwareProfile{.name = "x", .send_setup_us = 10, .recv_setup_us = 10}));
+  for (const int n : {4, 8, 32}) {
+    EXPECT_LT(model.barrier_dissemination_us(n), model.barrier_linear_us(n)) << n;
+    EXPECT_LT(model.bcast_binomial_us(n, 64 * 1024), model.bcast_linear_us(n, 64 * 1024)) << n;
+  }
+  // Two nodes: one message either way — identical cost.
+  EXPECT_DOUBLE_EQ(model.bcast_binomial_us(2, 1024), model.bcast_linear_us(2, 1024));
+}
+
+TEST(CollectiveModel, LogarithmicRounds) {
+  const CollectiveModel model(
+      PingPongModel(myrinet_link(), myrinet_nic(), SoftwareProfile{.name = "x"}));
+  const double one = model.barrier_dissemination_us(2);
+  EXPECT_DOUBLE_EQ(model.barrier_dissemination_us(4), 2 * one);
+  EXPECT_DOUBLE_EQ(model.barrier_dissemination_us(8), 3 * one);
+  EXPECT_DOUBLE_EQ(model.barrier_dissemination_us(5), 3 * one);  // ceil(log2 5)
+  EXPECT_DOUBLE_EQ(model.barrier_dissemination_us(1), 0.0);
+}
+
+TEST(CollectiveModel, ReduceAddsCombineCost) {
+  const CollectiveModel model(
+      PingPongModel(myrinet_link(), myrinet_nic(), SoftwareProfile{.name = "x"}));
+  const double plain = model.bcast_binomial_us(8, 4096);
+  const double with_combine = model.reduce_binomial_us(8, 4096, /*us per byte=*/0.001);
+  EXPECT_GT(with_combine, plain);
+  EXPECT_NEAR(with_combine - plain, 3 * 0.001 * 4096, 1e-9);
+}
+
+TEST(CollectiveModel, RingAllgatherBeatsGatherBcastForLargeBlocks) {
+  const CollectiveModel model(
+      PingPongModel(fast_ethernet_link(), ethernet_nic(), SoftwareProfile{.name = "x"}));
+  EXPECT_LT(model.allgather_ring_us(8, 64 * 1024), model.allgather_gather_bcast_us(8, 64 * 1024));
+}
+
+TEST(CollectiveModel, RejectsBadN) {
+  const CollectiveModel model(
+      PingPongModel(myrinet_link(), myrinet_nic(), SoftwareProfile{.name = "x"}));
+  EXPECT_THROW(model.barrier_dissemination_us(0), ArgumentError);
+}
+
+}  // namespace
+}  // namespace mpcx::netsim

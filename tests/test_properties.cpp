@@ -1,0 +1,199 @@
+// Randomized property tests with oracles:
+//   * Buffer vs a simple in-memory oracle over random section sequences;
+//   * random nested derived datatypes round-tripping through pack/unpack;
+//   * Group set algebra laws;
+//   * tcpdev with the paper's 512 KB socket-buffer configuration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <variant>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "core/cluster.hpp"
+#include "core/group.hpp"
+#include "core/intracomm.hpp"
+
+namespace mpcx {
+namespace {
+
+// ---- Buffer vs oracle ---------------------------------------------------------------
+
+using SectionOracle =
+    std::variant<std::vector<std::int32_t>, std::vector<double>, std::vector<std::int8_t>>;
+
+TEST(BufferProperty, RandomSectionSequencesMatchOracle) {
+  std::mt19937 rng(42);
+  for (int round = 0; round < 100; ++round) {
+    buf::Buffer buffer(16384);
+    std::vector<SectionOracle> oracle;
+    const int sections = 1 + static_cast<int>(rng() % 8);
+    for (int s = 0; s < sections; ++s) {
+      const std::size_t count = rng() % 200;
+      switch (rng() % 3) {
+        case 0: {
+          std::vector<std::int32_t> v(count);
+          for (auto& x : v) x = static_cast<std::int32_t>(rng());
+          buffer.write(std::span<const std::int32_t>(v));
+          oracle.emplace_back(std::move(v));
+          break;
+        }
+        case 1: {
+          std::vector<double> v(count);
+          for (auto& x : v) x = static_cast<double>(rng()) / 7.0;
+          buffer.write(std::span<const double>(v));
+          oracle.emplace_back(std::move(v));
+          break;
+        }
+        default: {
+          std::vector<std::int8_t> v(count);
+          for (auto& x : v) x = static_cast<std::int8_t>(rng());
+          buffer.write(std::span<const std::int8_t>(v));
+          oracle.emplace_back(std::move(v));
+          break;
+        }
+      }
+    }
+    buffer.commit();
+    for (const SectionOracle& expected : oracle) {
+      std::visit(
+          [&](const auto& v) {
+            using T = typename std::decay_t<decltype(v)>::value_type;
+            const auto info = buffer.peek_section();
+            ASSERT_TRUE(info);
+            ASSERT_EQ(info->count, v.size());
+            std::vector<T> out(v.size());
+            buffer.read(std::span<T>(out));
+            EXPECT_EQ(out, v);
+          },
+          expected);
+    }
+    EXPECT_FALSE(buffer.peek_section());
+  }
+}
+
+// ---- random nested datatypes ------------------------------------------------------------
+
+DatatypePtr random_type(std::mt19937& rng, int depth) {
+  if (depth == 0) {
+    switch (rng() % 3) {
+      case 0: return types::INT();
+      case 1: return types::DOUBLE();
+      default: return types::SHORT();
+    }
+  }
+  const DatatypePtr child = random_type(rng, depth - 1);
+  switch (rng() % 3) {
+    case 0:
+      return Datatype::contiguous(1 + rng() % 4, child);
+    case 1: {
+      const std::size_t blocklen = 1 + rng() % 3;
+      const std::size_t count = 1 + rng() % 4;
+      const std::ptrdiff_t stride = static_cast<std::ptrdiff_t>(blocklen + rng() % 3);
+      return Datatype::vector(count, blocklen, stride, child);
+    }
+    default: {
+      std::vector<int> lens, displs;
+      int cursor = 0;
+      const int blocks = 1 + static_cast<int>(rng() % 3);
+      for (int b = 0; b < blocks; ++b) {
+        displs.push_back(cursor + static_cast<int>(rng() % 2));
+        lens.push_back(1 + static_cast<int>(rng() % 3));
+        cursor = displs.back() + lens.back();
+      }
+      return Datatype::indexed(lens, displs, child);
+    }
+  }
+}
+
+TEST(DatatypeProperty, RandomNestedTypesRoundTrip) {
+  std::mt19937 rng(20061);
+  for (int round = 0; round < 60; ++round) {
+    const DatatypePtr type = random_type(rng, 1 + static_cast<int>(rng() % 2));
+    const std::size_t items = 1 + rng() % 3;
+    const std::size_t slots = items * type->extent_bytes() / type->base_size() + 16;
+
+    // Source region: element i holds a recognizable value.
+    const std::size_t bytes = slots * type->base_size() + 64;
+    std::vector<std::byte> source(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) source[i] = static_cast<std::byte>(i * 31 + round);
+    std::vector<std::byte> landed(bytes, std::byte{0});
+
+    buf::Buffer buffer(type->packed_bound(items) + 64);
+    type->pack(source.data(), items, buffer);
+    buffer.commit();
+    type->unpack(buffer, landed.data(), items);
+
+    // Re-pack from the landing zone: the typed content must be identical
+    // (pack ∘ unpack ∘ pack == pack).
+    buf::Buffer again(type->packed_bound(items) + 64);
+    type->pack(landed.data(), items, again);
+    again.commit();
+    ASSERT_EQ(again.static_size(), buffer.static_size()) << "round " << round;
+    buffer.clear();
+    type->pack(source.data(), items, buffer);
+    buffer.commit();
+    EXPECT_TRUE(std::equal(buffer.static_payload().begin(), buffer.static_payload().end(),
+                           again.static_payload().begin()))
+        << "round " << round;
+  }
+}
+
+// ---- Group algebra laws --------------------------------------------------------------------
+
+TEST(GroupProperty, SetAlgebraLaws) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    auto random_group = [&] {
+      std::vector<int> ranks;
+      for (int r = 0; r < 12; ++r) {
+        if (rng() % 2) ranks.push_back(r);
+      }
+      std::shuffle(ranks.begin(), ranks.end(), rng);
+      return Group(ranks);
+    };
+    const Group a = random_group();
+    const Group b = random_group();
+
+    // |A ∪ B| = |A| + |B| - |A ∩ B|
+    EXPECT_EQ(a.Union(b).Size(), a.Size() + b.Size() - a.Intersection(b).Size());
+    // A \ B and A ∩ B partition A.
+    EXPECT_EQ(a.Difference(b).Size() + a.Intersection(b).Size(), a.Size());
+    // Intersection is symmetric up to ordering.
+    EXPECT_EQ(a.Intersection(b).compare(b.Intersection(a)) == Group::Compare::Unequal, false);
+    // Union contains both operands.
+    for (const int r : a.world_ranks()) EXPECT_TRUE(a.Union(b).contains_world(r));
+    for (const int r : b.world_ranks()) EXPECT_TRUE(a.Union(b).contains_world(r));
+    // Translate to self is identity.
+    std::vector<int> all(static_cast<std::size_t>(a.Size()));
+    std::iota(all.begin(), all.end(), 0);
+    EXPECT_EQ(a.Translate_ranks(all, a), all);
+  }
+}
+
+// ---- tcpdev with the paper's socket-buffer setting ----------------------------------------
+
+TEST(SocketBuffers, GigabitConfigurationWorks) {
+  // Sec. V-C: "we changed the default socket buffer size (send and receive)
+  // to 512 Kbytes for all messaging libraries."
+  cluster::Options options;
+  options.device = "tcpdev";
+  options.socket_buffer_bytes = 512 * 1024;
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const std::size_t count = 1 << 20;  // 4 MB
+    std::vector<std::int32_t> data(count, comm.Rank());
+    if (comm.Rank() == 0) {
+      comm.Send(data.data(), 0, static_cast<int>(count), types::INT(), 1, 0);
+    } else {
+      comm.Recv(data.data(), 0, static_cast<int>(count), types::INT(), 0, 0);
+      EXPECT_EQ(data[count - 1], 0);
+    }
+  }, options);
+}
+
+}  // namespace
+}  // namespace mpcx

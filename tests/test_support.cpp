@@ -1,0 +1,211 @@
+// Unit tests for the support layer: sync primitives, blocking queue,
+// endian helpers, socket basics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/blocking_queue.hpp"
+#include "support/endian.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+#include "support/sync.hpp"
+
+namespace mpcx {
+namespace {
+
+TEST(CountdownLatch, ReleasesAllWaiters) {
+  CountdownLatch latch(3);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      latch.wait();
+      ++released;
+    });
+  }
+  EXPECT_EQ(released.load(), 0);
+  latch.count_down();
+  latch.count_down();
+  EXPECT_EQ(latch.pending(), 1u);
+  latch.count_down();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(released.load(), 4);
+}
+
+TEST(CountdownLatch, CountDownPastZeroThrows) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), ArgumentError);
+}
+
+TEST(CountdownLatch, WaitForTimesOut) {
+  CountdownLatch latch(1);
+  EXPECT_FALSE(latch.wait_for(std::chrono::milliseconds(10)));
+  latch.count_down();
+  EXPECT_TRUE(latch.wait_for(std::chrono::milliseconds(10)));
+}
+
+TEST(CyclicBarrier, ReusableAcrossGenerations) {
+  constexpr int kParties = 4;
+  constexpr int kRounds = 50;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> serials{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (barrier.arrive_and_wait()) ++serials;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serials.load(), kRounds);  // exactly one serial thread per round
+}
+
+TEST(CyclicBarrier, ZeroPartiesRejected) {
+  EXPECT_THROW(CyclicBarrier barrier(0), ArgumentError);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queue.pop(), i);
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> queue;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(7);
+  });
+  EXPECT_EQ(queue.pop(), 7);
+  producer.join();
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> queue;
+  queue.push(1);
+  queue.close();
+  EXPECT_FALSE(queue.push(2));  // rejected after close
+  EXPECT_EQ(queue.pop(), 1);    // drains what's left
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> queue;
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), std::nullopt);
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> queue;
+  constexpr int kPerProducer = 500;
+  constexpr int kThreads = 4;
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) queue.push(i);
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) total += *queue.pop();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), kThreads * (kPerProducer * (kPerProducer + 1) / 2));
+}
+
+TEST(Endian, RoundTripAllWidths) {
+  EXPECT_EQ(from_wire(to_wire<std::uint16_t>(0xBEEF)), 0xBEEF);
+  EXPECT_EQ(from_wire(to_wire<std::uint32_t>(0xDEADBEEF)), 0xDEADBEEFu);
+  EXPECT_EQ(from_wire(to_wire<std::uint64_t>(0x0123456789ABCDEFull)), 0x0123456789ABCDEFull);
+  EXPECT_EQ(from_wire(to_wire<std::int32_t>(-12345)), -12345);
+}
+
+TEST(Endian, StoreLoadWire) {
+  std::byte buffer[8];
+  store_wire<std::uint64_t>(buffer, 0x1122334455667788ull);
+  EXPECT_EQ(load_wire<std::uint64_t>(buffer), 0x1122334455667788ull);
+  // Wire order is little-endian by definition.
+  EXPECT_EQ(static_cast<unsigned>(buffer[0]), 0x88u);
+  EXPECT_EQ(static_cast<unsigned>(buffer[7]), 0x11u);
+}
+
+TEST(Endian, Byteswap) {
+  EXPECT_EQ(byteswap<std::uint16_t>(0x1234), 0x3412);
+  EXPECT_EQ(byteswap<std::uint32_t>(0x12345678), 0x78563412u);
+}
+
+TEST(Socket, LoopbackEcho) {
+  net::Acceptor acceptor(0);
+  std::thread server([&] {
+    net::Socket conn = acceptor.accept();
+    std::array<std::byte, 5> data{};
+    conn.read_all(data);
+    conn.write_all(data);
+  });
+  net::Socket client = net::Socket::connect("127.0.0.1", acceptor.port());
+  const char msg[5] = {'h', 'e', 'l', 'l', 'o'};
+  client.write_all(std::as_bytes(std::span(msg)));
+  char echoed[5] = {};
+  client.read_all(std::as_writable_bytes(std::span(echoed)));
+  EXPECT_EQ(std::string(echoed, 5), "hello");
+  server.join();
+}
+
+TEST(Socket, ConnectToDeadPortFails) {
+  EXPECT_THROW(net::Socket::connect("127.0.0.1", 1, /*timeout_ms=*/100), net::SocketError);
+}
+
+TEST(Socket, NonblockingReadWouldBlock) {
+  net::Acceptor acceptor(0);
+  net::Socket client = net::Socket::connect("127.0.0.1", acceptor.port());
+  net::Socket server = acceptor.accept();
+  server.set_nonblocking(true);
+  std::array<std::byte, 8> scratch{};
+  std::size_t got = 0;
+  EXPECT_EQ(server.read_some(scratch, got), net::IoStatus::WouldBlock);
+  client.close();
+  // Give the FIN a moment to arrive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.read_some(scratch, got), net::IoStatus::Eof);
+}
+
+TEST(Poller, WakeupInterruptsWait) {
+  net::Poller poller;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    poller.wakeup();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto events = poller.wait(2000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(events.empty());
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  waker.join();
+}
+
+TEST(Poller, ReportsReadableFd) {
+  net::Acceptor acceptor(0);
+  net::Socket client = net::Socket::connect("127.0.0.1", acceptor.port());
+  net::Socket server = acceptor.accept();
+  net::Poller poller;
+  poller.add(server.fd());
+  const char byte = 'x';
+  client.write_all(std::as_bytes(std::span(&byte, 1)));
+  auto events = poller.wait(2000);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, server.fd());
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST(Exchanger, HandsOffValue) {
+  Exchanger<std::string> slot;
+  std::thread producer([&] { slot.put("payload"); });
+  EXPECT_EQ(slot.take(), "payload");
+  producer.join();
+}
+
+}  // namespace
+}  // namespace mpcx

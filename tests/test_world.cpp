@@ -1,0 +1,163 @@
+// World lifecycle, environment bootstrap, buffer pool behaviour, attribute
+// caching, and explicit Pack/Unpack.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+#include "support/socket.hpp"
+
+namespace mpcx {
+namespace {
+
+TEST(World, RankSizeAndThreadLevel) {
+  cluster::launch(3, [](World& world) {
+    EXPECT_EQ(world.Size(), 3);
+    EXPECT_GE(world.Rank(), 0);
+    EXPECT_LT(world.Rank(), 3);
+    EXPECT_EQ(world.Rank(), world.COMM_WORLD().Rank());
+    EXPECT_EQ(world.Query_thread(), ThreadLevel::Multiple);
+    EXPECT_FALSE(world.finalized());
+  });
+}
+
+TEST(World, DoubleFinalizeIsIdempotent) {
+  cluster::launch(2, [](World& world) {
+    world.Finalize();
+    EXPECT_TRUE(world.finalized());
+    world.Finalize();  // no-op
+  });
+}
+
+TEST(World, BufferPoolRecyclesAcrossOperations) {
+  cluster::launch(1, [](World& world) {
+    auto first = world.take_buffer(512);
+    buf::Buffer* raw = first.get();
+    world.give_buffer(std::move(first));
+    auto second = world.take_buffer(500);  // same bin
+    EXPECT_EQ(second.get(), raw);
+    world.give_buffer(std::move(second));
+  });
+}
+
+TEST(World, FromEnvBootstrapsSingleRank) {
+  // Multi-rank from_env needs multiple processes (covered by test_runtime);
+  // a single-rank world exercises the env parsing path in-process.
+  net::Acceptor probe(0);  // find a free port
+  const std::uint16_t port = probe.port();
+  probe.close();
+  ::setenv("MPCX_RANK", "0", 1);
+  ::setenv("MPCX_WORLD", ("127.0.0.1:" + std::to_string(port)).c_str(), 1);
+  ::setenv("MPCX_DEVICE", "tcpdev", 1);
+  ::setenv("MPCX_SESSION", "424242", 1);
+  ::setenv("MPCX_EAGER_THRESHOLD", "65536", 1);
+
+  auto world = World::from_env();
+  EXPECT_EQ(world->Size(), 1);
+  EXPECT_EQ(world->Rank(), 0);
+  int value = 3, out = 0;
+  world->COMM_WORLD().Sendrecv(&value, 0, 1, types::INT(), 0, 1, &out, 0, 1, types::INT(), 0, 1);
+  EXPECT_EQ(out, 3);
+  world->Finalize();
+  ::unsetenv("MPCX_RANK");
+  ::unsetenv("MPCX_WORLD");
+  ::unsetenv("MPCX_DEVICE");
+  ::unsetenv("MPCX_SESSION");
+  ::unsetenv("MPCX_EAGER_THRESHOLD");
+}
+
+TEST(World, FromEnvRequiresVariables) {
+  ::unsetenv("MPCX_RANK");
+  ::unsetenv("MPCX_WORLD");
+  EXPECT_THROW(World::from_env(), RuntimeError);
+}
+
+TEST(Attributes, PutGetDelete) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int key = Comm::Keyval_create();
+    const int other = Comm::Keyval_create();
+    EXPECT_NE(key, other);
+
+    EXPECT_FALSE(comm.Attr_get(key).has_value());
+    comm.Attr_put(key, std::string("cached"));
+    auto value = comm.Attr_get(key);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(std::any_cast<std::string>(*value), "cached");
+
+    comm.Attr_put(key, 42);  // overwrite with another type
+    EXPECT_EQ(std::any_cast<int>(*comm.Attr_get(key)), 42);
+
+    comm.Attr_delete(key);
+    EXPECT_FALSE(comm.Attr_get(key).has_value());
+  });
+}
+
+TEST(Attributes, PerCommunicatorIsolation) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    auto dup = comm.Dup();
+    const int key = Comm::Keyval_create();
+    comm.Attr_put(key, 1);
+    EXPECT_FALSE(dup->Attr_get(key).has_value());  // caches are per-comm
+    dup->Attr_put(key, 2);
+    EXPECT_EQ(std::any_cast<int>(*comm.Attr_get(key)), 1);
+    EXPECT_EQ(std::any_cast<int>(*dup->Attr_get(key)), 2);
+  });
+}
+
+TEST(PackUnpack, ExplicitPackingRoundTrip) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      // Pack two typed blocks + an object into one buffer, ship it raw.
+      auto buffer = comm.make_buffer(1024);
+      std::vector<std::int32_t> ints = {1, 2, 3};
+      std::vector<double> doubles = {4.5, 5.5};
+      comm.Pack(ints.data(), 0, 3, types::INT(), *buffer);
+      comm.Pack(doubles.data(), 0, 2, types::DOUBLE(), *buffer);
+      buffer->write_object(std::string("trailer"));
+      buffer->commit();
+      comm.Send_buffer(*buffer, 1, 9);
+      comm.release_buffer(std::move(buffer));
+    } else {
+      auto buffer = comm.make_buffer(1024);
+      comm.Recv_buffer(*buffer, 0, 9);
+      std::vector<std::int32_t> ints(3);
+      std::vector<double> doubles(2);
+      comm.Unpack(*buffer, ints.data(), 0, 3, types::INT());
+      comm.Unpack(*buffer, doubles.data(), 0, 2, types::DOUBLE());
+      EXPECT_EQ(ints, (std::vector<std::int32_t>{1, 2, 3}));
+      EXPECT_EQ(doubles, (std::vector<double>{4.5, 5.5}));
+      EXPECT_EQ(buffer->read_object<std::string>(), "trailer");
+      comm.release_buffer(std::move(buffer));
+    }
+  });
+}
+
+TEST(PackUnpack, PackWithDerivedType) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const auto diag = Datatype::vector(3, 1, 4, types::INT());
+    std::vector<std::int32_t> matrix(12);
+    std::iota(matrix.begin(), matrix.end(), 0);
+    auto buffer = comm.make_buffer(256);
+    comm.Pack(matrix.data(), 0, 1, diag, *buffer);
+    buffer->commit();
+    std::vector<std::int32_t> landed(12, -1);
+    comm.Unpack(*buffer, landed.data(), 0, 1, diag);
+    EXPECT_EQ(landed[0], 0);
+    EXPECT_EQ(landed[4], 4);
+    EXPECT_EQ(landed[8], 8);
+    EXPECT_EQ(landed[1], -1);
+    comm.release_buffer(std::move(buffer));
+  });
+}
+
+}  // namespace
+}  // namespace mpcx

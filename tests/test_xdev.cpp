@@ -1,0 +1,293 @@
+// Device-level tests, parameterized over both devices (tcpdev and mxdev):
+// the xdev contract of Fig. 2 — send modes, matching with wildcards,
+// probe/iprobe, peek-backed completions, overheads, truncation handling,
+// and protocol-boundary payloads around the eager/rendezvous threshold.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "device_harness.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx::xdev {
+namespace {
+
+using testing::DeviceWorld;
+
+constexpr int kCtx = 0;
+constexpr std::size_t kEager = 4 * 1024;  // small threshold to test both paths
+
+class XdevTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<buf::Buffer> packed(std::span<const std::int32_t> values, Device& dev) {
+    auto buffer = std::make_unique<buf::Buffer>(values.size() * 4 + 64,
+                                                static_cast<std::size_t>(dev.send_overhead()));
+    buffer->write(values);
+    buffer->commit();
+    return buffer;
+  }
+
+  std::unique_ptr<buf::Buffer> landing(std::size_t ints, Device& dev) {
+    return std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                         static_cast<std::size_t>(dev.recv_overhead()));
+  }
+};
+
+TEST_P(XdevTest, BlockingSendRecv) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {1, 2, 3, 4};
+  std::thread sender([&] {
+    auto buffer = packed(data, world.device(0));
+    world.device(0).send(*buffer, world.id(1), 7, kCtx);
+  });
+  auto buffer = landing(4, world.device(1));
+  const DevStatus status = world.device(1).recv(*buffer, world.id(0), 7, kCtx);
+  sender.join();
+  EXPECT_EQ(status.source, world.id(0));
+  EXPECT_EQ(status.tag, 7);
+  std::vector<std::int32_t> out(4);
+  buffer->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(XdevTest, UnexpectedMessageBuffered) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {9};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 3, kCtx);  // eager: completes now
+  // Give the message time to land unexpectedly, then receive.
+  auto rbuf = landing(1, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf, world.id(0), 3, kCtx);
+  EXPECT_EQ(status.tag, 3);
+  std::vector<std::int32_t> out(1);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out[0], 9);
+}
+
+TEST_P(XdevTest, IsendIrecvNonBlocking) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {5, 6};
+  auto rbuf = landing(2, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 1, kCtx);
+  EXPECT_FALSE(recv->test().has_value());
+  auto sbuf = packed(data, world.device(0));
+  DevRequest send = world.device(0).isend(*sbuf, world.id(1), 1, kCtx);
+  send->wait();
+  recv->wait();
+  std::vector<std::int32_t> out(2);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(XdevTest, SsendWaitsForMatch) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {1};
+  auto sbuf = packed(data, world.device(0));
+  DevRequest send = world.device(0).issend(*sbuf, world.id(1), 2, kCtx);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(send->test().has_value());  // no receiver yet
+  auto rbuf = landing(1, world.device(1));
+  world.device(1).recv(*rbuf, world.id(0), 2, kCtx);
+  send->wait();
+}
+
+TEST_P(XdevTest, RendezvousLargeMessage) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  const std::size_t count = 64 * 1024;  // 256 KB > 4 KB threshold
+  std::vector<std::int32_t> data(count);
+  std::iota(data.begin(), data.end(), 0);
+  std::thread sender([&] {
+    auto sbuf = packed(data, world.device(0));
+    world.device(0).send(*sbuf, world.id(1), 4, kCtx);
+  });
+  auto rbuf = landing(count, world.device(1));
+  world.device(1).recv(*rbuf, world.id(0), 4, kCtx);
+  sender.join();
+  std::vector<std::int32_t> out(count);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(XdevTest, SimultaneousLargeExchangeNoDeadlock) {
+  // The paper's rendezvous deadlock scenario (Fig. 8 discussion): both
+  // processes send large messages to each other at once.
+  DeviceWorld world(GetParam(), 2, kEager);
+  const std::size_t count = 128 * 1024;
+  std::vector<std::thread> threads;
+  for (int me = 0; me < 2; ++me) {
+    threads.emplace_back([&, me] {
+      std::vector<std::int32_t> data(count, me);
+      auto sbuf = packed(data, world.device(me));
+      DevRequest send = world.device(me).isend(*sbuf, world.id(1 - me), 5, kCtx);
+      auto rbuf = landing(count, world.device(me));
+      world.device(me).recv(*rbuf, world.id(1 - me), 5, kCtx);
+      send->wait();
+      std::vector<std::int32_t> out(count);
+      rbuf->read(std::span<std::int32_t>(out));
+      EXPECT_EQ(out[0], 1 - me);
+      EXPECT_EQ(out[count - 1], 1 - me);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST_P(XdevTest, AnySourceAndAnyTag) {
+  DeviceWorld world(GetParam(), 3, kEager);
+  std::vector<std::int32_t> one = {10};
+  std::vector<std::int32_t> two = {20};
+  auto b1 = packed(one, world.device(1));
+  auto b2 = packed(two, world.device(2));
+  world.device(1).send(*b1, world.id(0), 100, kCtx);
+  world.device(2).send(*b2, world.id(0), 200, kCtx);
+
+  int sum = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto rbuf = landing(1, world.device(0));
+    const DevStatus status = world.device(0).recv(*rbuf, ProcessID::any(), kAnyTag, kCtx);
+    std::vector<std::int32_t> out(1);
+    rbuf->read(std::span<std::int32_t>(out));
+    sum += out[0];
+    EXPECT_TRUE(status.tag == 100 || status.tag == 200);
+  }
+  EXPECT_EQ(sum, 30);
+}
+
+TEST_P(XdevTest, ContextsIsolateTraffic) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> ctx0 = {1};
+  std::vector<std::int32_t> ctx9 = {2};
+  auto b0 = packed(ctx0, world.device(0));
+  auto b9 = packed(ctx9, world.device(0));
+  world.device(0).send(*b0, world.id(1), 1, /*context=*/0);
+  world.device(0).send(*b9, world.id(1), 1, /*context=*/9);
+  // Receive the context-9 message FIRST even though it arrived second.
+  auto rbuf = landing(1, world.device(1));
+  world.device(1).recv(*rbuf, ProcessID::any(), kAnyTag, 9);
+  std::vector<std::int32_t> out(1);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST_P(XdevTest, ProbeAndIprobe) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  EXPECT_FALSE(world.device(1).iprobe(world.id(0), 5, kCtx).has_value());
+  std::vector<std::int32_t> data = {1, 2, 3};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 5, kCtx);
+  const DevStatus status = world.device(1).probe(world.id(0), 5, kCtx);
+  EXPECT_EQ(status.tag, 5);
+  EXPECT_EQ(status.static_bytes, 8u + 12u);  // section header + 3 ints
+  // Probe does not consume: the receive still sees the message.
+  ASSERT_TRUE(world.device(1).iprobe(ProcessID::any(), kAnyTag, kCtx).has_value());
+  auto rbuf = landing(3, world.device(1));
+  world.device(1).recv(*rbuf, world.id(0), 5, kCtx);
+  EXPECT_FALSE(world.device(1).iprobe(ProcessID::any(), kAnyTag, kCtx).has_value());
+}
+
+TEST_P(XdevTest, TruncationReported) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data(100, 1);
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 6, kCtx);
+  auto tiny = std::make_unique<buf::Buffer>(16);  // way too small
+  const DevStatus status = world.device(1).recv(*tiny, world.id(0), 6, kCtx);
+  EXPECT_TRUE(status.truncated);
+}
+
+TEST_P(XdevTest, SelfSend) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {42};
+  auto sbuf = packed(data, world.device(0));
+  DevRequest send = world.device(0).isend(*sbuf, world.id(0), 8, kCtx);
+  auto rbuf = landing(1, world.device(0));
+  world.device(0).recv(*rbuf, world.id(0), 8, kCtx);
+  send->wait();
+  std::vector<std::int32_t> out(1);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST_P(XdevTest, PeekReturnsHookedCompletions) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  auto rbuf = landing(1, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 1, kCtx);
+  struct Hook : CompletionHook {};
+  auto hook = std::make_shared<Hook>();
+  ASSERT_TRUE(recv->set_hook(hook));
+
+  std::vector<std::int32_t> data = {1};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 1, kCtx);
+
+  DevRequest completed = world.device(1).peek();
+  EXPECT_EQ(completed.get(), recv.get());
+  EXPECT_EQ(completed->hook().get(), hook.get());
+}
+
+TEST_P(XdevTest, MessageOrderingBetweenPairs) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  constexpr int kCount = 200;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::int32_t> data = {i};
+      auto sbuf = packed(data, world.device(0));
+      world.device(0).send(*sbuf, world.id(1), 1, kCtx);
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto rbuf = landing(1, world.device(1));
+    world.device(1).recv(*rbuf, world.id(0), 1, kCtx);
+    std::vector<std::int32_t> out(1);
+    rbuf->read(std::span<std::int32_t>(out));
+    EXPECT_EQ(out[0], i);  // non-overtaking
+  }
+  sender.join();
+}
+
+TEST_P(XdevTest, DynamicSectionTravels) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  auto sbuf = std::make_unique<buf::Buffer>(64,
+                                            static_cast<std::size_t>(
+                                                world.device(0).send_overhead()));
+  std::vector<std::int32_t> nums = {3};
+  sbuf->write(std::span<const std::int32_t>(nums));
+  sbuf->write_object(std::string("payload"));
+  sbuf->commit();
+  world.device(0).send(*sbuf, world.id(1), 2, kCtx);
+  auto rbuf = landing(1, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf, world.id(0), 2, kCtx);
+  EXPECT_GT(status.dynamic_bytes, 0u);
+  std::vector<std::int32_t> out(1);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(rbuf->read_object<std::string>(), "payload");
+}
+
+TEST_P(XdevTest, ThresholdBoundarySizes) {
+  // Exercise payloads straddling the eager/rendezvous boundary exactly.
+  DeviceWorld world(GetParam(), 2, kEager);
+  for (const std::size_t bytes :
+       {kEager - 64, kEager - 8, kEager, kEager + 8, kEager + 64, 3 * kEager}) {
+    const std::size_t count = bytes / 4;
+    std::vector<std::int32_t> data(count);
+    std::iota(data.begin(), data.end(), static_cast<int>(bytes));
+    std::thread sender([&] {
+      auto sbuf = packed(data, world.device(0));
+      world.device(0).send(*sbuf, world.id(1), 9, kCtx);
+    });
+    auto rbuf = landing(count, world.device(1));
+    world.device(1).recv(*rbuf, world.id(0), 9, kCtx);
+    sender.join();
+    std::vector<std::int32_t> out(count);
+    rbuf->read(std::span<std::int32_t>(out));
+    EXPECT_EQ(out, data) << "bytes=" << bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, XdevTest, ::testing::Values("tcpdev", "mxdev", "shmdev"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mpcx::xdev
