@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collectives.dir/bench_ablation_collectives.cpp.o"
+  "CMakeFiles/bench_ablation_collectives.dir/bench_ablation_collectives.cpp.o.d"
+  "bench_ablation_collectives"
+  "bench_ablation_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

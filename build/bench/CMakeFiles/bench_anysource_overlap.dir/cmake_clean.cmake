@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anysource_overlap.dir/bench_anysource_overlap.cpp.o"
+  "CMakeFiles/bench_anysource_overlap.dir/bench_anysource_overlap.cpp.o.d"
+  "bench_anysource_overlap"
+  "bench_anysource_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anysource_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collective_scaling.dir/bench_collective_scaling.cpp.o"
+  "CMakeFiles/bench_collective_scaling.dir/bench_collective_scaling.cpp.o.d"
+  "bench_collective_scaling"
+  "bench_collective_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collective_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_buffers.dir/bench_direct_buffers.cpp.o"
+  "CMakeFiles/bench_direct_buffers.dir/bench_direct_buffers.cpp.o.d"
+  "bench_direct_buffers"
+  "bench_direct_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_gigabit.dir/bench_fig12_13_gigabit.cpp.o"
+  "CMakeFiles/bench_fig12_13_gigabit.dir/bench_fig12_13_gigabit.cpp.o.d"
+  "bench_fig12_13_gigabit"
+  "bench_fig12_13_gigabit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_gigabit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_myrinet.dir/bench_fig14_15_myrinet.cpp.o"
+  "CMakeFiles/bench_fig14_15_myrinet.dir/bench_fig14_15_myrinet.cpp.o.d"
+  "bench_fig14_15_myrinet"
+  "bench_fig14_15_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

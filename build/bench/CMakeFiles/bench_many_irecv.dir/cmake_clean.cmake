@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_many_irecv.dir/bench_many_irecv.cpp.o"
+  "CMakeFiles/bench_many_irecv.dir/bench_many_irecv.cpp.o.d"
+  "bench_many_irecv"
+  "bench_many_irecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_many_irecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

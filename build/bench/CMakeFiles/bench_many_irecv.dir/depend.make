@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_many_irecv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nbody_ratio.dir/bench_nbody_ratio.cpp.o"
+  "CMakeFiles/bench_nbody_ratio.dir/bench_nbody_ratio.cpp.o.d"
+  "bench_nbody_ratio"
+  "bench_nbody_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nbody_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progression.dir/bench_progression.cpp.o"
+  "CMakeFiles/bench_progression.dir/bench_progression.cpp.o.d"
+  "bench_progression"
+  "bench_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

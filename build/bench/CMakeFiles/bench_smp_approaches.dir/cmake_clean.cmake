@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smp_approaches.dir/bench_smp_approaches.cpp.o"
+  "CMakeFiles/bench_smp_approaches.dir/bench_smp_approaches.cpp.o.d"
+  "bench_smp_approaches"
+  "bench_smp_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

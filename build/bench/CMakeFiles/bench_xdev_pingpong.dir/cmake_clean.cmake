@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xdev_pingpong.dir/bench_xdev_pingpong.cpp.o"
+  "CMakeFiles/bench_xdev_pingpong.dir/bench_xdev_pingpong.cpp.o.d"
+  "bench_xdev_pingpong"
+  "bench_xdev_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xdev_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

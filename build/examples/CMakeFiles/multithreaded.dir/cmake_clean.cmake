@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded.dir/multithreaded.cpp.o"
+  "CMakeFiles/multithreaded.dir/multithreaded.cpp.o.d"
+  "multithreaded"
+  "multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_montecarlo.dir/pi_montecarlo.cpp.o"
+  "CMakeFiles/pi_montecarlo.dir/pi_montecarlo.cpp.o.d"
+  "pi_montecarlo"
+  "pi_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

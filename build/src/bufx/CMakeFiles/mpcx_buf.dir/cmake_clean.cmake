@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_buf.dir/buffer.cpp.o"
+  "CMakeFiles/mpcx_buf.dir/buffer.cpp.o.d"
+  "libmpcx_buf.a"
+  "libmpcx_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

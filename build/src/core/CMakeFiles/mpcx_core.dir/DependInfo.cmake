@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cartcomm.cpp" "src/core/CMakeFiles/mpcx_core.dir/cartcomm.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/cartcomm.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/mpcx_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/mpcx_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/datatype.cpp" "src/core/CMakeFiles/mpcx_core.dir/datatype.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/datatype.cpp.o.d"
+  "/root/repo/src/core/graphcomm.cpp" "src/core/CMakeFiles/mpcx_core.dir/graphcomm.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/graphcomm.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/core/CMakeFiles/mpcx_core.dir/group.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/group.cpp.o.d"
+  "/root/repo/src/core/intercomm.cpp" "src/core/CMakeFiles/mpcx_core.dir/intercomm.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/intercomm.cpp.o.d"
+  "/root/repo/src/core/intracomm.cpp" "src/core/CMakeFiles/mpcx_core.dir/intracomm.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/intracomm.cpp.o.d"
+  "/root/repo/src/core/op.cpp" "src/core/CMakeFiles/mpcx_core.dir/op.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/op.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/mpcx_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/mpcx_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/mpcx_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpdev/CMakeFiles/mpcx_mpdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdev/CMakeFiles/mpcx_xdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufx/CMakeFiles/mpcx_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpcx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mxsim/CMakeFiles/mpcx_mxsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_core.dir/cartcomm.cpp.o"
+  "CMakeFiles/mpcx_core.dir/cartcomm.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/cluster.cpp.o"
+  "CMakeFiles/mpcx_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/comm.cpp.o"
+  "CMakeFiles/mpcx_core.dir/comm.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/datatype.cpp.o"
+  "CMakeFiles/mpcx_core.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/graphcomm.cpp.o"
+  "CMakeFiles/mpcx_core.dir/graphcomm.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/group.cpp.o"
+  "CMakeFiles/mpcx_core.dir/group.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/intercomm.cpp.o"
+  "CMakeFiles/mpcx_core.dir/intercomm.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/intracomm.cpp.o"
+  "CMakeFiles/mpcx_core.dir/intracomm.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/op.cpp.o"
+  "CMakeFiles/mpcx_core.dir/op.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/request.cpp.o"
+  "CMakeFiles/mpcx_core.dir/request.cpp.o.d"
+  "CMakeFiles/mpcx_core.dir/world.cpp.o"
+  "CMakeFiles/mpcx_core.dir/world.cpp.o.d"
+  "libmpcx_core.a"
+  "libmpcx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_mpdev.dir/engine.cpp.o"
+  "CMakeFiles/mpcx_mpdev.dir/engine.cpp.o.d"
+  "libmpcx_mpdev.a"
+  "libmpcx_mpdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_mpdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_mxsim.dir/mxsim.cpp.o"
+  "CMakeFiles/mpcx_mxsim.dir/mxsim.cpp.o.d"
+  "libmpcx_mxsim.a"
+  "libmpcx_mxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_mxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpcx_mxsim.
+# This may be replaced when dependencies are built.

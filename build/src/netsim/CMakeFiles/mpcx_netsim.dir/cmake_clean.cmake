@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_netsim.dir/collective_model.cpp.o"
+  "CMakeFiles/mpcx_netsim.dir/collective_model.cpp.o.d"
+  "CMakeFiles/mpcx_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/mpcx_netsim.dir/netsim.cpp.o.d"
+  "libmpcx_netsim.a"
+  "libmpcx_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_rank_probe.dir/rank_probe_main.cpp.o"
+  "CMakeFiles/mpcx_rank_probe.dir/rank_probe_main.cpp.o.d"
+  "mpcx_rank_probe"
+  "mpcx_rank_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_rank_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

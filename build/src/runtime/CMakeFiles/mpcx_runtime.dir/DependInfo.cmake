@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/daemon.cpp" "src/runtime/CMakeFiles/mpcx_runtime.dir/daemon.cpp.o" "gcc" "src/runtime/CMakeFiles/mpcx_runtime.dir/daemon.cpp.o.d"
+  "/root/repo/src/runtime/launcher.cpp" "src/runtime/CMakeFiles/mpcx_runtime.dir/launcher.cpp.o" "gcc" "src/runtime/CMakeFiles/mpcx_runtime.dir/launcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bufx/CMakeFiles/mpcx_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpcx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_runtime.dir/daemon.cpp.o"
+  "CMakeFiles/mpcx_runtime.dir/daemon.cpp.o.d"
+  "CMakeFiles/mpcx_runtime.dir/launcher.cpp.o"
+  "CMakeFiles/mpcx_runtime.dir/launcher.cpp.o.d"
+  "libmpcx_runtime.a"
+  "libmpcx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpcx_runtime.a"
+)

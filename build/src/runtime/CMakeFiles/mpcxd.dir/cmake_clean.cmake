@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcxd.dir/mpcxd_main.cpp.o"
+  "CMakeFiles/mpcxd.dir/mpcxd_main.cpp.o.d"
+  "mpcxd"
+  "mpcxd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcxd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcxrun.dir/mpcxrun_main.cpp.o"
+  "CMakeFiles/mpcxrun.dir/mpcxrun_main.cpp.o.d"
+  "mpcxrun"
+  "mpcxrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcxrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

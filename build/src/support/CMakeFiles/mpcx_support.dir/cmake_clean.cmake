@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_support.dir/logging.cpp.o"
+  "CMakeFiles/mpcx_support.dir/logging.cpp.o.d"
+  "CMakeFiles/mpcx_support.dir/socket.cpp.o"
+  "CMakeFiles/mpcx_support.dir/socket.cpp.o.d"
+  "libmpcx_support.a"
+  "libmpcx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

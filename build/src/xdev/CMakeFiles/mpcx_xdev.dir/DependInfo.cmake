@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xdev/device.cpp" "src/xdev/CMakeFiles/mpcx_xdev.dir/device.cpp.o" "gcc" "src/xdev/CMakeFiles/mpcx_xdev.dir/device.cpp.o.d"
+  "/root/repo/src/xdev/mxdev.cpp" "src/xdev/CMakeFiles/mpcx_xdev.dir/mxdev.cpp.o" "gcc" "src/xdev/CMakeFiles/mpcx_xdev.dir/mxdev.cpp.o.d"
+  "/root/repo/src/xdev/shmdev.cpp" "src/xdev/CMakeFiles/mpcx_xdev.dir/shmdev.cpp.o" "gcc" "src/xdev/CMakeFiles/mpcx_xdev.dir/shmdev.cpp.o.d"
+  "/root/repo/src/xdev/tcpdev.cpp" "src/xdev/CMakeFiles/mpcx_xdev.dir/tcpdev.cpp.o" "gcc" "src/xdev/CMakeFiles/mpcx_xdev.dir/tcpdev.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bufx/CMakeFiles/mpcx_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mxsim/CMakeFiles/mpcx_mxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpcx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcx_xdev.dir/device.cpp.o"
+  "CMakeFiles/mpcx_xdev.dir/device.cpp.o.d"
+  "CMakeFiles/mpcx_xdev.dir/mxdev.cpp.o"
+  "CMakeFiles/mpcx_xdev.dir/mxdev.cpp.o.d"
+  "CMakeFiles/mpcx_xdev.dir/shmdev.cpp.o"
+  "CMakeFiles/mpcx_xdev.dir/shmdev.cpp.o.d"
+  "CMakeFiles/mpcx_xdev.dir/tcpdev.cpp.o"
+  "CMakeFiles/mpcx_xdev.dir/tcpdev.cpp.o.d"
+  "libmpcx_xdev.a"
+  "libmpcx_xdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcx_xdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpcx_xdev.
+# This may be replaced when dependencies are built.

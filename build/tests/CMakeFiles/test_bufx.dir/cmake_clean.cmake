@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bufx.dir/test_bufx.cpp.o"
+  "CMakeFiles/test_bufx.dir/test_bufx.cpp.o.d"
+  "test_bufx"
+  "test_bufx.pdb"
+  "test_bufx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bufx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

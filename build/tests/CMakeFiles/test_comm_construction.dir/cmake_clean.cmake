@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_construction.dir/test_comm_construction.cpp.o"
+  "CMakeFiles/test_comm_construction.dir/test_comm_construction.cpp.o.d"
+  "test_comm_construction"
+  "test_comm_construction.pdb"
+  "test_comm_construction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

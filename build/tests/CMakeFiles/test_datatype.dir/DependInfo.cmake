@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_datatype.cpp" "tests/CMakeFiles/test_datatype.dir/test_datatype.cpp.o" "gcc" "tests/CMakeFiles/test_datatype.dir/test_datatype.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpcx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mpcx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpdev/CMakeFiles/mpcx_mpdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdev/CMakeFiles/mpcx_xdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/mxsim/CMakeFiles/mpcx_mxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufx/CMakeFiles/mpcx_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpcx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_ops.dir/test_group_ops.cpp.o"
+  "CMakeFiles/test_group_ops.dir/test_group_ops.cpp.o.d"
+  "test_group_ops"
+  "test_group_ops.pdb"
+  "test_group_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

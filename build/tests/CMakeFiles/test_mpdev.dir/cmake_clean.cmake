@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpdev.dir/test_mpdev.cpp.o"
+  "CMakeFiles/test_mpdev.dir/test_mpdev.cpp.o.d"
+  "test_mpdev"
+  "test_mpdev.pdb"
+  "test_mpdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mxsim.dir/test_mxsim.cpp.o"
+  "CMakeFiles/test_mxsim.dir/test_mxsim.cpp.o.d"
+  "test_mxsim"
+  "test_mxsim.pdb"
+  "test_mxsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

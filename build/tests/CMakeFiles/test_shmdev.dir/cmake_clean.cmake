@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmdev.dir/test_shmdev.cpp.o"
+  "CMakeFiles/test_shmdev.dir/test_shmdev.cpp.o.d"
+  "test_shmdev"
+  "test_shmdev.pdb"
+  "test_shmdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

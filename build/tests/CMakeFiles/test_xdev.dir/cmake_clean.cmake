@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdev.dir/test_xdev.cpp.o"
+  "CMakeFiles/test_xdev.dir/test_xdev.cpp.o.d"
+  "test_xdev"
+  "test_xdev.pdb"
+  "test_xdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
