@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   const auto systems = netsim::fast_ethernet_systems();
   bench::print_figure_tables("Fig 10/11", "Fast Ethernet (100 Mbps)", systems);
   bench::maybe_write_csv(argc, argv, "fig10_11_fast_ethernet", systems);
+  std::vector<bench::JsonRecord> records;
+  bench::collect_json_records("fig10_11_fast_ethernet", systems, records);
+  bench::maybe_write_json(argc, argv, records);
 
   const auto& mpje = bench::system_named(systems, "MPJ Express");
   const auto& ibis_tcp = bench::system_named(systems, "MPJ/Ibis (TCPIbis)");

@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   const auto systems = netsim::gigabit_systems();
   bench::print_figure_tables("Fig 12/13", "Gigabit Ethernet (1000 Mbps)", systems);
   bench::maybe_write_csv(argc, argv, "fig12_13_gigabit", systems);
+  std::vector<bench::JsonRecord> records;
+  bench::collect_json_records("fig12_13_gigabit", systems, records);
+  bench::maybe_write_json(argc, argv, records);
 
   const std::size_t big = 16u << 20;
   auto pct = [&](const char* name) {

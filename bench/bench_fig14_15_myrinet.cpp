@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   const auto systems = netsim::myrinet_systems();
   bench::print_figure_tables("Fig 14/15", "Myrinet (2000 Mbps, MX)", systems);
   bench::maybe_write_csv(argc, argv, "fig14_15_myrinet", systems);
+  std::vector<bench::JsonRecord> records;
+  bench::collect_json_records("fig14_15_myrinet", systems, records);
+  bench::maybe_write_json(argc, argv, records);
 
   const auto& mpje = bench::system_named(systems, "MPJ Express");
   const auto& mpjdev = bench::system_named(systems, "mpjdev");

@@ -12,6 +12,7 @@
 
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
+#include "fig_common.hpp"
 
 namespace {
 
@@ -52,21 +53,37 @@ std::vector<Row> pingpong(const char* device) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== real loopback ping-pong through the full MPCX stack ==\n");
   std::printf("%10s %12s %14s %12s %14s %12s %14s\n", "size", "tcpdev us", "tcpdev Mbps",
               "mxdev us", "mxdev Mbps", "shmdev us", "shmdev Mbps");
   const auto tcp = pingpong("tcpdev");
   const auto mx = pingpong("mxdev");
   const auto shm = pingpong("shmdev");
+  auto mbps = [](const Row& row) {
+    return static_cast<double>(row.bytes) * 8.0 / row.oneway_us;
+  };
   for (std::size_t i = 0; i < tcp.size(); ++i) {
-    auto mbps = [&](const Row& row) {
-      return static_cast<double>(row.bytes) * 8.0 / row.oneway_us;
-    };
     std::printf("%10zu %12.2f %14.1f %12.2f %14.1f %12.2f %14.1f\n", tcp[i].bytes,
                 tcp[i].oneway_us, mbps(tcp[i]), mx[i].oneway_us, mbps(mx[i]), shm[i].oneway_us,
                 mbps(shm[i]));
   }
   std::printf("(tcpdev switches eager->rendezvous at 128 KB, as in the paper)\n");
+
+  std::vector<mpcx::bench::JsonRecord> records;
+  auto collect = [&](const char* device, const std::vector<Row>& rows) {
+    for (const Row& row : rows) {
+      mpcx::bench::JsonRecord rec;
+      rec.bench = std::string("xdev_pingpong/") + device;
+      rec.msg_size = row.bytes;
+      rec.latency_us = row.oneway_us;
+      rec.bandwidth_MBps = static_cast<double>(row.bytes) / row.oneway_us;  // B/us == MB/s
+      records.push_back(rec);
+    }
+  };
+  collect("tcpdev", tcp);
+  collect("mxdev", mx);
+  collect("shmdev", shm);
+  mpcx::bench::maybe_write_json(argc, argv, records);
   return 0;
 }

@@ -102,6 +102,66 @@ inline void maybe_write_csv(int argc, char** argv, const char* stem,
   }
 }
 
+/// One measurement row for machine-readable export.
+struct JsonRecord {
+  std::string bench;
+  std::size_t msg_size = 0;
+  double latency_us = 0.0;
+  double bandwidth_MBps = 0.0;
+};
+
+/// The path given with `--json <path>`, or "" when absent.
+inline std::string json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Optional JSON export: when the bench is invoked as `bench --json PATH`,
+/// write one object per record — {bench, msg_size, latency_us,
+/// bandwidth_MBps} — as a JSON array. Complements --csv with a format the
+/// analysis notebooks can ingest without a header convention.
+inline void maybe_write_json(int argc, char** argv, const std::vector<JsonRecord>& records) {
+  const std::string path = json_path_arg(argc, argv);
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& rec = records[i];
+    std::fprintf(out,
+                 "  {\"bench\": \"%s\", \"msg_size\": %zu, \"latency_us\": %.3f, "
+                 "\"bandwidth_MBps\": %.3f}%s\n",
+                 rec.bench.c_str(), rec.msg_size, rec.latency_us, rec.bandwidth_MBps,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Collect the standard figure sweep of one model as JSON records.
+inline void collect_json_records(const char* bench_name,
+                                 const std::vector<netsim::PingPongModel>& systems,
+                                 std::vector<JsonRecord>& records) {
+  const auto sizes = netsim::figure_sweep();
+  for (const auto& model : systems) {
+    for (const std::size_t size : sizes) {
+      JsonRecord rec;
+      rec.bench = std::string(bench_name) + "/" + model.profile().name;
+      rec.msg_size = size;
+      rec.latency_us = model.transfer_time_us(size);
+      // Mbps (the paper's unit) -> MB/s.
+      rec.bandwidth_MBps = model.throughput_mbps(size) / 8.0;
+      records.push_back(rec);
+    }
+  }
+}
+
 /// Find a system model by name.
 inline const netsim::PingPongModel& system_named(
     const std::vector<netsim::PingPongModel>& systems, const std::string& name) {

@@ -13,14 +13,20 @@
 #include <vector>
 
 #include "bufx/buffer.hpp"
+#include "prof/counters.hpp"
 
 namespace mpcx::buf {
 
 class BufferPool {
  public:
   /// All buffers handed out by one pool share a header reserve (the device
-  /// that owns the pool knows its own frame-header size).
-  explicit BufferPool(std::size_t header_reserve = 0) : header_reserve_(header_reserve) {}
+  /// that owns the pool knows its own frame-header size). `counters`, when
+  /// non-null, must outlive the pool; hits and misses are mirrored there.
+  explicit BufferPool(std::size_t header_reserve = 0, prof::Counters* counters = nullptr)
+      : header_reserve_(header_reserve), counters_(counters) {}
+
+  /// Mirror hit/miss counts into a prof block (owner wires its own in).
+  void set_counters(prof::Counters* counters) { counters_ = counters; }
 
   /// Fetch a buffer whose static capacity is at least `min_capacity`.
   std::unique_ptr<Buffer> get(std::size_t min_capacity) {
@@ -32,9 +38,11 @@ class BufferPool {
         auto buffer = std::move(it->second.back());
         it->second.pop_back();
         ++hits_;
+        if (counters_ != nullptr) counters_->add(prof::Ctr::PoolHits);
         return buffer;
       }
       ++misses_;
+      if (counters_ != nullptr) counters_->add(prof::Ctr::PoolMisses);
     }
     return std::make_unique<Buffer>(bin, header_reserve_);
   }
@@ -71,6 +79,7 @@ class BufferPool {
   mutable std::mutex mu_;
   std::unordered_map<std::size_t, std::vector<std::unique_ptr<Buffer>>> bins_;
   std::size_t header_reserve_;
+  prof::Counters* counters_ = nullptr;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/world.hpp"
+#include "prof/trace.hpp"
 #include "support/error.hpp"
 
 namespace mpcx {
@@ -75,9 +76,12 @@ void Comm::give_buffer(std::unique_ptr<buf::Buffer> buffer) const {
 
 std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int count,
                                                 const DatatypePtr& type) const {
+  prof::Span span("pack", "core");
   auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
   type->pack(byte_base(buf, offset, type), static_cast<std::size_t>(count), *buffer);
   buffer->commit();
+  world_->counters().add(prof::Ctr::PackBytes,
+                         buffer->static_size() + buffer->dynamic_size());
   return buffer;
 }
 
@@ -98,7 +102,11 @@ Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
     give_buffer(std::move(buffer));
     throw CommError("receive truncated: message larger than the posted buffer");
   }
-  type->unpack_available(*buffer, byte_base(buf, offset, type), static_cast<std::size_t>(count));
+  {
+    prof::Span span("unpack", "core");
+    type->unpack_available(*buffer, byte_base(buf, offset, type), static_cast<std::size_t>(count));
+    world_->counters().add(prof::Ctr::UnpackBytes, dev.static_bytes + dev.dynamic_bytes);
+  }
   give_buffer(std::move(buffer));
   return to_local_status(dev);
 }

@@ -9,6 +9,7 @@
 #include "core/graphcomm.hpp"
 #include "core/intercomm.hpp"
 #include "core/world.hpp"
+#include "prof/trace.hpp"
 #include "support/error.hpp"
 
 namespace mpcx {
@@ -51,6 +52,8 @@ void Intracomm::require_contiguous(const DatatypePtr& type, const char* op) {
 // ---- barrier (dissemination) -------------------------------------------------------
 
 void Intracomm::Barrier() const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Barrier(dissemination)", "coll");
   const int n = Size();
   const int rank = Rank();
   std::uint8_t token = 1;
@@ -68,6 +71,8 @@ void Intracomm::Barrier() const {
 
 void Intracomm::Bcast(void* buf, int offset, int count, const DatatypePtr& type, int root) const {
   validate(buf, count, type, "Bcast");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Bcast(binomial)", "coll");
   const int n = Size();
   if (root < 0 || root >= n) throw ArgumentError("Bcast: bad root");
   if (n == 1) return;
@@ -99,6 +104,8 @@ void Intracomm::Bcast(void* buf, int offset, int count, const DatatypePtr& type,
 void Intracomm::Gather(const void* sendbuf, int sendoffset, int sendcount,
                        const DatatypePtr& sendtype, void* recvbuf, int recvoffset, int recvcount,
                        const DatatypePtr& recvtype, int root) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Gather(linear)", "coll");
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
@@ -127,6 +134,8 @@ void Intracomm::Gatherv(const void* sendbuf, int sendoffset, int sendcount,
                         const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
                         std::span<const int> recvcounts, std::span<const int> displs,
                         const DatatypePtr& recvtype, int root) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Gatherv(linear)", "coll");
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
@@ -157,6 +166,8 @@ void Intracomm::Gatherv(const void* sendbuf, int sendoffset, int sendcount,
 void Intracomm::Scatter(const void* sendbuf, int sendoffset, int sendcount,
                         const DatatypePtr& sendtype, void* recvbuf, int recvoffset, int recvcount,
                         const DatatypePtr& recvtype, int root) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Scatter(linear)", "coll");
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
@@ -183,6 +194,8 @@ void Intracomm::Scatterv(const void* sendbuf, int sendoffset, std::span<const in
                          std::span<const int> displs, const DatatypePtr& sendtype, void* recvbuf,
                          int recvoffset, int recvcount, const DatatypePtr& recvtype,
                          int root) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Scatterv(linear)", "coll");
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
@@ -215,6 +228,8 @@ void Intracomm::Scatterv(const void* sendbuf, int sendoffset, std::span<const in
 void Intracomm::Allgather(const void* sendbuf, int sendoffset, int sendcount,
                           const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
                           int recvcount, const DatatypePtr& recvtype) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Allgather(ring)", "coll");
   const int n = Size();
   const int rank = Rank();
   // Place own contribution.
@@ -247,6 +262,8 @@ void Intracomm::Allgatherv(const void* sendbuf, int sendoffset, int sendcount,
                            const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
                            std::span<const int> recvcounts, std::span<const int> displs,
                            const DatatypePtr& recvtype) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Allgatherv(ring)", "coll");
   const int n = Size();
   const int rank = Rank();
   {
@@ -279,6 +296,8 @@ void Intracomm::Allgatherv(const void* sendbuf, int sendoffset, int sendcount,
 void Intracomm::Alltoall(const void* sendbuf, int sendoffset, int sendcount,
                          const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
                          int recvcount, const DatatypePtr& recvtype) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Alltoall(pairwise)", "coll");
   const int n = Size();
   const int rank = Rank();
   for (int step = 0; step < n; ++step) {
@@ -308,6 +327,8 @@ void Intracomm::Alltoallv(const void* sendbuf, int sendoffset, std::span<const i
                           std::span<const int> sdispls, const DatatypePtr& sendtype,
                           void* recvbuf, int recvoffset, std::span<const int> recvcounts,
                           std::span<const int> rdispls, const DatatypePtr& recvtype) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Alltoallv(pairwise)", "coll");
   const int n = Size();
   const int rank = Rank();
   for (int step = 0; step < n; ++step) {
@@ -403,6 +424,8 @@ void Intracomm::Reduce(const void* sendbuf, int sendoffset, void* recvbuf, int r
                        int count, const DatatypePtr& type, const Op& op, int root) const {
   validate(sendbuf, count, type, "Reduce");
   require_contiguous(type, "Reduce");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span(op.is_commutative() ? "Reduce(binomial)" : "Reduce(linear)", "coll");
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
   reduce_elements(cbyte(sendbuf, sendoffset, type),
                   Rank() == root ? mbyte(recvbuf, recvoffset, type) : nullptr, elements,
@@ -414,6 +437,11 @@ void Intracomm::Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, in
   validate(sendbuf, count, type, "Allreduce");
   require_contiguous(type, "Allreduce");
   const int n = Size();
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span(op.is_commutative() && n > 1 && (n & (n - 1)) == 0
+                           ? "Allreduce(recursive-doubling)"
+                           : "Allreduce(reduce+bcast)",
+                       "coll");
   // Recursive doubling for commutative ops on power-of-two sizes
   // (log2(n) rounds instead of reduce+bcast's 2*log2(n));
   // otherwise reduce to rank 0 and broadcast.
@@ -443,6 +471,8 @@ void Intracomm::Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, in
 void Intracomm::Reduce_scatter(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
                                std::span<const int> recvcounts, const DatatypePtr& type,
                                const Op& op) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Reduce_scatter(reduce+scatterv)", "coll");
   const int n = Size();
   if (static_cast<int>(recvcounts.size()) != n) {
     throw ArgumentError("Reduce_scatter: recvcounts must have one entry per rank");
@@ -459,6 +489,8 @@ void Intracomm::Reduce_scatter(const void* sendbuf, int sendoffset, void* recvbu
 
 void Intracomm::Scan(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
                      int count, const DatatypePtr& type, const Op& op) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span coll_span("Scan(linear)", "coll");
   validate(sendbuf, count, type, "Scan");
   require_contiguous(type, "Scan");
   const int n = Size();

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/intracomm.hpp"
+#include "prof/trace.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 
@@ -25,8 +26,11 @@ std::vector<std::string> split(const std::string& text, char sep) {
 
 World::World(const std::string& device_name, const xdev::DeviceConfig& config)
     : engine_(xdev::new_device(device_name), config),
+      counters_(prof::Registry::global().create("core/rank" +
+                                                std::to_string(config.self_index))),
       // Buffers handed to the device carry its frame-header reserve.
-      pool_(static_cast<std::size_t>(engine_.send_overhead())) {
+      pool_(static_cast<std::size_t>(engine_.send_overhead()), counters_.get()) {
+  log::set_rank(engine_.rank());
   std::vector<int> world_ranks(static_cast<std::size_t>(engine_.size()));
   for (int r = 0; r < engine_.size(); ++r) world_ranks[static_cast<std::size_t>(r)] = r;
   comm_world_ = std::make_unique<Intracomm>(this, Group(std::move(world_ranks)),
@@ -96,6 +100,18 @@ void World::Finalize() {
   comm_world_->Barrier();
   engine_.finish();
   finalized_ = true;
+
+  if (prof::stats_enabled()) {
+    const std::string label = "rank " + std::to_string(engine_.rank());
+    const prof::Counters* device_counters = engine_.device().counters();
+    if (device_counters != nullptr) {
+      prof::report_counters(label + " device", *device_counters);
+    }
+    prof::report_counters(label + " core", *counters_);
+  }
+  if (!prof::maybe_dump_trace()) {
+    if (prof::tracing()) log::warn("could not write trace to ", prof::trace_path());
+  }
 }
 
 double World::Wtime() {

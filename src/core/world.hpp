@@ -24,6 +24,7 @@
 #include "bufx/buffer_pool.hpp"
 #include "core/types.hpp"
 #include "mpdev/engine.hpp"
+#include "prof/counters.hpp"
 
 namespace mpcx {
 
@@ -73,6 +74,10 @@ class World {
 
   mpdev::Engine& engine() { return engine_; }
 
+  /// This process's core-layer profiling counters (pack/unpack, collectives,
+  /// pool traffic). Device-layer counters live on engine().device().
+  prof::Counters& counters() { return *counters_; }
+
   // ---- buffer pool ----------------------------------------------------------
 
   std::unique_ptr<buf::Buffer> take_buffer(std::size_t min_capacity) {
@@ -105,6 +110,7 @@ class World {
   void reap_bsends_locked();
 
   mpdev::Engine engine_;
+  std::shared_ptr<prof::Counters> counters_;
   buf::BufferPool pool_;
   std::unique_ptr<Intracomm> comm_world_;
   std::atomic<int> next_context_{2};  // contexts 0/1 belong to COMM_WORLD

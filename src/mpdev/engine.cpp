@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/hooks.hpp"
+#include "prof/trace.hpp"
 #include "support/error.hpp"
 
 namespace mpcx::mpdev {
@@ -150,6 +152,11 @@ Status Engine::waitany(std::span<Request> requests, int& index) {
     }
   }
   if (!any_valid) return Status{};
+
+  // Slow path: we are going to block (as leader in peek() or as a queued
+  // follower) until some request completes.
+  if (prof::Hooks* hooks = prof::hooks()) hooks->on_wait();
+  prof::Span span("waitany", "mpdev");
 
   auto wa = std::make_shared<WaitAnyObj>();
 

@@ -1,0 +1,142 @@
+// mpcx::prof — counters.
+//
+// A Counters block is a fixed array of relaxed atomic counters covering the
+// events the paper's evaluation cares about (eager vs. rendezvous crossover,
+// ANY_SOURCE matching cost, buffering overheads, Waitany contention —
+// Secs. IV-C/IV-E). Every device instance and every World owns one block and
+// registers it with the global Registry, which backs the MPCX_STATS=1
+// finalize summary.
+//
+// Overhead discipline: when stats are disabled (the default), every mutation
+// is a single relaxed atomic load + branch — no atomic RMW, no lock — so the
+// hot paths stay within the <2% budget the acceptance criteria demand.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpcx::prof {
+
+namespace detail {
+/// Global "count events" switch; initialized from MPCX_STATS in prof.cpp.
+extern std::atomic<bool> g_counting;
+}  // namespace detail
+
+/// True when counter mutations are being recorded (MPCX_STATS=1 or
+/// set_stats_enabled(true)).
+inline bool counting() { return detail::g_counting.load(std::memory_order_relaxed); }
+
+/// Alias used by report sites ("should the finalize summary print?").
+inline bool stats_enabled() { return counting(); }
+
+/// Flip counting at runtime (tests; overrides the MPCX_STATS environment).
+void set_stats_enabled(bool enabled);
+
+/// Everything one block counts. Kept in one enum so a block is a plain
+/// array: adding a counter means adding a line here and in ctr_name().
+enum class Ctr : std::size_t {
+  MsgsSent,            ///< messages handed to a device send entry point
+  BytesSent,           ///< payload bytes (static + dynamic) of those messages
+  MsgsRecvd,           ///< receive requests completed (not cancelled)
+  BytesRecvd,          ///< payload bytes delivered to receive buffers
+  EagerSends,          ///< sends that took the eager protocol
+  RndvSends,           ///< sends that took the rendezvous / synchronous path
+  PostedMatches,       ///< arrivals matched against an already-posted receive
+  UnexpectedMatches,   ///< receives matched against the unexpected queue
+  UnexpectedDepthHwm,  ///< high-water mark of the unexpected-message queue
+  ProbeCalls,          ///< blocking probe() calls
+  IprobeCalls,         ///< iprobe() calls
+  PeekWakeups,         ///< completions handed out by peek() (Waitany fuel)
+  PoolHits,            ///< buffer-pool get() served from a bin
+  PoolMisses,          ///< buffer-pool get() that had to allocate
+  CollectiveCalls,     ///< collective operations entered on a communicator
+  PackBytes,           ///< bytes packed into wire buffers (send side)
+  UnpackBytes,         ///< bytes unpacked out of wire buffers (receive side)
+  Count
+};
+
+constexpr std::size_t kCtrCount = static_cast<std::size_t>(Ctr::Count);
+
+/// Stable snake_case name for summaries and tests.
+const char* ctr_name(Ctr counter);
+
+/// One thread-safe block of counters. add()/record_max() are safe from any
+/// thread; get()/snapshot() may race with writers (relaxed reads), which is
+/// fine for reporting.
+class Counters {
+ public:
+  void add(Ctr counter, std::uint64_t delta = 1) {
+    if (!counting()) return;
+    values_[index(counter)].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Raise a high-water-mark counter to `value` if it is the new maximum.
+  void record_max(Ctr counter, std::uint64_t value) {
+    if (!counting()) return;
+    auto& slot = values_[index(counter)];
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t get(Ctr counter) const {
+    return values_[index(counter)].load(std::memory_order_relaxed);
+  }
+
+  std::array<std::uint64_t, kCtrCount> snapshot() const {
+    std::array<std::uint64_t, kCtrCount> out{};
+    for (std::size_t i = 0; i < kCtrCount; ++i) {
+      out[i] = values_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (auto& value : values_) value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t index(Ctr counter) { return static_cast<std::size_t>(counter); }
+
+  std::array<std::atomic<std::uint64_t>, kCtrCount> values_{};
+};
+
+/// Process-global registry of live counter blocks, keyed by a free-form
+/// domain label ("tcpdev", "shmdev", "core", ...). Blocks are owned by their
+/// creators (devices, Worlds) via shared_ptr; the registry keeps weak
+/// references so dead blocks fall out of snapshots automatically.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Create and register a new block under `label`.
+  std::shared_ptr<Counters> create(std::string label);
+
+  struct Entry {
+    std::string label;
+    std::array<std::uint64_t, kCtrCount> values;
+  };
+
+  /// Snapshot of every block still alive.
+  std::vector<Entry> snapshot() const;
+
+  /// Print a summary of every live block to `out` (stderr when null).
+  void report(std::FILE* out = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<std::pair<std::string, std::weak_ptr<Counters>>> entries_;
+};
+
+/// Print one block's human-readable summary (the MPCX_STATS=1 format) to
+/// stderr as a single write, so concurrent ranks do not interleave.
+void report_counters(const std::string& label, const Counters& counters);
+
+}  // namespace mpcx::prof

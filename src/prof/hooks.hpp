@@ -1,0 +1,68 @@
+// mpcx::prof — PMPI-style profiling hooks.
+//
+// MPI exposes its profiling layer by letting a tool interpose on every entry
+// point (the PMPI_* shift); MPJ Express's follow-up profiler does the same
+// with a listener object. MPCX's analog is a process-global Hooks instance:
+// tools and tests register one, and the messaging layers invoke it at the
+// interesting transitions. The disabled path is a single relaxed load +
+// branch per site.
+//
+// Registration is not synchronized against in-flight traffic: install hooks
+// before starting the traffic you want to observe and clear them after it
+// has drained (the registry keeps the previous instance alive through the
+// swap, so stragglers never touch freed memory).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace mpcx::prof {
+
+/// What the hook sites know about a message. `peer` is the remote
+/// ProcessID's raw value (the source for receives, 0 when unknown).
+struct MsgInfo {
+  std::uint64_t peer = 0;
+  int tag = 0;
+  int context = 0;
+  std::size_t bytes = 0;
+};
+
+/// Override any subset; default implementations do nothing. Callbacks must
+/// be thread-safe (they fire from user threads, input handlers, and
+/// rendez-write threads alike) and must not call back into MPCX.
+class Hooks {
+ public:
+  virtual ~Hooks() = default;
+
+  /// A send entered a device (isend/issend, any protocol).
+  virtual void on_send_begin(const MsgInfo& info) { (void)info; }
+  /// A send request completed.
+  virtual void on_send_end(const MsgInfo& info) { (void)info; }
+  /// A receive was posted to a device.
+  virtual void on_recv_begin(const MsgInfo& info) { (void)info; }
+  /// A receive request completed (bytes = delivered payload).
+  virtual void on_recv_end(const MsgInfo& info) { (void)info; }
+  /// A message matched. `was_posted` is true when an arrival met an
+  /// already-posted receive, false when a receive drained the unexpected
+  /// queue.
+  virtual void on_match(const MsgInfo& info, bool was_posted) {
+    (void)info;
+    (void)was_posted;
+  }
+  /// A thread blocked waiting for a request (Device wait / Waitany).
+  virtual void on_wait() {}
+};
+
+namespace detail {
+extern std::atomic<Hooks*> g_hooks;
+}  // namespace detail
+
+/// The installed hooks, or nullptr (the common, fast case).
+inline Hooks* hooks() { return detail::g_hooks.load(std::memory_order_acquire); }
+
+/// Install (or, with nullptr, remove) the process-global hooks.
+void set_hooks(std::shared_ptr<Hooks> hooks);
+
+}  // namespace mpcx::prof

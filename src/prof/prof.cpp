@@ -1,0 +1,319 @@
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
+#include "prof/trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace mpcx::prof {
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+/// MPCX_TRACE destination captured once at startup; set_trace_path overrides.
+std::string& trace_path_storage() {
+  static std::string path = [] {
+    const char* value = std::getenv("MPCX_TRACE");
+    return std::string(value != nullptr ? value : "");
+  }();
+  return path;
+}
+
+std::mutex& trace_path_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_counting{env_truthy("MPCX_STATS")};
+std::atomic<bool> g_tracing{!trace_path_storage().empty()};
+std::atomic<Hooks*> g_hooks{nullptr};
+}  // namespace detail
+
+// ---- counters -----------------------------------------------------------------
+
+void set_stats_enabled(bool enabled) {
+  detail::g_counting.store(enabled, std::memory_order_relaxed);
+}
+
+const char* ctr_name(Ctr counter) {
+  switch (counter) {
+    case Ctr::MsgsSent: return "msgs_sent";
+    case Ctr::BytesSent: return "bytes_sent";
+    case Ctr::MsgsRecvd: return "msgs_recvd";
+    case Ctr::BytesRecvd: return "bytes_recvd";
+    case Ctr::EagerSends: return "eager_sends";
+    case Ctr::RndvSends: return "rndv_sends";
+    case Ctr::PostedMatches: return "posted_matches";
+    case Ctr::UnexpectedMatches: return "unexpected_matches";
+    case Ctr::UnexpectedDepthHwm: return "unexpected_depth_hwm";
+    case Ctr::ProbeCalls: return "probe_calls";
+    case Ctr::IprobeCalls: return "iprobe_calls";
+    case Ctr::PeekWakeups: return "peek_wakeups";
+    case Ctr::PoolHits: return "pool_hits";
+    case Ctr::PoolMisses: return "pool_misses";
+    case Ctr::CollectiveCalls: return "collective_calls";
+    case Ctr::PackBytes: return "pack_bytes";
+    case Ctr::UnpackBytes: return "unpack_bytes";
+    case Ctr::Count: break;
+  }
+  return "?";
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+std::shared_ptr<Counters> Registry::create(std::string label) {
+  auto counters = std::make_shared<Counters>();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prune dead blocks opportunistically so long test binaries stay small.
+  std::erase_if(entries_, [](const auto& entry) { return entry.second.expired(); });
+  entries_.emplace_back(std::move(label), counters);
+  return counters;
+}
+
+std::vector<Registry::Entry> Registry::snapshot() const {
+  std::vector<Entry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [label, weak] : entries_) {
+    if (auto counters = weak.lock()) {
+      out.push_back(Entry{label, counters->snapshot()});
+    }
+  }
+  return out;
+}
+
+void Registry::report(std::FILE* out) const {
+  if (out == nullptr) out = stderr;
+  for (const Entry& entry : snapshot()) {
+    std::fprintf(out, "== mpcx stats [%s] ==\n", entry.label.c_str());
+    for (std::size_t i = 0; i < kCtrCount; ++i) {
+      std::fprintf(out, "  %-22s %12llu\n", ctr_name(static_cast<Ctr>(i)),
+                   static_cast<unsigned long long>(entry.values[i]));
+    }
+  }
+}
+
+void report_counters(const std::string& label, const Counters& counters) {
+  std::ostringstream os;
+  os << "== mpcx stats [" << label << "] ==\n";
+  const auto values = counters.snapshot();
+  for (std::size_t i = 0; i < kCtrCount; ++i) {
+    char line[64];
+    std::snprintf(line, sizeof line, "  %-22s %12llu\n", ctr_name(static_cast<Ctr>(i)),
+                  static_cast<unsigned long long>(values[i]));
+    os << line;
+  }
+  const std::string text = os.str();
+  // One write(2) so summaries from concurrent ranks do not interleave.
+  [[maybe_unused]] auto n = ::write(STDERR_FILENO, text.data(), text.size());
+}
+
+// ---- trace ---------------------------------------------------------------------
+
+namespace {
+
+struct SpanRec {
+  const char* name;
+  const char* category;
+  std::uint64_t t0_ns;
+  std::uint64_t t1_ns;
+};
+
+/// One thread's span ring. Single producer (the owning thread); the dumper
+/// reads only the prefix published via the release store of `count`.
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans, 512 KB
+
+  explicit ThreadRing(std::uint32_t tid_value) : tid(tid_value) { spans.resize(kCapacity); }
+
+  std::vector<SpanRec> spans;
+  std::atomic<std::size_t> count{0};
+  std::uint32_t tid;
+  std::atomic<bool> in_use{true};
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+  std::atomic<std::uint64_t> dropped{0};
+  std::mutex dump_mu;  // serializes concurrent dump_trace calls
+};
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState;  // leaked: threads may record at exit
+  return *state;
+}
+
+/// Retires the ring on thread exit so short-lived threads (rendez-write
+/// threads) recycle rings instead of growing the registry without bound.
+struct RingHolder {
+  ThreadRing* ring = nullptr;
+  ~RingHolder() {
+    if (ring != nullptr) ring->in_use.store(false, std::memory_order_release);
+  }
+};
+
+ThreadRing* acquire_ring() {
+  thread_local RingHolder holder;
+  if (holder.ring != nullptr) return holder.ring;
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    bool free = !ring->in_use.load(std::memory_order_acquire);
+    if (free && ring->count.load(std::memory_order_relaxed) < ThreadRing::kCapacity &&
+        ring->in_use.exchange(true, std::memory_order_acq_rel) == false) {
+      holder.ring = ring.get();
+      return holder.ring;
+    }
+  }
+  state.rings.push_back(std::make_unique<ThreadRing>(state.next_tid++));
+  holder.ring = state.rings.back().get();
+  return holder.ring;
+}
+
+void json_escape_into(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, const SpanRec& span, std::uint32_t tid, int pid,
+                  bool begin, bool first) {
+  if (!first) out += ",\n";
+  out += "{\"name\":\"";
+  json_escape_into(out, span.name);
+  out += "\",\"cat\":\"";
+  json_escape_into(out, span.category);
+  out += "\",\"ph\":\"";
+  out += begin ? 'B' : 'E';
+  out += "\",\"ts\":";
+  char buf[48];
+  const std::uint64_t ns = begin ? span.t0_ns : span.t1_ns;
+  std::snprintf(buf, sizeof buf, "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"pid\":%d,\"tid\":%u}", pid, tid);
+  out += buf;
+}
+
+}  // namespace
+
+void set_trace_path(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(trace_path_mu());
+    trace_path_storage() = path;
+  }
+  detail::g_tracing.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  std::lock_guard<std::mutex> lock(trace_path_mu());
+  return trace_path_storage();
+}
+
+void record_span(const char* name, const char* category, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) {
+  ThreadRing* ring = acquire_ring();
+  const std::size_t at = ring->count.load(std::memory_order_relaxed);
+  if (at >= ThreadRing::kCapacity) {
+    trace_state().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->spans[at] = SpanRec{name, category, t0_ns, t1_ns};
+  ring->count.store(at + 1, std::memory_order_release);
+}
+
+std::uint64_t dropped_spans() {
+  return trace_state().dropped.load(std::memory_order_relaxed);
+}
+
+bool dump_trace(const std::string& path) {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> dump_lock(state.dump_mu);
+
+  // Snapshot ring pointers; spans themselves are read via published counts.
+  std::vector<ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings.reserve(state.rings.size());
+    for (auto& ring : state.rings) rings.push_back(ring.get());
+  }
+
+  std::string out;
+  out.reserve(1 << 16);
+  out += "[\n";
+  const int pid = static_cast<int>(::getpid());
+  bool first = true;
+  for (ThreadRing* ring : rings) {
+    const std::size_t count =
+        std::min(ring->count.load(std::memory_order_acquire), ThreadRing::kCapacity);
+    for (std::size_t i = 0; i < count; ++i) {
+      const SpanRec& span = ring->spans[i];
+      append_event(out, span, ring->tid, pid, /*begin=*/true, first);
+      first = false;
+      append_event(out, span, ring->tid, pid, /*begin=*/false, false);
+    }
+  }
+  out += "\n]\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  std::fclose(file);
+  return ok;
+}
+
+bool maybe_dump_trace() {
+  if (!tracing()) return false;
+  const std::string path = trace_path();
+  if (path.empty()) return false;
+  return dump_trace(path);
+}
+
+// ---- hooks ---------------------------------------------------------------------
+
+namespace {
+/// Keeps the previous Hooks alive across a swap so sites that loaded the raw
+/// pointer just before set_hooks() never touch freed memory.
+std::mutex& hooks_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<std::shared_ptr<Hooks>>& hooks_keepalive() {
+  static std::vector<std::shared_ptr<Hooks>> keep;
+  return keep;
+}
+}  // namespace
+
+void set_hooks(std::shared_ptr<Hooks> hooks) {
+  std::lock_guard<std::mutex> lock(hooks_mu());
+  detail::g_hooks.store(hooks.get(), std::memory_order_release);
+  if (hooks) hooks_keepalive().push_back(std::move(hooks));
+}
+
+}  // namespace mpcx::prof

@@ -1,0 +1,83 @@
+// mpcx::prof — event tracing.
+//
+// Each thread records completed spans (send/recv/wait/pack/unpack/collective)
+// into its own fixed-capacity ring; recording is lock-free (single producer,
+// release-published count) and a disabled trace costs one relaxed load +
+// branch per span. dump_trace() walks every thread's ring and writes Chrome
+// trace_event JSON — load it in chrome://tracing or https://ui.perfetto.dev.
+//
+// A span is recorded as ONE entry holding both timestamps and expanded into a
+// balanced "B"/"E" pair at dump time, so a dump can never contain an
+// unbalanced begin/end no matter when it runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mpcx::prof {
+
+namespace detail {
+/// Global "record spans" switch; set by MPCX_TRACE=<path> or set_trace_path.
+extern std::atomic<bool> g_tracing;
+}  // namespace detail
+
+inline bool tracing() { return detail::g_tracing.load(std::memory_order_relaxed); }
+
+/// Enable tracing and set the dump destination (tests; overrides MPCX_TRACE).
+/// An empty path disables tracing.
+void set_trace_path(const std::string& path);
+
+/// The configured dump path ("" when tracing is off).
+std::string trace_path();
+
+/// Monotonic nanoseconds (steady clock) — the trace time base.
+inline std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Record one completed span. `name` and `category` MUST be string literals
+/// (or otherwise outlive the process) — rings store the pointers only.
+void record_span(const char* name, const char* category, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns);
+
+/// Spans dropped because a thread's ring filled up (counted, never silent).
+std::uint64_t dropped_spans();
+
+/// Write everything recorded so far as a Chrome trace_event JSON array.
+/// Safe to call while other threads are still recording (they publish whole
+/// spans with release stores); callers are serialized internally. Returns
+/// false if the file could not be written.
+bool dump_trace(const std::string& path);
+
+/// dump_trace(trace_path()) when tracing is enabled; no-op otherwise.
+bool maybe_dump_trace();
+
+/// RAII span: timestamps its scope and records it on destruction when
+/// tracing is enabled. Must begin and end on the same thread.
+class Span {
+ public:
+  Span(const char* name, const char* category)
+      : name_(name), category_(category), active_(tracing()) {
+    if (active_) t0_ns_ = trace_now_ns();
+  }
+
+  ~Span() {
+    if (active_) record_span(name_, category_, t0_ns_, trace_now_ns());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+}  // namespace mpcx::prof

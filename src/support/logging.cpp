@@ -40,19 +40,47 @@ const char* level_name(Level lvl) {
   return "?";
 }
 
+thread_local int t_rank = -1;
+
+/// Small sequential id per thread — stabler across runs than pthread ids.
+int thread_tag() {
+  static std::atomic<int> next{1};
+  thread_local int tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 }  // namespace
 
 Level level() { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
 
 void set_level(Level lvl) { level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed); }
 
+void set_rank(int rank) { t_rank = rank; }
+
+int rank() { return t_rank; }
+
 void write(Level lvl, const std::string& message) {
-  static std::mutex mu;
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
-  std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%10lld.%06lld] %-5s %s\n", static_cast<long long>(us / 1000000),
-               static_cast<long long>(us % 1000000), level_name(lvl), message.c_str());
+  char prefix[96];
+  int len;
+  if (t_rank >= 0) {
+    len = std::snprintf(prefix, sizeof prefix, "[%10lld.%06lld] [t%02d r%d] %-5s ",
+                        static_cast<long long>(us / 1000000),
+                        static_cast<long long>(us % 1000000), thread_tag(), t_rank,
+                        level_name(lvl));
+  } else {
+    len = std::snprintf(prefix, sizeof prefix, "[%10lld.%06lld] [t%02d] %-5s ",
+                        static_cast<long long>(us / 1000000),
+                        static_cast<long long>(us % 1000000), thread_tag(), level_name(lvl));
+  }
+  std::string line;
+  line.reserve(static_cast<std::size_t>(len) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(len));
+  line += message;
+  line += '\n';
+  // One write(2) keeps lines atomic even across processes sharing stderr.
+  [[maybe_unused]] auto n = ::write(STDERR_FILENO, line.data(), line.size());
 }
 
 }  // namespace mpcx::log

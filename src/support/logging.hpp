@@ -2,7 +2,9 @@
 //
 // The library is quiet by default (level = Warn); tests and the runtime
 // daemon raise the level via MPCX_LOG or set_level(). Messages are written
-// atomically (single write call) so concurrent ranks do not interleave.
+// atomically (single write(2) call) so concurrent ranks do not interleave.
+// Each line carries a monotonic timestamp, a stable per-thread id, and —
+// when set_rank() has been called on the thread — the MPI rank.
 #pragma once
 
 #include <sstream>
@@ -18,6 +20,13 @@ Level level();
 
 /// Override the global level.
 void set_level(Level lvl);
+
+/// Tag the calling thread's messages with an MPI rank prefix (thread-local;
+/// the cluster harness runs many ranks in one process). -1 removes the tag.
+void set_rank(int rank);
+
+/// The calling thread's rank tag (-1 when unset).
+int rank();
 
 /// Emit one message at `lvl` (no-op if below the global level).
 void write(Level lvl, const std::string& message);

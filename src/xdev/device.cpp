@@ -1,16 +1,21 @@
 #include "xdev/device.hpp"
 
+#include "prof/trace.hpp"
+
 namespace mpcx::xdev {
 
 void Device::send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+  prof::Span span("send", "xdev");
   isend(buffer, dst, tag, context)->wait();
 }
 
 void Device::ssend(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+  prof::Span span("ssend", "xdev");
   issend(buffer, dst, tag, context)->wait();
 }
 
 DevStatus Device::recv(buf::Buffer& buffer, ProcessID src, int tag, int context) {
+  prof::Span span("recv", "xdev");
   return irecv(buffer, src, tag, context)->wait();
 }
 

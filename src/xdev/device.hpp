@@ -26,6 +26,10 @@ namespace mpcx::net {
 class Acceptor;
 }
 
+namespace mpcx::prof {
+class Counters;
+}
+
 namespace mpcx::xdev {
 
 /// One process's contact information within a bootstrapped world.
@@ -112,6 +116,10 @@ class Device {
     (void)request;
     return false;
   }
+
+  /// This device instance's profiling counters, or nullptr if it has none.
+  /// Values only accumulate while prof::counting() is on (MPCX_STATS=1).
+  virtual const prof::Counters* counters() const { return nullptr; }
 };
 
 /// Factory: `name` is "tcpdev" or "mxdev" (paper: Device.newInstance).

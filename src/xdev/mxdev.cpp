@@ -20,6 +20,8 @@
 #include <utility>
 
 #include "mxsim/mxsim.hpp"
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
 #include "xdev/completion_queue.hpp"
 #include "xdev/device.hpp"
 
@@ -79,7 +81,11 @@ class MxDevice final : public Device {
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
     require_open("irecv");
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get());
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
     const mxsim::MatchBits match = pack_match(context, tag == kAnyTag ? 0 : tag);
     const mxsim::MatchBits mask = tag == kAnyTag ? kAnyTagMask : kFullMask;
     std::optional<mxsim::EndpointAddr> filter;
@@ -146,6 +152,7 @@ class MxDevice final : public Device {
 
   DevStatus probe(ProcessID src, int tag, int context) override {
     require_open("probe");
+    counters_->add(prof::Ctr::ProbeCalls);
     const auto info = endpoint_->probe(pack_match(context, tag == kAnyTag ? 0 : tag),
                                        tag == kAnyTag ? kAnyTagMask : kFullMask, src_filter(src));
     return probe_status(info);
@@ -153,13 +160,20 @@ class MxDevice final : public Device {
 
   std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
     require_open("iprobe");
+    counters_->add(prof::Ctr::IprobeCalls);
     const auto info = endpoint_->iprobe(pack_match(context, tag == kAnyTag ? 0 : tag),
                                         tag == kAnyTag ? kAnyTagMask : kFullMask, src_filter(src));
     if (!info) return std::nullopt;
     return probe_status(*info);
   }
 
-  DevRequest peek() override { return completions_.pop(); }
+  DevRequest peek() override {
+    DevRequest completed = completions_.pop();
+    if (completed) counters_->add(prof::Ctr::PeekWakeups);
+    return completed;
+  }
+
+  const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
   void require_open(const char* op) const {
@@ -191,6 +205,16 @@ class MxDevice final : public Device {
         {buffer.static_payload().data(), buffer.static_payload().size()},
         {buffer.dynamic_payload().data(), buffer.dynamic_payload().size()},
     };
+    const std::size_t total_bytes = buffer.static_size() + buffer.dynamic_size();
+    counters_->add(prof::Ctr::MsgsSent);
+    counters_->add(prof::Ctr::BytesSent, total_bytes);
+    // The protocol decision is mxsim's; mirror its eager-limit rule here so
+    // the counters still tell the eager/rendezvous story for this device.
+    const bool rndv = synchronous || total_bytes > endpoint_->eager_limit();
+    counters_->add(rndv ? prof::Ctr::RndvSends : prof::Ctr::EagerSends);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total_bytes});
+    }
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
     const ProcessID self = self_;
     auto on_done = [request, self, tag, context](const mxsim::MxStatus& status) {
@@ -210,6 +234,7 @@ class MxDevice final : public Device {
 
   ProcessID self_{};
   std::shared_ptr<mxsim::Endpoint> endpoint_;
+  std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("mxdev");
   CompletionQueue completions_;
 
   // Posted-receive bookkeeping for cancel(); entries are dropped on match.

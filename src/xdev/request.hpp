@@ -18,6 +18,9 @@
 #include <mutex>
 #include <optional>
 
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
+#include "prof/trace.hpp"
 #include "xdev/process_id.hpp"
 
 namespace mpcx::xdev {
@@ -58,7 +61,11 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
  public:
   enum class Kind { Send, Recv };
 
-  DevRequestState(Kind kind, CompletionSink* sink) : kind_(kind), sink_(sink) {}
+  /// `counters`, when non-null, must outlive the request (devices pass their
+  /// own block); completed receives are tallied there so every protocol path
+  /// (eager, rendezvous, buffered, shm) is counted at the one choke point.
+  DevRequestState(Kind kind, CompletionSink* sink, prof::Counters* counters = nullptr)
+      : kind_(kind), sink_(sink), counters_(counters) {}
 
   Kind kind() const { return kind_; }
 
@@ -66,6 +73,22 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   /// once. If a hook is installed, the request is also published to the
   /// device's completion queue for peek().
   void complete(const DevStatus& status) {
+    // Tally and fire the end hooks BEFORE publishing completion: a thread
+    // returning from wait()/test() must observe the operation already
+    // counted (the mutex hand-off orders the relaxed adds for it).
+    const std::size_t bytes = status.static_bytes + status.dynamic_bytes;
+    if (counters_ != nullptr && kind_ == Kind::Recv && !status.cancelled) {
+      counters_->add(prof::Ctr::MsgsRecvd);
+      counters_->add(prof::Ctr::BytesRecvd, bytes);
+    }
+    if (prof::Hooks* hooks = prof::hooks()) {
+      const prof::MsgInfo info{status.source.value, status.tag, status.context, bytes};
+      if (kind_ == Kind::Recv) {
+        hooks->on_recv_end(info);
+      } else {
+        hooks->on_send_end(info);
+      }
+    }
     std::shared_ptr<CompletionHook> hook;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -80,7 +103,11 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   /// Block until complete; returns the completion status.
   DevStatus wait() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return complete_; });
+    if (!complete_) {
+      if (prof::Hooks* hooks = prof::hooks()) hooks->on_wait();
+      prof::Span span("wait", "xdev");
+      cv_.wait(lock, [&] { return complete_; });
+    }
     return status_;
   }
 
@@ -122,6 +149,7 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
  private:
   const Kind kind_;
   CompletionSink* const sink_;
+  prof::Counters* const counters_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::weak_ptr<CompletionHook> hook_;

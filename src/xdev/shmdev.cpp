@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "bufx/buffer_pool.hpp"
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
 #include "support/endian.hpp"
 #include "support/logging.hpp"
 #include "xdev/completion_queue.hpp"
@@ -357,8 +359,12 @@ class ShmDevice final : public Device {
   }
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get());
     const MatchKey key{context, tag, src};
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
     std::unique_ptr<ShmUnexp> hit;
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
@@ -368,12 +374,14 @@ class ShmDevice final : public Device {
         return request;
       }
       hit = std::move(*found);
+      note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
     }
     deliver(*hit, buffer, request);
     return request;
   }
 
   DevStatus probe(ProcessID src, int tag, int context) override {
+    counters_->add(prof::Ctr::ProbeCalls);
     const MatchKey key{context, tag, src};
     std::unique_lock<std::mutex> lock(recv_mu_);
     for (;;) {
@@ -385,6 +393,7 @@ class ShmDevice final : public Device {
   }
 
   std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    counters_->add(prof::Ctr::IprobeCalls);
     const MatchKey key{context, tag, src};
     std::lock_guard<std::mutex> lock(recv_mu_);
     const auto* entry = unexpected_.find(key);
@@ -392,7 +401,11 @@ class ShmDevice final : public Device {
     return unexp_status(**entry);
   }
 
-  DevRequest peek() override { return completions_.pop(); }
+  DevRequest peek() override {
+    DevRequest completed = completions_.pop();
+    if (completed) counters_->add(prof::Ctr::PeekWakeups);
+    return completed;
+  }
 
   bool cancel(const DevRequest& request) override {
     if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
@@ -409,7 +422,16 @@ class ShmDevice final : public Device {
     return true;
   }
 
+  const prof::Counters* counters() const override { return counters_.get(); }
+
  private:
+  void note_match(const MatchKey& key, std::size_t bytes, bool was_posted) {
+    counters_->add(was_posted ? prof::Ctr::PostedMatches : prof::Ctr::UnexpectedMatches);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_match(prof::MsgInfo{key.src.value, key.tag, key.context, bytes}, was_posted);
+    }
+  }
+
   Segment& peer(std::uint64_t id) {
     auto it = peers_.find(id);
     if (it == peers_.end()) throw DeviceError("shmdev: unknown destination " + std::to_string(id));
@@ -421,6 +443,15 @@ class ShmDevice final : public Device {
     if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
     const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t total_bytes = buffer.static_size() + buffer.dynamic_size();
+    counters_->add(prof::Ctr::MsgsSent);
+    counters_->add(prof::Ctr::BytesSent, total_bytes);
+    // Buffered (standard-mode) sends are shmdev's eager analog; ACK-synced
+    // sends play the rendezvous role (completion proves the receiver matched).
+    counters_->add(need_ack ? prof::Ctr::RndvSends : prof::Ctr::EagerSends);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total_bytes});
+    }
 
     if (need_ack) {
       std::lock_guard<std::mutex> lock(ack_mu_);
@@ -564,9 +595,11 @@ class ShmDevice final : public Device {
         // NOTE: the key is passed as a separate value — evaluation order of
         // `message->key` next to `std::move(message)` would be unspecified.
         unexpected_.add(key, std::move(message));
+        counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
         arrival_cv_.notify_all();
         return;
       }
+      note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
     }
     deliver(*message, *posted->buffer, posted->request);
   }
@@ -592,6 +625,7 @@ class ShmDevice final : public Device {
   std::unordered_map<std::uint64_t, AckWait> awaiting_ack_;
   std::atomic<std::uint64_t> next_msg_id_{1};
 
+  std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("shmdev");
   CompletionQueue completions_;
 };
 

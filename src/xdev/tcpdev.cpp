@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "bufx/buffer_pool.hpp"
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
 #include "support/logging.hpp"
 #include "support/socket.hpp"
 #include "xdev/completion_queue.hpp"
@@ -219,6 +221,7 @@ class TcpDevice final : public Device {
   DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
     require_buffer_committed(buffer);
     const std::size_t total = buffer.static_size() + buffer.dynamic_size();
+    note_send(dst, tag, context, total);
     if (total <= config_.eager_threshold) return eager_send(buffer, dst, tag, context);
     return rndv_send(buffer, dst, tag, context);
   }
@@ -227,14 +230,19 @@ class TcpDevice final : public Device {
     // Synchronous mode always rendezvouses: completion implies the receiver
     // matched (the RTR proves it).
     require_buffer_committed(buffer);
+    note_send(dst, tag, context, buffer.static_size() + buffer.dynamic_size());
     return rndv_send(buffer, dst, tag, context);
   }
 
   // ---- receive side (Figs. 4 and 7) ------------------------------------------
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get());
     const MatchKey key{context, tag, src};
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
 
     std::shared_ptr<UnexpMsg> msg;
     {
@@ -245,6 +253,7 @@ class TcpDevice final : public Device {
         return request;
       }
       msg = std::move(*found);
+      note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
       if (msg->kind == FrameType::Eager && !msg->data_complete) {
         // Payload still arriving: leave the hand-off to the input handler.
         msg->claimant = request;
@@ -268,6 +277,7 @@ class TcpDevice final : public Device {
   }
 
   DevStatus probe(ProcessID src, int tag, int context) override {
+    counters_->add(prof::Ctr::ProbeCalls);
     const MatchKey key{context, tag, src};
     std::unique_lock<std::mutex> lock(recv_mu_);
     for (;;) {
@@ -279,6 +289,7 @@ class TcpDevice final : public Device {
   }
 
   std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    counters_->add(prof::Ctr::IprobeCalls);
     const MatchKey key{context, tag, src};
     std::lock_guard<std::mutex> lock(recv_mu_);
     const auto* entry = unexpected_.find(key);
@@ -286,7 +297,11 @@ class TcpDevice final : public Device {
     return unexpected_status(**entry);
   }
 
-  DevRequest peek() override { return completions_.pop(); }
+  DevRequest peek() override {
+    DevRequest completed = completions_.pop();
+    if (completed) counters_->add(prof::Ctr::PeekWakeups);
+    return completed;
+  }
 
   bool cancel(const DevRequest& request) override {
     if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
@@ -302,6 +317,8 @@ class TcpDevice final : public Device {
     request->complete(status);
     return true;
   }
+
+  const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
   // ---- connection state -------------------------------------------------------
@@ -335,6 +352,23 @@ class TcpDevice final : public Device {
     if (!buffer.in_read_mode()) throw DeviceError("tcpdev: send buffer must be committed");
   }
 
+  void note_send(ProcessID dst, int tag, int context, std::size_t bytes) {
+    counters_->add(prof::Ctr::MsgsSent);
+    counters_->add(prof::Ctr::BytesSent, bytes);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, bytes});
+    }
+  }
+
+  /// A message matched: `was_posted` true when an arrival met a posted
+  /// receive, false when a receive drained the unexpected queue.
+  void note_match(const MatchKey& key, std::size_t bytes, bool was_posted) {
+    counters_->add(was_posted ? prof::Ctr::PostedMatches : prof::Ctr::UnexpectedMatches);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_match(prof::MsgInfo{key.src.value, key.tag, key.context, bytes}, was_posted);
+    }
+  }
+
   Peer& peer_for(std::uint64_t id) {
     auto it = peers_.find(id);
     if (it == peers_.end()) throw DeviceError("tcpdev: unknown destination " + std::to_string(id));
@@ -344,6 +378,7 @@ class TcpDevice final : public Device {
   // ---- eager protocol, send side (Fig. 3) --------------------------------------
 
   DevRequest eager_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+    counters_->add(prof::Ctr::EagerSends);
     FrameHeader hdr;
     hdr.type = FrameType::Eager;
     hdr.context = tag_to_wire(context);
@@ -385,6 +420,7 @@ class TcpDevice final : public Device {
   // ---- rendezvous protocol, send side (Fig. 6) ----------------------------------
 
   DevRequest rndv_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
+    counters_->add(prof::Ctr::RndvSends);
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
     const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -554,10 +590,12 @@ class TcpDevice final : public Device {
         auto static_dst = msg->temp->prepare_static(hdr.static_len);
         auto dynamic_dst = msg->temp->prepare_dynamic(hdr.dynamic_len);
         unexpected_.add(key, msg);
+        counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
         arrival_cv_.notify_all();
         begin_body(conn, static_dst, dynamic_dst, [this, msg] { finish_unexpected(msg); });
         return;
       }
+      note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
     }
     // Posted receive found: stream straight into the user's buffer.
     if (hdr.static_len > rec->buffer->capacity()) {
@@ -639,9 +677,11 @@ class TcpDevice final : public Device {
         msg->dynamic_len = hdr.dynamic_len;
         msg->msg_id = hdr.msg_id;
         unexpected_.add(key, msg);
+        counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
         arrival_cv_.notify_all();
         return;
       }
+      note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
       rndv_pending_.emplace(RndvKey{hdr.src, hdr.msg_id},
                             RndvPending{rec->request, rec->buffer});
     }
@@ -750,7 +790,8 @@ class TcpDevice final : public Device {
   std::condition_variable writer_cv_;
   int active_writers_ = 0;
 
-  buf::BufferPool pool_;
+  std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("tcpdev");
+  buf::BufferPool pool_{0, counters_.get()};
   CompletionQueue completions_;
 };
 

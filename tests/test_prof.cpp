@@ -1,0 +1,474 @@
+// Observability subsystem tests: counter correctness against known traffic
+// (eager vs. rendezvous over tcpdev and shmdev), match accounting, PMPI-style
+// hook invocation order, Chrome-trace dump validity (parseable, balanced
+// begin/end), and counter/trace behavior under the concurrent-sender pattern
+// from test_threading.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+#include "device_harness.hpp"
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
+#include "prof/trace.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx {
+namespace {
+
+using xdev::DevRequest;
+using xdev::DevStatus;
+using xdev::Device;
+using xdev::testing::DeviceWorld;
+
+constexpr int kCtx = 0;
+
+// Tests flip the global switches; guards restore the (disabled) defaults so
+// the rest of the binary keeps the zero-overhead path.
+struct StatsGuard {
+  StatsGuard() { prof::set_stats_enabled(true); }
+  ~StatsGuard() { prof::set_stats_enabled(false); }
+};
+
+struct TraceGuard {
+  explicit TraceGuard(const std::string& path) { prof::set_trace_path(path); }
+  ~TraceGuard() { prof::set_trace_path(""); }
+};
+
+std::string temp_path(const char* stem) {
+  return ::testing::TempDir() + "/" + stem + ".json";
+}
+
+std::unique_ptr<buf::Buffer> packed(std::size_t ints, Device& dev) {
+  std::vector<std::int32_t> values(ints);
+  for (std::size_t i = 0; i < ints; ++i) values[i] = static_cast<std::int32_t>(i);
+  auto buffer = std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                              static_cast<std::size_t>(dev.send_overhead()));
+  buffer->write(std::span<const std::int32_t>(values));
+  buffer->commit();
+  return buffer;
+}
+
+std::unique_ptr<buf::Buffer> landing(std::size_t ints, Device& dev) {
+  return std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                       static_cast<std::size_t>(dev.recv_overhead()));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Structural validity of a Chrome trace_event dump: a JSON array of objects
+// with balanced braces/brackets and an equal number of "B" and "E" events.
+void expect_valid_chrome_trace(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  const auto last = text.find_last_not_of(" \t\r\n");
+  ASSERT_NE(first, std::string::npos) << "trace file is empty";
+  EXPECT_EQ(text[first], '[');
+  EXPECT_EQ(text[last], ']');
+  long depth_square = 0;
+  long depth_curly = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': ++depth_square; break;
+      case ']': --depth_square; break;
+      case '{': ++depth_curly; break;
+      case '}': --depth_curly; break;
+      default: break;
+    }
+    EXPECT_GE(depth_square, 0);
+    EXPECT_GE(depth_curly, 0);
+  }
+  EXPECT_EQ(depth_square, 0);
+  EXPECT_EQ(depth_curly, 0);
+  EXPECT_FALSE(in_string);
+  const std::size_t begins = count_occurrences(text, "\"ph\":\"B\"");
+  const std::size_t ends = count_occurrences(text, "\"ph\":\"E\"");
+  EXPECT_EQ(begins, ends) << "unbalanced begin/end events";
+  EXPECT_GT(begins, 0u) << "trace recorded no spans";
+  EXPECT_EQ(count_occurrences(text, "\"pid\":"), 2 * begins);
+  EXPECT_EQ(count_occurrences(text, "\"tid\":"), 2 * begins);
+  EXPECT_EQ(count_occurrences(text, "\"ts\":"), 2 * begins);
+}
+
+TEST(ProfCounters, MutationsGatedByStatsSwitch) {
+  prof::Counters counters;
+  counters.add(prof::Ctr::MsgsSent);  // stats disabled: must be dropped
+  counters.record_max(prof::Ctr::UnexpectedDepthHwm, 7);
+  EXPECT_EQ(counters.get(prof::Ctr::MsgsSent), 0u);
+  EXPECT_EQ(counters.get(prof::Ctr::UnexpectedDepthHwm), 0u);
+
+  StatsGuard stats;
+  counters.add(prof::Ctr::MsgsSent);
+  counters.add(prof::Ctr::BytesSent, 100);
+  counters.record_max(prof::Ctr::UnexpectedDepthHwm, 5);
+  counters.record_max(prof::Ctr::UnexpectedDepthHwm, 3);  // not a new max
+  EXPECT_EQ(counters.get(prof::Ctr::MsgsSent), 1u);
+  EXPECT_EQ(counters.get(prof::Ctr::BytesSent), 100u);
+  EXPECT_EQ(counters.get(prof::Ctr::UnexpectedDepthHwm), 5u);
+
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap[static_cast<std::size_t>(prof::Ctr::BytesSent)], 100u);
+  counters.reset();
+  EXPECT_EQ(counters.get(prof::Ctr::MsgsSent), 0u);
+}
+
+TEST(ProfCounters, RegistryTracksLiveBlocksOnly) {
+  auto block = prof::Registry::global().create("test-block");
+  {
+    StatsGuard stats;
+    block->add(prof::Ctr::ProbeCalls, 3);
+  }
+  auto snapshot = prof::Registry::global().snapshot();
+  const auto found = std::find_if(snapshot.begin(), snapshot.end(), [](const auto& entry) {
+    return entry.label == "test-block";
+  });
+  ASSERT_NE(found, snapshot.end());
+  EXPECT_EQ(found->values[static_cast<std::size_t>(prof::Ctr::ProbeCalls)], 3u);
+
+  block.reset();  // registry holds weak refs: dead blocks drop out
+  snapshot = prof::Registry::global().snapshot();
+  EXPECT_TRUE(std::none_of(snapshot.begin(), snapshot.end(), [](const auto& entry) {
+    return entry.label == "test-block";
+  }));
+}
+
+TEST(ProfCounters, CtrNamesAreStable) {
+  EXPECT_STREQ(prof::ctr_name(prof::Ctr::MsgsSent), "msgs_sent");
+  EXPECT_STREQ(prof::ctr_name(prof::Ctr::RndvSends), "rndv_sends");
+  EXPECT_STREQ(prof::ctr_name(prof::Ctr::UnexpectedDepthHwm), "unexpected_depth_hwm");
+}
+
+// tcpdev classifies by size against the eager threshold: N small (eager) +
+// M large (rendezvous) sends must be tallied exactly on the sender and the
+// matching completions exactly on the receiver.
+TEST(ProfDevice, TcpdevEagerAndRendezvousCounts) {
+  constexpr std::size_t kThreshold = 1024;
+  constexpr int kEagerMsgs = 3;
+  constexpr std::size_t kEagerInts = 64;  // 256 B <= threshold
+  constexpr int kRndvMsgs = 2;
+  constexpr std::size_t kRndvInts = 512;  // 2 KB > threshold
+  DeviceWorld world("tcpdev", 2, kThreshold);
+  StatsGuard stats;
+
+  std::vector<std::unique_ptr<buf::Buffer>> rbufs;
+  std::vector<DevRequest> recvs;
+  for (int i = 0; i < kEagerMsgs + kRndvMsgs; ++i) {
+    const std::size_t ints = i < kEagerMsgs ? kEagerInts : kRndvInts;
+    rbufs.push_back(landing(ints, world.device(1)));
+    recvs.push_back(world.device(1).irecv(*rbufs.back(), world.id(0), i, kCtx));
+  }
+  std::vector<std::unique_ptr<buf::Buffer>> sbufs;
+  std::vector<DevRequest> sends;
+  std::size_t total_bytes = 0;  // committed payload incl. section headers
+  for (int i = 0; i < kEagerMsgs + kRndvMsgs; ++i) {
+    const std::size_t ints = i < kEagerMsgs ? kEagerInts : kRndvInts;
+    sbufs.push_back(packed(ints, world.device(0)));
+    total_bytes += sbufs.back()->static_size() + sbufs.back()->dynamic_size();
+    sends.push_back(world.device(0).isend(*sbufs.back(), world.id(1), i, kCtx));
+  }
+  for (auto& request : sends) request->wait();
+  for (auto& request : recvs) request->wait();
+
+  const prof::Counters* sender = world.device(0).counters();
+  const prof::Counters* receiver = world.device(1).counters();
+  ASSERT_NE(sender, nullptr);
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_EQ(sender->get(prof::Ctr::MsgsSent), static_cast<std::uint64_t>(kEagerMsgs + kRndvMsgs));
+  EXPECT_EQ(sender->get(prof::Ctr::BytesSent), total_bytes);
+  EXPECT_EQ(sender->get(prof::Ctr::EagerSends), static_cast<std::uint64_t>(kEagerMsgs));
+  EXPECT_EQ(sender->get(prof::Ctr::RndvSends), static_cast<std::uint64_t>(kRndvMsgs));
+  EXPECT_EQ(receiver->get(prof::Ctr::MsgsRecvd),
+            static_cast<std::uint64_t>(kEagerMsgs + kRndvMsgs));
+  EXPECT_EQ(receiver->get(prof::Ctr::BytesRecvd), total_bytes);
+  // All receives were posted before the sends started.
+  EXPECT_EQ(receiver->get(prof::Ctr::PostedMatches),
+            static_cast<std::uint64_t>(kEagerMsgs + kRndvMsgs));
+  EXPECT_EQ(receiver->get(prof::Ctr::UnexpectedMatches), 0u);
+}
+
+// shmdev's buffered sends play the eager role and ACK-synced (issend) sends
+// the rendezvous role.
+TEST(ProfDevice, ShmdevEagerAndRendezvousCounts) {
+  constexpr int kBuffered = 4;
+  constexpr int kSynced = 2;
+  constexpr std::size_t kInts = 32;
+  DeviceWorld world("shmdev", 2);
+  StatsGuard stats;
+
+  std::vector<std::unique_ptr<buf::Buffer>> rbufs;
+  std::vector<DevRequest> recvs;
+  for (int i = 0; i < kBuffered + kSynced; ++i) {
+    rbufs.push_back(landing(kInts, world.device(1)));
+    recvs.push_back(world.device(1).irecv(*rbufs.back(), world.id(0), i, kCtx));
+  }
+  std::vector<std::unique_ptr<buf::Buffer>> sbufs;
+  std::vector<DevRequest> sends;
+  std::size_t total_bytes = 0;
+  for (int i = 0; i < kBuffered + kSynced; ++i) {
+    sbufs.push_back(packed(kInts, world.device(0)));
+    total_bytes += sbufs.back()->static_size() + sbufs.back()->dynamic_size();
+    auto& dev = world.device(0);
+    sends.push_back(i < kBuffered ? dev.isend(*sbufs.back(), world.id(1), i, kCtx)
+                                  : dev.issend(*sbufs.back(), world.id(1), i, kCtx));
+  }
+  for (auto& request : sends) request->wait();
+  for (auto& request : recvs) request->wait();
+
+  const prof::Counters* sender = world.device(0).counters();
+  const prof::Counters* receiver = world.device(1).counters();
+  ASSERT_NE(sender, nullptr);
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_EQ(sender->get(prof::Ctr::MsgsSent), static_cast<std::uint64_t>(kBuffered + kSynced));
+  EXPECT_EQ(sender->get(prof::Ctr::EagerSends), static_cast<std::uint64_t>(kBuffered));
+  EXPECT_EQ(sender->get(prof::Ctr::RndvSends), static_cast<std::uint64_t>(kSynced));
+  EXPECT_EQ(sender->get(prof::Ctr::BytesSent), total_bytes);
+  EXPECT_EQ(receiver->get(prof::Ctr::MsgsRecvd),
+            static_cast<std::uint64_t>(kBuffered + kSynced));
+  EXPECT_EQ(receiver->get(prof::Ctr::BytesRecvd), total_bytes);
+}
+
+// An arrival with no posted receive lands on the unexpected queue (raising
+// the high-water mark); the later receive drains it as an unexpected match.
+// Probe calls are themselves counted.
+TEST(ProfDevice, UnexpectedQueueAccounting) {
+  DeviceWorld world("tcpdev", 2, /*eager_threshold=*/4 * 1024);
+  StatsGuard stats;
+
+  auto sbuf = packed(8, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 5, kCtx);  // eager: completes now
+  world.device(1).probe(world.id(0), 5, kCtx);        // blocks until it lands
+  auto rbuf = landing(8, world.device(1));
+  world.device(1).recv(*rbuf, world.id(0), 5, kCtx);
+
+  const prof::Counters* receiver = world.device(1).counters();
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_EQ(receiver->get(prof::Ctr::UnexpectedMatches), 1u);
+  EXPECT_EQ(receiver->get(prof::Ctr::PostedMatches), 0u);
+  EXPECT_GE(receiver->get(prof::Ctr::UnexpectedDepthHwm), 1u);
+  EXPECT_EQ(receiver->get(prof::Ctr::ProbeCalls), 1u);
+}
+
+// Recording hooks implementation: appends every callback to a shared log.
+class RecordingHooks : public prof::Hooks {
+ public:
+  void on_send_begin(const prof::MsgInfo& info) override { append("send_begin", info.bytes); }
+  void on_send_end(const prof::MsgInfo& info) override { append("send_end", info.bytes); }
+  void on_recv_begin(const prof::MsgInfo& info) override { append("recv_begin", info.bytes); }
+  void on_recv_end(const prof::MsgInfo& info) override { append("recv_end", info.bytes); }
+  void on_match(const prof::MsgInfo& info, bool was_posted) override {
+    append(was_posted ? "match_posted" : "match_unexpected", info.bytes);
+  }
+
+  std::vector<std::string> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_;
+  }
+
+  std::size_t index_of(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(names_.begin(), names_.end(), name);
+    return it == names_.end() ? names_.size() : static_cast<std::size_t>(it - names_.begin());
+  }
+
+  std::size_t count_of(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::size_t>(std::count(names_.begin(), names_.end(), name));
+  }
+
+ private:
+  void append(const char* name, std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    names_.push_back(name);
+    bytes_.push_back(bytes);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::vector<std::size_t> bytes_;
+};
+
+TEST(ProfHooks, CallbackOrderOverOneExchange) {
+  auto recorder = std::make_shared<RecordingHooks>();
+  {
+    DeviceWorld world("shmdev", 2);
+    prof::set_hooks(recorder);
+    auto rbuf = landing(16, world.device(1));
+    DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 1, kCtx);
+    auto sbuf = packed(16, world.device(0));
+    DevRequest send = world.device(0).isend(*sbuf, world.id(1), 1, kCtx);
+    send->wait();
+    recv->wait();
+    // complete() fires the end hooks before waking waiters, so both ends
+    // are guaranteed recorded once the waits return.
+    prof::set_hooks(nullptr);
+  }
+
+  const auto events = recorder->events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(recorder->count_of("send_begin"), 1u);
+  EXPECT_EQ(recorder->count_of("send_end"), 1u);
+  EXPECT_EQ(recorder->count_of("recv_begin"), 1u);
+  EXPECT_EQ(recorder->count_of("recv_end"), 1u);
+  EXPECT_EQ(recorder->count_of("match_posted"), 1u);
+  EXPECT_EQ(recorder->count_of("match_unexpected"), 0u);
+  EXPECT_LT(recorder->index_of("send_begin"), recorder->index_of("send_end"));
+  EXPECT_LT(recorder->index_of("recv_begin"), recorder->index_of("recv_end"));
+  EXPECT_LT(recorder->index_of("recv_begin"), recorder->index_of("match_posted"));
+  EXPECT_LT(recorder->index_of("match_posted"), recorder->index_of("recv_end"));
+}
+
+TEST(ProfTrace, BlockingTrafficProducesBalancedDump) {
+  const std::string path = temp_path("prof_trace_xdev");
+  constexpr int kMsgs = 4;
+  {
+    TraceGuard trace(path);
+    DeviceWorld world("tcpdev", 2, /*eager_threshold=*/4 * 1024);
+    std::thread sender([&] {
+      for (int i = 0; i < kMsgs; ++i) {
+        auto sbuf = packed(32, world.device(0));
+        world.device(0).send(*sbuf, world.id(1), i, kCtx);
+      }
+    });
+    for (int i = 0; i < kMsgs; ++i) {
+      auto rbuf = landing(32, world.device(1));
+      world.device(1).recv(*rbuf, world.id(0), i, kCtx);
+    }
+    sender.join();
+    ASSERT_TRUE(prof::dump_trace(path));
+  }
+
+  const std::string text = slurp(path);
+  expect_valid_chrome_trace(text);
+  // The blocking wrappers emit one span per send()/recv() call.
+  EXPECT_GE(count_occurrences(text, "\"name\":\"send\""), static_cast<std::size_t>(kMsgs));
+  EXPECT_GE(count_occurrences(text, "\"name\":\"recv\""), static_cast<std::size_t>(kMsgs));
+  std::remove(path.c_str());
+}
+
+// Full-stack run: cluster ranks exchanging through Intracomm while stats and
+// tracing are live. Finalize must dump the trace (the MPCX_TRACE path) and
+// the core counters must see the pack/unpack and collective activity.
+TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
+  const std::string path = temp_path("prof_trace_cluster");
+  constexpr int kMsgs = 8;
+  constexpr int kInts = 128;
+  std::uint64_t rank0_collectives = 0;
+  std::uint64_t rank0_pack_bytes = 0;
+  {
+    StatsGuard stats;
+    TraceGuard trace(path);
+    cluster::Options options;
+    options.device = "tcpdev";
+    cluster::launch(2, [&](World& world) {
+      Intracomm& comm = world.COMM_WORLD();
+      std::vector<std::int32_t> data(kInts, comm.Rank());
+      for (int i = 0; i < kMsgs; ++i) {
+        if (comm.Rank() == 0) {
+          comm.Send(data.data(), 0, kInts, types::INT(), 1, i);
+        } else {
+          comm.Recv(data.data(), 0, kInts, types::INT(), 0, i);
+        }
+      }
+      comm.Barrier();
+      if (comm.Rank() == 0) {
+        rank0_collectives = world.counters().get(prof::Ctr::CollectiveCalls);
+        rank0_pack_bytes = world.counters().get(prof::Ctr::PackBytes);
+      }
+      world.Finalize();
+    }, options);
+  }
+
+  EXPECT_GE(rank0_collectives, 1u);  // the explicit Barrier
+  EXPECT_GE(rank0_pack_bytes, static_cast<std::uint64_t>(kMsgs * kInts * 4));
+  const std::string text = slurp(path);
+  expect_valid_chrome_trace(text);
+  EXPECT_GE(count_occurrences(text, "\"name\":\"pack\""), static_cast<std::size_t>(kMsgs));
+  EXPECT_GE(count_occurrences(text, "\"name\":\"Barrier(dissemination)\""), 1u);
+  std::remove(path.c_str());
+}
+
+// Concurrent senders (the test_threading.cpp pattern) with stats and tracing
+// both live: totals must still be exact and the dump still balanced.
+TEST(ProfThreading, ConcurrentSendersKeepExactTotals) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  constexpr std::size_t kInts = 16;
+  const std::string path = temp_path("prof_trace_threads");
+  {
+    StatsGuard stats;
+    TraceGuard trace(path);
+    DeviceWorld world("tcpdev", 2, /*eager_threshold=*/4 * 1024);
+    const auto sample = packed(kInts, world.device(0));
+    const std::size_t msg_bytes = sample->static_size() + sample->dynamic_size();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          auto sbuf = packed(kInts, world.device(0));
+          world.device(0).send(*sbuf, world.id(1), t, kCtx);
+        }
+      });
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          auto rbuf = landing(kInts, world.device(1));
+          const DevStatus status = world.device(1).recv(*rbuf, world.id(0), t, kCtx);
+          EXPECT_EQ(status.tag, t);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+
+    const prof::Counters* sender = world.device(0).counters();
+    const prof::Counters* receiver = world.device(1).counters();
+    ASSERT_NE(sender, nullptr);
+    ASSERT_NE(receiver, nullptr);
+    const auto total = static_cast<std::uint64_t>(kThreads * kPerThread);
+    EXPECT_EQ(sender->get(prof::Ctr::MsgsSent), total);
+    EXPECT_EQ(sender->get(prof::Ctr::BytesSent), total * msg_bytes);
+    EXPECT_EQ(receiver->get(prof::Ctr::MsgsRecvd), total);
+    EXPECT_EQ(receiver->get(prof::Ctr::BytesRecvd), total * msg_bytes);
+    EXPECT_EQ(receiver->get(prof::Ctr::PostedMatches) +
+                  receiver->get(prof::Ctr::UnexpectedMatches),
+              total);
+    ASSERT_TRUE(prof::dump_trace(path));
+  }
+  expect_valid_chrome_trace(slurp(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpcx
