@@ -6,6 +6,7 @@
 #include "core/world.hpp"
 #include "prof/trace.hpp"
 #include "support/error.hpp"
+#include "support/logging.hpp"
 
 namespace mpcx {
 namespace {
@@ -56,9 +57,26 @@ int Comm::world_source(int local_rank) const {
 
 Status Comm::to_local_status(const mpdev::Status& dev) const {
   const int local_source = dev.source >= 0 ? group_.Rank_of_world(dev.source) : dev.source;
+  ErrCode error = dev.error;
+  if (error == ErrCode::Success && dev.truncated) error = ErrCode::Truncate;
   return Status(local_source, dev.tag, dev.static_bytes, dev.dynamic_bytes, dev.truncated,
-                dev.cancelled);
+                dev.cancelled, error);
 }
+
+void Comm::handle_error(ErrCode code, const std::string& what) const {
+  switch (errhandler_.load(std::memory_order_relaxed)) {
+    case Errhandler::ErrorsReturn:
+      return;  // caller surfaces the error through Status::Get_error()
+    case Errhandler::ErrorsAreFatal:
+      log::error("fatal communication error (", err_code_name(code), "): ", what);
+      Abort(static_cast<int>(code));
+    case Errhandler::ErrorsThrow:
+      break;
+  }
+  throw CommError(what, code);
+}
+
+void Comm::Abort(int errorcode) const { world_->Abort(errorcode); }
 
 void Comm::validate(const void* buf, int count, const DatatypePtr& type, const char* op) {
   if (count < 0) throw ArgumentError(std::string(op) + ": negative count");
@@ -98,9 +116,14 @@ Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
                       const DatatypePtr& type, int source_local) const {
   auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
   const mpdev::Status dev = engine().recv(*buffer, world_source(source_local), tag, context);
-  if (dev.truncated) {
+  if (dev.truncated || dev.error != ErrCode::Success) {
     give_buffer(std::move(buffer));
-    throw CommError("receive truncated: message larger than the posted buffer");
+    if (dev.truncated) {
+      handle_error(ErrCode::Truncate, "receive truncated: message larger than the posted buffer");
+    } else {
+      handle_error(dev.error, std::string("receive failed: ") + err_code_name(dev.error));
+    }
+    return to_local_status(dev);  // ERRORS_RETURN: error carried in the Status
   }
   {
     prof::Span span("unpack", "core");
@@ -256,7 +279,14 @@ Prequest Comm::Recv_init(void* buf, int offset, int count, const DatatypePtr& ty
 Status Comm::Probe(int source, int tag) const {
   validate_recv_tag(tag);
   if (source == PROC_NULL) return proc_null_status();
-  return to_local_status(engine().probe(world_source(source), tag, ptp_context_));
+  try {
+    return to_local_status(engine().probe(world_source(source), tag, ptp_context_));
+  } catch (const DeviceError& e) {
+    // Device-side failure (MPCX_OP_TIMEOUT_MS expiry, dead peer): route
+    // through the errhandler; under ERRORS_RETURN the code rides the Status.
+    handle_error(e.code(), e.what());
+    return Status(PROC_NULL, ANY_TAG, 0, 0, false, false, e.code());
+  }
 }
 
 std::optional<Status> Comm::Iprobe(int source, int tag) const {
@@ -338,7 +368,9 @@ Status Comm::Recv_buffer(buf::Buffer& buffer, int source, int tag) const {
   if (source == PROC_NULL) return proc_null_status();
   const mpdev::Status dev = engine().recv(buffer, world_source(source), tag, ptp_context_);
   if (dev.truncated) {
-    throw CommError("Recv_buffer: message larger than the supplied buffer");
+    handle_error(ErrCode::Truncate, "Recv_buffer: message larger than the supplied buffer");
+  } else if (dev.error != ErrCode::Success) {
+    handle_error(dev.error, std::string("Recv_buffer failed: ") + err_code_name(dev.error));
   }
   return to_local_status(dev);
 }

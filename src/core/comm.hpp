@@ -16,6 +16,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -32,6 +33,23 @@
 namespace mpcx {
 
 class World;
+
+/// Per-communicator error-handling policy (MPI errhandler analog).
+///
+///   ErrorsAreFatal — log the failure and Abort() the whole job (MPI's
+///                    MPI_ERRORS_ARE_FATAL);
+///   ErrorsReturn   — complete the operation normally; the failure is
+///                    reported only through Status::Get_error() (MPI's
+///                    MPI_ERRORS_RETURN, adapted to a Status-returning API);
+///   ErrorsThrow    — throw CommError carrying the ErrCode (the natural C++
+///                    policy, and MPCX's DEFAULT — unlike MPI, whose default
+///                    is fatal — so existing exception-based code keeps
+///                    working and tests can catch failures).
+enum class Errhandler { ErrorsAreFatal, ErrorsReturn, ErrorsThrow };
+
+inline constexpr Errhandler ERRORS_ARE_FATAL = Errhandler::ErrorsAreFatal;
+inline constexpr Errhandler ERRORS_RETURN = Errhandler::ErrorsReturn;
+inline constexpr Errhandler ERRORS_THROW = Errhandler::ErrorsThrow;
 
 class Comm {
  public:
@@ -51,6 +69,20 @@ class Comm {
   /// Context ids (introspection; useful for debugging and internal reuse).
   int ptp_context() const { return ptp_context_; }
   int coll_context() const { return coll_context_; }
+
+  // ---- error handling --------------------------------------------------------
+
+  /// Install the error-handling policy for operations on this communicator
+  /// (MPI Comm.Set_errhandler / Errhandler_set analog).
+  void Set_errhandler(Errhandler handler) {
+    errhandler_.store(handler, std::memory_order_relaxed);
+  }
+  Errhandler Get_errhandler() const { return errhandler_.load(std::memory_order_relaxed); }
+
+  /// Terminate the whole job (MPI Comm.Abort analog): notifies the runtime
+  /// daemon (MPCX_DAEMON) so sibling ranks are killed too, then exits this
+  /// process with `errorcode`.
+  [[noreturn]] void Abort(int errorcode) const;
 
   // ---- blocking point-to-point ---------------------------------------------
 
@@ -130,7 +162,14 @@ class Comm {
   T recv_object(int source, int tag, Status* status_out = nullptr) const {
     auto buffer = take_buffer(0);
     const mpdev::Status dev = engine().recv(*buffer, world_source(source), tag, ptp_context_);
-    if (dev.truncated) throw CommError("recv_object: message truncated");
+    if (dev.truncated || dev.error != ErrCode::Success) {
+      give_buffer(std::move(buffer));
+      const ErrCode code = dev.error != ErrCode::Success ? dev.error : ErrCode::Truncate;
+      handle_error(code, std::string("recv_object: ") + err_code_name(code));
+      // ERRORS_RETURN cannot apply here: there is no value to hand back, so
+      // the failure must still propagate as an exception.
+      throw CommError(std::string("recv_object: ") + err_code_name(code), code);
+    }
     T value = buffer->read_object<T>();
     if (status_out != nullptr) *status_out = to_local_status(dev);
     give_buffer(std::move(buffer));
@@ -209,6 +248,12 @@ class Comm {
   /// Engine status (world ranks) -> communicator-local Status.
   virtual Status to_local_status(const mpdev::Status& dev) const;
 
+  /// Apply this communicator's errhandler to a failed operation. Under
+  /// ERRORS_RETURN it simply returns (the caller surfaces the error via
+  /// Status::Get_error); under ERRORS_THROW it throws CommError(what, code);
+  /// under ERRORS_ARE_FATAL it logs and Abort()s with the error code.
+  void handle_error(ErrCode code, const std::string& what) const;
+
   /// Pack user data into a pooled buffer ready to send.
   std::unique_ptr<buf::Buffer> pack_message(const void* buf, int offset, int count,
                                             const DatatypePtr& type) const;
@@ -234,6 +279,10 @@ class Comm {
   int ptp_context_;
   int coll_context_;
   int local_rank_;  ///< this process's rank in group_ (UNDEFINED if absent)
+
+  // Error-handling policy; see Errhandler above for why the default differs
+  // from MPI's (fatal).
+  std::atomic<Errhandler> errhandler_{Errhandler::ErrorsThrow};
 
   // Attribute cache (mutable: caching on a const communicator is fine).
   mutable std::mutex attrs_mu_;

@@ -75,10 +75,21 @@ Status Request::finalize(const mpdev::Status& dev_status) {
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.finalized) return s.cached;
   s.finalized = true;
-  if (dev_status.truncated) {
-    // Release resources, then surface the truncation as an error.
+  const ErrCode code = dev_status.error != ErrCode::Success
+                           ? dev_status.error
+                           : (dev_status.truncated ? ErrCode::Truncate : ErrCode::Success);
+  if (code != ErrCode::Success) {
+    // Release resources first, cache the error Status, then apply the
+    // communicator's errhandler (may throw or abort; under ERRORS_RETURN the
+    // caller reads the code off the Status).
     if (s.buffer) s.comm->give_buffer(std::move(s.buffer));
-    throw CommError("receive truncated: message larger than the posted buffer");
+    s.cached = s.comm->to_local_status(dev_status);
+    if (dev_status.truncated) {
+      s.comm->handle_error(code, "receive truncated: message larger than the posted buffer");
+    } else {
+      s.comm->handle_error(code, std::string("request failed: ") + err_code_name(code));
+    }
+    return s.cached;
   }
   if (s.is_recv && !dev_status.cancelled) {
     s.type->unpack_available(*s.buffer, s.user_base, s.max_items);

@@ -5,6 +5,7 @@
 
 #include "core/datatype.hpp"
 #include "core/types.hpp"
+#include "support/error.hpp"
 
 namespace mpcx {
 
@@ -12,13 +13,14 @@ class Status {
  public:
   Status() = default;
   Status(int source, int tag, std::size_t static_bytes, std::size_t dynamic_bytes, bool truncated,
-         bool cancelled = false)
+         bool cancelled = false, ErrCode error = ErrCode::Success)
       : source_(source),
         tag_(tag),
         static_bytes_(static_bytes),
         dynamic_bytes_(dynamic_bytes),
         truncated_(truncated),
-        cancelled_(cancelled) {}
+        cancelled_(cancelled),
+        error_(error) {}
 
   /// Rank of the sender (in the communicator the operation ran on).
   int Get_source() const { return source_; }
@@ -66,6 +68,11 @@ class Status {
   /// True if the operation was cancelled (mpiJava Status.Test_cancelled).
   bool Test_cancelled() const { return cancelled_; }
 
+  /// Error class of the operation (MPI Status.MPI_ERROR analog). Anything
+  /// other than ErrCode::Success means the operation failed; under the
+  /// ERRORS_RETURN handler this is the only failure signal.
+  ErrCode Get_error() const { return error_; }
+
   /// Index of the completed request, set by Waitany/Waitsome/Testany.
   int index = UNDEFINED;
 
@@ -76,6 +83,7 @@ class Status {
   std::size_t dynamic_bytes_ = 0;
   bool truncated_ = false;
   bool cancelled_ = false;
+  ErrCode error_ = ErrCode::Success;
 };
 
 }  // namespace mpcx

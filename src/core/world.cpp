@@ -4,11 +4,14 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 #include "core/intracomm.hpp"
 #include "prof/trace.hpp"
+#include "runtime/protocol.hpp"
 #include "support/error.hpp"
+#include "support/faults.hpp"
 #include "support/logging.hpp"
 
 namespace mpcx {
@@ -108,10 +111,38 @@ void World::Finalize() {
       prof::report_counters(label + " device", *device_counters);
     }
     prof::report_counters(label + " core", *counters_);
+    // The faults block is process-global (shared by every in-process rank),
+    // so it prints once per process, not once per rank.
+    static std::once_flag faults_reported;
+    std::call_once(faults_reported,
+                   [] { prof::report_counters("faults", faults::counters()); });
   }
   if (!prof::maybe_dump_trace()) {
     if (prof::tracing()) log::warn("could not write trace to ", prof::trace_path());
   }
+}
+
+void World::Abort(int errorcode) {
+  log::error("Abort(", errorcode, "): terminating world");
+  // Tell the runtime daemon (if any) to kill sibling ranks. Best effort:
+  // a standalone process (no launcher) simply exits.
+  if (const char* daemon = std::getenv("MPCX_DAEMON")) {
+    try {
+      const std::string addr = daemon;
+      const auto colon = addr.find_last_of(':');
+      if (colon != std::string::npos) {
+        const std::string host = addr.substr(0, colon);
+        const auto port = static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1));
+        net::Socket sock = net::Socket::connect(host, port, 2000);
+        runtime::write_frame(sock, runtime::MsgKind::Abort,
+                             runtime::AbortRequest{static_cast<std::int32_t>(errorcode)});
+        (void)runtime::read_frame(sock);
+      }
+    } catch (const Error& e) {
+      log::warn("Abort: could not reach daemon: ", e.what());
+    }
+  }
+  std::_Exit(errorcode);
 }
 
 double World::Wtime() {

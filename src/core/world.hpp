@@ -61,6 +61,11 @@ class World {
   /// Collective shutdown: barrier over COMM_WORLD, then device teardown.
   void Finalize();
 
+  /// Emergency shutdown (MPI Abort): best-effort notify the runtime daemon
+  /// named by MPCX_DAEMON (host:port) so it kills sibling ranks, then
+  /// _Exit(errorcode) without running the collective teardown.
+  [[noreturn]] void Abort(int errorcode);
+
   /// Wall-clock seconds since an arbitrary epoch (MPI.Wtime analog).
   static double Wtime();
 

@@ -70,6 +70,7 @@ Status Engine::to_status(const xdev::DevStatus& dev) const {
   status.dynamic_bytes = dev.dynamic_bytes;
   status.truncated = dev.truncated;
   status.cancelled = dev.cancelled;
+  status.error = dev.error;
   return status;
 }
 

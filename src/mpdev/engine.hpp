@@ -44,6 +44,7 @@ struct Status {
   std::size_t dynamic_bytes = 0;
   bool truncated = false;
   bool cancelled = false;
+  ErrCode error = ErrCode::Success;  ///< device-reported failure, if any
 };
 
 class Engine;

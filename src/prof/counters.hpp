@@ -58,6 +58,10 @@ enum class Ctr : std::size_t {
   CollectiveCalls,     ///< collective operations entered on a communicator
   PackBytes,           ///< bytes packed into wire buffers (send side)
   UnpackBytes,         ///< bytes unpacked out of wire buffers (receive side)
+  FaultsInjected,      ///< faults (drop/corrupt/delay/reset) injected by support::faults
+  IoRetries,           ///< connect/accept attempts retried during bootstrap
+  OpTimeouts,          ///< blocking operations expired under MPCX_OP_TIMEOUT_MS
+  ChecksumFailures,    ///< frames rejected by CRC32C / magic / version checks
   Count
 };
 

@@ -66,6 +66,10 @@ const char* ctr_name(Ctr counter) {
     case Ctr::CollectiveCalls: return "collective_calls";
     case Ctr::PackBytes: return "pack_bytes";
     case Ctr::UnpackBytes: return "unpack_bytes";
+    case Ctr::FaultsInjected: return "faults_injected";
+    case Ctr::IoRetries: return "io_retries";
+    case Ctr::OpTimeouts: return "op_timeouts";
+    case Ctr::ChecksumFailures: return "checksum_failures";
     case Ctr::Count: break;
   }
   return "?";

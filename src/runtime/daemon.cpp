@@ -6,7 +6,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -75,6 +77,9 @@ void Daemon::stop() {
 
 void Daemon::serve() {
   log::info("mpcxd listening on port ", port(), ", session dir ", session_dir_);
+  // Heartbeat: reap dead children on a bounded interval (not only when the
+  // launcher polls), so crashes are logged and Status replies are prompt.
+  std::thread reaper([this] { reaper_loop(); });
   // One handler thread per client connection: mpcxrun keeps its connection
   // open for the whole run, and Shutdown must still get through.
   std::vector<std::thread> handlers;
@@ -98,6 +103,53 @@ void Daemon::serve() {
     }
   }
   for (std::thread& handler : handlers) handler.join();
+  reaper.join();
+}
+
+void Daemon::reaper_loop() {
+  int interval_ms = 200;
+  if (const char* env = std::getenv("MPCX_HEARTBEAT_MS")) {
+    const int value = std::atoi(env);
+    if (value > 0) interval_ms = value;
+  }
+  while (!stopping_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [pid, child] : children_) {
+        if (child.exited) continue;
+        int status = 0;
+        const pid_t rc = ::waitpid(child.pid, &status, WNOHANG);
+        if (rc == child.pid) {
+          child.exited = true;
+          child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+          if (child.exit_code != 0) {
+            log::warn("mpcxd: pid ", child.pid, " died with exit code ", child.exit_code);
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+AbortReply Daemon::handle_abort(const AbortRequest& request) {
+  AbortReply reply;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [pid, child] : children_) {
+    if (child.exited) continue;
+    // Re-check before signalling: the child may have just exited.
+    int status = 0;
+    if (::waitpid(child.pid, &status, WNOHANG) == child.pid) {
+      child.exited = true;
+      child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+      continue;
+    }
+    ::kill(child.pid, SIGTERM);
+    ++reply.killed;
+  }
+  log::warn("mpcxd: abort(code ", request.code, ") — signalled ", reply.killed,
+            " live processes");
+  return reply;
 }
 
 void Daemon::handle_connection(net::Socket& sock) {
@@ -113,6 +165,9 @@ void Daemon::handle_connection(net::Socket& sock) {
           break;
         case MsgKind::Fetch:
           write_frame(sock, MsgKind::FetchReply, handle_fetch(frame.as<FetchRequest>()));
+          break;
+        case MsgKind::Abort:
+          write_frame(sock, MsgKind::AbortReply, handle_abort(frame.as<AbortRequest>()));
           break;
         case MsgKind::Shutdown:
           stopping_ = true;

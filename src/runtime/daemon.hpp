@@ -6,6 +6,12 @@
 // Child stdout+stderr are captured to per-process log files under the
 // daemon's session directory so the launcher can Fetch them — the moral
 // equivalent of mpjrun showing remote output.
+//
+// Robustness duties (see docs/ROBUSTNESS.md):
+//   * a heartbeat thread reaps dead children every MPCX_HEARTBEAT_MS so a
+//     crashed rank is reported within a bounded interval;
+//   * an Abort frame (sent by World::Abort via MPCX_DAEMON) kills every
+//     live child, giving MPI_Abort whole-job semantics.
 #pragma once
 
 #include <sys/types.h>
@@ -50,6 +56,12 @@ class Daemon {
   SpawnReply handle_spawn(const SpawnRequest& request);
   StatusReply handle_status(const StatusRequest& request);
   FetchReply handle_fetch(const FetchRequest& request);
+  AbortReply handle_abort(const AbortRequest& request);
+
+  /// Heartbeat loop: reap exited children every MPCX_HEARTBEAT_MS (default
+  /// 200 ms) so a crashed rank is noticed within a bounded interval instead
+  /// of only when the launcher next polls Status.
+  void reaper_loop();
 
   struct Child {
     pid_t pid = -1;

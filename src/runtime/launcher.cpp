@@ -36,6 +36,13 @@ FetchReply DaemonClient::fetch(std::int32_t pid) {
   return frame.as<FetchReply>();
 }
 
+AbortReply DaemonClient::abort(std::int32_t code) {
+  write_frame(sock_, MsgKind::Abort, AbortRequest{code});
+  const Frame frame = read_frame(sock_);
+  if (frame.kind != MsgKind::AbortReply) throw RuntimeError("mpcxrun: bad abort reply");
+  return frame.as<AbortReply>();
+}
+
 void DaemonClient::shutdown() {
   write_frame(sock_, MsgKind::Shutdown);
   (void)read_frame(sock_);
@@ -130,6 +137,8 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
         {"MPCX_WORLD", world},
         {"MPCX_DEVICE", spec.device},
         {"MPCX_SESSION", session},
+        // Rank's own daemon, so World::Abort can escalate to the whole job.
+        {"MPCX_DAEMON", spec.daemons[d].host + ":" + std::to_string(spec.daemons[d].port)},
     };
     if (spec.eager_threshold > 0) {
       request.env.emplace_back("MPCX_EAGER_THRESHOLD", std::to_string(spec.eager_threshold));

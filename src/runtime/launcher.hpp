@@ -29,6 +29,9 @@ class DaemonClient {
   SpawnReply spawn(const SpawnRequest& request);
   StatusReply status(std::int32_t pid);
   FetchReply fetch(std::int32_t pid);
+  /// Kill every live child on the daemon (MPI_Abort escalation); returns
+  /// the number of processes signalled.
+  AbortReply abort(std::int32_t code);
   void shutdown();
 
  private:

@@ -12,6 +12,7 @@
 //   Status   — poll a spawned process (running / exited + code).
 //   Fetch    — retrieve the captured stdout+stderr of a finished process.
 //   Shutdown — stop the daemon loop.
+//   Abort    — kill every live child (MPI_Abort escalation from a rank).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,8 @@ enum class MsgKind : std::uint8_t {
   FetchReply = 6,
   Shutdown = 7,
   ShutdownReply = 8,
+  Abort = 9,
+  AbortReply = 10,
 };
 
 struct SpawnRequest {
@@ -125,6 +128,22 @@ struct FetchReply {
     reply.output = source.get_string();
     reply.error = source.get_string();
     return reply;
+  }
+};
+
+struct AbortRequest {
+  std::int32_t code = 1;  ///< exit code the aborting rank used
+  void serialize(buf::ByteSink& sink) const { sink.put(code); }
+  static AbortRequest deserialize(buf::ByteSource& source) {
+    return AbortRequest{source.get<std::int32_t>()};
+  }
+};
+
+struct AbortReply {
+  std::int32_t killed = 0;  ///< number of live children signalled
+  void serialize(buf::ByteSink& sink) const { sink.put(killed); }
+  static AbortReply deserialize(buf::ByteSource& source) {
+    return AbortReply{source.get<std::int32_t>()};
   }
 };
 

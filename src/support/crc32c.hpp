@@ -1,0 +1,44 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the checksum used
+// by iSCSI/ext4 and by tcpdev's frame headers.
+//
+// tcpdev only checksums the fixed 40-byte frame header (the part whose
+// corruption desynchronizes the whole stream), so a simple byte-at-a-time
+// table walk is plenty: ~36 table lookups per frame, invisible next to the
+// send(2)/recv(2) syscalls on either side of it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mpcx {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+/// CRC32C of `data` (standard init/final xor with ~0).
+inline std::uint32_t crc32c(std::span<const std::byte> data) {
+  std::uint32_t crc = ~std::uint32_t{0};
+  for (const std::byte b : data) {
+    crc = detail::kCrc32cTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mpcx

@@ -3,6 +3,11 @@
 // The paper's Java library throws XDevException / MPJException; we mirror
 // that with a small exception tree rooted at mpcx::Error so callers can
 // catch per-layer or catch-all.
+//
+// Every error additionally carries an ErrCode — the MPI_ERR_*-style class —
+// so the same failure can travel two routes: thrown as an exception
+// (ERRORS_THROW, the library default) or folded into a Status/Request error
+// field (ERRORS_RETURN) without losing its identity.
 #pragma once
 
 #include <stdexcept>
@@ -10,10 +15,32 @@
 
 namespace mpcx {
 
+/// MPI_ERR_*-style error classes carried by exceptions and by Status when a
+/// communicator runs under ERRORS_RETURN. Values are stable (tests and the
+/// wire-visible Abort protocol use them); append only.
+enum class ErrCode : int {
+  Success = 0,   ///< no error (the zero value so Status{} is clean)
+  Truncate = 1,  ///< message longer than the posted receive buffer (MPI_ERR_TRUNCATE)
+  Timeout = 2,   ///< blocking op exceeded MPCX_OP_TIMEOUT_MS (no MPI analog; ours)
+  Checksum = 3,  ///< frame failed CRC32C / magic / version validation
+  ConnReset = 4, ///< peer connection reset, refused, or EOF mid-stream
+  Cancelled = 5, ///< operation cancelled before completion
+  Internal = 6,  ///< anything else (MPI_ERR_OTHER)
+};
+
+/// Stable snake_case name for messages and test assertions.
+const char* err_code_name(ErrCode code);
+
 /// Root of all MPCX exceptions.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrCode code = ErrCode::Internal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
 };
 
 /// Invalid argument passed to a public API (bad rank, negative count, ...).
@@ -32,13 +59,15 @@ class BufferError : public Error {
 /// Raised by device layers (xdev / mxsim / tcpdev). Analog of XDevException.
 class DeviceError : public Error {
  public:
-  explicit DeviceError(const std::string& what) : Error(what) {}
+  explicit DeviceError(const std::string& what, ErrCode code = ErrCode::Internal)
+      : Error(what, code) {}
 };
 
 /// Raised by the communicator/high layers. Analog of MPJException.
 class CommError : public Error {
  public:
-  explicit CommError(const std::string& what) : Error(what) {}
+  explicit CommError(const std::string& what, ErrCode code = ErrCode::Internal)
+      : Error(what, code) {}
 };
 
 /// Raised by the runtime (daemon / launcher / staging).
@@ -46,5 +75,18 @@ class RuntimeError : public Error {
  public:
   explicit RuntimeError(const std::string& what) : Error(what) {}
 };
+
+inline const char* err_code_name(ErrCode code) {
+  switch (code) {
+    case ErrCode::Success: return "success";
+    case ErrCode::Truncate: return "truncate";
+    case ErrCode::Timeout: return "timeout";
+    case ErrCode::Checksum: return "checksum";
+    case ErrCode::ConnReset: return "conn_reset";
+    case ErrCode::Cancelled: return "cancelled";
+    case ErrCode::Internal: return "internal";
+  }
+  return "unknown";
+}
 
 }  // namespace mpcx

@@ -1,0 +1,239 @@
+#include "support/faults.hpp"
+
+#include <array>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "prof/counters.hpp"
+#include "support/logging.hpp"
+
+namespace mpcx::faults {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// Armed plan + per-site deterministic op streams. Guarded by g_mu for the
+/// (cold) arm/disarm path; the per-op path touches only the atomics.
+std::mutex g_mu;
+Plan g_plan;
+std::array<std::atomic<std::uint64_t>, kSiteCount> g_site_ops{};
+
+/// Counters block registered as "faults" so MPCX_STATS=1 reports injections
+/// alongside the device blocks from PR 1.
+prof::Counters& fault_counters() {
+  static std::shared_ptr<prof::Counters> counters =
+      prof::Registry::global().create("faults");
+  return *counters;
+}
+
+/// splitmix64 of (seed, site, op index): a fixed function of the plan and
+/// the operation's position in its site's stream, so the same plan replays
+/// the same faults no matter how threads interleave across sites.
+std::uint64_t mix(std::uint64_t seed, std::size_t site, std::uint64_t op) {
+  std::uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL * (op + 1)) ^
+                    (0xBF58476D1CE4E5B9ULL * (site + 1));
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0,1) from the top 53 bits.
+double u01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // std::from_chars<double> is incomplete on some libstdc++ versions the CI
+  // matrix uses; strtod on a bounded copy is portable and good enough here.
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed > 0xFFFFFFFFULL) {
+    log::warn("faults: ignoring malformed ", name, "='", value, "'");
+    return fallback;
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+/// Deadline knobs: env-seeded once, test-overridable. 0xFFFFFFFF = "unset,
+/// read the environment" so set_*() can trump getenv without ordering races
+/// at static init.
+constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+std::atomic<std::uint32_t> g_op_timeout_ms{kUnset};
+std::atomic<std::uint32_t> g_connect_timeout_ms{kUnset};
+
+/// Arms the MPCX_FAULTS plan before main() (mirrors prof's MPCX_STATS
+/// bootstrapping) so launched ranks inject without any code changes.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("MPCX_FAULTS");
+    if (spec == nullptr || *spec == '\0') return;
+    if (auto plan = parse_plan(spec)) {
+      set_plan(*plan);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+prof::Counters& counters() { return fault_counters(); }
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::TcpWrite: return "tcp_write";
+    case Site::TcpRead: return "tcp_read";
+    case Site::ShmPush: return "shm_push";
+    case Site::Count: break;
+  }
+  return "?";
+}
+
+std::optional<Plan> parse_plan(const std::string& spec) {
+  Plan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    rest = (comma == std::string_view::npos) ? std::string_view{} : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      log::error("faults: malformed MPCX_FAULTS item '", std::string(item),
+                 "' (expected key=value); plan not armed");
+      return std::nullopt;
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    bool ok = false;
+    if (key == "drop") {
+      ok = parse_double(value, plan.drop) && plan.drop >= 0.0 && plan.drop <= 1.0;
+    } else if (key == "corrupt") {
+      ok = parse_double(value, plan.corrupt) && plan.corrupt >= 0.0 && plan.corrupt <= 1.0;
+    } else if (key == "delay_ms") {
+      std::uint64_t ms = 0;
+      ok = parse_u64(value, ms) && ms <= 60'000;
+      if (ok) plan.delay_ms = static_cast<std::uint32_t>(ms);
+    } else if (key == "reset_after") {
+      ok = parse_u64(value, plan.reset_after);
+    } else if (key == "seed") {
+      ok = parse_u64(value, plan.seed);
+    }
+    if (!ok) {
+      log::error("faults: malformed MPCX_FAULTS item '", std::string(item),
+                 "'; plan not armed");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+void set_plan(const Plan& plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_plan = plan;
+  for (auto& ops : g_site_ops) ops.store(0, std::memory_order_relaxed);
+  detail::g_armed.store(plan.active(), std::memory_order_relaxed);
+  if (plan.active()) {
+    log::info("faults: armed plan drop=", plan.drop, " corrupt=", plan.corrupt,
+              " delay_ms=", plan.delay_ms, " reset_after=", plan.reset_after,
+              " seed=", plan.seed);
+  }
+}
+
+void clear_plan() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_plan = Plan{};
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+Plan current_plan() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_plan;
+}
+
+Action next_action(Site site) {
+  // Snapshot the plan without the lock: arming happens before the worker
+  // threads exist in every supported flow (env at static init, or tests
+  // arming before building the device harness), so plain reads are safe
+  // once enabled() returned true.
+  const Plan plan = [] {
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_plan;
+  }();
+  const std::size_t site_idx = static_cast<std::size_t>(site);
+  const std::uint64_t op = g_site_ops[site_idx].fetch_add(1, std::memory_order_relaxed);
+
+  if (plan.delay_ms > 0) {
+    fault_counters().add(prof::Ctr::FaultsInjected);
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+  }
+
+  // reset_after is 1-based and fires exactly once per site.
+  if (plan.reset_after > 0 && op + 1 == plan.reset_after) {
+    fault_counters().add(prof::Ctr::FaultsInjected);
+    log::debug("faults: injecting reset at ", site_name(site), " op ", op + 1);
+    return Action::Reset;
+  }
+
+  const double roll = u01(mix(plan.seed, site_idx, op));
+  if (plan.drop > 0.0 && roll < plan.drop) {
+    fault_counters().add(prof::Ctr::FaultsInjected);
+    log::debug("faults: injecting drop at ", site_name(site), " op ", op + 1);
+    return Action::Drop;
+  }
+  if (plan.corrupt > 0.0 && roll < plan.drop + plan.corrupt) {
+    fault_counters().add(prof::Ctr::FaultsInjected);
+    log::debug("faults: injecting corruption at ", site_name(site), " op ", op + 1);
+    return Action::Corrupt;
+  }
+  return Action::None;
+}
+
+std::uint32_t op_timeout_ms() {
+  std::uint32_t value = g_op_timeout_ms.load(std::memory_order_relaxed);
+  if (value == kUnset) {
+    value = env_u32("MPCX_OP_TIMEOUT_MS", 0);
+    g_op_timeout_ms.store(value, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+std::uint32_t connect_timeout_ms() {
+  std::uint32_t value = g_connect_timeout_ms.load(std::memory_order_relaxed);
+  if (value == kUnset) {
+    value = env_u32("MPCX_CONNECT_TIMEOUT_MS", 30'000);
+    g_connect_timeout_ms.store(value, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+void set_op_timeout_ms(std::uint32_t ms) {
+  g_op_timeout_ms.store(ms == kUnset ? kUnset - 1 : ms, std::memory_order_relaxed);
+}
+
+void set_connect_timeout_ms(std::uint32_t ms) {
+  g_connect_timeout_ms.store(ms == kUnset ? kUnset - 1 : ms, std::memory_order_relaxed);
+}
+
+}  // namespace mpcx::faults

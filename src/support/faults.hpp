@@ -1,0 +1,127 @@
+// mpcx::faults — deterministic, process-global fault injection.
+//
+// The transport layers (tcpdev's socket read/write paths, shmdev's ring
+// push) consult this module at their I/O choke points. A *fault plan*,
+// normally parsed from the MPCX_FAULTS environment variable, decides — per
+// site and per operation, deterministically — whether to drop the bytes,
+// corrupt them, delay them, or reset the connection. The same plan + seed
+// always injects the same faults at the same operations, so a failing fault
+// test reproduces exactly.
+//
+//   MPCX_FAULTS=drop=0.01,delay_ms=5,corrupt=0.001,reset_after=200,seed=7
+//
+//   drop=P         drop the write/push entirely with probability P
+//   corrupt=P      flip a byte of the payload with probability P
+//   delay_ms=N     sleep N milliseconds before every injected-site operation
+//   reset_after=N  hard-reset the connection at the Nth operation per site
+//   seed=S         RNG seed (default 1); same seed => same fault sequence
+//
+// Overhead discipline (same as src/prof): with no plan armed, every site
+// pays exactly one relaxed atomic load + branch. All the RNG and bookkeeping
+// lives behind that branch.
+//
+// This module also owns the two robustness deadline knobs, read once from
+// the environment and overridable by tests:
+//
+//   MPCX_OP_TIMEOUT_MS       deadline for blocking recv/wait/rendezvous
+//                            (0 = wait forever, the default)
+//   MPCX_CONNECT_TIMEOUT_MS  per-peer bootstrap connect/accept deadline
+//                            (default 30000)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mpcx::faults {
+
+/// Injection points. Each site has its own deterministic operation counter
+/// so plans replay identically regardless of cross-site interleaving.
+enum class Site : std::size_t {
+  TcpWrite,  ///< Socket::write_all (frame header + payload writes)
+  TcpRead,   ///< Socket::read_some / read_all (input-handler reads)
+  ShmPush,   ///< shmdev Segment ring push
+  Count
+};
+
+constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::Count);
+
+const char* site_name(Site site);
+
+/// What the choke point should do for this operation. Delay is not an
+/// Action: when the plan sets delay_ms, next_action() sleeps inline before
+/// returning, so sites only need to handle the destructive outcomes.
+enum class Action {
+  None,     ///< proceed normally
+  Drop,     ///< silently discard the bytes (write/push sites only)
+  Corrupt,  ///< flip one payload byte in a copy, then proceed
+  Reset,    ///< tear the connection down (shutdown + throw)
+};
+
+/// A parsed fault plan. All-zero means "inject nothing".
+struct Plan {
+  double drop = 0.0;               ///< per-op drop probability [0,1]
+  double corrupt = 0.0;            ///< per-op corruption probability [0,1]
+  std::uint32_t delay_ms = 0;      ///< inline sleep before every op at a site
+  std::uint64_t reset_after = 0;   ///< 1-based op index to reset at (0 = never)
+  std::uint64_t seed = 1;          ///< RNG seed
+
+  bool active() const {
+    return drop > 0.0 || corrupt > 0.0 || delay_ms > 0 || reset_after > 0;
+  }
+};
+
+/// Parse the MPCX_FAULTS grammar. Returns nullopt (and logs) on a malformed
+/// spec rather than arming a half-parsed plan.
+std::optional<Plan> parse_plan(const std::string& spec);
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// The one load every choke point pays when fault injection is off.
+inline bool enabled() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+/// Arm `plan` process-wide and reset all per-site operation counters.
+/// Arming an inactive plan disarms (same as clear_plan()).
+void set_plan(const Plan& plan);
+
+/// Disarm fault injection (tests; restores the fast path).
+void clear_plan();
+
+/// The currently armed plan (meaningful only while enabled()).
+Plan current_plan();
+
+/// Decide the fate of the next operation at `site`. Sleeps inline when the
+/// plan carries a delay, tallies prof counters, and advances the site's
+/// deterministic RNG stream. Callers must check enabled() first.
+Action next_action(Site site);
+
+}  // namespace mpcx::faults
+
+namespace mpcx::prof {
+class Counters;
+}  // namespace mpcx::prof
+
+namespace mpcx::faults {
+
+/// The process-wide "faults" counters block (FaultsInjected / IoRetries /
+/// OpTimeouts / ChecksumFailures live here). Always valid; counting is
+/// gated by prof::counting() as usual.
+prof::Counters& counters();
+
+// ---- deadline knobs -----------------------------------------------------------
+
+/// Deadline in ms for blocking recv/wait/probe/rendezvous completion.
+/// 0 means wait forever (the default, matching stock MPI semantics).
+std::uint32_t op_timeout_ms();
+
+/// Per-peer connect/accept deadline during device bootstrap (default 30000).
+std::uint32_t connect_timeout_ms();
+
+/// Override the deadlines at runtime (tests; trump the environment).
+void set_op_timeout_ms(std::uint32_t ms);
+void set_connect_timeout_ms(std::uint32_t ms);
+
+}  // namespace mpcx::faults

@@ -7,11 +7,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include "prof/counters.hpp"
 
 namespace mpcx::net {
 namespace {
@@ -34,19 +38,28 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      fault_site_(std::exchange(other.fault_site_, -1)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    fault_site_ = std::exchange(other.fault_site_, -1);
   }
   return *this;
 }
 
 Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = static_cast<int>(faults::connect_timeout_ms());
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   const sockaddr_in addr = make_addr(host, port);
+  // Exponential backoff between attempts: fast enough to win the normal
+  // bootstrap race (peer's listen(2) a few ms away), slow enough not to
+  // hammer a wedged host for the whole connect window.
+  int backoff_ms = 2;
+  constexpr int kMaxBackoffMs = 250;
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
@@ -55,13 +68,19 @@ Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_
     }
     const int err = errno;
     ::close(fd);
-    if ((err == ECONNREFUSED || err == ETIMEDOUT || err == EAGAIN) &&
-        std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const auto now = std::chrono::steady_clock::now();
+    if ((err == ECONNREFUSED || err == ETIMEDOUT || err == EAGAIN) && now < deadline) {
+      faults::counters().add(prof::Ctr::IoRetries);
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<long long>(backoff_ms, remaining)));
+      backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
       continue;
     }
     throw SocketError("connect to " + host + ":" + std::to_string(port) + ": " +
-                      std::strerror(err));
+                      std::strerror(err) + " (after " + std::to_string(timeout_ms) +
+                      " ms; set MPCX_CONNECT_TIMEOUT_MS to adjust)");
   }
 }
 
@@ -100,6 +119,23 @@ void Socket::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
 }
 
 void Socket::write_all(std::span<const std::byte> data) {
+  std::vector<std::byte> corrupted;  // storage for the Corrupt action only
+  if (fault_site_ >= 0 && faults::enabled()) {
+    switch (faults::next_action(static_cast<faults::Site>(fault_site_))) {
+      case faults::Action::Drop:
+        return;  // bytes silently vanish; the peer sees a stalled stream
+      case faults::Action::Reset:
+        ::shutdown(fd_, SHUT_RDWR);
+        throw SocketError("send: connection reset (injected fault)");
+      case faults::Action::Corrupt:
+        corrupted.assign(data.begin(), data.end());
+        if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= std::byte{0x5A};
+        data = corrupted;
+        break;
+      case faults::Action::None:
+        break;
+    }
+  }
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
@@ -126,6 +162,17 @@ void Socket::read_all(std::span<std::byte> data) {
 
 IoStatus Socket::read_some(std::span<std::byte> data, std::size_t& transferred) {
   transferred = 0;
+  if (fault_site_ >= 0 && faults::enabled()) {
+    // Read-side injection is deliberately limited to Delay (done inside
+    // next_action) and Reset: dropping or corrupting *received* bytes would
+    // damage user buffers the transport has already vouched for, which no
+    // real network failure does past TCP's own checksum.
+    if (faults::next_action(static_cast<faults::Site>(fault_site_)) ==
+        faults::Action::Reset) {
+      ::shutdown(fd_, SHUT_RDWR);
+      return IoStatus::Eof;  // surfaces as a peer failure in the input loop
+    }
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, data.data(), data.size(), 0);
     if (n > 0) {

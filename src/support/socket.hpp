@@ -18,13 +18,16 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/faults.hpp"
 
 namespace mpcx::net {
 
-/// Error from the socket layer; wraps errno text.
+/// Error from the socket layer; wraps errno text. Defaults to ConnReset —
+/// nearly every socket failure is some flavor of "the peer went away".
 class SocketError : public DeviceError {
  public:
-  explicit SocketError(const std::string& what) : DeviceError(what) {}
+  explicit SocketError(const std::string& what, ErrCode code = ErrCode::ConnReset)
+      : DeviceError(what, code) {}
 };
 
 /// Result of a non-blocking read attempt.
@@ -46,9 +49,10 @@ class Socket {
   Socket(Socket&& other) noexcept;
   Socket& operator=(Socket&& other) noexcept;
 
-  /// Connect to host:port (blocking), retrying for up to `timeout_ms` while
-  /// the peer is not yet listening (bootstrap races are normal).
-  static Socket connect(const std::string& host, std::uint16_t port, int timeout_ms = 10000);
+  /// Connect to host:port (blocking), retrying with exponential backoff for
+  /// up to `timeout_ms` while the peer is not yet listening (bootstrap races
+  /// are normal). -1 uses faults::connect_timeout_ms() (MPCX_CONNECT_TIMEOUT_MS).
+  static Socket connect(const std::string& host, std::uint16_t port, int timeout_ms = -1);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -74,8 +78,15 @@ class Socket {
   /// Local port this socket is bound to.
   std::uint16_t local_port() const;
 
+  /// Opt this socket into fault injection at `site`. Only data-plane
+  /// sockets (tcpdev read/write channels) call this; bootstrap handshakes
+  /// and the runtime control protocol stay fault-free so injected plans
+  /// exercise message paths, not the launcher.
+  void set_fault_site(faults::Site site) { fault_site_ = static_cast<int>(site); }
+
  private:
   int fd_ = -1;
+  int fault_site_ = -1;  ///< faults::Site, or -1 when injection is off here
 };
 
 /// Listening TCP socket bound to 127.0.0.1:<port> (port 0 = ephemeral).

@@ -25,6 +25,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "xdev/process_id.hpp"
 
@@ -117,6 +118,24 @@ class PostedRecvSet {
     return false;
   }
 
+  /// Remove and return EVERY posted entry matching `pred` (peer-failure
+  /// sweep: error out all receives pinned to a dead source).
+  std::vector<T> drain_if(const std::function<bool(const MatchKey&, const T&)>& pred) {
+    std::vector<T> drained;
+    for (auto& [key, entries] : buckets_) {
+      for (auto it = entries.begin(); it != entries.end();) {
+        if (pred(key, it->value)) {
+          drained.push_back(std::move(it->value));
+          it = entries.erase(it);
+          --size_;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return drained;
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
@@ -160,6 +179,21 @@ class UnexpectedSet {
       if (accepts(recv_key, entry.key)) return &entry.value;
     }
     return nullptr;
+  }
+
+  /// Remove and return every entry matching `pred` (peer-failure sweep:
+  /// purge announcements whose payload can no longer arrive).
+  std::vector<T> drain_if(const std::function<bool(const MatchKey&, const T&)>& pred) {
+    std::vector<T> drained;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (pred(it->key, it->value)) {
+        drained.push_back(std::move(it->value));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return drained;
   }
 
   std::size_t size() const { return entries_.size(); }

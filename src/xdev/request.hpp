@@ -12,6 +12,8 @@
 // xdev's peek() consumes.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -21,6 +23,8 @@
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
 #include "prof/trace.hpp"
+#include "support/error.hpp"
+#include "support/faults.hpp"
 #include "xdev/process_id.hpp"
 
 namespace mpcx::xdev {
@@ -38,6 +42,11 @@ struct DevStatus {
   bool truncated = false;
   /// True when the operation was cancelled before matching (Request.Cancel).
   bool cancelled = false;
+  /// Why the operation failed (Success when it didn't). Set by the device
+  /// when a peer dies / a frame fails its checksum, or by the waiter itself
+  /// when MPCX_OP_TIMEOUT_MS expires. Higher layers route this through the
+  /// communicator's error handler.
+  ErrCode error = ErrCode::Success;
 };
 
 /// Opaque base for objects hung off a request by higher layers (the paper's
@@ -69,15 +78,19 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
 
   Kind kind() const { return kind_; }
 
-  /// Device side: mark complete and wake all waiters. Must be called at most
-  /// once. If a hook is installed, the request is also published to the
-  /// device's completion queue for peek().
+  /// Device side: mark complete and wake all waiters. Idempotent — the
+  /// first caller (device completion, fail_peer error sweep, or a timed-out
+  /// waiter) wins the `claimed_` race and publishes; later calls are no-ops.
+  /// If a hook is installed, the request is also published to the device's
+  /// completion queue for peek().
   void complete(const DevStatus& status) {
+    if (!try_claim()) return;
     // Tally and fire the end hooks BEFORE publishing completion: a thread
     // returning from wait()/test() must observe the operation already
     // counted (the mutex hand-off orders the relaxed adds for it).
     const std::size_t bytes = status.static_bytes + status.dynamic_bytes;
-    if (counters_ != nullptr && kind_ == Kind::Recv && !status.cancelled) {
+    if (counters_ != nullptr && kind_ == Kind::Recv && !status.cancelled &&
+        status.error == ErrCode::Success) {
       counters_->add(prof::Ctr::MsgsRecvd);
       counters_->add(prof::Ctr::BytesRecvd, bytes);
     }
@@ -89,25 +102,38 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
         hooks->on_send_end(info);
       }
     }
-    std::shared_ptr<CompletionHook> hook;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      status_ = status;
-      complete_ = true;
-      hook = hook_.lock();
-    }
-    cv_.notify_all();
-    if (hook && sink_ != nullptr) sink_->publish(shared_from_this());
+    publish(status);
   }
 
-  /// Block until complete; returns the completion status.
+  /// Block until complete; returns the completion status. When
+  /// MPCX_OP_TIMEOUT_MS is set, a wait that outlives the deadline races the
+  /// device for completion ownership and — on winning — self-completes with
+  /// ErrCode::Timeout, so no blocking path can hang forever.
   DevStatus wait() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!complete_) {
-      if (prof::Hooks* hooks = prof::hooks()) hooks->on_wait();
-      prof::Span span("wait", "xdev");
+    if (complete_) return status_;
+    if (prof::Hooks* hooks = prof::hooks()) hooks->on_wait();
+    prof::Span span("wait", "xdev");
+    const std::uint32_t deadline_ms = faults::op_timeout_ms();
+    if (deadline_ms == 0) {
       cv_.wait(lock, [&] { return complete_; });
+      return status_;
     }
+    if (cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                     [&] { return complete_; })) {
+      return status_;
+    }
+    lock.unlock();
+    if (try_claim()) {
+      faults::counters().add(prof::Ctr::OpTimeouts);
+      DevStatus timed_out;
+      timed_out.error = ErrCode::Timeout;
+      publish(timed_out);
+    }
+    // If the claim was lost, the device is mid-complete(); either way the
+    // request is (about to be) complete, so this re-wait is bounded.
+    lock.lock();
+    cv_.wait(lock, [&] { return complete_; });
     return status_;
   }
 
@@ -147,9 +173,27 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   }
 
  private:
+  /// Win the right to complete this request (exactly one caller does).
+  bool try_claim() { return !claimed_.exchange(true, std::memory_order_acq_rel); }
+
+  /// Store the status, wake waiters, and feed the Waitany queue. Only the
+  /// claim winner may call this.
+  void publish(const DevStatus& status) {
+    std::shared_ptr<CompletionHook> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = status;
+      complete_ = true;
+      hook = hook_.lock();
+    }
+    cv_.notify_all();
+    if (hook && sink_ != nullptr) sink_->publish(shared_from_this());
+  }
+
   const Kind kind_;
   CompletionSink* const sink_;
   prof::Counters* const counters_;
+  std::atomic<bool> claimed_{false};
   std::mutex mu_;
   std::condition_variable cv_;
   std::weak_ptr<CompletionHook> hook_;

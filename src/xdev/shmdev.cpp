@@ -43,6 +43,7 @@
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
 #include "support/endian.hpp"
+#include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "xdev/completion_queue.hpp"
 #include "xdev/device.hpp"
@@ -150,7 +151,9 @@ class Segment {
   }
 
   /// Map a peer's segment, waiting for it to be created and initialized.
-  static std::unique_ptr<Segment> open_peer(std::uint64_t id, int timeout_ms = 30000) {
+  /// -1 uses faults::connect_timeout_ms() (MPCX_CONNECT_TIMEOUT_MS).
+  static std::unique_ptr<Segment> open_peer(std::uint64_t id, int timeout_ms = -1) {
+    if (timeout_ms < 0) timeout_ms = static_cast<int>(faults::connect_timeout_ms());
     const std::string name = segment_name(id);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -383,12 +386,22 @@ class ShmDevice final : public Device {
   DevStatus probe(ProcessID src, int tag, int context) override {
     counters_->add(prof::Ctr::ProbeCalls);
     const MatchKey key{context, tag, src};
+    const std::uint32_t deadline_ms = faults::op_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
     std::unique_lock<std::mutex> lock(recv_mu_);
     for (;;) {
       const auto* entry = unexpected_.find(key);
       if (entry != nullptr) return unexp_status(**entry);
       if (!running_) throw DeviceError("shmdev: probe after finish");
-      arrival_cv_.wait(lock);
+      if (deadline_ms == 0) {
+        arrival_cv_.wait(lock);
+      } else if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        faults::counters().add(prof::Ctr::OpTimeouts);
+        throw DeviceError("shmdev: probe timed out after " + std::to_string(deadline_ms) +
+                              " ms (MPCX_OP_TIMEOUT_MS)",
+                          ErrCode::Timeout);
+      }
     }
   }
 
@@ -489,6 +502,40 @@ class ShmDevice final : public Device {
         if (chunk > part_a.size()) part_b = d.subspan(0, chunk - part_a.size());
       } else {
         part_a = d.subspan(sent - s.size(), chunk);
+      }
+      // Fault injection at the ring choke point (Data records only — ACK
+      // and Shutdown records must stay reliable or finish() would hang).
+      std::vector<std::byte> corrupted;
+      if (faults::enabled()) {
+        switch (faults::next_action(faults::Site::ShmPush)) {
+          case faults::Action::Drop:
+            sent += chunk;
+            continue;  // chunk vanishes; the receiver's assembly never finishes
+          case faults::Action::Reset: {
+            // No connection to reset over shared memory; the closest analog
+            // is the send failing outright.
+            {
+              std::lock_guard<std::mutex> lock(ack_mu_);
+              awaiting_ack_.erase(msg_id);
+            }
+            DevStatus status;
+            status.source = self_;
+            status.tag = tag;
+            status.context = context;
+            status.error = ErrCode::ConnReset;
+            request->complete(status);
+            return request;
+          }
+          case faults::Action::Corrupt:
+            if (!part_a.empty()) {
+              corrupted.assign(part_a.begin(), part_a.end());
+              corrupted[corrupted.size() / 2] ^= std::byte{0x5A};
+              part_a = corrupted;
+            }
+            break;
+          case faults::Action::None:
+            break;
+        }
       }
       ring.push(rec, part_a, part_b);
       sent += chunk;

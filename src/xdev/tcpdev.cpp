@@ -19,17 +19,20 @@
 //     and "send-communication-sets" by send_mu_, with the same
 //     release-before-channel-lock discipline as the paper's pseudocode.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bufx/buffer_pool.hpp"
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
+#include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "support/socket.hpp"
 #include "xdev/completion_queue.hpp"
@@ -123,11 +126,35 @@ class TcpDevice final : public Device {
     std::vector<net::Socket> accepted(n);
     std::vector<std::uint64_t> accepted_ids(n, 0);
     std::exception_ptr accept_error;
+    const int accept_timeout_ms = static_cast<int>(faults::connect_timeout_ms());
     std::thread accept_thread([&] {
       try {
         for (std::size_t i = 0; i < n; ++i) {
-          auto sock = acceptor_.accept_for(30000);
-          if (!sock) throw DeviceError("tcpdev: timed out accepting peer connections");
+          auto sock = acceptor_.accept_for(accept_timeout_ms);
+          if (!sock) {
+            // Name the peers whose hellos never arrived so a wedged rank is
+            // identifiable from this rank's error alone.
+            std::string missing;
+            for (const EndpointInfo& info : config.world) {
+              bool seen = false;
+              for (std::size_t j = 0; j < i; ++j) {
+                if (accepted_ids[j] == info.id.value) {
+                  seen = true;
+                  break;
+                }
+              }
+              if (seen) continue;
+              if (!missing.empty()) missing += ", ";
+              missing += std::to_string(info.id.value) + " (" + info.host + ":" +
+                         std::to_string(info.port) + ")";
+            }
+            throw DeviceError(
+                "tcpdev: rank " + std::to_string(self_.value) +
+                    " timed out accepting peer connections after " +
+                    std::to_string(accept_timeout_ms) +
+                    " ms (MPCX_CONNECT_TIMEOUT_MS); still waiting for: " + missing,
+                ErrCode::Timeout);
+          }
           std::array<std::byte, kHeaderBytes> hello{};
           sock->read_all(hello);
           const FrameHeader hdr = tcp::decode_header(hello);
@@ -144,7 +171,15 @@ class TcpDevice final : public Device {
 
     try {
       for (const EndpointInfo& info : config.world) {
-        net::Socket sock = net::Socket::connect(info.host, info.port, 30000);
+        net::Socket sock;
+        try {
+          sock = net::Socket::connect(info.host, info.port);
+        } catch (const net::SocketError& e) {
+          throw DeviceError("tcpdev: rank " + std::to_string(self_.value) +
+                                " failed to connect write channel to rank " +
+                                std::to_string(info.id.value) + ": " + e.what(),
+                            e.code());
+        }
         sock.set_nodelay(true);
         if (config.socket_buffer_bytes > 0) {
           sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
@@ -155,6 +190,9 @@ class TcpDevice final : public Device {
         std::array<std::byte, kHeaderBytes> bytes{};
         tcp::encode_header(bytes, hello);
         sock.write_all(bytes);
+        // Fault injection arms only after the hello, so bootstrap itself is
+        // never subject to the plan.
+        sock.set_fault_site(faults::Site::TcpWrite);
         auto peer = std::make_unique<Peer>();
         peer->write_channel = std::move(sock);
         peers_.emplace(info.id.value, std::move(peer));
@@ -178,6 +216,7 @@ class TcpDevice final : public Device {
         sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
       }
       sock.set_nonblocking(true);
+      sock.set_fault_site(faults::Site::TcpRead);
       auto conn = std::make_unique<Conn>();
       conn->peer = accepted_ids[i];
       conn->sock = std::move(sock);
@@ -270,8 +309,23 @@ class TcpDevice final : public Device {
     if (msg->kind == FrameType::Eager) {
       deliver_buffered(*msg, buffer, request);
     } else {
-      send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
-               msg->dynamic_len, msg->msg_id);
+      try {
+        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+                 msg->dynamic_len, msg->msg_id);
+      } catch (const Error& e) {
+        // RTR never left: unhook the pending record and surface the failure
+        // on the request instead of leaking a receive that cannot complete.
+        {
+          std::lock_guard<std::mutex> lock(recv_mu_);
+          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
+        }
+        DevStatus status;
+        status.source = msg->key.src;
+        status.tag = msg->key.tag;
+        status.context = msg->key.context;
+        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+        request->complete(status);
+      }
     }
     return request;
   }
@@ -279,12 +333,26 @@ class TcpDevice final : public Device {
   DevStatus probe(ProcessID src, int tag, int context) override {
     counters_->add(prof::Ctr::ProbeCalls);
     const MatchKey key{context, tag, src};
+    const std::uint32_t deadline_ms = faults::op_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
     std::unique_lock<std::mutex> lock(recv_mu_);
     for (;;) {
       const auto* entry = unexpected_.find(key);
       if (entry != nullptr) return unexpected_status(**entry);
       if (!running_) throw DeviceError("tcpdev: probe after finish");
-      arrival_cv_.wait(lock);
+      if (!src.is_any() && dead_peers_.count(src.value) > 0) {
+        throw DeviceError("tcpdev: probe source " + std::to_string(src.value) + " failed",
+                          ErrCode::ConnReset);
+      }
+      if (deadline_ms == 0) {
+        arrival_cv_.wait(lock);
+      } else if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        faults::counters().add(prof::Ctr::OpTimeouts);
+        throw DeviceError("tcpdev: probe timed out after " + std::to_string(deadline_ms) +
+                              " ms (MPCX_OP_TIMEOUT_MS)",
+                          ErrCode::Timeout);
+      }
     }
   }
 
@@ -346,6 +414,9 @@ class TcpDevice final : public Device {
     std::size_t dynamic_len = 0;
     std::size_t body_got = 0;
     std::function<void()> on_body_done;
+    /// The receive whose buffer the in-flight body targets, if any; failed
+    /// with the peer when the channel dies mid-message.
+    DevRequest body_request;
   };
 
   void require_buffer_committed(const buf::Buffer& buffer) const {
@@ -386,13 +457,17 @@ class TcpDevice final : public Device {
     hdr.src = self_.value;
     hdr.static_len = static_cast<std::uint32_t>(buffer.static_size());
     hdr.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
-    write_message(buffer, peer_for(dst.value), hdr);
     DevStatus status;
     status.source = self_;
     status.tag = tag;
     status.context = context;
-    status.static_bytes = buffer.static_size();
-    status.dynamic_bytes = buffer.dynamic_size();
+    try {
+      write_message(buffer, peer_for(dst.value), hdr);
+      status.static_bytes = buffer.static_size();
+      status.dynamic_bytes = buffer.dynamic_size();
+    } catch (const Error& e) {
+      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+    }
     return make_completed_request(DevRequestState::Kind::Send, status);
   }
 
@@ -435,7 +510,22 @@ class TcpDevice final : public Device {
     rts.static_len = static_cast<std::uint32_t>(buffer.static_size());
     rts.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
     rts.msg_id = id;
-    write_control(peer_for(dst.value), rts);
+    try {
+      write_control(peer_for(dst.value), rts);
+    } catch (const Error& e) {
+      // RTS never left: retire the send record and surface the failure on
+      // the request so wait() observes it.
+      {
+        std::lock_guard<std::mutex> lock(send_mu_);
+        pending_sends_.erase(id);
+      }
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+      request->complete(status);
+    }
     return request;
   }
 
@@ -472,14 +562,84 @@ class TcpDevice final : public Device {
         try {
           pump(*it->second);
         } catch (const Error& e) {
-          // Peer went away mid-run; drop the channel. Outstanding receives
-          // from that peer will never complete — matching real MPI behavior
-          // on a died rank.
+          // Peer went away (or its stream can no longer be trusted): drop
+          // the channel and error out every operation pinned to that peer so
+          // waiters observe the failure instead of hanging.
           if (running_) log::debug("tcpdev input handler: ", e.what());
+          if (e.code() == ErrCode::Checksum) {
+            faults::counters().add(prof::Ctr::ChecksumFailures);
+          }
+          Conn& conn = *it->second;
+          const std::uint64_t peer = conn.peer;
+          DevRequest body_request = std::move(conn.body_request);
+          conn.body_request = nullptr;
+          conn.on_body_done = nullptr;
           poller_.remove(event.fd);
           conns_by_fd_.erase(it);
+          fail_peer(peer, e.code(), std::move(body_request));
         }
       }
+    }
+  }
+
+  /// Error out every pending operation pinned to a failed peer: posted
+  /// receives with that concrete source (wildcards stay — another peer can
+  /// still satisfy them), rendezvous receives awaiting its data, sends
+  /// addressed to it, claimed-but-incomplete unexpected arrivals from it,
+  /// and the in-flight body read, if any. Idempotent completion makes the
+  /// sweep safe against races with normal completions.
+  void fail_peer(std::uint64_t peer, ErrCode code, DevRequest body_request) {
+    if (code == ErrCode::Success || code == ErrCode::Internal) code = ErrCode::ConnReset;
+    std::vector<DevRequest> victims;
+    if (body_request) victims.push_back(std::move(body_request));
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      dead_peers_.insert(peer);
+      for (auto& rec : posted_.drain_if([&](const MatchKey& key, const RecvRec&) {
+             return !key.src.is_any() && key.src.value == peer;
+           })) {
+        victims.push_back(std::move(rec.request));
+      }
+      for (auto it = rndv_pending_.begin(); it != rndv_pending_.end();) {
+        if (it->first.src == peer) {
+          victims.push_back(std::move(it->second.request));
+          it = rndv_pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // Fully-arrived unexpected eager messages stay deliverable; anything
+      // still awaiting bytes from the dead peer cannot complete.
+      for (auto& msg : unexpected_.drain_if(
+               [&](const MatchKey& key, const std::shared_ptr<UnexpMsg>& entry) {
+                 return key.src.value == peer &&
+                        !(entry->kind == FrameType::Eager && entry->data_complete);
+               })) {
+        if (msg->claimant) victims.push_back(std::move(msg->claimant));
+        arriving_claims_.erase(msg.get());
+      }
+      arrival_cv_.notify_all();  // wake probes so they see dead_peers_
+    }
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      for (auto it = pending_sends_.begin(); it != pending_sends_.end();) {
+        if (it->second.dst.value == peer) {
+          victims.push_back(std::move(it->second.request));
+          it = pending_sends_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    DevStatus status;
+    status.source = ProcessID{peer};
+    status.error = code;
+    for (const DevRequest& request : victims) {
+      if (request) request->complete(status);
+    }
+    if (!victims.empty()) {
+      log::warn("tcpdev: peer ", peer, " failed (", err_code_name(code), "); errored ",
+                victims.size(), " pending operation(s)");
     }
   }
 
@@ -516,12 +676,13 @@ class TcpDevice final : public Device {
       conn.in_body = false;
       auto done = std::move(conn.on_body_done);
       conn.on_body_done = nullptr;
+      conn.body_request = nullptr;
       if (done) done();
     }
   }
 
   void begin_body(Conn& conn, std::span<std::byte> static_dst, std::span<std::byte> dynamic_dst,
-                  std::function<void()> on_done) {
+                  std::function<void()> on_done, DevRequest fail_request = nullptr) {
     conn.in_body = true;
     conn.static_dst = static_dst.data();
     conn.static_len = static_dst.size();
@@ -529,6 +690,7 @@ class TcpDevice final : public Device {
     conn.dynamic_len = dynamic_dst.size();
     conn.body_got = 0;
     conn.on_body_done = std::move(on_done);
+    conn.body_request = std::move(fail_request);
   }
 
   void handle_frame(Conn& conn, const FrameHeader& hdr) {
@@ -607,10 +769,13 @@ class TcpDevice final : public Device {
     buf::Buffer* buffer = rec->buffer;
     DevRequest request = rec->request;
     const DevStatus status = status_from(hdr);
-    begin_body(conn, static_dst, dynamic_dst, [buffer, request, status] {
-      buffer->seal_received();
-      request->complete(status);
-    });
+    begin_body(
+        conn, static_dst, dynamic_dst,
+        [buffer, request, status] {
+          buffer->seal_received();
+          request->complete(status);
+        },
+        request);
   }
 
   /// The eager payload of an unexpected message finished arriving.
@@ -657,10 +822,13 @@ class TcpDevice final : public Device {
     auto* pool = &pool_;
     auto holder = std::make_shared<std::unique_ptr<buf::Buffer>>(std::move(scratch));
     const DevStatus status = status_from(hdr, /*truncated=*/true);
-    begin_body(conn, static_dst, dynamic_dst, [holder, pool, request, status] {
-      pool->put(std::move(*holder));
-      request->complete(status);
-    });
+    begin_body(
+        conn, static_dst, dynamic_dst,
+        [holder, pool, request, status] {
+          pool->put(std::move(*holder));
+          request->complete(status);
+        },
+        request);
   }
 
   /// Fig. 8: ready-to-send control frame.
@@ -726,7 +894,15 @@ class TcpDevice final : public Device {
         status.dynamic_bytes = rec.buffer->dynamic_size();
         rec.request->complete(status);
       } catch (const Error& e) {
+        // Route the failure into the owning send request — a swallowed log
+        // line here used to leave the sender's wait() hanging forever.
         log::error("tcpdev rendez-write-thread: ", e.what());
+        DevStatus status;
+        status.source = self_;
+        status.tag = rec.tag;
+        status.context = rec.context;
+        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+        rec.request->complete(status);
       }
       std::lock_guard<std::mutex> lock(writer_mu_);
       if (--active_writers_ == 0) writer_cv_.notify_all();
@@ -754,10 +930,13 @@ class TcpDevice final : public Device {
     buf::Buffer* buffer = pending.buffer;
     DevRequest request = pending.request;
     const DevStatus status = status_from(hdr);
-    begin_body(conn, static_dst, dynamic_dst, [buffer, request, status] {
-      buffer->seal_received();
-      request->complete(status);
-    });
+    begin_body(
+        conn, static_dst, dynamic_dst,
+        [buffer, request, status] {
+          buffer->seal_received();
+          request->complete(status);
+        },
+        request);
   }
 
   // ---- members -----------------------------------------------------------------
@@ -780,6 +959,8 @@ class TcpDevice final : public Device {
   std::unordered_map<RndvKey, RndvPending, RndvKeyHash> rndv_pending_;
   // Keeps still-arriving claimed messages alive until their payload lands.
   std::unordered_map<const UnexpMsg*, std::shared_ptr<UnexpMsg>> arriving_claims_;
+  // Peers whose channels have failed; probes against them error immediately.
+  std::unordered_set<std::uint64_t> dead_peers_;
 
   // "send-communication-sets" (Fig. 6).
   std::mutex send_mu_;

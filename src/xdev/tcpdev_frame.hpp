@@ -9,16 +9,27 @@
 // so an eager send is a single contiguous write of [header | static] plus
 // one write for the dynamic section — the paper's reason for exposing
 // getSendOverhead() through the xdev API.
+//
+// Integrity: bytes 1-2 carry the magic "MX", byte 3 the format version, and
+// the last 4 bytes a CRC32C over bytes [0, 36). A header that fails any of
+// these checks throws DeviceError(ErrCode::Checksum); the receiving device
+// treats that as a peer failure (the stream offset can no longer be
+// trusted) and errors out that peer's requests instead of crashing.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
 
+#include "support/crc32c.hpp"
 #include "support/endian.hpp"
 #include "support/error.hpp"
 
 namespace mpcx::xdev::tcp {
+
+inline constexpr std::uint8_t kMagic0 = 'M';
+inline constexpr std::uint8_t kMagic1 = 'X';
+inline constexpr std::uint8_t kFrameVersion = 1;
 
 enum class FrameType : std::uint8_t {
   Hello = 1,     ///< connection setup: announces the connector's ProcessID
@@ -43,22 +54,38 @@ inline constexpr std::size_t kHeaderBytes = 40;
 inline void encode_header(std::span<std::byte> out, const FrameHeader& hdr) {
   if (out.size() < kHeaderBytes) throw DeviceError("tcpdev: header span too small");
   out[0] = static_cast<std::byte>(hdr.type);
-  out[1] = out[2] = out[3] = std::byte{0};
+  out[1] = std::byte{kMagic0};
+  out[2] = std::byte{kMagic1};
+  out[3] = std::byte{kFrameVersion};
   store_wire<std::int32_t>(out.data() + 4, hdr.context);
   store_wire<std::int32_t>(out.data() + 8, hdr.tag);
   store_wire<std::uint64_t>(out.data() + 12, hdr.src);
   store_wire<std::uint32_t>(out.data() + 20, hdr.static_len);
   store_wire<std::uint32_t>(out.data() + 24, hdr.dynamic_len);
   store_wire<std::uint64_t>(out.data() + 28, hdr.msg_id);
-  store_wire<std::uint32_t>(out.data() + 36, 0);  // reserved
+  store_wire<std::uint32_t>(out.data() + 36, crc32c(out.first(36)));
 }
 
 inline FrameHeader decode_header(std::span<const std::byte> in) {
   if (in.size() < kHeaderBytes) throw DeviceError("tcpdev: truncated header");
+  if (in[1] != std::byte{kMagic0} || in[2] != std::byte{kMagic1}) {
+    throw DeviceError("tcpdev: bad frame magic (stream desynchronized or corrupt)",
+                      ErrCode::Checksum);
+  }
+  if (in[3] != std::byte{kFrameVersion}) {
+    throw DeviceError("tcpdev: unsupported frame version " +
+                          std::to_string(static_cast<unsigned>(in[3])),
+                      ErrCode::Checksum);
+  }
+  const std::uint32_t wire_crc = load_wire<std::uint32_t>(in.data() + 36);
+  if (wire_crc != crc32c(in.first(36))) {
+    throw DeviceError("tcpdev: frame header failed CRC32C check", ErrCode::Checksum);
+  }
   FrameHeader hdr;
   const auto raw = static_cast<std::uint8_t>(in[0]);
   if (raw < 1 || raw > 5) {
-    throw DeviceError("tcpdev: corrupt frame type " + std::to_string(raw));
+    throw DeviceError("tcpdev: corrupt frame type " + std::to_string(raw),
+                      ErrCode::Checksum);
   }
   hdr.type = static_cast<FrameType>(raw);
   hdr.context = load_wire<std::int32_t>(in.data() + 4);

@@ -1,0 +1,430 @@
+// Fault-injection and resilience tests: the MPCX_FAULTS plan grammar and
+// deterministic replay, frame CRC integrity, bounded connect retries,
+// drop/corrupt/reset/delay plans driven through both software devices
+// (tcpdev + shmdev), operation deadlines (MPCX_OP_TIMEOUT_MS), and the
+// core-layer errhandler policies (see docs/ROBUSTNESS.md).
+//
+// Every test restores the clean state (plan disarmed, deadlines back to
+// defaults) so the rest of the suite runs fault-free. No test waits longer
+// than a few hundred milliseconds on an injected failure.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+#include "device_harness.hpp"
+#include "support/crc32c.hpp"
+#include "support/faults.hpp"
+#include "support/socket.hpp"
+#include "xdev/device.hpp"
+#include "xdev/tcpdev_frame.hpp"
+
+namespace mpcx {
+namespace {
+
+using xdev::DevRequest;
+using xdev::DevStatus;
+using xdev::Device;
+using xdev::testing::DeviceWorld;
+
+constexpr int kCtx = 0;
+
+/// RAII: disarm the plan and restore default deadlines, whatever the test
+/// body did (including on assertion failure).
+struct FaultScope {
+  ~FaultScope() {
+    faults::clear_plan();
+    faults::set_op_timeout_ms(0);
+    faults::set_connect_timeout_ms(30'000);
+  }
+};
+
+std::unique_ptr<buf::Buffer> packed(std::span<const std::int32_t> values, Device& dev) {
+  auto buffer = std::make_unique<buf::Buffer>(values.size() * 4 + 64,
+                                              static_cast<std::size_t>(dev.send_overhead()));
+  buffer->write(values);
+  buffer->commit();
+  return buffer;
+}
+
+std::unique_ptr<buf::Buffer> landing(std::size_t ints, Device& dev) {
+  return std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                       static_cast<std::size_t>(dev.recv_overhead()));
+}
+
+// ---- plan grammar -----------------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  auto plan = faults::parse_plan("drop=0.25,delay_ms=5,corrupt=0.125,reset_after=42,seed=7");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->drop, 0.25);
+  EXPECT_DOUBLE_EQ(plan->corrupt, 0.125);
+  EXPECT_EQ(plan->delay_ms, 5u);
+  EXPECT_EQ(plan->reset_after, 42u);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_TRUE(plan->active());
+}
+
+TEST(FaultPlan, EmptySpecIsInactive) {
+  auto plan = faults::parse_plan("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->active());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_FALSE(faults::parse_plan("drop").has_value());
+  EXPECT_FALSE(faults::parse_plan("drop=banana").has_value());
+  EXPECT_FALSE(faults::parse_plan("drop=1.5").has_value());
+  EXPECT_FALSE(faults::parse_plan("corrupt=-0.1").has_value());
+  EXPECT_FALSE(faults::parse_plan("delay_ms=99999999").has_value());
+}
+
+TEST(FaultPlan, DisabledByDefaultAndAfterClear) {
+  FaultScope scope;
+  faults::clear_plan();
+  EXPECT_FALSE(faults::enabled());
+  auto plan = faults::parse_plan("drop=0.5");
+  faults::set_plan(*plan);
+  EXPECT_TRUE(faults::enabled());
+  faults::clear_plan();
+  EXPECT_FALSE(faults::enabled());
+}
+
+TEST(FaultPlan, SameSeedReplaysSameActions) {
+  FaultScope scope;
+  auto plan = faults::parse_plan("drop=0.3,corrupt=0.2,seed=1234");
+  ASSERT_TRUE(plan.has_value());
+
+  auto run = [&] {
+    faults::set_plan(*plan);  // re-arming resets per-site op counters
+    std::vector<faults::Action> actions;
+    for (int i = 0; i < 256; ++i) actions.push_back(faults::next_action(faults::Site::TcpWrite));
+    return actions;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  // A 30%/20% plan must actually produce both fault kinds in 256 draws.
+  EXPECT_NE(std::count(first.begin(), first.end(), faults::Action::Drop), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), faults::Action::Corrupt), 0);
+}
+
+TEST(FaultPlan, SitesHaveIndependentStreams) {
+  FaultScope scope;
+  faults::set_plan(*faults::parse_plan("reset_after=3"));
+  // Each site counts its own ops: the third op per site resets, others pass.
+  EXPECT_EQ(faults::next_action(faults::Site::TcpWrite), faults::Action::None);
+  EXPECT_EQ(faults::next_action(faults::Site::ShmPush), faults::Action::None);
+  EXPECT_EQ(faults::next_action(faults::Site::TcpWrite), faults::Action::None);
+  EXPECT_EQ(faults::next_action(faults::Site::ShmPush), faults::Action::None);
+  EXPECT_EQ(faults::next_action(faults::Site::TcpWrite), faults::Action::Reset);
+  EXPECT_EQ(faults::next_action(faults::Site::ShmPush), faults::Action::Reset);
+  EXPECT_EQ(faults::next_action(faults::Site::TcpWrite), faults::Action::None);
+}
+
+// ---- frame integrity ----------------------------------------------------------------
+
+TEST(FrameIntegrity, Crc32cKnownAnswer) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes is 0x8A9136AA.
+  std::array<std::byte, 32> zeros{};
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(FrameIntegrity, HeaderRoundTrips) {
+  xdev::tcp::FrameHeader hdr;
+  hdr.type = xdev::tcp::FrameType::Eager;
+  hdr.context = 3;
+  hdr.tag = 99;
+  hdr.src = 0xDEADBEEFull;
+  hdr.static_len = 1024;
+  hdr.dynamic_len = 17;
+  hdr.msg_id = 42;
+  std::array<std::byte, xdev::tcp::kHeaderBytes> wire{};
+  xdev::tcp::encode_header(wire, hdr);
+  const auto out = xdev::tcp::decode_header(wire);
+  EXPECT_EQ(out.type, hdr.type);
+  EXPECT_EQ(out.context, hdr.context);
+  EXPECT_EQ(out.tag, hdr.tag);
+  EXPECT_EQ(out.src, hdr.src);
+  EXPECT_EQ(out.static_len, hdr.static_len);
+  EXPECT_EQ(out.dynamic_len, hdr.dynamic_len);
+  EXPECT_EQ(out.msg_id, hdr.msg_id);
+}
+
+TEST(FrameIntegrity, CrcDetectsEveryBitFlip) {
+  xdev::tcp::FrameHeader hdr;
+  hdr.type = xdev::tcp::FrameType::Rts;
+  hdr.tag = 5;
+  hdr.static_len = 4096;
+  hdr.msg_id = 7;
+  std::array<std::byte, xdev::tcp::kHeaderBytes> wire{};
+  xdev::tcp::encode_header(wire, hdr);
+  for (std::size_t byte = 0; byte < xdev::tcp::kHeaderBytes; ++byte) {
+    auto corrupted = wire;
+    corrupted[byte] ^= std::byte{0x40};
+    try {
+      (void)xdev::tcp::decode_header(corrupted);
+      FAIL() << "flip at byte " << byte << " went undetected";
+    } catch (const DeviceError& e) {
+      EXPECT_EQ(e.code(), ErrCode::Checksum) << "byte " << byte;
+    }
+  }
+}
+
+// ---- bounded connect retries -------------------------------------------------------
+
+TEST(ConnectTimeout, RefusedPortFailsWithinDeadline) {
+  FaultScope scope;
+  // Grab a free port, then close the listener so connects are refused.
+  std::uint16_t port = 0;
+  {
+    net::Acceptor probe(0);
+    port = probe.port();
+  }
+  faults::set_connect_timeout_ms(300);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    net::Socket sock = net::Socket::connect("127.0.0.1", port);
+    FAIL() << "connect to closed port unexpectedly succeeded";
+  } catch (const net::SocketError& e) {
+    EXPECT_NE(std::string(e.what()).find("MPCX_CONNECT_TIMEOUT_MS"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(250));
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+}
+
+// ---- tcpdev under fault plans ------------------------------------------------------
+
+TEST(TcpFaults, CorruptedFrameSurfacesChecksumError) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(4000);  // backstop: the test must not hang
+
+  auto rbuf = landing(4, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 7, kCtx);
+
+  // Every post-handshake write is corrupted; the small eager frame's flipped
+  // byte lands inside the 40-byte header, so the receiver's CRC fires.
+  faults::set_plan(*faults::parse_plan("corrupt=1.0"));
+  std::vector<std::int32_t> data = {1, 2, 3, 4};
+  auto sbuf = packed(data, world.device(0));
+  DevRequest send = world.device(0).isend(*sbuf, world.id(1), 7, kCtx);
+  send->wait();  // eager: completes locally even though the frame is mangled
+
+  const DevStatus status = recv->wait();
+  EXPECT_TRUE(status.error == ErrCode::Checksum || status.error == ErrCode::ConnReset)
+      << "got " << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(TcpFaults, ResetCompletesSendWithConnError) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+
+  faults::set_plan(*faults::parse_plan("reset_after=1"));
+  std::vector<std::int32_t> data = {5};
+  auto sbuf = packed(data, world.device(0));
+  DevRequest send = world.device(0).isend(*sbuf, world.id(1), 1, kCtx);
+  const DevStatus status = send->wait();
+  EXPECT_EQ(status.error, ErrCode::ConnReset) << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(TcpFaults, DroppedFrameTimesOutRecv) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(400);
+
+  auto rbuf = landing(1, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 2, kCtx);
+
+  faults::set_plan(*faults::parse_plan("drop=1.0"));
+  std::vector<std::int32_t> data = {9};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).isend(*sbuf, world.id(1), 2, kCtx)->wait();
+
+  const auto start = std::chrono::steady_clock::now();
+  const DevStatus status = recv->wait();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.error, ErrCode::Timeout) << err_code_name(status.error);
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+  faults::clear_plan();
+}
+
+TEST(TcpFaults, ProbeRespectsOpDeadline) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(300);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)world.device(1).probe(world.id(0), 3, kCtx);
+    FAIL() << "probe with no message should have timed out";
+  } catch (const DeviceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::Timeout);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(4));
+}
+
+TEST(TcpFaults, DelayPlanStillDeliversIntactPayload) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_plan(*faults::parse_plan("delay_ms=2"));
+  std::vector<std::int32_t> data = {11, 22, 33};
+  std::thread sender([&] {
+    auto sbuf = packed(data, world.device(0));
+    world.device(0).send(*sbuf, world.id(1), 4, kCtx);
+  });
+  auto rbuf = landing(3, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf, world.id(0), 4, kCtx);
+  sender.join();
+  faults::clear_plan();
+  EXPECT_EQ(status.error, ErrCode::Success);
+  std::vector<std::int32_t> out(3);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(TcpFaults, NoLeakedPendingRequestsAfterPeerFailure) {
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(4000);
+
+  // Several receives pinned to the soon-to-fail peer, plus one wildcard
+  // receive that must survive (another peer could still satisfy it).
+  std::vector<std::unique_ptr<buf::Buffer>> bufs;
+  std::vector<DevRequest> pinned;
+  for (int i = 0; i < 3; ++i) {
+    bufs.push_back(landing(2, world.device(1)));
+    pinned.push_back(world.device(1).irecv(*bufs.back(), world.id(0), 10 + i, kCtx));
+  }
+
+  faults::set_plan(*faults::parse_plan("corrupt=1.0"));
+  std::vector<std::int32_t> data = {1, 2};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).isend(*sbuf, world.id(1), 10, kCtx)->wait();
+
+  // All pinned receives error out once the checksum failure kills the peer —
+  // none is left pending (which would hang here well past the deadline).
+  for (auto& request : pinned) {
+    const DevStatus status = request->wait();
+    EXPECT_NE(status.error, ErrCode::Success);
+  }
+  faults::clear_plan();
+}
+
+// ---- shmdev under fault plans ----------------------------------------------------
+
+TEST(ShmFaults, DroppedChunkTimesOutRecv) {
+  FaultScope scope;
+  DeviceWorld world("shmdev", 2);
+  faults::set_op_timeout_ms(400);
+
+  auto rbuf = landing(4, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 6, kCtx);
+
+  faults::set_plan(*faults::parse_plan("drop=1.0"));
+  std::vector<std::int32_t> data = {1, 2, 3, 4};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).isend(*sbuf, world.id(1), 6, kCtx)->wait();
+
+  const DevStatus status = recv->wait();
+  EXPECT_EQ(status.error, ErrCode::Timeout) << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(ShmFaults, ResetCompletesSendWithConnError) {
+  FaultScope scope;
+  DeviceWorld world("shmdev", 2);
+  faults::set_plan(*faults::parse_plan("reset_after=1"));
+  std::vector<std::int32_t> data = {7};
+  auto sbuf = packed(data, world.device(0));
+  const DevStatus status = world.device(0).isend(*sbuf, world.id(1), 8, kCtx)->wait();
+  EXPECT_EQ(status.error, ErrCode::ConnReset) << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(ShmFaults, DelayPlanStillDeliversIntactPayload) {
+  FaultScope scope;
+  DeviceWorld world("shmdev", 2);
+  faults::set_plan(*faults::parse_plan("delay_ms=2"));
+  std::vector<std::int32_t> data = {4, 5, 6};
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).isend(*sbuf, world.id(1), 9, kCtx)->wait();
+  auto rbuf = landing(3, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf, world.id(0), 9, kCtx);
+  faults::clear_plan();
+  EXPECT_EQ(status.error, ErrCode::Success);
+  std::vector<std::int32_t> out(3);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+// ---- core errhandler policies -----------------------------------------------------
+
+TEST(CoreErrhandler, SetGetRoundTrip) {
+  cluster::launch(1, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    EXPECT_EQ(comm.Get_errhandler(), ERRORS_THROW);  // MPCX default
+    comm.Set_errhandler(ERRORS_RETURN);
+    EXPECT_EQ(comm.Get_errhandler(), ERRORS_RETURN);
+    comm.Set_errhandler(ERRORS_THROW);
+  });
+}
+
+TEST(CoreErrhandler, ErrorsReturnCarriesCodeInStatus) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> big(100, 1);
+      comm.Send(big.data(), 0, 100, types::INT(), 1, 1);
+    } else {
+      comm.Set_errhandler(ERRORS_RETURN);
+      std::vector<std::int32_t> small(2);
+      Status status;
+      EXPECT_NO_THROW(status = comm.Recv(small.data(), 0, 2, types::INT(), 0, 1));
+      EXPECT_EQ(status.Get_error(), ErrCode::Truncate);
+    }
+  });
+}
+
+TEST(CoreErrhandler, ErrorsThrowIsTheDefault) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> big(100, 1);
+      comm.Send(big.data(), 0, 100, types::INT(), 1, 1);
+    } else {
+      std::vector<std::int32_t> small(2);
+      try {
+        comm.Recv(small.data(), 0, 2, types::INT(), 0, 1);
+        FAIL() << "truncated receive should throw under ERRORS_THROW";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.code(), ErrCode::Truncate);
+      }
+    }
+  });
+}
+
+TEST(CoreErrhandler, ErrorsReturnOnNonBlockingRequest) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> big(100, 1);
+      comm.Send(big.data(), 0, 100, types::INT(), 1, 2);
+    } else {
+      comm.Set_errhandler(ERRORS_RETURN);
+      std::vector<std::int32_t> small(2);
+      Request request = comm.Irecv(small.data(), 0, 2, types::INT(), 0, 2);
+      Status status;
+      EXPECT_NO_THROW(status = request.Wait());
+      EXPECT_EQ(status.Get_error(), ErrCode::Truncate);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpcx

@@ -17,6 +17,7 @@
 #include "core/intracomm.hpp"
 #include "runtime/daemon.hpp"
 #include "runtime/launcher.hpp"
+#include "support/faults.hpp"
 
 namespace mpcx {
 namespace {
@@ -110,6 +111,50 @@ TEST_P(Stress, WildcardStormArrivesExactlyOnce) {
   }, opts());
 }
 
+TEST_P(Stress, MultithreadedStormUnderDelayFaultPlan) {
+  // MPI_THREAD_MULTIPLE resilience: a delay-only fault plan sleeps at every
+  // transport choke point, widening every race window without altering
+  // message semantics. The concurrent storm must still deliver every
+  // message exactly once with no deadlock. (Drop/corrupt plans belong in
+  // test_faults — they change semantics, not just timing.)
+  struct PlanScope {
+    ~PlanScope() { faults::clear_plan(); }
+  } scope;
+  faults::set_plan(*faults::parse_plan("delay_ms=1,seed=11"));
+
+  constexpr int kRanks = 3;
+  constexpr int kMessagesPerPair = 8;
+  cluster::launch(kRanks, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    const int n = comm.Size();
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == rank) continue;
+      threads.emplace_back([&, dst] {
+        for (int i = 0; i < kMessagesPerPair; ++i) {
+          const int value = rank * 1000 + i;
+          comm.Send(&value, 0, 1, types::INT(), dst, /*tag=*/i);
+        }
+      });
+    }
+    for (int src = 0; src < n; ++src) {
+      if (src == rank) continue;
+      threads.emplace_back([&, src] {
+        for (int i = 0; i < kMessagesPerPair; ++i) {
+          int value = -1;
+          comm.Recv(&value, 0, 1, types::INT(), src, /*tag=*/i);
+          if (value != src * 1000 + i) ++failures;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    comm.Barrier();
+  }, opts());
+}
+
 INSTANTIATE_TEST_SUITE_P(Devices, Stress, ::testing::Values("mxdev", "tcpdev", "shmdev"),
                          [](const auto& info) { return std::string(info.param); });
 
@@ -177,6 +222,54 @@ TEST(FailureInjection, SpawnOfMissingBinaryFails) {
 
 TEST(FailureInjection, UnknownDeviceNameRejected) {
   EXPECT_THROW(xdev::new_device("infiniband"), DeviceError);
+}
+
+TEST(FailureInjection, AbortKillsLiveChildren) {
+  // The MPI_Abort escalation path: one rank tells the daemon to abort and
+  // every live child is signalled.
+  runtime::Daemon daemon(0);
+  daemon.start();
+  runtime::DaemonClient client(runtime::DaemonAddr{"127.0.0.1", daemon.port()});
+  runtime::SpawnRequest request;
+  request.exe = "/bin/sh";
+  request.args = {"-c", "sleep 60"};
+  const auto first = client.spawn(request);
+  const auto second = client.spawn(request);
+  ASSERT_GE(first.pid, 0);
+  ASSERT_GE(second.pid, 0);
+  const auto reply = client.abort(/*code=*/3);
+  EXPECT_EQ(reply.killed, 2);
+  for (const auto pid : {first.pid, second.pid}) {
+    runtime::StatusReply status;
+    for (int i = 0; i < 300 && !status.exited; ++i) {
+      status = client.status(pid);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(status.exited) << "pid " << pid << " survived abort";
+    EXPECT_EQ(status.exit_code, 128 + 15);  // SIGTERM
+  }
+  daemon.stop();
+}
+
+TEST(FailureInjection, HeartbeatReapsDeadRankWithinBoundedInterval) {
+  // The daemon's reaper thread must notice a crashed child on its own
+  // (bounded by MPCX_HEARTBEAT_MS), not only when the launcher polls: a
+  // Status sent after the crash sees `exited` immediately because the
+  // heartbeat already did the waitpid.
+  runtime::Daemon daemon(0);
+  daemon.start();
+  runtime::DaemonClient client(runtime::DaemonAddr{"127.0.0.1", daemon.port()});
+  runtime::SpawnRequest request;
+  request.exe = "/bin/sh";
+  request.args = {"-c", "exit 9"};
+  const auto spawned = client.spawn(request);
+  ASSERT_GE(spawned.pid, 0);
+  // Give the child time to exit and the default 200 ms heartbeat to reap it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  const auto status = client.status(spawned.pid);
+  ASSERT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 9);
+  daemon.stop();
 }
 
 }  // namespace
