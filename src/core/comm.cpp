@@ -92,6 +92,12 @@ void Comm::give_buffer(std::unique_ptr<buf::Buffer> buffer) const {
   world_->give_buffer(std::move(buffer));
 }
 
+void Comm::reclaim_buffer(const mpdev::Request& request,
+                          std::unique_ptr<buf::Buffer> buffer) const {
+  xdev::reclaim_op_buffer(request.dev(), std::move(buffer),
+                          [this](std::unique_ptr<buf::Buffer> b) { give_buffer(std::move(b)); });
+}
+
 std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int count,
                                                 const DatatypePtr& type) const {
   prof::Span span("pack", "core");
@@ -107,17 +113,24 @@ std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int
 
 void Comm::ctx_send(int context, int tag, const void* buf, int offset, int count,
                     const DatatypePtr& type, int dest_local) const {
+  // Blocking ops go through a request so reclaim_buffer can defer the
+  // buffer's disposal when the wait times out with the device mid-transfer.
   auto buffer = pack_message(buf, offset, count, type);
-  engine().send(*buffer, world_dest(dest_local), tag, context);
-  give_buffer(std::move(buffer));
+  mpdev::Request request = engine().isend(*buffer, world_dest(dest_local), tag, context);
+  const mpdev::Status dev = request.wait();
+  reclaim_buffer(request, std::move(buffer));
+  if (dev.error != ErrCode::Success) {
+    handle_error(dev.error, std::string("send failed: ") + err_code_name(dev.error));
+  }
 }
 
 Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
                       const DatatypePtr& type, int source_local) const {
   auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
-  const mpdev::Status dev = engine().recv(*buffer, world_source(source_local), tag, context);
+  mpdev::Request request = engine().irecv(*buffer, world_source(source_local), tag, context);
+  const mpdev::Status dev = request.wait();
   if (dev.truncated || dev.error != ErrCode::Success) {
-    give_buffer(std::move(buffer));
+    reclaim_buffer(request, std::move(buffer));
     if (dev.truncated) {
       handle_error(ErrCode::Truncate, "receive truncated: message larger than the posted buffer");
     } else {
@@ -130,7 +143,7 @@ Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
     type->unpack_available(*buffer, byte_base(buf, offset, type), static_cast<std::size_t>(count));
     world_->counters().add(prof::Ctr::UnpackBytes, dev.static_bytes + dev.dynamic_bytes);
   }
-  give_buffer(std::move(buffer));
+  reclaim_buffer(request, std::move(buffer));
   return to_local_status(dev);
 }
 
@@ -166,8 +179,12 @@ void Comm::Ssend(const void* buf, int offset, int count, const DatatypePtr& type
   validate_send_tag(tag);
   if (dest == PROC_NULL) return;
   auto buffer = pack_message(buf, offset, count, type);
-  engine().ssend(*buffer, world_dest(dest), tag, ptp_context_);
-  give_buffer(std::move(buffer));
+  mpdev::Request request = engine().issend(*buffer, world_dest(dest), tag, ptp_context_);
+  const mpdev::Status dev = request.wait();
+  reclaim_buffer(request, std::move(buffer));
+  if (dev.error != ErrCode::Success) {
+    handle_error(dev.error, std::string("Ssend failed: ") + err_code_name(dev.error));
+  }
 }
 
 void Comm::Bsend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,

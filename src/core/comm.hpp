@@ -154,16 +154,21 @@ class Comm {
     auto buffer = take_buffer(0);
     buffer->write_object(value);
     buffer->commit();
-    engine().send(*buffer, world_dest(dest), tag, ptp_context_);
-    give_buffer(std::move(buffer));
+    mpdev::Request request = engine().isend(*buffer, world_dest(dest), tag, ptp_context_);
+    const mpdev::Status dev = request.wait();
+    reclaim_buffer(request, std::move(buffer));
+    if (dev.error != ErrCode::Success) {
+      handle_error(dev.error, std::string("send_object failed: ") + err_code_name(dev.error));
+    }
   }
 
   template <typename T>
   T recv_object(int source, int tag, Status* status_out = nullptr) const {
     auto buffer = take_buffer(0);
-    const mpdev::Status dev = engine().recv(*buffer, world_source(source), tag, ptp_context_);
+    mpdev::Request request = engine().irecv(*buffer, world_source(source), tag, ptp_context_);
+    const mpdev::Status dev = request.wait();
     if (dev.truncated || dev.error != ErrCode::Success) {
-      give_buffer(std::move(buffer));
+      reclaim_buffer(request, std::move(buffer));
       const ErrCode code = dev.error != ErrCode::Success ? dev.error : ErrCode::Truncate;
       handle_error(code, std::string("recv_object: ") + err_code_name(code));
       // ERRORS_RETURN cannot apply here: there is no value to hand back, so
@@ -172,7 +177,7 @@ class Comm {
     }
     T value = buffer->read_object<T>();
     if (status_out != nullptr) *status_out = to_local_status(dev);
-    give_buffer(std::move(buffer));
+    reclaim_buffer(request, std::move(buffer));
     return value;
   }
 
@@ -198,11 +203,16 @@ class Comm {
 
   /// Send a committed buffer as-is (no packing pass). The buffer must stay
   /// alive and unmodified until the call (or returned request) completes.
+  /// If the call fails with ErrCode::Timeout (MPCX_OP_TIMEOUT_MS), the
+  /// device may still be mid-transfer: keep the buffer alive afterwards
+  /// (don't destroy or reuse it) — unlike pooled-buffer operations, the
+  /// library cannot defer disposal of a caller-owned buffer.
   void Send_buffer(buf::Buffer& buffer, int dest, int tag) const;
   Request Isend_buffer(buf::Buffer& buffer, int dest, int tag) const;
 
   /// Receive into a caller-owned buffer; on return it is sealed for
-  /// reading (no unpack pass — read sections straight out of it).
+  /// reading (no unpack pass — read sections straight out of it). The same
+  /// post-Timeout lifetime caveat as Send_buffer applies.
   Status Recv_buffer(buf::Buffer& buffer, int source, int tag) const;
   Request Irecv_buffer(buf::Buffer& buffer, int source, int tag) const;
 
@@ -260,6 +270,13 @@ class Comm {
 
   std::unique_ptr<buf::Buffer> take_buffer(std::size_t min_capacity) const;
   void give_buffer(std::unique_ptr<buf::Buffer> buffer) const;
+
+  /// Return a pooled operation buffer after its request finished: recycles
+  /// through the pool normally, but when the operation timed out while the
+  /// device was mid-delivery, parks the buffer on the request so the
+  /// device's final completion frees it (never a use-after-free).
+  void reclaim_buffer(const mpdev::Request& request,
+                      std::unique_ptr<buf::Buffer> buffer) const;
 
   static void validate(const void* buf, int count, const DatatypePtr& type, const char* op);
 

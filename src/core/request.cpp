@@ -81,8 +81,10 @@ Status Request::finalize(const mpdev::Status& dev_status) {
   if (code != ErrCode::Success) {
     // Release resources first, cache the error Status, then apply the
     // communicator's errhandler (may throw or abort; under ERRORS_RETURN the
-    // caller reads the code off the Status).
-    if (s.buffer) s.comm->give_buffer(std::move(s.buffer));
+    // caller reads the code off the Status). On a Timeout the device may
+    // still be mid-delivery into the buffer, so go through reclaim_buffer
+    // (which defers disposal to the device) instead of pooling directly.
+    if (s.buffer) s.comm->reclaim_buffer(s.dev, std::move(s.buffer));
     s.cached = s.comm->to_local_status(dev_status);
     if (dev_status.truncated) {
       s.comm->handle_error(code, "receive truncated: message larger than the posted buffer");
@@ -95,7 +97,7 @@ Status Request::finalize(const mpdev::Status& dev_status) {
     s.type->unpack_available(*s.buffer, s.user_base, s.max_items);
   }
   s.cached = s.comm->to_local_status(dev_status);
-  if (s.buffer) s.comm->give_buffer(std::move(s.buffer));
+  if (s.buffer) s.comm->reclaim_buffer(s.dev, std::move(s.buffer));
   return s.cached;
 }
 

@@ -96,7 +96,13 @@ void World::Finalize() {
   // Drain buffered sends, then synchronize before tearing the device down.
   {
     std::lock_guard<std::mutex> lock(bsend_mu_);
-    for (BsendEntry& entry : bsend_inflight_) entry.request.wait();
+    for (BsendEntry& entry : bsend_inflight_) {
+      entry.request.wait();
+      // The wait can time out with the device mid-write; reclaim defers the
+      // storage's disposal to the device instead of freeing under it.
+      xdev::reclaim_op_buffer(entry.request.dev(), std::move(entry.storage),
+                              [this](std::unique_ptr<buf::Buffer> b) { pool_.put(std::move(b)); });
+    }
     bsend_inflight_.clear();
     bsend_used_ = 0;
   }
@@ -124,8 +130,13 @@ void World::Finalize() {
 
 void World::Abort(int errorcode) {
   log::error("Abort(", errorcode, "): terminating world");
+  // std::_Exit skips every destructor, so flush the trace now or lose it.
+  if (!prof::maybe_dump_trace()) {
+    if (prof::tracing()) log::warn("could not write trace to ", prof::trace_path());
+  }
   // Tell the runtime daemon (if any) to kill sibling ranks. Best effort:
-  // a standalone process (no launcher) simply exits.
+  // a standalone process (no launcher) simply exits. The daemon skips our
+  // own pid so _Exit below — not its SIGTERM — decides the exit code.
   if (const char* daemon = std::getenv("MPCX_DAEMON")) {
     try {
       const std::string addr = daemon;
@@ -134,8 +145,10 @@ void World::Abort(int errorcode) {
         const std::string host = addr.substr(0, colon);
         const auto port = static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1));
         net::Socket sock = net::Socket::connect(host, port, 2000);
-        runtime::write_frame(sock, runtime::MsgKind::Abort,
-                             runtime::AbortRequest{static_cast<std::int32_t>(errorcode)});
+        runtime::AbortRequest request;
+        request.code = static_cast<std::int32_t>(errorcode);
+        request.initiator_pid = static_cast<std::int32_t>(::getpid());
+        runtime::write_frame(sock, runtime::MsgKind::Abort, request);
         (void)runtime::read_frame(sock);
       }
     } catch (const Error& e) {
@@ -174,7 +187,11 @@ void World::Buffer_attach(std::size_t bytes) {
 
 std::size_t World::Buffer_detach() {
   std::lock_guard<std::mutex> lock(bsend_mu_);
-  for (BsendEntry& entry : bsend_inflight_) entry.request.wait();
+  for (BsendEntry& entry : bsend_inflight_) {
+    entry.request.wait();
+    xdev::reclaim_op_buffer(entry.request.dev(), std::move(entry.storage),
+                            [this](std::unique_ptr<buf::Buffer> b) { pool_.put(std::move(b)); });
+  }
   bsend_inflight_.clear();
   bsend_used_ = 0;
   const std::size_t size = bsend_capacity_;
@@ -187,7 +204,8 @@ void World::reap_bsends_locked() {
   while (it != bsend_inflight_.end()) {
     if (it->request.is_complete()) {
       bsend_used_ -= it->bytes;
-      pool_.put(std::move(it->storage));
+      xdev::reclaim_op_buffer(it->request.dev(), std::move(it->storage),
+                              [this](std::unique_ptr<buf::Buffer> b) { pool_.put(std::move(b)); });
       it = bsend_inflight_.erase(it);
     } else {
       ++it;

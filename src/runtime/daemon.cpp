@@ -137,6 +137,9 @@ AbortReply Daemon::handle_abort(const AbortRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [pid, child] : children_) {
     if (child.exited) continue;
+    // The aborting rank kills itself via _Exit(code) after our reply;
+    // SIGTERMing it here would race that and clobber its exit code (143).
+    if (request.initiator_pid > 0 && child.pid == request.initiator_pid) continue;
     // Re-check before signalling: the child may have just exited.
     int status = 0;
     if (::waitpid(child.pid, &status, WNOHANG) == child.pid) {
@@ -147,8 +150,8 @@ AbortReply Daemon::handle_abort(const AbortRequest& request) {
     ::kill(child.pid, SIGTERM);
     ++reply.killed;
   }
-  log::warn("mpcxd: abort(code ", request.code, ") — signalled ", reply.killed,
-            " live processes");
+  log::warn("mpcxd: abort(code ", request.code, ", initiator pid ", request.initiator_pid,
+            ") — signalled ", reply.killed, " sibling processes");
   return reply;
 }
 

@@ -36,8 +36,8 @@ FetchReply DaemonClient::fetch(std::int32_t pid) {
   return frame.as<FetchReply>();
 }
 
-AbortReply DaemonClient::abort(std::int32_t code) {
-  write_frame(sock_, MsgKind::Abort, AbortRequest{code});
+AbortReply DaemonClient::abort(std::int32_t code, std::int32_t initiator_pid) {
+  write_frame(sock_, MsgKind::Abort, AbortRequest{code, initiator_pid});
   const Frame frame = read_frame(sock_);
   if (frame.kind != MsgKind::AbortReply) throw RuntimeError("mpcxrun: bad abort reply");
   return frame.as<AbortReply>();

@@ -30,8 +30,10 @@ class DaemonClient {
   StatusReply status(std::int32_t pid);
   FetchReply fetch(std::int32_t pid);
   /// Kill every live child on the daemon (MPI_Abort escalation); returns
-  /// the number of processes signalled.
-  AbortReply abort(std::int32_t code);
+  /// the number of processes signalled. Pass the aborting rank's pid as
+  /// initiator_pid so the daemon leaves it to exit on its own (a launcher-
+  /// driven abort has no initiator and kills everything).
+  AbortReply abort(std::int32_t code, std::int32_t initiator_pid = -1);
   void shutdown();
 
  private:

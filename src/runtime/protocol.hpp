@@ -133,9 +133,18 @@ struct FetchReply {
 
 struct AbortRequest {
   std::int32_t code = 1;  ///< exit code the aborting rank used
-  void serialize(buf::ByteSink& sink) const { sink.put(code); }
+  /// pid of the aborting rank, or -1. The daemon skips it when signalling
+  /// so the initiator's own _Exit(code) — not SIGTERM — sets its exit code.
+  std::int32_t initiator_pid = -1;
+  void serialize(buf::ByteSink& sink) const {
+    sink.put(code);
+    sink.put(initiator_pid);
+  }
   static AbortRequest deserialize(buf::ByteSource& source) {
-    return AbortRequest{source.get<std::int32_t>()};
+    AbortRequest request;
+    request.code = source.get<std::int32_t>();
+    request.initiator_pid = source.get<std::int32_t>();
+    return request;
   }
 };
 

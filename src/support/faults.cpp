@@ -4,8 +4,10 @@
 #include <charconv>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "prof/counters.hpp"
 #include "support/logging.hpp"
@@ -18,10 +20,16 @@ std::atomic<bool> g_armed{false};
 
 namespace {
 
-/// Armed plan + per-site deterministic op streams. Guarded by g_mu for the
-/// (cold) arm/disarm path; the per-op path touches only the atomics.
+/// Armed plan + per-site deterministic op streams. g_mu guards the (cold)
+/// arm/disarm path only; the per-op hot path reads g_armed_plan with one
+/// acquire load — no mutex, so a plan cannot serialize the I/O threads it
+/// is trying to perturb. Retired plans are kept alive forever (g_retired):
+/// a concurrent next_action may still hold the old pointer, and plans are
+/// a few dozen bytes armed a handful of times per process.
 std::mutex g_mu;
 Plan g_plan;
+std::atomic<const Plan*> g_armed_plan{nullptr};
+std::vector<std::unique_ptr<Plan>> g_retired;  // guarded by g_mu
 std::array<std::atomic<std::uint64_t>, kSiteCount> g_site_ops{};
 
 /// Counters block registered as "faults" so MPCX_STATS=1 reports injections
@@ -153,6 +161,12 @@ void set_plan(const Plan& plan) {
   std::lock_guard<std::mutex> lock(g_mu);
   g_plan = plan;
   for (auto& ops : g_site_ops) ops.store(0, std::memory_order_relaxed);
+  const Plan* armed = nullptr;
+  if (plan.active()) {
+    g_retired.push_back(std::make_unique<Plan>(plan));
+    armed = g_retired.back().get();
+  }
+  g_armed_plan.store(armed, std::memory_order_release);
   detail::g_armed.store(plan.active(), std::memory_order_relaxed);
   if (plan.active()) {
     log::info("faults: armed plan drop=", plan.drop, " corrupt=", plan.corrupt,
@@ -164,6 +178,7 @@ void set_plan(const Plan& plan) {
 void clear_plan() {
   std::lock_guard<std::mutex> lock(g_mu);
   g_plan = Plan{};
+  g_armed_plan.store(nullptr, std::memory_order_release);
   detail::g_armed.store(false, std::memory_order_relaxed);
 }
 
@@ -173,14 +188,13 @@ Plan current_plan() {
 }
 
 Action next_action(Site site) {
-  // Snapshot the plan without the lock: arming happens before the worker
-  // threads exist in every supported flow (env at static init, or tests
-  // arming before building the device harness), so plain reads are safe
-  // once enabled() returned true.
-  const Plan plan = [] {
-    std::lock_guard<std::mutex> lock(g_mu);
-    return g_plan;
-  }();
+  // Lock-free plan read: the armed plan is published as an immutable
+  // heap object (acquire pairs with set_plan's release), so injected-site
+  // I/O threads never serialize on a mutex here — a lock would narrow the
+  // very race windows delay plans exist to widen.
+  const Plan* armed = g_armed_plan.load(std::memory_order_acquire);
+  if (armed == nullptr) return Action::None;
+  const Plan& plan = *armed;
   const std::size_t site_idx = static_cast<std::size_t>(site);
   const std::uint64_t op = g_site_ops[site_idx].fetch_add(1, std::memory_order_relaxed);
 

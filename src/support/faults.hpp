@@ -10,8 +10,10 @@
 //
 //   MPCX_FAULTS=drop=0.01,delay_ms=5,corrupt=0.001,reset_after=200,seed=7
 //
-//   drop=P         drop the write/push entirely with probability P
-//   corrupt=P      flip a byte of the payload with probability P
+//   drop=P         drop the frame/push entirely with probability P
+//   corrupt=P      flip a byte in flight with probability P (tcpdev flips
+//                  the frame header so the CRC always catches it; shmdev
+//                  flips payload, modelling silent memory corruption)
 //   delay_ms=N     sleep N milliseconds before every injected-site operation
 //   reset_after=N  hard-reset the connection at the Nth operation per site
 //   seed=S         RNG seed (default 1); same seed => same fault sequence
@@ -39,7 +41,7 @@ namespace mpcx::faults {
 /// Injection points. Each site has its own deterministic operation counter
 /// so plans replay identically regardless of cross-site interleaving.
 enum class Site : std::size_t {
-  TcpWrite,  ///< Socket::write_all (frame header + payload writes)
+  TcpWrite,  ///< tcpdev write_message/write_control (one op per logical frame)
   TcpRead,   ///< Socket::read_some / read_all (input-handler reads)
   ShmPush,   ///< shmdev Segment ring push
   Count
@@ -55,7 +57,7 @@ const char* site_name(Site site);
 enum class Action {
   None,     ///< proceed normally
   Drop,     ///< silently discard the bytes (write/push sites only)
-  Corrupt,  ///< flip one payload byte in a copy, then proceed
+  Corrupt,  ///< flip one byte (tcpdev: encoded header; shmdev: payload copy)
   Reset,    ///< tear the connection down (shutdown + throw)
 };
 

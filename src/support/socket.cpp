@@ -107,6 +107,10 @@ void Socket::set_nodelay(bool enable) {
   }
 }
 
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void Socket::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
   if (snd_bytes > 0 &&
       ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &snd_bytes, sizeof(snd_bytes)) < 0) {
@@ -119,23 +123,11 @@ void Socket::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
 }
 
 void Socket::write_all(std::span<const std::byte> data) {
-  std::vector<std::byte> corrupted;  // storage for the Corrupt action only
-  if (fault_site_ >= 0 && faults::enabled()) {
-    switch (faults::next_action(static_cast<faults::Site>(fault_site_))) {
-      case faults::Action::Drop:
-        return;  // bytes silently vanish; the peer sees a stalled stream
-      case faults::Action::Reset:
-        ::shutdown(fd_, SHUT_RDWR);
-        throw SocketError("send: connection reset (injected fault)");
-      case faults::Action::Corrupt:
-        corrupted.assign(data.begin(), data.end());
-        if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= std::byte{0x5A};
-        data = corrupted;
-        break;
-      case faults::Action::None:
-        break;
-    }
-  }
+  // No fault injection here: one logical frame spans several write_all
+  // calls, so per-write injection could drop half a frame — a stream
+  // desynchronization no real network produces (TCP delivers a prefix).
+  // Write-side faults are decided once per frame by the caller (tcpdev's
+  // write_message/write_control); read-side injection stays in read_some.
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);

@@ -65,6 +65,10 @@ class Socket {
   void set_nodelay(bool enable);
   void set_buffer_sizes(int snd_bytes, int rcv_bytes);
 
+  /// shutdown(2) both directions (fault injection's connection reset);
+  /// keeps the descriptor so in-flight users see errors, not EBADF.
+  void shutdown_both();
+
   /// Write the whole span (blocking). Throws SocketError on failure.
   void write_all(std::span<const std::byte> data);
 
@@ -78,8 +82,9 @@ class Socket {
   /// Local port this socket is bound to.
   std::uint16_t local_port() const;
 
-  /// Opt this socket into fault injection at `site`. Only data-plane
-  /// sockets (tcpdev read/write channels) call this; bootstrap handshakes
+  /// Opt this socket into read-side fault injection at `site`. Only
+  /// tcpdev's read channels call this (write-side faults are decided per
+  /// logical frame by the device, not per write(2)); bootstrap handshakes
   /// and the runtime control protocol stay fault-free so injected plans
   /// exercise message paths, not the launcher.
   void set_fault_site(faults::Site site) { fault_site_ = static_cast<int>(site); }

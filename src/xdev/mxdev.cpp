@@ -44,7 +44,7 @@ int match_context(mxsim::MatchBits match) {
   return static_cast<int>(static_cast<std::uint32_t>(match >> 32));
 }
 
-class MxDevice final : public Device {
+class MxDevice final : public Device, public RequestCanceller {
  public:
   std::vector<ProcessID> init(const DeviceConfig& config) override {
     if (config.self_index >= config.world.size()) {
@@ -82,7 +82,7 @@ class MxDevice final : public Device {
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
     require_open("irecv");
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
-                                                     counters_.get());
+                                                     counters_.get(), this);
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
     }
@@ -150,6 +150,27 @@ class MxDevice final : public Device {
     posted_recvs_.erase(request);
   }
 
+  /// RequestCanceller: a wait() on `request` timed out. Receives unpost via
+  /// mxsim cancel; if the receive already matched, the delivery callback is
+  /// running (or about to), so defer to its complete(). Sends always defer:
+  /// mxsim may still hold segment views into the buffer (rendezvous sends
+  /// keep them until matched), and its completion callback is the one
+  /// guaranteed last touch. A rendezvous send that never matches parks the
+  /// buffer until endpoint close — a bounded leak, never a use-after-free.
+  bool abandon(DevRequestState& request) override {
+    if (request.kind() != DevRequestState::Kind::Recv || !endpoint_) return false;
+    mxsim::MxRequest mx;
+    {
+      std::lock_guard<std::mutex> lock(recv_map_mu_);
+      auto it = posted_recvs_.find(&request);
+      if (it == posted_recvs_.end()) return false;  // matched: callback owns it
+      mx = it->second;
+    }
+    if (!endpoint_->cancel(mx)) return false;  // matched: callback owns it
+    forget_posted(&request);
+    return true;
+  }
+
   DevStatus probe(ProcessID src, int tag, int context) override {
     require_open("probe");
     counters_->add(prof::Ctr::ProbeCalls);
@@ -215,7 +236,8 @@ class MxDevice final : public Device {
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total_bytes});
     }
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
     const ProcessID self = self_;
     auto on_done = [request, self, tag, context](const mxsim::MxStatus& status) {
       DevStatus dev;

@@ -16,9 +16,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
@@ -59,6 +61,20 @@ class CompletionHook {
 class DevRequestState;
 using DevRequest = std::shared_ptr<DevRequestState>;
 
+/// Implemented by devices whose operations keep raw buffer references after
+/// the request is posted. When a wait() self-completes with Timeout it calls
+/// abandon(), which must remove every device-side reference to the request's
+/// buffer (posted-receive records, rendezvous maps, pending sends) and
+/// return true. If a delivery into/out of the buffer is already in flight
+/// the device returns false instead; it then guarantees that its eventual
+/// (claim-losing) complete() call is the last touch of the buffer, which is
+/// what dispose_buffer_when_device_done() keys on.
+class RequestCanceller {
+ public:
+  virtual ~RequestCanceller() = default;
+  virtual bool abandon(DevRequestState& request) = 0;
+};
+
 /// Sink the device uses to publish hooked completions (backs peek()).
 class CompletionSink {
  public:
@@ -73,8 +89,11 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   /// `counters`, when non-null, must outlive the request (devices pass their
   /// own block); completed receives are tallied there so every protocol path
   /// (eager, rendezvous, buffered, shm) is counted at the one choke point.
-  DevRequestState(Kind kind, CompletionSink* sink, prof::Counters* counters = nullptr)
-      : kind_(kind), sink_(sink), counters_(counters) {}
+  /// `canceller` (normally the owning device) lets a timed-out wait() detach
+  /// the device's buffer references; both must outlive the request.
+  DevRequestState(Kind kind, CompletionSink* sink, prof::Counters* counters = nullptr,
+                  RequestCanceller* canceller = nullptr)
+      : kind_(kind), sink_(sink), counters_(counters), canceller_(canceller) {}
 
   Kind kind() const { return kind_; }
 
@@ -84,7 +103,13 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   /// If a hook is installed, the request is also published to the device's
   /// completion queue for peek().
   void complete(const DevStatus& status) {
-    if (!try_claim()) return;
+    if (!try_claim()) {
+      // A timed-out waiter won the claim first. This call is the device's
+      // LAST touch of the operation's buffer, so release any buffer parked
+      // here by the waiter (see dispose_buffer_when_device_done).
+      finish_late_delivery();
+      return;
+    }
     // Tally and fire the end hooks BEFORE publishing completion: a thread
     // returning from wait()/test() must observe the operation already
     // counted (the mutex hand-off orders the relaxed adds for it).
@@ -126,6 +151,15 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     lock.unlock();
     if (try_claim()) {
       faults::counters().add(prof::Ctr::OpTimeouts);
+      // Detach the operation device-side BEFORE publishing the timeout:
+      // once wait() returns, callers recycle the buffer, so the device must
+      // no longer hold references to it. If a delivery is already in flight
+      // (abandon() false), flag it so the buffer's owner can defer disposal
+      // to the device's final (claim-losing) complete() call.
+      if (canceller_ != nullptr && !canceller_->abandon(*this)) {
+        std::lock_guard<std::mutex> flag_lock(mu_);
+        late_delivery_pending_ = true;
+      }
       DevStatus timed_out;
       timed_out.error = ErrCode::Timeout;
       publish(timed_out);
@@ -172,7 +206,43 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     return hook_.lock();
   }
 
+  /// True when this request timed out while the device was mid-delivery:
+  /// the device still references the operation's buffer and will make one
+  /// final (claim-losing) complete() call when it is done with it.
+  bool late_delivery_pending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return late_delivery_pending_;
+  }
+
+  /// Run `dispose` once the device no longer references the operation's
+  /// buffer: immediately if it already let go, otherwise from the device's
+  /// final complete() call. Buffer owners use this (instead of freeing
+  /// directly) when late_delivery_pending() is set.
+  void dispose_buffer_when_device_done(std::function<void()> dispose) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (late_delivery_pending_) {
+        deferred_dispose_ = std::move(dispose);
+        return;
+      }
+    }
+    dispose();
+  }
+
  private:
+  /// The device's claim-losing complete() arrived: its buffer references are
+  /// gone, so run the deferred disposer (if one was parked) outside the lock.
+  void finish_late_delivery() {
+    std::function<void()> dispose;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!late_delivery_pending_) return;
+      late_delivery_pending_ = false;
+      dispose = std::move(deferred_dispose_);
+    }
+    if (dispose) dispose();
+  }
+
   /// Win the right to complete this request (exactly one caller does).
   bool try_claim() { return !claimed_.exchange(true, std::memory_order_acq_rel); }
 
@@ -193,13 +263,31 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   const Kind kind_;
   CompletionSink* const sink_;
   prof::Counters* const counters_;
+  RequestCanceller* const canceller_;
   std::atomic<bool> claimed_{false};
   std::mutex mu_;
   std::condition_variable cv_;
   std::weak_ptr<CompletionHook> hook_;
   DevStatus status_{};
   bool complete_ = false;
+  bool late_delivery_pending_ = false;
+  std::function<void()> deferred_dispose_;
 };
+
+/// Release `buffer` safely after its operation finished: recycle it via
+/// `recycle` when the device is done with it, or — when the op timed out
+/// mid-delivery — park it on the request and heap-free it from the device's
+/// final completion call. The deferred path deliberately deletes instead of
+/// pooling: it may outlive the pool's owner, and timeouts are rare.
+template <typename BufferPtr, typename Recycle>
+void reclaim_op_buffer(const DevRequest& request, BufferPtr buffer, Recycle recycle) {
+  if (request && request->late_delivery_pending()) {
+    auto* raw = buffer.release();
+    request->dispose_buffer_when_device_done([raw] { delete raw; });
+  } else {
+    recycle(std::move(buffer));
+  }
+}
 
 /// Convenience: a request that is already complete ("non-pending" in the
 /// paper's eager-send pseudocode, Fig. 3).

@@ -309,7 +309,7 @@ struct AssemblyKeyHash {
   }
 };
 
-class ShmDevice final : public Device {
+class ShmDevice final : public Device, public RequestCanceller {
  public:
   ~ShmDevice() override {
     try {
@@ -363,7 +363,7 @@ class ShmDevice final : public Device {
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
-                                                     counters_.get());
+                                                     counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
@@ -435,6 +435,28 @@ class ShmDevice final : public Device {
     return true;
   }
 
+  /// RequestCanceller: a wait() on `request` timed out. Sends copy the
+  /// whole message into the receiver's ring before send_common returns, so
+  /// the only lingering references are the posted-receive record and an
+  /// ACK wait; both drop cleanly (a late ACK with no waiter is already
+  /// ignored by input_loop). Returns false when the input thread is
+  /// mid-deliver() into the receive buffer.
+  bool abandon(DevRequestState& request) override {
+    if (request.kind() == DevRequestState::Kind::Recv) {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      return posted_.remove_scan(
+          [&](const ShmRecv& rec) { return rec.request.get() == &request; });
+    }
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    for (auto it = awaiting_ack_.begin(); it != awaiting_ack_.end(); ++it) {
+      if (it->second.request.get() == &request) {
+        awaiting_ack_.erase(it);
+        return true;
+      }
+    }
+    return false;  // ACK record taken: input thread is mid-complete
+  }
+
   const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
@@ -454,7 +476,8 @@ class ShmDevice final : public Device {
   DevRequest send_common(buf::Buffer& buffer, ProcessID dst, int tag, int context,
                          bool need_ack) {
     if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
     const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t total_bytes = buffer.static_size() + buffer.dynamic_size();
     counters_->add(prof::Ctr::MsgsSent);

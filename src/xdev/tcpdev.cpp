@@ -97,7 +97,7 @@ struct RndvKeyHash {
   }
 };
 
-class TcpDevice final : public Device {
+class TcpDevice final : public Device, public RequestCanceller {
  public:
   ~TcpDevice() override {
     try {
@@ -190,9 +190,9 @@ class TcpDevice final : public Device {
         std::array<std::byte, kHeaderBytes> bytes{};
         tcp::encode_header(bytes, hello);
         sock.write_all(bytes);
-        // Fault injection arms only after the hello, so bootstrap itself is
-        // never subject to the plan.
-        sock.set_fault_site(faults::Site::TcpWrite);
+        // Write-side faults are decided per logical message in
+        // write_message/write_control (never here), so bootstrap and the
+        // hello are never subject to the plan.
         auto peer = std::make_unique<Peer>();
         peer->write_channel = std::move(sock);
         peers_.emplace(info.id.value, std::move(peer));
@@ -277,7 +277,7 @@ class TcpDevice final : public Device {
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
-                                                     counters_.get());
+                                                     counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
@@ -386,6 +386,50 @@ class TcpDevice final : public Device {
     return true;
   }
 
+  /// RequestCanceller: a wait() on `request` timed out. Remove every
+  /// device-side reference to its buffer; record abandoned rendezvous keys
+  /// so the peer's late RTR / data frame is ignored (drained) instead of
+  /// tearing the connection down. Returns false when the input handler or a
+  /// writer thread is mid-delivery — the losing complete() call then
+  /// releases the buffer (see DevRequestState::dispose_buffer_when_device_done).
+  bool abandon(DevRequestState& request) override {
+    if (request.kind() == DevRequestState::Kind::Recv) {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      bool detached = posted_.remove_scan(
+          [&](const RecvRec& rec) { return rec.request.get() == &request; });
+      for (auto it = rndv_pending_.begin(); it != rndv_pending_.end();) {
+        if (it->second.request.get() == &request) {
+          abandoned_rndv_.insert(it->first);
+          it = rndv_pending_.erase(it);
+          detached = true;
+        } else {
+          ++it;
+        }
+      }
+      for (auto& [ptr, msg] : arriving_claims_) {
+        if (msg->claimant.get() == &request) {
+          // Detach the claim but keep the message: its payload is still
+          // streaming into the pool buffer, and once complete it is an
+          // ordinary unexpected message a later receive can match.
+          msg->claimant = nullptr;
+          msg->claim_buffer = nullptr;
+          unexpected_.add(msg->key, msg);
+          detached = true;
+        }
+      }
+      return detached;
+    }
+    std::lock_guard<std::mutex> lock(send_mu_);
+    for (auto it = pending_sends_.begin(); it != pending_sends_.end(); ++it) {
+      if (it->second.request.get() == &request) {
+        abandoned_sends_.emplace(it->first, it->second.dst.value);
+        pending_sends_.erase(it);
+        return true;
+      }
+    }
+    return false;  // RTR taken: a rendez-write-thread owns the buffer
+  }
+
   const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
@@ -471,13 +515,43 @@ class TcpDevice final : public Device {
     return make_completed_request(DevRequestState::Kind::Send, status);
   }
 
+  /// Decide the injected fault for ONE logical outgoing frame
+  /// (Site::TcpWrite). Injection must act on whole frames: per-write(2)
+  /// injection could drop half a frame, desynchronizing the byte stream in
+  /// a way no real network can (TCP always delivers a prefix). Returns
+  /// false when the frame must vanish silently (Drop — the peer just sees
+  /// a stalled stream); corrupts the already-ENCODED header in place for
+  /// Corrupt (the CRC was computed over the pristine bytes, so the peer's
+  /// header validation is guaranteed to catch it); hard-resets the channel
+  /// and throws for Reset.
+  bool apply_write_fault(Peer& peer, std::span<std::byte> encoded_header) {
+    if (!faults::enabled()) return true;
+    switch (faults::next_action(faults::Site::TcpWrite)) {
+      case faults::Action::None:
+        return true;
+      case faults::Action::Drop:
+        return false;
+      case faults::Action::Corrupt:
+        encoded_header[8] ^= std::byte{0x5A};
+        return true;
+      case faults::Action::Reset: {
+        std::lock_guard<std::mutex> lock(peer.write_mu);
+        peer.write_channel.shutdown_both();
+        throw net::SocketError("send: connection reset (injected fault)");
+      }
+    }
+    return true;
+  }
+
   /// Write [header | static] (one call) then the dynamic section, under the
   /// destination channel lock.
   void write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr) {
     if (buffer.header_reserve() >= kHeaderBytes) {
       // Header written in place: a single contiguous wire segment.
       auto header = buffer.header_region();
-      tcp::encode_header(header.subspan(header.size() - kHeaderBytes), hdr);
+      auto encoded = header.subspan(header.size() - kHeaderBytes);
+      tcp::encode_header(encoded, hdr);
+      if (!apply_write_fault(peer, encoded)) return;
       std::lock_guard<std::mutex> lock(peer.write_mu);
       peer.write_channel.write_all(buffer.framed_payload().subspan(
           buffer.header_reserve() - kHeaderBytes));
@@ -485,6 +559,7 @@ class TcpDevice final : public Device {
     } else {
       std::array<std::byte, kHeaderBytes> bytes{};
       tcp::encode_header(bytes, hdr);
+      if (!apply_write_fault(peer, bytes)) return;
       std::lock_guard<std::mutex> lock(peer.write_mu);
       peer.write_channel.write_all(bytes);
       if (buffer.static_size() > 0) peer.write_channel.write_all(buffer.static_payload());
@@ -496,7 +571,8 @@ class TcpDevice final : public Device {
 
   DevRequest rndv_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::RndvSends);
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
     const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(send_mu_);
@@ -532,6 +608,7 @@ class TcpDevice final : public Device {
   void write_control(Peer& peer, const FrameHeader& hdr) {
     std::array<std::byte, kHeaderBytes> bytes{};
     tcp::encode_header(bytes, hdr);
+    if (!apply_write_fault(peer, bytes)) return;
     std::lock_guard<std::mutex> lock(peer.write_mu);
     peer.write_channel.write_all(bytes);
   }
@@ -608,6 +685,11 @@ class TcpDevice final : public Device {
           ++it;
         }
       }
+      // Abandoned rendezvous keys from this peer can no longer see a late
+      // data frame; drop them so the set stays bounded.
+      for (auto it = abandoned_rndv_.begin(); it != abandoned_rndv_.end();) {
+        it = it->src == peer ? abandoned_rndv_.erase(it) : std::next(it);
+      }
       // Fully-arrived unexpected eager messages stay deliverable; anything
       // still awaiting bytes from the dead peer cannot complete.
       for (auto& msg : unexpected_.drain_if(
@@ -629,6 +711,9 @@ class TcpDevice final : public Device {
         } else {
           ++it;
         }
+      }
+      for (auto it = abandoned_sends_.begin(); it != abandoned_sends_.end();) {
+        it = it->second == peer ? abandoned_sends_.erase(it) : std::next(it);
       }
     }
     DevStatus status;
@@ -831,6 +916,19 @@ class TcpDevice final : public Device {
         request);
   }
 
+  /// A data frame whose receiver gave up (timed-out, abandoned receive):
+  /// drain the payload into pool scratch and complete nothing — the stream
+  /// stays framed and the peer stays alive.
+  void drain_discard(Conn& conn, const FrameHeader& hdr) {
+    auto scratch = pool_.get(hdr.static_len);
+    auto static_dst = scratch->prepare_static(hdr.static_len);
+    auto dynamic_dst = scratch->prepare_dynamic(hdr.dynamic_len);
+    auto* pool = &pool_;
+    auto holder = std::make_shared<std::unique_ptr<buf::Buffer>>(std::move(scratch));
+    begin_body(conn, static_dst, dynamic_dst,
+               [holder, pool] { pool->put(std::move(*holder)); });
+  }
+
   /// Fig. 8: ready-to-send control frame.
   void handle_rts(const FrameHeader& hdr) {
     const MatchKey key{hdr.context, hdr.tag, ProcessID{hdr.src}};
@@ -866,6 +964,13 @@ class TcpDevice final : public Device {
       std::lock_guard<std::mutex> lock(send_mu_);
       auto it = pending_sends_.find(hdr.msg_id);
       if (it == pending_sends_.end()) {
+        if (abandoned_sends_.erase(hdr.msg_id) > 0) {
+          // The send's wait() timed out and reclaimed the buffer; there is
+          // nothing left to write, so the receiver's RTR is ignored (its
+          // own receive will time out in turn).
+          log::debug("tcpdev: ignoring RTR for timed-out send ", hdr.msg_id);
+          return;
+        }
         throw DeviceError("tcpdev: RTR for unknown send " + std::to_string(hdr.msg_id));
       }
       rec = std::move(it->second);
@@ -916,10 +1021,18 @@ class TcpDevice final : public Device {
       std::lock_guard<std::mutex> lock(recv_mu_);
       auto it = rndv_pending_.find(RndvKey{hdr.src, hdr.msg_id});
       if (it == rndv_pending_.end()) {
-        throw DeviceError("tcpdev: rendezvous data with no pending receive");
+        if (abandoned_rndv_.erase(RndvKey{hdr.src, hdr.msg_id}) == 0) {
+          throw DeviceError("tcpdev: rendezvous data with no pending receive");
+        }
+        pending.request = nullptr;  // abandoned: drained below, nothing completed
+      } else {
+        pending = std::move(it->second);
+        rndv_pending_.erase(it);
       }
-      pending = std::move(it->second);
-      rndv_pending_.erase(it);
+    }
+    if (!pending.request) {
+      drain_discard(conn, hdr);
+      return;
     }
     if (hdr.static_len > pending.buffer->capacity()) {
       drain_truncated(conn, hdr, pending.request);
@@ -957,6 +1070,10 @@ class TcpDevice final : public Device {
   PostedRecvSet<RecvRec> posted_;
   UnexpectedSet<std::shared_ptr<UnexpMsg>> unexpected_;
   std::unordered_map<RndvKey, RndvPending, RndvKeyHash> rndv_pending_;
+  // Rendezvous receives whose wait() timed out after the RTR went out; the
+  // late data frame keyed here is drained and discarded instead of tearing
+  // the connection down. Entries die with the frame or with the peer.
+  std::unordered_set<RndvKey, RndvKeyHash> abandoned_rndv_;
   // Keeps still-arriving claimed messages alive until their payload lands.
   std::unordered_map<const UnexpMsg*, std::shared_ptr<UnexpMsg>> arriving_claims_;
   // Peers whose channels have failed; probes against them error immediately.
@@ -965,6 +1082,9 @@ class TcpDevice final : public Device {
   // "send-communication-sets" (Fig. 6).
   std::mutex send_mu_;
   std::unordered_map<std::uint64_t, SendRec> pending_sends_;
+  // msg_id -> destination for rendezvous sends whose wait() timed out
+  // before the RTR arrived; the late RTR keyed here is ignored.
+  std::unordered_map<std::uint64_t, std::uint64_t> abandoned_sends_;
   std::atomic<std::uint64_t> next_send_id_{1};
 
   std::mutex writer_mu_;

@@ -288,6 +288,101 @@ TEST(TcpFaults, DelayPlanStillDeliversIntactPayload) {
   EXPECT_EQ(out, data);
 }
 
+TEST(TcpFaults, CorruptionOfLargePayloadIsAlwaysDetected) {
+  // Regression: injected corruption used to flip a random byte of the write
+  // buffer, so on a large frame it almost always landed in the payload —
+  // which the header CRC does not cover — and arrived silently mangled.
+  // Corruption now targets the encoded frame header, so the receiver's CRC
+  // must fire no matter how large the payload is.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(4000);  // backstop: the test must not hang
+
+  auto rbuf = landing(1000, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 17, kCtx);
+
+  faults::set_plan(*faults::parse_plan("corrupt=1.0"));
+  std::vector<std::int32_t> data(1000, 0x5A5A5A5A);
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).isend(*sbuf, world.id(1), 17, kCtx)->wait();
+
+  const DevStatus status = recv->wait();
+  EXPECT_TRUE(status.error == ErrCode::Checksum || status.error == ErrCode::ConnReset)
+      << "corruption went undetected: " << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(TcpFaults, LateEagerDeliveryAfterTimeoutIsPreserved) {
+  // A recv that times out abandons its posted buffer; when the delayed
+  // eager frame finally lands it must be parked as an unexpected message
+  // (in device-owned scratch — never the abandoned buffer) and satisfy the
+  // next matching receive intact.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(300);
+
+  auto rbuf = landing(4, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 21, kCtx);
+
+  // The delay runs inline in the sender's write path, so the frame reaches
+  // the receiver well after the 300 ms recv deadline.
+  faults::set_plan(*faults::parse_plan("delay_ms=900"));
+  std::vector<std::int32_t> data = {10, 20, 30, 40};
+  std::thread sender([&] {
+    auto sbuf = packed(data, world.device(0));
+    world.device(0).isend(*sbuf, world.id(1), 21, kCtx)->wait();
+  });
+
+  const DevStatus timed_out = recv->wait();
+  EXPECT_EQ(timed_out.error, ErrCode::Timeout) << err_code_name(timed_out.error);
+
+  sender.join();
+  faults::clear_plan();
+  faults::set_op_timeout_ms(4000);
+
+  auto rbuf2 = landing(4, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf2, world.id(0), 21, kCtx);
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  std::vector<std::int32_t> out(4);
+  rbuf2->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(TcpFaults, RendezvousTimeoutSurvivesLateRtr) {
+  // Rendezvous send with no matching receive: the sender's wait times out
+  // and abandons the pending send. The receiver then posts a receive,
+  // matches the already-delivered RTS, and answers with an RTR the sender
+  // no longer expects — which must be ignored, not treated as a protocol
+  // violation that kills the peer.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2, /*eager_threshold=*/64);
+  faults::set_op_timeout_ms(300);
+
+  std::vector<std::int32_t> big(100, 7);  // 400 bytes > 64-byte threshold
+  auto sbuf = packed(big, world.device(0));
+  DevRequest send = world.device(0).isend(*sbuf, world.id(1), 23, kCtx);
+  EXPECT_EQ(send->wait().error, ErrCode::Timeout);
+
+  // The receive matches the RTS and sends an RTR, but no data will follow:
+  // it times out too (abandoning its rendezvous slot).
+  auto rbuf = landing(100, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 23, kCtx);
+  EXPECT_EQ(recv->wait().error, ErrCode::Timeout);
+
+  // The connection must have survived the stray RTR: a clean eager
+  // exchange still works in both directions.
+  faults::set_op_timeout_ms(4000);
+  std::vector<std::int32_t> small = {99};
+  auto sbuf2 = packed(small, world.device(0));
+  world.device(0).isend(*sbuf2, world.id(1), 24, kCtx)->wait();
+  auto rbuf2 = landing(1, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf2, world.id(0), 24, kCtx);
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  std::vector<std::int32_t> out(1);
+  rbuf2->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, small);
+}
+
 TEST(TcpFaults, NoLeakedPendingRequestsAfterPeerFailure) {
   FaultScope scope;
   DeviceWorld world("tcpdev", 2);
@@ -360,6 +455,39 @@ TEST(ShmFaults, DelayPlanStillDeliversIntactPayload) {
   EXPECT_EQ(status.error, ErrCode::Success);
   std::vector<std::int32_t> out(3);
   rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(ShmFaults, LateDeliveryAfterTimeoutIsPreserved) {
+  // Shared-memory analog of the tcp late-delivery test: a timed-out recv
+  // abandons its posted buffer, and the delayed chunk must land as an
+  // unexpected message that the next receive drains intact.
+  FaultScope scope;
+  DeviceWorld world("shmdev", 2);
+  faults::set_op_timeout_ms(300);
+
+  auto rbuf = landing(3, world.device(1));
+  DevRequest recv = world.device(1).irecv(*rbuf, world.id(0), 31, kCtx);
+
+  faults::set_plan(*faults::parse_plan("delay_ms=900"));
+  std::vector<std::int32_t> data = {7, 8, 9};
+  std::thread sender([&] {
+    auto sbuf = packed(data, world.device(0));
+    world.device(0).isend(*sbuf, world.id(1), 31, kCtx)->wait();
+  });
+
+  const DevStatus timed_out = recv->wait();
+  EXPECT_EQ(timed_out.error, ErrCode::Timeout) << err_code_name(timed_out.error);
+
+  sender.join();
+  faults::clear_plan();
+  faults::set_op_timeout_ms(4000);
+
+  auto rbuf2 = landing(3, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf2, world.id(0), 31, kCtx);
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  std::vector<std::int32_t> out(3);
+  rbuf2->read(std::span<std::int32_t>(out));
   EXPECT_EQ(out, data);
 }
 

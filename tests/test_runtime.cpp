@@ -3,6 +3,7 @@
 // tcpdev) in both local-exec and staged-binary modes (Fig. 9a / 9b).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -108,6 +109,38 @@ TEST(Daemon, StagedBinaryExecution) {
   EXPECT_TRUE(status.exited);
   EXPECT_EQ(status.exit_code, 0);
   EXPECT_NE(client.fetch(spawned.pid).output.find("staged-run arg1"), std::string::npos);
+  daemon.stop();
+}
+
+TEST(Daemon, AbortSkipsInitiatorRank) {
+  Daemon daemon(0);
+  daemon.start();
+  DaemonClient client(DaemonAddr{"127.0.0.1", daemon.port()});
+
+  SpawnRequest request;
+  request.exe = "/bin/sh";
+  request.args = {"-c", "sleep 30"};
+  const SpawnReply initiator = client.spawn(request);
+  const SpawnReply sibling = client.spawn(request);
+  ASSERT_GE(initiator.pid, 0) << initiator.error;
+  ASSERT_GE(sibling.pid, 0) << sibling.error;
+
+  // Abort as if `initiator` were the aborting rank: only the sibling is
+  // SIGTERMed; the initiator is left to _Exit with its own code.
+  const AbortReply reply = client.abort(3, initiator.pid);
+  EXPECT_EQ(reply.killed, 1);
+
+  StatusReply sibling_status;
+  for (int i = 0; i < 200 && !sibling_status.exited; ++i) {
+    sibling_status = client.status(sibling.pid);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(sibling_status.exited);
+  EXPECT_EQ(sibling_status.exit_code, 128 + SIGTERM);
+  EXPECT_FALSE(client.status(initiator.pid).exited);
+
+  // A launcher-driven abort carries no initiator and kills everything left.
+  EXPECT_EQ(client.abort(3).killed, 1);
   daemon.stop();
 }
 
