@@ -16,10 +16,12 @@
 // it.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
+#include "fig_common.hpp"
 
 namespace {
 
@@ -88,17 +90,28 @@ std::vector<Row> run(const char* device) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== direct-buffer API (paper Sec. VI future work) vs classic datatype path ==\n");
+  std::vector<mpcx::bench::JsonRecord> records;
   for (const char* device : {"tcpdev", "mxdev", "shmdev"}) {
     std::printf("-- %s --\n%12s %14s %14s %12s\n", device, "size", "classic us", "direct us",
                 "speedup");
     for (const Row& row : run(device)) {
       std::printf("%12zu %14.2f %14.2f %11.2fx\n", row.bytes, row.classic_us, row.direct_us,
                   row.classic_us / row.direct_us);
+      for (const auto& [path, us] : {std::pair<const char*, double>{"classic", row.classic_us},
+                                     {"direct", row.direct_us}}) {
+        mpcx::bench::JsonRecord rec;
+        rec.bench = std::string("direct_buffers/") + device + "/" + path;
+        rec.msg_size = row.bytes;
+        rec.latency_us = us;
+        rec.bandwidth_MBps = static_cast<double>(row.bytes) / us;  // B/us == MB/s
+        records.push_back(rec);
+      }
     }
   }
   std::printf("(direct path removes the pack/unpack copy — the MPJE-vs-mpjdev gap of "
               "Figs. 11/13/15)\n");
+  mpcx::bench::maybe_write_json(argc, argv, records);
   return 0;
 }

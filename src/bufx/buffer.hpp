@@ -45,6 +45,26 @@ struct SectionInfo {
   std::size_t count;
 };
 
+/// Encode one section header ([u8 type][u8 0][u16 0][u32 count]) into an
+/// 8-byte area. Zero-copy sends place this prefix before raw user payload so
+/// the wire bytes are identical to a packed single-section message.
+inline void encode_section_header(std::span<std::byte> out, TypeCode type, std::uint32_t count) {
+  if (out.size() < 8) throw BufferError("encode_section_header: span too small");
+  out[0] = static_cast<std::byte>(type);
+  out[1] = std::byte{0};
+  store_wire<std::uint16_t>(out.data() + 2, 0);
+  store_wire<std::uint32_t>(out.data() + 4, count);
+}
+
+/// Decode an 8-byte section header; nullopt on an invalid type code.
+inline std::optional<SectionInfo> decode_section_header(std::span<const std::byte> in) {
+  if (in.size() < 8) return std::nullopt;
+  const auto raw_type = static_cast<std::uint8_t>(in[0]);
+  if (raw_type < 1 || raw_type > 8) return std::nullopt;
+  return SectionInfo{static_cast<TypeCode>(raw_type),
+                     static_cast<std::size_t>(load_wire<std::uint32_t>(in.data() + 4))};
+}
+
 class Buffer {
  public:
   static constexpr std::size_t kSectionHeaderBytes = 8;

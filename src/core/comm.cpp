@@ -1,7 +1,9 @@
 #include "core/comm.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstring>
+#include <limits>
 
 #include "core/world.hpp"
 #include "prof/trace.hpp"
@@ -35,6 +37,18 @@ void validate_recv_tag(int tag) {
 }
 
 Status proc_null_status() { return Status(PROC_NULL, ANY_TAG, 0, 0, false); }
+
+/// Zero-copy send eligibility: a contiguous layout whose total element
+/// count fits the u32 wire section header. Returns that element count.
+std::optional<std::uint32_t> zero_copy_elements(const DatatypePtr& type, int count) {
+  if (!type->is_contiguous()) return std::nullopt;
+  const std::uint64_t elements =
+      static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(type->size_elements());
+  if (elements > std::numeric_limits<std::uint32_t>::max()) return std::nullopt;
+  return static_cast<std::uint32_t>(elements);
+}
+
+using SectionHeader = std::array<std::byte, buf::Buffer::kSectionHeaderBytes>;
 
 }  // namespace
 
@@ -98,6 +112,50 @@ void Comm::reclaim_buffer(const mpdev::Request& request,
                           [this](std::unique_ptr<buf::Buffer> b) { give_buffer(std::move(b)); });
 }
 
+void Comm::release_borrowed(const mpdev::Request& request) const {
+  if (request.dev()->attached_buffer() == nullptr) xdev::await_device_release(request.dev());
+}
+
+void Comm::deliver_direct_recv(const mpdev::Request& request, const mpdev::Status& dev,
+                               std::span<const std::byte> hdr, std::byte* user_base,
+                               std::size_t max_items, const DatatypePtr& type) const {
+  prof::Span span("unpack", "core");
+  if (!dev.direct) {
+    // The message's shape didn't fit the span (raced the post, multiple
+    // sections, dynamic data): the device staged it; unpack as usual.
+    std::unique_ptr<buf::Buffer> staged = request.dev()->take_attached_buffer();
+    type->unpack_available(*staged, user_base, max_items);
+    world_->counters().add(prof::Ctr::UnpackBytes, dev.static_bytes + dev.dynamic_bytes);
+    reclaim_buffer(request, std::move(staged));
+    return;
+  }
+  // The payload already sits in user memory; the landed section header
+  // decides whether it can stay there. It must describe exactly the posted
+  // type: same primitive, a payload-covering count, whole items, within the
+  // posted item limit. Anything else (e.g. a matching-size message of a
+  // different type) is rebuilt as a message buffer and unpacked normally.
+  const std::size_t payload_bytes = dev.static_bytes - buf::Buffer::kSectionHeaderBytes;
+  const auto info = buf::decode_section_header(hdr);
+  const std::size_t per_item = type->size_elements();
+  const bool in_place = info.has_value() && info->type == type->base() &&
+                        info->count * type->base_size() == payload_bytes && per_item > 0 &&
+                        info->count % per_item == 0 && info->count / per_item <= max_items;
+  if (in_place) {
+    world_->counters().add(prof::Ctr::ZeroCopyRecvs);
+    world_->counters().add(prof::Ctr::UnpackBytesAvoided, payload_bytes);
+    return;
+  }
+  auto scratch = take_buffer(dev.static_bytes);
+  std::span<std::byte> dst = scratch->prepare_static(dev.static_bytes);
+  std::memcpy(dst.data(), hdr.data(), hdr.size());
+  if (payload_bytes != 0) std::memcpy(dst.data() + hdr.size(), user_base, payload_bytes);
+  scratch->prepare_dynamic(0);
+  scratch->seal_received();
+  type->unpack_available(*scratch, user_base, max_items);
+  world_->counters().add(prof::Ctr::UnpackBytes, dev.static_bytes);
+  give_buffer(std::move(scratch));
+}
+
 std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int count,
                                                 const DatatypePtr& type) const {
   prof::Span span("pack", "core");
@@ -113,6 +171,25 @@ std::unique_ptr<buf::Buffer> Comm::pack_message(const void* buf, int offset, int
 
 void Comm::ctx_send(int context, int tag, const void* buf, int offset, int count,
                     const DatatypePtr& type, int dest_local) const {
+  if (const auto elements = zero_copy_elements(type, count)) {
+    // Contiguous fast path: ship the user bytes as a borrowed segment — no
+    // packing copy. release_borrowed keeps the blocking contract when the
+    // wait times out with the device still reading the segment.
+    SectionHeader hdr;
+    buf::encode_section_header(hdr, type->base(), *elements);
+    const xdev::SendSegment seg{byte_base(buf, offset, type),
+                                static_cast<std::size_t>(count) * type->size_bytes()};
+    world_->counters().add(prof::Ctr::ZeroCopySends);
+    world_->counters().add(prof::Ctr::PackBytesAvoided, seg.size);
+    mpdev::Request request =
+        engine().isend_segments(hdr, std::span(&seg, 1), world_dest(dest_local), tag, context);
+    const mpdev::Status dev = request.wait();
+    release_borrowed(request);
+    if (dev.error != ErrCode::Success) {
+      handle_error(dev.error, std::string("send failed: ") + err_code_name(dev.error));
+    }
+    return;
+  }
   // Blocking ops go through a request so reclaim_buffer can defer the
   // buffer's disposal when the wait times out with the device mid-transfer.
   auto buffer = pack_message(buf, offset, count, type);
@@ -126,6 +203,28 @@ void Comm::ctx_send(int context, int tag, const void* buf, int offset, int count
 
 Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
                       const DatatypePtr& type, int source_local) const {
+  if (type->is_contiguous()) {
+    // Contiguous fast path: hand the device the user region itself; a
+    // matched message lands there with no staging buffer or unpack pass.
+    SectionHeader hdr{};
+    std::byte* user_base = byte_base(buf, offset, type);
+    const xdev::RecvSpan span{hdr.data(), user_base,
+                              static_cast<std::size_t>(count) * type->size_bytes()};
+    mpdev::Request request = engine().irecv_direct(span, world_source(source_local), tag, context);
+    const mpdev::Status dev = request.wait();
+    if (dev.truncated || dev.error != ErrCode::Success) {
+      release_borrowed(request);  // hdr and the user region are borrowed
+      if (dev.truncated) {
+        handle_error(ErrCode::Truncate,
+                     "receive truncated: message larger than the posted buffer");
+      } else {
+        handle_error(dev.error, std::string("receive failed: ") + err_code_name(dev.error));
+      }
+      return to_local_status(dev);  // ERRORS_RETURN: error carried in the Status
+    }
+    deliver_direct_recv(request, dev, hdr, user_base, static_cast<std::size_t>(count), type);
+    return to_local_status(dev);
+  }
   auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
   mpdev::Request request = engine().irecv(*buffer, world_source(source_local), tag, context);
   const mpdev::Status dev = request.wait();
@@ -149,6 +248,19 @@ Status Comm::ctx_recv(int context, int tag, void* buf, int offset, int count,
 
 Request Comm::ctx_isend(int context, int tag, const void* buf, int offset, int count,
                         const DatatypePtr& type, int dest_local) const {
+  if (const auto elements = zero_copy_elements(type, count)) {
+    // Contiguous fast path: the user region is borrowed until completion
+    // (see the Isend doc); the 8-byte header is copied by the device.
+    SectionHeader hdr;
+    buf::encode_section_header(hdr, type->base(), *elements);
+    const xdev::SendSegment seg{byte_base(buf, offset, type),
+                                static_cast<std::size_t>(count) * type->size_bytes()};
+    world_->counters().add(prof::Ctr::ZeroCopySends);
+    world_->counters().add(prof::Ctr::PackBytesAvoided, seg.size);
+    mpdev::Request dev =
+        engine().isend_segments(hdr, std::span(&seg, 1), world_dest(dest_local), tag, context);
+    return Request::make_borrowed_send(this, std::move(dev));
+  }
   auto buffer = pack_message(buf, offset, count, type);
   mpdev::Request dev = engine().isend(*buffer, world_dest(dest_local), tag, context);
   return Request::make_send(this, std::move(dev), std::move(buffer));
@@ -156,6 +268,11 @@ Request Comm::ctx_isend(int context, int tag, const void* buf, int offset, int c
 
 Request Comm::ctx_irecv(int context, int tag, void* buf, int offset, int count,
                         const DatatypePtr& type, int source_local) const {
+  if (type->is_contiguous()) {
+    return Request::make_direct_recv(this, world_source(source_local), tag, context, type,
+                                     byte_base(buf, offset, type),
+                                     static_cast<std::size_t>(count));
+  }
   auto buffer = take_buffer(type->packed_bound(static_cast<std::size_t>(count)));
   buf::Buffer& landing = *buffer;
   mpdev::Request dev = engine().irecv(landing, world_source(source_local), tag, context);
@@ -178,6 +295,22 @@ void Comm::Ssend(const void* buf, int offset, int count, const DatatypePtr& type
   validate(buf, count, type, "Ssend");
   validate_send_tag(tag);
   if (dest == PROC_NULL) return;
+  if (const auto elements = zero_copy_elements(type, count)) {
+    SectionHeader hdr;
+    buf::encode_section_header(hdr, type->base(), *elements);
+    const xdev::SendSegment seg{byte_base(buf, offset, type),
+                                static_cast<std::size_t>(count) * type->size_bytes()};
+    world_->counters().add(prof::Ctr::ZeroCopySends);
+    world_->counters().add(prof::Ctr::PackBytesAvoided, seg.size);
+    mpdev::Request request =
+        engine().issend_segments(hdr, std::span(&seg, 1), world_dest(dest), tag, ptp_context_);
+    const mpdev::Status dev = request.wait();
+    release_borrowed(request);
+    if (dev.error != ErrCode::Success) {
+      handle_error(dev.error, std::string("Ssend failed: ") + err_code_name(dev.error));
+    }
+    return;
+  }
   auto buffer = pack_message(buf, offset, count, type);
   mpdev::Request request = engine().issend(*buffer, world_dest(dest), tag, ptp_context_);
   const mpdev::Status dev = request.wait();
@@ -228,6 +361,17 @@ Request Comm::Issend(const void* buf, int offset, int count, const DatatypePtr& 
   validate(buf, count, type, "Issend");
   validate_send_tag(tag);
   if (dest == PROC_NULL) return Request();
+  if (const auto elements = zero_copy_elements(type, count)) {
+    SectionHeader hdr;
+    buf::encode_section_header(hdr, type->base(), *elements);
+    const xdev::SendSegment seg{byte_base(buf, offset, type),
+                                static_cast<std::size_t>(count) * type->size_bytes()};
+    world_->counters().add(prof::Ctr::ZeroCopySends);
+    world_->counters().add(prof::Ctr::PackBytesAvoided, seg.size);
+    mpdev::Request dev =
+        engine().issend_segments(hdr, std::span(&seg, 1), world_dest(dest), tag, ptp_context_);
+    return Request::make_borrowed_send(this, std::move(dev));
+  }
   auto buffer = pack_message(buf, offset, count, type);
   mpdev::Request dev = engine().issend(*buffer, world_dest(dest), tag, ptp_context_);
   return Request::make_send(this, std::move(dev), std::move(buffer));
@@ -400,9 +544,18 @@ Request Comm::Irecv_buffer(buf::Buffer& buffer, int source, int tag) const {
 
 Status Comm::Sendrecv_replace(void* buf, int offset, int count, const DatatypePtr& type, int dest,
                               int sendtag, int source, int recvtag) const {
-  // Isend packs (copies) the outgoing data synchronously, so receiving into
-  // the same user region afterwards is safe.
-  Request send = Isend(buf, offset, count, type, dest, sendtag);
+  // The packing Isend copies the outgoing data out of `buf` synchronously,
+  // which is what makes receiving into the same region immediately after
+  // safe. The zero-copy fast path would instead borrow `buf` until the send
+  // completes, so force the packing path regardless of the type's shape.
+  Request send;
+  if (dest != PROC_NULL) {
+    validate(buf, count, type, "Sendrecv_replace");
+    validate_send_tag(sendtag);
+    auto buffer = pack_message(buf, offset, count, type);
+    mpdev::Request dev = engine().isend(*buffer, world_dest(dest), sendtag, ptp_context_);
+    send = Request::make_send(this, std::move(dev), std::move(buffer));
+  }
   Status status = Recv(buf, offset, count, type, source, recvtag);
   if (!send.is_null()) send.Wait();
   return status;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "core/datatype.hpp"
 #include "core/group.hpp"
@@ -111,6 +112,11 @@ class Comm {
 
   // ---- non-blocking point-to-point ---------------------------------------------
 
+  /// Non-blocking standard-mode send. For contiguous datatypes this takes
+  /// the zero-copy fast path: no packing copy is made, and `buf` is
+  /// BORROWED — it must stay valid and unmodified until the request
+  /// completes (Wait/Test). Non-contiguous datatypes are packed into a
+  /// library buffer at the call, as before.
   Request Isend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
                 int tag) const;
   Request Issend(const void* buf, int offset, int count, const DatatypePtr& type, int dest,
@@ -277,6 +283,23 @@ class Comm {
   /// device's final completion frees it (never a use-after-free).
   void reclaim_buffer(const mpdev::Request& request,
                       std::unique_ptr<buf::Buffer> buffer) const;
+
+  /// After a zero-copy operation's wait: block until the device's final
+  /// release of the borrowed user memory (a timed-out wait may leave an
+  /// in-flight transfer on it). No-op when the device staged into an
+  /// attached buffer instead — the user memory was released at the call,
+  /// and the device may legitimately hold the staging copy indefinitely
+  /// (e.g. a never-matched rendezvous send).
+  void release_borrowed(const mpdev::Request& request) const;
+
+  /// Deliver a completed zero-copy receive (dev.error == Success, not
+  /// truncated/cancelled): validate the landed section header and either
+  /// accept the payload in place, rebuild-and-unpack on a semantic
+  /// mismatch, or unpack the device's staged buffer when dev.direct is
+  /// false. `user_base` is where the payload span pointed.
+  void deliver_direct_recv(const mpdev::Request& request, const mpdev::Status& dev,
+                           std::span<const std::byte> hdr, std::byte* user_base,
+                           std::size_t max_items, const DatatypePtr& type) const;
 
   static void validate(const void* buf, int count, const DatatypePtr& type, const char* op);
 

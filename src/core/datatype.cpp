@@ -46,6 +46,8 @@ class PrimitiveDatatype final : public Datatype {
     return kSectionHeader + count * buf::type_code_size(code_);
   }
 
+  bool is_contiguous() const override { return true; }
+
   void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const override {
     dispatch(code_, [&]<typename T>(T*) {
       buffer.write(std::span<const T>(reinterpret_cast<const T*>(base), count));
@@ -101,6 +103,10 @@ class HomogeneousDatatype final : public Datatype {
 
   std::size_t packed_bound(std::size_t count) const override {
     return kSectionHeader + count * size_bytes();
+  }
+
+  bool is_contiguous() const override {
+    return contiguous_ && extent_elements_ == offsets_.size();
   }
 
   const std::vector<std::ptrdiff_t>& offsets() const { return offsets_; }

@@ -57,6 +57,12 @@ class Datatype {
   /// (payload + section headers).
   virtual std::size_t packed_bound(std::size_t count) const = 0;
 
+  /// True when `count` items occupy count*size_bytes() consecutive bytes in
+  /// user memory with no gaps — i.e. packing is a plain memcpy. Such sends
+  /// and receives are eligible for the zero-copy fast path: the device moves
+  /// the user bytes directly (one wire section, no staging Buffer).
+  virtual bool is_contiguous() const { return false; }
+
   /// Pack `count` items starting at `base` into the buffer.
   virtual void pack(const std::byte* base, std::size_t count, buf::Buffer& buffer) const = 0;
 

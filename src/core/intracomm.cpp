@@ -56,13 +56,17 @@ void Intracomm::Barrier() const {
   prof::Span coll_span("Barrier(dissemination)", "coll");
   const int n = Size();
   const int rank = Rank();
-  std::uint8_t token = 1;
+  // Distinct bytes: the posted receive lands directly in `incoming` (zero-copy
+  // path) while the send concurrently reads `outgoing` as a borrowed segment —
+  // a single shared token would make the device write the byte mid-send.
+  std::uint8_t outgoing = 1;
+  std::uint8_t incoming = 0;
   for (int k = 1; k < n; k <<= 1) {
     const int to = (rank + k) % n;
     const int from = (rank - k + n) % n;
-    Request recv = ctx_irecv(coll_context_, coll_tag(CollTag::Barrier), &token, 0, 1,
+    Request recv = ctx_irecv(coll_context_, coll_tag(CollTag::Barrier), &incoming, 0, 1,
                              types::BYTE(), from);
-    ctx_send(coll_context_, coll_tag(CollTag::Barrier), &token, 0, 1, types::BYTE(), to);
+    ctx_send(coll_context_, coll_tag(CollTag::Barrier), &outgoing, 0, 1, types::BYTE(), to);
     recv.Wait();
   }
 }

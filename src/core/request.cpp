@@ -1,5 +1,6 @@
 #include "core/request.hpp"
 
+#include <array>
 #include <mutex>
 
 #include "core/comm.hpp"
@@ -18,6 +19,12 @@ struct Request::State {
   std::byte* user_base = nullptr;
   std::size_t max_items = 0;
   bool is_recv = false;
+
+  // Zero-copy operations borrow user memory (and, for receives, the
+  // section-header landing area below) until the device's final release.
+  bool borrowed = false;
+  bool direct_recv = false;
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> direct_hdr{};
 
   std::mutex mu;
   bool finalized = false;
@@ -54,6 +61,33 @@ Request Request::make_recv(const Comm* comm, mpdev::Request dev,
   return Request(std::move(state));
 }
 
+Request Request::make_borrowed_send(const Comm* comm, mpdev::Request dev) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->dev = std::move(dev);
+  state->borrowed = true;
+  return Request(std::move(state));
+}
+
+Request Request::make_direct_recv(const Comm* comm, int world_src, int tag, int context,
+                                  DatatypePtr type, std::byte* user_base,
+                                  std::size_t max_items) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->type = std::move(type);
+  state->user_base = user_base;
+  state->max_items = max_items;
+  state->is_recv = true;
+  state->borrowed = true;
+  state->direct_recv = true;
+  // The span references state-owned storage, so the device operation is
+  // posted only after the state exists.
+  const xdev::RecvSpan span{state->direct_hdr.data(), user_base,
+                            max_items * state->type->size_bytes()};
+  state->dev = comm->engine().irecv_direct(span, world_src, tag, context);
+  return Request(std::move(state));
+}
+
 bool Request::is_complete() const {
   if (!state_) return false;
   std::lock_guard<std::mutex> lock(state_->mu);
@@ -84,7 +118,10 @@ Status Request::finalize(const mpdev::Status& dev_status) {
     // caller reads the code off the Status). On a Timeout the device may
     // still be mid-delivery into the buffer, so go through reclaim_buffer
     // (which defers disposal to the device) instead of pooling directly.
+    // Zero-copy operations have no library buffer to park — block until the
+    // device's final release of the borrowed user memory instead.
     if (s.buffer) s.comm->reclaim_buffer(s.dev, std::move(s.buffer));
+    if (s.borrowed) s.comm->release_borrowed(s.dev);
     s.cached = s.comm->to_local_status(dev_status);
     if (dev_status.truncated) {
       s.comm->handle_error(code, "receive truncated: message larger than the posted buffer");
@@ -94,7 +131,12 @@ Status Request::finalize(const mpdev::Status& dev_status) {
     return s.cached;
   }
   if (s.is_recv && !dev_status.cancelled) {
-    s.type->unpack_available(*s.buffer, s.user_base, s.max_items);
+    if (s.direct_recv) {
+      s.comm->deliver_direct_recv(s.dev, dev_status, s.direct_hdr, s.user_base, s.max_items,
+                                  s.type);
+    } else {
+      s.type->unpack_available(*s.buffer, s.user_base, s.max_items);
+    }
   }
   s.cached = s.comm->to_local_status(dev_status);
   if (s.buffer) s.comm->reclaim_buffer(s.dev, std::move(s.buffer));

@@ -84,6 +84,17 @@ class Request {
                            std::unique_ptr<buf::Buffer> buffer, DatatypePtr type,
                            std::byte* user_base, std::size_t max_items);
 
+  /// Zero-copy send: the user region is borrowed by the device; there is no
+  /// library buffer to recycle, but a timed-out wait must block until the
+  /// device's final release before the error is surfaced.
+  static Request make_borrowed_send(const Comm* comm, mpdev::Request dev);
+
+  /// Zero-copy receive: posts irecv_direct aimed at the user region (the
+  /// 8-byte section-header landing area lives in the request state, which
+  /// must outlive the device operation — hence posting happens inside).
+  static Request make_direct_recv(const Comm* comm, int world_src, int tag, int context,
+                                  DatatypePtr type, std::byte* user_base, std::size_t max_items);
+
   /// Direct-buffer operation: the caller owns the buffer; the request only
   /// tracks completion (used by Isend_buffer / Irecv_buffer).
   static Request make_bare(const Comm* comm, mpdev::Request dev);

@@ -69,9 +69,8 @@ std::unique_ptr<World> World::from_env() {
     info.port = static_cast<std::uint16_t>(std::atoi(parts[1].c_str()));
     config.world.push_back(info);
   }
-  if (const char* eager = std::getenv("MPCX_EAGER_THRESHOLD")) {
-    config.eager_threshold = static_cast<std::size_t>(std::atoll(eager));
-  }
+  // MPCX_EAGER_THRESHOLD is resolved (with validation) by the device itself
+  // in resolve_eager_threshold(); config carries only the compiled default.
   if (const char* sockbuf = std::getenv("MPCX_SOCKET_BUFFER")) {
     config.socket_buffer_bytes = std::atoi(sockbuf);
   }

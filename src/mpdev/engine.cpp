@@ -70,6 +70,7 @@ Status Engine::to_status(const xdev::DevStatus& dev) const {
   status.dynamic_bytes = dev.dynamic_bytes;
   status.truncated = dev.truncated;
   status.cancelled = dev.cancelled;
+  status.direct = dev.direct;
   status.error = dev.error;
   return status;
 }
@@ -96,6 +97,38 @@ Request Engine::irecv(buf::Buffer& buffer, int src, int tag, int context) {
 
 Status Engine::recv(buf::Buffer& buffer, int src, int tag, int context) {
   return to_status(device_->recv(buffer, pid_of(src), tag, context));
+}
+
+Request Engine::isend_segments(std::span<const std::byte> header,
+                               std::span<const xdev::SendSegment> segments, int dst, int tag,
+                               int context) {
+  return Request(device_->isend_segments(header, segments, pid_of(dst), tag, context), this);
+}
+
+Request Engine::issend_segments(std::span<const std::byte> header,
+                                std::span<const xdev::SendSegment> segments, int dst, int tag,
+                                int context) {
+  return Request(device_->issend_segments(header, segments, pid_of(dst), tag, context), this);
+}
+
+void Engine::send_segments(std::span<const std::byte> header,
+                           std::span<const xdev::SendSegment> segments, int dst, int tag,
+                           int context) {
+  device_->send_segments(header, segments, pid_of(dst), tag, context);
+}
+
+void Engine::ssend_segments(std::span<const std::byte> header,
+                            std::span<const xdev::SendSegment> segments, int dst, int tag,
+                            int context) {
+  device_->ssend_segments(header, segments, pid_of(dst), tag, context);
+}
+
+Request Engine::irecv_direct(const xdev::RecvSpan& dst, int src, int tag, int context) {
+  return Request(device_->irecv_direct(dst, pid_of(src), tag, context), this);
+}
+
+Status Engine::recv_direct(const xdev::RecvSpan& dst, int src, int tag, int context) {
+  return to_status(device_->recv_direct(dst, pid_of(src), tag, context));
 }
 
 Status Engine::probe(int src, int tag, int context) {

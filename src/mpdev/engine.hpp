@@ -44,6 +44,7 @@ struct Status {
   std::size_t dynamic_bytes = 0;
   bool truncated = false;
   bool cancelled = false;
+  bool direct = false;  ///< zero-copy receive landed in the caller's span
   ErrCode error = ErrCode::Success;  ///< device-reported failure, if any
 };
 
@@ -99,6 +100,21 @@ class Engine {
 
   Request irecv(buf::Buffer& buffer, int src, int tag, int context);
   Status recv(buf::Buffer& buffer, int src, int tag, int context);
+
+  // Zero-copy segment-list operations: rank-denominated forwards of the
+  // xdev entry points (see device.hpp for the borrowing contract).
+  Request isend_segments(std::span<const std::byte> header,
+                         std::span<const xdev::SendSegment> segments, int dst, int tag,
+                         int context);
+  Request issend_segments(std::span<const std::byte> header,
+                          std::span<const xdev::SendSegment> segments, int dst, int tag,
+                          int context);
+  void send_segments(std::span<const std::byte> header,
+                     std::span<const xdev::SendSegment> segments, int dst, int tag, int context);
+  void ssend_segments(std::span<const std::byte> header,
+                      std::span<const xdev::SendSegment> segments, int dst, int tag, int context);
+  Request irecv_direct(const xdev::RecvSpan& dst, int src, int tag, int context);
+  Status recv_direct(const xdev::RecvSpan& dst, int src, int tag, int context);
 
   Status probe(int src, int tag, int context);
   std::optional<Status> iprobe(int src, int tag, int context);

@@ -58,6 +58,11 @@ enum class Ctr : std::size_t {
   CollectiveCalls,     ///< collective operations entered on a communicator
   PackBytes,           ///< bytes packed into wire buffers (send side)
   UnpackBytes,         ///< bytes unpacked out of wire buffers (receive side)
+  PackBytesAvoided,    ///< payload bytes sent zero-copy (no staging pack)
+  UnpackBytesAvoided,  ///< payload bytes landed directly in user buffers
+  ZeroCopySends,       ///< sends that took the zero-copy contiguous fast path
+  ZeroCopyRecvs,       ///< receives delivered directly into the user buffer
+  EagerThreshold,      ///< effective eager/rendezvous crossover (bytes, hwm)
   FaultsInjected,      ///< faults (drop/corrupt/delay/reset) injected by support::faults
   IoRetries,           ///< connect/accept attempts retried during bootstrap
   OpTimeouts,          ///< blocking operations expired under MPCX_OP_TIMEOUT_MS

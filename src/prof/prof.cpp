@@ -66,6 +66,11 @@ const char* ctr_name(Ctr counter) {
     case Ctr::CollectiveCalls: return "collective_calls";
     case Ctr::PackBytes: return "pack_bytes";
     case Ctr::UnpackBytes: return "unpack_bytes";
+    case Ctr::PackBytesAvoided: return "pack_bytes_avoided";
+    case Ctr::UnpackBytesAvoided: return "unpack_bytes_avoided";
+    case Ctr::ZeroCopySends: return "zero_copy_sends";
+    case Ctr::ZeroCopyRecvs: return "zero_copy_recvs";
+    case Ctr::EagerThreshold: return "eager_threshold";
     case Ctr::FaultsInjected: return "faults_injected";
     case Ctr::IoRetries: return "io_retries";
     case Ctr::OpTimeouts: return "op_timeouts";

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -123,11 +124,14 @@ void Socket::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
 }
 
 void Socket::write_all(std::span<const std::byte> data) {
-  // No fault injection here: one logical frame spans several write_all
-  // calls, so per-write injection could drop half a frame — a stream
+  // No fault injection here or in writev_all: a logical frame is one
+  // writev_all call (or, on legacy paths, several write_all calls), so
+  // per-syscall injection could emit a partial frame — a stream
   // desynchronization no real network produces (TCP delivers a prefix).
-  // Write-side faults are decided once per frame by the caller (tcpdev's
-  // write_message/write_control); read-side injection stays in read_some.
+  // Write-side faults are decided once per logical frame by the caller
+  // (tcpdev's apply_write_fault in write_message/write_control), BEFORE the
+  // frame's bytes reach either write entry point; read-side injection stays
+  // in read_some.
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
@@ -136,6 +140,56 @@ void Socket::write_all(std::span<const std::byte> data) {
       throw_errno("send");
     }
     done += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::writev_all(std::span<const std::span<const std::byte>> parts) {
+  // Fault policy: identical to write_all — the caller decided this frame's
+  // fate already; nothing is injected per syscall (see write_all's note).
+  constexpr std::size_t kMaxIov = 16;
+  std::size_t part = 0;       // first part not fully sent
+  std::size_t part_done = 0;  // bytes of parts[part] already sent
+  while (part < parts.size()) {
+    if (parts[part].size() == part_done) {  // also skips empty parts
+      ++part;
+      part_done = 0;
+      continue;
+    }
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t skip = part_done;
+    for (std::size_t i = part; i < parts.size() && iovcnt < static_cast<int>(kMaxIov); ++i) {
+      if (parts[i].size() == skip) {
+        skip = 0;
+        continue;
+      }
+      iov[iovcnt].iov_base =
+          const_cast<std::byte*>(parts[i].data()) + skip;
+      iov[iovcnt].iov_len = parts[i].size() - skip;
+      skip = 0;
+      ++iovcnt;
+    }
+    struct msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    // Advance the (part, part_done) cursor past the bytes writev consumed.
+    std::size_t consumed = static_cast<std::size_t>(n);
+    while (consumed > 0) {
+      const std::size_t remaining = parts[part].size() - part_done;
+      if (consumed < remaining) {
+        part_done += consumed;
+        consumed = 0;
+      } else {
+        consumed -= remaining;
+        ++part;
+        part_done = 0;
+      }
+    }
   }
 }
 

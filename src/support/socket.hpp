@@ -72,6 +72,12 @@ class Socket {
   /// Write the whole span (blocking). Throws SocketError on failure.
   void write_all(std::span<const std::byte> data);
 
+  /// Gathered write: send every part, in order, as if concatenated — one
+  /// writev(2) in the common case, resuming after partial writes. Lets a
+  /// device ship [frame header | static payload | dynamic payload] in a
+  /// single syscall without staging them contiguously first.
+  void writev_all(std::span<const std::span<const std::byte>> parts);
+
   /// Read exactly data.size() bytes (blocking). Throws on EOF/failure.
   void read_all(std::span<std::byte> data);
 

@@ -1,8 +1,57 @@
 #include "xdev/device.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "prof/counters.hpp"
 #include "prof/trace.hpp"
+#include "support/logging.hpp"
 
 namespace mpcx::xdev {
+namespace {
+
+/// Pack a segment-list send into a staging buffer whose static region holds
+/// the literal wire bytes [section header | payload segments].
+std::unique_ptr<buf::Buffer> stage_segments(std::span<const std::byte> header,
+                                            std::span<const SendSegment> segments,
+                                            std::size_t header_reserve) {
+  std::size_t total = header.size();
+  for (const SendSegment& seg : segments) total += seg.size;
+  auto staging = std::make_unique<buf::Buffer>(total, header_reserve);
+  std::span<std::byte> dst = staging->prepare_static(total);
+  std::memcpy(dst.data(), header.data(), header.size());
+  std::size_t at = header.size();
+  for (const SendSegment& seg : segments) {
+    if (seg.size != 0) std::memcpy(dst.data() + at, seg.data, seg.size);
+    at += seg.size;
+  }
+  staging->prepare_dynamic(0);
+  staging->seal_received();
+  return staging;
+}
+
+}  // namespace
+
+std::size_t resolve_eager_threshold(std::size_t configured, prof::Counters* counters) {
+  std::size_t effective = configured;
+  if (const char* env = std::getenv("MPCX_EAGER_THRESHOLD")) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    constexpr unsigned long long kMax = 1ull << 30;  // 1 GiB sanity ceiling
+    if (errno != 0 || end == env || *end != '\0' || parsed == 0 || parsed > kMax) {
+      log::warn("MPCX_EAGER_THRESHOLD=", env,
+                " is not a byte count in [1, 2^30]; keeping ", configured);
+    } else {
+      effective = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (counters != nullptr) {
+    counters->record_max(prof::Ctr::EagerThreshold, effective);
+  }
+  return effective;
+}
 
 void Device::send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
   prof::Span span("send", "xdev");
@@ -17,6 +66,66 @@ void Device::ssend(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
 DevStatus Device::recv(buf::Buffer& buffer, ProcessID src, int tag, int context) {
   prof::Span span("recv", "xdev");
   return irecv(buffer, src, tag, context)->wait();
+}
+
+// ---- zero-copy fallbacks ---------------------------------------------------------
+//
+// Devices without a native segment-list path stage the wire bytes in an
+// owned buffer attached to the request; semantics (matching, completion,
+// truncation) are identical to the Buffer entry points.
+
+DevRequest Device::isend_segments(std::span<const std::byte> header,
+                                  std::span<const SendSegment> segments, ProcessID dst,
+                                  int tag, int context) {
+  auto staging = stage_segments(header, segments, static_cast<std::size_t>(send_overhead()));
+  DevRequest request = isend(*staging, dst, tag, context);
+  request->attach_buffer(std::move(staging));
+  return request;
+}
+
+DevRequest Device::issend_segments(std::span<const std::byte> header,
+                                   std::span<const SendSegment> segments, ProcessID dst,
+                                   int tag, int context) {
+  auto staging = stage_segments(header, segments, static_cast<std::size_t>(send_overhead()));
+  DevRequest request = issend(*staging, dst, tag, context);
+  request->attach_buffer(std::move(staging));
+  return request;
+}
+
+void Device::send_segments(std::span<const std::byte> header,
+                           std::span<const SendSegment> segments, ProcessID dst, int tag,
+                           int context) {
+  prof::Span span("send", "xdev");
+  DevRequest request = isend_segments(header, segments, dst, tag, context);
+  request->wait();
+  // The borrowed payload spans go out of the device's hands here; a timed-out
+  // wait may have left an in-flight write on them.
+  await_device_release(request);
+}
+
+void Device::ssend_segments(std::span<const std::byte> header,
+                            std::span<const SendSegment> segments, ProcessID dst, int tag,
+                            int context) {
+  prof::Span span("ssend", "xdev");
+  DevRequest request = issend_segments(header, segments, dst, tag, context);
+  request->wait();
+  await_device_release(request);
+}
+
+DevRequest Device::irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) {
+  auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
+                                               dst.payload_capacity);
+  DevRequest request = irecv(*staging, src, tag, context);
+  request->attach_buffer(std::move(staging));
+  return request;
+}
+
+DevStatus Device::recv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) {
+  prof::Span span("recv", "xdev");
+  DevRequest request = irecv_direct(dst, src, tag, context);
+  DevStatus status = request->wait();
+  await_device_release(request);
+  return status;
 }
 
 // Defined in tcpdev.cpp / mxdev.cpp / shmdev.cpp respectively.

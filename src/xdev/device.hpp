@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,23 @@ struct DeviceConfig {
   /// removes the bind/advertise race entirely. When null, tcpdev binds
   /// `world[self_index].port` itself (the multi-process runtime path).
   std::shared_ptr<net::Acceptor> acceptor;
+};
+
+/// One borrowed contiguous piece of a zero-copy send payload (the
+/// mx_segment_t analog of the paper's segment-list sends, Sec. IV-C).
+struct SendSegment {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Destination of a zero-copy receive: an 8-byte section-header landing
+/// area plus the caller's payload region. Both must stay valid until the
+/// returned request completes; a timed-out waiter must call
+/// await_device_release() before reusing them (see RequestCanceller).
+struct RecvSpan {
+  std::byte* header = nullptr;  ///< 8 writable bytes for the section header
+  std::byte* payload = nullptr;
+  std::size_t payload_capacity = 0;  ///< bytes available at `payload`
 };
 
 class Device {
@@ -97,6 +115,46 @@ class Device {
   /// Blocking receive.
   virtual DevStatus recv(buf::Buffer& buffer, ProcessID src, int tag, int context);
 
+  // ---- zero-copy segment-list operations -------------------------------------
+  //
+  // A segment-list send ships [8-byte section header | borrowed payload
+  // segments] as one single-section static region, byte-identical on the
+  // wire to the equivalent packed Buffer send. The device copies the header
+  // during the call (so it may be stack-local); the payload segments are
+  // BORROWED and must stay valid and unmodified until the request completes.
+  // A direct receive lands the section header in dst.header and the raw
+  // payload bytes in dst.payload; when the incoming message does not fit the
+  // shape (unexpected arrival raced the post, multi-section static region,
+  // dynamic section present) the device stages it into a buffer attached to
+  // the request and completes with DevStatus::direct == false.
+  //
+  // The base implementations fall back to the staging (Buffer) paths, so a
+  // device only overrides these when it has a genuinely faster route.
+
+  /// Non-blocking zero-copy standard-mode send.
+  virtual DevRequest isend_segments(std::span<const std::byte> header,
+                                    std::span<const SendSegment> segments, ProcessID dst,
+                                    int tag, int context);
+
+  /// Non-blocking zero-copy synchronous send.
+  virtual DevRequest issend_segments(std::span<const std::byte> header,
+                                     std::span<const SendSegment> segments, ProcessID dst,
+                                     int tag, int context);
+
+  /// Blocking zero-copy sends.
+  virtual void send_segments(std::span<const std::byte> header,
+                             std::span<const SendSegment> segments, ProcessID dst, int tag,
+                             int context);
+  virtual void ssend_segments(std::span<const std::byte> header,
+                              std::span<const SendSegment> segments, ProcessID dst, int tag,
+                              int context);
+
+  /// Non-blocking zero-copy receive into a caller-owned span.
+  virtual DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context);
+
+  /// Blocking zero-copy receive.
+  virtual DevStatus recv_direct(const RecvSpan& dst, ProcessID src, int tag, int context);
+
   /// Block until a matching message is available; does not consume it.
   virtual DevStatus probe(ProcessID src, int tag, int context) = 0;
 
@@ -125,5 +183,11 @@ class Device {
 /// Factory: `name` is "tcpdev" or "mxdev" (paper: Device.newInstance).
 /// The returned device is not yet initialized.
 std::unique_ptr<Device> new_device(const std::string& name);
+
+/// Effective eager/rendezvous crossover: MPCX_EAGER_THRESHOLD overrides
+/// `configured` when it parses as a byte count in [1, 2^30]; malformed
+/// values are rejected with a warning. The result is recorded on `counters`
+/// (Ctr::EagerThreshold) so MPCX_STATS=1 reports the crossover in effect.
+std::size_t resolve_eager_threshold(std::size_t configured, prof::Counters* counters);
 
 }  // namespace mpcx::xdev

@@ -11,13 +11,24 @@
 //   * A buffer's static and dynamic sections are sent as a two-entry
 //     segment list — the paper's motivating use of mx_isend segment lists —
 //     and scattered back into the two sections on receive.
+//   * Zero-copy sends hand the user's contiguous payload to mxsim as a
+//     segment list [section header | payload... | empty dynamic] with no
+//     staging copy at all (eager mode; see isend_segments for why
+//     rendezvous falls back to staging).
+//
+// Chunk shapes on the fabric: classic Buffer sends are exactly two chunks
+// [static, dynamic]; segment-list sends are three or more. Receivers don't
+// need to distinguish them — in both shapes the FINAL chunk is the dynamic
+// region and everything before it concatenates into the static region.
 //
 // send_overhead() is 0: no frame header is needed because the match bits
 // and the fabric carry all metadata. (Contrast tcpdev.)
+#include <algorithm>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "mxsim/mxsim.hpp"
 #include "prof/counters.hpp"
@@ -42,6 +53,60 @@ int match_tag(mxsim::MatchBits match) {
 
 int match_context(mxsim::MatchBits match) {
   return static_cast<int>(static_cast<std::uint32_t>(match >> 32));
+}
+
+/// Index of the dynamic-region chunk, or `chunk_count` when there is none.
+/// With two or more chunks the final one is always the dynamic region (see
+/// the chunk-shape note at the top of this file); a lone chunk is static.
+std::size_t dynamic_chunk_index(std::size_t chunk_count) {
+  return chunk_count >= 2 ? chunk_count - 1 : chunk_count;
+}
+
+std::size_t static_bytes_of(const mxsim::MxMessage& msg) {
+  std::size_t total = 0;
+  const std::size_t dyn = dynamic_chunk_index(msg.chunk_count());
+  for (std::size_t i = 0; i < dyn; ++i) total += msg.chunk(i).size();
+  return total;
+}
+
+std::span<const std::byte> dynamic_bytes_of(const mxsim::MxMessage& msg) {
+  const std::size_t dyn = dynamic_chunk_index(msg.chunk_count());
+  return dyn < msg.chunk_count() ? msg.chunk(dyn) : std::span<const std::byte>{};
+}
+
+/// Concatenate the static-region chunks into `dst` (sized by the caller).
+void gather_static_chunks(const mxsim::MxMessage& msg, std::span<std::byte> dst) {
+  std::size_t at = 0;
+  const std::size_t dyn = dynamic_chunk_index(msg.chunk_count());
+  for (std::size_t i = 0; i < dyn; ++i) {
+    const auto chunk = msg.chunk(i);
+    if (!chunk.empty()) std::memcpy(dst.data() + at, chunk.data(), chunk.size());
+    at += chunk.size();
+  }
+}
+
+/// Scatter the concatenated static chunks across [dst.header | dst.payload].
+/// Chunk boundaries need not align with the 8-byte header split: a classic
+/// two-chunk send lands here too when its byte shape is direct-eligible.
+void land_static_chunks(const mxsim::MxMessage& msg, const RecvSpan& dst) {
+  constexpr std::size_t kSect = buf::Buffer::kSectionHeaderBytes;
+  std::size_t off = 0;
+  const std::size_t dyn = dynamic_chunk_index(msg.chunk_count());
+  for (std::size_t i = 0; i < dyn; ++i) {
+    const auto chunk = msg.chunk(i);
+    std::size_t at = 0;
+    while (at < chunk.size()) {
+      std::size_t n = chunk.size() - at;
+      if (off < kSect) {
+        n = std::min(kSect - off, n);
+        std::memcpy(dst.header + off, chunk.data() + at, n);
+      } else {
+        std::memcpy(dst.payload + (off - kSect), chunk.data() + at, n);
+      }
+      off += n;
+      at += n;
+    }
+  }
 }
 
 class MxDevice final : public Device, public RequestCanceller {
@@ -95,24 +160,14 @@ class MxDevice final : public Device, public RequestCanceller {
     auto mx = endpoint_->irecv(match, mask, filter,
                                [this, dest, request](const mxsim::MxMessage& msg) {
       forget_posted(request.get());
-      const auto static_bytes = msg.chunk_count() > 0 ? msg.chunk(0) : std::span<const std::byte>{};
-      const auto dynamic_bytes =
-          msg.chunk_count() > 1 ? msg.chunk(1) : std::span<const std::byte>{};
-      DevStatus status;
-      status.source = ProcessID{msg.source()};
-      status.tag = match_tag(msg.match());
-      status.context = match_context(msg.match());
-      status.static_bytes = static_bytes.size();
-      status.dynamic_bytes = dynamic_bytes.size();
-      if (static_bytes.size() > dest->capacity()) {
+      const auto dynamic_bytes = dynamic_bytes_of(msg);
+      DevStatus status = message_status(msg);
+      if (status.static_bytes > dest->capacity()) {
         status.truncated = true;  // message dropped; see DevStatus::truncated
         request->complete(status);
         return;
       }
-      auto static_dst = dest->prepare_static(static_bytes.size());
-      if (!static_bytes.empty()) {
-        std::memcpy(static_dst.data(), static_bytes.data(), static_bytes.size());
-      }
+      gather_static_chunks(msg, dest->prepare_static(status.static_bytes));
       auto dynamic_dst = dest->prepare_dynamic(dynamic_bytes.size());
       if (!dynamic_bytes.empty()) {
         std::memcpy(dynamic_dst.data(), dynamic_bytes.data(), dynamic_bytes.size());
@@ -122,6 +177,79 @@ class MxDevice final : public Device, public RequestCanceller {
     });
     {
       // Remember the mxsim handle so cancel() can reach it.
+      std::lock_guard<std::mutex> lock(recv_map_mu_);
+      posted_recvs_.emplace(request.get(), std::move(mx));
+    }
+    return request;
+  }
+
+  /// Native zero-copy segment send — eager standard mode only. Rendezvous
+  /// mxsim sends VIEW the segments until a receiver matches, and abandon()
+  /// can never cancel a send, so a timed-out waiter would sit in
+  /// await_device_release() with no bound; issend (always rendezvous) keeps
+  /// the base staging fallback for the same reason. The staged copy is
+  /// request-owned, which keeps mxsim's views alive however long the match
+  /// takes — borrowed spans are released at return on both paths.
+  DevRequest isend_segments(std::span<const std::byte> header,
+                            std::span<const SendSegment> segments, ProcessID dst, int tag,
+                            int context) override {
+    require_open("send");
+    std::size_t payload = 0;
+    for (const SendSegment& seg : segments) payload += seg.size;
+    const std::size_t total = header.size() + payload;
+    if (total > endpoint_->eager_limit()) {
+      return Device::isend_segments(header, segments, dst, tag, context);
+    }
+    counters_->add(prof::Ctr::MsgsSent);
+    counters_->add(prof::Ctr::BytesSent, total);
+    counters_->add(prof::Ctr::EagerSends);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total});
+    }
+    std::vector<mxsim::Segment> chunks;
+    chunks.reserve(segments.size() + 2);
+    chunks.push_back({header.data(), header.size()});
+    for (const SendSegment& seg : segments) chunks.push_back({seg.data, seg.size});
+    // Pad to three or more chunks ending in an empty dynamic region so
+    // receivers can tell this shape from a classic [static, dynamic] send.
+    if (segments.empty()) chunks.push_back({nullptr, 0});
+    chunks.push_back({nullptr, 0});
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
+    const ProcessID self = self_;
+    auto on_done = [request, self, tag, context, total](const mxsim::MxStatus&) {
+      DevStatus dev;
+      dev.source = self;
+      dev.tag = tag;
+      dev.context = context;
+      dev.static_bytes = total;
+      request->complete(dev);
+    };
+    // Eager isend copies the chunks and completes before returning, so the
+    // borrowed payload spans are already free when this call is back.
+    endpoint_->isend(chunks, dst.value, pack_match(context, tag))->on_complete(on_done);
+    return request;
+  }
+
+  DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
+    require_open("irecv");
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get(), this);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
+    const mxsim::MatchBits match = pack_match(context, tag == kAnyTag ? 0 : tag);
+    const mxsim::MatchBits mask = tag == kAnyTag ? kAnyTagMask : kFullMask;
+    std::optional<mxsim::EndpointAddr> filter;
+    if (!src.is_any()) filter = src.value;
+
+    const RecvSpan span = dst;
+    auto mx = endpoint_->irecv(match, mask, filter,
+                               [this, span, request](const mxsim::MxMessage& msg) {
+      forget_posted(request.get());
+      deliver_direct(msg, span, request);
+    });
+    {
       std::lock_guard<std::mutex> lock(recv_map_mu_);
       posted_recvs_.emplace(request.get(), std::move(mx));
     }
@@ -211,8 +339,55 @@ class MxDevice final : public Device, public RequestCanceller {
     status.source = ProcessID{info.source};
     status.tag = match_tag(info.match);
     status.context = match_context(info.match);
-    status.static_bytes = info.chunk_sizes.empty() ? 0 : info.chunk_sizes[0];
-    status.dynamic_bytes = info.chunk_sizes.size() > 1 ? info.chunk_sizes[1] : 0;
+    const std::size_t dyn = dynamic_chunk_index(info.chunk_sizes.size());
+    for (std::size_t i = 0; i < dyn; ++i) status.static_bytes += info.chunk_sizes[i];
+    status.dynamic_bytes = dyn < info.chunk_sizes.size() ? info.chunk_sizes[dyn] : 0;
+    return status;
+  }
+
+  /// Land a matched message for a zero-copy receive: straight into the
+  /// caller's span when the byte shape allows (no dynamic region, static
+  /// region at least one section header, payload fits), staged into a
+  /// request-attached buffer otherwise. A timed-out waiter may already have
+  /// claimed the request; the span stays valid until the final complete()
+  /// by the RecvSpan contract, so landing remains safe — the claim-losing
+  /// complete() then drops the message, matching the classic irecv path.
+  void deliver_direct(const mxsim::MxMessage& msg, const RecvSpan& span,
+                      const DevRequest& request) {
+    constexpr std::size_t kSect = buf::Buffer::kSectionHeaderBytes;
+    DevStatus status = message_status(msg);
+    if (status.static_bytes > kSect + span.payload_capacity) {
+      status.truncated = true;  // message dropped; see DevStatus::truncated
+      request->complete(status);
+      return;
+    }
+    if (status.dynamic_bytes == 0 && status.static_bytes >= kSect) {
+      land_static_chunks(msg, span);
+      status.direct = true;
+      request->complete(status);
+      return;
+    }
+    // Shape mismatch: stage into a buffer the request owns; the core layer
+    // unpacks it exactly as it would a classic receive.
+    auto staging = std::make_unique<buf::Buffer>(kSect + span.payload_capacity);
+    gather_static_chunks(msg, staging->prepare_static(status.static_bytes));
+    const auto dynamic_bytes = dynamic_bytes_of(msg);
+    auto dynamic_dst = staging->prepare_dynamic(dynamic_bytes.size());
+    if (!dynamic_bytes.empty()) {
+      std::memcpy(dynamic_dst.data(), dynamic_bytes.data(), dynamic_bytes.size());
+    }
+    staging->seal_received();
+    request->attach_buffer(std::move(staging));
+    request->complete(status);
+  }
+
+  static DevStatus message_status(const mxsim::MxMessage& msg) {
+    DevStatus status;
+    status.source = ProcessID{msg.source()};
+    status.tag = match_tag(msg.match());
+    status.context = match_context(msg.match());
+    status.static_bytes = static_bytes_of(msg);
+    status.dynamic_bytes = dynamic_bytes_of(msg).size();
     return status;
   }
 

@@ -17,11 +17,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "bufx/buffer.hpp"
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
 #include "prof/trace.hpp"
@@ -49,6 +51,11 @@ struct DevStatus {
   /// when MPCX_OP_TIMEOUT_MS expires. Higher layers route this through the
   /// communicator's error handler.
   ErrCode error = ErrCode::Success;
+  /// Zero-copy receives only: true when the payload bytes landed directly in
+  /// the caller's RecvSpan. False means the device staged the message into a
+  /// buffer attached to the request (take_attached_buffer) — unexpected
+  /// arrival, multi-section static region, or a dynamic section.
+  bool direct = false;
 };
 
 /// Opaque base for objects hung off a request by higher layers (the paper's
@@ -158,7 +165,10 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
       // to the device's final (claim-losing) complete() call.
       if (canceller_ != nullptr && !canceller_->abandon(*this)) {
         std::lock_guard<std::mutex> flag_lock(mu_);
-        late_delivery_pending_ = true;
+        // The device may already have issued its final (claim-losing)
+        // complete() in the window since try_claim(); in that case its
+        // buffer references are gone and there is nothing to defer.
+        if (!device_released_) late_delivery_pending_ = true;
       }
       DevStatus timed_out;
       timed_out.error = ErrCode::Timeout;
@@ -206,6 +216,15 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     return hook_.lock();
   }
 
+  /// True when completion ownership has already been taken — either by the
+  /// device or by a timed-out waiter. Devices finishing an in-flight
+  /// zero-copy delivery use this to detect an abandoned operation: a set
+  /// claim at body-completion time means the waiter gave up, so the landed
+  /// bytes must be preserved as a staged unexpected message (the borrowed
+  /// span is about to be handed back to the user) before the final
+  /// claim-losing complete() releases the waiter.
+  bool claimed() const { return claimed_.load(std::memory_order_acquire); }
+
   /// True when this request timed out while the device was mid-delivery:
   /// the device still references the operation's buffer and will make one
   /// final (claim-losing) complete() call when it is done with it.
@@ -229,6 +248,27 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     dispose();
   }
 
+  /// Park a staging buffer on the request. Used by the zero-copy fallback
+  /// paths: the device stages an ineligible message here and completes with
+  /// direct=false; the waiter unpacks it via take_attached_buffer(). Also
+  /// keeps a fallback-packed send buffer alive for the operation's lifetime.
+  void attach_buffer(std::unique_ptr<buf::Buffer> buffer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    attached_ = std::move(buffer);
+  }
+
+  std::unique_ptr<buf::Buffer> take_attached_buffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(attached_);
+  }
+
+  /// The attached buffer without transferring ownership (device-side use
+  /// between posting and completion).
+  buf::Buffer* attached_buffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return attached_.get();
+  }
+
  private:
   /// The device's claim-losing complete() arrived: its buffer references are
   /// gone, so run the deferred disposer (if one was parked) outside the lock.
@@ -236,6 +276,7 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     std::function<void()> dispose;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      device_released_ = true;  // closes the claim-vs-flag race with wait()
       if (!late_delivery_pending_) return;
       late_delivery_pending_ = false;
       dispose = std::move(deferred_dispose_);
@@ -271,8 +312,24 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   DevStatus status_{};
   bool complete_ = false;
   bool late_delivery_pending_ = false;
+  bool device_released_ = false;  ///< the device's final complete() has run
   std::function<void()> deferred_dispose_;
+  std::unique_ptr<buf::Buffer> attached_;
 };
+
+/// Block until the device's final touch of a zero-copy operation's borrowed
+/// user span. Call after a wait()/finalize saw an error status with
+/// late_delivery_pending(): the span cannot be handed back to the user while
+/// an in-flight delivery may still be writing it, and (unlike an owned
+/// staging buffer) its disposal cannot be deferred to the device. Bounded:
+/// the in-flight frame either drains or the peer-failure sweep completes it.
+inline void await_device_release(const DevRequest& request) {
+  if (!request || !request->late_delivery_pending()) return;
+  auto released = std::make_shared<std::promise<void>>();
+  auto done = released->get_future();
+  request->dispose_buffer_when_device_done([released] { released->set_value(); });
+  done.wait();
+}
 
 /// Release `buffer` safely after its operation finished: recycle it via
 /// `recycle` when the device is done with it, or — when the op timed out

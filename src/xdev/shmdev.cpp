@@ -198,7 +198,15 @@ class Segment {
   /// while the ring is too full.
   void push(const RecInfo& rec, std::span<const std::byte> chunk_a,
             std::span<const std::byte> chunk_b) {
-    const std::size_t need = kRecHeader + chunk_a.size() + chunk_b.size();
+    const std::span<const std::byte> parts[] = {chunk_a, chunk_b};
+    push_parts(rec, parts);
+  }
+
+  /// Gathered push: the record's payload is the concatenation of `parts`,
+  /// copied user-memory -> ring with no intermediate staging.
+  void push_parts(const RecInfo& rec, std::span<const std::span<const std::byte>> parts) {
+    std::size_t need = kRecHeader;
+    for (const auto& part : parts) need += part.size();
     SegmentHeader* h = header();
     pthread_mutex_lock(&h->mu);
     while (kRingBytes - (h->tail - h->head) < need) {
@@ -209,16 +217,25 @@ class Segment {
     out.record_len = static_cast<std::uint32_t>(need);
     encode_rec(scratch, out);
     write_wrapped(h->tail, scratch, kRecHeader);
-    write_wrapped(h->tail + kRecHeader, chunk_a.data(), chunk_a.size());
-    write_wrapped(h->tail + kRecHeader + chunk_a.size(), chunk_b.data(), chunk_b.size());
+    std::size_t at = kRecHeader;
+    for (const auto& part : parts) {
+      write_wrapped(h->tail + at, part.data(), part.size());
+      at += part.size();
+    }
     h->tail += need;
     pthread_cond_signal(&h->nonempty);
     pthread_mutex_unlock(&h->mu);
   }
 
-  /// Pop one record; blocks until one is available. Returns the decoded
-  /// header and the payload bytes.
-  RecInfo pop(std::vector<std::byte>& payload) {
+  /// Pop one record, routing its payload bytes ring -> destination with no
+  /// intermediate copy. After the record header is decoded (still under the
+  /// ring mutex) `route(rec, body)` returns up to two destination spans
+  /// whose sizes must sum to `body`; the payload is scattered into them
+  /// directly. The callback may take the device's receive lock (nothing
+  /// pushes to our OWN ring while holding it), but must not push to any
+  /// ring — cross-process mutex ordering would deadlock.
+  template <typename Route>
+  RecInfo pop_routed(Route&& route) {
     SegmentHeader* h = header();
     pthread_mutex_lock(&h->mu);
     while (h->tail == h->head) pthread_cond_wait(&h->nonempty, &h->mu);
@@ -226,8 +243,9 @@ class Segment {
     read_wrapped(h->head, scratch, kRecHeader);
     const RecInfo rec = decode_rec(scratch);
     const std::size_t body = rec.record_len - kRecHeader;
-    payload.resize(body);
-    read_wrapped(h->head + kRecHeader, payload.data(), body);
+    const auto [a, b] = route(rec, body);
+    read_wrapped(h->head + kRecHeader, a.data(), a.size());
+    read_wrapped(h->head + kRecHeader + a.size(), b.data(), b.size());
     h->head += rec.record_len;
     pthread_cond_broadcast(&h->nonfull);
     pthread_mutex_unlock(&h->mu);
@@ -291,10 +309,29 @@ struct ShmUnexp {
   std::vector<std::byte> bytes;
 };
 
-/// Posted receive record.
+/// Posted receive record. Direct receives carry a borrowed RecvSpan.
 struct ShmRecv {
   DevRequest request;
   buf::Buffer* buffer = nullptr;
+  bool direct = false;
+  RecvSpan span{};
+};
+
+/// A message matched to a posted receive at FIRST-chunk time, streaming
+/// ring -> destination with no assembly vector in between. The destination
+/// is one of: the direct receive's span, the posted Buffer's prepared
+/// regions, a staging vector (direct receive, ineligible shape), or nothing
+/// (truncating: drain and discard).
+struct StreamAssembly {
+  enum class Mode { Span, Buffer, Stage, Discard };
+  Mode mode = Mode::Discard;
+  DevRequest request;
+  buf::Buffer* buffer = nullptr;      // Buffer mode
+  RecvSpan span{};                    // Span mode
+  std::span<std::byte> dst_a, dst_b;  // the two destination regions
+  std::vector<std::byte> stage;       // Stage mode backing store
+  RecInfo first;
+  std::size_t got = 0;  // payload bytes landed so far
 };
 
 struct AssemblyKey {
@@ -359,6 +396,44 @@ class ShmDevice final : public Device, public RequestCanceller {
 
   DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
     return send_common(buffer, dst, tag, context, /*need_ack=*/true);
+  }
+
+  DevRequest isend_segments(std::span<const std::byte> header,
+                            std::span<const SendSegment> segments, ProcessID dst, int tag,
+                            int context) override {
+    return send_segments_common(header, segments, dst, tag, context, /*need_ack=*/false);
+  }
+
+  DevRequest issend_segments(std::span<const std::byte> header,
+                             std::span<const SendSegment> segments, ProcessID dst, int tag,
+                             int context) override {
+    return send_segments_common(header, segments, dst, tag, context, /*need_ack=*/true);
+  }
+
+  DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get(), this);
+    const MatchKey key{context, tag, src};
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
+    std::unique_ptr<ShmUnexp> hit;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto found = unexpected_.match(key);
+      if (!found) {
+        ShmRecv rec;
+        rec.request = request;
+        rec.direct = true;
+        rec.span = dst;
+        posted_.add(key, std::move(rec));
+        return request;
+      }
+      hit = std::move(*found);
+      note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
+    }
+    deliver_direct(*hit, dst, request);
+    return request;
   }
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
@@ -577,6 +652,119 @@ class ShmDevice final : public Device, public RequestCanceller {
     return request;
   }
 
+  /// Zero-copy send: gather [section header | payload segments] straight
+  /// from user memory into the receiver's ring, chunked like send_common.
+  /// The blocking push means the borrowed segments are released when this
+  /// returns, so standard-mode requests complete synchronously.
+  DevRequest send_segments_common(std::span<const std::byte> header,
+                                  std::span<const SendSegment> segments, ProcessID dst,
+                                  int tag, int context, bool need_ack) {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
+    const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t payload = 0;
+    for (const SendSegment& seg : segments) payload += seg.size;
+    const std::size_t total = header.size() + payload;  // one static region, no dynamic
+    counters_->add(prof::Ctr::MsgsSent);
+    counters_->add(prof::Ctr::BytesSent, total);
+    counters_->add(need_ack ? prof::Ctr::RndvSends : prof::Ctr::EagerSends);
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total});
+    }
+
+    if (need_ack) {
+      std::lock_guard<std::mutex> lock(ack_mu_);
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.static_bytes = total;
+      awaiting_ack_.emplace(msg_id, AckWait{request, status});
+    }
+
+    // Walk [header | seg0 | seg1 | ...] with a (part, offset) cursor,
+    // gathering each chunk's slices for one push.
+    Segment& ring = peer(dst.value);
+    std::size_t part = 0, part_off = 0;
+    auto part_span = [&](std::size_t index) -> std::span<const std::byte> {
+      if (index == 0) return header;
+      return {segments[index - 1].data, segments[index - 1].size};
+    };
+    const std::size_t nparts = 1 + segments.size();
+    std::size_t sent = 0;
+    std::vector<std::span<const std::byte>> chunk_parts;
+    std::vector<std::byte> corrupted;
+    do {
+      const std::size_t chunk = std::min(kMaxChunk, total - sent);
+      chunk_parts.clear();
+      std::size_t taken = 0;
+      while (taken < chunk && part < nparts) {
+        const auto cur = part_span(part);
+        const std::size_t take = std::min(chunk - taken, cur.size() - part_off);
+        if (take > 0) chunk_parts.push_back(cur.subspan(part_off, take));
+        taken += take;
+        part_off += take;
+        if (part_off == cur.size()) {
+          ++part;
+          part_off = 0;
+        }
+      }
+      RecInfo rec;
+      rec.type = RecType::Data;
+      rec.src = self_.value;
+      rec.msg_id = msg_id;
+      rec.context = context;
+      rec.tag = tag;
+      rec.static_len = static_cast<std::uint32_t>(total);
+      rec.dynamic_len = 0;
+      rec.flags = static_cast<std::uint8_t>(sent + chunk == total ? kLastChunk : 0) |
+                  static_cast<std::uint8_t>(need_ack ? kNeedAck : 0);
+      // Same once-per-chunk fault discipline as send_common.
+      if (faults::enabled()) {
+        switch (faults::next_action(faults::Site::ShmPush)) {
+          case faults::Action::Drop:
+            sent += chunk;
+            continue;
+          case faults::Action::Reset: {
+            {
+              std::lock_guard<std::mutex> lock(ack_mu_);
+              awaiting_ack_.erase(msg_id);
+            }
+            DevStatus status;
+            status.source = self_;
+            status.tag = tag;
+            status.context = context;
+            status.error = ErrCode::ConnReset;
+            request->complete(status);
+            return request;
+          }
+          case faults::Action::Corrupt:
+            if (!chunk_parts.empty() && !chunk_parts.front().empty()) {
+              const auto& front = chunk_parts.front();
+              corrupted.assign(front.begin(), front.end());
+              corrupted[corrupted.size() / 2] ^= std::byte{0x5A};
+              chunk_parts.front() = corrupted;
+            }
+            break;
+          case faults::Action::None:
+            break;
+        }
+      }
+      ring.push_parts(rec, chunk_parts);
+      sent += chunk;
+    } while (sent < total);
+
+    if (!need_ack) {
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.static_bytes = total;
+      request->complete(status);
+    }
+    return request;
+  }
+
   void send_ack(std::uint64_t to, std::uint64_t msg_id) {
     RecInfo rec;
     rec.type = RecType::Ack;
@@ -613,10 +801,47 @@ class ShmDevice final : public Device, public RequestCanceller {
     request->complete(status);
   }
 
+  /// Copy a complete unexpected message out to a direct receive: into the
+  /// span when the shape allows, otherwise into a staging buffer attached
+  /// to the request (direct stays false).
+  void deliver_direct(const ShmUnexp& msg, const RecvSpan& span, const DevRequest& request) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    DevStatus status = unexp_status(msg);
+    if (msg.info.static_len > sect + span.payload_capacity) {
+      status.truncated = true;
+    } else if (msg.info.dynamic_len == 0 && msg.info.static_len >= sect) {
+      std::memcpy(span.header, msg.bytes.data(), sect);
+      if (msg.info.static_len > sect) {
+        std::memcpy(span.payload, msg.bytes.data() + sect, msg.info.static_len - sect);
+      }
+      status.direct = true;
+    } else {
+      auto staged = std::make_unique<buf::Buffer>(msg.info.static_len);
+      auto sdst = staged->prepare_static(msg.info.static_len);
+      std::memcpy(sdst.data(), msg.bytes.data(), msg.info.static_len);
+      auto ddst = staged->prepare_dynamic(msg.info.dynamic_len);
+      if (msg.info.dynamic_len > 0) {
+        std::memcpy(ddst.data(), msg.bytes.data() + msg.info.static_len, msg.info.dynamic_len);
+      }
+      staged->seal_received();
+      request->attach_buffer(std::move(staged));
+    }
+    if (msg.info.flags & kNeedAck) send_ack(msg.info.src, msg.info.msg_id);
+    request->complete(status);
+  }
+
   void input_loop() {
-    std::vector<std::byte> payload;
+    std::vector<std::byte> scratch;
     while (running_) {
-      const RecInfo rec = own_->pop(payload);
+      const RecInfo rec = own_->pop_routed(
+          [&](const RecInfo& r, std::size_t body)
+              -> std::pair<std::span<std::byte>, std::span<std::byte>> {
+            if (r.type != RecType::Data) {
+              scratch.resize(body);
+              return {std::span<std::byte>(scratch), {}};
+            }
+            return route_data(r, body, scratch);
+          });
       switch (rec.type) {
         case RecType::Shutdown:
           return;
@@ -632,11 +857,168 @@ class ShmDevice final : public Device, public RequestCanceller {
           wait.request->complete(wait.status);
           continue;
         }
-        case RecType::Data:
-          handle_data(rec, payload);
+        case RecType::Data: {
+          const AssemblyKey akey{rec.src, rec.msg_id};
+          auto it = streams_.find(akey);
+          if (it != streams_.end()) {
+            // Streaming straight to its destination; nothing to assemble.
+            if (rec.flags & kLastChunk) {
+              StreamAssembly done = std::move(it->second);
+              streams_.erase(it);
+              finalize_stream(done, rec);
+            }
+            continue;
+          }
+          handle_data(rec, scratch);
           continue;
+        }
       }
     }
+  }
+
+  /// pop_routed callback for Data records (runs under the ring mutex).
+  /// First chunk of a new message: match a posted receive NOW — tcpdev's
+  /// header-decode-time match — so the payload streams ring -> destination
+  /// with no assembly vector. Unmatched messages keep the legacy
+  /// scratch -> assemblies_ path so a receive posted mid-message still
+  /// matches at last-chunk time, exactly as before.
+  std::pair<std::span<std::byte>, std::span<std::byte>> route_data(
+      const RecInfo& rec, std::size_t body, std::vector<std::byte>& scratch) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    const AssemblyKey akey{rec.src, rec.msg_id};
+    auto it = streams_.find(akey);
+    if (it == streams_.end()) {
+      if (assemblies_.find(akey) != assemblies_.end()) {
+        scratch.resize(body);
+        return {std::span<std::byte>(scratch), {}};
+      }
+      const MatchKey key{rec.context, rec.tag, ProcessID{rec.src}};
+      std::optional<ShmRecv> posted;
+      {
+        std::lock_guard<std::mutex> lock(recv_mu_);
+        posted = posted_.match(key);
+        if (posted) note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
+      }
+      if (!posted) {
+        scratch.resize(body);
+        return {std::span<std::byte>(scratch), {}};
+      }
+      StreamAssembly sa;
+      sa.request = posted->request;
+      sa.first = rec;
+      if (posted->direct) {
+        if (rec.static_len > sect + posted->span.payload_capacity) {
+          sa.mode = StreamAssembly::Mode::Discard;
+        } else if (rec.dynamic_len == 0 && rec.static_len >= sect) {
+          sa.mode = StreamAssembly::Mode::Span;
+          sa.span = posted->span;
+          sa.dst_a = {posted->span.header, sect};
+          sa.dst_b = {posted->span.payload, rec.static_len - sect};
+        } else {
+          sa.mode = StreamAssembly::Mode::Stage;
+          sa.stage.resize(rec.static_len + static_cast<std::size_t>(rec.dynamic_len));
+        }
+      } else if (rec.static_len > posted->buffer->capacity()) {
+        sa.mode = StreamAssembly::Mode::Discard;
+      } else {
+        sa.mode = StreamAssembly::Mode::Buffer;
+        sa.buffer = posted->buffer;
+        sa.dst_a = posted->buffer->prepare_static(rec.static_len);
+        sa.dst_b = posted->buffer->prepare_dynamic(rec.dynamic_len);
+      }
+      it = streams_.emplace(akey, std::move(sa)).first;
+      if (it->second.mode == StreamAssembly::Mode::Stage) {
+        it->second.dst_a = it->second.stage;  // rebind after the vector moved
+      }
+    }
+    StreamAssembly& sa = it->second;
+    const std::size_t cap = sa.dst_a.size() + sa.dst_b.size();
+    if (sa.mode == StreamAssembly::Mode::Discard || sa.got + body > cap) {
+      // Discarding, or a record claims more payload than announced (no
+      // checksum protects shm records): drain into scratch, never overrun.
+      sa.got += body;
+      scratch.resize(body);
+      return {std::span<std::byte>(scratch), {}};
+    }
+    std::pair<std::span<std::byte>, std::span<std::byte>> dests;
+    if (sa.got < sa.dst_a.size()) {
+      dests.first = sa.dst_a.subspan(sa.got, std::min(body, sa.dst_a.size() - sa.got));
+      if (body > dests.first.size()) dests.second = sa.dst_b.subspan(0, body - dests.first.size());
+    } else {
+      dests.first = sa.dst_b.subspan(sa.got - sa.dst_a.size(), body);
+    }
+    sa.got += body;
+    return dests;
+  }
+
+  /// Last chunk of a streamed message landed: complete the receive. A set
+  /// claim means the waiter timed out mid-stream — preserve the landed
+  /// bytes as an ordinary unexpected message (matching what the legacy
+  /// assembly path did for abandoned receives) before the claim-losing
+  /// complete() releases the waiter.
+  void finalize_stream(StreamAssembly& sa, const RecInfo& last) {
+    DevStatus status;
+    status.source = ProcessID{sa.first.src};
+    status.tag = sa.first.tag;
+    status.context = sa.first.context;
+    status.static_bytes = sa.first.static_len;
+    status.dynamic_bytes = sa.first.dynamic_len;
+    const bool need_ack = (last.flags & kNeedAck) != 0;
+    if (sa.mode == StreamAssembly::Mode::Discard) {
+      status.truncated = true;
+      if (need_ack) send_ack(sa.first.src, sa.first.msg_id);
+      sa.request->complete(status);
+      return;
+    }
+    if (sa.request->claimed()) {
+      preserve_stream(sa, last);
+      sa.request->complete(status);
+      return;
+    }
+    switch (sa.mode) {
+      case StreamAssembly::Mode::Span:
+        status.direct = true;
+        break;
+      case StreamAssembly::Mode::Buffer:
+        sa.buffer->seal_received();
+        break;
+      case StreamAssembly::Mode::Stage: {
+        auto staged = std::make_unique<buf::Buffer>(sa.first.static_len);
+        auto sdst = staged->prepare_static(sa.first.static_len);
+        std::memcpy(sdst.data(), sa.stage.data(), sa.first.static_len);
+        auto ddst = staged->prepare_dynamic(sa.first.dynamic_len);
+        if (sa.first.dynamic_len > 0) {
+          std::memcpy(ddst.data(), sa.stage.data() + sa.first.static_len, sa.first.dynamic_len);
+        }
+        staged->seal_received();
+        sa.request->attach_buffer(std::move(staged));
+        break;
+      }
+      case StreamAssembly::Mode::Discard:
+        break;  // handled above
+    }
+    if (need_ack) send_ack(sa.first.src, sa.first.msg_id);
+    sa.request->complete(status);
+  }
+
+  /// Requeue an abandoned streamed message as unexpected. The ack (if the
+  /// sender wants one) stays deferred until a later receive actually
+  /// matches it, mirroring the unmatched-assembly path.
+  void preserve_stream(const StreamAssembly& sa, const RecInfo& last) {
+    auto msg = std::make_unique<ShmUnexp>();
+    msg->key = MatchKey{sa.first.context, sa.first.tag, ProcessID{sa.first.src}};
+    msg->info = sa.first;
+    msg->info.flags = last.flags;
+    msg->bytes.resize(sa.dst_a.size() + sa.dst_b.size());
+    std::memcpy(msg->bytes.data(), sa.dst_a.data(), sa.dst_a.size());
+    if (!sa.dst_b.empty()) {
+      std::memcpy(msg->bytes.data() + sa.dst_a.size(), sa.dst_b.data(), sa.dst_b.size());
+    }
+    const MatchKey key = msg->key;
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    unexpected_.add(key, std::move(msg));
+    counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+    arrival_cv_.notify_all();
   }
 
   void handle_data(const RecInfo& rec, std::vector<std::byte>& payload) {
@@ -671,7 +1053,14 @@ class ShmDevice final : public Device, public RequestCanceller {
       }
       note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
     }
-    deliver(*message, *posted->buffer, posted->request);
+    // The receive may have been posted between route_data's match attempt
+    // (first-chunk time) and now; a direct posting carries a span, not a
+    // buffer.
+    if (posted->direct) {
+      deliver_direct(*message, posted->span, posted->request);
+    } else {
+      deliver(*message, *posted->buffer, posted->request);
+    }
   }
 
   struct AckWait {
@@ -690,6 +1079,9 @@ class ShmDevice final : public Device, public RequestCanceller {
   PostedRecvSet<ShmRecv> posted_;
   UnexpectedSet<std::unique_ptr<ShmUnexp>> unexpected_;
   std::unordered_map<AssemblyKey, Assembly, AssemblyKeyHash> assemblies_;  // input thread only
+  // Messages matched at first-chunk time, streaming ring -> destination
+  // with no assembly vector. Input thread only, like assemblies_.
+  std::unordered_map<AssemblyKey, StreamAssembly, AssemblyKeyHash> streams_;
 
   std::mutex ack_mu_;
   std::unordered_map<std::uint64_t, AckWait> awaiting_ack_;

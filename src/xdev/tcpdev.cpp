@@ -58,27 +58,41 @@ struct UnexpMsg {
   std::unique_ptr<buf::Buffer> temp;  // eager payload (possibly still arriving)
   bool data_complete = false;
   // Set when a receive claimed this entry while its payload was still
-  // arriving; the input handler finishes the hand-off.
+  // arriving; the input handler finishes the hand-off. Exactly one of
+  // claim_buffer / claim_direct describes where the bytes must land.
   DevRequest claimant;
   buf::Buffer* claim_buffer = nullptr;
+  bool claim_direct = false;
+  RecvSpan claim_span{};
 };
 
-/// A posted-but-unmatched receive.
+/// A posted-but-unmatched receive. `direct` receives carry a borrowed
+/// RecvSpan instead of a Buffer; eligible arrivals stream straight into it.
 struct RecvRec {
   DevRequest request;
   buf::Buffer* buffer = nullptr;
+  bool direct = false;
+  RecvSpan span{};
 };
 
 /// A rendezvous receive waiting for its data frame.
 struct RndvPending {
   DevRequest request;
   buf::Buffer* buffer = nullptr;
+  bool direct = false;
+  RecvSpan span{};
 };
 
-/// An outgoing rendezvous send waiting for ready-to-recv.
+/// An outgoing rendezvous send waiting for ready-to-recv. Zero-copy sends
+/// own a copy of the 8-byte section header and borrow the payload segments
+/// (valid until the request completes); staged sends reference a Buffer.
 struct SendRec {
   DevRequest request;
   buf::Buffer* buffer = nullptr;
+  bool direct = false;
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> sect_header{};
+  std::vector<SendSegment> segments;
+  std::uint32_t payload_bytes = 0;  ///< direct only: sum of segment sizes
   ProcessID dst{};
   int tag = 0;
   int context = 0;
@@ -111,6 +125,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       throw DeviceError("tcpdev: self_index out of range");
     }
     config_ = config;
+    config_.eager_threshold = resolve_eager_threshold(config.eager_threshold, counters_.get());
     self_ = config.world[config.self_index].id;
     const auto& self_info = config.world[config.self_index];
 
@@ -273,6 +288,27 @@ class TcpDevice final : public Device, public RequestCanceller {
     return rndv_send(buffer, dst, tag, context);
   }
 
+  DevRequest isend_segments(std::span<const std::byte> header,
+                            std::span<const SendSegment> segments, ProcessID dst, int tag,
+                            int context) override {
+    std::size_t payload = 0;
+    for (const SendSegment& seg : segments) payload += seg.size;
+    note_send(dst, tag, context, header.size() + payload);
+    if (header.size() + payload <= config_.eager_threshold) {
+      return eager_send_segments(header, segments, payload, dst, tag, context);
+    }
+    return rndv_send_segments(header, segments, payload, dst, tag, context);
+  }
+
+  DevRequest issend_segments(std::span<const std::byte> header,
+                             std::span<const SendSegment> segments, ProcessID dst, int tag,
+                             int context) override {
+    std::size_t payload = 0;
+    for (const SendSegment& seg : segments) payload += seg.size;
+    note_send(dst, tag, context, header.size() + payload);
+    return rndv_send_segments(header, segments, payload, dst, tag, context);
+  }
+
   // ---- receive side (Figs. 4 and 7) ------------------------------------------
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
@@ -297,6 +333,7 @@ class TcpDevice final : public Device, public RequestCanceller {
         // Payload still arriving: leave the hand-off to the input handler.
         msg->claimant = request;
         msg->claim_buffer = &buffer;
+        msg->claim_direct = false;
         arriving_claims_.emplace(msg.get(), msg);
         return request;
       }
@@ -315,6 +352,77 @@ class TcpDevice final : public Device, public RequestCanceller {
       } catch (const Error& e) {
         // RTR never left: unhook the pending record and surface the failure
         // on the request instead of leaking a receive that cannot complete.
+        {
+          std::lock_guard<std::mutex> lock(recv_mu_);
+          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
+        }
+        DevStatus status;
+        status.source = msg->key.src;
+        status.tag = msg->key.tag;
+        status.context = msg->key.context;
+        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+        request->complete(status);
+      }
+    }
+    return request;
+  }
+
+  DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+                                                     counters_.get(), this);
+    const MatchKey key{context, tag, src};
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
+
+    std::shared_ptr<UnexpMsg> msg;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      auto found = unexpected_.match(key);
+      if (!found) {
+        RecvRec rec;
+        rec.request = request;
+        rec.direct = true;
+        rec.span = dst;
+        posted_.add(key, std::move(rec));
+        return request;
+      }
+      msg = std::move(*found);
+      note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
+      if (msg->kind == FrameType::Eager && !msg->data_complete) {
+        // Payload still streaming into the pool buffer; the input handler
+        // copies it out (or attaches it) when the last byte lands.
+        msg->claimant = request;
+        msg->claim_direct = true;
+        msg->claim_span = dst;
+        arriving_claims_.emplace(msg.get(), msg);
+        return request;
+      }
+      if (msg->kind == FrameType::Rts) {
+        RndvPending pending;
+        pending.request = request;
+        if (direct_eligible(msg->static_len, msg->dynamic_len, dst)) {
+          pending.direct = true;
+          pending.span = dst;
+        } else {
+          // Ineligible shape (or about to truncate): rendezvous into a
+          // staging buffer parked on the request; capacity mirrors what the
+          // caller's span can represent so oversize data still truncates.
+          auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
+                                                       dst.payload_capacity);
+          pending.buffer = staging.get();
+          request->attach_buffer(std::move(staging));
+        }
+        rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id}, std::move(pending));
+      }
+    }
+    if (msg->kind == FrameType::Eager) {
+      deliver_buffered_direct(*msg, dst, request);
+    } else {
+      try {
+        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+                 msg->dynamic_len, msg->msg_id);
+      } catch (const Error& e) {
         {
           std::lock_guard<std::mutex> lock(recv_mu_);
           rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
@@ -413,6 +521,8 @@ class TcpDevice final : public Device, public RequestCanceller {
           // ordinary unexpected message a later receive can match.
           msg->claimant = nullptr;
           msg->claim_buffer = nullptr;
+          msg->claim_direct = false;
+          msg->claim_span = RecvSpan{};
           unexpected_.add(msg->key, msg);
           detached = true;
         }
@@ -515,6 +625,34 @@ class TcpDevice final : public Device, public RequestCanceller {
     return make_completed_request(DevRequestState::Kind::Send, status);
   }
 
+  /// Zero-copy eager send: one gathered writev of [frame header | section
+  /// header | user payload]. Blocking on the write channel means the
+  /// borrowed segments are out of our hands when this returns, so the
+  /// request completes synchronously just like eager_send.
+  DevRequest eager_send_segments(std::span<const std::byte> header,
+                                 std::span<const SendSegment> segments, std::size_t payload,
+                                 ProcessID dst, int tag, int context) {
+    counters_->add(prof::Ctr::EagerSends);
+    FrameHeader hdr;
+    hdr.type = FrameType::Eager;
+    hdr.context = tag_to_wire(context);
+    hdr.tag = tag_to_wire(tag);
+    hdr.src = self_.value;
+    hdr.static_len = static_cast<std::uint32_t>(header.size() + payload);
+    hdr.dynamic_len = 0;
+    DevStatus status;
+    status.source = self_;
+    status.tag = tag;
+    status.context = context;
+    try {
+      write_segments(peer_for(dst.value), hdr, header, segments);
+      status.static_bytes = header.size() + payload;
+    } catch (const Error& e) {
+      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+    }
+    return make_completed_request(DevRequestState::Kind::Send, status);
+  }
+
   /// Decide the injected fault for ONE logical outgoing frame
   /// (Site::TcpWrite). Injection must act on whole frames: per-write(2)
   /// injection could drop half a frame, desynchronizing the byte stream in
@@ -543,28 +681,51 @@ class TcpDevice final : public Device, public RequestCanceller {
     return true;
   }
 
-  /// Write [header | static] (one call) then the dynamic section, under the
-  /// destination channel lock.
+  /// Write one frame — [header | static | dynamic] — as a single gathered
+  /// writev_all under the destination channel lock. The fault decision is
+  /// made once, before any byte of the frame is handed to the socket, so an
+  /// injected Drop removes the whole frame and Corrupt flips a post-CRC
+  /// header byte the receiver is guaranteed to detect.
   void write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr) {
     if (buffer.header_reserve() >= kHeaderBytes) {
-      // Header written in place: a single contiguous wire segment.
+      // Header written in place: [header|static] is one contiguous segment.
       auto header = buffer.header_region();
       auto encoded = header.subspan(header.size() - kHeaderBytes);
       tcp::encode_header(encoded, hdr);
       if (!apply_write_fault(peer, encoded)) return;
+      const std::span<const std::byte> parts[] = {
+          buffer.framed_payload().subspan(buffer.header_reserve() - kHeaderBytes),
+          buffer.dynamic_payload()};
       std::lock_guard<std::mutex> lock(peer.write_mu);
-      peer.write_channel.write_all(buffer.framed_payload().subspan(
-          buffer.header_reserve() - kHeaderBytes));
-      if (buffer.dynamic_size() > 0) peer.write_channel.write_all(buffer.dynamic_payload());
+      peer.write_channel.writev_all(parts);
     } else {
       std::array<std::byte, kHeaderBytes> bytes{};
       tcp::encode_header(bytes, hdr);
       if (!apply_write_fault(peer, bytes)) return;
+      const std::span<const std::byte> parts[] = {bytes, buffer.static_payload(),
+                                                  buffer.dynamic_payload()};
       std::lock_guard<std::mutex> lock(peer.write_mu);
-      peer.write_channel.write_all(bytes);
-      if (buffer.static_size() > 0) peer.write_channel.write_all(buffer.static_payload());
-      if (buffer.dynamic_size() > 0) peer.write_channel.write_all(buffer.dynamic_payload());
+      peer.write_channel.writev_all(parts);
     }
+  }
+
+  /// Zero-copy frame write: gather [frame header | section header | payload
+  /// segments] from their separate homes in one writev_all — the bytes never
+  /// pass through a staging Buffer. Same once-per-frame fault discipline as
+  /// write_message.
+  void write_segments(Peer& peer, const FrameHeader& hdr,
+                      std::span<const std::byte> sect_header,
+                      std::span<const SendSegment> segments) {
+    std::array<std::byte, kHeaderBytes> bytes{};
+    tcp::encode_header(bytes, hdr);
+    if (!apply_write_fault(peer, bytes)) return;
+    std::vector<std::span<const std::byte>> parts;
+    parts.reserve(2 + segments.size());
+    parts.emplace_back(bytes);
+    parts.emplace_back(sect_header);
+    for (const SendSegment& seg : segments) parts.emplace_back(seg.data, seg.size);
+    std::lock_guard<std::mutex> lock(peer.write_mu);
+    peer.write_channel.writev_all(parts);
   }
 
   // ---- rendezvous protocol, send side (Fig. 6) ----------------------------------
@@ -576,7 +737,13 @@ class TcpDevice final : public Device, public RequestCanceller {
     const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(send_mu_);
-      pending_sends_.emplace(id, SendRec{request, &buffer, dst, tag, context});
+      SendRec rec;
+      rec.request = request;
+      rec.buffer = &buffer;
+      rec.dst = dst;
+      rec.tag = tag;
+      rec.context = context;
+      pending_sends_.emplace(id, std::move(rec));
     }
     FrameHeader rts;
     rts.type = FrameType::Rts;
@@ -591,6 +758,56 @@ class TcpDevice final : public Device, public RequestCanceller {
     } catch (const Error& e) {
       // RTS never left: retire the send record and surface the failure on
       // the request so wait() observes it.
+      {
+        std::lock_guard<std::mutex> lock(send_mu_);
+        pending_sends_.erase(id);
+      }
+      DevStatus status;
+      status.source = self_;
+      status.tag = tag;
+      status.context = context;
+      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+      request->complete(status);
+    }
+    return request;
+  }
+
+  /// Zero-copy rendezvous send: same RTS/RTR handshake as rndv_send, but the
+  /// send record owns only the 8-byte section header and BORROWS the payload
+  /// segments — the rendez-write-thread gathers them straight from user
+  /// memory when the RTR arrives.
+  DevRequest rndv_send_segments(std::span<const std::byte> header,
+                                std::span<const SendSegment> segments, std::size_t payload,
+                                ProcessID dst, int tag, int context) {
+    counters_->add(prof::Ctr::RndvSends);
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+                                                     nullptr, this);
+    const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      SendRec rec;
+      rec.request = request;
+      rec.direct = true;
+      std::memcpy(rec.sect_header.data(), header.data(),
+                  std::min(header.size(), rec.sect_header.size()));
+      rec.segments.assign(segments.begin(), segments.end());
+      rec.payload_bytes = static_cast<std::uint32_t>(payload);
+      rec.dst = dst;
+      rec.tag = tag;
+      rec.context = context;
+      std::lock_guard<std::mutex> lock(send_mu_);
+      pending_sends_.emplace(id, std::move(rec));
+    }
+    FrameHeader rts;
+    rts.type = FrameType::Rts;
+    rts.context = tag_to_wire(context);
+    rts.tag = tag_to_wire(tag);
+    rts.src = self_.value;
+    rts.static_len = static_cast<std::uint32_t>(header.size() + payload);
+    rts.dynamic_len = 0;
+    rts.msg_id = id;
+    try {
+      write_control(peer_for(dst.value), rts);
+    } catch (const Error& e) {
       {
         std::lock_guard<std::mutex> lock(send_mu_);
         pending_sends_.erase(id);
@@ -844,7 +1061,18 @@ class TcpDevice final : public Device, public RequestCanceller {
       }
       note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
     }
-    // Posted receive found: stream straight into the user's buffer.
+    // Posted receive found: stream straight into the user's buffer (or, for
+    // a direct receive, the user's span).
+    if (rec->direct) {
+      if (hdr.static_len > buf::Buffer::kSectionHeaderBytes + rec->span.payload_capacity) {
+        drain_truncated(conn, hdr, rec->request);
+      } else if (direct_eligible(hdr.static_len, hdr.dynamic_len, rec->span)) {
+        begin_body_direct(conn, hdr, rec->span, rec->request);
+      } else {
+        begin_body_staged(conn, hdr, rec->span, rec->request);
+      }
+      return;
+    }
     if (hdr.static_len > rec->buffer->capacity()) {
       drain_truncated(conn, hdr, rec->request);
       return;
@@ -868,14 +1096,23 @@ class TcpDevice final : public Device, public RequestCanceller {
     msg->temp->seal_received();
     DevRequest claimant;
     buf::Buffer* claim_buffer = nullptr;
+    bool claim_direct = false;
+    RecvSpan claim_span{};
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
       msg->data_complete = true;
       claimant = std::move(msg->claimant);
       claim_buffer = msg->claim_buffer;
+      claim_direct = msg->claim_direct;
+      claim_span = msg->claim_span;
       arriving_claims_.erase(msg.get());
     }
-    if (claimant) deliver_buffered(*msg, *claim_buffer, claimant);
+    if (!claimant) return;
+    if (claim_direct) {
+      deliver_buffered_direct(*msg, claim_span, claimant);
+    } else {
+      deliver_buffered(*msg, *claim_buffer, claimant);
+    }
   }
 
   /// Copy a fully buffered unexpected message into the user's buffer and
@@ -897,6 +1134,111 @@ class TcpDevice final : public Device, public RequestCanceller {
     buffer.seal_received();
     pool_.put(std::move(msg.temp));
     request->complete(status);
+  }
+
+  /// Can an incoming message with these wire lengths land straight in `span`?
+  /// Byte-shape test only: one static region of [8-byte section header |
+  /// payload] that fits, and no dynamic section. The core layer validates
+  /// the section header semantically after completion.
+  static bool direct_eligible(std::uint32_t static_len, std::uint32_t dynamic_len,
+                              const RecvSpan& span) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    return dynamic_len == 0 && static_len >= sect &&
+           static_len - sect <= span.payload_capacity;
+  }
+
+  /// Copy a fully buffered unexpected message out to a direct receive: the
+  /// span when the shape allows, otherwise hand the staged pool buffer to the
+  /// request itself (direct stays false and the core unpacks it).
+  void deliver_buffered_direct(UnexpMsg& msg, const RecvSpan& span, const DevRequest& request) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    DevStatus status = unexpected_status(msg);
+    if (msg.static_len > sect + span.payload_capacity) {
+      status.truncated = true;
+      request->complete(status);
+      pool_.put(std::move(msg.temp));
+      return;
+    }
+    if (direct_eligible(msg.static_len, msg.dynamic_len, span)) {
+      auto src = msg.temp->static_payload();
+      std::memcpy(span.header, src.data(), sect);
+      if (msg.static_len > sect) {
+        std::memcpy(span.payload, src.data() + sect, msg.static_len - sect);
+      }
+      status.direct = true;
+      pool_.put(std::move(msg.temp));
+      request->complete(status);
+      return;
+    }
+    request->attach_buffer(std::move(msg.temp));
+    request->complete(status);
+  }
+
+  /// Stream an eligible frame body straight into a direct receive's span.
+  /// If the waiter claimed the request (timed out) while the body was in
+  /// flight, the landed bytes are preserved as a staged unexpected message
+  /// BEFORE the final claim-losing complete() releases the waiter's latch —
+  /// after which the borrowed span belongs to the user again.
+  void begin_body_direct(Conn& conn, const FrameHeader& hdr, const RecvSpan& span,
+                         const DevRequest& request) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    DevStatus status = status_from(hdr);
+    status.direct = true;
+    DevRequest req = request;
+    begin_body(
+        conn, std::span<std::byte>(span.header, sect),
+        std::span<std::byte>(span.payload, hdr.static_len - sect),
+        [this, req, status, span] {
+          if (req->claimed()) preserve_abandoned_direct(status, span);
+          req->complete(status);
+        },
+        request);
+  }
+
+  /// A direct receive was abandoned mid-body and the payload has now fully
+  /// landed in the (still device-owned) span: requeue it as an ordinary
+  /// staged unexpected message so a later receive can match it.
+  void preserve_abandoned_direct(const DevStatus& status, const RecvSpan& span) {
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    auto msg = std::make_shared<UnexpMsg>();
+    msg->key = MatchKey{status.context, status.tag, status.source};
+    msg->kind = FrameType::Eager;
+    msg->static_len = static_cast<std::uint32_t>(status.static_bytes);
+    msg->dynamic_len = 0;
+    msg->temp = pool_.get(msg->static_len);
+    auto dst = msg->temp->prepare_static(msg->static_len);
+    std::memcpy(dst.data(), span.header, sect);
+    if (msg->static_len > sect) {
+      std::memcpy(dst.data() + sect, span.payload, msg->static_len - sect);
+    }
+    msg->temp->prepare_dynamic(0);
+    msg->temp->seal_received();
+    msg->data_complete = true;
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    unexpected_.add(msg->key, msg);
+    counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+    arrival_cv_.notify_all();
+  }
+
+  /// Ineligible frame for a direct receive that still fits: stream it into a
+  /// staging buffer attached to the request (direct stays false).
+  void begin_body_staged(Conn& conn, const FrameHeader& hdr, const RecvSpan& span,
+                         const DevRequest& request) {
+    auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
+                                                 span.payload_capacity);
+    auto static_dst = staging->prepare_static(hdr.static_len);
+    auto dynamic_dst = staging->prepare_dynamic(hdr.dynamic_len);
+    buf::Buffer* raw = staging.get();
+    request->attach_buffer(std::move(staging));
+    DevRequest req = request;
+    const DevStatus status = status_from(hdr);
+    begin_body(
+        conn, static_dst, dynamic_dst,
+        [raw, req, status] {
+          raw->seal_received();
+          req->complete(status);
+        },
+        request);
   }
 
   /// Incoming message too large for the posted buffer: drain and discard.
@@ -948,8 +1290,22 @@ class TcpDevice final : public Device, public RequestCanceller {
         return;
       }
       note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
-      rndv_pending_.emplace(RndvKey{hdr.src, hdr.msg_id},
-                            RndvPending{rec->request, rec->buffer});
+      RndvPending pending;
+      pending.request = rec->request;
+      if (!rec->direct) {
+        pending.buffer = rec->buffer;
+      } else if (direct_eligible(hdr.static_len, hdr.dynamic_len, rec->span)) {
+        pending.direct = true;
+        pending.span = rec->span;
+      } else {
+        // Direct receive, ineligible shape: rendezvous into a staging buffer
+        // parked on the request (oversize data still truncates there).
+        auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
+                                                     rec->span.payload_capacity);
+        pending.buffer = staging.get();
+        rec->request->attach_buffer(std::move(staging));
+      }
+      rndv_pending_.emplace(RndvKey{hdr.src, hdr.msg_id}, std::move(pending));
     }
     // recv sets unlocked before taking the channel lock, as in Fig. 8.
     send_rtr(hdr.src, hdr.context, hdr.tag, hdr.static_len, hdr.dynamic_len, hdr.msg_id);
@@ -987,16 +1343,26 @@ class TcpDevice final : public Device, public RequestCanceller {
         data.context = tag_to_wire(rec.context);
         data.tag = tag_to_wire(rec.tag);
         data.src = self_.value;
-        data.static_len = static_cast<std::uint32_t>(rec.buffer->static_size());
-        data.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
+        if (rec.direct) {
+          data.static_len =
+              static_cast<std::uint32_t>(rec.sect_header.size()) + rec.payload_bytes;
+          data.dynamic_len = 0;
+        } else {
+          data.static_len = static_cast<std::uint32_t>(rec.buffer->static_size());
+          data.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
+        }
         data.msg_id = msg_id;
-        write_message(*rec.buffer, peer_for(rec.dst.value), data);
+        if (rec.direct) {
+          write_segments(peer_for(rec.dst.value), data, rec.sect_header, rec.segments);
+        } else {
+          write_message(*rec.buffer, peer_for(rec.dst.value), data);
+        }
         DevStatus status;
         status.source = self_;
         status.tag = rec.tag;
         status.context = rec.context;
-        status.static_bytes = rec.buffer->static_size();
-        status.dynamic_bytes = rec.buffer->dynamic_size();
+        status.static_bytes = data.static_len;
+        status.dynamic_bytes = data.dynamic_len;
         rec.request->complete(status);
       } catch (const Error& e) {
         // Route the failure into the owning send request — a swallowed log
@@ -1032,6 +1398,18 @@ class TcpDevice final : public Device, public RequestCanceller {
     }
     if (!pending.request) {
       drain_discard(conn, hdr);
+      return;
+    }
+    if (pending.direct) {
+      if (hdr.static_len > buf::Buffer::kSectionHeaderBytes + pending.span.payload_capacity) {
+        drain_truncated(conn, hdr, pending.request);
+      } else if (direct_eligible(hdr.static_len, hdr.dynamic_len, pending.span)) {
+        begin_body_direct(conn, hdr, pending.span, pending.request);
+      } else {
+        // The data frame's shape disagrees with the RTS it followed; land it
+        // in a staging buffer rather than trusting the span mapping.
+        begin_body_staged(conn, hdr, pending.span, pending.request);
+      }
       return;
     }
     if (hdr.static_len > pending.buffer->capacity()) {

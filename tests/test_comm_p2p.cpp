@@ -305,6 +305,44 @@ TEST_P(CommP2P, DerivedDatatypeOverTheWire) {
   }, opts());
 }
 
+TEST_P(CommP2P, ZeroCopyAndPackedPathsDeliverIdenticalBytes) {
+  // The same logical payload travels three ways: contiguous send into a
+  // contiguous receive (zero-copy on both sides), strided send into a
+  // contiguous receive (packed on the sender), and contiguous send into a
+  // strided receive (zero-copy sender, unpacking receiver). All three must
+  // deliver byte-identical data — the fast path is a transport detail, not
+  // an observable semantic.
+  constexpr int kInts = 512;
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    // column = every other int of a 2*kInts array.
+    const auto column = Datatype::vector(kInts, 1, 2, types::INT());
+    if (comm.Rank() == 0) {
+      std::vector<std::int32_t> contiguous(kInts);
+      std::iota(contiguous.begin(), contiguous.end(), 1000);
+      std::vector<std::int32_t> strided(2 * kInts, -1);
+      for (int i = 0; i < kInts; ++i) strided[static_cast<std::size_t>(i) * 2] = 1000 + i;
+      comm.Send(contiguous.data(), 0, kInts, types::INT(), 1, 1);  // fast path
+      comm.Send(strided.data(), 0, 1, column, 1, 2);               // packed path
+      comm.Send(contiguous.data(), 0, kInts, types::INT(), 1, 3);  // fast path
+    } else {
+      std::vector<std::int32_t> via_fast(kInts, -1);
+      std::vector<std::int32_t> via_packed(kInts, -2);
+      std::vector<std::int32_t> via_unpack(2 * kInts, -3);
+      comm.Recv(via_fast.data(), 0, kInts, types::INT(), 0, 1);    // direct recv
+      comm.Recv(via_packed.data(), 0, kInts, types::INT(), 0, 2);  // direct recv of packed send
+      comm.Recv(via_unpack.data(), 0, 1, column, 0, 3);            // strided recv of fast send
+      EXPECT_EQ(via_fast, via_packed);
+      for (int i = 0; i < kInts; ++i) {
+        EXPECT_EQ(via_fast[static_cast<std::size_t>(i)], 1000 + i);
+        EXPECT_EQ(via_unpack[static_cast<std::size_t>(i) * 2],
+                  via_fast[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(via_unpack[static_cast<std::size_t>(i) * 2 + 1], -3);  // gaps untouched
+      }
+    }
+  }, opts());
+}
+
 TEST_P(CommP2P, ArgumentValidation) {
   cluster::launch(1, [](World& world) {
     Intracomm& comm = world.COMM_WORLD();

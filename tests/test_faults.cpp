@@ -9,6 +9,7 @@
 // than a few hundred milliseconds on an injected failure.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -489,6 +490,147 @@ TEST(ShmFaults, LateDeliveryAfterTimeoutIsPreserved) {
   std::vector<std::int32_t> out(3);
   rbuf2->read(std::span<std::int32_t>(out));
   EXPECT_EQ(out, data);
+}
+
+// ---- zero-copy segment path under fault plans -------------------------------------
+
+std::array<std::byte, buf::Buffer::kSectionHeaderBytes> int_section_header(std::uint32_t count) {
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> hdr{};
+  buf::encode_section_header(hdr, buf::TypeCode::Int, count);
+  return hdr;
+}
+
+/// Caller-owned landing area for a direct (zero-copy) receive.
+struct DirectLanding {
+  explicit DirectLanding(std::size_t count, std::int32_t fill = -1) : ints(count, fill) {}
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> header{};
+  std::vector<std::int32_t> ints;
+  xdev::RecvSpan span() {
+    return {header.data(), reinterpret_cast<std::byte*>(ints.data()), ints.size() * 4};
+  }
+};
+
+TEST(ZeroCopyFaults, CorruptSegmentFrameIsAlwaysDetected) {
+  // The writev_all gather path must route through the same once-per-frame
+  // fault decision as write_all: corruption targets the encoded frame
+  // header, so the receiver's CRC fires no matter how large the borrowed
+  // payload is.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(4000);  // backstop: the test must not hang
+
+  DirectLanding dst(1000);
+  DevRequest recv = world.device(1).irecv_direct(dst.span(), world.id(0), 41, kCtx);
+
+  faults::set_plan(*faults::parse_plan("corrupt=1.0"));
+  std::vector<std::int32_t> data(1000, 0x3C3C3C3C);
+  const auto hdr = int_section_header(1000);
+  const xdev::SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+  world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 41, kCtx)->wait();
+
+  const DevStatus status = recv->wait();
+  EXPECT_TRUE(status.error == ErrCode::Checksum || status.error == ErrCode::ConnReset)
+      << "corruption went undetected: " << err_code_name(status.error);
+  faults::clear_plan();
+}
+
+TEST(ZeroCopyFaults, TcpRecvTimeoutLateDeliveryPreserved) {
+  // A timed-out direct receive abandons its borrowed span. When the delayed
+  // eager frame finally lands, the device must stage it as an unexpected
+  // message — never write the abandoned user memory — and the next matching
+  // receive must drain it intact.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2);
+  faults::set_op_timeout_ms(300);
+
+  DirectLanding abandoned(4, /*fill=*/-7);
+  DevRequest recv = world.device(1).irecv_direct(abandoned.span(), world.id(0), 42, kCtx);
+
+  faults::set_plan(*faults::parse_plan("delay_ms=900"));
+  std::vector<std::int32_t> data = {100, 200, 300, 400};
+  std::thread sender([&] {
+    const auto hdr = int_section_header(4);
+    const xdev::SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+    world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 42, kCtx)->wait();
+  });
+
+  const DevStatus timed_out = recv->wait();
+  EXPECT_EQ(timed_out.error, ErrCode::Timeout) << err_code_name(timed_out.error);
+  xdev::await_device_release(recv);  // borrowed span is ours again
+
+  sender.join();
+  faults::clear_plan();
+  faults::set_op_timeout_ms(4000);
+
+  DirectLanding fresh(4);
+  const DevStatus status = world.device(1).recv_direct(fresh.span(), world.id(0), 42, kCtx);
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  EXPECT_EQ(fresh.ints, data);
+  // The abandoned landing area was never written by the late frame.
+  EXPECT_EQ(abandoned.ints, (std::vector<std::int32_t>(4, -7)));
+}
+
+TEST(ZeroCopyFaults, ShmRecvTimeoutLateDeliveryPreserved) {
+  // Shared-memory analog: the delayed ring chunk must be preserved as an
+  // unexpected message, not streamed into the abandoned span.
+  FaultScope scope;
+  DeviceWorld world("shmdev", 2);
+  faults::set_op_timeout_ms(300);
+
+  DirectLanding abandoned(3, /*fill=*/-9);
+  DevRequest recv = world.device(1).irecv_direct(abandoned.span(), world.id(0), 43, kCtx);
+
+  faults::set_plan(*faults::parse_plan("delay_ms=900"));
+  std::vector<std::int32_t> data = {11, 12, 13};
+  std::thread sender([&] {
+    const auto hdr = int_section_header(3);
+    const xdev::SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+    world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 43, kCtx)->wait();
+  });
+
+  const DevStatus timed_out = recv->wait();
+  EXPECT_EQ(timed_out.error, ErrCode::Timeout) << err_code_name(timed_out.error);
+  xdev::await_device_release(recv);
+
+  sender.join();
+  faults::clear_plan();
+  faults::set_op_timeout_ms(4000);
+
+  DirectLanding fresh(3);
+  const DevStatus status = world.device(1).recv_direct(fresh.span(), world.id(0), 43, kCtx);
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  EXPECT_EQ(fresh.ints, data);
+  EXPECT_EQ(abandoned.ints, (std::vector<std::int32_t>(3, -9)));
+}
+
+TEST(ZeroCopyFaults, TcpSendTimeoutAbandonsBorrowedSpan) {
+  // Rendezvous-size zero-copy send with every frame dropped: the sender's
+  // wait times out, the borrowed span is released after abandon, and the
+  // connection survives for a clean zero-copy exchange afterwards.
+  FaultScope scope;
+  DeviceWorld world("tcpdev", 2, /*eager_threshold=*/64);
+  faults::set_op_timeout_ms(300);
+
+  std::vector<std::int32_t> big(100, 5);  // 400 bytes > 64-byte threshold
+  const auto hdr = int_section_header(100);
+  const xdev::SendSegment seg{reinterpret_cast<const std::byte*>(big.data()), big.size() * 4};
+  faults::set_plan(*faults::parse_plan("drop=1.0"));
+  DevRequest send = world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 44, kCtx);
+  EXPECT_EQ(send->wait().error, ErrCode::Timeout);
+  xdev::await_device_release(send);  // safe to reuse/free `big` now
+
+  faults::clear_plan();
+  faults::set_op_timeout_ms(4000);
+
+  std::vector<std::int32_t> small = {77};
+  const auto hdr2 = int_section_header(1);
+  const xdev::SendSegment seg2{reinterpret_cast<const std::byte*>(small.data()), 4};
+  DirectLanding dst(1);
+  DevRequest recv = world.device(1).irecv_direct(dst.span(), world.id(0), 45, kCtx);
+  world.device(0).send_segments(hdr2, {&seg2, 1}, world.id(1), 45, kCtx);
+  const DevStatus status = recv->wait();
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  EXPECT_EQ(dst.ints[0], 77);
 }
 
 // ---- core errhandler policies -----------------------------------------------------

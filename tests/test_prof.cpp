@@ -388,6 +388,8 @@ TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
   constexpr int kInts = 128;
   std::uint64_t rank0_collectives = 0;
   std::uint64_t rank0_pack_bytes = 0;
+  std::uint64_t rank0_pack_avoided = 0;
+  std::uint64_t rank0_zero_copy_sends = 0;
   {
     StatsGuard stats;
     TraceGuard trace(path);
@@ -395,11 +397,17 @@ TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
     options.device = "tcpdev";
     cluster::launch(2, [&](World& world) {
       Intracomm& comm = world.COMM_WORLD();
-      std::vector<std::int32_t> data(kInts, comm.Rank());
+      // Strided column sends exercise the packing path (and its trace
+      // spans); the plain INT sends ride the zero-copy fast path and must
+      // show up in the avoided-bytes counters instead.
+      const auto column = Datatype::vector(kInts, 1, 2, types::INT());
+      std::vector<std::int32_t> data(2 * kInts, comm.Rank());
       for (int i = 0; i < kMsgs; ++i) {
         if (comm.Rank() == 0) {
+          comm.Send(data.data(), 0, 1, column, 1, i);
           comm.Send(data.data(), 0, kInts, types::INT(), 1, i);
         } else {
+          comm.Recv(data.data(), 0, 1, column, 0, i);
           comm.Recv(data.data(), 0, kInts, types::INT(), 0, i);
         }
       }
@@ -407,6 +415,8 @@ TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
       if (comm.Rank() == 0) {
         rank0_collectives = world.counters().get(prof::Ctr::CollectiveCalls);
         rank0_pack_bytes = world.counters().get(prof::Ctr::PackBytes);
+        rank0_pack_avoided = world.counters().get(prof::Ctr::PackBytesAvoided);
+        rank0_zero_copy_sends = world.counters().get(prof::Ctr::ZeroCopySends);
       }
       world.Finalize();
     }, options);
@@ -414,6 +424,12 @@ TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
 
   EXPECT_GE(rank0_collectives, 1u);  // the explicit Barrier
   EXPECT_GE(rank0_pack_bytes, static_cast<std::uint64_t>(kMsgs * kInts * 4));
+  // Only the strided sends (plus small barrier control traffic) may pack:
+  // if the contiguous sends also packed, PackBytes would roughly double.
+  EXPECT_LT(rank0_pack_bytes, static_cast<std::uint64_t>(kMsgs * (kInts * 4 + 16)) + 1024);
+  // Contiguous sends bypass packing entirely: the bytes show up as avoided.
+  EXPECT_GE(rank0_pack_avoided, static_cast<std::uint64_t>(kMsgs * kInts * 4));
+  EXPECT_GE(rank0_zero_copy_sends, static_cast<std::uint64_t>(kMsgs));
   const std::string text = slurp(path);
   expect_valid_chrome_trace(text);
   EXPECT_GE(count_occurrences(text, "\"name\":\"pack\""), static_cast<std::size_t>(kMsgs));

@@ -4,6 +4,8 @@
 // and protocol-boundary payloads around the eager/rendezvous threshold.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -284,6 +286,150 @@ TEST_P(XdevTest, ThresholdBoundarySizes) {
     rbuf->read(std::span<std::int32_t>(out));
     EXPECT_EQ(out, data) << "bytes=" << bytes;
   }
+}
+
+// ---- zero-copy segment-list operations --------------------------------------------
+
+std::array<std::byte, buf::Buffer::kSectionHeaderBytes> int_header(std::uint32_t count) {
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> hdr{};
+  buf::encode_section_header(hdr, buf::TypeCode::Int, count);
+  return hdr;
+}
+
+/// Caller-owned landing area for a direct receive.
+struct DirectLanding {
+  explicit DirectLanding(std::size_t count) : ints(count, -1) {}
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> header{};
+  std::vector<std::int32_t> ints;
+  RecvSpan span() {
+    return {header.data(), reinterpret_cast<std::byte*>(ints.data()), ints.size() * 4};
+  }
+};
+
+TEST_P(XdevTest, SegmentSendIntoDirectRecvRoundTrip) {
+  // Multi-segment zero-copy send into a posted direct receive: the wire
+  // message is one INT section whose payload is gathered from two borrowed
+  // spans; the receiver lands it straight in user memory.
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> lo = {1, 2, 3};
+  std::vector<std::int32_t> hi = {4, 5};
+
+  DirectLanding dst(5);
+  DevRequest recv = world.device(1).irecv_direct(dst.span(), world.id(0), 61, kCtx);
+
+  const auto hdr = int_header(5);
+  const SendSegment segs[2] = {
+      {reinterpret_cast<const std::byte*>(lo.data()), lo.size() * 4},
+      {reinterpret_cast<const std::byte*>(hi.data()), hi.size() * 4},
+  };
+  world.device(0).send_segments(hdr, segs, world.id(1), 61, kCtx);
+
+  const DevStatus status = recv->wait();
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  if (status.direct) {
+    const auto info = buf::decode_section_header(dst.header);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->type, buf::TypeCode::Int);
+    EXPECT_EQ(info->count, 5u);
+    EXPECT_EQ(dst.ints, (std::vector<std::int32_t>{1, 2, 3, 4, 5}));
+  } else {
+    // Device staged it (allowed): the attached buffer must carry the bytes.
+    auto staged = recv->take_attached_buffer();
+    ASSERT_NE(staged, nullptr);
+    std::vector<std::int32_t> out(5);
+    staged->read(std::span<std::int32_t>(out));
+    EXPECT_EQ(out, (std::vector<std::int32_t>{1, 2, 3, 4, 5}));
+  }
+}
+
+TEST_P(XdevTest, SegmentSendIntoClassicRecv) {
+  // A segment send is wire-identical to the equivalent packed send, so a
+  // plain buffered receive must decode it transparently.
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {10, 20, 30, 40};
+  const auto hdr = int_header(4);
+  const SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+  DevRequest send = world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 62, kCtx);
+  auto rbuf = landing(4, world.device(1));
+  const DevStatus status = world.device(1).recv(*rbuf, world.id(0), 62, kCtx);
+  send->wait();
+  ASSERT_EQ(status.error, ErrCode::Success);
+  std::vector<std::int32_t> out(4);
+  rbuf->read(std::span<std::int32_t>(out));
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(XdevTest, ClassicSendIntoDirectRecv) {
+  // The reverse pairing: a packed Buffer send satisfied by a direct receive.
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {7, 8, 9};
+  DirectLanding dst(3);
+  DevRequest recv = world.device(1).irecv_direct(dst.span(), world.id(0), 63, kCtx);
+  auto sbuf = packed(data, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 63, kCtx);
+  const DevStatus status = recv->wait();
+  ASSERT_EQ(status.error, ErrCode::Success);
+  if (status.direct) {
+    EXPECT_EQ(dst.ints, data);
+  } else {
+    auto staged = recv->take_attached_buffer();
+    ASSERT_NE(staged, nullptr);
+    std::vector<std::int32_t> out(3);
+    staged->read(std::span<std::int32_t>(out));
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_P(XdevTest, RendezvousSegmentSendRoundTrip) {
+  // Payload above the eager threshold: the segment send rides the
+  // rendezvous protocol while the payload stays borrowed.
+  DeviceWorld world(GetParam(), 2, kEager);
+  const std::size_t count = (3 * kEager) / 4;
+  std::vector<std::int32_t> data(count);
+  std::iota(data.begin(), data.end(), 100);
+  std::thread sender([&] {
+    const auto hdr = int_header(static_cast<std::uint32_t>(count));
+    const SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+    world.device(0).send_segments(hdr, {&seg, 1}, world.id(1), 64, kCtx);
+  });
+  DirectLanding dst(count);
+  const DevStatus status = world.device(1).recv_direct(dst.span(), world.id(0), 64, kCtx);
+  sender.join();
+  ASSERT_EQ(status.error, ErrCode::Success) << err_code_name(status.error);
+  if (status.direct) {
+    EXPECT_EQ(dst.ints, data);
+  } else {
+    // Devices without a native rendezvous zero-copy route may stage.
+    SUCCEED();
+  }
+}
+
+TEST_P(XdevTest, DirectRecvTruncationReported) {
+  DeviceWorld world(GetParam(), 2, kEager);
+  std::vector<std::int32_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  DirectLanding dst(2);  // too small for 8 ints
+  DevRequest recv = world.device(1).irecv_direct(dst.span(), world.id(0), 65, kCtx);
+  const auto hdr = int_header(8);
+  const SendSegment seg{reinterpret_cast<const std::byte*>(data.data()), data.size() * 4};
+  world.device(0).isend_segments(hdr, {&seg, 1}, world.id(1), 65, kCtx)->wait();
+  const DevStatus status = recv->wait();
+  EXPECT_TRUE(status.truncated);
+}
+
+TEST(EagerThresholdEnv, OverrideIsValidated) {
+  ::unsetenv("MPCX_EAGER_THRESHOLD");
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 1234u);
+  ::setenv("MPCX_EAGER_THRESHOLD", "65536", 1);
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 65536u);
+  ::setenv("MPCX_EAGER_THRESHOLD", "garbage", 1);
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 1234u);
+  ::setenv("MPCX_EAGER_THRESHOLD", "64k", 1);  // trailing junk rejected
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 1234u);
+  ::setenv("MPCX_EAGER_THRESHOLD", "0", 1);  // zero rejected
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 1234u);
+  ::setenv("MPCX_EAGER_THRESHOLD", "99999999999999", 1);  // > 2^30 rejected
+  EXPECT_EQ(resolve_eager_threshold(1234, nullptr), 1234u);
+  ::unsetenv("MPCX_EAGER_THRESHOLD");
 }
 
 INSTANTIATE_TEST_SUITE_P(Devices, XdevTest, ::testing::Values("tcpdev", "mxdev", "shmdev"),
