@@ -8,9 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/socket.hpp"
+#include "xdev/device.hpp"
 
 namespace mpcx::cluster {
 namespace {
@@ -31,13 +34,24 @@ std::atomic<std::uint64_t> next_uuid{uuid_seed()};
 
 }  // namespace
 
+std::string default_device() {
+  const char* env = std::getenv("MPCX_DEVICE");
+  if (env == nullptr) return "mxdev";
+  const std::string normalized = xdev::normalize_device_name(env);
+  return normalized.empty() ? "mxdev" : normalized;
+}
+
 void launch(int nprocs, const std::function<void(World&)>& body, const Options& options) {
   if (nprocs <= 0) throw ArgumentError("cluster::launch: nprocs must be positive");
+
+  const std::string device =
+      options.device.empty() ? default_device() : xdev::normalize_device_name(options.device);
 
   // Build the shared world layout.
   std::vector<xdev::EndpointInfo> world(static_cast<std::size_t>(nprocs));
   std::vector<std::shared_ptr<net::Acceptor>> acceptors(static_cast<std::size_t>(nprocs));
-  const bool is_tcp = options.device == "tcpdev" || options.device == "niodev";
+  // hybdev owns a tcpdev child, so it needs the pre-bound listeners too.
+  const bool is_tcp = device == "tcpdev" || device == "niodev" || device == "hybdev";
   for (int r = 0; r < nprocs; ++r) {
     auto& info = world[static_cast<std::size_t>(r)];
     info.id = xdev::ProcessID{next_uuid.fetch_add(1)};
@@ -61,7 +75,7 @@ void launch(int nprocs, const std::function<void(World&)>& body, const Options& 
         config.eager_threshold = options.eager_threshold;
         config.socket_buffer_bytes = options.socket_buffer_bytes;
         config.acceptor = acceptors[static_cast<std::size_t>(r)];
-        World rank_world(options.device, config);
+        World rank_world(device, config);
         body(rank_world);
         rank_world.Finalize();
       } catch (...) {

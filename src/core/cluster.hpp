@@ -15,9 +15,15 @@
 
 namespace mpcx::cluster {
 
+/// Device the harness uses when Options.device is left empty: MPCX_DEVICE
+/// from the environment (trimmed/case-folded), falling back to "mxdev".
+/// Lets one test binary run under every device via the CI matrix.
+std::string default_device();
+
 struct Options {
-  /// "mxdev" (default: in-memory fabric) or "tcpdev" (real loopback TCP).
-  std::string device = "mxdev";
+  /// Device name ("mxdev", "tcpdev", "shmdev", "hybdev"); empty picks
+  /// default_device().
+  std::string device = default_device();
   /// Eager/rendezvous switch-over (tcpdev); paper default 128 KB.
   std::size_t eager_threshold = 128 * 1024;
   /// Socket buffer sizes (tcpdev); 0 = OS default.

@@ -1,9 +1,12 @@
 #include "core/intracomm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <numeric>
+#include <string_view>
+#include <unordered_map>
 
 #include "core/cartcomm.hpp"
 #include "core/graphcomm.hpp"
@@ -53,6 +56,11 @@ void Intracomm::require_contiguous(const DatatypePtr& type, const char* op) {
 
 void Intracomm::Barrier() const {
   world_->counters().add(prof::Ctr::CollectiveCalls);
+  if (hierarchy_enabled()) {
+    prof::Span coll_span("Barrier(hierarchical)", "coll");
+    hier_barrier(node_topology(-1));
+    return;
+  }
   prof::Span coll_span("Barrier(dissemination)", "coll");
   const int n = Size();
   const int rank = Rank();
@@ -76,10 +84,18 @@ void Intracomm::Barrier() const {
 void Intracomm::Bcast(void* buf, int offset, int count, const DatatypePtr& type, int root) const {
   validate(buf, count, type, "Bcast");
   world_->counters().add(prof::Ctr::CollectiveCalls);
-  prof::Span coll_span("Bcast(binomial)", "coll");
   const int n = Size();
   if (root < 0 || root >= n) throw ArgumentError("Bcast: bad root");
-  if (n == 1) return;
+  // Zero-count broadcasts carry no data: skip the exchange entirely instead
+  // of pushing empty frames through the device (symmetric — every rank sees
+  // the same count).
+  if (n == 1 || count == 0) return;
+  if (hierarchy_enabled()) {
+    prof::Span coll_span("Bcast(hierarchical)", "coll");
+    hier_bcast(buf, offset, count, type, root, node_topology(root));
+    return;
+  }
+  prof::Span coll_span("Bcast(binomial)", "coll");
   const int vrank = (Rank() - root + n) % n;
 
   int mask = 1;
@@ -143,6 +159,10 @@ void Intracomm::Gatherv(const void* sendbuf, int sendoffset, int sendcount,
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
+    // Zero-count contributors stay silent; the root skips their slot too
+    // (both sides derive the decision from the same counts, so the skip is
+    // symmetric and no empty frame crosses the device).
+    if (sendcount == 0) return;
     ctx_send(coll_context_, coll_tag(CollTag::Gather), sendbuf, sendoffset, sendcount, sendtype,
              root);
     return;
@@ -151,6 +171,7 @@ void Intracomm::Gatherv(const void* sendbuf, int sendoffset, int sendcount,
     throw ArgumentError("Gatherv: recvcounts/displs must have one entry per rank");
   }
   for (int src = 0; src < n; ++src) {
+    if (recvcounts[src] == 0) continue;
     const int slot = displ_offset(recvoffset, displs[src], recvtype);
     if (src == rank) {
       auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
@@ -203,6 +224,9 @@ void Intracomm::Scatterv(const void* sendbuf, int sendoffset, std::span<const in
   const int n = Size();
   const int rank = Rank();
   if (rank != root) {
+    // Symmetric zero-count skip: the root sends nothing to a rank whose
+    // sendcounts entry is 0, so that rank must not post a receive.
+    if (recvcount == 0) return;
     ctx_recv(coll_context_, coll_tag(CollTag::Scatter), recvbuf, recvoffset, recvcount, recvtype,
              root);
     return;
@@ -211,6 +235,7 @@ void Intracomm::Scatterv(const void* sendbuf, int sendoffset, std::span<const in
     throw ArgumentError("Scatterv: sendcounts/displs must have one entry per rank");
   }
   for (int dst = 0; dst < n; ++dst) {
+    if (sendcounts[dst] == 0) continue;
     const int slot = displ_offset(sendoffset, displs[dst], sendtype);
     if (dst == rank) {
       auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcounts[dst])));
@@ -285,13 +310,21 @@ void Intracomm::Allgatherv(const void* sendbuf, int sendoffset, int sendcount,
   for (int step = 1; step < n; ++step) {
     const int send_idx = (rank - step + 1 + n) % n;
     const int recv_idx = (rank - step + n) % n;
-    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
-                             displ_offset(recvoffset, displs[send_idx], recvtype),
-                             recvcounts[send_idx], recvtype, right);
-    ctx_recv(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
-             displ_offset(recvoffset, displs[recv_idx], recvtype), recvcounts[recv_idx], recvtype,
-             left);
-    send.Wait();
+    // Zero-count slots are skipped on both sides of the ring: the left
+    // neighbour consults the same recvcounts entry before sending, so the
+    // pairing stays aligned and no empty frames circulate.
+    Request send;
+    if (recvcounts[send_idx] != 0) {
+      send = ctx_isend(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+                       displ_offset(recvoffset, displs[send_idx], recvtype), recvcounts[send_idx],
+                       recvtype, right);
+    }
+    if (recvcounts[recv_idx] != 0) {
+      ctx_recv(coll_context_, coll_tag(CollTag::Allgather), recvbuf,
+               displ_offset(recvoffset, displs[recv_idx], recvtype), recvcounts[recv_idx],
+               recvtype, left);
+    }
+    if (!send.is_null()) send.Wait();
   }
 }
 
@@ -429,6 +462,15 @@ void Intracomm::Reduce(const void* sendbuf, int sendoffset, void* recvbuf, int r
   validate(sendbuf, count, type, "Reduce");
   require_contiguous(type, "Reduce");
   world_->counters().add(prof::Ctr::CollectiveCalls);
+  // Nothing to reduce: skip the exchange rather than pushing empty frames
+  // (every rank sees the same count, so the skip is symmetric).
+  if (count == 0) return;
+  if (op.is_commutative() && hierarchy_enabled()) {
+    prof::Span coll_span("Reduce(hierarchical)", "coll");
+    hier_reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, root,
+                node_topology(root));
+    return;
+  }
   prof::Span coll_span(op.is_commutative() ? "Reduce(binomial)" : "Reduce(linear)", "coll");
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
   reduce_elements(cbyte(sendbuf, sendoffset, type),
@@ -442,6 +484,12 @@ void Intracomm::Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, in
   require_contiguous(type, "Allreduce");
   const int n = Size();
   world_->counters().add(prof::Ctr::CollectiveCalls);
+  if (count == 0) return;
+  if (op.is_commutative() && hierarchy_enabled()) {
+    prof::Span coll_span("Allreduce(hierarchical)", "coll");
+    hier_allreduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, node_topology(-1));
+    return;
+  }
   prof::Span coll_span(op.is_commutative() && n > 1 && (n & (n - 1)) == 0
                            ? "Allreduce(recursive-doubling)"
                            : "Allreduce(reduce+bcast)",
@@ -519,6 +567,246 @@ void Intracomm::Scan(const void* sendbuf, int sendoffset, void* recvbuf, int rec
   }
 }
 
+// ---- hierarchical (two-level) collectives ------------------------------------------------------
+//
+// On a multi-node communicator the flat algorithms scatter inter-node
+// traffic across every round (recursive doubling's first round, for
+// instance, is ALL cross-node under round-robin placement). The two-level
+// forms confine the slow transport to one exchange among node leaders and
+// keep everything else on the intra-node path (shmdev under hybdev).
+
+bool Intracomm::hierarchy_enabled() const {
+  const int n = Size();
+  if (n <= 1) return false;
+  mpdev::Engine& eng = engine();
+  if (eng.node_count() <= 1) return false;
+  const int first = eng.node_of(group_.world_rank(0));
+  bool spans = false;
+  for (int r = 1; r < n && !spans; ++r) {
+    spans = eng.node_of(group_.world_rank(r)) != first;
+  }
+  if (!spans) return false;
+  // Read per call, not cached: benchmarks flip the switch between their
+  // flat and hierarchical phases inside one process.
+  const char* env = std::getenv("MPCX_HIER_COLLS");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+Intracomm::NodeTopology Intracomm::node_topology(int root) const {
+  mpdev::Engine& eng = engine();
+  const int n = Size();
+  const int rank = Rank();
+  NodeTopology topo;
+  // Dense per-communicator node indices in first-seen comm-rank order:
+  // deterministic, so every member computes the identical map.
+  std::vector<int> node_of(static_cast<std::size_t>(n));
+  std::unordered_map<int, int> dense;
+  for (int r = 0; r < n; ++r) {
+    const int engine_node = eng.node_of(group_.world_rank(r));
+    const auto [it, inserted] = dense.emplace(engine_node, static_cast<int>(dense.size()));
+    node_of[static_cast<std::size_t>(r)] = it->second;
+    if (inserted) topo.leaders.push_back(r);  // lowest comm rank on the node
+  }
+  topo.node_count = static_cast<int>(topo.leaders.size());
+  topo.my_node = node_of[static_cast<std::size_t>(rank)];
+  if (root >= 0) {
+    // The root must lead its node so rooted collectives start/end at the
+    // root itself, not via an extra intra-node hop.
+    topo.root_node = node_of[static_cast<std::size_t>(root)];
+    topo.leaders[static_cast<std::size_t>(topo.root_node)] = root;
+  }
+  topo.my_leader = topo.leaders[static_cast<std::size_t>(topo.my_node)];
+  topo.is_leader = topo.my_leader == rank;
+  topo.my_members.push_back(topo.my_leader);
+  for (int r = 0; r < n; ++r) {
+    if (node_of[static_cast<std::size_t>(r)] == topo.my_node && r != topo.my_leader) {
+      topo.my_members.push_back(r);
+    }
+  }
+  return topo;
+}
+
+void Intracomm::hier_bcast(void* buf, int offset, int count, const DatatypePtr& type, int root,
+                           const NodeTopology& topo) const {
+  world_->counters().add(prof::Ctr::HierarchicalColls);
+  (void)root;
+  if (topo.is_leader) {
+    // Inter-node binomial over the leaders, rooted at the root's node.
+    const int nodes = topo.node_count;
+    const int vnode = (topo.my_node - topo.root_node + nodes) % nodes;
+    int mask = 1;
+    while (mask < nodes) {
+      if (vnode & mask) {
+        const int src_node = ((vnode - mask) + topo.root_node) % nodes;
+        ctx_recv(coll_context_, coll_tag(CollTag::HierBcastInter), buf, offset, count, type,
+                 topo.leaders[static_cast<std::size_t>(src_node)]);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vnode + mask < nodes) {
+        const int dst_node = ((vnode + mask) + topo.root_node) % nodes;
+        ctx_send(coll_context_, coll_tag(CollTag::HierBcastInter), buf, offset, count, type,
+                 topo.leaders[static_cast<std::size_t>(dst_node)]);
+      }
+      mask >>= 1;
+    }
+    // Intra-node fanout over the fast (shm) path.
+    for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+      ctx_send(coll_context_, coll_tag(CollTag::HierBcastIntra), buf, offset, count, type,
+               topo.my_members[i]);
+    }
+  } else {
+    ctx_recv(coll_context_, coll_tag(CollTag::HierBcastIntra), buf, offset, count, type,
+             topo.my_leader);
+  }
+}
+
+void Intracomm::hier_reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                            int count, const DatatypePtr& type, const Op& op, int root,
+                            const NodeTopology& topo) const {
+  world_->counters().add(prof::Ctr::HierarchicalColls);
+  const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+  const std::size_t bytes = elements * type->base_size();
+  const buf::TypeCode code = type->base();
+  const DatatypePtr wire = types::BYTE();
+
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), cbyte(sendbuf, sendoffset, type), bytes);
+
+  if (!topo.is_leader) {
+    ctx_send(coll_context_, coll_tag(CollTag::HierReduceIntra), acc.data(), 0,
+             static_cast<int>(bytes), wire, topo.my_leader);
+  } else {
+    // Fold the node's contributions first (shm path), then run the
+    // inter-node binomial among leaders, rooted at the root's node.
+    std::vector<std::byte> incoming(bytes);
+    for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+      ctx_recv(coll_context_, coll_tag(CollTag::HierReduceIntra), incoming.data(), 0,
+               static_cast<int>(bytes), wire, topo.my_members[i]);
+      op.apply(code, incoming.data(), acc.data(), elements);
+    }
+    const int nodes = topo.node_count;
+    const int vnode = (topo.my_node - topo.root_node + nodes) % nodes;
+    int mask = 1;
+    while (mask < nodes) {
+      if (vnode & mask) {
+        const int dst_node = ((vnode - mask) + topo.root_node) % nodes;
+        ctx_send(coll_context_, coll_tag(CollTag::HierReduceInter), acc.data(), 0,
+                 static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(dst_node)]);
+        break;
+      }
+      const int src_vnode = vnode + mask;
+      if (src_vnode < nodes) {
+        const int src_node = (src_vnode + topo.root_node) % nodes;
+        ctx_recv(coll_context_, coll_tag(CollTag::HierReduceInter), incoming.data(), 0,
+                 static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(src_node)]);
+        op.apply(code, incoming.data(), acc.data(), elements);
+      }
+      mask <<= 1;
+    }
+  }
+  if (Rank() == root) std::memcpy(mbyte(recvbuf, recvoffset, type), acc.data(), bytes);
+}
+
+void Intracomm::hier_allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                               int count, const DatatypePtr& type, const Op& op,
+                               const NodeTopology& topo) const {
+  world_->counters().add(prof::Ctr::HierarchicalColls);
+  const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+  const std::size_t bytes = elements * type->base_size();
+  const buf::TypeCode code = type->base();
+  const DatatypePtr wire = types::BYTE();
+
+  std::byte* acc = mbyte(recvbuf, recvoffset, type);
+  std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
+
+  if (!topo.is_leader) {
+    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceIntra), acc, 0,
+             static_cast<int>(bytes), wire, topo.my_leader);
+    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceFan), acc, 0, static_cast<int>(bytes),
+             wire, topo.my_leader);
+    return;
+  }
+
+  std::vector<std::byte> incoming(bytes);
+  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceIntra), incoming.data(), 0,
+             static_cast<int>(bytes), wire, topo.my_members[i]);
+    op.apply(code, incoming.data(), acc, elements);
+  }
+
+  const int nodes = topo.node_count;
+  if ((nodes & (nodes - 1)) == 0) {
+    // Recursive doubling over the leaders (both directions concurrent).
+    for (int mask = 1; mask < nodes; mask <<= 1) {
+      const int partner = topo.leaders[static_cast<std::size_t>(topo.my_node ^ mask)];
+      Request send = ctx_isend(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
+                               static_cast<int>(bytes), wire, partner);
+      ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), incoming.data(), 0,
+               static_cast<int>(bytes), wire, partner);
+      send.Wait();
+      op.apply(code, incoming.data(), acc, elements);
+    }
+  } else if (topo.my_node == 0) {
+    // Odd node counts: linear fold at node 0's leader, then fan back out
+    // (node counts are small, so the serial cost is bounded).
+    for (int nd = 1; nd < nodes; ++nd) {
+      ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), incoming.data(), 0,
+               static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(nd)]);
+      op.apply(code, incoming.data(), acc, elements);
+    }
+    for (int nd = 1; nd < nodes; ++nd) {
+      ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
+               static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(nd)]);
+    }
+  } else {
+    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
+             static_cast<int>(bytes), wire, topo.leaders[0]);
+    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
+             static_cast<int>(bytes), wire, topo.leaders[0]);
+  }
+
+  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceFan), acc, 0, static_cast<int>(bytes),
+             wire, topo.my_members[i]);
+  }
+}
+
+void Intracomm::hier_barrier(const NodeTopology& topo) const {
+  world_->counters().add(prof::Ctr::HierarchicalColls);
+  std::uint8_t outgoing = 1;
+  std::uint8_t incoming = 0;
+  if (!topo.is_leader) {
+    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierGather), &outgoing, 0, 1, types::BYTE(),
+             topo.my_leader);
+    ctx_recv(coll_context_, coll_tag(CollTag::HierBarrierRelease), &incoming, 0, 1, types::BYTE(),
+             topo.my_leader);
+    return;
+  }
+  // Collect the node, disseminate among leaders, release the node.
+  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+    ctx_recv(coll_context_, coll_tag(CollTag::HierBarrierGather), &incoming, 0, 1, types::BYTE(),
+             topo.my_members[i]);
+  }
+  const int nodes = topo.node_count;
+  for (int k = 1; k < nodes; k <<= 1) {
+    const int to = topo.leaders[static_cast<std::size_t>((topo.my_node + k) % nodes)];
+    const int from = topo.leaders[static_cast<std::size_t>((topo.my_node - k + nodes) % nodes)];
+    Request recv = ctx_irecv(coll_context_, coll_tag(CollTag::HierBarrierInter), &incoming, 0, 1,
+                             types::BYTE(), from);
+    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierInter), &outgoing, 0, 1, types::BYTE(),
+             to);
+    recv.Wait();
+  }
+  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
+    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierRelease), &outgoing, 0, 1, types::BYTE(),
+             topo.my_members[i]);
+  }
+}
+
 // ---- communicator construction ---------------------------------------------------------------
 
 int Intracomm::agree_contexts(int groups) const {
@@ -564,6 +852,17 @@ std::unique_ptr<Intracomm> Intracomm::Split(int color, int key) const {
   for (const auto& [k, r] : members) world_ranks.push_back(group_.world_rank(r));
   (void)rank;
   return std::make_unique<Intracomm>(world_, Group(std::move(world_ranks)), base, base + 1);
+}
+
+std::unique_ptr<Intracomm> Intracomm::Split_type(int split_type, int key) const {
+  if (split_type == UNDEFINED) return Split(UNDEFINED, key);
+  if (split_type != COMM_TYPE_SHARED) {
+    throw ArgumentError("Split_type: unknown split type " + std::to_string(split_type));
+  }
+  // One color per physical node: the engine's dense node index, derived from
+  // the same identities hybdev routes by, so the resulting communicator is
+  // exactly the set of ranks reachable over the intra-node transport.
+  return Split(engine().node_of(group_.world_rank(Rank())), key);
 }
 
 std::unique_ptr<Cartcomm> Intracomm::Create_cart(std::span<const int> dims,

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/comm.hpp"
 #include "core/op.hpp"
@@ -104,6 +105,11 @@ class Intracomm : public Comm {
   /// Partition by color (UNDEFINED -> nullptr), ordered by (key, rank).
   std::unique_ptr<Intracomm> Split(int color, int key) const;
 
+  /// Partition by locality (MPI Comm_split_type analog). COMM_TYPE_SHARED
+  /// groups the ranks that share a physical node, as reported by the
+  /// engine's node topology (the same identities hybdev routes by).
+  std::unique_ptr<Intracomm> Split_type(int split_type, int key) const;
+
   /// Cartesian topology over the first prod(dims) ranks.
   std::unique_ptr<Cartcomm> Create_cart(std::span<const int> dims, std::span<const bool> periods,
                                         bool reorder) const;
@@ -132,6 +138,45 @@ class Intracomm : public Comm {
   /// Validate op datatypes: must be contiguous so reductions can run
   /// directly on user arrays.
   static void require_contiguous(const DatatypePtr& type, const char* op);
+
+  // ---- hierarchical (two-level) collectives -----------------------------------
+  //
+  // When a communicator spans more than one node, Bcast / Reduce / Allreduce
+  // / Barrier run in two levels: an inter-node exchange among one leader per
+  // node, and an intra-node fanout/fanin within each node. Disabled with
+  // MPCX_HIER_COLLS=0 (checked per call). Everything is plain point-to-point
+  // on coll_context_ with reserved CollTag::Hier* tags — no sub-communicator
+  // construction, so the paths stay cheap and reentrant.
+
+  /// Per-call map of the communicator onto nodes. `root` (a comm rank)
+  /// becomes its node's leader so rooted collectives start/end at the root
+  /// without an extra hop; pass -1 for rootless collectives (lowest comm
+  /// rank per node leads).
+  struct NodeTopology {
+    std::vector<int> leaders;     ///< node index -> leader comm rank
+    std::vector<int> my_members;  ///< comm ranks on my node, leader first
+    int node_count = 1;
+    int my_node = 0;
+    int my_leader = 0;
+    int root_node = 0;  ///< node of the rooted collective's root (0 if rootless)
+    bool is_leader = false;
+  };
+  NodeTopology node_topology(int root) const;
+
+  /// True when this call should take the two-level path: >1 rank, spanning
+  /// >1 node, and MPCX_HIER_COLLS != 0 (env read per call — benchmarks flip
+  /// it between phases).
+  bool hierarchy_enabled() const;
+
+  void hier_bcast(void* buf, int offset, int count, const DatatypePtr& type, int root,
+                  const NodeTopology& topo) const;
+  void hier_reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
+                   const DatatypePtr& type, const Op& op, int root,
+                   const NodeTopology& topo) const;
+  void hier_allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                      int count, const DatatypePtr& type, const Op& op,
+                      const NodeTopology& topo) const;
+  void hier_barrier(const NodeTopology& topo) const;
 };
 
 }  // namespace mpcx

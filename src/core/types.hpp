@@ -15,6 +15,10 @@ inline constexpr int ANY_TAG = -1;
 inline constexpr int PROC_NULL = -3;
 inline constexpr int UNDEFINED = -32766;
 
+/// Split type for Intracomm::Split_type (MPI_COMM_TYPE_SHARED analog): group
+/// ranks by physical node, as reported by the engine's node topology.
+inline constexpr int COMM_TYPE_SHARED = 1;
+
 /// Thread-safety levels of MPI 2.0 Sec. IV-B. MPJ Express — and MPCX — run
 /// at THREAD_MULTIPLE by default: any thread may communicate concurrently.
 enum class ThreadLevel : int {
@@ -39,6 +43,18 @@ enum class CollTag : int {
   Split = -19,
   Intercomm = -20,
   Merge = -21,
+  // Hierarchical (two-level) collectives: distinct tags per phase so the
+  // intra-node and inter-node rounds of one collective can never cross-match.
+  HierBcastInter = -22,
+  HierBcastIntra = -23,
+  HierReduceIntra = -24,
+  HierReduceInter = -25,
+  HierAllreduceIntra = -26,
+  HierAllreduceInter = -27,
+  HierAllreduceFan = -28,
+  HierBarrierGather = -29,
+  HierBarrierInter = -30,
+  HierBarrierRelease = -31,
 };
 
 inline constexpr int kMaxUserTag = 0x3FFFFFFF;

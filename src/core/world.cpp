@@ -69,6 +69,17 @@ std::unique_ptr<World> World::from_env() {
     info.port = static_cast<std::uint16_t>(std::atoi(parts[1].c_str()));
     config.world.push_back(info);
   }
+  // MPCX_NODES (set by mpcxrun): per-rank node identity, same order as
+  // MPCX_WORLD. hybdev groups ranks with equal identities onto its
+  // shared-memory child; without it the endpoint host is the identity.
+  if (const char* nodes_env = std::getenv("MPCX_NODES")) {
+    const auto nodes = split(nodes_env, ',');
+    if (nodes.size() != config.world.size()) {
+      throw RuntimeError("World::from_env: MPCX_NODES has " + std::to_string(nodes.size()) +
+                         " entries for " + std::to_string(config.world.size()) + " ranks");
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) config.world[i].node = nodes[i];
+  }
   // MPCX_EAGER_THRESHOLD is resolved (with validation) by the device itself
   // in resolve_eager_threshold(); config carries only the compiled default.
   if (const char* sockbuf = std::getenv("MPCX_SOCKET_BUFFER")) {

@@ -31,6 +31,16 @@ Engine::Engine(std::unique_ptr<xdev::Device> device, const xdev::DeviceConfig& c
     rank_by_pid_.emplace(world_[i].value, static_cast<int>(i));
   }
   rank_ = static_cast<int>(config.self_index);
+  // Dense node indices in first-seen order; matches hybdev's routing because
+  // both derive from node_of_endpoint on the same config.
+  std::unordered_map<std::string, int> node_index;
+  node_by_rank_.reserve(config.world.size());
+  for (std::size_t i = 0; i < config.world.size(); ++i) {
+    const std::string node = xdev::node_of_endpoint(config, i);
+    const auto it = node_index.emplace(node, static_cast<int>(node_index.size())).first;
+    node_by_rank_.push_back(it->second);
+  }
+  node_count_ = std::max<int>(1, static_cast<int>(node_index.size()));
 }
 
 Engine::~Engine() {

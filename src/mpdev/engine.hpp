@@ -91,6 +91,19 @@ class Engine {
 
   xdev::Device& device() { return *device_; }
 
+  // ---- node topology ----------------------------------------------------------
+  //
+  // Computed once at bootstrap from the same node identities hybdev routes
+  // by (node_of_endpoint). The hierarchical collectives use these to split a
+  // communicator into intra-node groups with one leader per node.
+
+  /// Small dense node index of `rank` (world-rank denominated), in
+  /// [0, node_count()). Ranks with equal node_of() share a node.
+  int node_of(int rank) const { return node_by_rank_.at(static_cast<std::size_t>(rank)); }
+
+  /// Number of distinct nodes across the world.
+  int node_count() const { return node_count_; }
+
   // ---- point to point ---------------------------------------------------------
 
   Request isend(buf::Buffer& buffer, int dst, int tag, int context);
@@ -137,6 +150,8 @@ class Engine {
   std::unique_ptr<xdev::Device> device_;
   std::vector<xdev::ProcessID> world_;
   std::unordered_map<std::uint64_t, int> rank_by_pid_;
+  std::vector<int> node_by_rank_;  ///< world rank -> dense node index
+  int node_count_ = 1;
   int rank_ = -1;
   bool finished_ = false;
 

@@ -67,6 +67,9 @@ enum class Ctr : std::size_t {
   IoRetries,           ///< connect/accept attempts retried during bootstrap
   OpTimeouts,          ///< blocking operations expired under MPCX_OP_TIMEOUT_MS
   ChecksumFailures,    ///< frames rejected by CRC32C / magic / version checks
+  HybIntraMsgs,        ///< hybdev sends/receives routed over the intra-node child
+  HybInterMsgs,        ///< hybdev sends/receives routed over the inter-node child
+  HierarchicalColls,   ///< collectives that took the two-level node-aware path
   Count
 };
 

@@ -75,6 +75,9 @@ const char* ctr_name(Ctr counter) {
     case Ctr::IoRetries: return "io_retries";
     case Ctr::OpTimeouts: return "op_timeouts";
     case Ctr::ChecksumFailures: return "checksum_failures";
+    case Ctr::HybIntraMsgs: return "hybdev_intra_msgs";
+    case Ctr::HybInterMsgs: return "hybdev_inter_msgs";
+    case Ctr::HierarchicalColls: return "hierarchical_colls";
     case Ctr::Count: break;
   }
   return "?";

@@ -106,6 +106,17 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
     world += entries[i];
   }
 
+  // MPCX_NODES: per-rank node identity (the daemon host the rank landed
+  // on), same order as MPCX_WORLD. hybdev routes co-located ranks over the
+  // shared-memory child using these identities; MPCX_NODE_ID can override
+  // them to simulate a multi-node topology on one host.
+  std::string nodes;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    const DaemonAddr& daemon = spec.daemons[static_cast<std::size_t>(r) % spec.daemons.size()];
+    if (r > 0) nodes += ",";
+    nodes += daemon.host;
+  }
+
   std::vector<std::byte> binary;
   if (spec.stage_binary) binary = read_binary(spec.exe);
 
@@ -135,6 +146,7 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
     request.env = {
         {"MPCX_RANK", std::to_string(r)},
         {"MPCX_WORLD", world},
+        {"MPCX_NODES", nodes},
         {"MPCX_DEVICE", spec.device},
         {"MPCX_SESSION", session},
         // Rank's own daemon, so World::Abort can escalate to the whole job.

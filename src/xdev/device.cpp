@@ -1,5 +1,6 @@
 #include "xdev/device.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -128,16 +129,95 @@ DevStatus Device::recv_direct(const RecvSpan& dst, ProcessID src, int tag, int c
   return status;
 }
 
-// Defined in tcpdev.cpp / mxdev.cpp / shmdev.cpp respectively.
+void Device::redirect_completions(CompletionSink* sink) {
+  (void)sink;
+  throw DeviceError("device does not support completion redirection");
+}
+
+bool Device::post_shared_recv(const DevRequest& request, buf::Buffer* buffer,
+                              const RecvSpan* span, ProcessID src, int tag, int context) {
+  (void)request;
+  (void)buffer;
+  (void)span;
+  (void)src;
+  (void)tag;
+  (void)context;
+  throw DeviceError("device does not support shared receives");
+}
+
+// Defined in tcpdev.cpp / mxdev.cpp / shmdev.cpp / hybdev.cpp respectively.
 std::unique_ptr<Device> make_tcpdev();
 std::unique_ptr<Device> make_mxdev();
 std::unique_ptr<Device> make_shmdev();
+std::unique_ptr<Device> make_hybdev();
+
+namespace {
+
+/// One registry drives both dispatch and the factory's error message, so
+/// the "expected ..." list can never go stale against the devices actually
+/// registered. "niodev" stays as the paper-name alias for tcpdev.
+struct DeviceEntry {
+  const char* name;
+  std::unique_ptr<Device> (*make)();
+};
+
+constexpr DeviceEntry kDevices[] = {
+    {"tcpdev", make_tcpdev},
+    {"niodev", make_tcpdev},
+    {"mxdev", make_mxdev},
+    {"shmdev", make_shmdev},
+    {"hybdev", make_hybdev},
+};
+
+}  // namespace
+
+std::string normalize_device_name(const std::string& name) {
+  std::size_t begin = 0;
+  std::size_t end = name.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(name[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(name[end - 1]))) --end;
+  std::string out = name.substr(begin, end - begin);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+const std::string& registered_device_names() {
+  static const std::string names = [] {
+    std::string joined;
+    for (const DeviceEntry& entry : kDevices) {
+      if (!joined.empty()) joined += ", ";
+      joined += entry.name;
+    }
+    return joined;
+  }();
+  return names;
+}
 
 std::unique_ptr<Device> new_device(const std::string& name) {
-  if (name == "tcpdev" || name == "niodev") return make_tcpdev();
-  if (name == "mxdev") return make_mxdev();
-  if (name == "shmdev") return make_shmdev();
-  throw DeviceError("unknown device: " + name + " (expected tcpdev, mxdev or shmdev)");
+  const std::string normalized = normalize_device_name(name);
+  for (const DeviceEntry& entry : kDevices) {
+    if (normalized == entry.name) return entry.make();
+  }
+  throw DeviceError("unknown device: " + name + " (expected one of: " +
+                    registered_device_names() + ")");
+}
+
+std::string node_of_endpoint(const DeviceConfig& config, std::size_t index) {
+  if (const char* env = std::getenv("MPCX_NODE_ID")) {
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && n > 0) {
+      return "sim" + std::to_string(index % static_cast<std::size_t>(n));
+    }
+    log::warn("MPCX_NODE_ID=", env, " is not a positive node count; ignoring");
+  }
+  if (index < config.world.size()) {
+    const EndpointInfo& info = config.world[index];
+    if (!info.node.empty()) return info.node;
+    if (!info.host.empty()) return info.host;
+  }
+  return "local";
 }
 
 }  // namespace mpcx::xdev

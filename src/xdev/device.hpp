@@ -38,6 +38,11 @@ struct EndpointInfo {
   ProcessID id;
   std::string host;    ///< tcpdev: IP to connect to ("127.0.0.1" in-process)
   std::uint16_t port = 0;  ///< tcpdev: listen port; mxsim: endpoint index
+  /// Node identity exchanged during launcher bootstrap (MPCX_NODES). Two
+  /// endpoints with the same non-empty node string are co-located and may
+  /// talk over a shared-memory transport. Empty = unknown (fall back to
+  /// host, see node_of_endpoint).
+  std::string node;
 };
 
 /// Bootstrap configuration handed to Device::init. The world vector is in a
@@ -178,11 +183,59 @@ class Device {
   /// This device instance's profiling counters, or nullptr if it has none.
   /// Values only accumulate while prof::counting() is on (MPCX_STATS=1).
   virtual const prof::Counters* counters() const { return nullptr; }
+
+  // ---- composite-device support (hybdev) ---------------------------------------
+  //
+  // A composite device (hybdev) owns several child devices and must expose
+  // ONE blocking peek() stream. Instead of polling each child, it redirects
+  // every child's hooked completions into a single merged CompletionSink it
+  // owns; the children keep completing requests from their own progress
+  // threads, but the publications all land in the merged queue.
+
+  /// Redirect hooked-completion publications (the stream behind peek()) to
+  /// `sink`. Must be called before init(), while no operations are in
+  /// flight. Devices that do not support redirection throw.
+  virtual void redirect_completions(CompletionSink* sink);
+
+  /// Post one ANY_SOURCE receive that is SHARED between sibling children of
+  /// a composite device. `request` was created by the composite (marked
+  /// shared; see DevRequestState::try_claim_match) and is added to this
+  /// device's posted set alongside its twin in the sibling; whichever child
+  /// matches first claims the request's match gate, and the loser's entry is
+  /// discarded on its next match attempt. Exactly one of `buffer` / `span`
+  /// is non-null (classic vs zero-copy landing).
+  ///
+  /// Returns true when the receive was satisfied (or claimed by the sibling)
+  /// during the post — the caller must not post it to further children —
+  /// and false when the entry was left in this device's posted set.
+  virtual bool post_shared_recv(const DevRequest& request, buf::Buffer* buffer,
+                                const RecvSpan* span, ProcessID src, int tag, int context);
 };
 
-/// Factory: `name` is "tcpdev" or "mxdev" (paper: Device.newInstance).
-/// The returned device is not yet initialized.
+/// Factory: `name` is one of the registered device names (paper:
+/// Device.newInstance). The returned device is not yet initialized.
+/// The name is trimmed and case-folded first, so " TCPDEV\n" (a sloppy
+/// MPCX_DEVICE value) resolves like "tcpdev".
 std::unique_ptr<Device> new_device(const std::string& name);
+
+/// Trim surrounding whitespace and lower-case a device name (the
+/// normalization new_device applies to its argument). Exposed so launch
+/// harnesses can canonicalize MPCX_DEVICE once, up front.
+std::string normalize_device_name(const std::string& name);
+
+/// The registered device names, comma-joined ("tcpdev, mxdev, ...") — kept
+/// in one place so new_device's "expected ..." error never goes stale.
+const std::string& registered_device_names();
+
+/// Node identity of `config.world[index]`, used by hybdev routing and the
+/// Engine's topology queries. Resolution order:
+///   1. MPCX_NODE_ID=N (positive int): simulate N nodes on one host —
+///      endpoint i lands on node "sim<i mod N>". Lets tests and benches
+///      exercise multi-node routing in-process.
+///   2. EndpointInfo::node when non-empty (launcher bootstrap, MPCX_NODES).
+///   3. EndpointInfo::host when non-empty.
+///   4. "local".
+std::string node_of_endpoint(const DeviceConfig& config, std::size_t index);
 
 /// Effective eager/rendezvous crossover: MPCX_EAGER_THRESHOLD overrides
 /// `configured` when it parses as a byte count in [1, 2^30]; malformed

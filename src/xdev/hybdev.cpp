@@ -1,0 +1,272 @@
+// hybdev — node-aware composite device: shmdev intra-node, tcpdev inter-node.
+//
+// An SMP cluster run wants both transports at once: ranks sharing a node
+// talk through shared-memory rings, ranks on different nodes over TCP. hybdev
+// composes the two existing devices behind the unchanged Figure 2 API so the
+// layers above (mpdev, the communicator stack) never learn there are two
+// transports underneath.
+//
+// Structure:
+//   * Routing. At init() every world endpoint is assigned a node identity
+//     (node_of_endpoint: MPCX_NODE_ID simulation, launcher MPCX_NODES
+//     bootstrap, or the endpoint's host). Peers on our node route to the
+//     shmdev child, everyone else to the tcpdev child. The tcp child sees
+//     the full world (wire compatibility with plain tcpdev ranks' framing),
+//     the shm child only the co-located endpoints (shmdev maps every world
+//     segment it is given).
+//   * One completion stream. mpdev's WaitAny leader blocks in a single
+//     peek(); polling two children would break that design. Both children
+//     are redirected (redirect_completions) into one merged CompletionQueue
+//     before init, so hooked completions from either child's progress thread
+//     land in the queue hybdev's peek() pops.
+//   * ANY_SOURCE receives. A wildcard receive may be satisfied by either
+//     child, so hybdev creates the request itself, marks it shared, and
+//     twin-posts it into both children (post_shared_recv). The request's
+//     match gate (DevRequestState::try_claim_match) makes the twins mutually
+//     exclusive: the first child to match wins delivery, the loser's entry
+//     is a dead twin discarded by PostedRecvSet::match_where / the periodic
+//     purge. Concrete-source operations delegate wholly to the owning child,
+//     zero-copy segment paths included, so the PR 3 fast paths survive.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "prof/counters.hpp"
+#include "prof/hooks.hpp"
+#include "support/faults.hpp"
+#include "xdev/completion_queue.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx::xdev {
+
+// Defined in tcpdev.cpp / shmdev.cpp.
+std::unique_ptr<Device> make_tcpdev();
+std::unique_ptr<Device> make_shmdev();
+
+namespace {
+
+class HybDevice final : public Device, public RequestCanceller {
+ public:
+  HybDevice() : tcp_(make_tcpdev()), shm_(make_shmdev()) {
+    // Merge both children's completion streams BEFORE any operation can
+    // complete; a request created by either child publishes into merged_.
+    tcp_->redirect_completions(&merged_);
+    shm_->redirect_completions(&merged_);
+    tcp_rc_ = dynamic_cast<RequestCanceller*>(tcp_.get());
+    shm_rc_ = dynamic_cast<RequestCanceller*>(shm_.get());
+  }
+
+  ~HybDevice() override {
+    try {
+      finish();
+    } catch (const Error&) {
+    }
+  }
+
+  std::vector<ProcessID> init(const DeviceConfig& config) override {
+    if (config.self_index >= config.world.size()) {
+      throw DeviceError("hybdev: self_index out of range");
+    }
+    self_ = config.world[config.self_index].id;
+    const std::string self_node = node_of_endpoint(config, config.self_index);
+
+    // shm child world: the co-located endpoints only (shmdev opens a segment
+    // for every endpoint it is handed), canonical order preserved.
+    DeviceConfig shm_config;
+    shm_config.eager_threshold = config.eager_threshold;
+    shm_config.socket_buffer_bytes = config.socket_buffer_bytes;
+    for (std::size_t i = 0; i < config.world.size(); ++i) {
+      if (node_of_endpoint(config, i) != self_node) continue;
+      if (i == config.self_index) shm_config.self_index = shm_config.world.size();
+      shm_config.world.push_back(config.world[i]);
+    }
+
+    // tcp child: the full world, pre-bound acceptor passed through.
+    std::vector<ProcessID> world = tcp_->init(config);
+    shm_->init(shm_config);
+
+    for (std::size_t i = 0; i < config.world.size(); ++i) {
+      const bool intra = node_of_endpoint(config, i) == self_node;
+      routes_.emplace(config.world[i].id.value, Route{intra ? shm_.get() : tcp_.get(), intra});
+      if (!intra) ++inter_peers_;
+    }
+    return world;
+  }
+
+  // Every buffer must leave room for the most demanding child: a message's
+  // route is chosen per destination, after the buffer is built.
+  int send_overhead() const override {
+    return std::max(tcp_->send_overhead(), shm_->send_overhead());
+  }
+  int recv_overhead() const override {
+    return std::max(tcp_->recv_overhead(), shm_->recv_overhead());
+  }
+
+  ProcessID id() const override { return self_; }
+
+  void finish() override {
+    shm_->finish();
+    tcp_->finish();
+    merged_.shutdown();
+  }
+
+  // ---- sends: route by destination ---------------------------------------------
+
+  DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return routed(dst).dev->isend(buffer, dst, tag, context);
+  }
+
+  DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
+    return routed(dst).dev->issend(buffer, dst, tag, context);
+  }
+
+  DevRequest isend_segments(std::span<const std::byte> header,
+                            std::span<const SendSegment> segments, ProcessID dst, int tag,
+                            int context) override {
+    return routed(dst).dev->isend_segments(header, segments, dst, tag, context);
+  }
+
+  DevRequest issend_segments(std::span<const std::byte> header,
+                             std::span<const SendSegment> segments, ProcessID dst, int tag,
+                             int context) override {
+    return routed(dst).dev->issend_segments(header, segments, dst, tag, context);
+  }
+
+  // ---- receives: concrete sources delegate, wildcards twin-post ------------------
+
+  DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
+    if (!src.is_any()) return routed(src).dev->irecv(buffer, src, tag, context);
+    return shared_recv(&buffer, nullptr, src, tag, context);
+  }
+
+  DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
+    if (!src.is_any()) return routed(src).dev->irecv_direct(dst, src, tag, context);
+    return shared_recv(nullptr, &dst, src, tag, context);
+  }
+
+  DevStatus probe(ProcessID src, int tag, int context) override {
+    if (!src.is_any()) return route(src).dev->probe(src, tag, context);
+    // Wildcard probe must observe both children; neither child's blocking
+    // probe can be used (a message on the other child would never wake it).
+    // Poll with backoff, honoring the same operation deadline blocking ops
+    // use (MPCX_OP_TIMEOUT_MS; 0 = wait forever).
+    counters_->add(prof::Ctr::ProbeCalls);
+    const std::uint32_t deadline_ms = faults::op_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+    std::chrono::microseconds backoff{50};
+    for (;;) {
+      if (auto status = shm_->iprobe(src, tag, context)) return *status;
+      if (auto status = tcp_->iprobe(src, tag, context)) return *status;
+      if (deadline_ms != 0 && std::chrono::steady_clock::now() > deadline) {
+        faults::counters().add(prof::Ctr::OpTimeouts);
+        throw DeviceError("hybdev: probe timed out after " + std::to_string(deadline_ms) +
+                              " ms (MPCX_OP_TIMEOUT_MS)",
+                          ErrCode::Timeout);
+      }
+      std::this_thread::sleep_for(backoff);
+      if (backoff < std::chrono::milliseconds(2)) backoff *= 2;
+    }
+  }
+
+  std::optional<DevStatus> iprobe(ProcessID src, int tag, int context) override {
+    if (!src.is_any()) return route(src).dev->iprobe(src, tag, context);
+    counters_->add(prof::Ctr::IprobeCalls);
+    if (auto status = shm_->iprobe(src, tag, context)) return status;
+    return tcp_->iprobe(src, tag, context);
+  }
+
+  DevRequest peek() override {
+    DevRequest completed = merged_.pop();
+    if (completed) counters_->add(prof::Ctr::PeekWakeups);
+    return completed;
+  }
+
+  bool cancel(const DevRequest& request) override {
+    if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
+    if (request->shared()) {
+      // Claim the match gate FIRST: once owned here, neither child can start
+      // a delivery, so removing both twins races nothing. A lost gate means
+      // a child already matched — too late to cancel.
+      if (!request->try_claim_match()) return false;
+      const bool a = shm_->cancel(request);
+      const bool b = tcp_->cancel(request);  // second complete() is a no-op
+      return a | b;
+    }
+    // Child-created request: exactly one child owns it.
+    return shm_->cancel(request) || tcp_->cancel(request);
+  }
+
+  /// RequestCanceller for the shared receives hybdev itself creates. Claiming
+  /// the gate first guarantees no delivery can start after this point; when
+  /// the gate was already taken, the winning child's own abandon() does the
+  /// mid-delivery bookkeeping (rendezvous maps, arriving claims) and its
+  /// verdict decides whether the buffer is free.
+  bool abandon(DevRequestState& request) override {
+    const bool claimed_here = request.shared() ? request.try_claim_match() : false;
+    const bool a = shm_rc_ != nullptr && shm_rc_->abandon(request);
+    const bool b = tcp_rc_ != nullptr && tcp_rc_->abandon(request);
+    return claimed_here | a | b;
+  }
+
+  const prof::Counters* counters() const override { return counters_.get(); }
+
+ private:
+  struct Route {
+    Device* dev = nullptr;
+    bool intra = false;
+  };
+
+  Route& route(ProcessID peer) {
+    auto it = routes_.find(peer.value);
+    if (it == routes_.end()) {
+      throw DeviceError("hybdev: unknown peer " + std::to_string(peer.value));
+    }
+    return it->second;
+  }
+
+  /// route() plus the intra/inter tally — message traffic only (sends and
+  /// concrete receives), not probes.
+  Route& routed(ProcessID peer) {
+    Route& r = route(peer);
+    counters_->add(r.intra ? prof::Ctr::HybIntraMsgs : prof::Ctr::HybInterMsgs);
+    return r;
+  }
+
+  /// Twin-post one wildcard receive into both children. Exactly one of
+  /// `buffer` / `span` is non-null.
+  DevRequest shared_recv(buf::Buffer* buffer, const RecvSpan* span, ProcessID src, int tag,
+                         int context) {
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &merged_,
+                                                     counters_.get(), this);
+    request->mark_shared();
+    if (prof::Hooks* hooks = prof::hooks()) {
+      hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
+    }
+    if (!shm_->post_shared_recv(request, buffer, span, src, tag, context) &&
+        inter_peers_ > 0) {
+      tcp_->post_shared_recv(request, buffer, span, src, tag, context);
+    }
+    return request;
+  }
+
+  std::unique_ptr<Device> tcp_;
+  std::unique_ptr<Device> shm_;
+  RequestCanceller* tcp_rc_ = nullptr;
+  RequestCanceller* shm_rc_ = nullptr;
+  ProcessID self_{};
+  std::unordered_map<std::uint64_t, Route> routes_;
+  std::size_t inter_peers_ = 0;
+
+  std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("hybdev");
+  CompletionQueue merged_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> make_hybdev() { return std::make_unique<HybDevice>(); }
+
+}  // namespace mpcx::xdev

@@ -89,6 +89,22 @@ class PostedRecvSet {
     return value;
   }
 
+  /// match(), but an entry must also pass `claim` to be returned. Entries
+  /// that fail the claim are DISCARDED (not returned, not kept): they are
+  /// dead twins of shared receives whose match gate a sibling device already
+  /// won (see DevRequestState::try_claim_match). The loop preserves
+  /// posted-order semantics — after each discard the next-earliest candidate
+  /// is re-evaluated from scratch.
+  std::optional<T> match_where(const MatchKey& incoming,
+                               const std::function<bool(const T&)>& claim) {
+    for (;;) {
+      std::optional<T> candidate = match(incoming);
+      if (!candidate) return std::nullopt;
+      if (claim(*candidate)) return candidate;
+      // Dead twin: drop it and keep looking.
+    }
+  }
+
   /// Remove the first entry matching `pred` across ALL buckets (linear
   /// scan; used by Request.Cancel where the key is not at hand).
   bool remove_scan(const std::function<bool(const T&)>& pred) {

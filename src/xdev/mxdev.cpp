@@ -146,7 +146,7 @@ class MxDevice final : public Device, public RequestCanceller {
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
     require_open("irecv");
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
@@ -214,7 +214,7 @@ class MxDevice final : public Device, public RequestCanceller {
     // receivers can tell this shape from a classic [static, dynamic] send.
     if (segments.empty()) chunks.push_back({nullptr, 0});
     chunks.push_back({nullptr, 0});
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const ProcessID self = self_;
     auto on_done = [request, self, tag, context, total](const mxsim::MxStatus&) {
@@ -233,7 +233,7 @@ class MxDevice final : public Device, public RequestCanceller {
 
   DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
     require_open("irecv");
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_recv_begin(prof::MsgInfo{src.value, tag, context, 0});
@@ -321,6 +321,8 @@ class MxDevice final : public Device, public RequestCanceller {
     if (completed) counters_->add(prof::Ctr::PeekWakeups);
     return completed;
   }
+
+  void redirect_completions(CompletionSink* sink) override { sink_ = sink; }
 
   const prof::Counters* counters() const override { return counters_.get(); }
 
@@ -411,7 +413,7 @@ class MxDevice final : public Device, public RequestCanceller {
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total_bytes});
     }
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const ProcessID self = self_;
     auto on_done = [request, self, tag, context](const mxsim::MxStatus& status) {
@@ -433,6 +435,9 @@ class MxDevice final : public Device, public RequestCanceller {
   std::shared_ptr<mxsim::Endpoint> endpoint_;
   std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("mxdev");
   CompletionQueue completions_;
+  /// Where hooked completions publish: our own queue, unless a composite
+  /// parent (hybdev) redirected us into its merged queue.
+  CompletionSink* sink_ = &completions_;
 
   // Posted-receive bookkeeping for cancel(); entries are dropped on match.
   std::mutex recv_map_mu_;

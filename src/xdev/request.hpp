@@ -248,6 +248,29 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
     dispose();
   }
 
+  // ---- shared-receive match gate (composite devices) -------------------------
+  //
+  // An ANY_SOURCE receive posted by a composite device (hybdev) is twinned
+  // into EVERY child's posted set, because the message may arrive on any of
+  // them. The match gate makes the twins mutually exclusive: a child must
+  // win try_claim_match() before delivering into the request's buffer, and
+  // an entry whose request lost the claim is a dead twin the child discards
+  // (see PostedRecvSet::match_where). The gate is separate from the
+  // completion claim (`claimed_`): matching happens BEFORE delivery starts,
+  // completion after it ends.
+
+  /// Mark this request as twin-posted across sibling devices.
+  void mark_shared() { shared_.store(true, std::memory_order_release); }
+
+  /// True when the request is twin-posted (devices skip the gate otherwise).
+  bool shared() const { return shared_.load(std::memory_order_acquire); }
+
+  /// Win the exclusive right to match/deliver this shared receive.
+  bool try_claim_match() { return !match_claimed_.exchange(true, std::memory_order_acq_rel); }
+
+  /// True when some sibling (or a cancel/abandon) already owns the match.
+  bool match_claimed() const { return match_claimed_.load(std::memory_order_acquire); }
+
   /// Park a staging buffer on the request. Used by the zero-copy fallback
   /// paths: the device stages an ineligible message here and completes with
   /// direct=false; the waiter unpacks it via take_attached_buffer(). Also
@@ -306,6 +329,8 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   prof::Counters* const counters_;
   RequestCanceller* const canceller_;
   std::atomic<bool> claimed_{false};
+  std::atomic<bool> shared_{false};
+  std::atomic<bool> match_claimed_{false};
   std::mutex mu_;
   std::condition_variable cv_;
   std::weak_ptr<CompletionHook> hook_;

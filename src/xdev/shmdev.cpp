@@ -317,6 +317,13 @@ struct ShmRecv {
   RecvSpan span{};
 };
 
+/// Match-gate predicate for posted-receive matching: a twin-posted shared
+/// receive (hybdev ANY_SOURCE) may only be delivered by the child that wins
+/// its match gate; ordinary receives always pass.
+bool claim_recv(const ShmRecv& rec) {
+  return !rec.request->shared() || rec.request->try_claim_match();
+}
+
 /// A message matched to a posted receive at FIRST-chunk time, streaming
 /// ring -> destination with no assembly vector in between. The destination
 /// is one of: the direct receive's span, the posted Buffer's prepared
@@ -411,7 +418,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   }
 
   DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
@@ -437,7 +444,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   }
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
@@ -495,6 +502,44 @@ class ShmDevice final : public Device, public RequestCanceller {
     return completed;
   }
 
+  void redirect_completions(CompletionSink* sink) override { sink_ = sink; }
+
+  bool post_shared_recv(const DevRequest& request, buf::Buffer* buffer, const RecvSpan* span,
+                        ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::unique_ptr<ShmUnexp> hit;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      purge_dead_twins_locked(request.get());
+      // find() first: the match gate must be claimed BEFORE the unexpected
+      // entry is consumed, so a gate lost to the sibling leaves the message
+      // in place for the next receive. Both calls hit the same earliest
+      // arrival because the lock is held across them.
+      const auto* found = unexpected_.find(key);
+      if (found == nullptr) {
+        ShmRecv rec;
+        rec.request = request;
+        if (span != nullptr) {
+          rec.direct = true;
+          rec.span = *span;
+        } else {
+          rec.buffer = buffer;
+        }
+        posted_.add(key, std::move(rec));
+        return false;
+      }
+      if (!request->try_claim_match()) return true;  // sibling already delivering
+      hit = std::move(*unexpected_.match(key));
+      note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
+    }
+    if (span != nullptr) {
+      deliver_direct(*hit, *span, request);
+    } else {
+      deliver(*hit, *buffer, request);
+    }
+    return true;
+  }
+
   bool cancel(const DevRequest& request) override {
     if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
     bool removed = false;
@@ -535,6 +580,18 @@ class ShmDevice final : public Device, public RequestCanceller {
   const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
+  /// Drop posted entries that are dead twins — shared receives whose match
+  /// gate the sibling device already won. They can no longer be delivered,
+  /// only discarded; pruning here (under recv_mu_) keeps the posted set from
+  /// accumulating one dead entry per consumed shared receive. `posting` is
+  /// the request being posted right now (its gate is still open).
+  void purge_dead_twins_locked(const DevRequestState* posting) {
+    posted_.drain_if([&](const MatchKey&, const ShmRecv& rec) {
+      return rec.request.get() != posting && rec.request->shared() &&
+             rec.request->match_claimed();
+    });
+  }
+
   void note_match(const MatchKey& key, std::size_t bytes, bool was_posted) {
     counters_->add(was_posted ? prof::Ctr::PostedMatches : prof::Ctr::UnexpectedMatches);
     if (prof::Hooks* hooks = prof::hooks()) {
@@ -551,7 +608,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   DevRequest send_common(buf::Buffer& buffer, ProcessID dst, int tag, int context,
                          bool need_ack) {
     if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t total_bytes = buffer.static_size() + buffer.dynamic_size();
@@ -659,7 +716,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   DevRequest send_segments_common(std::span<const std::byte> header,
                                   std::span<const SendSegment> segments, ProcessID dst,
                                   int tag, int context, bool need_ack) {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
     std::size_t payload = 0;
@@ -896,7 +953,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       std::optional<ShmRecv> posted;
       {
         std::lock_guard<std::mutex> lock(recv_mu_);
-        posted = posted_.match(key);
+        posted = posted_.match_where(key, claim_recv);
         if (posted) note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
       }
       if (!posted) {
@@ -1042,7 +1099,7 @@ class ShmDevice final : public Device, public RequestCanceller {
     std::optional<ShmRecv> posted;
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
-      posted = posted_.match(key);
+      posted = posted_.match_where(key, claim_recv);
       if (!posted) {
         // NOTE: the key is passed as a separate value — evaluation order of
         // `message->key` next to `std::move(message)` would be unspecified.
@@ -1089,6 +1146,9 @@ class ShmDevice final : public Device, public RequestCanceller {
 
   std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("shmdev");
   CompletionQueue completions_;
+  /// Where hooked completions publish: our own queue, unless a composite
+  /// parent (hybdev) redirected us into its merged queue.
+  CompletionSink* sink_ = &completions_;
 };
 
 }  // namespace

@@ -111,6 +111,13 @@ struct RndvKeyHash {
   }
 };
 
+/// Match-gate predicate for posted-receive matching: a twin-posted shared
+/// receive (hybdev ANY_SOURCE) may only be delivered by the child that wins
+/// its match gate; ordinary receives always pass.
+bool claim_recv(const RecvRec& rec) {
+  return !rec.request->shared() || rec.request->try_claim_match();
+}
+
 class TcpDevice final : public Device, public RequestCanceller {
  public:
   ~TcpDevice() override {
@@ -312,7 +319,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   // ---- receive side (Figs. 4 and 7) ------------------------------------------
 
   DevRequest irecv(buf::Buffer& buffer, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
@@ -368,7 +375,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   }
 
   DevRequest irecv_direct(const RecvSpan& dst, ProcessID src, int tag, int context) override {
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Recv, sink_,
                                                      counters_.get(), this);
     const MatchKey key{context, tag, src};
     if (prof::Hooks* hooks = prof::hooks()) {
@@ -438,6 +445,99 @@ class TcpDevice final : public Device, public RequestCanceller {
     return request;
   }
 
+  bool post_shared_recv(const DevRequest& request, buf::Buffer* buffer, const RecvSpan* span,
+                        ProcessID src, int tag, int context) override {
+    const MatchKey key{context, tag, src};
+    std::shared_ptr<UnexpMsg> msg;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      purge_dead_twins_locked(request.get());
+      // find() first: the match gate must be claimed BEFORE the unexpected
+      // entry is consumed, so a gate lost to the sibling leaves the message
+      // in place for the next receive. Both calls hit the same earliest
+      // arrival because the lock is held across them.
+      const auto* found = unexpected_.find(key);
+      if (found == nullptr) {
+        RecvRec rec;
+        rec.request = request;
+        if (span != nullptr) {
+          rec.direct = true;
+          rec.span = *span;
+        } else {
+          rec.buffer = buffer;
+        }
+        posted_.add(key, std::move(rec));
+        return false;
+      }
+      if (!request->try_claim_match()) return true;  // sibling already delivering
+      msg = std::move(*unexpected_.match(key));
+      note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
+      if (msg->kind == FrameType::Eager && !msg->data_complete) {
+        msg->claimant = request;
+        if (span != nullptr) {
+          msg->claim_direct = true;
+          msg->claim_span = *span;
+        } else {
+          msg->claim_buffer = buffer;
+        }
+        arriving_claims_.emplace(msg.get(), msg);
+        return true;
+      }
+      if (msg->kind == FrameType::Rts) {
+        RndvPending pending;
+        pending.request = request;
+        if (span == nullptr) {
+          pending.buffer = buffer;
+        } else if (direct_eligible(msg->static_len, msg->dynamic_len, *span)) {
+          pending.direct = true;
+          pending.span = *span;
+        } else {
+          auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
+                                                       span->payload_capacity);
+          pending.buffer = staging.get();
+          request->attach_buffer(std::move(staging));
+        }
+        rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id}, std::move(pending));
+      }
+    }
+    if (msg->kind == FrameType::Eager) {
+      if (span != nullptr) {
+        deliver_buffered_direct(*msg, *span, request);
+      } else {
+        deliver_buffered(*msg, *buffer, request);
+      }
+    } else {
+      try {
+        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+                 msg->dynamic_len, msg->msg_id);
+      } catch (const Error& e) {
+        {
+          std::lock_guard<std::mutex> lock(recv_mu_);
+          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
+        }
+        DevStatus status;
+        status.source = msg->key.src;
+        status.tag = msg->key.tag;
+        status.context = msg->key.context;
+        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+        request->complete(status);
+      }
+    }
+    return true;
+  }
+
+  /// Drop posted entries that are dead twins — shared receives whose match
+  /// gate the sibling device already won. They can no longer be delivered,
+  /// only discarded; pruning here (under recv_mu_) keeps the posted set from
+  /// accumulating one dead entry per consumed shared receive. `posting` is
+  /// the request being posted right now (its gate is still open).
+  void purge_dead_twins_locked(const DevRequestState* posting) {
+    posted_.drain_if([&](const MatchKey&, const RecvRec& rec) {
+      return rec.request.get() != posting && rec.request->shared() &&
+             rec.request->match_claimed();
+    });
+  }
+
   DevStatus probe(ProcessID src, int tag, int context) override {
     counters_->add(prof::Ctr::ProbeCalls);
     const MatchKey key{context, tag, src};
@@ -478,6 +578,8 @@ class TcpDevice final : public Device, public RequestCanceller {
     if (completed) counters_->add(prof::Ctr::PeekWakeups);
     return completed;
   }
+
+  void redirect_completions(CompletionSink* sink) override { sink_ = sink; }
 
   bool cancel(const DevRequest& request) override {
     if (!request || request->kind() != DevRequestState::Kind::Recv) return false;
@@ -732,7 +834,7 @@ class TcpDevice final : public Device, public RequestCanceller {
 
   DevRequest rndv_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::RndvSends);
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -780,7 +882,7 @@ class TcpDevice final : public Device, public RequestCanceller {
                                 std::span<const SendSegment> segments, std::size_t payload,
                                 ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::RndvSends);
-    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, &completions_,
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -1041,7 +1143,7 @@ class TcpDevice final : public Device, public RequestCanceller {
     std::optional<RecvRec> rec;
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
-      rec = posted_.match(key);
+      rec = posted_.match_where(key, claim_recv);
       if (!rec) {
         // No receive posted yet: buffer into a pool buffer and publish the
         // (still-arriving) message so probes and late receives can see it.
@@ -1276,7 +1378,7 @@ class TcpDevice final : public Device, public RequestCanceller {
     const MatchKey key{hdr.context, hdr.tag, ProcessID{hdr.src}};
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
-      auto rec = posted_.match(key);
+      auto rec = posted_.match_where(key, claim_recv);
       if (!rec) {
         auto msg = std::make_shared<UnexpMsg>();
         msg->key = key;
@@ -1472,6 +1574,9 @@ class TcpDevice final : public Device, public RequestCanceller {
   std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("tcpdev");
   buf::BufferPool pool_{0, counters_.get()};
   CompletionQueue completions_;
+  /// Where hooked completions publish: our own queue, unless a composite
+  /// parent (hybdev) redirected us into its merged queue.
+  CompletionSink* sink_ = &completions_;
 };
 
 }  // namespace

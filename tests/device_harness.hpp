@@ -29,7 +29,8 @@ class DeviceWorld {
         (static_cast<std::uint64_t>(::getpid()) << 8)};
     std::vector<EndpointInfo> world(static_cast<std::size_t>(nprocs));
     std::vector<std::shared_ptr<net::Acceptor>> acceptors(static_cast<std::size_t>(nprocs));
-    const bool is_tcp = device_name == "tcpdev";
+    // hybdev's tcpdev child needs the pre-bound listeners too.
+    const bool is_tcp = device_name == "tcpdev" || device_name == "hybdev";
     for (int i = 0; i < nprocs; ++i) {
       world[static_cast<std::size_t>(i)].id = ProcessID{next_uuid.fetch_add(1)};
       world[static_cast<std::size_t>(i)].host = "127.0.0.1";

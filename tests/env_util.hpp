@@ -1,0 +1,38 @@
+// Test utility: scoped environment-variable override.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace mpcx::testing {
+
+/// Set an environment variable for the duration of a scope, restoring the
+/// previous value (or absence) on exit. setenv is not thread-safe against
+/// concurrent getenv, so construct/destroy only while no cluster::launch
+/// (or other getenv-calling machinery) is running.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+}  // namespace mpcx::testing

@@ -4,24 +4,44 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
+#include "env_util.hpp"
+#include "prof/counters.hpp"
 
 namespace mpcx {
 namespace {
 
+using mpcx::testing::ScopedEnv;
+
 class Collectives : public ::testing::TestWithParam<std::tuple<const char*, int>> {
  protected:
+  // The hybdev leg simulates a 2-node topology so routing actually splits
+  // between the shm and tcp children (and the hierarchical collectives
+  // engage); other devices run their usual single-node flat paths.
+  void SetUp() override {
+    if (std::string(std::get<0>(GetParam())) == "hybdev" &&
+        std::getenv("MPCX_NODE_ID") == nullptr) {
+      node_sim_ = std::make_unique<ScopedEnv>("MPCX_NODE_ID", "2");
+    }
+  }
+  void TearDown() override { node_sim_.reset(); }
+
   cluster::Options opts() {
     cluster::Options options;
     options.device = std::get<0>(GetParam());
     return options;
   }
   int nprocs() const { return std::get<1>(GetParam()); }
+
+ private:
+  std::unique_ptr<ScopedEnv> node_sim_;
 };
 
 TEST_P(Collectives, BarrierSynchronizes) {
@@ -307,9 +327,191 @@ TEST_P(Collectives, ReduceRejectsNonContiguousType) {
   }, opts());
 }
 
+// ---- zero-count edge cases (regressions: empty frames must never be sent) ------
+
+TEST_P(Collectives, GathervWithZeroCountRanks) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    // Odd ranks contribute nothing; even rank r contributes one value r.
+    const int mine_count = rank % 2 == 0 ? 1 : 0;
+    std::vector<std::int32_t> mine(1, rank);
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r % 2 == 0 ? 1 : 0;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(std::max(total, 1)), -1);
+    comm.Gatherv(mine.data(), 0, mine_count, types::INT(), all.data(), 0, counts, displs,
+                 types::INT(), 0);
+    if (rank == 0) {
+      int pos = 0;
+      for (int r = 0; r < n; r += 2) EXPECT_EQ(all[static_cast<std::size_t>(pos++)], r);
+    }
+    // A follow-up collective on the same context: any stray empty frame from
+    // the zero-count ranks would mismatch here.
+    std::int32_t token = rank == 0 ? 41 : -1;
+    comm.Bcast(&token, 0, 1, types::INT(), 0);
+    EXPECT_EQ(token, 41);
+  }, opts());
+}
+
+TEST_P(Collectives, ScattervWithZeroCountRanks) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r % 2 == 0 ? 1 : 0;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(std::max(total, 1)));
+    if (rank == 0) {
+      for (int r = 0, pos = 0; r < n; r += 2) all[static_cast<std::size_t>(pos++)] = r * 3;
+    }
+    std::int32_t got = -1;
+    comm.Scatterv(all.data(), 0, counts, displs, types::INT(), &got, 0,
+                  counts[static_cast<std::size_t>(rank)], types::INT(), 0);
+    if (rank % 2 == 0) {
+      EXPECT_EQ(got, rank * 3);
+    } else {
+      EXPECT_EQ(got, -1);  // untouched: no empty frame was delivered
+    }
+    std::int32_t token = rank == 0 ? 43 : -1;
+    comm.Bcast(&token, 0, 1, types::INT(), 0);
+    EXPECT_EQ(token, 43);
+  }, opts());
+}
+
+TEST_P(Collectives, AllgathervWithZeroCountRanks) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    const int mine_count = rank % 2 == 0 ? 1 : 0;
+    std::vector<std::int32_t> mine(1, rank * 5);
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r % 2 == 0 ? 1 : 0;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(std::max(total, 1)), -1);
+    comm.Allgatherv(mine.data(), 0, mine_count, types::INT(), all.data(), 0, counts, displs,
+                    types::INT());
+    int pos = 0;
+    for (int r = 0; r < n; r += 2) EXPECT_EQ(all[static_cast<std::size_t>(pos++)], r * 5);
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(Collectives, ZeroCountBcastAndReduceSendNothing) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    // count == 0: must complete without pushing empty frames through the
+    // device that could mismatch later collective traffic.
+    std::int32_t sentinel = rank;
+    comm.Bcast(&sentinel, 0, 0, types::INT(), 0);
+    EXPECT_EQ(sentinel, rank);  // untouched
+    std::int32_t out = -7;
+    comm.Reduce(&sentinel, 0, &out, 0, 0, types::INT(), ops::SUM(), 0);
+    EXPECT_EQ(out, -7);  // untouched
+    comm.Allreduce(&sentinel, 0, &out, 0, 0, types::INT(), ops::SUM());
+    EXPECT_EQ(out, -7);
+    // Real traffic right after must still match cleanly.
+    std::int32_t token = rank == 0 ? 47 : -1;
+    comm.Bcast(&token, 0, 1, types::INT(), 0);
+    EXPECT_EQ(token, 47);
+  }, opts());
+}
+
+// ---- node topology: Split_type + hierarchical vs flat equivalence -----------------
+
+TEST_P(Collectives, SplitTypeSharedGroupsByNode) {
+  // Simulate a 2-node topology (ranks alternate nodes by index). Works for
+  // every device: the node identities come from the engine, not the wire.
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    auto node_comm = comm.Split_type(COMM_TYPE_SHARED, rank);
+    ASSERT_TRUE(node_comm);
+    const int nodes = std::min(n, 2);
+    const int expected_size = n / nodes + (rank % nodes < n % nodes ? 1 : 0);
+    EXPECT_EQ(node_comm->Size(), expected_size);
+    // Everyone in the sub-communicator shares my simulated node (= parity).
+    std::vector<std::int32_t> members(static_cast<std::size_t>(node_comm->Size()), -1);
+    std::int32_t mine = rank;
+    node_comm->Allgather(&mine, 0, 1, types::INT(), members.data(), 0, 1, types::INT());
+    for (const std::int32_t member : members) EXPECT_EQ(member % nodes, rank % nodes);
+    EXPECT_THROW((void)comm.Split_type(12345, 0), ArgumentError);
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(Collectives, HierarchicalMatchesFlatUnderSimulatedNodes) {
+  // The same collective workload must produce identical results with the
+  // two-level algorithms (simulated 2-node topology) and the flat ones
+  // (MPCX_HIER_COLLS=0). Also checks the hierarchical path really ran —
+  // which needs counters recording (they are compiled to no-ops otherwise).
+  struct StatsGuard {
+    StatsGuard() { prof::set_stats_enabled(true); }
+    ~StatsGuard() { prof::set_stats_enabled(false); }
+  } stats;
+  const auto workload = [](World& world, bool expect_hier) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    const std::uint64_t hier_before = world.counters().get(prof::Ctr::HierarchicalColls);
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> data(9, rank == root ? root + 100 : -1);
+      comm.Bcast(data.data(), 0, 9, types::INT(), root);
+      for (const std::int32_t v : data) EXPECT_EQ(v, root + 100);
+      std::int32_t sum = 0;
+      std::int32_t mine = rank + 1;
+      comm.Reduce(&mine, 0, &sum, 0, 1, types::INT(), ops::SUM(), root);
+      if (rank == root) {
+        EXPECT_EQ(sum, n * (n + 1) / 2);
+      }
+    }
+    double dsum = 0;
+    double dmine = rank + 0.25;
+    comm.Allreduce(&dmine, 0, &dsum, 0, 1, types::DOUBLE(), ops::SUM());
+    EXPECT_NEAR(dsum, n * (n - 1) / 2.0 + 0.25 * n, 1e-12);
+    comm.Barrier();
+    const std::uint64_t hier_after = world.counters().get(prof::Ctr::HierarchicalColls);
+    if (expect_hier && n > 1) {
+      EXPECT_GT(hier_after, hier_before);
+    } else {
+      EXPECT_EQ(hier_after, hier_before);
+    }
+  };
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  {
+    cluster::launch(nprocs(), [&](World& world) { workload(world, true); }, opts());
+  }
+  {
+    ScopedEnv flat("MPCX_HIER_COLLS", "0");
+    cluster::launch(nprocs(), [&](World& world) { workload(world, false); }, opts());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     DeviceBySize, Collectives,
-    ::testing::Combine(::testing::Values("mxdev", "tcpdev", "shmdev"), ::testing::Values(1, 2, 3, 4, 7)),
+    ::testing::Combine(::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
+                       ::testing::Values(1, 2, 3, 4, 7)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) + "_np" +
              std::to_string(std::get<1>(info.param));

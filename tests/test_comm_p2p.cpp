@@ -4,25 +4,43 @@
 // PROC_NULL, truncation errors, and object transport.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
+#include "env_util.hpp"
 
 namespace mpcx {
 namespace {
 
+using mpcx::testing::ScopedEnv;
+
 class CommP2P : public ::testing::TestWithParam<const char*> {
  protected:
+  // hybdev legs simulate a 2-node topology so ranks split across both
+  // children (shm intra-node, tcp inter-node) instead of collapsing onto
+  // the shm child alone.
+  void SetUp() override {
+    if (std::string(GetParam()) == "hybdev" && std::getenv("MPCX_NODE_ID") == nullptr) {
+      node_sim_ = std::make_unique<ScopedEnv>("MPCX_NODE_ID", "2");
+    }
+  }
+  void TearDown() override { node_sim_.reset(); }
+
   cluster::Options opts() {
     cluster::Options options;
     options.device = GetParam();
     options.eager_threshold = 8 * 1024;  // exercise rendezvous cheaply
     return options;
   }
+
+ private:
+  std::unique_ptr<ScopedEnv> node_sim_;
 };
 
 TEST_P(CommP2P, FourSendModes) {
@@ -343,6 +361,57 @@ TEST_P(CommP2P, ZeroCopyAndPackedPathsDeliverIdenticalBytes) {
   }, opts());
 }
 
+TEST_P(CommP2P, MixedPathInteropAcrossHybridChildren) {
+  // Packed <-> zero-copy interop over BOTH routes of a hybrid device. Under
+  // a simulated 2-node topology (MPCX_NODE_ID=2) ranks 0 and 2 share a node
+  // (hybdev's shm child) while ranks 0 and 1 are on different nodes (the tcp
+  // child). On each route, in each direction, a strided (packed) sender must
+  // interoperate with a contiguous (zero-copy) receiver and vice versa, at
+  // eager and rendezvous sizes. Single-child devices degenerate to the plain
+  // mixed-path check — the pairing is still valid.
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    // One exchange: `src` sends a strided payload (packed path) that `dst`
+    // receives contiguously (direct recv), then `src` sends the contiguous
+    // twin (zero-copy segments) that `dst` receives strided (unpack).
+    const auto exchange = [&](int src, int dst, int ints, int tag) {
+      const auto column = Datatype::vector(ints, 1, 2, types::INT());
+      const int base = tag * 100000;
+      if (rank == src) {
+        std::vector<std::int32_t> strided(static_cast<std::size_t>(2 * ints), -1);
+        std::vector<std::int32_t> contiguous(static_cast<std::size_t>(ints));
+        for (int i = 0; i < ints; ++i) {
+          strided[static_cast<std::size_t>(i) * 2] = base + i;
+          contiguous[static_cast<std::size_t>(i)] = base + i;
+        }
+        comm.Send(strided.data(), 0, 1, column, dst, tag);            // packed
+        comm.Send(contiguous.data(), 0, ints, types::INT(), dst, tag + 1);  // zero-copy
+      } else if (rank == dst) {
+        std::vector<std::int32_t> via_direct(static_cast<std::size_t>(ints), -2);
+        std::vector<std::int32_t> via_unpack(static_cast<std::size_t>(2 * ints), -3);
+        comm.Recv(via_direct.data(), 0, ints, types::INT(), src, tag);   // direct recv
+        comm.Recv(via_unpack.data(), 0, 1, column, src, tag + 1);        // unpacking recv
+        for (int i = 0; i < ints; ++i) {
+          ASSERT_EQ(via_direct[static_cast<std::size_t>(i)], base + i);
+          ASSERT_EQ(via_unpack[static_cast<std::size_t>(i) * 2], base + i);
+          ASSERT_EQ(via_unpack[static_cast<std::size_t>(i) * 2 + 1], -3);  // gaps untouched
+        }
+      }
+    };
+    constexpr int kEager = 512;   // 2 KB < the 8 KB threshold
+    constexpr int kRndv = 4096;   // 16 KB > the 8 KB threshold
+    exchange(0, 1, kEager, 2);    // inter-node route, eager
+    exchange(0, 1, kRndv, 4);     // inter-node route, rendezvous
+    exchange(0, 2, kEager, 6);    // intra-node route, eager
+    exchange(0, 2, kRndv, 8);     // intra-node route, rendezvous
+    exchange(1, 0, kEager, 10);   // reverse direction, inter-node
+    exchange(2, 0, kRndv, 12);    // reverse direction, intra-node
+    comm.Barrier();
+  }, opts());
+}
+
 TEST_P(CommP2P, ArgumentValidation) {
   cluster::launch(1, [](World& world) {
     Intracomm& comm = world.COMM_WORLD();
@@ -356,7 +425,8 @@ TEST_P(CommP2P, ArgumentValidation) {
   }, opts());
 }
 
-INSTANTIATE_TEST_SUITE_P(Devices, CommP2P, ::testing::Values("mxdev", "tcpdev", "shmdev"),
+INSTANTIATE_TEST_SUITE_P(Devices, CommP2P,
+                         ::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
                          [](const auto& info) { return std::string(info.param); });
 
 }  // namespace

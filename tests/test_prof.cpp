@@ -18,6 +18,7 @@
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
 #include "device_harness.hpp"
+#include "env_util.hpp"
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
 #include "prof/trace.hpp"
@@ -384,6 +385,10 @@ TEST(ProfTrace, BlockingTrafficProducesBalancedDump) {
 // the core counters must see the pack/unpack and collective activity.
 TEST(ProfStack, ClusterFinalizeDumpsTraceAndCounters) {
   const std::string path = temp_path("prof_trace_cluster");
+  // The assertion below names the flat barrier span; pin the flat algorithm
+  // so an inherited MPCX_NODE_ID (the CI hybdev leg simulates a 2-node
+  // topology) cannot reroute the Barrier onto the hierarchical path.
+  mpcx::testing::ScopedEnv flat("MPCX_HIER_COLLS", "0");
   constexpr int kMsgs = 8;
   constexpr int kInts = 128;
   std::uint64_t rank0_collectives = 0;

@@ -133,7 +133,7 @@ TEST(Shmdev, StaleSegmentTakenOver) {
   // A fresh 1-rank world with that exact id must still bootstrap.
   DeviceConfig config;
   config.self_index = 0;
-  config.world = {EndpointInfo{ProcessID{id}, "127.0.0.1", 0}};
+  config.world = {EndpointInfo{ProcessID{id}, "127.0.0.1", 0, ""}};
   auto device = new_device("shmdev");
   auto world = device->init(config);
   EXPECT_EQ(world.size(), 1u);

@@ -7,22 +7,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/intracomm.hpp"
+#include "env_util.hpp"
 
 namespace mpcx {
 namespace {
 
+using mpcx::testing::ScopedEnv;
+
 class Threading : public ::testing::TestWithParam<const char*> {
  protected:
+  // hybdev legs simulate a 2-node topology so both children carry traffic
+  // (and the WaitAny merge across the two completion streams is exercised).
+  void SetUp() override {
+    if (std::string(GetParam()) == "hybdev" && std::getenv("MPCX_NODE_ID") == nullptr) {
+      node_sim_ = std::make_unique<ScopedEnv>("MPCX_NODE_ID", "2");
+    }
+  }
+  void TearDown() override { node_sim_.reset(); }
+
   cluster::Options opts() {
     cluster::Options options;
     options.device = GetParam();
     return options;
   }
+
+ private:
+  std::unique_ptr<ScopedEnv> node_sim_;
 };
 
 TEST_P(Threading, ThreadLevelIsMultiple) {
@@ -219,7 +237,44 @@ TEST_P(Threading, ConcurrentWaitanyFromManyThreads) {
   }, opts());
 }
 
-INSTANTIATE_TEST_SUITE_P(Devices, Threading, ::testing::Values("mxdev", "tcpdev", "shmdev"),
+TEST_P(Threading, MultithreadedHierarchicalAllreduce) {
+  // Hierarchical collectives from several threads at once, each on its own
+  // duplicated communicator (collectives on ONE comm must not race, so each
+  // thread gets a Dup — the paper's model for concurrent collectives). The
+  // simulated 2-node topology forces the two-level path on every device, so
+  // TSan sees the leader fan-in/fan-out and (under hybdev) the cross-device
+  // completion merge.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 15;
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    // Dups must be created by all ranks in the same order (collective).
+    std::vector<std::unique_ptr<Intracomm>> comms;
+    for (int t = 0; t < kThreads; ++t) comms.push_back(comm.Dup());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Intracomm& my_comm = *comms[static_cast<std::size_t>(t)];
+        for (int round = 0; round < kRounds; ++round) {
+          std::int64_t mine = my_comm.Rank() + t * 10 + round;
+          std::int64_t sum = 0;
+          my_comm.Allreduce(&mine, 0, &sum, 0, 1, types::LONG(), ops::SUM());
+          const std::int64_t expected =
+              static_cast<std::int64_t>(n) * (n - 1) / 2 +
+              static_cast<std::int64_t>(n) * (t * 10 + round);
+          ASSERT_EQ(sum, expected);
+          my_comm.Barrier();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }, opts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, Threading,
+                         ::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
                          [](const auto& info) { return std::string(info.param); });
 
 }  // namespace
