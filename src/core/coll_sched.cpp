@@ -1,0 +1,222 @@
+#include "core/coll_sched.hpp"
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "core/comm.hpp"
+#include "core/world.hpp"
+#include "support/error.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx {
+
+CollState::CollState(const Comm* comm, const char* name, std::optional<Op> op)
+    : comm_(comm), name_(name), op_(std::move(op)) {}
+
+CollState::Round& CollState::add_round() {
+  rounds_.emplace_back();
+  return rounds_.back();
+}
+
+std::byte* CollState::scratch(std::size_t bytes) {
+  arena_.emplace_back(bytes == 0 ? 1 : bytes);
+  return arena_.back().data();
+}
+
+namespace {
+void check_wire_bytes(std::size_t bytes, const char* name) {
+  if (bytes == 0 || bytes > std::numeric_limits<std::uint32_t>::max()) {
+    throw ArgumentError(std::string(name) + ": bad schedule payload size");
+  }
+}
+}  // namespace
+
+void CollState::add_send(Round& round, int peer, int tag, const std::byte* src,
+                         std::size_t bytes) {
+  check_wire_bytes(bytes, name_);
+  round.sends.push_back(SendStep{peer, tag, src, bytes, {}, false});
+}
+
+void CollState::add_recv(Round& round, int peer, int tag, std::byte* dst, std::size_t bytes) {
+  check_wire_bytes(bytes, name_);
+  round.recvs.push_back(RecvStep{peer, tag, dst, bytes, {}, {}, false});
+}
+
+void CollState::add_copy(Round& round, const std::byte* src, std::byte* dst, std::size_t bytes) {
+  LocalStep step;
+  step.kind = LocalStep::Kind::Copy;
+  step.src = src;
+  step.dst = dst;
+  step.bytes = bytes;
+  round.locals.push_back(step);
+}
+
+void CollState::add_reduce(Round& round, const std::byte* src, std::byte* dst,
+                           std::size_t elements, buf::TypeCode code) {
+  LocalStep step;
+  step.kind = LocalStep::Kind::Reduce;
+  step.src = src;
+  step.dst = dst;
+  step.elements = elements;
+  step.code = code;
+  round.locals.push_back(step);
+}
+
+void CollState::seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rounds_.empty()) complete_ = true;
+}
+
+void CollState::post_round_locked(Round& round) {
+  mpdev::Engine& engine = comm_->engine();
+  const int context = comm_->coll_context();
+  // Receives first so arrivals hit posted matches instead of the
+  // unexpected queue.
+  for (RecvStep& step : round.recvs) {
+    const xdev::RecvSpan span{step.hdr.data(), step.dst, step.bytes};
+    step.posted = engine.irecv_direct(span, comm_->world_source(step.peer), step.tag, context);
+  }
+  for (SendStep& step : round.sends) {
+    std::array<std::byte, buf::Buffer::kSectionHeaderBytes> hdr{};
+    buf::encode_section_header(hdr, buf::TypeCode::Byte,
+                               static_cast<std::uint32_t>(step.bytes));
+    const xdev::SendSegment segment{step.src, step.bytes};
+    step.posted = engine.isend_segments(hdr, std::span<const xdev::SendSegment>(&segment, 1),
+                                        comm_->world_dest(step.peer), step.tag, context);
+  }
+  round.posted = true;
+}
+
+void CollState::fail_locked(ErrCode code) {
+  if (error_ == ErrCode::Success) error_ = code;
+  complete_ = true;
+  // Cancel still-pending receives of the posted round so the device drops
+  // its references to our spans (sends that never match simply keep the
+  // state alive in the registry until drained).
+  if (current_ < rounds_.size() && rounds_[current_].posted) {
+    for (RecvStep& step : rounds_[current_].recvs) {
+      if (step.done || !step.posted.valid() || step.posted.is_complete()) continue;
+      comm_->engine().device().cancel(step.posted.dev());
+    }
+  }
+}
+
+bool CollState::advance_locked() {
+  while (!complete_ && current_ < rounds_.size()) {
+    Round& round = rounds_[current_];
+    if (!round.posted) post_round_locked(round);
+    for (RecvStep& step : round.recvs) {
+      if (step.done) continue;
+      auto dev = step.posted.test();
+      if (!dev) return complete_;
+      step.done = true;
+      const ErrCode code = dev->error != ErrCode::Success
+                               ? dev->error
+                               : (dev->truncated ? ErrCode::Truncate : ErrCode::Success);
+      if (code != ErrCode::Success) {
+        comm_->release_borrowed(step.posted);
+        fail_locked(code);
+        return true;
+      }
+      if (!dev->cancelled) {
+        comm_->deliver_direct_recv(step.posted, *dev, step.hdr, step.dst, step.bytes,
+                                   types::BYTE());
+      }
+    }
+    for (SendStep& step : round.sends) {
+      if (step.done) continue;
+      auto dev = step.posted.test();
+      if (!dev) return complete_;
+      step.done = true;
+      if (dev->error != ErrCode::Success) {
+        comm_->release_borrowed(step.posted);
+        fail_locked(dev->error);
+        return true;
+      }
+    }
+    for (const LocalStep& step : round.locals) {
+      if (step.kind == LocalStep::Kind::Copy) {
+        std::memcpy(step.dst, step.src, step.bytes);
+      } else {
+        op_->apply(step.code, step.src, step.dst, step.elements);
+      }
+    }
+    ++current_;
+    comm_->world().counters().add(prof::Ctr::SchedRounds);
+  }
+  if (current_ >= rounds_.size()) complete_ = true;
+  return complete_;
+}
+
+bool CollState::progress() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return advance_locked();
+}
+
+bool CollState::try_progress() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  return advance_locked();
+}
+
+bool CollState::complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_;
+}
+
+ErrCode CollState::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+Status CollState::final_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status(PROC_NULL, ANY_TAG, 0, 0, false, false, error_);
+}
+
+mpdev::Request CollState::pending_op() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (complete_ || current_ >= rounds_.size()) return {};
+  Round& round = rounds_[current_];
+  if (!round.posted) return {};
+  for (RecvStep& step : round.recvs) {
+    if (!step.done && step.posted.valid() && !step.posted.is_complete()) return step.posted;
+  }
+  for (SendStep& step : round.sends) {
+    if (!step.done && step.posted.valid() && !step.posted.is_complete()) return step.posted;
+  }
+  return {};
+}
+
+std::vector<mpdev::Request> CollState::pending_ops() {
+  std::vector<mpdev::Request> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (complete_ || current_ >= rounds_.size()) return out;
+  Round& round = rounds_[current_];
+  if (!round.posted) return out;
+  for (RecvStep& step : round.recvs) {
+    if (!step.done && step.posted.valid() && !step.posted.is_complete()) out.push_back(step.posted);
+  }
+  for (SendStep& step : round.sends) {
+    if (!step.done && step.posted.valid() && !step.posted.is_complete()) out.push_back(step.posted);
+  }
+  return out;
+}
+
+bool CollState::drained() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!complete_) return false;
+  for (std::size_t i = 0; i <= current_ && i < rounds_.size(); ++i) {
+    if (!rounds_[i].posted) continue;
+    for (RecvStep& step : rounds_[i].recvs) {
+      if (step.posted.valid() && !step.done && !step.posted.is_complete()) return false;
+    }
+    for (SendStep& step : rounds_[i].sends) {
+      if (step.posted.valid() && !step.done && !step.posted.is_complete()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mpcx

@@ -1,0 +1,170 @@
+// CollState — the collective schedule engine behind the nonblocking
+// collectives (Ibarrier / Ibcast / Ireduce / Iallreduce / Igather /
+// Iallgather).
+//
+// Each nonblocking collective call COMPILES its algorithm (the same binomial
+// tree / recursive doubling / dissemination / two-level hierarchical shapes
+// the blocking collectives use) into a DAG of rounds at call time. A round
+// is a set of independent wire operations ({isend, irecv} steps, posted
+// together) followed by local {reduce-op, copy} steps that run once every
+// wire op of the round has completed. Rounds execute in order; the data
+// dependencies BETWEEN rounds (receive here, forward there) are exactly the
+// edges of the algorithm's communication DAG.
+//
+// Progression-from-any-thread invariant: a CollState is advanced by
+// progress()/try_progress(), which any thread may call — Request::Wait/Test
+// on the collective's own request, Waitany over unrelated requests, and the
+// World-level sweep invoked from the mpdev Waitany path all drive it. All
+// mutation happens under one per-state mutex; wire steps are raw mpdev
+// operations (never core Requests), so progression can never re-enter the
+// request layer.
+//
+// Lifetime: the World registry holds the state until it is drained (all
+// posted device ops complete), so scratch memory referenced by in-flight
+// device operations outlives them even if the user drops the Request early.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "bufx/buffer.hpp"
+#include "core/op.hpp"
+#include "core/status.hpp"
+#include "mpdev/engine.hpp"
+
+namespace mpcx {
+
+class Comm;
+
+class CollState {
+ public:
+  struct Round;
+
+  /// `op` is the reduction (empty for data-movement collectives); `name` is
+  /// a static string used in error messages ("Iallreduce", ...).
+  CollState(const Comm* comm, const char* name, std::optional<Op> op);
+
+  CollState(const CollState&) = delete;
+  CollState& operator=(const CollState&) = delete;
+
+  // ---- schedule construction (call time, single-threaded) --------------------
+
+  /// Append a new (empty) round. References stay valid: rounds live in a
+  /// deque and the schedule is never reordered.
+  Round& add_round();
+
+  /// Allocate `bytes` of state-owned scratch (stable address for the life
+  /// of the schedule).
+  std::byte* scratch(std::size_t bytes);
+
+  /// Wire steps. `peer` is a communicator-local rank; `tag` one of the
+  /// schedule's kNbCollTagBase-derived tags. The payload memory must stay
+  /// valid until the state is drained (user buffers per MPI's nonblocking
+  /// contract; scratch by construction).
+  void add_send(Round& round, int peer, int tag, const std::byte* src, std::size_t bytes);
+  void add_recv(Round& round, int peer, int tag, std::byte* dst, std::size_t bytes);
+
+  /// Local steps, run in insertion order once the round's wire steps have
+  /// all completed (ordering carries non-commutative reductions).
+  void add_copy(Round& round, const std::byte* src, std::byte* dst, std::size_t bytes);
+  void add_reduce(Round& round, const std::byte* src, std::byte* dst, std::size_t elements,
+                  buf::TypeCode code);
+
+  /// Finish construction. A schedule with no rounds completes immediately.
+  void seal();
+
+  // ---- progression (any thread) ----------------------------------------------
+
+  /// Advance as far as possible; returns true once the whole schedule has
+  /// completed (successfully or with an error).
+  bool progress();
+
+  /// Like progress() but backs off instead of blocking when another thread
+  /// holds the state lock (used by the global sweep).
+  bool try_progress();
+
+  bool complete() const;
+
+  /// First failure observed (Success while none).
+  ErrCode error() const;
+
+  /// Status to cache on the owning Request (carries error()).
+  Status final_status() const;
+
+  /// One posted-but-incomplete device operation of the current round, if
+  /// any — a handle a waiter can block on instead of spinning.
+  mpdev::Request pending_op();
+
+  /// All posted-but-incomplete device operations of the current round
+  /// (Waitany feeds these to the engine next to plain p2p requests).
+  std::vector<mpdev::Request> pending_ops();
+
+  /// True when complete AND no posted device op is still outstanding —
+  /// the registry may drop the state (scratch is no longer referenced).
+  bool drained();
+
+  const char* name() const { return name_; }
+
+  struct SendStep {
+    int peer = 0;
+    int tag = 0;
+    const std::byte* src = nullptr;
+    std::size_t bytes = 0;
+    mpdev::Request posted;
+    bool done = false;
+  };
+
+  struct RecvStep {
+    int peer = 0;
+    int tag = 0;
+    std::byte* dst = nullptr;
+    std::size_t bytes = 0;
+    // Section-header landing area for the zero-copy receive; must live as
+    // long as the device operation, hence inside the step.
+    std::array<std::byte, buf::Buffer::kSectionHeaderBytes> hdr{};
+    mpdev::Request posted;
+    bool done = false;
+  };
+
+  struct LocalStep {
+    enum class Kind { Copy, Reduce };
+    Kind kind = Kind::Copy;
+    const std::byte* src = nullptr;
+    std::byte* dst = nullptr;
+    std::size_t bytes = 0;     ///< Copy
+    std::size_t elements = 0;  ///< Reduce
+    buf::TypeCode code = buf::TypeCode::Byte;
+  };
+
+  struct Round {
+    std::vector<SendStep> sends;
+    std::vector<RecvStep> recvs;
+    std::vector<LocalStep> locals;
+    bool posted = false;
+  };
+
+ private:
+  bool advance_locked();
+  void post_round_locked(Round& round);
+  void fail_locked(ErrCode code);
+
+  const Comm* comm_;
+  const char* name_;
+  std::optional<Op> op_;
+
+  mutable std::mutex mu_;
+  std::deque<Round> rounds_;
+  std::size_t current_ = 0;
+  bool complete_ = false;
+  ErrCode error_ = ErrCode::Success;
+
+  // Stable-address scratch arena (each allocation its own block).
+  std::deque<std::vector<std::byte>> arena_;
+};
+
+}  // namespace mpcx

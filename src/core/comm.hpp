@@ -18,6 +18,7 @@
 #include <any>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -249,6 +250,8 @@ class Comm {
  protected:
   friend class Request;
   friend class Prequest;
+  friend class CollState;  // the nonblocking-collective schedule engine posts
+                           // raw engine ops through the protected helpers
 
   Comm(World* world, Group group, int ptp_context, int coll_context);
 
@@ -323,6 +326,12 @@ class Comm {
   // Error-handling policy; see Errhandler above for why the default differs
   // from MPI's (fatal).
   std::atomic<Errhandler> errhandler_{Errhandler::ErrorsThrow};
+
+  // Nonblocking-collective sequence number. MPI requires every member to
+  // issue collectives on one communicator in the same order, so the local
+  // counter agrees across ranks and the derived tags (kNbCollTagBase) keep
+  // concurrent schedules from cross-matching.
+  mutable std::atomic<std::uint32_t> nb_coll_seq_{0};
 
   // Attribute cache (mutable: caching on a const communicator is fine).
   mutable std::mutex attrs_mu_;

@@ -343,6 +343,8 @@ void Intracomm::Alltoall(const void* sendbuf, int sendoffset, int sendcount,
     const int send_slot = slot_offset(sendoffset, dst, sendcount, sendtype);
     const int recv_slot = slot_offset(recvoffset, src, recvcount, recvtype);
     if (step == 0) {
+      // Self-exchange stays local; nothing to copy for zero counts.
+      if (sendcount == 0 || recvcount == 0) continue;
       auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcount)));
       sendtype->pack(cbyte(sendbuf, send_slot, sendtype), static_cast<std::size_t>(sendcount),
                      *tmp);
@@ -352,11 +354,18 @@ void Intracomm::Alltoall(const void* sendbuf, int sendoffset, int sendcount,
       give_buffer(std::move(tmp));
       continue;
     }
-    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot,
-                             sendcount, sendtype, dst);
-    ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcount, recvtype,
-             src);
-    send.Wait();
+    // Zero counts skip the wire op entirely (PR 4 guard policy: symmetric,
+    // since MPI requires matched send/recv sizes per pair).
+    Request send;
+    if (sendcount != 0) {
+      send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot, sendcount,
+                       sendtype, dst);
+    }
+    if (recvcount != 0) {
+      ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcount,
+               recvtype, src);
+    }
+    if (!send.is_null()) send.Wait();
   }
 }
 
@@ -374,6 +383,8 @@ void Intracomm::Alltoallv(const void* sendbuf, int sendoffset, std::span<const i
     const int send_slot = displ_offset(sendoffset, sdispls[dst], sendtype);
     const int recv_slot = displ_offset(recvoffset, rdispls[src], recvtype);
     if (step == 0) {
+      // Self-exchange stays local; nothing to copy for a zero self-count.
+      if (sendcounts[dst] == 0 || recvcounts[src] == 0) continue;
       auto tmp = take_buffer(sendtype->packed_bound(static_cast<std::size_t>(sendcounts[dst])));
       sendtype->pack(cbyte(sendbuf, send_slot, sendtype),
                      static_cast<std::size_t>(sendcounts[dst]), *tmp);
@@ -383,11 +394,19 @@ void Intracomm::Alltoallv(const void* sendbuf, int sendoffset, std::span<const i
       give_buffer(std::move(tmp));
       continue;
     }
-    Request send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot,
-                             sendcounts[dst], sendtype, dst);
-    ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcounts[src],
-             recvtype, src);
-    send.Wait();
+    // Per-peer zero counts skip the wire op (PR 4 guard policy) — the
+    // whole point of the v-variant is ragged exchanges where many pairs
+    // move nothing.
+    Request send;
+    if (sendcounts[dst] != 0) {
+      send = ctx_isend(coll_context_, coll_tag(CollTag::Alltoall), sendbuf, send_slot,
+                       sendcounts[dst], sendtype, dst);
+    }
+    if (recvcounts[src] != 0) {
+      ctx_recv(coll_context_, coll_tag(CollTag::Alltoall), recvbuf, recv_slot, recvcounts[src],
+               recvtype, src);
+    }
+    if (!send.is_null()) send.Wait();
   }
 }
 
@@ -530,6 +549,12 @@ void Intracomm::Reduce_scatter(const void* sendbuf, int sendoffset, void* recvbu
     throw ArgumentError("Reduce_scatter: recvcounts must have one entry per rank");
   }
   require_contiguous(type, "Reduce_scatter");
+  for (int i = 0; i < n; ++i) {
+    if (recvcounts[static_cast<std::size_t>(i)] < 0) {
+      throw ArgumentError("Reduce_scatter: recvcounts[" + std::to_string(i) +
+                          "] is negative");
+    }
+  }
   const int total = std::accumulate(recvcounts.begin(), recvcounts.end(), 0);
   std::vector<std::byte> full(static_cast<std::size_t>(total) * type->size_bytes());
   Reduce(sendbuf, sendoffset, full.data(), 0, total, type, op, 0);
@@ -545,6 +570,9 @@ void Intracomm::Scan(const void* sendbuf, int sendoffset, void* recvbuf, int rec
   prof::Span coll_span("Scan(linear)", "coll");
   validate(sendbuf, count, type, "Scan");
   require_contiguous(type, "Scan");
+  // Nothing to fold: skip the prefix chain rather than pushing empty frames
+  // (symmetric — every rank sees the same count).
+  if (count == 0) return;
   const int n = Size();
   const int rank = Rank();
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();

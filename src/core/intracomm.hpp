@@ -93,6 +93,33 @@ class Intracomm : public Comm {
   void Scan(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
             const DatatypePtr& type, const Op& op) const;
 
+  // ---- nonblocking collectives (schedule engine, see coll_sched.hpp) ----------
+  //
+  // Each I* call compiles its algorithm (the same shapes as the blocking
+  // versions, including the two-level hierarchical variants when the comm
+  // spans nodes) into a CollState round DAG and returns an ordinary Request
+  // that composes with Wait/Test/Waitall/Waitany. Buffers follow MPI's
+  // nonblocking contract: untouched until the request completes. Datatypes
+  // must be memory-contiguous (the schedule moves raw byte spans).
+
+  Request Ibarrier() const;
+
+  Request Ibcast(void* buf, int offset, int count, const DatatypePtr& type, int root) const;
+
+  Request Ireduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
+                  const DatatypePtr& type, const Op& op, int root) const;
+
+  Request Iallreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                     int count, const DatatypePtr& type, const Op& op) const;
+
+  Request Igather(const void* sendbuf, int sendoffset, int sendcount, const DatatypePtr& sendtype,
+                  void* recvbuf, int recvoffset, int recvcount, const DatatypePtr& recvtype,
+                  int root) const;
+
+  Request Iallgather(const void* sendbuf, int sendoffset, int sendcount,
+                     const DatatypePtr& sendtype, void* recvbuf, int recvoffset, int recvcount,
+                     const DatatypePtr& recvtype) const;
+
   // ---- communicator construction (all collective over this comm) ------------------
 
   /// Duplicate: same group, fresh contexts.
@@ -177,6 +204,10 @@ class Intracomm : public Comm {
                       int count, const DatatypePtr& type, const Op& op,
                       const NodeTopology& topo) const;
   void hier_barrier(const NodeTopology& topo) const;
+
+  /// Seal a compiled schedule, wrap it in a Request, and (if it has wire
+  /// work) register it with the World for progression-from-any-thread.
+  Request launch_nb(std::shared_ptr<CollState> state) const;
 };
 
 }  // namespace mpcx

@@ -1,0 +1,480 @@
+// Nonblocking collectives: each I* entry point compiles its algorithm into a
+// CollState round DAG (see coll_sched.hpp) and returns an ordinary Request.
+//
+// The round compilers below mirror the blocking algorithms in intracomm.cpp
+// (binomial bcast/reduce, recursive-doubling allreduce, dissemination
+// barrier, ring allgather, linear gather) but are generalized over an
+// explicit participant list so the same compiler builds both the flat
+// schedule (participants = every comm rank) and the inter-node leg of the
+// two-level hierarchical schedule (participants = one leader per node).
+//
+// Tag discipline: every call draws one sequence number from the comm's
+// nb_coll_seq_. MPI requires collectives to be issued in the same order on
+// every member, so the draw agrees across ranks and the derived per-phase
+// tags pair wire steps of the same logical collective even when many
+// schedules are in flight on one communicator.
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/coll_sched.hpp"
+#include "core/intracomm.hpp"
+#include "core/world.hpp"
+#include "prof/counters.hpp"
+#include "support/error.hpp"
+
+namespace mpcx {
+namespace {
+
+const std::byte* cbyte(const void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<const std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+std::byte* mbyte(void* buf, int offset, const DatatypePtr& type) {
+  return static_cast<std::byte*>(buf) +
+         static_cast<std::ptrdiff_t>(offset) * static_cast<std::ptrdiff_t>(type->base_size());
+}
+
+/// Offset (in base elements) of item slot `index` when items are
+/// `count`-sized blocks of `type` (contiguous types only here).
+int slot_offset(int base_offset, int index, int count, const DatatypePtr& type) {
+  const std::size_t extent_elems = type->extent_bytes() / type->base_size();
+  return base_offset + index * count * static_cast<int>(extent_elems);
+}
+
+/// Per-phase tags of one schedule. Distinct phases (e.g. the reduce and the
+/// bcast half of a non-power-of-two Iallreduce, or the intra- and inter-node
+/// legs of a hierarchical schedule) use distinct tags so their wire steps
+/// can never cross-match.
+struct NbTags {
+  int main;
+  int fan;
+  int intra;
+  int inter;
+  int extra;
+};
+
+NbTags make_tags(std::uint32_t sid) {
+  const int slot = static_cast<int>(sid % static_cast<std::uint32_t>(kNbCollSeqWindow));
+  const int base = kNbCollTagBase - slot * kNbCollPhases;
+  return NbTags{base, base - 1, base - 2, base - 3, base - 4};
+}
+
+std::vector<int> all_ranks(int n) {
+  std::vector<int> ranks(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) ranks[static_cast<std::size_t>(r)] = r;
+  return ranks;
+}
+
+void require_nb_contiguous(const DatatypePtr& type, const char* op) {
+  if (type->extent_bytes() != type->size_bytes()) {
+    throw ArgumentError(std::string(op) +
+                        ": nonblocking collectives require memory-contiguous datatypes "
+                        "(the schedule engine moves raw byte spans)");
+  }
+}
+
+// ---- round compilers over a participant list ---------------------------------------
+//
+// `participants` maps virtual index -> comm rank; `my_vidx` is the caller's
+// index; `root_vidx` the algorithm root's. Rotation by root keeps the tree
+// shapes identical to the blocking code.
+
+/// Binomial-tree broadcast of `bytes` at `base`: one recv round (non-root),
+/// then one round of sends to all subtree children.
+void bcast_rounds(CollState& st, const std::vector<int>& participants, int root_vidx,
+                  int my_vidx, int tag, std::byte* base, std::size_t bytes) {
+  const int n = static_cast<int>(participants.size());
+  if (n <= 1) return;
+  const int vrank = (my_vidx - root_vidx + n) % n;
+  int mask = 1;
+  while (mask < n && !(vrank & mask)) mask <<= 1;
+  if (vrank != 0) {
+    const int parent = participants[static_cast<std::size_t>(((vrank - mask) + root_vidx) % n)];
+    st.add_recv(st.add_round(), parent, tag, base, bytes);
+  }
+  CollState::Round* fan = nullptr;
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (vrank + m >= n) continue;
+    if (fan == nullptr) fan = &st.add_round();
+    st.add_send(*fan, participants[static_cast<std::size_t>(((vrank + m) + root_vidx) % n)], tag,
+                base, bytes);
+  }
+}
+
+/// Commutative binomial-tree reduction into `acc` (which already holds the
+/// caller's contribution). Root's acc ends with the full result.
+void reduce_rounds(CollState& st, const std::vector<int>& participants, int root_vidx,
+                   int my_vidx, int tag, std::byte* acc, std::size_t bytes, std::size_t elements,
+                   buf::TypeCode code) {
+  const int n = static_cast<int>(participants.size());
+  if (n <= 1) return;
+  const int vrank = (my_vidx - root_vidx + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = participants[static_cast<std::size_t>(((vrank - mask) + root_vidx) % n)];
+      st.add_send(st.add_round(), parent, tag, acc, bytes);
+      break;
+    }
+    if (vrank + mask < n) {
+      const int child = participants[static_cast<std::size_t>(((vrank + mask) + root_vidx) % n)];
+      CollState::Round& round = st.add_round();
+      std::byte* incoming = st.scratch(bytes);
+      st.add_recv(round, child, tag, incoming, bytes);
+      st.add_reduce(round, incoming, acc, elements, code);
+    }
+    mask <<= 1;
+  }
+}
+
+/// Non-commutative linear reduction, folded in participant (= canonical
+/// rank) order at the root. `own` is the caller's contribution; `acc` (root
+/// only) receives the result and may alias `own`.
+void linear_reduce_rounds(CollState& st, const std::vector<int>& participants, int root_vidx,
+                          int my_vidx, int tag, std::byte* acc, const std::byte* own,
+                          std::size_t bytes, std::size_t elements, buf::TypeCode code) {
+  const int n = static_cast<int>(participants.size());
+  if (n <= 1) return;
+  if (my_vidx != root_vidx) {
+    st.add_send(st.add_round(), participants[static_cast<std::size_t>(root_vidx)], tag, own,
+                bytes);
+    return;
+  }
+  CollState::Round& round = st.add_round();
+  std::vector<const std::byte*> contribution(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (v == root_vidx) {
+      contribution[static_cast<std::size_t>(v)] = own;
+      continue;
+    }
+    std::byte* incoming = st.scratch(bytes);
+    st.add_recv(round, participants[static_cast<std::size_t>(v)], tag, incoming, bytes);
+    contribution[static_cast<std::size_t>(v)] = incoming;
+  }
+  // Fold in rank order; locals run in insertion order after all receives.
+  if (contribution[0] != acc) st.add_copy(round, contribution[0], acc, bytes);
+  for (int v = 1; v < n; ++v) {
+    st.add_reduce(round, contribution[static_cast<std::size_t>(v)], acc, elements, code);
+  }
+}
+
+/// Recursive-doubling allreduce (commutative, power-of-two participants):
+/// per mask, exchange accumulators with the partner and fold.
+void allreduce_rd_rounds(CollState& st, const std::vector<int>& participants, int my_vidx,
+                         int tag, std::byte* acc, std::size_t bytes, std::size_t elements,
+                         buf::TypeCode code) {
+  const int n = static_cast<int>(participants.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int partner = participants[static_cast<std::size_t>(my_vidx ^ mask)];
+    CollState::Round& round = st.add_round();
+    std::byte* incoming = st.scratch(bytes);
+    st.add_recv(round, partner, tag, incoming, bytes);
+    st.add_send(round, partner, tag, acc, bytes);
+    // Runs only after the send completed, so mutating acc is safe.
+    st.add_reduce(round, incoming, acc, elements, code);
+  }
+}
+
+/// Dissemination barrier: round k exchanges a token with the ranks at
+/// distance 2^k (forward send, backward recv).
+void barrier_rounds(CollState& st, const std::vector<int>& participants, int my_vidx, int tag) {
+  const int n = static_cast<int>(participants.size());
+  for (int k = 1; k < n; k <<= 1) {
+    CollState::Round& round = st.add_round();
+    std::byte* token = st.scratch(2);
+    token[0] = std::byte{1};
+    st.add_send(round, participants[static_cast<std::size_t>((my_vidx + k) % n)], tag, token, 1);
+    st.add_recv(round, participants[static_cast<std::size_t>((my_vidx - k + n) % n)], tag,
+                token + 1, 1);
+  }
+}
+
+}  // namespace
+
+Request Intracomm::launch_nb(std::shared_ptr<CollState> state) const {
+  state->seal();
+  world_->counters().add(prof::Ctr::NbCollsStarted);
+  Request request = Request::make_coll(this, state);
+  if (!state->complete()) {
+    // Register before the first kick: a round could complete inline (eager
+    // sends), and the registry must already own the scratch by then.
+    world_->register_nb_coll(state);
+    state->progress();
+  }
+  return request;
+}
+
+Request Intracomm::Ibarrier() const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Ibarrier", std::nullopt);
+  if (n > 1) {
+    if (hierarchy_enabled()) {
+      world_->counters().add(prof::Ctr::HierarchicalColls);
+      const NodeTopology topo = node_topology(-1);
+      if (!topo.is_leader) {
+        std::byte* token = st->scratch(2);
+        token[0] = std::byte{1};
+        st->add_send(st->add_round(), topo.my_leader, tags.intra, token, 1);
+        st->add_recv(st->add_round(), topo.my_leader, tags.fan, token + 1, 1);
+      } else {
+        if (topo.my_members.size() > 1) {
+          CollState::Round& gather = st->add_round();
+          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+            st->add_recv(gather, topo.my_members[m], tags.intra, st->scratch(1), 1);
+          }
+        }
+        barrier_rounds(*st, topo.leaders, topo.my_node, tags.inter);
+        if (topo.my_members.size() > 1) {
+          CollState::Round& release = st->add_round();
+          std::byte* token = st->scratch(1);
+          token[0] = std::byte{1};
+          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+            st->add_send(release, topo.my_members[m], tags.fan, token, 1);
+          }
+        }
+      }
+    } else {
+      barrier_rounds(*st, all_ranks(n), Rank(), tags.main);
+    }
+  }
+  return launch_nb(std::move(st));
+}
+
+Request Intracomm::Ibcast(void* buf, int offset, int count, const DatatypePtr& type,
+                          int root) const {
+  validate(buf, count, type, "Ibcast");
+  require_nb_contiguous(type, "Ibcast");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  if (root < 0 || root >= n) {
+    throw ArgumentError("Ibcast: root " + std::to_string(root) + " out of range");
+  }
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Ibcast", std::nullopt);
+  if (n > 1 && count > 0) {
+    const std::size_t bytes = static_cast<std::size_t>(count) * type->size_bytes();
+    std::byte* base = mbyte(buf, offset, type);
+    if (hierarchy_enabled()) {
+      world_->counters().add(prof::Ctr::HierarchicalColls);
+      const NodeTopology topo = node_topology(root);
+      if (!topo.is_leader) {
+        st->add_recv(st->add_round(), topo.my_leader, tags.intra, base, bytes);
+      } else {
+        bcast_rounds(*st, topo.leaders, topo.root_node, topo.my_node, tags.inter, base, bytes);
+        if (topo.my_members.size() > 1) {
+          CollState::Round& fan = st->add_round();
+          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+            st->add_send(fan, topo.my_members[m], tags.intra, base, bytes);
+          }
+        }
+      }
+    } else {
+      bcast_rounds(*st, all_ranks(n), root, Rank(), tags.main, base, bytes);
+    }
+  }
+  return launch_nb(std::move(st));
+}
+
+Request Intracomm::Ireduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                           int count, const DatatypePtr& type, const Op& op, int root) const {
+  validate(sendbuf, count, type, "Ireduce");
+  require_nb_contiguous(type, "Ireduce");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  const int rank = Rank();
+  if (root < 0 || root >= n) {
+    throw ArgumentError("Ireduce: root " + std::to_string(root) + " out of range");
+  }
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Ireduce", op);
+  if (count > 0) {
+    const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+    const std::size_t bytes = elements * type->base_size();
+    const buf::TypeCode code = type->base();
+    const std::byte* own = cbyte(sendbuf, sendoffset, type);
+    if (n == 1) {
+      std::memcpy(mbyte(recvbuf, recvoffset, type), own, bytes);
+    } else if (op.is_commutative() && hierarchy_enabled()) {
+      world_->counters().add(prof::Ctr::HierarchicalColls);
+      const NodeTopology topo = node_topology(root);
+      if (!topo.is_leader) {
+        st->add_send(st->add_round(), topo.my_leader, tags.intra, own, bytes);
+      } else {
+        std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
+        std::memcpy(acc, own, bytes);
+        if (topo.my_members.size() > 1) {
+          CollState::Round& gather = st->add_round();
+          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+            std::byte* incoming = st->scratch(bytes);
+            st->add_recv(gather, topo.my_members[m], tags.intra, incoming, bytes);
+            st->add_reduce(gather, incoming, acc, elements, code);
+          }
+        }
+        reduce_rounds(*st, topo.leaders, topo.root_node, topo.my_node, tags.inter, acc, bytes,
+                      elements, code);
+      }
+    } else if (op.is_commutative()) {
+      std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
+      std::memcpy(acc, own, bytes);
+      reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, bytes, elements, code);
+    } else {
+      std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : nullptr;
+      linear_reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, own, bytes, elements,
+                           code);
+    }
+  }
+  return launch_nb(std::move(st));
+}
+
+Request Intracomm::Iallreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
+                              int count, const DatatypePtr& type, const Op& op) const {
+  validate(sendbuf, count, type, "Iallreduce");
+  require_nb_contiguous(type, "Iallreduce");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  const int rank = Rank();
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Iallreduce", op);
+  if (count > 0) {
+    const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
+    const std::size_t bytes = elements * type->base_size();
+    const buf::TypeCode code = type->base();
+    std::byte* acc = mbyte(recvbuf, recvoffset, type);
+    std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
+    if (n > 1) {
+      if (op.is_commutative() && hierarchy_enabled()) {
+        world_->counters().add(prof::Ctr::HierarchicalColls);
+        const NodeTopology topo = node_topology(-1);
+        if (!topo.is_leader) {
+          // Contribute up, then receive the full result back.
+          st->add_send(st->add_round(), topo.my_leader, tags.intra, acc, bytes);
+          st->add_recv(st->add_round(), topo.my_leader, tags.fan, acc, bytes);
+        } else {
+          if (topo.my_members.size() > 1) {
+            CollState::Round& gather = st->add_round();
+            for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+              std::byte* incoming = st->scratch(bytes);
+              st->add_recv(gather, topo.my_members[m], tags.intra, incoming, bytes);
+              st->add_reduce(gather, incoming, acc, elements, code);
+            }
+          }
+          const int nodes = topo.node_count;
+          if (nodes > 1 && (nodes & (nodes - 1)) == 0) {
+            allreduce_rd_rounds(*st, topo.leaders, topo.my_node, tags.inter, acc, bytes, elements,
+                                code);
+          } else if (nodes > 1) {
+            reduce_rounds(*st, topo.leaders, 0, topo.my_node, tags.inter, acc, bytes, elements,
+                          code);
+            bcast_rounds(*st, topo.leaders, 0, topo.my_node, tags.extra, acc, bytes);
+          }
+          if (topo.my_members.size() > 1) {
+            CollState::Round& fan = st->add_round();
+            for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
+              st->add_send(fan, topo.my_members[m], tags.fan, acc, bytes);
+            }
+          }
+        }
+      } else if (op.is_commutative() && (n & (n - 1)) == 0) {
+        allreduce_rd_rounds(*st, all_ranks(n), rank, tags.main, acc, bytes, elements, code);
+      } else if (op.is_commutative()) {
+        reduce_rounds(*st, all_ranks(n), 0, rank, tags.main, acc, bytes, elements, code);
+        bcast_rounds(*st, all_ranks(n), 0, rank, tags.fan, acc, bytes);
+      } else {
+        // Non-commutative: linear fold at rank 0 (canonical order), then
+        // broadcast. Rank 0 folds into its recvbuf; the others contribute a
+        // stable copy (acc doubles as the bcast landing area).
+        std::byte* own = st->scratch(bytes);
+        std::memcpy(own, acc, bytes);
+        linear_reduce_rounds(*st, all_ranks(n), 0, rank, tags.main, acc, own, bytes, elements,
+                             code);
+        bcast_rounds(*st, all_ranks(n), 0, rank, tags.fan, acc, bytes);
+      }
+    }
+  }
+  return launch_nb(std::move(st));
+}
+
+Request Intracomm::Igather(const void* sendbuf, int sendoffset, int sendcount,
+                           const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                           int recvcount, const DatatypePtr& recvtype, int root) const {
+  validate(sendbuf, sendcount, sendtype, "Igather");
+  require_nb_contiguous(sendtype, "Igather");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  const int rank = Rank();
+  if (root < 0 || root >= n) {
+    throw ArgumentError("Igather: root " + std::to_string(root) + " out of range");
+  }
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Igather", std::nullopt);
+  if (rank == root) {
+    validate(recvbuf, recvcount, recvtype, "Igather");
+    require_nb_contiguous(recvtype, "Igather");
+    CollState::Round* round = nullptr;
+    for (int src = 0; src < n; ++src) {
+      const int slot = slot_offset(recvoffset, src, recvcount, recvtype);
+      if (src == rank) {
+        if (sendcount > 0) {
+          std::memcpy(mbyte(recvbuf, slot, recvtype), cbyte(sendbuf, sendoffset, sendtype),
+                      static_cast<std::size_t>(sendcount) * sendtype->size_bytes());
+        }
+        continue;
+      }
+      if (recvcount == 0) continue;
+      if (round == nullptr) round = &st->add_round();
+      st->add_recv(*round, src, tags.main, mbyte(recvbuf, slot, recvtype),
+                   static_cast<std::size_t>(recvcount) * recvtype->size_bytes());
+    }
+  } else if (sendcount > 0) {
+    st->add_send(st->add_round(), root, tags.main, cbyte(sendbuf, sendoffset, sendtype),
+                 static_cast<std::size_t>(sendcount) * sendtype->size_bytes());
+  }
+  return launch_nb(std::move(st));
+}
+
+Request Intracomm::Iallgather(const void* sendbuf, int sendoffset, int sendcount,
+                              const DatatypePtr& sendtype, void* recvbuf, int recvoffset,
+                              int recvcount, const DatatypePtr& recvtype) const {
+  validate(sendbuf, sendcount, sendtype, "Iallgather");
+  validate(recvbuf, recvcount, recvtype, "Iallgather");
+  require_nb_contiguous(sendtype, "Iallgather");
+  require_nb_contiguous(recvtype, "Iallgather");
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  const int n = Size();
+  const int rank = Rank();
+  const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
+  auto st = std::make_shared<CollState>(this, "Iallgather", std::nullopt);
+  // Own contribution lands at call time (same as the blocking ring).
+  if (sendcount > 0) {
+    std::memcpy(mbyte(recvbuf, slot_offset(recvoffset, rank, recvcount, recvtype), recvtype),
+                cbyte(sendbuf, sendoffset, sendtype),
+                static_cast<std::size_t>(sendcount) * sendtype->size_bytes());
+  }
+  if (n > 1 && recvcount > 0) {
+    const std::size_t slot_bytes = static_cast<std::size_t>(recvcount) * recvtype->size_bytes();
+    const int right = (rank + 1) % n;
+    const int left = (rank - 1 + n) % n;
+    for (int step = 1; step < n; ++step) {
+      const int send_idx = (rank - step + 1 + n) % n;
+      const int recv_idx = (rank - step + n) % n;
+      CollState::Round& round = st->add_round();
+      st->add_send(round, right, tags.main,
+                   mbyte(recvbuf, slot_offset(recvoffset, send_idx, recvcount, recvtype),
+                         recvtype),
+                   slot_bytes);
+      st->add_recv(round, left, tags.main,
+                   mbyte(recvbuf, slot_offset(recvoffset, recv_idx, recvcount, recvtype),
+                         recvtype),
+                   slot_bytes);
+    }
+  }
+  return launch_nb(std::move(st));
+}
+
+}  // namespace mpcx

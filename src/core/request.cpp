@@ -2,7 +2,10 @@
 
 #include <array>
 #include <mutex>
+#include <string>
+#include <thread>
 
+#include "core/coll_sched.hpp"
 #include "core/comm.hpp"
 #include "core/world.hpp"
 #include "support/error.hpp"
@@ -25,6 +28,11 @@ struct Request::State {
   bool borrowed = false;
   bool direct_recv = false;
   std::array<std::byte, buf::Buffer::kSectionHeaderBytes> direct_hdr{};
+
+  // Nonblocking collective: the request fronts a whole schedule (dev above
+  // stays null); Wait/Test progress it. The World registry co-owns the
+  // state until it drains.
+  std::shared_ptr<CollState> coll;
 
   std::mutex mu;
   bool finalized = false;
@@ -88,10 +96,23 @@ Request Request::make_direct_recv(const Comm* comm, int world_src, int tag, int 
   return Request(std::move(state));
 }
 
+Request Request::make_coll(const Comm* comm, std::shared_ptr<CollState> coll) {
+  auto state = std::make_shared<State>();
+  state->comm = comm;
+  state->coll = std::move(coll);
+  return Request(std::move(state));
+}
+
 bool Request::is_complete() const {
   if (!state_) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->finalized) return true;
+  }
+  // MPI progress rule: observing completion may advance the operation, so
+  // a collective schedule is progressed here too.
+  if (state_->coll) return state_->coll->progress();
   std::lock_guard<std::mutex> lock(state_->mu);
-  if (state_->finalized) return true;
   return state_->dev.is_complete();
 }
 
@@ -101,6 +122,9 @@ bool Request::Cancel() {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->finalized) return false;
   }
+  // Collective schedules cannot be cancelled (MPI: collectives have no
+  // cancel semantics).
+  if (state_->coll) return false;
   return state_->comm->engine().device().cancel(state_->dev.dev());
 }
 
@@ -143,8 +167,44 @@ Status Request::finalize(const mpdev::Status& dev_status) {
   return s.cached;
 }
 
+Status Request::finalize_coll() {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.finalized) return s.cached;
+  s.finalized = true;
+  s.cached = s.coll->final_status();
+  s.comm->world().counters().add(prof::Ctr::NbCollsCompleted);
+  const ErrCode code = s.cached.Get_error();
+  if (code != ErrCode::Success) {
+    s.comm->handle_error(code, std::string("nonblocking collective ") + s.coll->name() +
+                                   " failed: " + err_code_name(code));
+  }
+  return s.cached;
+}
+
 Status Request::Wait() {
   if (!state_) throw CommError("Wait on a null request");
+  World& world = state_->comm->world();
+  // Help every in-flight collective along before blocking on this one op.
+  world.progress_nb_collectives();
+  if (state_->coll) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->finalized) return state_->cached;
+    }
+    while (!state_->coll->progress()) {
+      // Block on one of the schedule's posted ops rather than spinning; a
+      // round between posts (rare: progress() posts eagerly) just yields.
+      mpdev::Request pending = state_->coll->pending_op();
+      if (pending.valid()) {
+        pending.wait();
+      } else {
+        std::this_thread::yield();
+      }
+      world.progress_nb_collectives();
+    }
+    return finalize_coll();
+  }
   return finalize(state_->dev.wait());
 }
 
@@ -153,6 +213,11 @@ std::optional<Status> Request::Test() {
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->finalized) return state_->cached;
+  }
+  state_->comm->world().progress_nb_collectives();
+  if (state_->coll) {
+    if (!state_->coll->progress()) return std::nullopt;
+    return finalize_coll();
   }
   auto dev_status = state_->dev.test();
   if (!dev_status) return std::nullopt;
@@ -175,37 +240,68 @@ std::vector<Status> Request::Waitall(std::span<Request> requests) {
 }
 
 Status Request::Waitany(std::span<Request> requests) {
-  // Collect the device-level requests of all active (non-finalized) entries.
-  std::vector<mpdev::Request> dev;
-  std::vector<std::size_t> owner;
-  mpdev::Engine* engine = nullptr;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    Request& request = requests[i];
-    if (request.is_null()) continue;
-    {
-      std::lock_guard<std::mutex> lock(request.state_->mu);
-      if (request.state_->finalized) continue;
+  for (;;) {
+    // Collect the device-level requests of all active (non-finalized)
+    // entries. A collective-schedule request contributes its current
+    // round's posted ops; progressing it here may complete it outright.
+    std::vector<mpdev::Request> dev;
+    std::vector<std::size_t> owner;
+    mpdev::Engine* engine = nullptr;
+    bool any_active = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      Request& request = requests[i];
+      if (request.is_null()) continue;
+      {
+        std::lock_guard<std::mutex> lock(request.state_->mu);
+        if (request.state_->finalized) continue;
+      }
+      any_active = true;
+      engine = &request.state_->comm->engine();
+      if (request.state_->coll) {
+        if (request.state_->coll->progress()) {
+          Status status = request.finalize_coll();
+          status.index = static_cast<int>(i);
+          return status;
+        }
+        for (mpdev::Request& op : request.state_->coll->pending_ops()) {
+          dev.push_back(op);
+          owner.push_back(i);
+        }
+      } else {
+        dev.push_back(request.state_->dev);
+        owner.push_back(i);
+      }
     }
-    dev.push_back(request.state_->dev);
-    owner.push_back(i);
-    engine = &request.state_->comm->engine();
-  }
-  if (engine == nullptr) {
-    Status status;
-    status.index = UNDEFINED;
+    if (!any_active) {
+      Status status;
+      status.index = UNDEFINED;
+      return status;
+    }
+    if (dev.empty()) {
+      // Only collectives whose round is mid-transition; re-progress.
+      std::this_thread::yield();
+      continue;
+    }
+    int dev_index = -1;
+    engine->waitany(std::span<mpdev::Request>(dev), dev_index);
+    if (dev_index < 0) continue;  // raced to completion; re-collect
+    const std::size_t winner_index = owner[static_cast<std::size_t>(dev_index)];
+    Request& winner = requests[winner_index];
+    if (winner.state_->coll) {
+      // One wire op of the schedule finished: consume it (progress marks it
+      // done, so the next collection pass never re-blocks on it) and
+      // re-evaluate — the schedule may have more rounds to run.
+      if (winner.state_->coll->progress()) {
+        Status status = winner.finalize_coll();
+        status.index = static_cast<int>(winner_index);
+        return status;
+      }
+      continue;
+    }
+    Status status = winner.Wait();  // already complete; finalizes
+    status.index = static_cast<int>(winner_index);
     return status;
   }
-  int dev_index = -1;
-  engine->waitany(std::span<mpdev::Request>(dev), dev_index);
-  if (dev_index < 0) {
-    Status status;
-    status.index = UNDEFINED;
-    return status;
-  }
-  Request& winner = requests[owner[static_cast<std::size_t>(dev_index)]];
-  Status status = winner.Wait();  // already complete; finalizes
-  status.index = static_cast<int>(owner[static_cast<std::size_t>(dev_index)]);
-  return status;
 }
 
 std::vector<Status> Request::Waitsome(std::span<Request> requests) {
@@ -236,26 +332,54 @@ std::optional<std::vector<Status>> Request::Testall(std::span<Request> requests)
 }
 
 std::optional<Status> Request::Testany(std::span<Request> requests) {
+  bool any_active = false;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].is_null()) continue;
     {
       std::lock_guard<std::mutex> lock(requests[i].state_->mu);
       if (requests[i].state_->finalized) continue;
     }
+    any_active = true;
     if (auto status = requests[i].Test()) {
       status->index = static_cast<int>(i);
       return status;
     }
+  }
+  if (!any_active) {
+    // MPI Testany: with no active requests the call completes immediately
+    // (flag = true) with index = UNDEFINED and an empty status — mirroring
+    // Waitany's empty path, not "nothing done yet".
+    Status status;
+    status.index = UNDEFINED;
+    return status;
   }
   return std::nullopt;
 }
 
 // ---- Prequest -----------------------------------------------------------------------
 
-void Prequest::Start() {
-  if (!active_.is_null() && !active_.is_complete()) {
+void Prequest::ensure_restartable() {
+  if (active_.is_null()) return;
+  // Read `finalized` under the state lock: a concurrent Wait may be
+  // finalizing right now, and an unlocked is_complete() check could observe
+  // the pre-finalize device state and wrongly reject (or accept) the
+  // re-arm mid-transition.
+  bool device_done;
+  {
+    std::lock_guard<std::mutex> lock(active_.state_->mu);
+    if (active_.state_->finalized) return;
+    device_done = active_.state_->dev.is_complete();
+  }
+  if (!device_done) {
     throw CommError("Prequest::Start: previous activation still in flight");
   }
+  // Completed but never finalized (the caller only polled is_complete()):
+  // finalize now so the old activation's buffers recycle — and a receive's
+  // data lands — before the slot is reused.
+  active_.Wait();
+}
+
+void Prequest::launch() {
   const Recipe& r = *recipe_;
   if (r.is_send) {
     active_ = r.comm->Isend(r.send_buf, r.offset, r.count, r.type, r.peer, r.tag);
@@ -264,8 +388,42 @@ void Prequest::Start() {
   }
 }
 
+void Prequest::Start() {
+  ensure_restartable();
+  launch();
+}
+
 void Prequest::Startall(std::span<Prequest> requests) {
-  for (Prequest& request : requests) request.Start();
+  // Validate every entry up front so a re-arm violation throws before ANY
+  // operation launches (the old per-entry Start loop could throw with half
+  // the batch already on the wire).
+  for (Prequest& request : requests) {
+    if (request.recipe_ == nullptr) {
+      throw CommError("Startall: prequest not initialized (use Send_init/Recv_init)");
+    }
+    request.ensure_restartable();
+  }
+  std::size_t started = 0;
+  try {
+    for (; started < requests.size(); ++started) requests[started].launch();
+  } catch (...) {
+    // Best-effort rollback: un-post receives via Cancel and finalize what
+    // completed. A send already on the wire cannot be retracted — its
+    // handle stays on the prequest so the caller can still Wait it.
+    for (std::size_t i = 0; i < started; ++i) {
+      Request& active = requests[i].active_;
+      if (active.is_null()) continue;
+      active.Cancel();
+      if (active.is_complete()) {
+        try {
+          active.Wait();
+        } catch (const Error&) {
+          // Rollback is best-effort; the original launch error propagates.
+        }
+      }
+    }
+    throw;
+  }
 }
 
 Status Prequest::Wait() {

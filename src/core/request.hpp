@@ -23,6 +23,7 @@
 
 namespace mpcx {
 
+class CollState;
 class Comm;
 
 class Request {
@@ -70,6 +71,7 @@ class Request {
  private:
   friend class Comm;
   friend class Prequest;
+  friend class Intracomm;  // builds collective-schedule requests (make_coll)
 
   struct State;
 
@@ -99,7 +101,13 @@ class Request {
   /// tracks completion (used by Isend_buffer / Irecv_buffer).
   static Request make_bare(const Comm* comm, mpdev::Request dev);
 
+  /// Nonblocking collective: the request fronts a CollState schedule rather
+  /// than a single device operation; Wait/Test (and the Waitany family)
+  /// progress the schedule.
+  static Request make_coll(const Comm* comm, std::shared_ptr<CollState> coll);
+
   Status finalize(const mpdev::Status& dev_status);
+  Status finalize_coll();
 
   std::shared_ptr<State> state_;
 };
@@ -138,6 +146,15 @@ class Prequest {
   };
 
   explicit Prequest(std::shared_ptr<Recipe> recipe) : recipe_(std::move(recipe)) {}
+
+  /// Throw unless the previous activation (if any) can be replaced: checks
+  /// `finalized` under the state lock (a concurrent Wait may be finalizing),
+  /// and lazily finalizes a device-complete activation so its resources
+  /// recycle before the slot is reused.
+  void ensure_restartable();
+
+  /// Re-arm without the precondition check (Start = ensure + launch).
+  void launch();
 
   std::shared_ptr<Recipe> recipe_;
   Request active_;

@@ -59,4 +59,15 @@ enum class CollTag : int {
 
 inline constexpr int kMaxUserTag = 0x3FFFFFFF;
 
+/// Nonblocking-collective tag space (collective context). Each launched
+/// schedule draws a per-communicator sequence number and derives one tag per
+/// phase from it, so concurrent schedules on one communicator — and the
+/// intra-node / inter-node / fan-out rounds within one schedule — can never
+/// cross-match. The base sits far below every CollTag value and ANY_TAG; the
+/// window wraps after 2^20 in-flight-distinguishable schedules, which at
+/// kNbCollPhases tags each still stays comfortably above INT_MIN.
+inline constexpr int kNbCollTagBase = -1000;
+inline constexpr int kNbCollPhases = 8;
+inline constexpr int kNbCollSeqWindow = 1 << 20;
+
 }  // namespace mpcx

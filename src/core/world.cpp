@@ -2,11 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
+#include "core/coll_sched.hpp"
 #include "core/intracomm.hpp"
 #include "prof/trace.hpp"
 #include "runtime/protocol.hpp"
@@ -38,6 +41,9 @@ World::World(const std::string& device_name, const xdev::DeviceConfig& config)
   for (int r = 0; r < engine_.size(); ++r) world_ranks[static_cast<std::size_t>(r)] = r;
   comm_world_ = std::make_unique<Intracomm>(this, Group(std::move(world_ranks)),
                                             /*ptp_context=*/0, /*coll_context=*/1);
+  // Threads blocked in the engine's Waitany drive every in-flight
+  // nonblocking collective schedule (progression-from-any-thread).
+  engine_.set_progress_fn([this] { progress_nb_collectives(); });
 }
 
 std::unique_ptr<World> World::from_env() {
@@ -103,6 +109,25 @@ World::~World() {
 
 void World::Finalize() {
   if (finalized_) return;
+  // Drain in-flight nonblocking collective schedules. Like a blocking
+  // collective this needs the peers' cooperation; schedules that already
+  // completed (possibly with an error) but hold an unmatched send are left
+  // for the post-finish() cleanup below.
+  for (;;) {
+    progress_nb_collectives();
+    bool any_incomplete = false;
+    {
+      std::lock_guard<std::mutex> lock(nbcoll_mu_);
+      for (const auto& state : nbcoll_inflight_) {
+        if (!state->complete()) {
+          any_incomplete = true;
+          break;
+        }
+      }
+    }
+    if (!any_incomplete) break;
+    std::this_thread::yield();
+  }
   // Drain buffered sends, then synchronize before tearing the device down.
   {
     std::lock_guard<std::mutex> lock(bsend_mu_);
@@ -119,6 +144,13 @@ void World::Finalize() {
   comm_world_->Barrier();
   engine_.finish();
   finalized_ = true;
+  // The device is down (threads joined), so no operation still references
+  // schedule scratch — safe to release even never-drained failed schedules.
+  {
+    std::lock_guard<std::mutex> lock(nbcoll_mu_);
+    nbcoll_inflight_.clear();
+    nbcoll_count_.store(0, std::memory_order_relaxed);
+  }
 
   if (prof::stats_enabled()) {
     const std::string label = "rank " + std::to_string(engine_.rank());
@@ -220,6 +252,38 @@ void World::reap_bsends_locked() {
     } else {
       ++it;
     }
+  }
+}
+
+void World::register_nb_coll(std::shared_ptr<CollState> state) {
+  std::lock_guard<std::mutex> lock(nbcoll_mu_);
+  nbcoll_inflight_.push_back(std::move(state));
+  nbcoll_count_.store(nbcoll_inflight_.size(), std::memory_order_relaxed);
+}
+
+void World::progress_nb_collectives() {
+  // Single relaxed load on the (common) nothing-in-flight path.
+  if (nbcoll_count_.load(std::memory_order_relaxed) == 0) return;
+  // A schedule's progression calls back into comm helpers that may reach
+  // this sweep again (e.g. through buffer reclamation); one level is enough.
+  thread_local bool sweeping = false;
+  if (sweeping) return;
+  sweeping = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{sweeping};
+  std::vector<std::shared_ptr<CollState>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(nbcoll_mu_);
+    snapshot = nbcoll_inflight_;
+  }
+  for (const auto& state : snapshot) state->try_progress();
+  {
+    std::lock_guard<std::mutex> lock(nbcoll_mu_);
+    std::erase_if(nbcoll_inflight_,
+                  [](const std::shared_ptr<CollState>& s) { return s->drained(); });
+    nbcoll_count_.store(nbcoll_inflight_.size(), std::memory_order_relaxed);
   }
 }
 

@@ -28,6 +28,7 @@
 
 namespace mpcx {
 
+class CollState;
 class Intracomm;
 
 class World {
@@ -111,6 +112,22 @@ class World {
   void bsend_reserve(std::size_t bytes, mpdev::Request request,
                      std::unique_ptr<buf::Buffer> storage);
 
+  // ---- nonblocking-collective registry ----------------------------------------
+  //
+  // Every launched collective schedule is registered here until drained, so
+  // (a) any thread touching any request can advance every in-flight
+  // collective (progress_nb_collectives is called from the Request
+  // Wait/Test family and from the mpdev Waitany path), and (b) schedule
+  // scratch outlives posted device operations even if the user drops the
+  // Request early.
+
+  void register_nb_coll(std::shared_ptr<CollState> state);
+
+  /// Try-progress every registered schedule (non-blocking: schedules whose
+  /// lock is held are skipped) and drop the drained ones. Reentrancy-safe
+  /// and a single relaxed load when nothing is in flight.
+  void progress_nb_collectives();
+
  private:
   void reap_bsends_locked();
 
@@ -130,6 +147,10 @@ class World {
   std::size_t bsend_capacity_ = 0;
   std::size_t bsend_used_ = 0;
   std::vector<BsendEntry> bsend_inflight_;
+
+  std::mutex nbcoll_mu_;
+  std::atomic<std::size_t> nbcoll_count_{0};
+  std::vector<std::shared_ptr<CollState>> nbcoll_inflight_;
 };
 
 }  // namespace mpcx

@@ -184,6 +184,10 @@ struct Engine::WaitAnyObj final : xdev::CompletionHook {
 Status Engine::waitany(std::span<Request> requests, int& index) {
   index = -1;
 
+  // Progress hook: advance in-flight nonblocking collective schedules
+  // before (possibly) blocking, so Waitany threads provide progression.
+  if (progress_fn_) progress_fn_();
+
   // Fast path (paper: "We call Test() for each element"): some request may
   // already be complete, or all may be invalid.
   bool any_valid = false;

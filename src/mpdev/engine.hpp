@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -137,6 +138,13 @@ class Engine {
   /// invalid, index = -1 and an empty status is returned).
   Status waitany(std::span<Request> requests, int& index);
 
+  /// Install a progression callback invoked from the waitany path (before a
+  /// thread blocks). The core layer uses it to advance in-flight nonblocking
+  /// collective schedules, so a thread stuck in Waitany on unrelated
+  /// requests still drives every collective forward. The callback must not
+  /// call back into waitany.
+  void set_progress_fn(std::function<void()> fn) { progress_fn_ = std::move(fn); }
+
   /// Shut down the device. Idempotent.
   void finish();
 
@@ -154,6 +162,7 @@ class Engine {
   int node_count_ = 1;
   int rank_ = -1;
   bool finished_ = false;
+  std::function<void()> progress_fn_;
 
   // The WaitanyQue of Sec. IV-E.1.
   std::mutex waitany_mu_;

@@ -70,6 +70,9 @@ enum class Ctr : std::size_t {
   HybIntraMsgs,        ///< hybdev sends/receives routed over the intra-node child
   HybInterMsgs,        ///< hybdev sends/receives routed over the inter-node child
   HierarchicalColls,   ///< collectives that took the two-level node-aware path
+  NbCollsStarted,      ///< nonblocking collectives launched (Ibcast, Iallreduce, ...)
+  NbCollsCompleted,    ///< nonblocking collectives finalized through their Request
+  SchedRounds,         ///< collective-schedule rounds completed by the progress engine
   Count
 };
 

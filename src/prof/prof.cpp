@@ -78,6 +78,9 @@ const char* ctr_name(Ctr counter) {
     case Ctr::HybIntraMsgs: return "hybdev_intra_msgs";
     case Ctr::HybInterMsgs: return "hybdev_inter_msgs";
     case Ctr::HierarchicalColls: return "hierarchical_colls";
+    case Ctr::NbCollsStarted: return "nb_colls_started";
+    case Ctr::NbCollsCompleted: return "nb_colls_completed";
+    case Ctr::SchedRounds: return "sched_rounds";
     case Ctr::Count: break;
   }
   return "?";

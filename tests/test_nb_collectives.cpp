@@ -1,0 +1,503 @@
+// Nonblocking collectives (the CollState schedule engine) plus regression
+// tests for the PR's satellite fixes:
+//   * Testany over only null/finalized requests -> immediate UNDEFINED
+//   * zero-count Alltoall/Alltoallv/Scan skip the wire but keep local copies
+//   * Reduce_scatter rejects negative recvcounts before sizing buffers
+//   * Prequest::Start re-activation race; Startall validates before launching
+//
+// The device matrix mirrors test_collectives (hybdev simulates a 2-node
+// topology so the hierarchical two-level schedules engage). The threading
+// tests double as the TSan leg: worker threads drive independent schedules
+// on duplicated communicators while another thread blocks in Waitany over a
+// mix of plain p2p requests and a collective request.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+#include "env_util.hpp"
+#include "support/error.hpp"
+#include "support/faults.hpp"
+
+namespace mpcx {
+namespace {
+
+using mpcx::testing::ScopedEnv;
+
+class NbColl : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ protected:
+  void SetUp() override {
+    if (std::string(std::get<0>(GetParam())) == "hybdev" &&
+        std::getenv("MPCX_NODE_ID") == nullptr) {
+      node_sim_ = std::make_unique<ScopedEnv>("MPCX_NODE_ID", "2");
+    }
+  }
+  void TearDown() override { node_sim_.reset(); }
+
+  cluster::Options opts() {
+    cluster::Options options;
+    options.device = std::get<0>(GetParam());
+    return options;
+  }
+  int nprocs() const { return std::get<1>(GetParam()); }
+
+ private:
+  std::unique_ptr<ScopedEnv> node_sim_;
+};
+
+TEST_P(NbColl, IbarrierCompletes) {
+  std::atomic<int> arrivals{0};
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      ++arrivals;
+      Request barrier = comm.Ibarrier();
+      barrier.Wait();
+      EXPECT_GE(arrivals.load(), epoch * comm.Size());
+      comm.Barrier();
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, IbcastFromEveryRoot) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    for (int root = 0; root < comm.Size(); ++root) {
+      std::vector<std::int32_t> data(17, comm.Rank() == root ? root * 7 + 1 : -1);
+      Request request = comm.Ibcast(data.data(), 0, 17, types::INT(), root);
+      request.Wait();
+      for (const std::int32_t v : data) EXPECT_EQ(v, root * 7 + 1);
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, IreduceSumToNonZeroRoot) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int root = n - 1;
+    std::vector<std::int32_t> mine(9);
+    for (int i = 0; i < 9; ++i) mine[static_cast<std::size_t>(i)] = (comm.Rank() + 1) * (i + 1);
+    std::vector<std::int32_t> result(9, -1);
+    Request request =
+        comm.Ireduce(mine.data(), 0, result.data(), 0, 9, types::INT(), ops::SUM(), root);
+    Status status = request.Wait();
+    EXPECT_EQ(status.Get_error(), ErrCode::Success);
+    if (comm.Rank() == root) {
+      for (int i = 0; i < 9; ++i) {
+        EXPECT_EQ(result[static_cast<std::size_t>(i)], n * (n + 1) / 2 * (i + 1));
+      }
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, IreduceNonCommutativeMatchesBlocking) {
+  // Non-commutative fold must use the canonical rank order; compare the
+  // schedule-engine result against the blocking linear fold.
+  const Op op = Op::make_user<std::int32_t>(
+      [](std::int32_t acc, std::int32_t next) { return 2 * acc + next; }, false);
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<std::int32_t> mine(4);
+    for (int i = 0; i < 4; ++i) mine[static_cast<std::size_t>(i)] = comm.Rank() + i + 1;
+    std::vector<std::int32_t> expected(4, -1);
+    comm.Reduce(mine.data(), 0, expected.data(), 0, 4, types::INT(), op, 0);
+    std::vector<std::int32_t> result(4, -2);
+    comm.Ireduce(mine.data(), 0, result.data(), 0, 4, types::INT(), op, 0).Wait();
+    if (comm.Rank() == 0) {
+      EXPECT_EQ(result, expected);
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, IallreduceMatchesBlocking) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<double> mine(13);
+    for (int i = 0; i < 13; ++i) {
+      mine[static_cast<std::size_t>(i)] = (comm.Rank() + 1) * 0.5 + i;
+    }
+    std::vector<double> expected(13, -1.0);
+    comm.Allreduce(mine.data(), 0, expected.data(), 0, 13, types::DOUBLE(), ops::SUM());
+    std::vector<double> result(13, -2.0);
+    comm.Iallreduce(mine.data(), 0, result.data(), 0, 13, types::DOUBLE(), ops::SUM()).Wait();
+    EXPECT_EQ(result, expected);
+  }, opts());
+}
+
+TEST_P(NbColl, IgatherToEveryRoot) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> mine = {comm.Rank() * 2, comm.Rank() * 2 + 1};
+      std::vector<std::int32_t> all(static_cast<std::size_t>(2 * n), -1);
+      Request request = comm.Igather(mine.data(), 0, 2, types::INT(), all.data(), 0, 2,
+                                     types::INT(), root);
+      request.Wait();
+      if (comm.Rank() == root) {
+        for (int i = 0; i < 2 * n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+      }
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, IallgatherMatchesBlocking) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    std::vector<std::int32_t> mine = {comm.Rank() * 3, comm.Rank() * 3 + 1, comm.Rank() * 3 + 2};
+    std::vector<std::int32_t> all(static_cast<std::size_t>(3 * n), -1);
+    comm.Iallgather(mine.data(), 0, 3, types::INT(), all.data(), 0, 3, types::INT()).Wait();
+    for (int i = 0; i < 3 * n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  }, opts());
+}
+
+TEST_P(NbColl, ZeroCountAndSingleRankCompleteImmediately) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::int32_t in = comm.Rank() + 1;
+    std::int32_t out = -1;
+    Request bcast = comm.Ibcast(&in, 0, 0, types::INT(), 0);
+    Request reduce = comm.Iallreduce(&in, 0, &out, 0, 0, types::INT(), ops::SUM());
+    // Zero wire work: both must already test complete.
+    EXPECT_TRUE(bcast.Test().has_value());
+    EXPECT_TRUE(reduce.Test().has_value());
+    comm.Barrier();
+  }, opts());
+}
+
+TEST_P(NbColl, ManyOverlappingSchedulesStayIsolated) {
+  // Several schedules in flight on one communicator at once; per-sequence
+  // tags must keep their wire traffic apart even when completion order is
+  // scrambled by waiting in reverse.
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    constexpr int kInFlight = 6;
+    std::vector<std::vector<std::int32_t>> ins(kInFlight), outs(kInFlight);
+    std::vector<Request> requests;
+    for (int k = 0; k < kInFlight; ++k) {
+      ins[static_cast<std::size_t>(k)].assign(5, (comm.Rank() + 1) * (k + 1));
+      outs[static_cast<std::size_t>(k)].assign(5, -1);
+      requests.push_back(comm.Iallreduce(ins[static_cast<std::size_t>(k)].data(), 0,
+                                         outs[static_cast<std::size_t>(k)].data(), 0, 5,
+                                         types::INT(), ops::SUM()));
+    }
+    for (int k = kInFlight - 1; k >= 0; --k) {
+      requests[static_cast<std::size_t>(k)].Wait();
+      for (const std::int32_t v : outs[static_cast<std::size_t>(k)]) {
+        EXPECT_EQ(v, (k + 1) * n * (n + 1) / 2);
+      }
+    }
+  }, opts());
+}
+
+TEST_P(NbColl, WaitanyOverMixedP2pAndCollective) {
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int left = (comm.Rank() - 1 + n) % n;
+    const int right = (comm.Rank() + 1) % n;
+    std::int32_t token = -1;
+    std::vector<double> in(8, comm.Rank() + 1.0);
+    std::vector<double> out(8, -1.0);
+    std::vector<Request> requests;
+    requests.push_back(comm.Irecv(&token, 0, 1, types::INT(), left, 7));
+    requests.push_back(comm.Iallreduce(in.data(), 0, out.data(), 0, 8, types::DOUBLE(),
+                                       ops::SUM()));
+    requests.emplace_back();  // null entry must be skipped
+    std::int32_t self = comm.Rank();
+    comm.Send(&self, 0, 1, types::INT(), right, 7);
+    for (int completed = 0; completed < 2; ++completed) {
+      Status status = Request::Waitany(requests);
+      ASSERT_NE(status.index, UNDEFINED);
+      EXPECT_EQ(status.Get_error(), ErrCode::Success);
+    }
+    // Everything done: one more Waitany sees only finalized/null entries.
+    EXPECT_EQ(Request::Waitany(requests).index, UNDEFINED);
+    EXPECT_EQ(token, left);
+    for (const double v : out) EXPECT_EQ(v, n * (n + 1) / 2.0);
+  }, opts());
+}
+
+TEST_P(NbColl, ThreadsDriveIndependentSchedules) {
+  // TSan leg: two worker threads per rank run their own Iallreduce streams
+  // on duplicated communicators while the rank's main thread blocks in
+  // Waitany on a mixed set. Any thread touching any request must advance
+  // every in-flight schedule (progression-from-any-thread).
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    auto dup_a = comm.Dup();
+    auto dup_b = comm.Dup();
+    auto worker = [n](Intracomm& wcomm, int salt) {
+      for (int iter = 0; iter < 3; ++iter) {
+        std::vector<std::int32_t> in(4, (wcomm.Rank() + 1) * (iter + salt));
+        std::vector<std::int32_t> out(4, -1);
+        Request request =
+            wcomm.Iallreduce(in.data(), 0, out.data(), 0, 4, types::INT(), ops::SUM());
+        request.Wait();
+        for (const std::int32_t v : out) EXPECT_EQ(v, (iter + salt) * n * (n + 1) / 2);
+      }
+    };
+    std::thread thread_a([&] { worker(*dup_a, 1); });
+    std::thread thread_b([&] { worker(*dup_b, 5); });
+    // Main thread: Waitany over {p2p recv, collective} while workers churn.
+    const int left = (comm.Rank() - 1 + n) % n;
+    const int right = (comm.Rank() + 1) % n;
+    std::int32_t token = -1;
+    std::vector<std::int32_t> in(4, comm.Rank() + 1);
+    std::vector<std::int32_t> out(4, -1);
+    std::vector<Request> requests;
+    requests.push_back(comm.Irecv(&token, 0, 1, types::INT(), left, 9));
+    requests.push_back(comm.Iallreduce(in.data(), 0, out.data(), 0, 4, types::INT(), ops::SUM()));
+    std::int32_t self = comm.Rank();
+    comm.Send(&self, 0, 1, types::INT(), right, 9);
+    for (int completed = 0; completed < 2; ++completed) {
+      ASSERT_NE(Request::Waitany(requests).index, UNDEFINED);
+    }
+    thread_a.join();
+    thread_b.join();
+    EXPECT_EQ(token, left);
+    for (const std::int32_t v : out) EXPECT_EQ(v, n * (n + 1) / 2);
+  }, opts());
+}
+
+TEST_P(NbColl, HierarchicalMatchesFlat) {
+  // Same inputs through the two-level schedules (simulated 2-node topology)
+  // and the flat ones (MPCX_HIER_COLLS=0); results must agree.
+  auto workload = [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    std::vector<std::int32_t> in(6, comm.Rank() + 1);
+    std::vector<std::int32_t> sum(6, -1);
+    comm.Iallreduce(in.data(), 0, sum.data(), 0, 6, types::INT(), ops::SUM()).Wait();
+    for (const std::int32_t v : sum) EXPECT_EQ(v, n * (n + 1) / 2);
+    std::vector<std::int32_t> data(5, comm.Rank() == 1 % n ? 77 : -1);
+    comm.Ibcast(data.data(), 0, 5, types::INT(), 1 % n).Wait();
+    for (const std::int32_t v : data) EXPECT_EQ(v, 77);
+    std::vector<std::int32_t> reduced(6, -1);
+    comm.Ireduce(in.data(), 0, reduced.data(), 0, 6, types::INT(), ops::MAX(), 0).Wait();
+    if (comm.Rank() == 0) {
+      for (const std::int32_t v : reduced) EXPECT_EQ(v, n);
+    }
+    comm.Ibarrier().Wait();
+  };
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  cluster::launch(nprocs(), workload, opts());
+  {
+    ScopedEnv flat("MPCX_HIER_COLLS", "0");
+    cluster::launch(nprocs(), workload, opts());
+  }
+}
+
+TEST(NbCollFaults, InjectedDropSurfacesThroughRequestError) {
+  // A dropped frame under an operation deadline must surface as an error on
+  // the collective's own Request (ERRORS_RETURN), not hang the schedule.
+  struct FaultScope {
+    ~FaultScope() {
+      faults::clear_plan();
+      faults::set_op_timeout_ms(0);
+    }
+  } scope;
+  std::atomic<int> failed{0};
+  std::atomic<bool> armed{false};
+  cluster::launch(2, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    comm.Set_errhandler(ERRORS_RETURN);
+    comm.Barrier();
+    // One rank arms the (process-global) plan; nobody posts schedule traffic
+    // until it is active, so no frame can sneak through before the drop.
+    if (comm.Rank() == 0) {
+      faults::set_op_timeout_ms(300);
+      faults::set_plan(*faults::parse_plan("drop=1.0"));
+      armed.store(true);
+    } else {
+      while (!armed.load()) std::this_thread::yield();
+    }
+    std::vector<std::int32_t> in(64, comm.Rank() + 1);
+    std::vector<std::int32_t> out(64, -1);
+    Request request =
+        comm.Iallreduce(in.data(), 0, out.data(), 0, 64, types::INT(), ops::SUM());
+    Status status = request.Wait();
+    EXPECT_NE(status.Get_error(), ErrCode::Success) << "drop plan should fail the schedule";
+    ++failed;
+    // Resync off-wire (the plan is process-global), then disarm and let
+    // Finalize's barrier run clean.
+    while (failed.load() < comm.Size()) std::this_thread::yield();
+    faults::clear_plan();
+    faults::set_op_timeout_ms(0);
+  }, [] {
+    cluster::Options options;
+    options.device = "tcpdev";
+    return options;
+  }());
+}
+
+// ---- satellite regressions --------------------------------------------------------
+
+TEST(NbRegression, TestanyAllNullReturnsUndefinedImmediately) {
+  std::vector<Request> requests(3);  // all null
+  const auto status = Request::Testany(requests);
+  ASSERT_TRUE(status.has_value()) << "all-null Testany must complete immediately";
+  EXPECT_EQ(status->index, UNDEFINED);
+}
+
+TEST(NbRegression, TestanyAllFinalizedReturnsUndefined) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int peer = 1 - comm.Rank();
+    std::int32_t in = comm.Rank();
+    std::int32_t out = -1;
+    std::vector<Request> requests;
+    requests.push_back(comm.Irecv(&out, 0, 1, types::INT(), peer, 3));
+    requests.push_back(comm.Isend(&in, 0, 1, types::INT(), peer, 3));
+    Request::Waitall(requests);
+    EXPECT_EQ(out, peer);
+    // Both entries finalized: Testany completes with UNDEFINED, not nullopt.
+    const auto status = Request::Testany(requests);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->index, UNDEFINED);
+  });
+}
+
+TEST(NbRegression, AlltoallZeroCountReturns) {
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<std::int32_t> send(3, comm.Rank());
+    std::vector<std::int32_t> recv(3, -1);
+    comm.Alltoall(send.data(), 0, 0, types::INT(), recv.data(), 0, 0, types::INT());
+    for (const std::int32_t v : recv) EXPECT_EQ(v, -1);  // untouched
+    comm.Barrier();
+  });
+}
+
+TEST(NbRegression, AlltoallvMixedZeroCountsKeepsData) {
+  // Only rank 0 -> rank 1 carries data (2 ints); every other pair, including
+  // the self-exchange, is zero-count. The zero legs must neither hang nor
+  // disturb the one real transfer.
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    std::vector<std::int32_t> send = {rank * 10, rank * 10 + 1};
+    std::vector<std::int32_t> recv = {-1, -1};
+    std::vector<int> sendcounts(3, 0), recvcounts(3, 0);
+    std::vector<int> sdispls(3, 0), rdispls(3, 0);
+    if (rank == 0) sendcounts[1] = 2;
+    if (rank == 1) recvcounts[0] = 2;
+    comm.Alltoallv(send.data(), 0, sendcounts, sdispls, types::INT(), recv.data(), 0, recvcounts,
+                   rdispls, types::INT());
+    if (rank == 1) {
+      EXPECT_EQ(recv[0], 0);
+      EXPECT_EQ(recv[1], 1);
+    } else {
+      EXPECT_EQ(recv[0], -1);
+      EXPECT_EQ(recv[1], -1);
+    }
+  });
+}
+
+TEST(NbRegression, ScanZeroCountReturns) {
+  cluster::launch(3, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::int32_t in = comm.Rank();
+    std::int32_t out = -1;
+    comm.Scan(&in, 0, &out, 0, 0, types::INT(), ops::SUM());
+    EXPECT_EQ(out, -1);  // untouched
+    comm.Barrier();
+  });
+}
+
+TEST(NbRegression, ReduceScatterNegativeRecvcountThrows) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    std::vector<std::int32_t> in = {1, 2};
+    std::vector<std::int32_t> out = {-1, -1};
+    const std::vector<int> recvcounts = {1, -1};
+    // Every rank throws before any wire traffic, so the failure is symmetric.
+    EXPECT_THROW(comm.Reduce_scatter(in.data(), 0, out.data(), 0, recvcounts, types::INT(),
+                                     ops::SUM()),
+                 ArgumentError);
+  });
+}
+
+TEST(NbRegression, PrequestStartWhileInFlightThrows) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::int32_t v = -1;
+      Prequest request = comm.Recv_init(&v, 0, 1, types::INT(), 1, 3);
+      request.Start();
+      // No sender yet, so the activation cannot be device-complete.
+      EXPECT_THROW(request.Start(), CommError);
+      comm.Barrier();  // release the sender
+      request.Wait();
+      EXPECT_EQ(v, 42);
+      request.Start();  // restart after finalize works
+      comm.Barrier();
+      request.Wait();
+      EXPECT_EQ(v, 43);
+    } else {
+      comm.Barrier();
+      std::int32_t x = 42;
+      comm.Send(&x, 0, 1, types::INT(), 0, 3);
+      comm.Barrier();
+      x = 43;
+      comm.Send(&x, 0, 1, types::INT(), 0, 3);
+    }
+  });
+}
+
+TEST(NbRegression, StartallValidatesBeforeLaunchingAnything) {
+  cluster::launch(2, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    if (comm.Rank() == 0) {
+      std::int32_t out_going = 11;
+      std::int32_t incoming = -1;
+      std::array<Prequest, 2> batch = {comm.Send_init(&out_going, 0, 1, types::INT(), 1, 5),
+                                       comm.Recv_init(&incoming, 0, 1, types::INT(), 1, 6)};
+      batch[1].Start();  // still in flight: Startall must reject the batch
+      EXPECT_THROW(Prequest::Startall(batch), CommError);
+      comm.Barrier();  // peer now sends the first tag-6 message
+      batch[1].Wait();
+      EXPECT_EQ(incoming, 66);
+      Prequest::Startall(batch);  // both inactive now; launches cleanly
+      batch[0].Wait();
+      batch[1].Wait();
+      EXPECT_EQ(incoming, 67);
+      comm.Barrier();
+    } else {
+      comm.Barrier();
+      std::int32_t x = 66;
+      comm.Send(&x, 0, 1, types::INT(), 0, 6);
+      std::int32_t y = -1;
+      comm.Recv(&y, 0, 1, types::INT(), 0, 5);
+      EXPECT_EQ(y, 11);  // exactly one tag-5 send reached the wire
+      x = 67;
+      comm.Send(&x, 0, 1, types::INT(), 0, 6);
+      comm.Barrier();
+      // The failed Startall must not have leaked an extra tag-5 send.
+      EXPECT_FALSE(comm.Iprobe(0, 5).has_value());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceBySize, NbColl,
+    ::testing::Combine(::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
+                       ::testing::Values(1, 2, 3, 4, 7)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_np" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mpcx
