@@ -1,13 +1,23 @@
 // Real (non-simulated) ping-pong over the full MPCX stack on loopback.
 //
+//   bench_xdev_pingpong [--device DEV]... [--max-bytes N] [--quick] [--json PATH]
+//
 // These are OUR numbers on TODAY's hardware — the honest complement to the
 // netsim figure models: tcpdev exercises the complete niodev-style protocol
 // stack (eager + rendezvous over real TCP), mxdev the MX-style in-memory
 // fabric. Reported per size: one-way transfer time and throughput, plus
 // the eager->rendezvous transition at 128 KB (visible as a time step for
 // tcpdev, mirroring the paper's Figs. 10-13 dip).
+//
+// --device (repeatable) restricts the sweep to the named transports,
+// --max-bytes caps the message-size sweep and --quick divides the rep
+// counts by 10 — together they give CI a focused run (the instrumentation
+// overhead guard, docs/OBSERVABILITY.md) instead of the full figure sweep.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/cluster.hpp"
@@ -23,15 +33,16 @@ struct Row {
   double oneway_us;
 };
 
-std::vector<Row> pingpong(const char* device) {
+std::vector<Row> pingpong(const std::string& device, std::size_t max_bytes, bool quick) {
   std::vector<Row> rows;
   mpcx::cluster::Options options;
   options.device = device;
   mpcx::cluster::launch(2, [&](mpcx::World& world) {
     using namespace mpcx;
     Intracomm& comm = world.COMM_WORLD();
-    for (std::size_t bytes = 1; bytes <= (16u << 20); bytes <<= 2) {
-      const int reps = bytes <= 4096 ? 2000 : (bytes <= (1u << 20) ? 200 : 20);
+    for (std::size_t bytes = 1; bytes <= max_bytes; bytes <<= 2) {
+      int reps = bytes <= 4096 ? 2000 : (bytes <= (1u << 20) ? 200 : 20);
+      if (quick) reps = reps / 10 > 2 ? reps / 10 : 2;
       std::vector<std::int8_t> data(bytes);
       comm.Barrier();
       const auto start = Clock::now();
@@ -54,36 +65,52 @@ std::vector<Row> pingpong(const char* device) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> devices;
+  std::size_t max_bytes = 16u << 20;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      devices.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc) {
+      max_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  if (devices.empty()) devices = {"tcpdev", "mxdev", "shmdev"};
+
   std::printf("== real loopback ping-pong through the full MPCX stack ==\n");
-  std::printf("%10s %12s %14s %12s %14s %12s %14s\n", "size", "tcpdev us", "tcpdev Mbps",
-              "mxdev us", "mxdev Mbps", "shmdev us", "shmdev Mbps");
-  const auto tcp = pingpong("tcpdev");
-  const auto mx = pingpong("mxdev");
-  const auto shm = pingpong("shmdev");
+  std::printf("%10s", "size");
+  for (const std::string& device : devices) {
+    std::printf(" %12s %14s", (device + " us").c_str(), (device + " Mbps").c_str());
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<Row>> sweeps;
+  for (const std::string& device : devices) {
+    sweeps.push_back(pingpong(device, max_bytes, quick));
+  }
   auto mbps = [](const Row& row) {
     return static_cast<double>(row.bytes) * 8.0 / row.oneway_us;
   };
-  for (std::size_t i = 0; i < tcp.size(); ++i) {
-    std::printf("%10zu %12.2f %14.1f %12.2f %14.1f %12.2f %14.1f\n", tcp[i].bytes,
-                tcp[i].oneway_us, mbps(tcp[i]), mx[i].oneway_us, mbps(mx[i]), shm[i].oneway_us,
-                mbps(shm[i]));
+  for (std::size_t i = 0; i < sweeps.front().size(); ++i) {
+    std::printf("%10zu", sweeps.front()[i].bytes);
+    for (const auto& rows : sweeps) std::printf(" %12.2f %14.1f", rows[i].oneway_us, mbps(rows[i]));
+    std::printf("\n");
   }
   std::printf("(tcpdev switches eager->rendezvous at 128 KB, as in the paper)\n");
 
   std::vector<mpcx::bench::JsonRecord> records;
-  auto collect = [&](const char* device, const std::vector<Row>& rows) {
-    for (const Row& row : rows) {
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (const Row& row : sweeps[d]) {
       mpcx::bench::JsonRecord rec;
-      rec.bench = std::string("xdev_pingpong/") + device;
+      rec.bench = "xdev_pingpong/" + devices[d];
       rec.msg_size = row.bytes;
       rec.latency_us = row.oneway_us;
       rec.bandwidth_MBps = static_cast<double>(row.bytes) / row.oneway_us;  // B/us == MB/s
       records.push_back(rec);
     }
-  };
-  collect("tcpdev", tcp);
-  collect("mxdev", mx);
-  collect("shmdev", shm);
+  }
   mpcx::bench::maybe_write_json(argc, argv, records);
   return 0;
 }

@@ -1,18 +1,27 @@
 #include "core/coll_sched.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <limits>
 #include <string>
 
 #include "core/comm.hpp"
 #include "core/world.hpp"
+#include "prof/flight.hpp"
 #include "support/error.hpp"
 #include "xdev/device.hpp"
 
 namespace mpcx {
 
+namespace {
+std::uint32_t next_sched_id() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 CollState::CollState(const Comm* comm, const char* name, std::optional<Op> op)
-    : comm_(comm), name_(name), op_(std::move(op)) {}
+    : comm_(comm), name_(name), op_(std::move(op)), sched_id_(next_sched_id()) {}
 
 CollState::Round& CollState::add_round() {
   rounds_.emplace_back();
@@ -69,6 +78,9 @@ void CollState::seal() {
 }
 
 void CollState::post_round_locked(Round& round) {
+  // Flight records made while posting this round (the devices record
+  // SendPosted/SendWire on this thread) carry {sched_id, round}.
+  prof::SchedScope sched_scope(sched_id_, static_cast<std::uint32_t>(current_));
   mpdev::Engine& engine = comm_->engine();
   const int context = comm_->coll_context();
   // Receives first so arrivals hit posted matches instead of the

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -110,6 +111,11 @@ class CollState {
 
   const char* name() const { return name_; }
 
+  /// Process-unique schedule id, stamped (with the round number) onto the
+  /// flight records of every wire op this schedule posts, so a merged trace
+  /// can attribute p2p flows to their collective (prof::SchedScope).
+  std::uint32_t sched_id() const { return sched_id_; }
+
   struct SendStep {
     int peer = 0;
     int tag = 0;
@@ -156,6 +162,7 @@ class CollState {
   const Comm* comm_;
   const char* name_;
   std::optional<Op> op_;
+  const std::uint32_t sched_id_;
 
   mutable std::mutex mu_;
   std::deque<Round> rounds_;

@@ -1,9 +1,11 @@
 #include "core/world.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
@@ -28,15 +30,50 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return parts;
 }
 
+/// SIGTERM disposition while tracing: the runtime daemon reaps straggling
+/// ranks with SIGTERM, which would discard their span/flight rings; flush
+/// them first, then re-raise with the default disposition so the exit
+/// status still reports the signal. Dumping allocates — not strictly
+/// async-signal-safe — but the alternative is losing the trace outright,
+/// and reaped ranks are quiescing by definition.
+void flush_trace_on_term(int sig) {
+  prof::maybe_dump_trace();
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_trace_term_handler() {
+  static std::once_flag installed;
+  std::call_once(installed, [] {
+    if (!prof::tracing()) return;
+    struct sigaction action {};
+    action.sa_handler = flush_trace_on_term;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+  });
+}
+
+/// MPCX_METRICS_MS: snapshot period in milliseconds (0 / unset = off).
+unsigned metrics_period_ms() {
+  const char* value = std::getenv("MPCX_METRICS_MS");
+  if (value == nullptr || *value == '\0') return 0;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : 0;
+}
+
 }  // namespace
 
 World::World(const std::string& device_name, const xdev::DeviceConfig& config)
     : engine_(xdev::new_device(device_name), config),
       counters_(prof::Registry::global().create("core/rank" +
                                                 std::to_string(config.self_index))),
+      pvars_(prof::PvarRegistry::global().create("core/rank" +
+                                                 std::to_string(config.self_index))),
       // Buffers handed to the device carry its frame-header reserve.
       pool_(static_cast<std::size_t>(engine_.send_overhead()), counters_.get()) {
   log::set_rank(engine_.rank());
+  install_trace_term_handler();
+  start_metrics_thread();
   std::vector<int> world_ranks(static_cast<std::size_t>(engine_.size()));
   for (int r = 0; r < engine_.size(); ++r) world_ranks[static_cast<std::size_t>(r)] = r;
   comm_world_ = std::make_unique<Intracomm>(this, Group(std::move(world_ranks)),
@@ -95,6 +132,7 @@ std::unique_ptr<World> World::from_env() {
 }
 
 World::~World() {
+  stop_metrics_thread();
   try {
     if (!finalized_) {
       // Best effort: tear down the device without the collective barrier
@@ -152,6 +190,8 @@ void World::Finalize() {
     nbcoll_count_.store(0, std::memory_order_relaxed);
   }
 
+  stop_metrics_thread();
+
   if (prof::stats_enabled()) {
     const std::string label = "rank " + std::to_string(engine_.rank());
     const prof::Counters* device_counters = engine_.device().counters();
@@ -164,6 +204,14 @@ void World::Finalize() {
     static std::once_flag faults_reported;
     std::call_once(faults_reported,
                    [] { prof::report_counters("faults", faults::counters()); });
+    // Pvar sets register in a process-global registry (device sets under
+    // their own labels), so like faults they print once per process.
+    static std::once_flag pvars_reported;
+    std::call_once(pvars_reported, [] {
+      for (const auto& entry : prof::PvarRegistry::global().snapshot()) {
+        prof::report_pvars(entry.label, *entry.set);
+      }
+    });
   }
   if (!prof::maybe_dump_trace()) {
     if (prof::tracing()) log::warn("could not write trace to ", prof::trace_path());
@@ -259,6 +307,7 @@ void World::register_nb_coll(std::shared_ptr<CollState> state) {
   std::lock_guard<std::mutex> lock(nbcoll_mu_);
   nbcoll_inflight_.push_back(std::move(state));
   nbcoll_count_.store(nbcoll_inflight_.size(), std::memory_order_relaxed);
+  pvars_->gauge_set(prof::Pv::InflightScheds, nbcoll_inflight_.size());
 }
 
 void World::progress_nb_collectives() {
@@ -284,7 +333,45 @@ void World::progress_nb_collectives() {
     std::erase_if(nbcoll_inflight_,
                   [](const std::shared_ptr<CollState>& s) { return s->drained(); });
     nbcoll_count_.store(nbcoll_inflight_.size(), std::memory_order_relaxed);
+    pvars_->gauge_set(prof::Pv::InflightScheds, nbcoll_inflight_.size());
   }
+}
+
+void World::start_metrics_thread() {
+  const unsigned period = metrics_period_ms();
+  if (period == 0) return;
+  std::string path;
+  if (const char* env = std::getenv("MPCX_METRICS_PATH")) path = env;
+  if (path.empty()) path = "mpcx_metrics.rank" + std::to_string(engine_.rank()) + ".jsonl";
+  const int rank = engine_.rank();
+  metrics_thread_ = std::thread([this, period, path, rank] {
+    std::FILE* out = std::fopen(path.c_str(), "a");
+    if (out == nullptr) {
+      log::warn("metrics: could not open ", path);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(metrics_mu_);
+    for (;;) {
+      // Writes one line per period plus a final one at shutdown, so even a
+      // short-lived rank leaves at least one snapshot behind.
+      const bool stop = metrics_cv_.wait_for(lock, std::chrono::milliseconds(period),
+                                             [this] { return metrics_stop_; });
+      const std::string line = prof::pvars_jsonl_line(rank, prof::trace_now_ns());
+      std::fwrite(line.data(), 1, line.size(), out);
+      std::fflush(out);
+      if (stop) break;
+    }
+    std::fclose(out);
+  });
+}
+
+void World::stop_metrics_thread() {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_stop_ = true;
+  }
+  metrics_cv_.notify_all();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
 }
 
 void World::bsend_reserve(std::size_t bytes, mpdev::Request request,

@@ -16,15 +16,18 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bufx/buffer_pool.hpp"
 #include "core/types.hpp"
 #include "mpdev/engine.hpp"
 #include "prof/counters.hpp"
+#include "prof/pvars.hpp"
 
 namespace mpcx {
 
@@ -84,6 +87,11 @@ class World {
   /// pool traffic). Device-layer counters live on engine().device().
   prof::Counters& counters() { return *counters_; }
 
+  /// This rank's core-layer pvar set (MPI_T analog; carries the
+  /// inflight_scheds gauge). Device-layer sets register themselves under
+  /// their own labels in prof::PvarRegistry::global().
+  prof::PvarSet& pvars() { return *pvars_; }
+
   // ---- buffer pool ----------------------------------------------------------
 
   std::unique_ptr<buf::Buffer> take_buffer(std::size_t min_capacity) {
@@ -130,9 +138,12 @@ class World {
 
  private:
   void reap_bsends_locked();
+  void start_metrics_thread();
+  void stop_metrics_thread();
 
   mpdev::Engine engine_;
   std::shared_ptr<prof::Counters> counters_;
+  std::shared_ptr<prof::PvarSet> pvars_;
   buf::BufferPool pool_;
   std::unique_ptr<Intracomm> comm_world_;
   std::atomic<int> next_context_{2};  // contexts 0/1 belong to COMM_WORLD
@@ -151,6 +162,12 @@ class World {
   std::mutex nbcoll_mu_;
   std::atomic<std::size_t> nbcoll_count_{0};
   std::vector<std::shared_ptr<CollState>> nbcoll_inflight_;
+
+  // MPCX_METRICS_MS periodic pvar-snapshot thread (JSONL, one line per tick).
+  std::thread metrics_thread_;
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
 };
 
 }  // namespace mpcx

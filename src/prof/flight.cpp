@@ -1,0 +1,264 @@
+#include "prof/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mpcx::prof {
+
+const char* flight_stage_name(FlightStage stage) {
+  switch (stage) {
+    case FlightStage::SendPosted: return "send_posted";
+    case FlightStage::SendWire: return "send_wire";
+    case FlightStage::SendCompleted: return "send_completed";
+    case FlightStage::RecvPosted: return "recv_posted";
+    case FlightStage::RecvMatched: return "recv_matched";
+    case FlightStage::RecvCompleted: return "recv_completed";
+  }
+  return "?";
+}
+
+std::uint64_t alloc_corr_id(std::uint64_t identity) {
+  static std::atomic<std::uint64_t> seq{1};
+  const std::uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+  return ((identity & 0xFFFFFFu) << 40) | (n & ((std::uint64_t{1} << 40) - 1));
+}
+
+namespace detail {
+
+thread_local std::uint32_t tl_sched_id = 0;
+thread_local std::uint32_t tl_sched_round = 0;
+
+namespace {
+
+struct FlightRec {
+  std::uint64_t corr;
+  std::uint64_t t_ns;
+  std::uint64_t peer;
+  std::uint64_t aux_ns;  ///< RecvMatched: the receive's post timestamp
+  std::uint64_t bytes;
+  std::int32_t tag;
+  std::int32_t context;
+  std::uint32_t sched_id;
+  std::uint32_t round;
+  FlightStage stage;
+};
+
+/// One thread's flight ring — same single-producer / release-published-count
+/// discipline as the span rings (prof.cpp ThreadRing).
+struct FlightRing {
+  static constexpr std::size_t kCapacity = 1 << 14;
+
+  explicit FlightRing(std::uint32_t tid_value) : tid(tid_value) { recs.resize(kCapacity); }
+
+  std::vector<FlightRec> recs;
+  std::atomic<std::size_t> count{0};
+  std::uint32_t tid;
+  std::atomic<bool> in_use{true};
+};
+
+struct FlightState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<FlightRing>> rings;
+  std::uint32_t next_tid = 1000;  // distinct tid namespace from span rings
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+FlightState& flight_state() {
+  static FlightState* state = new FlightState;  // leaked: threads record at exit
+  return *state;
+}
+
+struct FlightRingHolder {
+  FlightRing* ring = nullptr;
+  ~FlightRingHolder() {
+    if (ring != nullptr) ring->in_use.store(false, std::memory_order_release);
+  }
+};
+
+FlightRing* acquire_flight_ring() {
+  thread_local FlightRingHolder holder;
+  if (holder.ring != nullptr) return holder.ring;
+  FlightState& state = flight_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    bool free = !ring->in_use.load(std::memory_order_acquire);
+    if (free && ring->count.load(std::memory_order_relaxed) < FlightRing::kCapacity &&
+        ring->in_use.exchange(true, std::memory_order_acq_rel) == false) {
+      holder.ring = ring.get();
+      return holder.ring;
+    }
+  }
+  state.rings.push_back(std::make_unique<FlightRing>(state.next_tid++));
+  holder.ring = state.rings.back().get();
+  return holder.ring;
+}
+
+/// One message's locally observed lifecycle, grouped at dump time.
+struct Lifecycle {
+  const FlightRec* send_posted = nullptr;
+  const FlightRec* send_wire = nullptr;
+  const FlightRec* send_completed = nullptr;
+  const FlightRec* recv_matched = nullptr;
+  const FlightRec* recv_completed = nullptr;
+  std::uint32_t send_tid = 0;
+  std::uint32_t recv_tid = 0;
+};
+
+void append_ts(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_corr_args(std::string& out, std::uint64_t corr, const FlightRec& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\"args\":{\"corr\":\"0x%llx\",\"peer\":%llu,\"tag\":%d,\"bytes\":%llu",
+                static_cast<unsigned long long>(corr),
+                static_cast<unsigned long long>(rec.peer), rec.tag,
+                static_cast<unsigned long long>(rec.bytes));
+  out += buf;
+  if (rec.sched_id != 0) {
+    std::snprintf(buf, sizeof buf, ",\"sched\":%u,\"round\":%u", rec.sched_id, rec.round);
+    out += buf;
+  }
+  out += '}';
+}
+
+void append_slice(std::string& out, bool& first, const char* name, std::uint64_t corr,
+                  const FlightRec& rec, std::uint64_t t0, std::uint64_t t1, int pid,
+                  std::uint32_t tid) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"cat\":\"p2p\",\"ph\":\"X\",\"ts\":";
+  append_ts(out, t0);
+  out += ",\"dur\":";
+  append_ts(out, t1 > t0 ? t1 - t0 : 1);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ",\"pid\":%d,\"tid\":%u,", pid, tid);
+  out += buf;
+  append_corr_args(out, corr, rec);
+  out += '}';
+}
+
+void append_flow(std::string& out, bool& first, char phase, std::uint64_t corr,
+                 std::uint64_t ts, int pid, std::uint32_t tid) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"msg\",\"cat\":\"p2p\",\"ph\":\"%c\",%s\"id\":\"0x%llx\",\"ts\":",
+                phase, phase == 'f' ? "\"bp\":\"e\"," : "",
+                static_cast<unsigned long long>(corr));
+  out += buf;
+  append_ts(out, ts);
+  std::snprintf(buf, sizeof buf, ",\"pid\":%d,\"tid\":%u}", pid, tid);
+  out += buf;
+}
+
+}  // namespace
+
+void record_flight_slow(std::uint64_t corr, FlightStage stage, std::uint64_t peer,
+                        std::int32_t tag, std::int32_t context, std::uint64_t bytes,
+                        std::uint64_t aux_ns) {
+  FlightRing* ring = acquire_flight_ring();
+  const std::size_t at = ring->count.load(std::memory_order_relaxed);
+  if (at >= FlightRing::kCapacity) {
+    flight_state().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->recs[at] = FlightRec{corr,  trace_now_ns(), peer,         aux_ns,         bytes,
+                             tag,   context,        tl_sched_id,  tl_sched_round, stage};
+  ring->count.store(at + 1, std::memory_order_release);
+}
+
+void append_flight_events(std::string& out, int pid, bool& first) {
+  FlightState& state = flight_state();
+  std::vector<FlightRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings.reserve(state.rings.size());
+    for (auto& ring : state.rings) rings.push_back(ring.get());
+  }
+
+  // Group the locally observed records by correlation id. A map (not
+  // unordered) keeps dump output deterministic for tests.
+  std::map<std::uint64_t, Lifecycle> groups;
+  for (FlightRing* ring : rings) {
+    const std::size_t count =
+        std::min(ring->count.load(std::memory_order_acquire), FlightRing::kCapacity);
+    for (std::size_t i = 0; i < count; ++i) {
+      const FlightRec& rec = ring->recs[i];
+      Lifecycle& life = groups[rec.corr];
+      switch (rec.stage) {
+        case FlightStage::SendPosted: life.send_posted = &rec; life.send_tid = ring->tid; break;
+        case FlightStage::SendWire:
+          life.send_wire = &rec;
+          if (life.send_tid == 0) life.send_tid = ring->tid;
+          break;
+        case FlightStage::SendCompleted:
+          life.send_completed = &rec;
+          if (life.send_tid == 0) life.send_tid = ring->tid;
+          break;
+        case FlightStage::RecvPosted: break;  // no corr id before the match
+        case FlightStage::RecvMatched: life.recv_matched = &rec; life.recv_tid = ring->tid; break;
+        case FlightStage::RecvCompleted:
+          life.recv_completed = &rec;
+          if (life.recv_tid == 0) life.recv_tid = ring->tid;
+          break;
+      }
+    }
+  }
+
+  for (const auto& [corr, life] : groups) {
+    if (life.send_tid != 0) {
+      const FlightRec& any = life.send_posted  ? *life.send_posted
+                             : life.send_wire  ? *life.send_wire
+                                               : *life.send_completed;
+      const std::uint64_t t0 = life.send_posted ? life.send_posted->t_ns : any.t_ns;
+      const std::uint64_t t1 =
+          life.send_completed ? life.send_completed->t_ns
+                              : (life.send_wire ? life.send_wire->t_ns : t0);
+      append_slice(out, first, "send", corr, any, t0, t1, pid, life.send_tid);
+      const std::uint64_t wire_ts = life.send_wire ? life.send_wire->t_ns : t0;
+      append_flow(out, first, 's', corr, wire_ts, pid, life.send_tid);
+    }
+    if (life.recv_tid != 0) {
+      const FlightRec& any = life.recv_matched ? *life.recv_matched : *life.recv_completed;
+      const std::uint64_t matched_ts = life.recv_matched ? life.recv_matched->t_ns : any.t_ns;
+      // The slice starts at the receive's post time when known (the gap up
+      // to the flow arrow IS the match latency), else at the match.
+      std::uint64_t t0 = matched_ts;
+      if (life.recv_matched && life.recv_matched->aux_ns != 0 &&
+          life.recv_matched->aux_ns < t0) {
+        t0 = life.recv_matched->aux_ns;
+      }
+      const std::uint64_t t1 =
+          life.recv_completed ? life.recv_completed->t_ns : matched_ts;
+      append_slice(out, first, "recv", corr, any, t0, t1, pid, life.recv_tid);
+      append_flow(out, first, 'f', corr, matched_ts, pid, life.recv_tid);
+    }
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t dropped_flight_recs() {
+  return detail::flight_state().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_flight_for_tests() {
+  auto& state = detail::flight_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) ring->count.store(0, std::memory_order_release);
+  state.dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mpcx::prof

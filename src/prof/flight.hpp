@@ -1,0 +1,97 @@
+// mpcx::prof — message-lifecycle flight recorder.
+//
+// Every point-to-point message is assigned a 64-bit *correlation id* at the
+// sending device and carried in the wire frame header (tcpdev FrameHeader /
+// shmdev RecInfo msg_id field), so both endpoints of one message record
+// lifecycle events under the SAME id:
+//
+//   sender:    SendPosted -> SendWire -> SendCompleted
+//   receiver:  (RecvPosted) -> RecvMatched -> RecvCompleted
+//
+// Events land in per-thread lock-free rings (same single-producer /
+// release-published-count discipline as the span rings in trace.hpp) and are
+// emitted by dump_trace() as Chrome trace_event "X" slices plus flow events
+// ("s" on the sender at wire time, "f" on the receiver at match time) bound
+// by the correlation id — so sender and receiver spans connect visually
+// across threads, and across ranks once the launcher merges per-rank files
+// (runtime/launcher.hpp merge_traces).
+//
+// Id layout: (identity24 << 40) | seq40. identity24 is the low 24 bits of
+// the sender's ProcessID value (unique per rank within a session) and seq40
+// a process-global monotonic counter — global, not per-device, so hybdev's
+// tcp and shm children can never mint the same id. Id 0 is reserved for
+// "untraced" (tcpdev eager sends skip allocation while tracing is off).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "prof/trace.hpp"
+
+namespace mpcx::prof {
+
+enum class FlightStage : std::uint8_t {
+  SendPosted,     ///< send handed to the device (user thread)
+  SendWire,       ///< first payload byte committed to the transport
+  SendCompleted,  ///< send request completed
+  RecvPosted,     ///< receive posted (no corr id yet; rarely recorded)
+  RecvMatched,    ///< arrival matched a receive (posted or unexpected)
+  RecvCompleted,  ///< receive request completed
+};
+
+const char* flight_stage_name(FlightStage stage);
+
+/// Mint a correlation id for a message originated by `identity` (the
+/// sender's ProcessID value). Never returns 0.
+std::uint64_t alloc_corr_id(std::uint64_t identity);
+
+/// Flight records dropped because a thread's ring filled up.
+std::uint64_t dropped_flight_recs();
+
+/// Clear every flight ring (test isolation between traced scenarios). Only
+/// safe while no traffic is in flight.
+void reset_flight_for_tests();
+
+namespace detail {
+void record_flight_slow(std::uint64_t corr, FlightStage stage, std::uint64_t peer,
+                        std::int32_t tag, std::int32_t context, std::uint64_t bytes,
+                        std::uint64_t aux_ns);
+/// Append the recorded lifecycle as trace events ("X" slices + flow s/f
+/// pairs) to a dump in progress. Called by dump_trace() under its lock.
+void append_flight_events(std::string& out, int pid, bool& first);
+extern thread_local std::uint32_t tl_sched_id;
+extern thread_local std::uint32_t tl_sched_round;
+}  // namespace detail
+
+/// Record one lifecycle event. Free when tracing is off (one relaxed load +
+/// branch); corr 0 means the message was never assigned an id — skipped.
+inline void record_flight(std::uint64_t corr, FlightStage stage, std::uint64_t peer,
+                          std::int32_t tag, std::int32_t context, std::uint64_t bytes,
+                          std::uint64_t aux_ns = 0) {
+  if (!tracing() || corr == 0) return;
+  detail::record_flight_slow(corr, stage, peer, tag, context, bytes, aux_ns);
+}
+
+/// Scope guard binding flight records made on this thread to one collective
+/// schedule round: records carry {sched_id, round} so a merged trace can
+/// attribute each round's sends/recvs to its CollState (ISSUE 6 tentpole).
+class SchedScope {
+ public:
+  SchedScope(std::uint32_t sched_id, std::uint32_t round)
+      : prev_id_(detail::tl_sched_id), prev_round_(detail::tl_sched_round) {
+    detail::tl_sched_id = sched_id;
+    detail::tl_sched_round = round;
+  }
+  ~SchedScope() {
+    detail::tl_sched_id = prev_id_;
+    detail::tl_sched_round = prev_round_;
+  }
+  SchedScope(const SchedScope&) = delete;
+  SchedScope& operator=(const SchedScope&) = delete;
+
+ private:
+  std::uint32_t prev_id_;
+  std::uint32_t prev_round_;
+};
+
+}  // namespace mpcx::prof

@@ -1,4 +1,5 @@
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/hooks.hpp"
 #include "prof/trace.hpp"
 
@@ -293,6 +294,29 @@ bool dump_trace(const std::string& path) {
       first = false;
       append_event(out, span, ring->tid, pid, /*begin=*/false, false);
     }
+  }
+  detail::append_flight_events(out, pid, first);
+  // Clock-sync sample: one simultaneous (steady, wall) reading. The trace
+  // merger (runtime/launcher merge_traces) uses the wall-steady offset to
+  // align per-rank steady-clock timelines onto one cluster-wide axis.
+  {
+    const std::uint64_t steady_ns = trace_now_ns();
+    const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (!first) out += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"mpcx_clock_sync\",\"cat\":\"meta\",\"ph\":\"i\",\"s\":\"p\","
+                  "\"ts\":%llu.%03llu,\"pid\":%d,\"tid\":0,\"args\":{\"steady_ns\":%llu,"
+                  "\"wall_ns\":%llu}}",
+                  static_cast<unsigned long long>(steady_ns / 1000),
+                  static_cast<unsigned long long>(steady_ns % 1000), pid,
+                  static_cast<unsigned long long>(steady_ns),
+                  static_cast<unsigned long long>(wall_ns));
+    out += buf;
   }
   out += "\n]\n";
 

@@ -1,0 +1,179 @@
+#include "prof/pvars.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace mpcx::prof {
+namespace {
+
+bool pvars_env_enabled() {
+  const auto truthy = [](const char* name) {
+    const char* value = std::getenv(name);
+    return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+  };
+  return truthy("MPCX_STATS") || truthy("MPCX_METRICS_MS");
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_pvars{pvars_env_enabled()};
+}  // namespace detail
+
+void set_pvars_enabled(bool enabled) {
+  detail::g_pvars.store(enabled, std::memory_order_relaxed);
+}
+
+const PvInfo& pv_info(Pv v) {
+  static const PvInfo kInfos[kPvCount] = {
+      {"posted_recv_depth", PvClass::Gauge, "posted-but-unmatched receive requests"},
+      {"unexpected_depth", PvClass::Gauge, "messages queued with no matching receive"},
+      {"unexpected_bytes", PvClass::Gauge, "payload bytes held by the unexpected queue"},
+      {"send_backlog", PvClass::Gauge, "sends accepted but not yet on the wire"},
+      {"rndv_slots", PvClass::Gauge, "rendezvous handshakes in flight"},
+      {"inflight_scheds", PvClass::Gauge, "nonblocking-collective schedules outstanding"},
+      {"match_latency_ns", PvClass::Histogram, "receive post/arrival to match (ns)"},
+      {"op_completion_ns", PvClass::Histogram, "request creation to completion (ns)"},
+  };
+  return kInfos[static_cast<std::size_t>(v)];
+}
+
+PvarRegistry& PvarRegistry::global() {
+  static PvarRegistry registry;
+  return registry;
+}
+
+std::shared_ptr<PvarSet> PvarRegistry::create(std::string label) {
+  auto set = std::make_shared<PvarSet>();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(entries_, [](const auto& entry) { return entry.second.expired(); });
+  entries_.emplace_back(std::move(label), set);
+  return set;
+}
+
+std::vector<PvarRegistry::Entry> PvarRegistry::snapshot() const {
+  std::vector<Entry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [label, weak] : entries_) {
+    if (auto set = weak.lock()) out.push_back(Entry{label, std::move(set)});
+  }
+  return out;
+}
+
+PvarSet& proc_pvars() {
+  static std::shared_ptr<PvarSet> set = PvarRegistry::global().create("proc");
+  return *set;
+}
+
+void observe_match_latency(std::uint64_t ns) {
+  if (!pvars_enabled()) return;
+  proc_pvars().observe(Pv::MatchLatencyNs, ns);
+}
+
+void observe_op_completion(std::uint64_t ns) {
+  if (!pvars_enabled()) return;
+  proc_pvars().observe(Pv::OpCompletionNs, ns);
+}
+
+namespace {
+
+/// Upper bound (ns) of the smallest bucket whose cumulative count reaches
+/// `target` observations — a coarse quantile from the log2 histogram.
+std::uint64_t hist_quantile(const PvarSet::HistValue& h, double q) {
+  if (h.count == 0) return 0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(h.count) + 0.5);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kPvHistBuckets; ++i) {
+    cum += h.buckets[i];
+    if (cum >= target && cum > 0) return std::uint64_t{1} << i;
+  }
+  return std::uint64_t{1} << (kPvHistBuckets - 1);
+}
+
+}  // namespace
+
+void report_pvars(const std::string& label, const PvarSet& set) {
+  std::ostringstream os;
+  os << "== mpcx pvars [" << label << "] ==\n";
+  char line[128];
+  for (std::size_t i = 0; i < kPvCount; ++i) {
+    const Pv v = static_cast<Pv>(i);
+    const PvInfo& info = pv_info(v);
+    if (info.cls == PvClass::Gauge) {
+      const auto g = set.gauge(v);
+      std::snprintf(line, sizeof line, "  %-22s cur %10llu  hwm %10llu\n", info.name,
+                    static_cast<unsigned long long>(g.current),
+                    static_cast<unsigned long long>(g.hwm));
+    } else {
+      const auto h = set.hist(v);
+      const std::uint64_t avg = h.count == 0 ? 0 : h.sum / h.count;
+      std::snprintf(line, sizeof line,
+                    "  %-22s n %8llu  avg %9lluns  p50<=%lluns  p99<=%lluns\n", info.name,
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(avg),
+                    static_cast<unsigned long long>(hist_quantile(h, 0.50)),
+                    static_cast<unsigned long long>(hist_quantile(h, 0.99)));
+    }
+    os << line;
+  }
+  const std::string text = os.str();
+  // One write(2) so summaries from concurrent ranks do not interleave.
+  [[maybe_unused]] auto n = ::write(STDERR_FILENO, text.data(), text.size());
+}
+
+std::string pvars_jsonl_line(int rank, std::uint64_t t_ns) {
+  std::string out;
+  out.reserve(1 << 10);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"t_ns\":%llu,\"rank\":%d,\"pvars\":{",
+                static_cast<unsigned long long>(t_ns), rank);
+  out += buf;
+  bool first_set = true;
+  for (const auto& entry : PvarRegistry::global().snapshot()) {
+    if (!first_set) out += ',';
+    first_set = false;
+    out += '"';
+    out += entry.label;  // labels are code-controlled: no escaping needed
+    out += "\":{";
+    bool first_pv = true;
+    for (std::size_t i = 0; i < kPvCount; ++i) {
+      const Pv v = static_cast<Pv>(i);
+      const PvInfo& info = pv_info(v);
+      if (!first_pv) out += ',';
+      first_pv = false;
+      if (info.cls == PvClass::Gauge) {
+        const auto g = entry.set->gauge(v);
+        std::snprintf(buf, sizeof buf, "\"%s\":{\"cur\":%llu,\"hwm\":%llu}", info.name,
+                      static_cast<unsigned long long>(g.current),
+                      static_cast<unsigned long long>(g.hwm));
+        out += buf;
+      } else {
+        const auto h = entry.set->hist(v);
+        std::snprintf(buf, sizeof buf, "\"%s\":{\"n\":%llu,\"sum\":%llu,\"buckets\":[",
+                      info.name, static_cast<unsigned long long>(h.count),
+                      static_cast<unsigned long long>(h.sum));
+        out += buf;
+        bool first_b = true;
+        for (std::size_t b = 0; b < kPvHistBuckets; ++b) {
+          if (h.buckets[b] == 0) continue;  // sparse [log2, count] pairs
+          if (!first_b) out += ',';
+          first_b = false;
+          std::snprintf(buf, sizeof buf, "[%zu,%llu]", b,
+                        static_cast<unsigned long long>(h.buckets[b]));
+          out += buf;
+        }
+        out += "]}";
+      }
+    }
+    out += '}';
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace mpcx::prof

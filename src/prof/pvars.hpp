@@ -1,0 +1,212 @@
+// mpcx::prof — MPI_T-inspired performance variables ("pvars").
+//
+// Where counters (counters.hpp) accumulate event totals, pvars expose the
+// *state* of the messaging engine: gauges with high-water marks for queue
+// depths and backlogs, and log2-bucket histograms for latencies. The set is
+// fixed at compile time (one enum, like Ctr) so a PvarSet is a plain array
+// of relaxed atomics with the same overhead discipline as Counters: disabled
+// pvars cost one relaxed load + branch per mutation.
+//
+// Session API (the MPI_T analog): pvar metadata is enumerable via
+// pv_info(), every live set is snapshot-able via PvarRegistry::global()
+// .snapshot(), individually readable via PvarSet::gauge()/hist(), and
+// resettable via PvarSet::reset(). MPCX_STATS=1 prints every set at
+// finalize; MPCX_METRICS_MS=N emits periodic JSONL snapshots
+// (pvars_jsonl_line) for live monitoring.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "prof/trace.hpp"
+
+namespace mpcx::prof {
+
+namespace detail {
+/// Global "track pvars" switch; initialized from MPCX_STATS / MPCX_METRICS_MS.
+extern std::atomic<bool> g_pvars;
+}  // namespace detail
+
+/// True when pvar mutations are being recorded.
+inline bool pvars_enabled() { return detail::g_pvars.load(std::memory_order_relaxed); }
+
+/// Flip pvar tracking at runtime (tests; overrides the environment).
+void set_pvars_enabled(bool enabled);
+
+/// True when requests should carry creation timestamps: either the trace or
+/// the pvar layer will consume them (match-latency / op-completion
+/// histograms, recv lifecycle spans).
+inline bool observing() { return tracing() || pvars_enabled(); }
+
+/// Everything one set tracks. Gauges first, then histograms; pv_info() is
+/// the authoritative class map.
+enum class Pv : std::size_t {
+  PostedRecvDepth,  ///< gauge: posted-but-unmatched receives
+  UnexpectedDepth,  ///< gauge: messages queued with no matching receive
+  UnexpectedBytes,  ///< gauge: payload bytes held by the unexpected queue
+  SendBacklog,      ///< gauge: sends accepted but not yet on the wire
+  RndvSlots,        ///< gauge: rendezvous handshakes in flight
+  InflightScheds,   ///< gauge: nonblocking-collective schedules outstanding
+  MatchLatencyNs,   ///< histogram: receive post (or arrival) -> match
+  OpCompletionNs,   ///< histogram: request creation -> completion
+  Count
+};
+
+constexpr std::size_t kPvCount = static_cast<std::size_t>(Pv::Count);
+
+enum class PvClass : std::uint8_t { Gauge, Histogram };
+
+struct PvInfo {
+  const char* name;  ///< stable snake_case identifier
+  PvClass cls;
+  const char* desc;  ///< one-line semantics
+};
+
+/// Metadata for one pvar (the MPI_T "pvar_get_info" analog).
+const PvInfo& pv_info(Pv v);
+
+/// log2 buckets: bucket i counts values with bit_width(value) == i, i.e.
+/// value in [2^(i-1), 2^i). 48 buckets cover nanosecond latencies past 3 days.
+constexpr std::size_t kPvHistBuckets = 48;
+
+/// One thread-safe set of pvars. Mutations are relaxed atomics gated on
+/// pvars_enabled(); reads may race writers (reporting tolerance).
+class PvarSet {
+ public:
+  struct GaugeValue {
+    std::uint64_t current = 0;
+    std::uint64_t hwm = 0;
+  };
+  struct HistValue {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kPvHistBuckets> buckets{};
+  };
+
+  /// Set a gauge to an absolute value (queue sizes are read under the
+  /// owning device's lock, so an absolute store is exact) and raise its HWM.
+  void gauge_set(Pv v, std::uint64_t value) {
+    if (!pvars_enabled()) return;
+    auto& slot = gauges_[index(v)];
+    slot.current.store(value, std::memory_order_relaxed);
+    raise_hwm(slot, value);
+  }
+
+  /// Adjust a gauge by a delta (counters kept outside any one lock) and
+  /// raise its HWM.
+  void gauge_add(Pv v, std::int64_t delta) {
+    if (!pvars_enabled()) return;
+    auto& slot = gauges_[index(v)];
+    const std::uint64_t now =
+        slot.current.fetch_add(static_cast<std::uint64_t>(delta),
+                               std::memory_order_relaxed) +
+        static_cast<std::uint64_t>(delta);
+    raise_hwm(slot, now);
+  }
+
+  /// Record one observation into a histogram pvar.
+  void observe(Pv v, std::uint64_t value) {
+    if (!pvars_enabled()) return;
+    auto& h = hists_[index(v)];
+    std::size_t bucket = 0;
+    while ((std::uint64_t{1} << bucket) <= value && bucket + 1 < kPvHistBuckets) ++bucket;
+    h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  GaugeValue gauge(Pv v) const {
+    const auto& slot = gauges_[index(v)];
+    return GaugeValue{slot.current.load(std::memory_order_relaxed),
+                      slot.hwm.load(std::memory_order_relaxed)};
+  }
+
+  HistValue hist(Pv v) const {
+    const auto& h = hists_[index(v)];
+    HistValue out;
+    out.count = h.count.load(std::memory_order_relaxed);
+    out.sum = h.sum.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kPvHistBuckets; ++i) {
+      out.buckets[i] = h.buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// Reset histograms and HWMs; gauge currents are live state and stay.
+  void reset() {
+    for (auto& slot : gauges_) slot.hwm.store(0, std::memory_order_relaxed);
+    for (auto& h : hists_) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct GaugeSlot {
+    std::atomic<std::uint64_t> current{0};
+    std::atomic<std::uint64_t> hwm{0};
+  };
+  struct HistSlot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kPvHistBuckets> buckets{};
+  };
+
+  static std::size_t index(Pv v) { return static_cast<std::size_t>(v); }
+
+  static void raise_hwm(GaugeSlot& slot, std::uint64_t value) {
+    std::uint64_t current = slot.hwm.load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot.hwm.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<GaugeSlot, kPvCount> gauges_{};
+  std::array<HistSlot, kPvCount> hists_{};
+};
+
+/// Process-global registry of live pvar sets, keyed by the same labels as
+/// the counter registry ("tcpdev", "shmdev", "hybdev", "core/rank<i>", ...).
+class PvarRegistry {
+ public:
+  static PvarRegistry& global();
+
+  std::shared_ptr<PvarSet> create(std::string label);
+
+  struct Entry {
+    std::string label;
+    std::shared_ptr<PvarSet> set;
+  };
+
+  /// Every set still alive (strong references; short-lived use only).
+  std::vector<Entry> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<std::pair<std::string, std::weak_ptr<PvarSet>>> entries_;
+};
+
+/// The process-wide set backing cross-device histograms (match latency, op
+/// completion) fed from the request completion choke points. Label "proc".
+PvarSet& proc_pvars();
+
+/// Histogram feeders used by DevRequestState (request.hpp). Gated on
+/// pvars_enabled() internally.
+void observe_match_latency(std::uint64_t ns);
+void observe_op_completion(std::uint64_t ns);
+
+/// Print one set's human-readable summary (appended to the MPCX_STATS
+/// output) to stderr as a single write.
+void report_pvars(const std::string& label, const PvarSet& set);
+
+/// One JSONL line snapshotting every live pvar set (the MPCX_METRICS_MS
+/// record format): {"t_ns":..,"rank":..,"pvars":{label:{name:{...}}}}.
+std::string pvars_jsonl_line(int rank, std::uint64_t t_ns);
+
+}  // namespace mpcx::prof

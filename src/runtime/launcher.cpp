@@ -3,6 +3,9 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -63,6 +66,19 @@ std::vector<std::byte> read_binary(const std::string& path) {
 std::string basename_of(const std::string& path) {
   const auto slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Daemons may run children in a different working directory, so every path
+/// handed down through the environment must be absolute.
+std::string absolutize(const std::string& path) {
+  if (!path.empty() && path.front() == '/') return path;
+  char cwd[4096];
+  if (::getcwd(cwd, sizeof cwd) == nullptr) return path;
+  return std::string(cwd) + "/" + path;
+}
+
+std::string rank_trace_file(const std::string& base, int rank) {
+  return absolutize(base) + ".rank" + std::to_string(rank) + ".json";
 }
 
 /// Reserve nprocs consecutive listen ports by probing bind() on a base.
@@ -158,6 +174,14 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
     if (spec.socket_buffer_bytes > 0) {
       request.env.emplace_back("MPCX_SOCKET_BUFFER", std::to_string(spec.socket_buffer_bytes));
     }
+    if (!spec.trace_path.empty()) {
+      request.env.emplace_back("MPCX_TRACE", rank_trace_file(spec.trace_path, r));
+    }
+    if (spec.metrics_ms > 0) {
+      request.env.emplace_back("MPCX_METRICS_MS", std::to_string(spec.metrics_ms));
+      request.env.emplace_back("MPCX_METRICS_PATH", absolutize(spec.metrics_base) + ".rank" +
+                                                        std::to_string(r) + ".jsonl");
+    }
     const SpawnReply reply = clients[d].spawn(request);
     if (reply.pid < 0) throw RuntimeError("mpcxrun: spawn failed: " + reply.error);
     placements.push_back(Placement{d, reply.pid});
@@ -184,7 +208,110 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
     results[static_cast<std::size_t>(r)].output =
         clients[placement.daemon].fetch(placement.pid).output;
   }
+
+  if (!spec.trace_path.empty()) {
+    std::vector<std::string> rank_files;
+    for (int r = 0; r < spec.nprocs; ++r) {
+      rank_files.push_back(rank_trace_file(spec.trace_path, r));
+    }
+    const std::size_t merged = merge_traces(rank_files, absolutize(spec.trace_path));
+    if (merged == 0) {
+      log::warn("mpcxrun: no rank traces found to merge into ", spec.trace_path);
+    } else {
+      log::info("mpcxrun: merged ", merged, " rank traces into ", spec.trace_path);
+    }
+  }
   return results;
+}
+
+namespace {
+
+/// One rank's parsed trace file: its events (one JSON object per line, the
+/// dump_trace framing) and the clock-sync data needed to align it.
+struct RankTrace {
+  int rank = 0;
+  int pid = 0;
+  long long offset_ns = 0;  ///< wall - steady at dump time
+  bool has_sync = false;
+  std::vector<std::string> events;
+};
+
+bool load_rank_trace(const std::string& path, RankTrace& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() &&
+           (line.back() == ',' || line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    const auto start = line.find('{');
+    if (start == std::string::npos || line.find('}') == std::string::npos) continue;
+    std::string event = line.substr(start);
+    if (event.find("\"mpcx_clock_sync\"") != std::string::npos) {
+      const char* steady = std::strstr(event.c_str(), "\"steady_ns\":");
+      const char* wall = std::strstr(event.c_str(), "\"wall_ns\":");
+      const char* pid = std::strstr(event.c_str(), "\"pid\":");
+      if (steady != nullptr && wall != nullptr) {
+        const auto steady_ns = std::strtoull(steady + 12, nullptr, 10);
+        const auto wall_ns = std::strtoull(wall + 10, nullptr, 10);
+        out.offset_ns = static_cast<long long>(wall_ns) - static_cast<long long>(steady_ns);
+        out.has_sync = true;
+      }
+      if (pid != nullptr) out.pid = std::atoi(pid + 6);
+    }
+    out.events.push_back(std::move(event));
+  }
+  return true;
+}
+
+/// Rewrite the event's "ts" field shifted by `shift_us` (microseconds).
+std::string shift_ts(const std::string& event, double shift_us) {
+  const auto pos = event.find("\"ts\":");
+  if (pos == std::string::npos) return event;
+  const char* begin = event.c_str() + pos + 5;
+  char* end = nullptr;
+  const double ts = std::strtod(begin, &end);
+  char formatted[64];
+  std::snprintf(formatted, sizeof formatted, "%.3f", ts + shift_us);
+  return event.substr(0, pos + 5) + formatted +
+         event.substr(static_cast<std::size_t>(end - event.c_str()));
+}
+
+}  // namespace
+
+std::size_t merge_traces(const std::vector<std::string>& rank_files,
+                         const std::string& out_path) {
+  std::vector<RankTrace> traces;
+  for (std::size_t r = 0; r < rank_files.size(); ++r) {
+    RankTrace trace;
+    trace.rank = static_cast<int>(r);
+    if (load_rank_trace(rank_files[r], trace) && trace.has_sync) {
+      traces.push_back(std::move(trace));
+    }
+  }
+  if (traces.empty()) return 0;
+  // Align every rank to the FIRST merged rank's steady clock: two ranks'
+  // steady timestamps for the same wall instant differ by exactly the
+  // difference of their (wall - steady) offsets.
+  const long long base_offset = traces.front().offset_ns;
+  std::ofstream out(out_path);
+  if (!out) throw RuntimeError("merge_traces: cannot write " + out_path);
+  out << "[\n";
+  bool first = true;
+  for (const RankTrace& trace : traces) {
+    const double shift_us =
+        static_cast<double>(trace.offset_ns - base_offset) / 1000.0;
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << trace.pid
+        << ",\"tid\":0,\"args\":{\"name\":\"rank " << trace.rank << "\"}}";
+    for (const std::string& event : trace.events) {
+      out << ",\n" << shift_ts(event, shift_us);
+    }
+  }
+  out << "\n]\n";
+  return traces.size();
 }
 
 }  // namespace mpcx::runtime

@@ -50,6 +50,15 @@ struct LaunchSpec {
   std::vector<DaemonAddr> daemons; ///< round-robin placement; >= 1
   std::size_t eager_threshold = 0; ///< 0 = library default
   int socket_buffer_bytes = 0;
+  /// Non-empty: trace every rank (MPCX_TRACE=<trace_path>.rank<r>.json) and
+  /// merge the per-rank files into one clock-aligned Chrome trace at
+  /// trace_path after the job exits.
+  std::string trace_path;
+  /// > 0: periodic pvar snapshots every N ms per rank
+  /// (MPCX_METRICS_MS / MPCX_METRICS_PATH), written next to the launcher as
+  /// <metrics_base>.rank<r>.jsonl.
+  unsigned metrics_ms = 0;
+  std::string metrics_base = "mpcx_metrics";
 };
 
 struct ProcessResult {
@@ -61,5 +70,15 @@ struct ProcessResult {
 /// Launch spec.nprocs processes across the daemons, wait for all of them,
 /// and return per-rank results (exit code + captured output).
 std::vector<ProcessResult> launch_world(const LaunchSpec& spec);
+
+/// Merge per-rank Chrome trace files (dump_trace output) into one file at
+/// `out_path`. Every rank's timestamps are shifted onto rank 0's steady
+/// clock using the "mpcx_clock_sync" metadata event each dump carries
+/// (offset = wall - steady; wall clocks agree across ranks on one node, and
+/// across nodes to NTP precision), and a process_name metadata record names
+/// each rank's track. Returns the number of rank files merged; files that
+/// are missing or carry no sync event are skipped.
+std::size_t merge_traces(const std::vector<std::string>& rank_files,
+                         const std::string& out_path);
 
 }  // namespace mpcx::runtime

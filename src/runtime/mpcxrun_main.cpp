@@ -8,6 +8,12 @@
 // captured output, and exits with the first non-zero rank exit code.
 // -stage ships the executable bytes to the daemons (Fig. 9b "remote
 // classloading") instead of assuming a shared filesystem.
+//
+// Observability (docs/OBSERVABILITY.md): with MPCX_TRACE set in mpcxrun's
+// own environment ("1" selects the default trace_merged.json), every rank
+// is traced and the per-rank files are merged into one clock-aligned
+// Chrome trace; MPCX_METRICS_MS=N adds per-rank pvar snapshots
+// (mpcx_metrics.rank<r>.jsonl).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +65,18 @@ int main(int argc, char** argv) {
   spec.exe = argv[i++];
   for (; i < argc; ++i) spec.args.emplace_back(argv[i]);
   if (spec.daemons.empty()) spec.daemons.push_back(DaemonAddr{"127.0.0.1", 20617});
+
+  // mpcxrun's own MPCX_TRACE / MPCX_METRICS_MS drive cluster-wide tracing
+  // rather than tracing the launcher itself (it sends no messages).
+  if (const char* trace = std::getenv("MPCX_TRACE")) {
+    if (*trace != '\0' && std::strcmp(trace, "0") != 0) {
+      spec.trace_path = std::strcmp(trace, "1") == 0 ? "trace_merged.json" : trace;
+    }
+  }
+  if (const char* metrics = std::getenv("MPCX_METRICS_MS")) {
+    const int period = std::atoi(metrics);
+    if (period > 0) spec.metrics_ms = static_cast<unsigned>(period);
+  }
 
   try {
     const auto results = launch_world(spec);

@@ -23,6 +23,15 @@ int main() {
     int total = 0;
     comm.Allreduce(&contribution, 0, &total, 0, 1, types::INT(), ops::SUM());
 
+    // A nonblocking allreduce drives the schedule engine too, so traced runs
+    // (MPCX_TRACE) carry {sched, round}-stamped p2p flows in every rank file.
+    int nb_total = 0;
+    comm.Iallreduce(&contribution, 0, &nb_total, 0, 1, types::INT(), ops::SUM()).Wait();
+    if (nb_total != total) {
+      std::fprintf(stderr, "rank_probe: Iallreduce %d != Allreduce %d\n", nb_total, total);
+      return 5;
+    }
+
     int token = 0;
     if (size > 1) {
       if (rank == 0) {

@@ -25,7 +25,9 @@
 
 #include "bufx/buffer.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/hooks.hpp"
+#include "prof/pvars.hpp"
 #include "prof/trace.hpp"
 #include "support/error.hpp"
 #include "support/faults.hpp"
@@ -100,9 +102,38 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   /// the device's buffer references; both must outlive the request.
   DevRequestState(Kind kind, CompletionSink* sink, prof::Counters* counters = nullptr,
                   RequestCanceller* canceller = nullptr)
-      : kind_(kind), sink_(sink), counters_(counters), canceller_(canceller) {}
+      : kind_(kind),
+        sink_(sink),
+        counters_(counters),
+        canceller_(canceller),
+        t_created_ns_(prof::observing() ? prof::trace_now_ns() : 0) {}
 
   Kind kind() const { return kind_; }
+
+  // ---- flight-recorder correlation ---------------------------------------------
+  //
+  // The message's 64-bit correlation id (prof::alloc_corr_id), shared by the
+  // sender's and receiver's lifecycle events. Sends set it at creation;
+  // receives learn it at match time from the wire frame header. 0 = untraced.
+
+  /// Sender side: attach the id the device put in the frame header.
+  void set_corr(std::uint64_t corr) { corr_id_.store(corr, std::memory_order_relaxed); }
+
+  std::uint64_t corr() const { return corr_id_.load(std::memory_order_relaxed); }
+
+  /// Receiver side: the arrival carrying `corr` matched this receive. Feeds
+  /// the match-latency histogram and records the RecvMatched lifecycle event
+  /// (with the post timestamp as aux, so the dump can show post->match).
+  /// Callers invoke this while they still own the match (before delivery).
+  void mark_matched(std::uint64_t corr, std::uint64_t peer, int tag, int context,
+                    std::uint64_t bytes) {
+    if (t_created_ns_ == 0) return;  // nothing is observing
+    corr_id_.store(corr, std::memory_order_relaxed);
+    const std::uint64_t now = prof::trace_now_ns();
+    prof::observe_match_latency(now - t_created_ns_);
+    prof::record_flight(corr, prof::FlightStage::RecvMatched, peer, tag, context, bytes,
+                        t_created_ns_);
+  }
 
   /// Device side: mark complete and wake all waiters. Idempotent — the
   /// first caller (device completion, fail_peer error sweep, or a timed-out
@@ -132,6 +163,16 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
         hooks->on_recv_end(info);
       } else {
         hooks->on_send_end(info);
+      }
+    }
+    if (t_created_ns_ != 0 && !status.cancelled) {
+      const std::uint64_t now = prof::trace_now_ns();
+      prof::observe_op_completion(now - t_created_ns_);
+      if (status.error == ErrCode::Success) {
+        prof::record_flight(corr_id_.load(std::memory_order_relaxed),
+                            kind_ == Kind::Recv ? prof::FlightStage::RecvCompleted
+                                                : prof::FlightStage::SendCompleted,
+                            status.source.value, status.tag, status.context, bytes);
       }
     }
     publish(status);
@@ -328,6 +369,11 @@ class DevRequestState : public std::enable_shared_from_this<DevRequestState> {
   CompletionSink* const sink_;
   prof::Counters* const counters_;
   RequestCanceller* const canceller_;
+  /// Creation timestamp (0 when nothing is observing) and correlation id.
+  /// corr_id_ is relaxed-atomic: the matcher writes it while a timed-out
+  /// waiter may concurrently self-complete and read it.
+  const std::uint64_t t_created_ns_;
+  std::atomic<std::uint64_t> corr_id_{0};
   std::atomic<bool> claimed_{false};
   std::atomic<bool> shared_{false};
   std::atomic<bool> match_claimed_{false};
@@ -372,9 +418,12 @@ void reclaim_op_buffer(const DevRequest& request, BufferPtr buffer, Recycle recy
 }
 
 /// Convenience: a request that is already complete ("non-pending" in the
-/// paper's eager-send pseudocode, Fig. 3).
-inline DevRequest make_completed_request(DevRequestState::Kind kind, const DevStatus& status) {
+/// paper's eager-send pseudocode, Fig. 3). `corr` attaches the message's
+/// correlation id so the completion lands in the flight recorder.
+inline DevRequest make_completed_request(DevRequestState::Kind kind, const DevStatus& status,
+                                         std::uint64_t corr = 0) {
   auto req = std::make_shared<DevRequestState>(kind, nullptr);
+  if (corr != 0) req->set_corr(corr);
   req->complete(status);
   return req;
 }

@@ -41,7 +41,9 @@
 
 #include "bufx/buffer_pool.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/hooks.hpp"
+#include "prof/pvars.hpp"
 #include "support/endian.hpp"
 #include "support/faults.hpp"
 #include "support/logging.hpp"
@@ -434,10 +436,14 @@ class ShmDevice final : public Device, public RequestCanceller {
         rec.direct = true;
         rec.span = dst;
         posted_.add(key, std::move(rec));
+        note_posted_depth_locked();
         return request;
       }
       hit = std::move(*found);
       note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*hit));
+      request->mark_matched(hit->info.msg_id, hit->info.src, hit->key.tag, hit->key.context,
+                            hit->info.static_len + hit->info.dynamic_len);
     }
     deliver_direct(*hit, dst, request);
     return request;
@@ -456,10 +462,14 @@ class ShmDevice final : public Device, public RequestCanceller {
       auto found = unexpected_.match(key);
       if (!found) {
         posted_.add(key, ShmRecv{request, &buffer});
+        note_posted_depth_locked();
         return request;
       }
       hit = std::move(*found);
       note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*hit));
+      request->mark_matched(hit->info.msg_id, hit->info.src, hit->key.tag, hit->key.context,
+                            hit->info.static_len + hit->info.dynamic_len);
     }
     deliver(*hit, buffer, request);
     return request;
@@ -526,11 +536,15 @@ class ShmDevice final : public Device, public RequestCanceller {
           rec.buffer = buffer;
         }
         posted_.add(key, std::move(rec));
+        note_posted_depth_locked();
         return false;
       }
       if (!request->try_claim_match()) return true;  // sibling already delivering
       hit = std::move(*unexpected_.match(key));
       note_match(hit->key, hit->info.static_len + hit->info.dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*hit));
+      request->mark_matched(hit->info.msg_id, hit->info.src, hit->key.tag, hit->key.context,
+                            hit->info.static_len + hit->info.dynamic_len);
     }
     if (span != nullptr) {
       deliver_direct(*hit, *span, request);
@@ -547,6 +561,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       std::lock_guard<std::mutex> lock(recv_mu_);
       removed = posted_.remove_scan(
           [&](const ShmRecv& rec) { return rec.request.get() == request.get(); });
+      if (removed) note_posted_depth_locked();
     }
     if (!removed) return false;
     DevStatus status;
@@ -564,13 +579,16 @@ class ShmDevice final : public Device, public RequestCanceller {
   bool abandon(DevRequestState& request) override {
     if (request.kind() == DevRequestState::Kind::Recv) {
       std::lock_guard<std::mutex> lock(recv_mu_);
-      return posted_.remove_scan(
+      const bool removed = posted_.remove_scan(
           [&](const ShmRecv& rec) { return rec.request.get() == &request; });
+      if (removed) note_posted_depth_locked();
+      return removed;
     }
     std::lock_guard<std::mutex> lock(ack_mu_);
     for (auto it = awaiting_ack_.begin(); it != awaiting_ack_.end(); ++it) {
       if (it->second.request.get() == &request) {
         awaiting_ack_.erase(it);
+        note_rndv_slots_locked();
         return true;
       }
     }
@@ -590,6 +608,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       return rec.request.get() != posting && rec.request->shared() &&
              rec.request->match_claimed();
     });
+    note_posted_depth_locked();
   }
 
   void note_match(const MatchKey& key, std::size_t bytes, bool was_posted) {
@@ -597,6 +616,24 @@ class ShmDevice final : public Device, public RequestCanceller {
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_match(prof::MsgInfo{key.src.value, key.tag, key.context, bytes}, was_posted);
     }
+  }
+
+  // Pvar gauge refreshers: each reads the queue size it mirrors under the
+  // lock that owns that queue, so the absolute gauge_set is exact.
+  void note_posted_depth_locked() {
+    pvars_->gauge_set(prof::Pv::PostedRecvDepth, posted_.size());
+  }
+  void note_unexpected_locked(std::int64_t payload_delta) {
+    pvars_->gauge_set(prof::Pv::UnexpectedDepth, unexpected_.size());
+    if (payload_delta != 0) pvars_->gauge_add(prof::Pv::UnexpectedBytes, payload_delta);
+  }
+  static std::int64_t unexp_payload_bytes(const ShmUnexp& msg) {
+    return static_cast<std::int64_t>(msg.info.static_len) + msg.info.dynamic_len;
+  }
+  /// ACK-synced sends are shmdev's rendezvous analog (see send_common), so
+  /// the ACK-wait table backs the rndv_slots gauge. Called under ack_mu_.
+  void note_rndv_slots_locked() {
+    pvars_->gauge_set(prof::Pv::RndvSlots, awaiting_ack_.size());
   }
 
   Segment& peer(std::uint64_t id) {
@@ -610,7 +647,8 @@ class ShmDevice final : public Device, public RequestCanceller {
     if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
-    const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t msg_id = prof::alloc_corr_id(self_.value);
+    request->set_corr(msg_id);
     const std::size_t total_bytes = buffer.static_size() + buffer.dynamic_size();
     counters_->add(prof::Ctr::MsgsSent);
     counters_->add(prof::Ctr::BytesSent, total_bytes);
@@ -620,6 +658,8 @@ class ShmDevice final : public Device, public RequestCanceller {
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total_bytes});
     }
+    prof::record_flight(msg_id, prof::FlightStage::SendPosted, dst.value, tag, context,
+                        total_bytes);
 
     if (need_ack) {
       std::lock_guard<std::mutex> lock(ack_mu_);
@@ -630,6 +670,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       status.static_bytes = buffer.static_size();
       status.dynamic_bytes = buffer.dynamic_size();
       awaiting_ack_.emplace(msg_id, AckWait{request, status});
+      note_rndv_slots_locked();
     }
 
     // Stream static || dynamic through chunk-sized records.
@@ -672,6 +713,7 @@ class ShmDevice final : public Device, public RequestCanceller {
             {
               std::lock_guard<std::mutex> lock(ack_mu_);
               awaiting_ack_.erase(msg_id);
+              note_rndv_slots_locked();
             }
             DevStatus status;
             status.source = self_;
@@ -695,6 +737,8 @@ class ShmDevice final : public Device, public RequestCanceller {
       ring.push(rec, part_a, part_b);
       sent += chunk;
     } while (sent < total);
+    prof::record_flight(msg_id, prof::FlightStage::SendWire, dst.value, tag, context,
+                        total_bytes);
 
     if (!need_ack) {
       // Buffered semantics: data fully copied into the receiver's ring.
@@ -718,7 +762,8 @@ class ShmDevice final : public Device, public RequestCanceller {
                                   int tag, int context, bool need_ack) {
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
-    const std::uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t msg_id = prof::alloc_corr_id(self_.value);
+    request->set_corr(msg_id);
     std::size_t payload = 0;
     for (const SendSegment& seg : segments) payload += seg.size;
     const std::size_t total = header.size() + payload;  // one static region, no dynamic
@@ -728,6 +773,7 @@ class ShmDevice final : public Device, public RequestCanceller {
     if (prof::Hooks* hooks = prof::hooks()) {
       hooks->on_send_begin(prof::MsgInfo{dst.value, tag, context, total});
     }
+    prof::record_flight(msg_id, prof::FlightStage::SendPosted, dst.value, tag, context, total);
 
     if (need_ack) {
       std::lock_guard<std::mutex> lock(ack_mu_);
@@ -737,6 +783,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       status.context = context;
       status.static_bytes = total;
       awaiting_ack_.emplace(msg_id, AckWait{request, status});
+      note_rndv_slots_locked();
     }
 
     // Walk [header | seg0 | seg1 | ...] with a (part, offset) cursor,
@@ -786,6 +833,7 @@ class ShmDevice final : public Device, public RequestCanceller {
             {
               std::lock_guard<std::mutex> lock(ack_mu_);
               awaiting_ack_.erase(msg_id);
+              note_rndv_slots_locked();
             }
             DevStatus status;
             status.source = self_;
@@ -810,6 +858,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       ring.push_parts(rec, chunk_parts);
       sent += chunk;
     } while (sent < total);
+    prof::record_flight(msg_id, prof::FlightStage::SendWire, dst.value, tag, context, total);
 
     if (!need_ack) {
       DevStatus status;
@@ -910,6 +959,7 @@ class ShmDevice final : public Device, public RequestCanceller {
             if (it == awaiting_ack_.end()) continue;
             wait = std::move(it->second);
             awaiting_ack_.erase(it);
+            note_rndv_slots_locked();
           }
           wait.request->complete(wait.status);
           continue;
@@ -954,7 +1004,12 @@ class ShmDevice final : public Device, public RequestCanceller {
       {
         std::lock_guard<std::mutex> lock(recv_mu_);
         posted = posted_.match_where(key, claim_recv);
-        if (posted) note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
+        note_posted_depth_locked();
+        if (posted) {
+          note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
+          posted->request->mark_matched(rec.msg_id, rec.src, rec.tag, rec.context,
+                                        rec.static_len + rec.dynamic_len);
+        }
       }
       if (!posted) {
         scratch.resize(body);
@@ -1072,9 +1127,11 @@ class ShmDevice final : public Device, public RequestCanceller {
       std::memcpy(msg->bytes.data() + sa.dst_a.size(), sa.dst_b.data(), sa.dst_b.size());
     }
     const MatchKey key = msg->key;
+    const std::int64_t unexp_bytes = unexp_payload_bytes(*msg);
     std::lock_guard<std::mutex> lock(recv_mu_);
     unexpected_.add(key, std::move(msg));
     counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+    note_unexpected_locked(unexp_bytes);
     arrival_cv_.notify_all();
   }
 
@@ -1100,15 +1157,20 @@ class ShmDevice final : public Device, public RequestCanceller {
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
       posted = posted_.match_where(key, claim_recv);
+      note_posted_depth_locked();
       if (!posted) {
+        const std::int64_t unexp_bytes = unexp_payload_bytes(*message);
         // NOTE: the key is passed as a separate value — evaluation order of
         // `message->key` next to `std::move(message)` would be unspecified.
         unexpected_.add(key, std::move(message));
         counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+        note_unexpected_locked(unexp_bytes);
         arrival_cv_.notify_all();
         return;
       }
       note_match(key, rec.static_len + rec.dynamic_len, /*was_posted=*/true);
+      posted->request->mark_matched(rec.msg_id, rec.src, rec.tag, rec.context,
+                                    rec.static_len + rec.dynamic_len);
     }
     // The receive may have been posted between route_data's match attempt
     // (first-chunk time) and now; a direct posting carries a span, not a
@@ -1141,10 +1203,12 @@ class ShmDevice final : public Device, public RequestCanceller {
   std::unordered_map<AssemblyKey, StreamAssembly, AssemblyKeyHash> streams_;
 
   std::mutex ack_mu_;
+  // Keyed by correlation id (prof::alloc_corr_id): ids double as the flight
+  // recorder's message identity, so the ACK protocol and tracing agree.
   std::unordered_map<std::uint64_t, AckWait> awaiting_ack_;
-  std::atomic<std::uint64_t> next_msg_id_{1};
 
   std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("shmdev");
+  std::shared_ptr<prof::PvarSet> pvars_ = prof::PvarRegistry::global().create("shmdev");
   CompletionQueue completions_;
   /// Where hooked completions publish: our own queue, unless a composite
   /// parent (hybdev) redirected us into its merged queue.

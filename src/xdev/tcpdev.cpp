@@ -31,7 +31,9 @@
 
 #include "bufx/buffer_pool.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/hooks.hpp"
+#include "prof/pvars.hpp"
 #include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "support/socket.hpp"
@@ -54,7 +56,7 @@ struct UnexpMsg {
   FrameType kind = FrameType::Eager;
   std::uint32_t static_len = 0;
   std::uint32_t dynamic_len = 0;
-  std::uint64_t msg_id = 0;  // RTS only
+  std::uint64_t msg_id = 0;  // RTS: rendezvous key; eager: correlation id (0 = untraced)
   std::unique_ptr<buf::Buffer> temp;  // eager payload (possibly still arriving)
   bool data_complete = false;
   // Set when a receive claimed this entry while its payload was still
@@ -332,10 +334,14 @@ class TcpDevice final : public Device, public RequestCanceller {
       auto found = unexpected_.match(key);
       if (!found) {
         posted_.add(key, RecvRec{request, &buffer});
+        note_posted_depth_locked();
         return request;
       }
       msg = std::move(*found);
       note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*msg));
+      request->mark_matched(msg->msg_id, msg->key.src.value, msg->key.tag, msg->key.context,
+                            msg->static_len + msg->dynamic_len);
       if (msg->kind == FrameType::Eager && !msg->data_complete) {
         // Payload still arriving: leave the hand-off to the input handler.
         msg->claimant = request;
@@ -347,6 +353,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       if (msg->kind == FrameType::Rts) {
         rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id},
                               RndvPending{request, &buffer});
+        note_rndv_slots_locked();
       }
     }
     // Locks released before touching any channel, as in Fig. 7.
@@ -392,10 +399,14 @@ class TcpDevice final : public Device, public RequestCanceller {
         rec.direct = true;
         rec.span = dst;
         posted_.add(key, std::move(rec));
+        note_posted_depth_locked();
         return request;
       }
       msg = std::move(*found);
       note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*msg));
+      request->mark_matched(msg->msg_id, msg->key.src.value, msg->key.tag, msg->key.context,
+                            msg->static_len + msg->dynamic_len);
       if (msg->kind == FrameType::Eager && !msg->data_complete) {
         // Payload still streaming into the pool buffer; the input handler
         // copies it out (or attaches it) when the last byte lands.
@@ -421,6 +432,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           request->attach_buffer(std::move(staging));
         }
         rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id}, std::move(pending));
+        note_rndv_slots_locked();
       }
     }
     if (msg->kind == FrameType::Eager) {
@@ -467,11 +479,15 @@ class TcpDevice final : public Device, public RequestCanceller {
           rec.buffer = buffer;
         }
         posted_.add(key, std::move(rec));
+        note_posted_depth_locked();
         return false;
       }
       if (!request->try_claim_match()) return true;  // sibling already delivering
       msg = std::move(*unexpected_.match(key));
       note_match(msg->key, msg->static_len + msg->dynamic_len, /*was_posted=*/false);
+      note_unexpected_locked(-unexp_payload_bytes(*msg));
+      request->mark_matched(msg->msg_id, msg->key.src.value, msg->key.tag, msg->key.context,
+                            msg->static_len + msg->dynamic_len);
       if (msg->kind == FrameType::Eager && !msg->data_complete) {
         msg->claimant = request;
         if (span != nullptr) {
@@ -498,6 +514,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           request->attach_buffer(std::move(staging));
         }
         rndv_pending_.emplace(RndvKey{msg->key.src.value, msg->msg_id}, std::move(pending));
+        note_rndv_slots_locked();
       }
     }
     if (msg->kind == FrameType::Eager) {
@@ -588,6 +605,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       std::lock_guard<std::mutex> lock(recv_mu_);
       removed = posted_.remove_scan(
           [&](const RecvRec& rec) { return rec.request.get() == request.get(); });
+      if (removed) note_posted_depth_locked();
     }
     if (!removed) return false;  // already matched (or never posted here)
     DevStatus status;
@@ -626,9 +644,12 @@ class TcpDevice final : public Device, public RequestCanceller {
           msg->claim_direct = false;
           msg->claim_span = RecvSpan{};
           unexpected_.add(msg->key, msg);
+          note_unexpected_locked(unexp_payload_bytes(*msg));
           detached = true;
         }
       }
+      note_posted_depth_locked();
+      note_rndv_slots_locked();
       return detached;
     }
     std::lock_guard<std::mutex> lock(send_mu_);
@@ -636,6 +657,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       if (it->second.request.get() == &request) {
         abandoned_sends_.emplace(it->first, it->second.dst.value);
         pending_sends_.erase(it);
+        note_send_backlog_locked();
         return true;
       }
     }
@@ -696,6 +718,33 @@ class TcpDevice final : public Device, public RequestCanceller {
     }
   }
 
+  // ---- pvar gauges (recomputed after each queue mutation, under the owning
+  // lock, so the absolute stores are exact) --------------------------------------
+
+  void note_posted_depth_locked() {
+    pvars_->gauge_set(prof::Pv::PostedRecvDepth, posted_.size());
+  }
+
+  /// `payload_delta` is the signed change in eager payload bytes held by the
+  /// unexpected queue (RTS announcements hold no local bytes).
+  void note_unexpected_locked(std::int64_t payload_delta) {
+    pvars_->gauge_set(prof::Pv::UnexpectedDepth, unexpected_.size());
+    if (payload_delta != 0) pvars_->gauge_add(prof::Pv::UnexpectedBytes, payload_delta);
+  }
+
+  static std::int64_t unexp_payload_bytes(const UnexpMsg& msg) {
+    if (msg.kind != FrameType::Eager) return 0;
+    return static_cast<std::int64_t>(msg.static_len) + msg.dynamic_len;
+  }
+
+  void note_send_backlog_locked() {
+    pvars_->gauge_set(prof::Pv::SendBacklog, pending_sends_.size());
+  }
+
+  void note_rndv_slots_locked() {
+    pvars_->gauge_set(prof::Pv::RndvSlots, rndv_pending_.size());
+  }
+
   Peer& peer_for(std::uint64_t id) {
     auto it = peers_.find(id);
     if (it == peers_.end()) throw DeviceError("tcpdev: unknown destination " + std::to_string(id));
@@ -706,6 +755,11 @@ class TcpDevice final : public Device, public RequestCanceller {
 
   DevRequest eager_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::EagerSends);
+    // Correlation id only minted while tracing: the disabled path keeps its
+    // zero-cost wire header (msg_id 0 = untraced; receivers skip it).
+    const std::size_t total = buffer.static_size() + buffer.dynamic_size();
+    const std::uint64_t corr = prof::tracing() ? prof::alloc_corr_id(self_.value) : 0;
+    prof::record_flight(corr, prof::FlightStage::SendPosted, dst.value, tag, context, total);
     FrameHeader hdr;
     hdr.type = FrameType::Eager;
     hdr.context = tag_to_wire(context);
@@ -713,18 +767,20 @@ class TcpDevice final : public Device, public RequestCanceller {
     hdr.src = self_.value;
     hdr.static_len = static_cast<std::uint32_t>(buffer.static_size());
     hdr.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
+    hdr.msg_id = corr;
     DevStatus status;
     status.source = self_;
     status.tag = tag;
     status.context = context;
     try {
       write_message(buffer, peer_for(dst.value), hdr);
+      prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context, total);
       status.static_bytes = buffer.static_size();
       status.dynamic_bytes = buffer.dynamic_size();
     } catch (const Error& e) {
       status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
     }
-    return make_completed_request(DevRequestState::Kind::Send, status);
+    return make_completed_request(DevRequestState::Kind::Send, status, corr);
   }
 
   /// Zero-copy eager send: one gathered writev of [frame header | section
@@ -735,6 +791,9 @@ class TcpDevice final : public Device, public RequestCanceller {
                                  std::span<const SendSegment> segments, std::size_t payload,
                                  ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::EagerSends);
+    const std::size_t total = header.size() + payload;
+    const std::uint64_t corr = prof::tracing() ? prof::alloc_corr_id(self_.value) : 0;
+    prof::record_flight(corr, prof::FlightStage::SendPosted, dst.value, tag, context, total);
     FrameHeader hdr;
     hdr.type = FrameType::Eager;
     hdr.context = tag_to_wire(context);
@@ -742,17 +801,19 @@ class TcpDevice final : public Device, public RequestCanceller {
     hdr.src = self_.value;
     hdr.static_len = static_cast<std::uint32_t>(header.size() + payload);
     hdr.dynamic_len = 0;
+    hdr.msg_id = corr;
     DevStatus status;
     status.source = self_;
     status.tag = tag;
     status.context = context;
     try {
       write_segments(peer_for(dst.value), hdr, header, segments);
+      prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context, total);
       status.static_bytes = header.size() + payload;
     } catch (const Error& e) {
       status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
     }
-    return make_completed_request(DevRequestState::Kind::Send, status);
+    return make_completed_request(DevRequestState::Kind::Send, status, corr);
   }
 
   /// Decide the injected fault for ONE logical outgoing frame
@@ -836,7 +897,12 @@ class TcpDevice final : public Device, public RequestCanceller {
     counters_->add(prof::Ctr::RndvSends);
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
-    const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
+    // Rendezvous always allocates: the id keys pending_sends_ / RndvKey maps
+    // on both ends, and doubles as the flight-recorder correlation id.
+    const std::uint64_t id = prof::alloc_corr_id(self_.value);
+    request->set_corr(id);
+    const std::size_t total = buffer.static_size() + buffer.dynamic_size();
+    prof::record_flight(id, prof::FlightStage::SendPosted, dst.value, tag, context, total);
     {
       std::lock_guard<std::mutex> lock(send_mu_);
       SendRec rec;
@@ -846,6 +912,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       rec.tag = tag;
       rec.context = context;
       pending_sends_.emplace(id, std::move(rec));
+      note_send_backlog_locked();
     }
     FrameHeader rts;
     rts.type = FrameType::Rts;
@@ -863,6 +930,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       {
         std::lock_guard<std::mutex> lock(send_mu_);
         pending_sends_.erase(id);
+        note_send_backlog_locked();
       }
       DevStatus status;
       status.source = self_;
@@ -884,7 +952,10 @@ class TcpDevice final : public Device, public RequestCanceller {
     counters_->add(prof::Ctr::RndvSends);
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
-    const std::uint64_t id = next_send_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t id = prof::alloc_corr_id(self_.value);
+    request->set_corr(id);
+    prof::record_flight(id, prof::FlightStage::SendPosted, dst.value, tag, context,
+                        header.size() + payload);
     {
       SendRec rec;
       rec.request = request;
@@ -898,6 +969,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       rec.context = context;
       std::lock_guard<std::mutex> lock(send_mu_);
       pending_sends_.emplace(id, std::move(rec));
+      note_send_backlog_locked();
     }
     FrameHeader rts;
     rts.type = FrameType::Rts;
@@ -913,6 +985,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       {
         std::lock_guard<std::mutex> lock(send_mu_);
         pending_sends_.erase(id);
+        note_send_backlog_locked();
       }
       DevStatus status;
       status.source = self_;
@@ -1018,7 +1091,10 @@ class TcpDevice final : public Device, public RequestCanceller {
                })) {
         if (msg->claimant) victims.push_back(std::move(msg->claimant));
         arriving_claims_.erase(msg.get());
+        note_unexpected_locked(-unexp_payload_bytes(*msg));
       }
+      note_posted_depth_locked();
+      note_rndv_slots_locked();
       arrival_cv_.notify_all();  // wake probes so they see dead_peers_
     }
     {
@@ -1034,6 +1110,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       for (auto it = abandoned_sends_.begin(); it != abandoned_sends_.end();) {
         it = it->second == peer ? abandoned_sends_.erase(it) : std::next(it);
       }
+      note_send_backlog_locked();
     }
     DevStatus status;
     status.source = ProcessID{peer};
@@ -1152,16 +1229,21 @@ class TcpDevice final : public Device, public RequestCanceller {
         msg->kind = FrameType::Eager;
         msg->static_len = hdr.static_len;
         msg->dynamic_len = hdr.dynamic_len;
+        msg->msg_id = hdr.msg_id;  // correlation id for the eventual matcher
         msg->temp = pool_.get(hdr.static_len);
         auto static_dst = msg->temp->prepare_static(hdr.static_len);
         auto dynamic_dst = msg->temp->prepare_dynamic(hdr.dynamic_len);
         unexpected_.add(key, msg);
         counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+        note_unexpected_locked(unexp_payload_bytes(*msg));
         arrival_cv_.notify_all();
         begin_body(conn, static_dst, dynamic_dst, [this, msg] { finish_unexpected(msg); });
         return;
       }
       note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
+      note_posted_depth_locked();
+      rec->request->mark_matched(hdr.msg_id, hdr.src, hdr.tag, hdr.context,
+                                 hdr.static_len + hdr.dynamic_len);
     }
     // Posted receive found: stream straight into the user's buffer (or, for
     // a direct receive, the user's span).
@@ -1291,7 +1373,7 @@ class TcpDevice final : public Device, public RequestCanceller {
         conn, std::span<std::byte>(span.header, sect),
         std::span<std::byte>(span.payload, hdr.static_len - sect),
         [this, req, status, span] {
-          if (req->claimed()) preserve_abandoned_direct(status, span);
+          if (req->claimed()) preserve_abandoned_direct(status, span, req->corr());
           req->complete(status);
         },
         request);
@@ -1300,10 +1382,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// A direct receive was abandoned mid-body and the payload has now fully
   /// landed in the (still device-owned) span: requeue it as an ordinary
   /// staged unexpected message so a later receive can match it.
-  void preserve_abandoned_direct(const DevStatus& status, const RecvSpan& span) {
+  void preserve_abandoned_direct(const DevStatus& status, const RecvSpan& span,
+                                 std::uint64_t corr) {
     constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
     auto msg = std::make_shared<UnexpMsg>();
     msg->key = MatchKey{status.context, status.tag, status.source};
+    msg->msg_id = corr;
     msg->kind = FrameType::Eager;
     msg->static_len = static_cast<std::uint32_t>(status.static_bytes);
     msg->dynamic_len = 0;
@@ -1319,6 +1403,7 @@ class TcpDevice final : public Device, public RequestCanceller {
     std::lock_guard<std::mutex> lock(recv_mu_);
     unexpected_.add(msg->key, msg);
     counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+    note_unexpected_locked(unexp_payload_bytes(*msg));
     arrival_cv_.notify_all();
   }
 
@@ -1388,10 +1473,14 @@ class TcpDevice final : public Device, public RequestCanceller {
         msg->msg_id = hdr.msg_id;
         unexpected_.add(key, msg);
         counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+        note_unexpected_locked(0);
         arrival_cv_.notify_all();
         return;
       }
       note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
+      note_posted_depth_locked();
+      rec->request->mark_matched(hdr.msg_id, hdr.src, hdr.tag, hdr.context,
+                                 hdr.static_len + hdr.dynamic_len);
       RndvPending pending;
       pending.request = rec->request;
       if (!rec->direct) {
@@ -1408,6 +1497,7 @@ class TcpDevice final : public Device, public RequestCanceller {
         rec->request->attach_buffer(std::move(staging));
       }
       rndv_pending_.emplace(RndvKey{hdr.src, hdr.msg_id}, std::move(pending));
+      note_rndv_slots_locked();
     }
     // recv sets unlocked before taking the channel lock, as in Fig. 8.
     send_rtr(hdr.src, hdr.context, hdr.tag, hdr.static_len, hdr.dynamic_len, hdr.msg_id);
@@ -1433,6 +1523,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       }
       rec = std::move(it->second);
       pending_sends_.erase(it);
+      note_send_backlog_locked();
     }
     {
       std::lock_guard<std::mutex> lock(writer_mu_);
@@ -1459,6 +1550,8 @@ class TcpDevice final : public Device, public RequestCanceller {
         } else {
           write_message(*rec.buffer, peer_for(rec.dst.value), data);
         }
+        prof::record_flight(msg_id, prof::FlightStage::SendWire, rec.dst.value, rec.tag,
+                            rec.context, data.static_len + data.dynamic_len);
         DevStatus status;
         status.source = self_;
         status.tag = rec.tag;
@@ -1496,6 +1589,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       } else {
         pending = std::move(it->second);
         rndv_pending_.erase(it);
+        note_rndv_slots_locked();
       }
     }
     if (!pending.request) {
@@ -1565,13 +1659,13 @@ class TcpDevice final : public Device, public RequestCanceller {
   // msg_id -> destination for rendezvous sends whose wait() timed out
   // before the RTR arrived; the late RTR keyed here is ignored.
   std::unordered_map<std::uint64_t, std::uint64_t> abandoned_sends_;
-  std::atomic<std::uint64_t> next_send_id_{1};
 
   std::mutex writer_mu_;
   std::condition_variable writer_cv_;
   int active_writers_ = 0;
 
   std::shared_ptr<prof::Counters> counters_ = prof::Registry::global().create("tcpdev");
+  std::shared_ptr<prof::PvarSet> pvars_ = prof::PvarRegistry::global().create("tcpdev");
   buf::BufferPool pool_{0, counters_.get()};
   CompletionQueue completions_;
   /// Where hooked completions publish: our own queue, unless a composite

@@ -46,7 +46,10 @@ struct FrameHeader {
   std::uint64_t src = 0;       ///< sender's ProcessID value
   std::uint32_t static_len = 0;
   std::uint32_t dynamic_len = 0;
-  std::uint64_t msg_id = 0;    ///< send-record id correlating RTS/RTR/data
+  /// Flight-recorder correlation id (prof::alloc_corr_id): keys RTS/RTR/
+  /// data frames of one rendezvous AND binds sender/receiver lifecycle
+  /// events in traces. 0 on eager frames when tracing is off.
+  std::uint64_t msg_id = 0;
 };
 
 inline constexpr std::size_t kHeaderBytes = 40;

@@ -1,0 +1,164 @@
+// Flight-recorder end-to-end tests: N threads ping-pong concurrently over a
+// live device, the trace is dumped, and the test parses the Chrome trace
+// asserting every send flow id ("ph":"s") has exactly one matching recv flow
+// id ("ph":"f") — no orphans, no duplicates — on tcpdev, shmdev and hybdev.
+// Runs under TSan in CI: the recorder itself must not introduce races.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "device_harness.hpp"
+#include "env_util.hpp"
+#include "prof/flight.hpp"
+#include "prof/trace.hpp"
+#include "xdev/device.hpp"
+
+namespace mpcx {
+namespace {
+
+using xdev::Device;
+using xdev::testing::DeviceWorld;
+using testing_env = mpcx::testing::ScopedEnv;
+
+constexpr int kCtx = 0;
+
+std::unique_ptr<buf::Buffer> packed(std::size_t ints, Device& dev) {
+  std::vector<std::int32_t> values(ints);
+  for (std::size_t i = 0; i < ints; ++i) values[i] = static_cast<std::int32_t>(i);
+  auto buffer = std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                              static_cast<std::size_t>(dev.send_overhead()));
+  buffer->write(std::span<const std::int32_t>(values));
+  buffer->commit();
+  return buffer;
+}
+
+std::unique_ptr<buf::Buffer> landing(std::size_t ints, Device& dev) {
+  return std::make_unique<buf::Buffer>(ints * 4 + 64,
+                                       static_cast<std::size_t>(dev.recv_overhead()));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Collect the flow-binding ids of every "ph":"<phase>" event. The dump is
+// one event per line, id rendered as "id":"0x<hex>".
+std::vector<std::uint64_t> flow_ids(const std::string& text, char phase) {
+  std::vector<std::uint64_t> ids;
+  const std::string ph_needle = std::string("\"ph\":\"") + phase + "\"";
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(ph_needle) == std::string::npos) continue;
+    const auto at = line.find("\"id\":\"0x");
+    if (at == std::string::npos) {
+      ADD_FAILURE() << "flow event without id: " << line;
+      continue;
+    }
+    ids.push_back(std::stoull(line.substr(at + 8), nullptr, 16));
+  }
+  return ids;
+}
+
+// One traced scenario: kThreads threads each run kIters blocking ping-pongs
+// (alternating eager and rendezvous sizes against a 1 KiB threshold) between
+// rotating rank pairs; afterwards the parsed trace must pair up exactly.
+void run_flow_matching(const std::string& device_name, int nprocs) {
+  const std::string path =
+      ::testing::TempDir() + "/flight_" + device_name + ".json";
+  prof::reset_flight_for_tests();
+  prof::set_trace_path(path);
+  const std::uint64_t dropped_before = prof::dropped_flight_recs();
+  {
+    DeviceWorld world(device_name, nprocs, /*eager_threshold=*/1024);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 12;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&world, nprocs, t] {
+        const int tag = 100 + t;
+        for (int iter = 0; iter < kIters; ++iter) {
+          const std::size_t ints = (iter % 2 == 0) ? 8 : 1024;
+          const int a = (t + iter) % nprocs;
+          // With 4 ranks alternate the partner so hybdev exercises both its
+          // tcp (cross-node) and shm (same-node) children under NODE_ID=2.
+          const int b = nprocs == 4 && iter % 2 == 1 ? (a + 2) % 4 : (a + 1) % nprocs;
+          // Ping a -> b.
+          auto ping = packed(ints, world.device(a));
+          auto ping_req = world.device(a).isend(*ping, world.id(b), tag, kCtx);
+          auto ping_land = landing(ints, world.device(b));
+          world.device(b).recv(*ping_land, world.id(a), tag, kCtx);
+          ping_req->wait();
+          // Pong b -> a.
+          auto pong = packed(ints, world.device(b));
+          auto pong_req = world.device(b).isend(*pong, world.id(a), tag, kCtx);
+          auto pong_land = landing(ints, world.device(a));
+          world.device(a).recv(*pong_land, world.id(b), tag, kCtx);
+          pong_req->wait();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }  // devices down: no thread is still appending flight records
+  ASSERT_TRUE(prof::dump_trace(path));
+  prof::set_trace_path("");
+  // A full ring silently drops records and would fake orphans below.
+  ASSERT_EQ(prof::dropped_flight_recs(), dropped_before);
+
+  const std::string text = slurp(path);
+  std::vector<std::uint64_t> sends = flow_ids(text, 's');
+  std::vector<std::uint64_t> recvs = flow_ids(text, 'f');
+  ASSERT_FALSE(sends.empty());
+  std::sort(sends.begin(), sends.end());
+  std::sort(recvs.begin(), recvs.end());
+  EXPECT_EQ(std::adjacent_find(sends.begin(), sends.end()), sends.end())
+      << "duplicate send flow id";
+  EXPECT_EQ(std::adjacent_find(recvs.begin(), recvs.end()), recvs.end())
+      << "duplicate recv flow id";
+  EXPECT_EQ(sends, recvs) << "send/recv flow ids do not pair up";
+  prof::reset_flight_for_tests();
+}
+
+TEST(FlightRecorder, ConcurrentPingPongFlowsMatchTcpdev) {
+  run_flow_matching("tcpdev", 2);
+}
+
+TEST(FlightRecorder, ConcurrentPingPongFlowsMatchShmdev) {
+  run_flow_matching("shmdev", 2);
+}
+
+TEST(FlightRecorder, ConcurrentPingPongFlowsMatchHybdev) {
+  testing_env sim("MPCX_NODE_ID", "2");
+  run_flow_matching("hybdev", 4);
+}
+
+TEST(FlightRecorder, CorrIdsEncodeIdentityAndNeverZero) {
+  const std::uint64_t a1 = prof::alloc_corr_id(0x00ABCDEF);
+  const std::uint64_t a2 = prof::alloc_corr_id(0x00ABCDEF);
+  const std::uint64_t b1 = prof::alloc_corr_id(0xFF123456);  // identity truncated to 24 bits
+  EXPECT_NE(a1, 0u);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(a1 >> 40, 0x00ABCDEFu);
+  EXPECT_EQ(b1 >> 40, 0x123456u);
+  EXPECT_LT(a1 & ((1ull << 40) - 1), a2 & ((1ull << 40) - 1));
+}
+
+TEST(FlightRecorder, StageNamesAreStable) {
+  EXPECT_STREQ(prof::flight_stage_name(prof::FlightStage::SendPosted), "send_posted");
+  EXPECT_STREQ(prof::flight_stage_name(prof::FlightStage::SendWire), "send_wire");
+  EXPECT_STREQ(prof::flight_stage_name(prof::FlightStage::RecvMatched), "recv_matched");
+  EXPECT_STREQ(prof::flight_stage_name(prof::FlightStage::RecvCompleted), "recv_completed");
+}
+
+}  // namespace
+}  // namespace mpcx

@@ -21,6 +21,7 @@
 #include "env_util.hpp"
 #include "prof/counters.hpp"
 #include "prof/hooks.hpp"
+#include "prof/pvars.hpp"
 #include "prof/trace.hpp"
 #include "xdev/device.hpp"
 
@@ -44,6 +45,11 @@ struct StatsGuard {
 struct TraceGuard {
   explicit TraceGuard(const std::string& path) { prof::set_trace_path(path); }
   ~TraceGuard() { prof::set_trace_path(""); }
+};
+
+struct PvarsGuard {
+  PvarsGuard() { prof::set_pvars_enabled(true); }
+  ~PvarsGuard() { prof::set_pvars_enabled(false); }
 };
 
 std::string temp_path(const char* stem) {
@@ -120,9 +126,18 @@ void expect_valid_chrome_trace(const std::string& text) {
   const std::size_t ends = count_occurrences(text, "\"ph\":\"E\"");
   EXPECT_EQ(begins, ends) << "unbalanced begin/end events";
   EXPECT_GT(begins, 0u) << "trace recorded no spans";
-  EXPECT_EQ(count_occurrences(text, "\"pid\":"), 2 * begins);
-  EXPECT_EQ(count_occurrences(text, "\"tid\":"), 2 * begins);
-  EXPECT_EQ(count_occurrences(text, "\"ts\":"), 2 * begins);
+  // Every event carries pid and tid; every non-metadata event carries ts.
+  // Besides B/E span pairs a dump holds flight "X" slices, flow "s"/"f"
+  // pairs, the clock-sync instant, and (merged traces) "M" metadata.
+  const std::size_t slices = count_occurrences(text, "\"ph\":\"X\"");
+  const std::size_t flows =
+      count_occurrences(text, "\"ph\":\"s\"") + count_occurrences(text, "\"ph\":\"f\"");
+  const std::size_t instants = count_occurrences(text, "\"ph\":\"i\"");
+  const std::size_t metas = count_occurrences(text, "\"ph\":\"M\"");
+  const std::size_t timed = 2 * begins + slices + flows + instants;
+  EXPECT_EQ(count_occurrences(text, "\"pid\":"), timed + metas);
+  EXPECT_EQ(count_occurrences(text, "\"tid\":"), timed + metas);
+  EXPECT_EQ(count_occurrences(text, "\"ts\":"), timed);
 }
 
 TEST(ProfCounters, MutationsGatedByStatsSwitch) {
@@ -171,6 +186,109 @@ TEST(ProfCounters, CtrNamesAreStable) {
   EXPECT_STREQ(prof::ctr_name(prof::Ctr::MsgsSent), "msgs_sent");
   EXPECT_STREQ(prof::ctr_name(prof::Ctr::RndvSends), "rndv_sends");
   EXPECT_STREQ(prof::ctr_name(prof::Ctr::UnexpectedDepthHwm), "unexpected_depth_hwm");
+}
+
+TEST(ProfPvars, MutationsGatedByPvarSwitch) {
+  prof::PvarSet set;
+  set.gauge_set(prof::Pv::PostedRecvDepth, 5);  // disabled: dropped
+  set.observe(prof::Pv::MatchLatencyNs, 100);
+  EXPECT_EQ(set.gauge(prof::Pv::PostedRecvDepth).current, 0u);
+  EXPECT_EQ(set.hist(prof::Pv::MatchLatencyNs).count, 0u);
+
+  PvarsGuard pvars;
+  set.gauge_set(prof::Pv::PostedRecvDepth, 5);
+  set.gauge_set(prof::Pv::PostedRecvDepth, 2);
+  EXPECT_EQ(set.gauge(prof::Pv::PostedRecvDepth).current, 2u);
+  EXPECT_EQ(set.gauge(prof::Pv::PostedRecvDepth).hwm, 5u);
+  set.gauge_add(prof::Pv::UnexpectedBytes, 300);
+  set.gauge_add(prof::Pv::UnexpectedBytes, -100);
+  EXPECT_EQ(set.gauge(prof::Pv::UnexpectedBytes).current, 200u);
+  EXPECT_EQ(set.gauge(prof::Pv::UnexpectedBytes).hwm, 300u);
+  set.observe(prof::Pv::MatchLatencyNs, 1000);
+  set.observe(prof::Pv::MatchLatencyNs, 3000);
+  const auto hist = set.hist(prof::Pv::MatchLatencyNs);
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_EQ(hist.sum, 4000u);
+  // log2 buckets: bucket i holds values in [2^(i-1), 2^i).
+  EXPECT_EQ(hist.buckets[10], 1u);  // 1000
+  EXPECT_EQ(hist.buckets[12], 1u);  // 3000
+
+  // reset() clears histograms and HWMs; gauge currents are live state.
+  set.reset();
+  EXPECT_EQ(set.gauge(prof::Pv::UnexpectedBytes).current, 200u);
+  EXPECT_EQ(set.gauge(prof::Pv::UnexpectedBytes).hwm, 0u);
+  EXPECT_EQ(set.hist(prof::Pv::MatchLatencyNs).count, 0u);
+}
+
+TEST(ProfPvars, MetadataEnumerable) {
+  for (std::size_t i = 0; i < prof::kPvCount; ++i) {
+    const auto& info = prof::pv_info(static_cast<prof::Pv>(i));
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_NE(info.desc, nullptr);
+    EXPECT_GT(std::string(info.name).size(), 0u);
+  }
+  EXPECT_STREQ(prof::pv_info(prof::Pv::PostedRecvDepth).name, "posted_recv_depth");
+  EXPECT_EQ(prof::pv_info(prof::Pv::PostedRecvDepth).cls, prof::PvClass::Gauge);
+  EXPECT_STREQ(prof::pv_info(prof::Pv::MatchLatencyNs).name, "match_latency_ns");
+  EXPECT_EQ(prof::pv_info(prof::Pv::MatchLatencyNs).cls, prof::PvClass::Histogram);
+  EXPECT_STREQ(prof::pv_info(prof::Pv::InflightScheds).name, "inflight_scheds");
+}
+
+TEST(ProfPvars, RegistryAndJsonlSnapshot) {
+  auto set = prof::PvarRegistry::global().create("test-pvars");
+  PvarsGuard pvars;
+  set->gauge_set(prof::Pv::SendBacklog, 3);
+  set->observe(prof::Pv::OpCompletionNs, 500);
+
+  auto snapshot = prof::PvarRegistry::global().snapshot();
+  const auto found = std::find_if(snapshot.begin(), snapshot.end(),
+                                  [](const auto& entry) { return entry.label == "test-pvars"; });
+  ASSERT_NE(found, snapshot.end());
+  EXPECT_EQ(found->set->gauge(prof::Pv::SendBacklog).current, 3u);
+
+  const std::string line = prof::pvars_jsonl_line(7, 123456789);
+  EXPECT_NE(line.find("\"t_ns\":123456789"), std::string::npos);
+  EXPECT_NE(line.find("\"rank\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"test-pvars\""), std::string::npos);
+  EXPECT_NE(line.find("\"send_backlog\":{\"cur\":3,\"hwm\":3}"), std::string::npos);
+  EXPECT_NE(line.find("\"op_completion_ns\""), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  prof::report_pvars("test-pvars", *set);  // smoke: single-write stderr dump
+
+  // Registry holds weak refs: once every strong ref (ours and the old
+  // snapshot's) is gone, the set drops out of later snapshots.
+  set.reset();
+  snapshot.clear();
+  snapshot = prof::PvarRegistry::global().snapshot();
+  EXPECT_TRUE(std::none_of(snapshot.begin(), snapshot.end(),
+                           [](const auto& entry) { return entry.label == "test-pvars"; }));
+}
+
+// Real device traffic must move the queue-depth gauges and feed the
+// process-wide latency histograms through the request choke points.
+TEST(ProfPvars, DeviceTrafficFeedsGaugesAndHistograms) {
+  PvarsGuard pvars;
+  const auto match_before = prof::proc_pvars().hist(prof::Pv::MatchLatencyNs).count;
+  const auto completion_before = prof::proc_pvars().hist(prof::Pv::OpCompletionNs).count;
+  DeviceWorld world("tcpdev", 2, /*eager_threshold=*/4 * 1024);
+
+  auto sbuf = packed(8, world.device(0));
+  world.device(0).send(*sbuf, world.id(1), 5, kCtx);
+  world.device(1).probe(world.id(0), 5, kCtx);  // lands on the unexpected queue
+  std::uint64_t unexp_hwm = 0;
+  std::uint64_t unexp_bytes_hwm = 0;
+  for (const auto& entry : prof::PvarRegistry::global().snapshot()) {
+    if (entry.label != "tcpdev") continue;
+    unexp_hwm = std::max(unexp_hwm, entry.set->gauge(prof::Pv::UnexpectedDepth).hwm);
+    unexp_bytes_hwm = std::max(unexp_bytes_hwm, entry.set->gauge(prof::Pv::UnexpectedBytes).hwm);
+  }
+  EXPECT_GE(unexp_hwm, 1u);
+  EXPECT_GT(unexp_bytes_hwm, 0u);
+
+  auto rbuf = landing(8, world.device(1));
+  world.device(1).recv(*rbuf, world.id(0), 5, kCtx);
+  EXPECT_GT(prof::proc_pvars().hist(prof::Pv::MatchLatencyNs).count, match_before);
+  EXPECT_GT(prof::proc_pvars().hist(prof::Pv::OpCompletionNs).count, completion_before);
 }
 
 // tcpdev classifies by size against the eager threshold: N small (eager) +

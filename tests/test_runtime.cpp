@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "env_util.hpp"
 #include "runtime/daemon.hpp"
 #include "runtime/launcher.hpp"
 
@@ -209,6 +215,153 @@ TEST(Launcher, MultipleDaemonsRoundRobin) {
   EXPECT_EQ(results[1].exit_code, 0) << results[1].output;
   d1.stop();
   d2.stop();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+std::size_t count_substr(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Launcher, MergeTracesAlignsClocksAndSkipsUnsynced) {
+  const std::string dir = ::testing::TempDir();
+  // Rank 0: offset = wall - steady = 1ms. Rank 1: offset = 3ms, so its
+  // events must shift +2000us onto rank 0's steady clock. Rank 2 has no
+  // clock-sync event and must be dropped, as must the missing rank 3 file.
+  write_file(dir + "/mt.rank0.json",
+             "[\n"
+             "{\"name\":\"a\",\"cat\":\"p2p\",\"ph\":\"X\",\"ts\":2000.000,\"dur\":10.000,"
+             "\"pid\":100,\"tid\":1},\n"
+             "{\"name\":\"mpcx_clock_sync\",\"cat\":\"meta\",\"ph\":\"i\",\"s\":\"p\","
+             "\"ts\":3000.000,\"pid\":100,\"tid\":0,"
+             "\"args\":{\"steady_ns\":3000000,\"wall_ns\":4000000}}\n"
+             "]\n");
+  write_file(dir + "/mt.rank1.json",
+             "[\n"
+             "{\"name\":\"b\",\"cat\":\"p2p\",\"ph\":\"X\",\"ts\":500.000,\"dur\":5.000,"
+             "\"pid\":200,\"tid\":1},\n"
+             "{\"name\":\"mpcx_clock_sync\",\"cat\":\"meta\",\"ph\":\"i\",\"s\":\"p\","
+             "\"ts\":1000.000,\"pid\":200,\"tid\":0,"
+             "\"args\":{\"steady_ns\":1000000,\"wall_ns\":4000000}}\n"
+             "]\n");
+  write_file(dir + "/mt.rank2.json",
+             "[\n{\"name\":\"c\",\"ph\":\"X\",\"ts\":1.000,\"dur\":1.000,\"pid\":300,\"tid\":1}\n]\n");
+
+  const std::string out = dir + "/mt_merged.json";
+  EXPECT_EQ(merge_traces({dir + "/mt.rank0.json", dir + "/mt.rank1.json",
+                          dir + "/mt.rank2.json", dir + "/mt.rank3.json"},
+                         out),
+            2u);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":100,\"tid\":0,"
+                      "\"args\":{\"name\":\"rank 0\"}}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"rank 1\"}}"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"a\",\"cat\":\"p2p\",\"ph\":\"X\",\"ts\":2000.000"),
+            std::string::npos);  // first merged rank is the reference: unshifted
+  EXPECT_NE(text.find("\"name\":\"b\",\"cat\":\"p2p\",\"ph\":\"X\",\"ts\":2500.000"),
+            std::string::npos);  // 500us + 2000us offset delta
+  EXPECT_EQ(text.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text[text.size() - 2], ']');
+}
+
+TEST(Launcher, MergeTracesReturnsZeroWithNothingToMerge) {
+  const std::string out = ::testing::TempDir() + "/mt_empty_merged.json";
+  EXPECT_EQ(merge_traces({::testing::TempDir() + "/mt_nope.json"}, out), 0u);
+}
+
+// The ISSUE 6 acceptance scenario: a 4-rank hybdev job on a simulated
+// 2-node topology, traced end to end. The launcher must gather the per-rank
+// trace files into ONE merged Chrome trace whose p2p flow events pair up
+// across rank processes, and periodic pvar snapshots must appear per rank.
+TEST(MultiProcessTraced, FourRankHybridMergedTraceAndMetrics) {
+  mpcx::testing::ScopedEnv sim("MPCX_NODE_ID", "2");
+  Daemon daemon(0);
+  daemon.start();
+
+  const std::string dir = ::testing::TempDir();
+  LaunchSpec spec;
+  spec.nprocs = 4;
+  spec.exe = rank_probe_path();
+  spec.daemons = {DaemonAddr{"127.0.0.1", daemon.port()}};
+  spec.device = "hybdev";
+  spec.trace_path = dir + "/traced_merged.json";
+  spec.metrics_ms = 20;
+  spec.metrics_base = dir + "/traced_metrics";
+
+  const auto results = launch_world(spec);
+  daemon.stop();
+  ASSERT_EQ(results.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].exit_code, 0)
+        << results[static_cast<std::size_t>(r)].output;
+  }
+
+  // One merged trace with all four ranks' tracks and clock-sync markers.
+  const std::string text = slurp(spec.trace_path);
+  ASSERT_FALSE(text.empty()) << "merged trace missing";
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(text.find("\"name\":\"rank " + std::to_string(r) + "\""), std::string::npos);
+  }
+  EXPECT_EQ(count_substr(text, "\"mpcx_clock_sync\""), 4u);
+  // rank_probe runs an Iallreduce: its schedule-engine rounds must stamp
+  // {sched, round} onto the p2p lifecycle slices they generate.
+  EXPECT_NE(text.find("\"sched\":"), std::string::npos);
+  EXPECT_NE(text.find("\"round\":"), std::string::npos);
+
+  // Flow events must pair up by correlation id ACROSS rank processes: the
+  // "s" end lives in the sender's pid, the "f" end in the receiver's.
+  std::map<std::uint64_t, std::set<int>> send_pids;
+  std::map<std::uint64_t, std::set<int>> recv_pids;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const bool is_send = line.find("\"ph\":\"s\"") != std::string::npos;
+    const bool is_recv = line.find("\"ph\":\"f\"") != std::string::npos;
+    if (!is_send && !is_recv) continue;
+    const auto id_at = line.find("\"id\":\"0x");
+    const auto pid_at = line.find("\"pid\":");
+    ASSERT_NE(id_at, std::string::npos) << line;
+    ASSERT_NE(pid_at, std::string::npos) << line;
+    const std::uint64_t id = std::stoull(line.substr(id_at + 8), nullptr, 16);
+    const int pid = std::atoi(line.c_str() + pid_at + 6);
+    (is_send ? send_pids : recv_pids)[id].insert(pid);
+  }
+  ASSERT_FALSE(send_pids.empty());
+  std::size_t cross_rank = 0;
+  for (const auto& [id, senders] : send_pids) {
+    const auto matched = recv_pids.find(id);
+    if (matched == recv_pids.end()) continue;
+    for (int sender : senders) {
+      if (!matched->second.contains(sender)) ++cross_rank;
+    }
+  }
+  EXPECT_GT(cross_rank, 0u) << "no p2p flow connects two different rank processes";
+
+  // Periodic pvar snapshots: one JSONL file per rank, valid lines.
+  for (int r = 0; r < 4; ++r) {
+    const std::string metrics =
+        slurp(spec.metrics_base + ".rank" + std::to_string(r) + ".jsonl");
+    ASSERT_FALSE(metrics.empty()) << "metrics file missing for rank " << r;
+    EXPECT_NE(metrics.find("\"rank\":" + std::to_string(r)), std::string::npos);
+    EXPECT_NE(metrics.find("\"posted_recv_depth\""), std::string::npos);
+  }
 }
 
 TEST(Launcher, ValidationErrors) {

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Instrumentation-overhead guard for the flight recorder / pvar layer.
+
+Compares two `bench --json` outputs (fig_common.hpp JsonRecord arrays) and
+fails if the candidate run's small-message latency regressed beyond the
+tolerance relative to the baseline run. CI uses it to check that a
+tracing-DISABLED run is no slower than a tracing-ENABLED one beyond noise
+(the disabled path must cost one relaxed load + branch per event — see
+docs/OBSERVABILITY.md):
+
+    MPCX_TRACE=trace.json bench_xdev_pingpong --quick --json on.json
+    bench_xdev_pingpong --quick --json off.json
+    tools/check_overhead.py on.json off.json --tolerance 0.05
+
+The geometric mean of per-(bench, size) latency ratios is the verdict, so a
+single noisy point cannot fail the guard on shared CI runners.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_latencies(path, max_bytes):
+    with open(path) as fh:
+        records = json.load(fh)
+    return {
+        (rec["bench"], rec["msg_size"]): rec["latency_us"]
+        for rec in records
+        if rec["msg_size"] <= max_bytes and rec["latency_us"] > 0
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="bench --json output to compare against")
+    parser.add_argument("candidate", help="bench --json output under test")
+    parser.add_argument("--max-bytes", type=int, default=4096,
+                        help="only compare messages up to this size (default 4096)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed geomean latency regression (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    baseline = load_latencies(args.baseline, args.max_bytes)
+    candidate = load_latencies(args.candidate, args.max_bytes)
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("check_overhead: no comparable (bench, msg_size) points", file=sys.stderr)
+        return 2
+
+    log_sum = 0.0
+    for key in shared:
+        ratio = candidate[key] / baseline[key]
+        log_sum += math.log(ratio)
+        print(f"  {key[0]:<28} {key[1]:>8} B  {baseline[key]:>10.3f} -> "
+              f"{candidate[key]:>10.3f} us  (ratio {ratio:.3f})")
+    geomean = math.exp(log_sum / len(shared))
+    verdict = "OK" if geomean <= 1.0 + args.tolerance else "FAIL"
+    print(f"check_overhead: geomean latency ratio {geomean:.4f} over {len(shared)} "
+          f"points (tolerance {1.0 + args.tolerance:.2f}) -> {verdict}")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
