@@ -62,11 +62,27 @@ Comm::Comm(World* world, Group group, int ptp_context, int coll_context)
 
 mpdev::Engine& Comm::engine() const { return world_->engine(); }
 
-int Comm::world_dest(int local_rank) const { return group_.world_rank(local_rank); }
+int Comm::world_dest(int local_rank) const {
+  check_revoked("send");
+  return group_.world_rank(local_rank);
+}
 
 int Comm::world_source(int local_rank) const {
+  check_revoked("receive");
   if (local_rank == ANY_SOURCE) return mpdev::kAnySource;
   return group_.world_rank(local_rank);
+}
+
+void Comm::Revoke() {
+  if (revoked_.exchange(true, std::memory_order_acq_rel)) return;
+  log::warn("communicator revoked (contexts ", ptp_context_, "/", coll_context_,
+            "): new operations will fail with ErrCode::Revoked");
+}
+
+void Comm::check_revoked(const char* op) const {
+  if (!revoked_.load(std::memory_order_acquire)) return;
+  throw CommError(std::string(op) + " on a revoked communicator (use Shrink to recover)",
+                  ErrCode::Revoked);
 }
 
 Status Comm::to_local_status(const mpdev::Status& dev) const {

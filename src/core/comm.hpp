@@ -86,6 +86,16 @@ class Comm {
   /// process with `errorcode`.
   [[noreturn]] void Abort(int errorcode) const;
 
+  // ---- fault tolerance (ULFM-lite; see docs/ROBUSTNESS.md) ---------------------
+
+  /// Mark this communicator revoked (MPI_Comm_revoke analog, local-only in
+  /// this lite rendering: each survivor revokes its own handle after
+  /// observing a failure). Every subsequent point-to-point or collective
+  /// operation on it throws CommError(ErrCode::Revoked); Shrink and Agree
+  /// keep working so survivors can rebuild.
+  void Revoke();
+  bool revoked() const { return revoked_.load(std::memory_order_acquire); }
+
   // ---- blocking point-to-point ---------------------------------------------
 
   /// Standard-mode send of `count` items of `type`, starting `offset` base
@@ -267,6 +277,11 @@ class Comm {
   /// Engine status (world ranks) -> communicator-local Status.
   virtual Status to_local_status(const mpdev::Status& dev) const;
 
+  /// Throw CommError(ErrCode::Revoked) when the communicator is revoked.
+  /// Funnelled through world_dest/world_source so every operation that
+  /// resolves a peer rank observes revocation.
+  void check_revoked(const char* op) const;
+
   /// Apply this communicator's errhandler to a failed operation. Under
   /// ERRORS_RETURN it simply returns (the caller surfaces the error via
   /// Status::Get_error); under ERRORS_THROW it throws CommError(what, code);
@@ -326,6 +341,9 @@ class Comm {
   // Error-handling policy; see Errhandler above for why the default differs
   // from MPI's (fatal).
   std::atomic<Errhandler> errhandler_{Errhandler::ErrorsThrow};
+
+  // ULFM-lite revocation flag (see Revoke above).
+  std::atomic<bool> revoked_{false};
 
   // Nonblocking-collective sequence number. MPI requires every member to
   // issue collectives on one communicator in the same order, so the local

@@ -1,6 +1,7 @@
 #include "core/intracomm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -985,6 +986,120 @@ std::unique_ptr<Intercomm> Intracomm::Create_intercomm(int local_leader, const C
 
   return std::make_unique<Intercomm>(world_, group_, Group(std::move(remote_ranks)), agreed,
                                      agreed + 1);
+}
+
+// ---- fault tolerance (ULFM-lite) ---------------------------------------------------
+
+std::pair<std::vector<int>, std::vector<int>> Intracomm::survivors() const {
+  const std::vector<int> failed = world_->failed_ranks();
+  std::vector<int> locals;
+  std::vector<int> worlds;
+  for (int r = 0; r < Size(); ++r) {
+    const int wr = group_.world_rank(r);
+    if (std::find(failed.begin(), failed.end(), wr) == failed.end()) {
+      locals.push_back(r);
+      worlds.push_back(wr);
+    }
+  }
+  return {std::move(locals), std::move(worlds)};
+}
+
+void Intracomm::ft_send_u64(int world_rank, CollTag tag, std::uint64_t value) const {
+  auto buffer = pack_message(&value, 0, static_cast<int>(sizeof value), types::BYTE());
+  mpdev::Request request = engine().isend(*buffer, world_rank, coll_tag(tag), coll_context_);
+  const mpdev::Status dev = request.wait();
+  reclaim_buffer(request, std::move(buffer));
+  if (dev.error != ErrCode::Success) {
+    throw CommError(std::string("recovery exchange send failed: ") + err_code_name(dev.error),
+                    dev.error);
+  }
+}
+
+std::uint64_t Intracomm::ft_recv_u64(int world_rank, CollTag tag) const {
+  // Straggler tolerance: survivors reach a recovery exchange at times that
+  // can differ by up to the full MPCX_OP_TIMEOUT_MS — each discovers the
+  // failure through its own blocked operation. A Timeout here therefore
+  // does NOT mean the partner is gone; giving up on a live straggler makes
+  // this rank exit early and cascades as a bogus "failure" through the
+  // remaining survivors. Only a partner the failure detector (or the
+  // transport's redial exhaustion) has declared dead ends the exchange;
+  // the retry budget bounds the wait when no detector is armed.
+  constexpr int kStragglerRetries = 8;
+  for (int attempt = 0;; ++attempt) {
+    std::uint64_t value = 0;
+    auto buffer = take_buffer(types::BYTE()->packed_bound(sizeof value));
+    mpdev::Request request = engine().irecv(*buffer, world_rank, coll_tag(tag), coll_context_);
+    const mpdev::Status dev = request.wait();
+    if (dev.error == ErrCode::Success) {
+      types::BYTE()->unpack_available(*buffer, reinterpret_cast<std::byte*>(&value),
+                                      sizeof value);
+      reclaim_buffer(request, std::move(buffer));
+      return value;
+    }
+    reclaim_buffer(request, std::move(buffer));
+    const std::vector<int> failed = world_->failed_ranks();
+    const bool partner_failed =
+        std::find(failed.begin(), failed.end(), world_rank) != failed.end();
+    if (dev.error == ErrCode::Timeout && !partner_failed &&
+        attempt + 1 < kStragglerRetries) {
+      continue;  // live straggler — keep waiting for it
+    }
+    throw CommError(std::string("recovery exchange receive failed: ") + err_code_name(dev.error),
+                    partner_failed && dev.error == ErrCode::Timeout ? ErrCode::ProcFailed
+                                                                    : dev.error);
+  }
+}
+
+std::unique_ptr<Intracomm> Intracomm::Shrink() const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span span("Shrink", "coll");
+  auto [locals, worlds] = survivors();
+  const int my_world = group_.world_rank(Rank());
+  if (std::find(worlds.begin(), worlds.end(), my_world) == worlds.end()) {
+    return nullptr;  // the caller itself is marked failed
+  }
+  // Linear context agreement among survivors only, rooted at the lowest
+  // surviving rank. The engine-direct exchange bypasses the revocation gate
+  // so Shrink works on a revoked handle, and never addresses a dead rank.
+  const int root_world = worlds.front();
+  std::uint64_t agreed = 0;
+  if (my_world == root_world) {
+    agreed = static_cast<std::uint64_t>(world_->context_proposal());
+    for (std::size_t i = 1; i < worlds.size(); ++i) {
+      agreed = std::max(agreed, ft_recv_u64(worlds[i], CollTag::ShrinkProp));
+    }
+    for (std::size_t i = 1; i < worlds.size(); ++i) {
+      ft_send_u64(worlds[i], CollTag::ShrinkAgree, agreed);
+    }
+  } else {
+    ft_send_u64(root_world, CollTag::ShrinkProp,
+                static_cast<std::uint64_t>(world_->context_proposal()));
+    agreed = ft_recv_u64(root_world, CollTag::ShrinkAgree);
+  }
+  const int base = static_cast<int>(agreed);
+  world_->raise_context_floor(base + 2);
+  return std::make_unique<Intracomm>(world_, Group(std::move(worlds)), base, base + 1);
+}
+
+bool Intracomm::Agree(bool flag) const {
+  world_->counters().add(prof::Ctr::CollectiveCalls);
+  prof::Span span("Agree", "coll");
+  auto [locals, worlds] = survivors();
+  const int my_world = group_.world_rank(Rank());
+  if (std::find(worlds.begin(), worlds.end(), my_world) == worlds.end()) return flag;
+  const int root_world = worlds.front();
+  if (my_world == root_world) {
+    std::uint64_t conj = flag ? 1 : 0;
+    for (std::size_t i = 1; i < worlds.size(); ++i) {
+      conj &= ft_recv_u64(worlds[i], CollTag::AgreeGather);
+    }
+    for (std::size_t i = 1; i < worlds.size(); ++i) {
+      ft_send_u64(worlds[i], CollTag::AgreeRelease, conj);
+    }
+    return conj != 0;
+  }
+  ft_send_u64(root_world, CollTag::AgreeGather, flag ? 1 : 0);
+  return ft_recv_u64(root_world, CollTag::AgreeRelease) != 0;
 }
 
 }  // namespace mpcx

@@ -150,6 +150,25 @@ class Intracomm : public Comm {
   std::unique_ptr<Intercomm> Create_intercomm(int local_leader, const Comm& peer_comm,
                                               int remote_leader, int tag) const;
 
+  // ---- fault tolerance (ULFM-lite; see docs/ROBUSTNESS.md) ---------------------
+  //
+  // Both operations are collective over the SURVIVORS of this communicator
+  // (members not in World::failed_ranks()) and work on a revoked handle:
+  // they run survivor-only linear point-to-point exchanges rooted at the
+  // lowest surviving rank, so a dead member can never block them. They
+  // assume every survivor observes the same failed-rank set (the daemon's
+  // RankFailed broadcast, or symmetric mark_rank_failed calls) before
+  // calling.
+
+  /// Build a working communicator from the survivors, in rank order
+  /// (MPI_Comm_shrink analog). Fresh contexts are agreed among survivors
+  /// only. Returns nullptr when the caller is itself marked failed.
+  std::unique_ptr<Intracomm> Shrink() const;
+
+  /// Fault-tolerant agreement (MPI_Comm_agree analog, narrowed to a
+  /// boolean): returns the AND of every survivor's `flag`.
+  bool Agree(bool flag) const;
+
  protected:
   friend class Intercomm;
 
@@ -208,6 +227,19 @@ class Intracomm : public Comm {
   /// Seal a compiled schedule, wrap it in a Request, and (if it has wire
   /// work) register it with the World for progression-from-any-thread.
   Request launch_nb(std::shared_ptr<CollState> state) const;
+
+  // ---- ULFM-lite internals ----------------------------------------------------
+  //
+  // Shrink/Agree must keep working on a revoked communicator, so they move
+  // their control words through the engine directly (engine ops take world
+  // ranks), bypassing the world_dest/world_source revocation gate.
+
+  /// Comm ranks (locals) and world ranks of the members NOT in
+  /// World::failed_ranks(), in rank order.
+  std::pair<std::vector<int>, std::vector<int>> survivors() const;
+
+  void ft_send_u64(int world_rank, CollTag tag, std::uint64_t value) const;
+  std::uint64_t ft_recv_u64(int world_rank, CollTag tag) const;
 };
 
 }  // namespace mpcx

@@ -55,6 +55,13 @@ enum class CollTag : int {
   HierBarrierGather = -29,
   HierBarrierInter = -30,
   HierBarrierRelease = -31,
+  // ULFM-lite recovery (Shrink / Agree): survivor-only linear exchanges
+  // rooted at the lowest surviving rank. Distinct tags per direction so a
+  // proposal can never match an agreement.
+  ShrinkProp = -32,
+  ShrinkAgree = -33,
+  AgreeGather = -34,
+  AgreeRelease = -35,
 };
 
 inline constexpr int kMaxUserTag = 0x3FFFFFFF;

@@ -1,15 +1,19 @@
 #include "core/world.hpp"
 
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "core/coll_sched.hpp"
 #include "core/intracomm.hpp"
@@ -61,6 +65,22 @@ unsigned metrics_period_ms() {
   return parsed > 0 ? static_cast<unsigned>(parsed) : 0;
 }
 
+/// MPCX_DAEMON=host:port -> (host, port), or nullopt when unset/malformed.
+std::optional<std::pair<std::string, std::uint16_t>> daemon_address() {
+  const char* daemon = std::getenv("MPCX_DAEMON");
+  if (daemon == nullptr || *daemon == '\0') return std::nullopt;
+  const std::string addr = daemon;
+  const auto colon = addr.find_last_of(':');
+  if (colon == std::string::npos) return std::nullopt;
+  return std::make_pair(addr.substr(0, colon),
+                        static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1)));
+}
+
+bool ft_enabled() {
+  const char* value = std::getenv("MPCX_FT");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
 }  // namespace
 
 World::World(const std::string& device_name, const xdev::DeviceConfig& config)
@@ -74,6 +94,7 @@ World::World(const std::string& device_name, const xdev::DeviceConfig& config)
   log::set_rank(engine_.rank());
   install_trace_term_handler();
   start_metrics_thread();
+  start_ft_listener();
   std::vector<int> world_ranks(static_cast<std::size_t>(engine_.size()));
   for (int r = 0; r < engine_.size(); ++r) world_ranks[static_cast<std::size_t>(r)] = r;
   comm_world_ = std::make_unique<Intracomm>(this, Group(std::move(world_ranks)),
@@ -132,6 +153,7 @@ std::unique_ptr<World> World::from_env() {
 }
 
 World::~World() {
+  stop_ft_listener();
   stop_metrics_thread();
   try {
     if (!finalized_) {
@@ -179,7 +201,19 @@ void World::Finalize() {
     bsend_inflight_.clear();
     bsend_used_ = 0;
   }
-  comm_world_->Barrier();
+  // With a dead rank the world barrier can never complete, and a revoked
+  // world communicator refuses the barrier's sends outright; in both cases
+  // survivors tear down without it (the ULFM-lite escape hatch — a shrunken
+  // communicator may have synchronized them already, see Intracomm::Shrink).
+  if (!any_rank_failed() && !comm_world_->revoked()) {
+    comm_world_->Barrier();
+  } else if (any_rank_failed()) {
+    log::warn("Finalize: skipping world barrier (", failed_ranks().size(),
+              " failed rank(s))");
+  } else {
+    log::warn("Finalize: skipping world barrier (world communicator revoked)");
+  }
+  stop_ft_listener();
   engine_.finish();
   finalized_ = true;
   // The device is down (threads joined), so no operation still references
@@ -372,6 +406,76 @@ void World::stop_metrics_thread() {
   }
   metrics_cv_.notify_all();
   if (metrics_thread_.joinable()) metrics_thread_.join();
+}
+
+void World::start_ft_listener() {
+  if (!ft_enabled()) return;
+  const auto addr = daemon_address();
+  if (!addr) return;  // no daemon to subscribe to (standalone / in-process run)
+  const int self = engine_.rank();
+  ft_thread_ = std::thread([this, addr, self] {
+    std::shared_ptr<net::Socket> sock;
+    try {
+      sock = std::make_shared<net::Socket>(
+          net::Socket::connect(addr->first, addr->second, 2000));
+      runtime::write_frame(*sock, runtime::MsgKind::Subscribe);
+    } catch (const Error& e) {
+      log::warn("ft: could not subscribe to daemon ", addr->first, ":", addr->second, ": ",
+                e.what());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(ft_mu_);
+      ft_socket_ = sock;
+    }
+    try {
+      for (;;) {
+        const runtime::Frame frame = runtime::read_frame(*sock);
+        if (frame.kind != runtime::MsgKind::RankFailed) continue;
+        const auto event = frame.as<runtime::RankFailedEvent>();
+        if (event.rank == self) continue;  // we are evidently still alive
+        log::warn("ft: daemon reports rank ", event.rank, " dead (exit code ",
+                  event.exit_code, ")");
+        mark_rank_failed(event.rank);
+      }
+    } catch (const Error&) {
+      // Channel closed: normal shutdown (stop_ft_listener) or daemon death.
+    }
+  });
+}
+
+void World::stop_ft_listener() {
+  {
+    std::lock_guard<std::mutex> lock(ft_mu_);
+    if (ft_socket_ != nullptr && ft_socket_->valid()) {
+      ::shutdown(ft_socket_->fd(), SHUT_RDWR);  // unblock the listener's read
+    }
+  }
+  if (ft_thread_.joinable()) ft_thread_.join();
+  std::lock_guard<std::mutex> lock(ft_mu_);
+  ft_socket_.reset();
+}
+
+void World::mark_rank_failed(int rank) {
+  if (rank < 0 || rank >= engine_.size() || rank == engine_.rank()) return;
+  {
+    std::lock_guard<std::mutex> lock(ft_mu_);
+    if (!failed_ranks_.insert(rank).second) return;  // already known
+  }
+  log::warn("rank ", rank, " declared failed; erroring its pending operations");
+  // The device errors every operation pinned to the dead peer (ProcFailed)
+  // and refuses new traffic toward it, so blocked waits surface the failure.
+  engine_.device().notify_peer_failed(engine_.pid_of(rank));
+}
+
+std::vector<int> World::failed_ranks() const {
+  std::lock_guard<std::mutex> lock(ft_mu_);
+  return {failed_ranks_.begin(), failed_ranks_.end()};
+}
+
+bool World::any_rank_failed() const {
+  std::lock_guard<std::mutex> lock(ft_mu_);
+  return !failed_ranks_.empty();
 }
 
 void World::bsend_reserve(std::size_t bytes, mpdev::Request request,

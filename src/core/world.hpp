@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,10 @@
 #include "prof/pvars.hpp"
 
 namespace mpcx {
+
+namespace net {
+class Socket;
+}
 
 class CollState;
 class Intracomm;
@@ -129,6 +134,25 @@ class World {
   // scratch outlives posted device operations even if the user drops the
   // Request early.
 
+  // ---- fault tolerance (ULFM-lite; see docs/ROBUSTNESS.md) ---------------------
+  //
+  // With MPCX_FT=1 and MPCX_DAEMON set, a listener thread subscribes to the
+  // runtime daemon's rank-failure events (the daemon's reaper notices a dead
+  // child within MPCX_HEARTBEAT_MS and pushes a RankFailed frame). Each
+  // event lands here as mark_rank_failed, which records the rank and tells
+  // the device to error every operation pinned to it (ProcFailed), so
+  // blocked collectives surface the failure instead of hanging. Tests and
+  // alternative detectors may call mark_rank_failed directly.
+
+  /// Declare a world rank dead. Idempotent; ignores self/out-of-range.
+  void mark_rank_failed(int rank);
+
+  /// World ranks declared failed so far, ascending.
+  std::vector<int> failed_ranks() const;
+
+  /// True once any rank has been declared failed.
+  bool any_rank_failed() const;
+
   void register_nb_coll(std::shared_ptr<CollState> state);
 
   /// Try-progress every registered schedule (non-blocking: schedules whose
@@ -140,6 +164,8 @@ class World {
   void reap_bsends_locked();
   void start_metrics_thread();
   void stop_metrics_thread();
+  void start_ft_listener();
+  void stop_ft_listener();
 
   mpdev::Engine engine_;
   std::shared_ptr<prof::Counters> counters_;
@@ -168,6 +194,13 @@ class World {
   std::mutex metrics_mu_;
   std::condition_variable metrics_cv_;
   bool metrics_stop_ = false;
+
+  // MPCX_FT=1 failure-detector state: the daemon-subscription thread and the
+  // set of world ranks declared dead (fed by it or by mark_rank_failed).
+  std::thread ft_thread_;
+  mutable std::mutex ft_mu_;
+  std::shared_ptr<net::Socket> ft_socket_;  ///< subscription channel to the daemon
+  std::set<int> failed_ranks_;
 };
 
 }  // namespace mpcx

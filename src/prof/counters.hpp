@@ -73,6 +73,9 @@ enum class Ctr : std::size_t {
   NbCollsStarted,      ///< nonblocking collectives launched (Ibcast, Iallreduce, ...)
   NbCollsCompleted,    ///< nonblocking collectives finalized through their Request
   SchedRounds,         ///< collective-schedule rounds completed by the progress engine
+  Reconnects,          ///< tcpdev channels re-established after a failure (redials that succeeded)
+  FramesRetransmitted, ///< frames replayed from the retransmit buffer after a reconnect
+  FramesDuplicateDropped, ///< replayed frames suppressed by receiver sequence dedup
   Count
 };
 

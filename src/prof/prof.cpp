@@ -82,6 +82,9 @@ const char* ctr_name(Ctr counter) {
     case Ctr::NbCollsStarted: return "nb_colls_started";
     case Ctr::NbCollsCompleted: return "nb_colls_completed";
     case Ctr::SchedRounds: return "sched_rounds";
+    case Ctr::Reconnects: return "reconnects";
+    case Ctr::FramesRetransmitted: return "frames_retransmitted";
+    case Ctr::FramesDuplicateDropped: return "frames_duplicate_dropped";
     case Ctr::Count: break;
   }
   return "?";

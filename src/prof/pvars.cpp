@@ -36,6 +36,8 @@ const PvInfo& pv_info(Pv v) {
       {"send_backlog", PvClass::Gauge, "sends accepted but not yet on the wire"},
       {"rndv_slots", PvClass::Gauge, "rendezvous handshakes in flight"},
       {"inflight_scheds", PvClass::Gauge, "nonblocking-collective schedules outstanding"},
+      {"retransmit_buffer_bytes", PvClass::Gauge,
+       "unacked frame bytes held for replay (reliable tcpdev)"},
       {"match_latency_ns", PvClass::Histogram, "receive post/arrival to match (ns)"},
       {"op_completion_ns", PvClass::Histogram, "request creation to completion (ns)"},
   };

@@ -52,6 +52,7 @@ enum class Pv : std::size_t {
   SendBacklog,      ///< gauge: sends accepted but not yet on the wire
   RndvSlots,        ///< gauge: rendezvous handshakes in flight
   InflightScheds,   ///< gauge: nonblocking-collective schedules outstanding
+  RetransmitBufferBytes,  ///< gauge: unacked frame bytes held for replay (reliable tcpdev)
   MatchLatencyNs,   ///< histogram: receive post (or arrival) -> match
   OpCompletionNs,   ///< histogram: request creation -> completion
   Count

@@ -93,7 +93,7 @@ void Daemon::serve() {
       std::lock_guard<std::mutex> lock(conns_mu);
       conns.push_back(conn);
     }
-    handlers.emplace_back([this, conn] { handle_connection(*conn); });
+    handlers.emplace_back([this, conn] { handle_connection(conn); });
   }
   // Force any idle handler out of its blocking read, then collect them.
   {
@@ -113,22 +113,43 @@ void Daemon::reaper_loop() {
     if (value > 0) interval_ms = value;
   }
   while (!stopping_.load()) {
+    std::vector<RankFailedEvent> events;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [pid, child] : children_) {
         if (child.exited) continue;
         int status = 0;
         const pid_t rc = ::waitpid(child.pid, &status, WNOHANG);
-        if (rc == child.pid) {
-          child.exited = true;
-          child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
-          if (child.exit_code != 0) {
-            log::warn("mpcxd: pid ", child.pid, " died with exit code ", child.exit_code);
+        if (rc == child.pid) mark_exited_locked(child, status);
+      }
+      events.swap(pending_failures_);
+    }
+    // Broadcast outside mu_ so a slow subscriber socket never stalls
+    // spawn/status handling. A subscriber whose write fails is dropped.
+    if (!events.empty()) {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      for (const RankFailedEvent& event : events) {
+        std::erase_if(subscribers_, [&](const std::shared_ptr<net::Socket>& sub) {
+          try {
+            write_frame(*sub, MsgKind::RankFailed, event);
+            return false;
+          } catch (const Error&) {
+            return true;
           }
-        }
+        });
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+void Daemon::mark_exited_locked(Child& child, int status) {
+  child.exited = true;
+  child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  if (child.exit_code == 0) return;
+  log::warn("mpcxd: pid ", child.pid, " died with exit code ", child.exit_code);
+  if (child.rank >= 0) {
+    pending_failures_.push_back(RankFailedEvent{child.rank, child.uuid, child.exit_code});
   }
 }
 
@@ -143,8 +164,7 @@ AbortReply Daemon::handle_abort(const AbortRequest& request) {
     // Re-check before signalling: the child may have just exited.
     int status = 0;
     if (::waitpid(child.pid, &status, WNOHANG) == child.pid) {
-      child.exited = true;
-      child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+      mark_exited_locked(child, status);
       continue;
     }
     ::kill(child.pid, SIGTERM);
@@ -155,26 +175,35 @@ AbortReply Daemon::handle_abort(const AbortRequest& request) {
   return reply;
 }
 
-void Daemon::handle_connection(net::Socket& sock) {
+void Daemon::handle_connection(const std::shared_ptr<net::Socket>& sock) {
   try {
     for (;;) {
-      const Frame frame = read_frame(sock);
+      const Frame frame = read_frame(*sock);
       switch (frame.kind) {
         case MsgKind::Spawn:
-          write_frame(sock, MsgKind::SpawnReply, handle_spawn(frame.as<SpawnRequest>()));
+          write_frame(*sock, MsgKind::SpawnReply, handle_spawn(frame.as<SpawnRequest>()));
           break;
         case MsgKind::Status:
-          write_frame(sock, MsgKind::StatusReply, handle_status(frame.as<StatusRequest>()));
+          write_frame(*sock, MsgKind::StatusReply, handle_status(frame.as<StatusRequest>()));
           break;
         case MsgKind::Fetch:
-          write_frame(sock, MsgKind::FetchReply, handle_fetch(frame.as<FetchRequest>()));
+          write_frame(*sock, MsgKind::FetchReply, handle_fetch(frame.as<FetchRequest>()));
           break;
         case MsgKind::Abort:
-          write_frame(sock, MsgKind::AbortReply, handle_abort(frame.as<AbortRequest>()));
+          write_frame(*sock, MsgKind::AbortReply, handle_abort(frame.as<AbortRequest>()));
           break;
+        case MsgKind::Subscribe: {
+          // The connection becomes a push channel: the reaper writes
+          // RankFailed frames to it, this handler just waits for hangup.
+          {
+            std::lock_guard<std::mutex> lock(subs_mu_);
+            subscribers_.push_back(sock);
+          }
+          break;
+        }
         case MsgKind::Shutdown:
           stopping_ = true;
-          write_frame(sock, MsgKind::ShutdownReply);
+          write_frame(*sock, MsgKind::ShutdownReply);
           return;
         default:
           throw RuntimeError("mpcxd: unexpected frame kind");
@@ -185,6 +214,9 @@ void Daemon::handle_connection(net::Socket& sock) {
   } catch (const Error& e) {
     log::warn("mpcxd connection: ", e.what());
   }
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  std::erase_if(subscribers_,
+                [&](const std::shared_ptr<net::Socket>& sub) { return sub == sock; });
 }
 
 SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
@@ -238,9 +270,21 @@ SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
     ::_exit(127);
   }
 
+  // Rank identity for failure events: a spawn carrying MPCX_RANK is an MPCX
+  // process; its ProcessID is (MPCX_SESSION << 24) + rank + 1, matching
+  // World::from_env so subscribers can address device-layer state directly.
+  std::int32_t rank = -1;
+  std::uint64_t session = 0;
+  for (const auto& [key, value] : request.env) {
+    if (key == "MPCX_RANK") rank = static_cast<std::int32_t>(std::atoi(value.c_str()));
+    if (key == "MPCX_SESSION") session = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+  }
+  const std::uint64_t uuid =
+      rank >= 0 ? (session << 24) + static_cast<std::uint64_t>(rank) + 1 : 0;
+
   {
     std::lock_guard<std::mutex> lock(mu_);
-    children_[pid] = Child{pid, log_path, false, -1};
+    children_[pid] = Child{pid, log_path, false, -1, rank, uuid};
   }
   log::info("mpcxd spawned pid ", pid, " (", exe_path, ")");
   reply.pid = pid;
@@ -259,10 +303,7 @@ StatusReply Daemon::handle_status(const StatusRequest& request) {
   if (!child.exited) {
     int status = 0;
     const pid_t rc = ::waitpid(child.pid, &status, WNOHANG);
-    if (rc == child.pid) {
-      child.exited = true;
-      child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
-    }
+    if (rc == child.pid) mark_exited_locked(child, status);
   }
   reply.exited = child.exited;
   reply.exit_code = child.exit_code;

@@ -11,7 +11,11 @@
 //   * a heartbeat thread reaps dead children every MPCX_HEARTBEAT_MS so a
 //     crashed rank is reported within a bounded interval;
 //   * an Abort frame (sent by World::Abort via MPCX_DAEMON) kills every
-//     live child, giving MPI_Abort whole-job semantics.
+//     live child, giving MPI_Abort whole-job semantics;
+//   * connections that send a Subscribe frame become failure-event push
+//     channels: whenever a child that carried an MPCX rank identity dies
+//     with a nonzero exit status, the reaper broadcasts a RankFailed frame
+//     to every subscriber (the MPCX_FT=1 detector thread in World).
 #pragma once
 
 #include <sys/types.h>
@@ -19,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -52,7 +57,7 @@ class Daemon {
   void stop();
 
  private:
-  void handle_connection(net::Socket& sock);
+  void handle_connection(const std::shared_ptr<net::Socket>& sock);
   SpawnReply handle_spawn(const SpawnRequest& request);
   StatusReply handle_status(const StatusRequest& request);
   FetchReply handle_fetch(const FetchRequest& request);
@@ -68,7 +73,16 @@ class Daemon {
     std::string log_path;
     bool exited = false;
     int exit_code = -1;
+    /// MPCX rank identity parsed from the spawn env (MPCX_RANK /
+    /// MPCX_SESSION); rank -1 = not an MPCX rank, no failure events.
+    std::int32_t rank = -1;
+    std::uint64_t uuid = 0;
   };
+
+  /// Transition a child to exited (waitpid status) and, when it carried a
+  /// rank identity and died with a nonzero code, queue a RankFailed event
+  /// for the reaper's next broadcast. Called under mu_.
+  void mark_exited_locked(Child& child, int status);
 
   net::Acceptor acceptor_;
   std::string session_dir_;
@@ -77,7 +91,11 @@ class Daemon {
 
   std::mutex mu_;
   std::map<std::int32_t, Child> children_;
+  std::vector<RankFailedEvent> pending_failures_;  ///< queued under mu_
   int next_stage_id_ = 0;
+
+  std::mutex subs_mu_;
+  std::vector<std::shared_ptr<net::Socket>> subscribers_;
 };
 
 }  // namespace mpcx::runtime

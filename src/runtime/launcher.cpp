@@ -182,6 +182,7 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
       request.env.emplace_back("MPCX_METRICS_PATH", absolutize(spec.metrics_base) + ".rank" +
                                                         std::to_string(r) + ".jsonl");
     }
+    for (const auto& kv : spec.extra_env) request.env.push_back(kv);
     const SpawnReply reply = clients[d].spawn(request);
     if (reply.pid < 0) throw RuntimeError("mpcxrun: spawn failed: " + reply.error);
     placements.push_back(Placement{d, reply.pid});

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/protocol.hpp"
@@ -59,6 +60,10 @@ struct LaunchSpec {
   /// <metrics_base>.rank<r>.jsonl.
   unsigned metrics_ms = 0;
   std::string metrics_base = "mpcx_metrics";
+  /// Extra environment handed to every rank verbatim, after the MPCX_*
+  /// entries the launcher computes (so a collision here wins). Used to arm
+  /// per-job knobs: MPCX_FT, MPCX_RELIABLE, fault plans, probe behaviors.
+  std::vector<std::pair<std::string, std::string>> extra_env;
 };
 
 struct ProcessResult {

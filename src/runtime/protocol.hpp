@@ -13,6 +13,11 @@
 //   Fetch    — retrieve the captured stdout+stderr of a finished process.
 //   Shutdown — stop the daemon loop.
 //   Abort    — kill every live child (MPI_Abort escalation from a rank).
+//   Subscribe — register the connection for rank-failure push events; the
+//              daemon then writes a RankFailed frame whenever a spawned
+//              child that announced itself as an MPCX rank (MPCX_RANK in
+//              its spawn env) dies with a nonzero exit status. Used by the
+//              MPCX_FT=1 failure-detector thread in World.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +41,8 @@ enum class MsgKind : std::uint8_t {
   ShutdownReply = 8,
   Abort = 9,
   AbortReply = 10,
+  Subscribe = 11,   ///< header-only: register for RankFailed push events
+  RankFailed = 12,  ///< daemon -> subscriber push (RankFailedEvent)
 };
 
 struct SpawnRequest {
@@ -153,6 +160,30 @@ struct AbortReply {
   void serialize(buf::ByteSink& sink) const { sink.put(killed); }
   static AbortReply deserialize(buf::ByteSource& source) {
     return AbortReply{source.get<std::int32_t>()};
+  }
+};
+
+/// Daemon -> subscriber push: a spawned child that announced an MPCX rank
+/// identity exited with a nonzero status (crash, kill, or abort). The uuid
+/// is the rank's xdev ProcessID value ((MPCX_SESSION << 24) + rank + 1,
+/// matching World::from_env) so subscribers can address device-layer state
+/// without re-deriving the session.
+struct RankFailedEvent {
+  std::int32_t rank = -1;       ///< MPCX_RANK from the spawn env
+  std::uint64_t uuid = 0;       ///< xdev ProcessID value of the dead rank
+  std::int32_t exit_code = -1;  ///< 128 + signal for signal deaths (SIGKILL = 137)
+
+  void serialize(buf::ByteSink& sink) const {
+    sink.put(rank);
+    sink.put(uuid);
+    sink.put(exit_code);
+  }
+  static RankFailedEvent deserialize(buf::ByteSource& source) {
+    RankFailedEvent event;
+    event.rank = source.get<std::int32_t>();
+    event.uuid = source.get<std::uint64_t>();
+    event.exit_code = source.get<std::int32_t>();
+    return event;
   }
 };
 

@@ -6,13 +6,113 @@
 // Bootstraps from the MPCX_* environment (World::from_env), performs an
 // Allreduce and a ring token pass, prints a verifiable line, and exits 0
 // on success.
+//
+// With MPCX_PROBE_DIE_RANK=<r> it instead runs the ULFM recovery drill:
+// rank r raises SIGKILL mid-Allreduce; survivors catch the resulting
+// Error (ProcFailed from the failure detector, or Timeout from the
+// MPCX_OP_TIMEOUT_MS backstop), wait for the daemon's RankFailed
+// broadcast, Revoke + Shrink the world, and prove the shrunk
+// communicator works with a fresh Allreduce.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <thread>
 
 #include "core/intracomm.hpp"
 #include "core/world.hpp"
 
+namespace {
+
+/// The ISSUE 7 acceptance scenario, run inside each rank process.
+int run_recovery_drill(int die_rank) {
+  using namespace mpcx;
+  using Clock = std::chrono::steady_clock;
+  auto world = World::from_env();
+  Intracomm& comm = world->COMM_WORLD();
+  const int rank = comm.Rank();
+  const int size = comm.Size();
+  if (die_rank < 0 || die_rank >= size) {
+    std::fprintf(stderr, "rank_probe: MPCX_PROBE_DIE_RANK %d out of range\n", die_rank);
+    return 6;
+  }
+
+  // Warm-up collectives, then the victim dies MID-collective: it raises
+  // SIGKILL before contributing to iteration 3, so every survivor is left
+  // blocked inside that Allreduce with no clean shutdown anywhere.
+  int contribution = rank + 1;
+  ErrCode observed = ErrCode::Success;
+  for (int iter = 0; iter < 4; ++iter) {
+    if (rank == die_rank && iter == 3) {
+      ::raise(SIGKILL);  // no exit handlers, no goodbye frames
+    }
+    int total = 0;
+    try {
+      comm.Allreduce(&contribution, 0, &total, 0, 1, types::INT(), ops::SUM());
+    } catch (const Error& e) {
+      observed = e.code();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (observed == ErrCode::Success) {
+    std::fprintf(stderr, "rank_probe: survivor never saw the failure\n");
+    return 7;
+  }
+
+  // The daemon's heartbeat reaps the corpse and broadcasts RankFailed;
+  // wait for the detector thread to record it.
+  const auto poll_start = Clock::now();
+  while (world->failed_ranks().empty() &&
+         Clock::now() - poll_start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto detect_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - poll_start)
+                             .count();
+  const std::vector<int> failed = world->failed_ranks();
+  if (failed.empty()) {
+    std::fprintf(stderr, "rank_probe: daemon never reported the dead rank\n");
+    return 8;
+  }
+
+  comm.Revoke();
+  auto shrunk = comm.Shrink();
+  if (shrunk == nullptr) {
+    std::fprintf(stderr, "rank_probe: Shrink returned null for a survivor\n");
+    return 9;
+  }
+  if (!shrunk->Agree(true)) {
+    std::fprintf(stderr, "rank_probe: Agree(true) came back false\n");
+    return 10;
+  }
+
+  // The shrunk communicator must actually WORK: a collective over it has to
+  // complete and produce exactly the survivor sum.
+  int total = 0;
+  shrunk->Allreduce(&contribution, 0, &total, 0, 1, types::INT(), ops::SUM());
+  int expect = size * (size + 1) / 2;
+  for (int f : failed) expect -= f + 1;
+
+  std::printf("rank_probe recovery rank=%d observed=%s detect_ms=%lld shrunk_size=%d allreduce=%d\n",
+              rank, err_code_name(observed), static_cast<long long>(detect_ms),
+              shrunk->Size(), total);
+  world->Finalize();
+  return total == expect ? 0 : 11;
+}
+
+}  // namespace
+
 int main() {
   using namespace mpcx;
+  if (const char* die = std::getenv("MPCX_PROBE_DIE_RANK")) {
+    try {
+      return run_recovery_drill(std::atoi(die));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "rank_probe recovery: %s\n", e.what());
+      return 12;
+    }
+  }
   try {
     auto world = World::from_env();
     Intracomm& comm = world->COMM_WORLD();

@@ -1,0 +1,56 @@
+// Jittered exponential backoff.
+//
+// One shared policy for every retry loop that redials a peer: bootstrap
+// connects (support/socket.cpp) and the tcpdev reliability layer's
+// reconnect path. Full jitter (AWS-style): each delay is drawn uniformly
+// from [base/2, base], where base doubles per attempt up to a cap — so a
+// cluster-wide connection storm (every rank redialing the same restarted
+// peer) decorrelates instead of hammering in lockstep.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mpcx {
+
+class Backoff {
+ public:
+  /// `base_ms` is the first delay; `cap_ms` bounds the exponential growth.
+  /// `seed` keys the jitter stream (use something per-caller-unique — a
+  /// pointer value, a peer uuid — so concurrent loops decorrelate).
+  Backoff(std::uint64_t base_ms, std::uint64_t cap_ms, std::uint64_t seed)
+      : base_ms_(std::max<std::uint64_t>(base_ms, 1)),
+        cap_ms_(std::max(cap_ms, base_ms_)),
+        state_(seed | 1) {}
+
+  /// Delay for the next attempt, in ms: uniform over [envelope/2, envelope]
+  /// where envelope = min(base * 2^attempt, cap). Advances the attempt.
+  std::uint64_t next_delay_ms() {
+    std::uint64_t envelope = base_ms_;
+    for (unsigned i = 0; i < attempt_ && envelope < cap_ms_; ++i) envelope *= 2;
+    envelope = std::min(envelope, cap_ms_);
+    ++attempt_;
+    const std::uint64_t half = envelope / 2;
+    return half + next_random() % (envelope - half + 1);
+  }
+
+  unsigned attempts() const { return attempt_; }
+  void reset() { attempt_ = 0; }
+
+ private:
+  // splitmix64: tiny, seedable, no global state (same generator family the
+  // fault injector uses for its deterministic streams).
+  std::uint64_t next_random() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t base_ms_;
+  std::uint64_t cap_ms_;
+  std::uint64_t state_;
+  unsigned attempt_ = 0;
+};
+
+}  // namespace mpcx

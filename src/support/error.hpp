@@ -26,6 +26,8 @@ enum class ErrCode : int {
   ConnReset = 4, ///< peer connection reset, refused, or EOF mid-stream
   Cancelled = 5, ///< operation cancelled before completion
   Internal = 6,  ///< anything else (MPI_ERR_OTHER)
+  ProcFailed = 7, ///< peer process declared dead (ULFM MPI_ERR_PROC_FAILED)
+  Revoked = 8,   ///< communicator revoked via Comm::Revoke (ULFM MPI_ERR_REVOKED)
 };
 
 /// Stable snake_case name for messages and test assertions.
@@ -85,6 +87,8 @@ inline const char* err_code_name(ErrCode code) {
     case ErrCode::ConnReset: return "conn_reset";
     case ErrCode::Cancelled: return "cancelled";
     case ErrCode::Internal: return "internal";
+    case ErrCode::ProcFailed: return "proc_failed";
+    case ErrCode::Revoked: return "revoked";
   }
   return "unknown";
 }

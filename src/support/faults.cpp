@@ -145,6 +145,8 @@ std::optional<Plan> parse_plan(const std::string& spec) {
       if (ok) plan.delay_ms = static_cast<std::uint32_t>(ms);
     } else if (key == "reset_after") {
       ok = parse_u64(value, plan.reset_after);
+    } else if (key == "reset_every") {
+      ok = parse_u64(value, plan.reset_every);
     } else if (key == "seed") {
       ok = parse_u64(value, plan.seed);
     }
@@ -171,7 +173,7 @@ void set_plan(const Plan& plan) {
   if (plan.active()) {
     log::info("faults: armed plan drop=", plan.drop, " corrupt=", plan.corrupt,
               " delay_ms=", plan.delay_ms, " reset_after=", plan.reset_after,
-              " seed=", plan.seed);
+              " reset_every=", plan.reset_every, " seed=", plan.seed);
   }
 }
 
@@ -207,6 +209,14 @@ Action next_action(Site site) {
   if (plan.reset_after > 0 && op + 1 == plan.reset_after) {
     fault_counters().add(prof::Ctr::FaultsInjected);
     log::debug("faults: injecting reset at ", site_name(site), " op ", op + 1);
+    return Action::Reset;
+  }
+
+  // reset_every recurs: every Nth operation per site tears the connection
+  // down, so reconnect soaks exercise repeated failures deterministically.
+  if (plan.reset_every > 0 && (op + 1) % plan.reset_every == 0) {
+    fault_counters().add(prof::Ctr::FaultsInjected);
+    log::debug("faults: injecting periodic reset at ", site_name(site), " op ", op + 1);
     return Action::Reset;
   }
 

@@ -16,6 +16,10 @@
 //                  flips payload, modelling silent memory corruption)
 //   delay_ms=N     sleep N milliseconds before every injected-site operation
 //   reset_after=N  hard-reset the connection at the Nth operation per site
+//                  (fires once)
+//   reset_every=N  hard-reset the connection at EVERY Nth operation per site
+//                  (recurring — the knob reconnect soaks use to kill a
+//                  connection deterministically mid-stream, again and again)
 //   seed=S         RNG seed (default 1); same seed => same fault sequence
 //
 // Overhead discipline (same as src/prof): with no plan armed, every site
@@ -67,10 +71,12 @@ struct Plan {
   double corrupt = 0.0;            ///< per-op corruption probability [0,1]
   std::uint32_t delay_ms = 0;      ///< inline sleep before every op at a site
   std::uint64_t reset_after = 0;   ///< 1-based op index to reset at (0 = never)
+  std::uint64_t reset_every = 0;   ///< recurring reset period per site (0 = never)
   std::uint64_t seed = 1;          ///< RNG seed
 
   bool active() const {
-    return drop > 0.0 || corrupt > 0.0 || delay_ms > 0 || reset_after > 0;
+    return drop > 0.0 || corrupt > 0.0 || delay_ms > 0 || reset_after > 0 ||
+           reset_every > 0;
   }
 };
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "prof/counters.hpp"
+#include "support/backoff.hpp"
 
 namespace mpcx::net {
 namespace {
@@ -56,11 +57,15 @@ Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_
   if (timeout_ms < 0) timeout_ms = static_cast<int>(faults::connect_timeout_ms());
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   const sockaddr_in addr = make_addr(host, port);
-  // Exponential backoff between attempts: fast enough to win the normal
-  // bootstrap race (peer's listen(2) a few ms away), slow enough not to
-  // hammer a wedged host for the whole connect window.
-  int backoff_ms = 2;
-  constexpr int kMaxBackoffMs = 250;
+  // Jittered exponential backoff between attempts: fast enough to win the
+  // normal bootstrap race (peer's listen(2) a few ms away), slow enough not
+  // to hammer a wedged host, and decorrelated so a whole world redialing
+  // one restarted peer doesn't retry in lockstep. Seeded per-call (port in
+  // the high bits, a clock sample in the low) so concurrent loops differ.
+  Backoff backoff(2, 250,
+                  (static_cast<std::uint64_t>(port) << 32) ^
+                      static_cast<std::uint64_t>(
+                          std::chrono::steady_clock::now().time_since_epoch().count()));
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
@@ -75,8 +80,7 @@ Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_
       const auto remaining =
           std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
       std::this_thread::sleep_for(std::chrono::milliseconds(
-          std::min<long long>(backoff_ms, remaining)));
-      backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+          std::min<long long>(static_cast<long long>(backoff.next_delay_ms()), remaining)));
       continue;
     }
     throw SocketError("connect to " + host + ":" + std::to_string(port) + ": " +

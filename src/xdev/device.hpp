@@ -180,6 +180,13 @@ class Device {
     return false;
   }
 
+  /// An out-of-band failure detector (the runtime daemon's rank reaper, a
+  /// heartbeat, or a test) declared `peer` dead. The device errors every
+  /// pending operation pinned to that peer with ErrCode::ProcFailed so
+  /// waiters observe the failure instead of hanging, and refuses new
+  /// traffic to it. Default: no-op (devices with no per-peer state).
+  virtual void notify_peer_failed(ProcessID peer) { (void)peer; }
+
   /// This device instance's profiling counters, or nullptr if it has none.
   /// Values only accumulate while prof::counting() is on (MPCX_STATS=1).
   virtual const prof::Counters* counters() const { return nullptr; }

@@ -212,6 +212,14 @@ class HybDevice final : public Device, public RequestCanceller {
     return claimed_here | a | b;
   }
 
+  /// Forward a rank-failure notification to BOTH children: the dead rank's
+  /// traffic may ride either transport (it can be co-located or remote), and
+  /// each child errors only the operations it actually holds.
+  void notify_peer_failed(ProcessID peer) override {
+    shm_->notify_peer_failed(peer);
+    tcp_->notify_peer_failed(peer);
+  }
+
   const prof::Counters* counters() const override { return counters_.get(); }
 
  private:

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -63,6 +64,16 @@ class PostedRecvSet {
     ++size_;
   }
 
+  /// Re-post a receive that had already matched an arrival whose delivery
+  /// was interrupted (reliable-transport repair). The entry is given a seq
+  /// BELOW every other posted receive so the redelivered message matches it
+  /// first — re-posting at the tail would permute message/receive pairing
+  /// and break MPI posted-order semantics.
+  void restore(const MatchKey& key, T value) {
+    buckets_[key].push_front(Entry{restore_seq_--, std::move(value)});
+    ++size_;
+  }
+
   /// Match an incoming concrete (no wildcards) message key against the
   /// posted receives; removes and returns the earliest-posted match.
   std::optional<T> match(const MatchKey& incoming) {
@@ -73,7 +84,7 @@ class PostedRecvSet {
         MatchKey{incoming.context, kAnyTag, ProcessID::any()},
     };
     std::deque<Entry>* best = nullptr;
-    std::uint64_t best_seq = ~std::uint64_t{0};
+    std::int64_t best_seq = std::numeric_limits<std::int64_t>::max();
     for (const MatchKey& key : candidates) {
       auto it = buckets_.find(key);
       if (it == buckets_.end() || it->second.empty()) continue;
@@ -157,12 +168,13 @@ class PostedRecvSet {
 
  private:
   struct Entry {
-    std::uint64_t seq;
+    std::int64_t seq;
     T value;
   };
 
   std::unordered_map<MatchKey, std::deque<Entry>, MatchKeyHash> buckets_;
-  std::uint64_t seq_ = 0;
+  std::int64_t seq_ = 0;        ///< add(): increasing, so later posts match later
+  std::int64_t restore_seq_ = -1;  ///< restore(): decreasing, so re-posts match first
   std::size_t size_ = 0;
 };
 

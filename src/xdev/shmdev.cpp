@@ -37,6 +37,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bufx/buffer_pool.hpp"
@@ -486,6 +487,10 @@ class ShmDevice final : public Device, public RequestCanceller {
       const auto* entry = unexpected_.find(key);
       if (entry != nullptr) return unexp_status(**entry);
       if (!running_) throw DeviceError("shmdev: probe after finish");
+      if (!src.is_any() && dead_peers_.count(src.value) > 0) {
+        throw DeviceError("shmdev: probe source " + std::to_string(src.value) + " failed",
+                          ErrCode::ProcFailed);
+      }
       if (deadline_ms == 0) {
         arrival_cv_.wait(lock);
       } else if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -595,9 +600,59 @@ class ShmDevice final : public Device, public RequestCanceller {
     return false;  // ACK record taken: input thread is mid-complete
   }
 
+  /// A failure detector declared `peer` dead. Shared-memory rings have no
+  /// channel to break, so the sweep errors everything still pinned to the
+  /// peer: posted concrete-source receives (their bytes will never arrive)
+  /// and ACK-synced sends still awaiting the peer's ACK. Wildcard receives
+  /// stay posted (another peer may satisfy them); streams mid-assembly are
+  /// input-thread-owned and simply never finish their discard. New sends to
+  /// and blocking probes of the dead peer fail with ProcFailed.
+  void notify_peer_failed(ProcessID peer) override {
+    if (!running_) return;
+    std::vector<DevRequest> victims;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      if (!dead_peers_.insert(peer.value).second) return;  // already swept
+      for (auto& rec : posted_.drain_if([&](const MatchKey& key, const ShmRecv&) {
+             return !key.src.is_any() && key.src.value == peer.value;
+           })) {
+        victims.push_back(std::move(rec.request));
+      }
+      note_posted_depth_locked();
+      arrival_cv_.notify_all();  // wake probes so they observe dead_peers_
+    }
+    {
+      std::lock_guard<std::mutex> lock(ack_mu_);
+      for (auto it = awaiting_ack_.begin(); it != awaiting_ack_.end();) {
+        if (it->second.dst == peer.value) {
+          victims.push_back(std::move(it->second.request));
+          it = awaiting_ack_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      note_rndv_slots_locked();
+    }
+    DevStatus status;
+    status.source = peer;
+    status.error = ErrCode::ProcFailed;
+    for (const DevRequest& request : victims) {
+      if (request) request->complete(status);
+    }
+  }
+
   const prof::Counters* counters() const override { return counters_.get(); }
 
  private:
+  /// Refuse traffic toward a peer already declared dead (ProcFailed keeps
+  /// the failure attributable; a hang here would defeat the detector).
+  void check_peer_alive(ProcessID dst) {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    if (dead_peers_.count(dst.value) > 0) {
+      throw DeviceError("shmdev: destination " + std::to_string(dst.value) + " failed",
+                        ErrCode::ProcFailed);
+    }
+  }
   /// Drop posted entries that are dead twins — shared receives whose match
   /// gate the sibling device already won. They can no longer be delivered,
   /// only discarded; pruning here (under recv_mu_) keeps the posted set from
@@ -645,6 +700,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   DevRequest send_common(buf::Buffer& buffer, ProcessID dst, int tag, int context,
                          bool need_ack) {
     if (!buffer.in_read_mode()) throw DeviceError("shmdev: send buffer must be committed");
+    check_peer_alive(dst);
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t msg_id = prof::alloc_corr_id(self_.value);
@@ -669,7 +725,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       status.context = context;
       status.static_bytes = buffer.static_size();
       status.dynamic_bytes = buffer.dynamic_size();
-      awaiting_ack_.emplace(msg_id, AckWait{request, status});
+      awaiting_ack_.emplace(msg_id, AckWait{request, status, dst.value});
       note_rndv_slots_locked();
     }
 
@@ -760,6 +816,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   DevRequest send_segments_common(std::span<const std::byte> header,
                                   std::span<const SendSegment> segments, ProcessID dst,
                                   int tag, int context, bool need_ack) {
+    check_peer_alive(dst);
     auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
                                                      nullptr, this);
     const std::uint64_t msg_id = prof::alloc_corr_id(self_.value);
@@ -782,7 +839,7 @@ class ShmDevice final : public Device, public RequestCanceller {
       status.tag = tag;
       status.context = context;
       status.static_bytes = total;
-      awaiting_ack_.emplace(msg_id, AckWait{request, status});
+      awaiting_ack_.emplace(msg_id, AckWait{request, status, dst.value});
       note_rndv_slots_locked();
     }
 
@@ -1185,6 +1242,7 @@ class ShmDevice final : public Device, public RequestCanceller {
   struct AckWait {
     DevRequest request;
     DevStatus status;
+    std::uint64_t dst = 0;  ///< destination peer (for rank-failure sweeps)
   };
 
   ProcessID self_{};
@@ -1195,6 +1253,9 @@ class ShmDevice final : public Device, public RequestCanceller {
 
   std::mutex recv_mu_;
   std::condition_variable arrival_cv_;
+  // Peers declared dead by a failure detector (notify_peer_failed); probes
+  // and new sends toward them fail with ProcFailed. Guarded by recv_mu_.
+  std::unordered_set<std::uint64_t> dead_peers_;
   PostedRecvSet<ShmRecv> posted_;
   UnexpectedSet<std::unique_ptr<ShmUnexp>> unexpected_;
   std::unordered_map<AssemblyKey, Assembly, AssemblyKeyHash> assemblies_;  // input thread only

@@ -18,10 +18,21 @@
 //     UnexpectedSet; "receive-communication-sets" are guarded by recv_mu_
 //     and "send-communication-sets" by send_mu_, with the same
 //     release-before-channel-lock discipline as the paper's pseudocode.
+//   * MPCX_RELIABLE=1 layers a reliability session under the protocols:
+//     every frame carries a per-peer {epoch, seq} and a cumulative
+//     piggybacked ack; senders keep unacked frames in a bounded retransmit
+//     buffer (zero-copy bodies stay borrowed/pinned until acked); a dead
+//     write channel is redialed with jittered backoff, re-handshaken
+//     (Hello carries the new epoch + last_seq_seen) and replayed, with
+//     receiver-side seq dedup making the repair invisible to the matching
+//     layer. Redial exhaustion (or an external failure detector) declares
+//     the peer dead and errors its operations with ErrCode::ProcFailed.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -34,6 +45,7 @@
 #include "prof/flight.hpp"
 #include "prof/hooks.hpp"
 #include "prof/pvars.hpp"
+#include "support/backoff.hpp"
 #include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "support/socket.hpp"
@@ -75,6 +87,10 @@ struct RecvRec {
   buf::Buffer* buffer = nullptr;
   bool direct = false;
   RecvSpan span{};
+  /// Re-posted after a mid-body channel loss (reliable repair): the match
+  /// gate of a shared receive was already won when it matched the first
+  /// time, so re-matching the replayed copy must bypass try_claim_match.
+  bool rearmed = false;
 };
 
 /// A rendezvous receive waiting for its data frame.
@@ -117,8 +133,59 @@ struct RndvKeyHash {
 /// receive (hybdev ANY_SOURCE) may only be delivered by the child that wins
 /// its match gate; ordinary receives always pass.
 bool claim_recv(const RecvRec& rec) {
-  return !rec.request->shared() || rec.request->try_claim_match();
+  return rec.rearmed || !rec.request->shared() || rec.request->try_claim_match();
 }
+
+/// One unacked frame held for replay (reliable mode). Two forms:
+///   * OWNED: `owned` holds a private copy of the body (buffered-send
+///     semantics; the originating request, if any, completed synchronously).
+///   * BORROWED: the body still lives in caller memory — `segments` (+ the
+///     8-byte section header copy) for zero-copy sends, or `body_buffer` for
+///     staged rendezvous data. `request` stays pending and completes with
+///     `ok_status` only when the cumulative ack covers `seq`, which is what
+///     keeps zero-copy semantics honest: the user's spans are pinned until
+///     the bytes are provably at the receiver. A timed-out wait converts a
+///     borrowed entry to owned in place (abandon) so replay never touches
+///     reclaimed user memory while the entry keeps the seq stream gapless.
+struct RetransEntry {
+  std::uint64_t seq = 0;
+  std::array<std::byte, kHeaderBytes> hdr_bytes{};  ///< pristine encoded header
+  std::vector<std::byte> owned;                     ///< owned body copy
+  bool borrowed = false;
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> sect_header{};
+  std::size_t sect_len = 0;
+  std::vector<SendSegment> segments;
+  buf::Buffer* body_buffer = nullptr;
+  DevRequest request;
+  DevStatus ok_status;
+  std::size_t bytes = 0;  ///< header + body, as accounted in retrans_bytes
+};
+
+bool env_truthy(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    log::warn("ignoring malformed ", name, "=", value);
+    return fallback;
+  }
+  return parsed;
+}
+
+/// Send a standalone cumulative ack once this many frames arrived unacked.
+constexpr std::uint64_t kAckEvery = 8;
+
+/// Ack-frame tag flagging a RESET NOTICE: "my read channel from you just
+/// died — redial and replay now". Eager writes into a half-dead socket
+/// succeed locally, so without this the sender would only learn of the
+/// loss from the retransmit watchdog, a ~100ms stall per reset.
+constexpr std::int32_t kAckResetNotice = 1;
 
 class TcpDevice final : public Device, public RequestCanceller {
  public:
@@ -137,6 +204,15 @@ class TcpDevice final : public Device, public RequestCanceller {
     config_.eager_threshold = resolve_eager_threshold(config.eager_threshold, counters_.get());
     self_ = config.world[config.self_index].id;
     const auto& self_info = config.world[config.self_index];
+
+    // Reliability session layer (ack/replay reconnect). Default OFF: the
+    // non-reliable device keeps PR2 fail-fast semantics (an injected reset
+    // errors the affected operations with ConnReset).
+    reliable_ = env_truthy("MPCX_RELIABLE");
+    reconnect_ms_ = env_u64("MPCX_RECONNECT_MS", 50);
+    if (reconnect_ms_ == 0) reconnect_ms_ = 1;
+    reconnect_max_ = env_u64("MPCX_RECONNECT_MAX", 10);
+    retrans_max_bytes_ = env_u64("MPCX_RETRANS_MAX", std::uint64_t{4} << 20);
 
     if (config.acceptor) {
       acceptor_ = std::move(*config.acceptor);
@@ -219,6 +295,9 @@ class TcpDevice final : public Device, public RequestCanceller {
         // hello are never subject to the plan.
         auto peer = std::make_unique<Peer>();
         peer->write_channel = std::move(sock);
+        peer->id = info.id.value;
+        peer->host = info.host;
+        peer->port = info.port;
         peers_.emplace(info.id.value, std::move(peer));
       }
     } catch (...) {
@@ -244,10 +323,15 @@ class TcpDevice final : public Device, public RequestCanceller {
       auto conn = std::make_unique<Conn>();
       conn->peer = accepted_ids[i];
       conn->sock = std::move(sock);
+      conn->peer_state = it->second.get();
       conns_by_fd_.emplace(conn->sock.fd(), std::move(conn));
     }
 
     for (const auto& [fd, conn] : conns_by_fd_) poller_.add(fd);
+    // In reliable mode the acceptor stays live after bootstrap: a peer whose
+    // write channel to us died redials here, and the input handler completes
+    // the Hello handshake and swaps the read channel in place.
+    if (reliable_) poller_.add(acceptor_.fd());
     running_ = true;
     input_thread_ = std::thread([this] { input_loop(); });
 
@@ -268,6 +352,11 @@ class TcpDevice final : public Device, public RequestCanceller {
       poller_.wakeup();
       if (input_thread_.joinable()) input_thread_.join();
     }
+    // Release writers parked on retransmit-buffer capacity.
+    for (auto& [id, peer] : peers_) {
+      std::lock_guard<std::mutex> lock(peer->rel_mu);
+      peer->rel_cv.notify_all();
+    }
     // Wait for forked rendez-write-threads to drain.
     {
       std::unique_lock<std::mutex> lock(writer_mu_);
@@ -281,8 +370,22 @@ class TcpDevice final : public Device, public RequestCanceller {
 
   // ---- send side (Figs. 3 and 6) --------------------------------------------
 
+  /// New traffic toward a declared-dead peer is refused up front rather
+  /// than silently written into a socket the failure detector already gave
+  /// up on — the channel may even still be open when the failure was
+  /// reported out-of-band (notify_peer_failed), and an eager write into it
+  /// would complete with Success for a message nobody will ever deliver.
+  void require_peer_alive(ProcessID dst) {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    if (dead_peers_.count(dst.value) > 0) {
+      throw DeviceError("tcpdev: peer " + std::to_string(dst.value) + " failed",
+                        ErrCode::ProcFailed);
+    }
+  }
+
   DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
     require_buffer_committed(buffer);
+    require_peer_alive(dst);
     const std::size_t total = buffer.static_size() + buffer.dynamic_size();
     note_send(dst, tag, context, total);
     if (total <= config_.eager_threshold) return eager_send(buffer, dst, tag, context);
@@ -293,6 +396,7 @@ class TcpDevice final : public Device, public RequestCanceller {
     // Synchronous mode always rendezvouses: completion implies the receiver
     // matched (the RTR proves it).
     require_buffer_committed(buffer);
+    require_peer_alive(dst);
     note_send(dst, tag, context, buffer.static_size() + buffer.dynamic_size());
     return rndv_send(buffer, dst, tag, context);
   }
@@ -300,6 +404,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   DevRequest isend_segments(std::span<const std::byte> header,
                             std::span<const SendSegment> segments, ProcessID dst, int tag,
                             int context) override {
+    require_peer_alive(dst);
     std::size_t payload = 0;
     for (const SendSegment& seg : segments) payload += seg.size;
     note_send(dst, tag, context, header.size() + payload);
@@ -312,6 +417,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   DevRequest issend_segments(std::span<const std::byte> header,
                              std::span<const SendSegment> segments, ProcessID dst, int tag,
                              int context) override {
+    require_peer_alive(dst);
     std::size_t payload = 0;
     for (const SendSegment& seg : segments) payload += seg.size;
     note_send(dst, tag, context, header.size() + payload);
@@ -652,16 +758,41 @@ class TcpDevice final : public Device, public RequestCanceller {
       note_rndv_slots_locked();
       return detached;
     }
-    std::lock_guard<std::mutex> lock(send_mu_);
-    for (auto it = pending_sends_.begin(); it != pending_sends_.end(); ++it) {
-      if (it->second.request.get() == &request) {
-        abandoned_sends_.emplace(it->first, it->second.dst.value);
-        pending_sends_.erase(it);
-        note_send_backlog_locked();
-        return true;
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      for (auto it = pending_sends_.begin(); it != pending_sends_.end(); ++it) {
+        if (it->second.request.get() == &request) {
+          abandoned_sends_.emplace(it->first, it->second.dst.value);
+          pending_sends_.erase(it);
+          note_send_backlog_locked();
+          return true;
+        }
+      }
+    }
+    if (reliable_) {
+      // The frame may already be on the wire but unacked, its body borrowed
+      // from the memory the waiter is about to reclaim. Materialize an owned
+      // copy under rel_mu — serializing against ack processing and replay —
+      // so a retransmission racing this abandon never touches freed memory,
+      // and the entry keeps the seq stream gapless.
+      for (auto& [id, peer] : peers_) {
+        std::lock_guard<std::mutex> rl(peer->rel_mu);
+        for (RetransEntry& entry : peer->retrans) {
+          if (entry.request.get() != &request) continue;
+          materialize_owned(entry);
+          entry.request = nullptr;  // acked later, completes nothing
+          return true;
+        }
       }
     }
     return false;  // RTR taken: a rendez-write-thread owns the buffer
+  }
+
+  /// RequestCanceller/Device: an external failure detector (daemon reaper,
+  /// World FT listener, test) declared `peer` dead.
+  void notify_peer_failed(ProcessID peer) override {
+    if (!running_) return;
+    fail_peer(peer.value, ErrCode::ProcFailed, nullptr);
   }
 
   const prof::Counters* counters() const override { return counters_.get(); }
@@ -669,10 +800,54 @@ class TcpDevice final : public Device, public RequestCanceller {
  private:
   // ---- connection state -------------------------------------------------------
 
-  /// Per-peer write channel ("dest channel" in the pseudocode).
+  /// Per-peer write channel ("dest channel" in the pseudocode) plus, in
+  /// reliable mode, both directions of the reliability session.
+  ///
+  /// Lock order: write_mu -> rel_mu. The write path holds write_mu across
+  /// seq assignment, retransmit-buffer append and the channel write so wire
+  /// order equals seq order; the input handler takes rel_mu ALONE to
+  /// process acks (so acks drain while a writer sleeps in a redial), and
+  /// only try-locks write_mu (standalone acks are advisory — it must never
+  /// block behind a reconnect in progress).
   struct Peer {
     std::mutex write_mu;
     net::Socket write_channel;
+
+    // Identity and redial coordinates (immutable after init).
+    std::uint64_t id = 0;
+    std::string host;
+    std::uint16_t port = 0;
+
+    // ---- send direction (write_mu) ----
+    std::uint64_t next_seq = 1;  ///< next frame sequence number to assign
+    std::uint32_t epoch = 0;     ///< write-channel incarnation (bumped per redial)
+
+    // ---- send direction (rel_mu) ----
+    std::mutex rel_mu;
+    std::condition_variable rel_cv;  ///< signaled when the retransmit buffer drains
+    std::deque<RetransEntry> retrans;
+    std::size_t retrans_bytes = 0;
+    std::uint64_t last_acked = 0;  ///< highest cumulative ack received
+    bool failed = false;           ///< declared dead: refuse new traffic
+    /// Last time the cumulative ack advanced (or a frame was queued while
+    /// the buffer was empty). Drives the retransmit watchdog: a data
+    /// channel that dies AFTER the last write is never noticed by a writer
+    /// (tail loss), so the input loop redials when unacked frames sit here
+    /// with no ack progress.
+    std::chrono::steady_clock::time_point last_ack_progress{};
+
+    // ---- receive direction ----
+    /// Highest in-order seq received from this peer. Atomic because writers
+    /// read it (piggyback ack) while the input handler advances it; it
+    /// PERSISTS across Conn replacement — duplicate suppression must
+    /// survive the very reconnect that causes the duplicates.
+    std::atomic<std::uint64_t> last_seen{0};
+    /// Highest cumulative ack actually delivered to this peer — standalone,
+    /// piggybacked on a data frame, or via a reconnect Hello. Every WRITE
+    /// happens under write_mu (so values stay monotonic); reads are
+    /// lock-free (the idle-flush check), hence atomic.
+    std::atomic<std::uint64_t> last_ack_sent{0};
+    std::uint32_t recv_epoch = 0;  ///< highest Hello epoch accepted (input handler only)
   };
 
   /// Per-read-channel state machine. `body_*` is the continuation record —
@@ -681,6 +856,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   struct Conn {
     std::uint64_t peer = 0;
     net::Socket sock;
+    Peer* peer_state = nullptr;  ///< reliability state (reliable mode only)
+    /// seq of the frame currently being consumed; committed to
+    /// peer_state->last_seen only once the FULL frame (header + body) has
+    /// been absorbed, so a mid-body channel loss never marks a half-read
+    /// frame as seen.
+    std::uint64_t frame_seq = 0;
 
     std::array<std::byte, kHeaderBytes> hdr_bytes{};
     std::size_t hdr_got = 0;
@@ -695,6 +876,10 @@ class TcpDevice final : public Device, public RequestCanceller {
     /// The receive whose buffer the in-flight body targets, if any; failed
     /// with the peer when the channel dies mid-message.
     DevRequest body_request;
+    /// Reliable repair: undo the in-flight frame's matching side effects
+    /// (re-post the receive / re-park the rendezvous entry) so the peer's
+    /// replayed copy is handled as a fresh arrival instead of being lost.
+    std::function<void()> on_body_abort;
   };
 
   void require_buffer_committed(const buf::Buffer& buffer) const {
@@ -786,7 +971,11 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// Zero-copy eager send: one gathered writev of [frame header | section
   /// header | user payload]. Blocking on the write channel means the
   /// borrowed segments are out of our hands when this returns, so the
-  /// request completes synchronously just like eager_send.
+  /// request completes synchronously just like eager_send. In reliable mode
+  /// the segments instead stay pinned in the retransmit buffer and the
+  /// request completes only when the cumulative ack covers the frame —
+  /// zero-copy semantics survive replay because the user's spans remain
+  /// valid until the request completes.
   DevRequest eager_send_segments(std::span<const std::byte> header,
                                  std::span<const SendSegment> segments, std::size_t payload,
                                  ProcessID dst, int tag, int context) {
@@ -806,6 +995,23 @@ class TcpDevice final : public Device, public RequestCanceller {
     status.source = self_;
     status.tag = tag;
     status.context = context;
+    if (reliable_) {
+      auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
+                                                       nullptr, this);
+      request->set_corr(corr);
+      DevStatus ok = status;
+      ok.static_bytes = header.size() + payload;
+      try {
+        write_segments(peer_for(dst.value), hdr, header, segments, request, ok);
+        prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context,
+                            total);
+      } catch (const Error& e) {
+        DevStatus err = status;
+        err.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+        request->complete(err);
+      }
+      return request;
+    }
     try {
       write_segments(peer_for(dst.value), hdr, header, segments);
       prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context, total);
@@ -849,13 +1055,24 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// made once, before any byte of the frame is handed to the socket, so an
   /// injected Drop removes the whole frame and Corrupt flips a post-CRC
   /// header byte the receiver is guaranteed to detect.
-  void write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr) {
+  ///
+  /// Returns true when completion was deferred to the cumulative ack
+  /// (reliable mode with `deferred` set: the buffer is pinned until the
+  /// receiver provably has the bytes); false when the frame is out of our
+  /// hands on return.
+  bool write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr,
+                     DevRequest deferred = nullptr, DevStatus ok_status = {}) {
+    if (reliable_) {
+      return reliable_write(peer, hdr, buffer.static_payload(), buffer.dynamic_payload(),
+                            {}, deferred ? &buffer : nullptr, std::move(deferred),
+                            ok_status);
+    }
     if (buffer.header_reserve() >= kHeaderBytes) {
       // Header written in place: [header|static] is one contiguous segment.
       auto header = buffer.header_region();
       auto encoded = header.subspan(header.size() - kHeaderBytes);
       tcp::encode_header(encoded, hdr);
-      if (!apply_write_fault(peer, encoded)) return;
+      if (!apply_write_fault(peer, encoded)) return false;
       const std::span<const std::byte> parts[] = {
           buffer.framed_payload().subspan(buffer.header_reserve() - kHeaderBytes),
           buffer.dynamic_payload()};
@@ -864,24 +1081,30 @@ class TcpDevice final : public Device, public RequestCanceller {
     } else {
       std::array<std::byte, kHeaderBytes> bytes{};
       tcp::encode_header(bytes, hdr);
-      if (!apply_write_fault(peer, bytes)) return;
+      if (!apply_write_fault(peer, bytes)) return false;
       const std::span<const std::byte> parts[] = {bytes, buffer.static_payload(),
                                                   buffer.dynamic_payload()};
       std::lock_guard<std::mutex> lock(peer.write_mu);
       peer.write_channel.writev_all(parts);
     }
+    return false;
   }
 
   /// Zero-copy frame write: gather [frame header | section header | payload
   /// segments] from their separate homes in one writev_all — the bytes never
-  /// pass through a staging Buffer. Same once-per-frame fault discipline as
-  /// write_message.
-  void write_segments(Peer& peer, const FrameHeader& hdr,
+  /// pass through a staging Buffer. Same once-per-frame fault discipline and
+  /// deferred-completion contract as write_message.
+  bool write_segments(Peer& peer, const FrameHeader& hdr,
                       std::span<const std::byte> sect_header,
-                      std::span<const SendSegment> segments) {
+                      std::span<const SendSegment> segments,
+                      DevRequest deferred = nullptr, DevStatus ok_status = {}) {
+    if (reliable_) {
+      return reliable_write(peer, hdr, sect_header, {}, segments, nullptr,
+                            std::move(deferred), ok_status);
+    }
     std::array<std::byte, kHeaderBytes> bytes{};
     tcp::encode_header(bytes, hdr);
-    if (!apply_write_fault(peer, bytes)) return;
+    if (!apply_write_fault(peer, bytes)) return false;
     std::vector<std::span<const std::byte>> parts;
     parts.reserve(2 + segments.size());
     parts.emplace_back(bytes);
@@ -889,6 +1112,481 @@ class TcpDevice final : public Device, public RequestCanceller {
     for (const SendSegment& seg : segments) parts.emplace_back(seg.data, seg.size);
     std::lock_guard<std::mutex> lock(peer.write_mu);
     peer.write_channel.writev_all(parts);
+    return false;
+  }
+
+  // ---- reliability session layer (MPCX_RELIABLE=1) ------------------------------
+
+  /// Transmit one sequenced frame: under the channel lock, assign the next
+  /// seq (wire order == seq order), piggyback the cumulative ack, append
+  /// the retransmit entry, then write. An injected or real write failure
+  /// sends the channel through redial-with-backoff + handshake + replay
+  /// before this returns; redial exhaustion declares the peer dead
+  /// (ErrCode::ProcFailed). Body description: [part1 | part2 | segments],
+  /// with `borrow_buffer` naming the Buffer behind part1/part2 when the
+  /// body should be borrowed rather than copied.
+  bool reliable_write(Peer& peer, FrameHeader hdr, std::span<const std::byte> part1,
+                      std::span<const std::byte> part2,
+                      std::span<const SendSegment> segments, buf::Buffer* borrow_buffer,
+                      DevRequest deferred, DevStatus ok_status) {
+    std::unique_lock<std::mutex> wl(peer.write_mu);
+    wait_retrans_capacity(peer);
+    hdr.seq = peer.next_seq++;
+    hdr.ack = peer.last_seen.load(std::memory_order_acquire);
+    hdr.epoch = peer.epoch;
+
+    RetransEntry entry;
+    entry.seq = hdr.seq;
+    tcp::encode_header(entry.hdr_bytes, hdr);
+    std::array<std::byte, kHeaderBytes> wire = entry.hdr_bytes;
+    bool drop = false;
+    if (faults::enabled()) {
+      switch (faults::next_action(faults::Site::TcpWrite)) {
+        case faults::Action::None:
+          break;
+        case faults::Action::Drop:
+          // The frame vanishes from the wire but stays in the retransmit
+          // buffer: the receiver's seq-gap detection forces a repair cycle
+          // that replays it.
+          drop = true;
+          break;
+        case faults::Action::Corrupt:
+          // Corrupt the WIRE copy only; the entry keeps pristine bytes, so
+          // the receiver's CRC failure + our replay deliver it intact.
+          wire[8] ^= std::byte{0x5A};
+          break;
+        case faults::Action::Reset:
+          // The write below fails and takes the redial + replay path.
+          peer.write_channel.shutdown_both();
+          break;
+      }
+    }
+    const bool defer = deferred != nullptr;
+    std::size_t body_bytes = part1.size() + part2.size();
+    for (const SendSegment& seg : segments) body_bytes += seg.size;
+    if (defer) {
+      entry.borrowed = true;
+      entry.body_buffer = borrow_buffer;
+      if (borrow_buffer == nullptr) {
+        entry.sect_len = std::min(part1.size(), entry.sect_header.size());
+        std::memcpy(entry.sect_header.data(), part1.data(), entry.sect_len);
+        entry.segments.assign(segments.begin(), segments.end());
+      }
+      entry.request = std::move(deferred);
+      entry.ok_status = ok_status;
+    } else {
+      entry.owned.reserve(body_bytes);
+      entry.owned.insert(entry.owned.end(), part1.begin(), part1.end());
+      entry.owned.insert(entry.owned.end(), part2.begin(), part2.end());
+    }
+    entry.bytes = kHeaderBytes + body_bytes;
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      if (peer.retrans.empty()) peer.last_ack_progress = std::chrono::steady_clock::now();
+      peer.retrans.push_back(std::move(entry));
+      peer.retrans_bytes += kHeaderBytes + body_bytes;
+      pvars_->gauge_add(prof::Pv::RetransmitBufferBytes,
+                        static_cast<std::int64_t>(kHeaderBytes + body_bytes));
+    }
+    if (!drop) {
+      try {
+        std::vector<std::span<const std::byte>> parts;
+        parts.reserve(3 + segments.size());
+        parts.emplace_back(wire);
+        if (!part1.empty()) parts.emplace_back(part1);
+        if (!part2.empty()) parts.emplace_back(part2);
+        for (const SendSegment& seg : segments) parts.emplace_back(seg.data, seg.size);
+        peer.write_channel.writev_all(parts);
+        // The piggybacked ack reached the wire — suppress the redundant
+        // standalone flush. (If the socket silently eats the frame, any
+        // repair path re-delivers the cumulative ack via its Hello.)
+        note_ack_sent(peer, hdr.ack);
+      } catch (const Error&) {
+        reconnect_replay(peer);
+      }
+    }
+    return defer;
+  }
+
+  /// Block while the retransmit buffer is over MPCX_RETRANS_MAX — the
+  /// sender's flow control against a slow or silent receiver. Called with
+  /// the peer's write_mu held; acks drain the buffer under rel_mu alone, so
+  /// capacity can free up while we wait.
+  void wait_retrans_capacity(Peer& peer) {
+    std::unique_lock<std::mutex> rl(peer.rel_mu);
+    const std::uint32_t deadline_ms = faults::op_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+    for (;;) {
+      if (peer.failed) {
+        throw DeviceError("tcpdev: peer " + std::to_string(peer.id) + " failed",
+                          ErrCode::ProcFailed);
+      }
+      if (!running_) throw DeviceError("tcpdev: send after finish");
+      if (peer.retrans_bytes < retrans_max_bytes_) return;
+      if (deadline_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+        faults::counters().add(prof::Ctr::OpTimeouts);
+        throw DeviceError("tcpdev: retransmit buffer full for " +
+                              std::to_string(deadline_ms) +
+                              " ms (MPCX_RETRANS_MAX / MPCX_OP_TIMEOUT_MS)",
+                          ErrCode::Timeout);
+      }
+      peer.rel_cv.wait_for(rl, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Redial a dead write channel with exponential backoff + jitter, run the
+  /// Hello handshake (new epoch; ack = last_seq_seen), and replay every
+  /// unacked frame in seq order. Called with the peer's write_mu held, so
+  /// the channel is replaced atomically with respect to other writers.
+  /// Throws ErrCode::ProcFailed after MPCX_RECONNECT_MAX failed attempts.
+  void reconnect_replay(Peer& peer) {
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(self_.value) << 32) ^ peer.id ^
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count());
+    Backoff backoff(reconnect_ms_, reconnect_ms_ * 16, seed);
+    for (std::uint64_t attempt = 0; attempt < reconnect_max_; ++attempt) {
+      // First attempt dials immediately: a reset with a live acceptor on
+      // the other end (the common, transient case) repairs in one RTT.
+      // Backoff paces the retries, when the peer really is gone or mid-restart.
+      if (attempt != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_delay_ms()));
+      }
+      if (!running_) throw DeviceError("tcpdev: device shut down during reconnect");
+      {
+        std::lock_guard<std::mutex> rl(peer.rel_mu);
+        if (peer.failed) {
+          throw DeviceError("tcpdev: peer " + std::to_string(peer.id) + " failed",
+                            ErrCode::ProcFailed);
+        }
+      }
+      try {
+        net::Socket sock = net::Socket::connect(
+            peer.host, peer.port, static_cast<int>(std::max<std::uint64_t>(reconnect_ms_, 10)));
+        sock.set_nodelay(true);
+        if (config_.socket_buffer_bytes > 0) {
+          sock.set_buffer_sizes(config_.socket_buffer_bytes, config_.socket_buffer_bytes);
+        }
+        FrameHeader hello;
+        hello.type = FrameType::Hello;
+        hello.src = self_.value;
+        hello.epoch = peer.epoch + 1;
+        hello.ack = peer.last_seen.load(std::memory_order_acquire);
+        std::array<std::byte, kHeaderBytes> bytes{};
+        tcp::encode_header(bytes, hello);
+        sock.write_all(bytes);
+        peer.write_channel = std::move(sock);
+        ++peer.epoch;
+        note_ack_sent(peer, hello.ack);
+        counters_->add(prof::Ctr::Reconnects);
+        std::size_t replayed = 0;
+        {
+          std::lock_guard<std::mutex> rl(peer.rel_mu);
+          for (const RetransEntry& entry : peer.retrans) {
+            write_entry(peer, entry);
+            counters_->add(prof::Ctr::FramesRetransmitted);
+            ++replayed;
+          }
+        }
+        log::debug("tcpdev: reconnected write channel to peer ", peer.id, " (epoch ",
+                   peer.epoch, ", replayed ", replayed, " frame(s))");
+        return;
+      } catch (const Error& e) {
+        log::debug("tcpdev: redial to peer ", peer.id, " failed: ", e.what());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      peer.failed = true;
+      peer.rel_cv.notify_all();
+    }
+    fail_peer(peer.id, ErrCode::ProcFailed, nullptr);
+    throw DeviceError("tcpdev: peer " + std::to_string(peer.id) + " unreachable after " +
+                          std::to_string(reconnect_max_) +
+                          " redial attempts (MPCX_RECONNECT_MS/MPCX_RECONNECT_MAX)",
+                      ErrCode::ProcFailed);
+  }
+
+  /// Replay one retransmit entry on the (fresh) write channel. Called with
+  /// both write_mu and rel_mu held.
+  void write_entry(Peer& peer, const RetransEntry& entry) {
+    std::vector<std::span<const std::byte>> parts;
+    parts.reserve(3 + entry.segments.size());
+    parts.emplace_back(entry.hdr_bytes);
+    if (entry.borrowed) {
+      if (entry.body_buffer != nullptr) {
+        parts.emplace_back(entry.body_buffer->static_payload());
+        parts.emplace_back(entry.body_buffer->dynamic_payload());
+      } else {
+        parts.emplace_back(entry.sect_header.data(), entry.sect_len);
+        for (const SendSegment& seg : entry.segments) parts.emplace_back(seg.data, seg.size);
+      }
+    } else if (!entry.owned.empty()) {
+      parts.emplace_back(entry.owned);
+    }
+    peer.write_channel.writev_all(parts);
+  }
+
+  /// Process a cumulative ack from `peer`: release every retransmit entry
+  /// with seq <= ack and complete the pinned zero-copy sends among them
+  /// (outside rel_mu — completion may publish to the merged queue).
+  void process_ack(Peer& peer, std::uint64_t ack) {
+    if (ack == 0) return;
+    std::vector<std::pair<DevRequest, DevStatus>> done;
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      if (ack <= peer.last_acked) return;
+      peer.last_acked = ack;
+      peer.last_ack_progress = std::chrono::steady_clock::now();
+      while (!peer.retrans.empty() && peer.retrans.front().seq <= ack) {
+        RetransEntry& entry = peer.retrans.front();
+        peer.retrans_bytes -= entry.bytes;
+        pvars_->gauge_add(prof::Pv::RetransmitBufferBytes,
+                          -static_cast<std::int64_t>(entry.bytes));
+        if (entry.request) done.emplace_back(std::move(entry.request), entry.ok_status);
+        peer.retrans.pop_front();
+      }
+      peer.rel_cv.notify_all();
+    }
+    for (auto& [request, status] : done) request->complete(status);
+  }
+
+  /// Record that a cumulative ack up to `value` reached the wire (standalone
+  /// Ack, data-frame piggyback, or reconnect Hello). Called with the peer's
+  /// write_mu held; the monotonic guard keeps a stale piggyback from
+  /// un-suppressing the idle flush.
+  static void note_ack_sent(Peer& peer, std::uint64_t value) {
+    if (value > peer.last_ack_sent.load(std::memory_order_relaxed)) {
+      peer.last_ack_sent.store(value, std::memory_order_release);
+    }
+  }
+
+  /// Input handler only: send a standalone cumulative ack if the peer has
+  /// unacked frames. Only TRY-locks the channel — it must never block
+  /// behind a writer mid-redial; the piggybacked ack on the next data frame
+  /// (or the next idle flush) covers a skipped send.
+  void flush_ack(Peer& peer) {
+    if (peer.last_seen.load(std::memory_order_acquire) ==
+        peer.last_ack_sent.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+    if (!wl.owns_lock()) return;
+    // Re-read under the lock: a data frame sent while we waited may have
+    // piggybacked the very ack we came to flush.
+    const std::uint64_t seen = peer.last_seen.load(std::memory_order_acquire);
+    if (seen <= peer.last_ack_sent.load(std::memory_order_relaxed)) return;
+    FrameHeader ack;
+    ack.type = FrameType::Ack;
+    ack.src = self_.value;
+    ack.ack = seen;
+    ack.epoch = peer.epoch;
+    std::array<std::byte, kHeaderBytes> bytes{};
+    tcp::encode_header(bytes, ack);
+    try {
+      peer.write_channel.write_all(bytes);
+      note_ack_sent(peer, seen);
+    } catch (const Error&) {
+      // Channel down. When traffic is one-directional this channel carries
+      // ONLY acks, so no data writer will ever trip over it and redial —
+      // the repair must happen here, or acks stop forever and the peer's
+      // retransmit buffer grows without bound (replaying an ever-longer
+      // duplicate train on every reconnect). reconnect_replay re-runs the
+      // Hello handshake, whose ack field delivers `seen`.
+      try {
+        reconnect_replay(peer);
+      } catch (const Error& e) {
+        log::debug("tcpdev: ack-channel redial to peer ", peer.id, " failed: ", e.what());
+      }
+    }
+  }
+
+  /// Input handler only: tell `peer` its write channel to us just died
+  /// (read-side reset). The notice rides OUR write channel as a flagged
+  /// Ack, carrying the cumulative ack so the peer replays exactly the
+  /// unacked suffix when it redials.
+  void send_reset_notice(Peer& peer) {
+    std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+    if (!wl.owns_lock()) return;  // a writer owns the channel; the watchdog backstops
+    const std::uint64_t seen = peer.last_seen.load(std::memory_order_acquire);
+    FrameHeader notice;
+    notice.type = FrameType::Ack;
+    notice.tag = kAckResetNotice;
+    notice.src = self_.value;
+    notice.ack = seen;
+    notice.epoch = peer.epoch;
+    std::array<std::byte, kHeaderBytes> bytes{};
+    tcp::encode_header(bytes, notice);
+    try {
+      peer.write_channel.write_all(bytes);
+      note_ack_sent(peer, seen);
+    } catch (const Error& e) {
+      // Both directions down at once: repair ours here; the peer's own
+      // read-side notice or watchdog covers the other.
+      try {
+        reconnect_replay(peer);
+      } catch (const Error& redial_err) {
+        log::debug("tcpdev: reset-notice redial to peer ", peer.id, " failed: ",
+                   redial_err.what());
+        (void)e;
+      }
+    }
+  }
+
+  /// Input handler only: the peer says our write channel to it is dead.
+  /// Redial + replay right away — even with an empty retransmit buffer the
+  /// socket is a zombie, and the next eager write would vanish into it.
+  void redial_for_notice(Peer& peer) {
+    std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+    if (!wl.owns_lock()) return;  // an active writer will hit the error itself
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      if (peer.failed) return;
+    }
+    try {
+      reconnect_replay(peer);
+    } catch (const Error& e) {
+      log::debug("tcpdev: notice-triggered redial to peer ", peer.id, " failed: ",
+                 e.what());
+    }
+  }
+
+  /// The frame whose seq is parked on `conn` has now been FULLY consumed:
+  /// advance the duplicate-suppression watermark and ack if enough frames
+  /// accumulated.
+  void commit_frame_seq(Conn& conn) {
+    if (conn.frame_seq == 0) return;
+    Peer& peer = *conn.peer_state;
+    peer.last_seen.store(conn.frame_seq, std::memory_order_release);
+    conn.frame_seq = 0;
+    if (peer.last_seen.load(std::memory_order_relaxed) -
+            peer.last_ack_sent.load(std::memory_order_relaxed) >=
+        kAckEvery) {
+      flush_ack(peer);
+    }
+  }
+
+  /// Reliable mode: a read channel died (peer reset, CRC failure, seq gap).
+  /// Drop ONLY the channel — last_seen survives in the Peer, so when the
+  /// peer redials and replays, duplicates are suppressed and the stream
+  /// resumes gaplessly. A body caught mid-flight is UNWOUND, not lost: its
+  /// abort hook re-publishes the matching state (re-posts the receive at
+  /// the head of the match queue / re-parks the rendezvous entry) and its
+  /// seq is NOT marked seen, so the replayed copy passes duplicate
+  /// suppression, re-matches the restored receive, and redelivers the body
+  /// from offset zero. Only bodies with no abort hook (discard drains of
+  /// already-abandoned receives) and header-only frames whose handler threw
+  /// mark their seq seen, so their replayed copies are drained.
+  void drop_conn_for_repair(Conn& conn) {
+    std::function<void()> abort_body = std::move(conn.on_body_abort);
+    DevRequest body_request = std::move(conn.body_request);
+    conn.on_body_abort = nullptr;
+    conn.body_request = nullptr;
+    conn.on_body_done = nullptr;
+    if (conn.in_body && abort_body) {
+      conn.frame_seq = 0;  // not seen: the replayed copy must redeliver
+      conn.in_body = false;
+      abort_body();
+      return;  // the interrupted receive stays pending; replay completes it
+    }
+    if (conn.frame_seq != 0 && conn.peer_state != nullptr) {
+      conn.peer_state->last_seen.store(conn.frame_seq, std::memory_order_release);
+      conn.frame_seq = 0;
+    }
+    if (body_request) {
+      DevStatus status;
+      status.source = ProcessID{conn.peer};
+      status.error = ErrCode::ConnReset;
+      body_request->complete(status);
+    }
+  }
+
+  /// A peer redialed after losing its write channel to us: complete the
+  /// Hello handshake and swap the read channel in place (input handler
+  /// only). The Hello's epoch guards against a stale redial racing a fresh
+  /// one; its ack field carries the peer's last_seq_seen of OUR frames and
+  /// is processed as a cumulative ack — the failure may have eaten the acks
+  /// for frames that did arrive.
+  void accept_reconnect() {
+    auto sock = acceptor_.accept_for(0);
+    if (!sock) return;
+    FrameHeader hdr;
+    try {
+      std::array<std::byte, kHeaderBytes> hello{};
+      sock->read_all(hello);
+      hdr = tcp::decode_header(hello);
+    } catch (const Error& e) {
+      log::debug("tcpdev: reconnect handshake failed: ", e.what());
+      return;
+    }
+    if (hdr.type != FrameType::Hello) {
+      log::debug("tcpdev: reconnect socket sent a non-hello frame; dropping it");
+      return;
+    }
+    auto pit = peers_.find(hdr.src);
+    if (pit == peers_.end()) {
+      log::debug("tcpdev: reconnect hello from unknown process ", hdr.src);
+      return;
+    }
+    Peer& peer = *pit->second;
+    if (hdr.epoch <= peer.recv_epoch) {
+      log::debug("tcpdev: ignoring stale reconnect from peer ", hdr.src, " (epoch ",
+                 hdr.epoch, " <= ", peer.recv_epoch, ")");
+      return;
+    }
+    peer.recv_epoch = hdr.epoch;
+    process_ack(peer, hdr.ack);
+    for (auto it = conns_by_fd_.begin(); it != conns_by_fd_.end(); ++it) {
+      if (it->second->peer != hdr.src) continue;
+      drop_conn_for_repair(*it->second);
+      poller_.remove(it->first);
+      conns_by_fd_.erase(it);
+      break;
+    }
+    sock->set_nodelay(true);
+    if (config_.socket_buffer_bytes > 0) {
+      sock->set_buffer_sizes(config_.socket_buffer_bytes, config_.socket_buffer_bytes);
+    }
+    sock->set_nonblocking(true);
+    sock->set_fault_site(faults::Site::TcpRead);
+    auto conn = std::make_unique<Conn>();
+    conn->peer = hdr.src;
+    conn->sock = std::move(*sock);
+    conn->peer_state = &peer;
+    const int fd = conn->sock.fd();
+    conns_by_fd_.emplace(fd, std::move(conn));
+    poller_.add(fd);
+    log::debug("tcpdev: accepted reconnect from peer ", hdr.src, " (epoch ", hdr.epoch, ")");
+  }
+
+  /// Convert a borrowed retransmit entry to an owned copy in place: the
+  /// owning request's wait timed out and its memory is about to be
+  /// reclaimed, but the entry must survive for replay so the seq stream
+  /// stays gapless. Called under the peer's rel_mu.
+  static void materialize_owned(RetransEntry& entry) {
+    if (!entry.borrowed) return;
+    std::vector<std::byte> owned;
+    if (entry.body_buffer != nullptr) {
+      const auto sp = entry.body_buffer->static_payload();
+      const auto dp = entry.body_buffer->dynamic_payload();
+      owned.reserve(sp.size() + dp.size());
+      owned.insert(owned.end(), sp.begin(), sp.end());
+      owned.insert(owned.end(), dp.begin(), dp.end());
+    } else {
+      std::size_t total = entry.sect_len;
+      for (const SendSegment& seg : entry.segments) total += seg.size;
+      owned.reserve(total);
+      owned.insert(owned.end(), entry.sect_header.begin(),
+                   entry.sect_header.begin() + entry.sect_len);
+      for (const SendSegment& seg : entry.segments) {
+        owned.insert(owned.end(), seg.data, seg.data + seg.size);
+      }
+    }
+    entry.owned = std::move(owned);
+    entry.borrowed = false;
+    entry.body_buffer = nullptr;
+    entry.segments.clear();
   }
 
   // ---- rendezvous protocol, send side (Fig. 6) ----------------------------------
@@ -998,6 +1696,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   }
 
   void write_control(Peer& peer, const FrameHeader& hdr) {
+    if (reliable_) {
+      // Control frames (RTS/RTR) are sequenced and replayed like data:
+      // losing a handshake frame would wedge the rendezvous on both ends.
+      reliable_write(peer, hdr, {}, {}, {}, nullptr, nullptr, {});
+      return;
+    }
     std::array<std::byte, kHeaderBytes> bytes{};
     tcp::encode_header(bytes, hdr);
     if (!apply_write_fault(peer, bytes)) return;
@@ -1023,31 +1727,82 @@ class TcpDevice final : public Device, public RequestCanceller {
   // ---- input handler (Figs. 5 and 8) ---------------------------------------------
 
   void input_loop() {
+    // Reliable mode polls on a shorter leash so standalone acks flush
+    // promptly when traffic is one-directional (no frames to piggyback on).
+    const int wait_ms = reliable_ ? 50 : 200;
     while (running_) {
-      auto events = poller_.wait(200);
+      auto events = poller_.wait(wait_ms);
       for (const net::PollEvent& event : events) {
+        if (reliable_ && event.fd == acceptor_.fd()) {
+          accept_reconnect();
+          continue;
+        }
         auto it = conns_by_fd_.find(event.fd);
         if (it == conns_by_fd_.end()) continue;
         try {
           pump(*it->second);
         } catch (const Error& e) {
-          // Peer went away (or its stream can no longer be trusted): drop
-          // the channel and error out every operation pinned to that peer so
-          // waiters observe the failure instead of hanging.
           if (running_) log::debug("tcpdev input handler: ", e.what());
           if (e.code() == ErrCode::Checksum) {
             faults::counters().add(prof::Ctr::ChecksumFailures);
           }
           Conn& conn = *it->second;
           const std::uint64_t peer = conn.peer;
-          DevRequest body_request = std::move(conn.body_request);
-          conn.body_request = nullptr;
-          conn.on_body_done = nullptr;
           poller_.remove(event.fd);
-          conns_by_fd_.erase(it);
-          fail_peer(peer, e.code(), std::move(body_request));
+          if (reliable_) {
+            // Recoverable: drop only the channel and let the peer's redial
+            // + replay repair the stream; pending operations stay pending.
+            Peer* peer_state = conn.peer_state;
+            drop_conn_for_repair(conn);
+            conns_by_fd_.erase(it);
+            if (peer_state != nullptr) send_reset_notice(*peer_state);
+          } else {
+            DevRequest body_request = std::move(conn.body_request);
+            conn.body_request = nullptr;
+            conn.on_body_done = nullptr;
+            // Fail-fast: drop the channel and error out every operation
+            // pinned to that peer so waiters observe the failure instead of
+            // hanging.
+            conns_by_fd_.erase(it);
+            fail_peer(peer, e.code(), std::move(body_request));
+          }
         }
       }
+      if (reliable_) {
+        for (auto& [id, peer] : peers_) {
+          flush_ack(*peer);
+          nudge_stalled_retrans(*peer);
+        }
+      }
+    }
+  }
+
+  /// Retransmit watchdog (input loop): unacked frames whose cumulative ack
+  /// has not advanced for a few redial periods mean the data channel may
+  /// have died AFTER our last write — tail loss no writer will ever notice.
+  /// Redial and replay proactively; a healthy-but-slow channel tolerates
+  /// this (duplicates are suppressed, the epoch bump supersedes the old
+  /// socket).
+  void nudge_stalled_retrans(Peer& peer) {
+    // The floor must clear the peer's idle ack flush (one 50ms poll leash
+    // plus scheduling): below that, a healthy-but-quiet stream draws
+    // spurious redials every time an ack rides the flush instead of a
+    // piggyback.
+    const auto stall = std::chrono::milliseconds(std::max<std::uint64_t>(8 * reconnect_ms_, 150));
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      if (peer.retrans.empty() || peer.failed) return;
+      if (now - peer.last_ack_progress < stall) return;
+      peer.last_ack_progress = now;  // rate-limit the nudges
+    }
+    std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+    if (!wl.owns_lock()) return;  // an active writer will notice the failure itself
+    try {
+      reconnect_replay(peer);
+    } catch (const Error& e) {
+      log::debug("tcpdev: retransmit watchdog redial to peer ", peer.id, " failed: ",
+                 e.what());
     }
   }
 
@@ -1112,6 +1867,27 @@ class TcpDevice final : public Device, public RequestCanceller {
       }
       note_send_backlog_locked();
     }
+    if (reliable_) {
+      // Unacked frames can never be delivered now; their pinned zero-copy
+      // sends fail with the peer, and parked capacity waiters wake to the
+      // failed flag.
+      auto pit = peers_.find(peer);
+      if (pit != peers_.end()) {
+        Peer& p = *pit->second;
+        std::lock_guard<std::mutex> rl(p.rel_mu);
+        p.failed = true;
+        for (RetransEntry& entry : p.retrans) {
+          if (entry.request) victims.push_back(std::move(entry.request));
+        }
+        if (p.retrans_bytes > 0) {
+          pvars_->gauge_add(prof::Pv::RetransmitBufferBytes,
+                            -static_cast<std::int64_t>(p.retrans_bytes));
+        }
+        p.retrans.clear();
+        p.retrans_bytes = 0;
+        p.rel_cv.notify_all();
+      }
+    }
     DevStatus status;
     status.source = ProcessID{peer};
     status.error = code;
@@ -1136,7 +1912,40 @@ class TcpDevice final : public Device, public RequestCanceller {
         conn.hdr_got += got;
         if (conn.hdr_got < kHeaderBytes) continue;
         conn.hdr_got = 0;
-        handle_frame(conn, tcp::decode_header(conn.hdr_bytes));
+        const FrameHeader hdr = tcp::decode_header(conn.hdr_bytes);
+        if (reliable_ && conn.peer_state != nullptr) {
+          Peer& peer = *conn.peer_state;
+          process_ack(peer, hdr.ack);
+          if (hdr.type == FrameType::Ack) {  // header-only, never sequenced
+            if (hdr.tag == kAckResetNotice) redial_for_notice(peer);
+            continue;
+          }
+          if (hdr.seq != 0) {
+            const std::uint64_t last = peer.last_seen.load(std::memory_order_relaxed);
+            if (hdr.seq <= last) {
+              // Replay overlap: suppress the duplicate, draining any body
+              // so the stream stays framed.
+              counters_->add(prof::Ctr::FramesDuplicateDropped);
+              if (hdr.type == FrameType::Eager || hdr.type == FrameType::RndvData) {
+                drain_discard(conn, hdr);
+              }
+              continue;
+            }
+            if (hdr.seq != last + 1) {
+              // A frame went missing (injected Drop, partial replay): the
+              // stream cannot be trusted past this point. Drop the channel;
+              // the peer's redial + replay closes the gap.
+              throw DeviceError("tcpdev: sequence gap from peer " +
+                                    std::to_string(conn.peer) + " (expected " +
+                                    std::to_string(last + 1) + ", got " +
+                                    std::to_string(hdr.seq) + ")",
+                                ErrCode::ConnReset);
+            }
+            conn.frame_seq = hdr.seq;
+          }
+        }
+        handle_frame(conn, hdr);
+        if (!conn.in_body) commit_frame_seq(conn);
         continue;
       }
       // Body: static bytes first, then dynamic, into the prepared spans.
@@ -1158,12 +1967,19 @@ class TcpDevice final : public Device, public RequestCanceller {
       auto done = std::move(conn.on_body_done);
       conn.on_body_done = nullptr;
       conn.body_request = nullptr;
+      conn.on_body_abort = nullptr;
+      // Commit BEFORE completing the receive: done() wakes the app thread,
+      // whose very next send piggybacks last_seen as its ack — committing
+      // after would let that ack miss this frame, leaving the peer's
+      // deferred zero-copy send parked until the idle ack flush.
+      commit_frame_seq(conn);
       if (done) done();
     }
   }
 
   void begin_body(Conn& conn, std::span<std::byte> static_dst, std::span<std::byte> dynamic_dst,
-                  std::function<void()> on_done, DevRequest fail_request = nullptr) {
+                  std::function<void()> on_done, DevRequest fail_request = nullptr,
+                  std::function<void()> on_abort = nullptr) {
     conn.in_body = true;
     conn.static_dst = static_dst.data();
     conn.static_len = static_dst.size();
@@ -1172,6 +1988,7 @@ class TcpDevice final : public Device, public RequestCanceller {
     conn.body_got = 0;
     conn.on_body_done = std::move(on_done);
     conn.body_request = std::move(fail_request);
+    conn.on_body_abort = std::move(on_abort);
   }
 
   void handle_frame(Conn& conn, const FrameHeader& hdr) {
@@ -1188,6 +2005,8 @@ class TcpDevice final : public Device, public RequestCanceller {
       case FrameType::RndvData:
         handle_rndv_data(conn, hdr);
         return;
+      case FrameType::Ack:
+        return;  // cumulative ack already processed in pump()
       case FrameType::Hello:
         throw DeviceError("tcpdev: unexpected hello after bootstrap");
     }
@@ -1214,6 +2033,48 @@ class TcpDevice final : public Device, public RequestCanceller {
     return status;
   }
 
+  /// Abort hook for a body streaming into a matched posted receive: re-post
+  /// the receive at the HEAD of the match queue (claim gate bypassed — it
+  /// was already won) so the peer's replayed copy re-matches it first and
+  /// redelivers from offset zero.
+  std::function<void()> repost_recv_abort(const MatchKey& key, RecvRec rec) {
+    rec.rearmed = true;
+    return [this, key, rec = std::move(rec)] {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      posted_.restore(key, rec);
+      note_posted_depth_locked();
+    };
+  }
+
+  /// Abort hook for a still-arriving unexpected message: retract the
+  /// partial entry (the replayed copy recreates it from scratch) and, if a
+  /// receive claimed it mid-arrival, re-post that receive so the replay
+  /// matches it directly instead of spawning a second unexpected entry.
+  std::function<void()> retract_unexp_abort(std::shared_ptr<UnexpMsg> msg) {
+    return [this, msg = std::move(msg)] {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      const bool queued =
+          !unexpected_
+               .drain_if([&](const MatchKey&, const std::shared_ptr<UnexpMsg>& entry) {
+                 return entry.get() == msg.get();
+               })
+               .empty();
+      if (queued) note_unexpected_locked(-unexp_payload_bytes(*msg));
+      arriving_claims_.erase(msg.get());
+      pool_.put(std::move(msg->temp));
+      if (msg->claimant) {
+        RecvRec rec;
+        rec.request = std::move(msg->claimant);
+        rec.buffer = msg->claim_buffer;
+        rec.direct = msg->claim_direct;
+        rec.span = msg->claim_span;
+        rec.rearmed = true;
+        posted_.restore(msg->key, std::move(rec));
+        note_posted_depth_locked();
+      }
+    };
+  }
+
   /// Fig. 5: eager data frame.
   void handle_eager(Conn& conn, const FrameHeader& hdr) {
     const MatchKey key{hdr.context, hdr.tag, ProcessID{hdr.src}};
@@ -1237,7 +2098,8 @@ class TcpDevice final : public Device, public RequestCanceller {
         counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
         note_unexpected_locked(unexp_payload_bytes(*msg));
         arrival_cv_.notify_all();
-        begin_body(conn, static_dst, dynamic_dst, [this, msg] { finish_unexpected(msg); });
+        begin_body(conn, static_dst, dynamic_dst, [this, msg] { finish_unexpected(msg); },
+                   nullptr, retract_unexp_abort(msg));
         return;
       }
       note_match(key, hdr.static_len + hdr.dynamic_len, /*was_posted=*/true);
@@ -1245,20 +2107,21 @@ class TcpDevice final : public Device, public RequestCanceller {
       rec->request->mark_matched(hdr.msg_id, hdr.src, hdr.tag, hdr.context,
                                  hdr.static_len + hdr.dynamic_len);
     }
+    auto abort = repost_recv_abort(key, *rec);
     // Posted receive found: stream straight into the user's buffer (or, for
     // a direct receive, the user's span).
     if (rec->direct) {
       if (hdr.static_len > buf::Buffer::kSectionHeaderBytes + rec->span.payload_capacity) {
-        drain_truncated(conn, hdr, rec->request);
+        drain_truncated(conn, hdr, rec->request, std::move(abort));
       } else if (direct_eligible(hdr.static_len, hdr.dynamic_len, rec->span)) {
-        begin_body_direct(conn, hdr, rec->span, rec->request);
+        begin_body_direct(conn, hdr, rec->span, rec->request, std::move(abort));
       } else {
-        begin_body_staged(conn, hdr, rec->span, rec->request);
+        begin_body_staged(conn, hdr, rec->span, rec->request, std::move(abort));
       }
       return;
     }
     if (hdr.static_len > rec->buffer->capacity()) {
-      drain_truncated(conn, hdr, rec->request);
+      drain_truncated(conn, hdr, rec->request, std::move(abort));
       return;
     }
     auto static_dst = rec->buffer->prepare_static(hdr.static_len);
@@ -1272,7 +2135,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           buffer->seal_received();
           request->complete(status);
         },
-        request);
+        request, std::move(abort));
   }
 
   /// The eager payload of an unexpected message finished arriving.
@@ -1364,7 +2227,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// BEFORE the final claim-losing complete() releases the waiter's latch —
   /// after which the borrowed span belongs to the user again.
   void begin_body_direct(Conn& conn, const FrameHeader& hdr, const RecvSpan& span,
-                         const DevRequest& request) {
+                         const DevRequest& request, std::function<void()> on_abort = nullptr) {
     constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
     DevStatus status = status_from(hdr);
     status.direct = true;
@@ -1376,7 +2239,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           if (req->claimed()) preserve_abandoned_direct(status, span, req->corr());
           req->complete(status);
         },
-        request);
+        request, std::move(on_abort));
   }
 
   /// A direct receive was abandoned mid-body and the payload has now fully
@@ -1410,7 +2273,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// Ineligible frame for a direct receive that still fits: stream it into a
   /// staging buffer attached to the request (direct stays false).
   void begin_body_staged(Conn& conn, const FrameHeader& hdr, const RecvSpan& span,
-                         const DevRequest& request) {
+                         const DevRequest& request, std::function<void()> on_abort = nullptr) {
     auto staging = std::make_unique<buf::Buffer>(buf::Buffer::kSectionHeaderBytes +
                                                  span.payload_capacity);
     auto static_dst = staging->prepare_static(hdr.static_len);
@@ -1425,11 +2288,12 @@ class TcpDevice final : public Device, public RequestCanceller {
           raw->seal_received();
           req->complete(status);
         },
-        request);
+        request, std::move(on_abort));
   }
 
   /// Incoming message too large for the posted buffer: drain and discard.
-  void drain_truncated(Conn& conn, const FrameHeader& hdr, const DevRequest& request) {
+  void drain_truncated(Conn& conn, const FrameHeader& hdr, const DevRequest& request,
+                       std::function<void()> on_abort = nullptr) {
     auto scratch = pool_.get(hdr.static_len);
     auto static_dst = scratch->prepare_static(hdr.static_len);
     auto dynamic_dst = scratch->prepare_dynamic(hdr.dynamic_len);
@@ -1442,7 +2306,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           pool->put(std::move(*holder));
           request->complete(status);
         },
-        request);
+        request, std::move(on_abort));
   }
 
   /// A data frame whose receiver gave up (timed-out, abandoned receive):
@@ -1545,20 +2409,26 @@ class TcpDevice final : public Device, public RequestCanceller {
           data.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
         }
         data.msg_id = msg_id;
-        if (rec.direct) {
-          write_segments(peer_for(rec.dst.value), data, rec.sect_header, rec.segments);
-        } else {
-          write_message(*rec.buffer, peer_for(rec.dst.value), data);
-        }
-        prof::record_flight(msg_id, prof::FlightStage::SendWire, rec.dst.value, rec.tag,
-                            rec.context, data.static_len + data.dynamic_len);
         DevStatus status;
         status.source = self_;
         status.tag = rec.tag;
         status.context = rec.context;
         status.static_bytes = data.static_len;
         status.dynamic_bytes = data.dynamic_len;
-        rec.request->complete(status);
+        // In reliable mode the data stays pinned (borrowed by the
+        // retransmit buffer) and the request completes on the cumulative
+        // ack rather than here.
+        bool deferred;
+        if (rec.direct) {
+          deferred = write_segments(peer_for(rec.dst.value), data, rec.sect_header,
+                                    rec.segments, rec.request, status);
+        } else {
+          deferred = write_message(*rec.buffer, peer_for(rec.dst.value), data,
+                                   rec.request, status);
+        }
+        prof::record_flight(msg_id, prof::FlightStage::SendWire, rec.dst.value, rec.tag,
+                            rec.context, data.static_len + data.dynamic_len);
+        if (!deferred) rec.request->complete(status);
       } catch (const Error& e) {
         // Route the failure into the owning send request — a swallowed log
         // line here used to leave the sender's wait() hanging forever.
@@ -1596,20 +2466,27 @@ class TcpDevice final : public Device, public RequestCanceller {
       drain_discard(conn, hdr);
       return;
     }
+    // Abort hook: re-park the pending entry under its key so the replayed
+    // data frame (the RTR is never resent) finds its receive again.
+    auto abort = [this, rkey = RndvKey{hdr.src, hdr.msg_id}, saved = pending] {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      rndv_pending_.emplace(rkey, saved);
+      note_rndv_slots_locked();
+    };
     if (pending.direct) {
       if (hdr.static_len > buf::Buffer::kSectionHeaderBytes + pending.span.payload_capacity) {
-        drain_truncated(conn, hdr, pending.request);
+        drain_truncated(conn, hdr, pending.request, std::move(abort));
       } else if (direct_eligible(hdr.static_len, hdr.dynamic_len, pending.span)) {
-        begin_body_direct(conn, hdr, pending.span, pending.request);
+        begin_body_direct(conn, hdr, pending.span, pending.request, std::move(abort));
       } else {
         // The data frame's shape disagrees with the RTS it followed; land it
         // in a staging buffer rather than trusting the span mapping.
-        begin_body_staged(conn, hdr, pending.span, pending.request);
+        begin_body_staged(conn, hdr, pending.span, pending.request, std::move(abort));
       }
       return;
     }
     if (hdr.static_len > pending.buffer->capacity()) {
-      drain_truncated(conn, hdr, pending.request);
+      drain_truncated(conn, hdr, pending.request, std::move(abort));
       return;
     }
     auto static_dst = pending.buffer->prepare_static(hdr.static_len);
@@ -1623,7 +2500,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           buffer->seal_received();
           request->complete(status);
         },
-        request);
+        request, std::move(abort));
   }
 
   // ---- members -----------------------------------------------------------------
@@ -1631,6 +2508,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   DeviceConfig config_;
   ProcessID self_{};
   net::Acceptor acceptor_;
+
+  // Reliability session layer knobs (fixed at init from the environment).
+  bool reliable_ = false;
+  std::uint64_t reconnect_ms_ = 50;
+  std::uint64_t reconnect_max_ = 10;
+  std::uint64_t retrans_max_bytes_ = std::uint64_t{4} << 20;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;  // by ProcessID value
   std::unordered_map<int, std::unique_ptr<Conn>> conns_by_fd_;

@@ -1,20 +1,31 @@
 // Wire frame format for tcpdev (the niodev analog).
 //
-// Every unit on a tcpdev channel starts with a fixed 40-byte header. Eager
+// Every unit on a tcpdev channel starts with a fixed 60-byte header. Eager
 // and rendezvous-data frames are followed by the static payload and then the
-// dynamic payload; control frames (hello / ready-to-send / ready-to-recv)
-// are header-only.
+// dynamic payload; control frames (hello / ready-to-send / ready-to-recv /
+// ack) are header-only.
 //
-// The header fits inside the buffer's device reserve (send_overhead() == 40)
+// The header fits inside the buffer's device reserve (send_overhead() == 60)
 // so an eager send is a single contiguous write of [header | static] plus
 // one write for the dynamic section — the paper's reason for exposing
 // getSendOverhead() through the xdev API.
 //
+// Reliability (format v2): every frame additionally carries a per-peer
+// session {epoch, seq} pair and a cumulative piggybacked ack. seq numbers
+// frames in wire order per sender->receiver direction (0 = unsequenced:
+// hello/ack control frames and non-reliable mode); ack acknowledges every
+// seq <= ack seen from the destination, releasing the sender's retransmit
+// buffer; epoch counts the write channel's incarnations so a stale redial
+// can never be mistaken for a fresh one. Hello doubles as the reconnect
+// handshake: its epoch announces the connector's new incarnation and its
+// ack field carries last_seq_seen.
+//
 // Integrity: bytes 1-2 carry the magic "MX", byte 3 the format version, and
-// the last 4 bytes a CRC32C over bytes [0, 36). A header that fails any of
+// the last 4 bytes a CRC32C over bytes [0, 56). A header that fails any of
 // these checks throws DeviceError(ErrCode::Checksum); the receiving device
-// treats that as a peer failure (the stream offset can no longer be
-// trusted) and errors out that peer's requests instead of crashing.
+// treats that as a channel failure (the stream offset can no longer be
+// trusted) — in reliable mode the channel is dropped and repaired by
+// redial + replay, otherwise that peer's requests error out.
 #pragma once
 
 #include <array>
@@ -29,14 +40,15 @@ namespace mpcx::xdev::tcp {
 
 inline constexpr std::uint8_t kMagic0 = 'M';
 inline constexpr std::uint8_t kMagic1 = 'X';
-inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersion = 2;
 
 enum class FrameType : std::uint8_t {
-  Hello = 1,     ///< connection setup: announces the connector's ProcessID
+  Hello = 1,     ///< connection setup + reconnect handshake ({epoch, last_seq_seen})
   Eager = 2,     ///< eager protocol: header + full payload (Fig. 3)
   Rts = 3,       ///< rendezvous ready-to-send (Fig. 6)
   Rtr = 4,       ///< rendezvous ready-to-recv (Figs. 7/8)
   RndvData = 5,  ///< rendezvous payload (Fig. 8, rendez-write-thread)
+  Ack = 6,       ///< standalone cumulative ack (reliable mode; header-only)
 };
 
 struct FrameHeader {
@@ -50,9 +62,16 @@ struct FrameHeader {
   /// data frames of one rendezvous AND binds sender/receiver lifecycle
   /// events in traces. 0 on eager frames when tracing is off.
   std::uint64_t msg_id = 0;
+  /// Per-direction frame sequence number (reliable mode; 0 = unsequenced).
+  std::uint64_t seq = 0;
+  /// Cumulative piggybacked ack: every seq <= ack from the destination has
+  /// been received. On Hello it carries last_seq_seen for the handshake.
+  std::uint64_t ack = 0;
+  /// Write-channel incarnation (bumped per successful redial; 0 = none).
+  std::uint32_t epoch = 0;
 };
 
-inline constexpr std::size_t kHeaderBytes = 40;
+inline constexpr std::size_t kHeaderBytes = 60;
 
 inline void encode_header(std::span<std::byte> out, const FrameHeader& hdr) {
   if (out.size() < kHeaderBytes) throw DeviceError("tcpdev: header span too small");
@@ -66,7 +85,10 @@ inline void encode_header(std::span<std::byte> out, const FrameHeader& hdr) {
   store_wire<std::uint32_t>(out.data() + 20, hdr.static_len);
   store_wire<std::uint32_t>(out.data() + 24, hdr.dynamic_len);
   store_wire<std::uint64_t>(out.data() + 28, hdr.msg_id);
-  store_wire<std::uint32_t>(out.data() + 36, crc32c(out.first(36)));
+  store_wire<std::uint64_t>(out.data() + 36, hdr.seq);
+  store_wire<std::uint64_t>(out.data() + 44, hdr.ack);
+  store_wire<std::uint32_t>(out.data() + 52, hdr.epoch);
+  store_wire<std::uint32_t>(out.data() + 56, crc32c(out.first(56)));
 }
 
 inline FrameHeader decode_header(std::span<const std::byte> in) {
@@ -80,13 +102,13 @@ inline FrameHeader decode_header(std::span<const std::byte> in) {
                           std::to_string(static_cast<unsigned>(in[3])),
                       ErrCode::Checksum);
   }
-  const std::uint32_t wire_crc = load_wire<std::uint32_t>(in.data() + 36);
-  if (wire_crc != crc32c(in.first(36))) {
+  const std::uint32_t wire_crc = load_wire<std::uint32_t>(in.data() + 56);
+  if (wire_crc != crc32c(in.first(56))) {
     throw DeviceError("tcpdev: frame header failed CRC32C check", ErrCode::Checksum);
   }
   FrameHeader hdr;
   const auto raw = static_cast<std::uint8_t>(in[0]);
-  if (raw < 1 || raw > 5) {
+  if (raw < 1 || raw > 6) {
     throw DeviceError("tcpdev: corrupt frame type " + std::to_string(raw),
                       ErrCode::Checksum);
   }
@@ -97,6 +119,9 @@ inline FrameHeader decode_header(std::span<const std::byte> in) {
   hdr.static_len = load_wire<std::uint32_t>(in.data() + 20);
   hdr.dynamic_len = load_wire<std::uint32_t>(in.data() + 24);
   hdr.msg_id = load_wire<std::uint64_t>(in.data() + 28);
+  hdr.seq = load_wire<std::uint64_t>(in.data() + 36);
+  hdr.ack = load_wire<std::uint64_t>(in.data() + 44);
+  hdr.epoch = load_wire<std::uint32_t>(in.data() + 52);
   return hdr;
 }
 

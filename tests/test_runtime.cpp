@@ -364,6 +364,75 @@ TEST(MultiProcessTraced, FourRankHybridMergedTraceAndMetrics) {
   }
 }
 
+// ISSUE 7 acceptance: SIGKILL one rank mid-Allreduce in a real multi-process
+// job. Survivors must observe the failure as an Error (proc_failed from the
+// detector, or the MPCX_OP_TIMEOUT_MS backstop for ranks not talking to the
+// corpse directly), learn the dead rank from the daemon's RankFailed
+// broadcast, and Revoke + Shrink into a communicator that demonstrably
+// still works. The drill itself lives in mpcx_rank_probe
+// (MPCX_PROBE_DIE_RANK); this test checks each survivor's printed verdict.
+void run_sigkill_recovery_drill(const std::string& device) {
+  Daemon daemon(0);
+  daemon.start();
+
+  LaunchSpec spec;
+  spec.nprocs = 4;
+  spec.exe = rank_probe_path();
+  spec.daemons = {DaemonAddr{"127.0.0.1", daemon.port()}};
+  spec.device = device;
+  spec.extra_env = {
+      {"MPCX_PROBE_DIE_RANK", "3"},
+      {"MPCX_FT", "1"},            // subscribe to the daemon's RankFailed feed
+      {"MPCX_RELIABLE", "1"},      // reliability session under tcpdev
+      {"MPCX_RECONNECT_MS", "25"},
+      {"MPCX_RECONNECT_MAX", "4"},
+      {"MPCX_OP_TIMEOUT_MS", "2000"},  // backstop for survivors blocked on
+                                       // a live-but-errored-out peer
+  };
+
+  const auto results = launch_world(spec);
+  daemon.stop();
+  ASSERT_EQ(results.size(), 4u);
+
+  // The victim dies of SIGKILL, nothing else.
+  EXPECT_EQ(results[3].exit_code, 128 + SIGKILL) << results[3].output;
+
+  // Every survivor recovers: observes an error, shrinks to 3 ranks, and the
+  // shrunk Allreduce yields exactly the survivor sum 1+2+3.
+  int proc_failed_observers = 0;
+  for (int r = 0; r < 3; ++r) {
+    const auto& res = results[static_cast<std::size_t>(r)];
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("rank_probe recovery rank=" + std::to_string(r)),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("shrunk_size=3 allreduce=6"), std::string::npos)
+        << res.output;
+    if (res.output.find("observed=proc_failed") != std::string::npos) {
+      ++proc_failed_observers;
+    }
+  }
+  EXPECT_GE(proc_failed_observers, 1)
+      << "no survivor surfaced ERR_PROC_FAILED; all fell back to the timeout "
+         "backstop";
+}
+
+TEST(MultiProcessRecovery, SigkillMidAllreduceTcpdevShrinksAndRecovers) {
+  // A 50ms daemon heartbeat bounds detection latency; the Daemon here runs
+  // in-process, so set it before construction.
+  mpcx::testing::ScopedEnv hb("MPCX_HEARTBEAT_MS", "50");
+  run_sigkill_recovery_drill("tcpdev");
+}
+
+TEST(MultiProcessRecovery, SigkillMidAllreduceHybdevShrinksAndRecovers) {
+  // Simulated 2-node topology: ranks {2,3} share a node, so survivor 2
+  // observes the SIGKILLed rank 3 through the shared-memory child while
+  // ranks 0/1 observe it over tcp.
+  mpcx::testing::ScopedEnv hb("MPCX_HEARTBEAT_MS", "50");
+  mpcx::testing::ScopedEnv sim("MPCX_NODE_ID", "2");
+  run_sigkill_recovery_drill("hybdev");
+}
+
 TEST(Launcher, ValidationErrors) {
   LaunchSpec spec;
   spec.nprocs = 0;
