@@ -1,0 +1,169 @@
+// Connection & progress layer benchmark (ISSUE 9): multi-threaded
+// small-message rate through the MPSC send queues, and the connection-storm
+// startup cost of flat (eager all-pairs) vs lazy (dial-on-first-send)
+// connection establishment.
+//
+//   bench_msgrate [--messages N] [--ints N] [--ranks N] [--quick] [--json PATH]
+//
+// Leg 1 — message rate: 2 tcpdev ranks; rank 0 runs 1/2/4 concurrent
+// sender threads (distinct tags) blasting small eager messages at rank 1's
+// matching receiver threads. All threads funnel into ONE write channel, so
+// the aggregate rate measures the lock-free MPSC queue + try-lock drain
+// protocol under contention (the old design serialized senders on a mutex
+// around write(2)).
+//
+// Leg 2 — connection storm: bring up an N-rank in-process tcpdev world,
+// run one barrier, and tear it down, with MPCX_LAZY_CONNECT=0 (every rank
+// dials every peer inside init — the O(N^2) storm) vs =1 (init binds the
+// acceptor only; the barrier dials just the tree edges actually used).
+// The reported startup time is world construction + first barrier, i.e.
+// "time until the job can do useful work".
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
+#include "fig_common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- leg 1: multi-threaded small-message rate --------------------------------------
+
+struct RateResult {
+  int threads = 0;
+  int messages_per_thread = 0;
+  std::size_t bytes = 0;
+  double elapsed_us = 0.0;
+
+  double msgs_per_sec() const {
+    return 1e6 * static_cast<double>(threads) * messages_per_thread / elapsed_us;
+  }
+};
+
+RateResult message_rate(int threads, int messages_per_thread, std::size_t ints) {
+  RateResult result;
+  result.threads = threads;
+  result.messages_per_thread = messages_per_thread;
+  result.bytes = ints * sizeof(std::int32_t);
+  mpcx::cluster::Options options;
+  options.device = "tcpdev";
+  mpcx::cluster::launch(2, [&](mpcx::World& world) {
+    using namespace mpcx;
+    Intracomm& comm = world.COMM_WORLD();
+    const int rank = comm.Rank();
+    comm.Barrier();
+    const auto start = Clock::now();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<std::int32_t> payload(ints, t);
+        if (rank == 0) {
+          for (int i = 0; i < messages_per_thread; ++i) {
+            comm.Send(payload.data(), 0, static_cast<int>(ints), types::INT(), 1, t);
+          }
+        } else {
+          for (int i = 0; i < messages_per_thread; ++i) {
+            comm.Recv(payload.data(), 0, static_cast<int>(ints), types::INT(), 0, t);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    comm.Barrier();  // both sides done: the receive side bounds the rate
+    if (rank == 0) {
+      result.elapsed_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    }
+  }, options);
+  return result;
+}
+
+// ---- leg 2: connection storm (flat vs lazy startup) --------------------------------
+
+struct StormResult {
+  int ranks = 0;
+  bool lazy = false;
+  double startup_us = 0.0;  ///< world construction + first barrier
+};
+
+StormResult connection_storm(int ranks, bool lazy) {
+  StormResult result;
+  result.ranks = ranks;
+  result.lazy = lazy;
+  ::setenv("MPCX_LAZY_CONNECT", lazy ? "1" : "0", 1);
+  mpcx::cluster::Options options;
+  options.device = "tcpdev";
+  const auto start = Clock::now();
+  mpcx::cluster::launch(ranks, [&](mpcx::World& world) {
+    using namespace mpcx;
+    world.COMM_WORLD().Barrier();
+    if (world.COMM_WORLD().Rank() == 0) {
+      result.startup_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    }
+  }, options);
+  ::unsetenv("MPCX_LAZY_CONNECT");
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int messages = 50'000;
+  std::size_t ints = 8;  // 32 B payload: deep in eager territory
+  int storm_ranks = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      messages = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ints") == 0 && i + 1 < argc) {
+      ints = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
+      storm_ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      messages = 10'000;
+    }
+  }
+
+  std::vector<mpcx::bench::JsonRecord> records;
+
+  std::printf("== small-message rate: 2 tcpdev ranks, one shared write channel ==\n");
+  for (const int threads : {1, 2, 4}) {
+    const RateResult r = message_rate(threads, messages, ints);
+    std::printf("threads %d  %7d msgs/thread x %3zu B  %10.0f msgs/s  (%.3f us/msg)\n",
+                r.threads, r.messages_per_thread, r.bytes, r.msgs_per_sec(),
+                r.elapsed_us / (static_cast<double>(r.threads) * r.messages_per_thread));
+    mpcx::bench::JsonRecord rec;
+    rec.bench = "msgrate/threads" + std::to_string(threads);
+    rec.msg_size = r.bytes;
+    rec.latency_us = r.elapsed_us / (static_cast<double>(r.threads) * r.messages_per_thread);
+    rec.bandwidth_MBps = r.msgs_per_sec() * static_cast<double>(r.bytes) / 1e6;
+    records.push_back(rec);
+  }
+
+  std::printf("== connection storm: %d-rank tcpdev world, startup to first barrier ==\n",
+              storm_ranks);
+  for (const bool lazy : {false, true}) {
+    const StormResult r = connection_storm(storm_ranks, lazy);
+    std::printf("%-4s connect  %3d ranks  startup %10.1f ms  (%s)\n",
+                lazy ? "lazy" : "flat", r.ranks, r.startup_us / 1000.0,
+                lazy ? "acceptor only at init; dial on use"
+                     : "all-pairs dial storm at init");
+    mpcx::bench::JsonRecord rec;
+    rec.bench = std::string("storm/") + (lazy ? "lazy" : "flat") + "-" +
+                std::to_string(r.ranks) + "ranks";
+    rec.msg_size = 0;
+    rec.latency_us = r.startup_us;
+    rec.bandwidth_MBps = 0.0;
+    records.push_back(rec);
+  }
+
+  mpcx::bench::maybe_write_json(argc, argv, records);
+  return 0;
+}

@@ -76,6 +76,11 @@ enum class Ctr : std::size_t {
   Reconnects,          ///< tcpdev channels re-established after a failure (redials that succeeded)
   FramesRetransmitted, ///< frames replayed from the retransmit buffer after a reconnect
   FramesDuplicateDropped, ///< replayed frames suppressed by receiver sequence dedup
+  ConnsOpened,         ///< write channels dialed (lazy first-dials + flat-mode pre-dials)
+  ConnsEvicted,        ///< write channels closed by the connection manager (LRU cap / idle)
+  ConnsRedialed,       ///< write channels re-dialed after an eviction, on next send
+  EpollWakeups,        ///< progress-engine wakeups with at least one ready channel
+  SelfDeliveries,      ///< self-sends delivered in-process (no loopback socket)
   Count
 };
 

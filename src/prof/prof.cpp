@@ -85,6 +85,11 @@ const char* ctr_name(Ctr counter) {
     case Ctr::Reconnects: return "reconnects";
     case Ctr::FramesRetransmitted: return "frames_retransmitted";
     case Ctr::FramesDuplicateDropped: return "frames_duplicate_dropped";
+    case Ctr::ConnsOpened: return "conns_opened";
+    case Ctr::ConnsEvicted: return "conns_evicted";
+    case Ctr::ConnsRedialed: return "conns_redialed";
+    case Ctr::EpollWakeups: return "epoll_wakeups";
+    case Ctr::SelfDeliveries: return "self_deliveries";
     case Ctr::Count: break;
   }
   return "?";

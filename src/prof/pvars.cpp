@@ -38,6 +38,8 @@ const PvInfo& pv_info(Pv v) {
       {"inflight_scheds", PvClass::Gauge, "nonblocking-collective schedules outstanding"},
       {"retransmit_buffer_bytes", PvClass::Gauge,
        "unacked frame bytes held for replay (reliable tcpdev)"},
+      {"open_connections", PvClass::Gauge,
+       "write channels currently open (hwm = peak concurrent connections)"},
       {"match_latency_ns", PvClass::Histogram, "receive post/arrival to match (ns)"},
       {"op_completion_ns", PvClass::Histogram, "request creation to completion (ns)"},
   };

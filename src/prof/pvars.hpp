@@ -53,6 +53,7 @@ enum class Pv : std::size_t {
   RndvSlots,        ///< gauge: rendezvous handshakes in flight
   InflightScheds,   ///< gauge: nonblocking-collective schedules outstanding
   RetransmitBufferBytes,  ///< gauge: unacked frame bytes held for replay (reliable tcpdev)
+  OpenConnections,  ///< gauge: write channels currently open (hwm = peak concurrent dials)
   MatchLatencyNs,   ///< histogram: receive post (or arrival) -> match
   OpCompletionNs,   ///< histogram: request creation -> completion
   Count

@@ -183,6 +183,10 @@ void Daemon::handle_connection(const std::shared_ptr<net::Socket>& sock) {
         case MsgKind::Spawn:
           write_frame(*sock, MsgKind::SpawnReply, handle_spawn(frame.as<SpawnRequest>()));
           break;
+        case MsgKind::SpawnBatch:
+          write_frame(*sock, MsgKind::SpawnBatchReply,
+                      handle_spawn_batch(frame.as<SpawnBatchRequest>()));
+          break;
         case MsgKind::Status:
           write_frame(*sock, MsgKind::StatusReply, handle_status(frame.as<StatusRequest>()));
           break;
@@ -222,28 +226,64 @@ void Daemon::handle_connection(const std::shared_ptr<net::Socket>& sock) {
 SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
   SpawnReply reply;
   std::string exe_path = request.exe;
-
   if (request.staged) {
-    // Fig. 9b "remote classloading": materialize the shipped binary.
-    std::string staged;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      staged = session_dir_ + "/staged_" + std::to_string(next_stage_id_++) + "_" + request.exe;
-    }
-    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      reply.error = "cannot write staged binary " + staged;
+    exe_path = stage_binary(request, reply.error);
+    if (exe_path.empty()) return reply;
+  }
+  return spawn_child(exe_path, request.args, request.env);
+}
+
+/// One round trip for every rank placed here: stage the binary once, then
+/// fork the whole batch. Children boot concurrently from the first fork, so
+/// ranks-per-node no longer multiplies bootstrap round trips.
+SpawnBatchReply Daemon::handle_spawn_batch(const SpawnBatchRequest& request) {
+  SpawnBatchReply reply;
+  std::string exe_path = request.common.exe;
+  if (request.common.staged) {
+    exe_path = stage_binary(request.common, reply.error);
+    if (exe_path.empty()) {
+      reply.pids.assign(request.per_rank_env.size(), -1);
       return reply;
     }
-    out.write(reinterpret_cast<const char*>(request.binary.data()),
-              static_cast<std::streamsize>(request.binary.size()));
-    out.close();
-    ::chmod(staged.c_str(), 0755);
-    exe_path = staged;
   }
+  for (const auto& rank_env : request.per_rank_env) {
+    auto env = request.common.env;
+    env.insert(env.end(), rank_env.begin(), rank_env.end());
+    const SpawnReply one = spawn_child(exe_path, request.common.args, env);
+    if (one.pid < 0 && reply.error.empty()) reply.error = one.error;
+    reply.pids.push_back(one.pid);
+  }
+  return reply;
+}
 
-  const std::string log_path =
-      session_dir_ + "/proc_" + std::to_string(next_stage_id_++) + ".log";
+std::string Daemon::stage_binary(const SpawnRequest& request, std::string& error) {
+  // Fig. 9b "remote classloading": materialize the shipped binary.
+  std::string staged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    staged = session_dir_ + "/staged_" + std::to_string(next_stage_id_++) + "_" + request.exe;
+  }
+  std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    error = "cannot write staged binary " + staged;
+    return "";
+  }
+  out.write(reinterpret_cast<const char*>(request.binary.data()),
+            static_cast<std::streamsize>(request.binary.size()));
+  out.close();
+  ::chmod(staged.c_str(), 0755);
+  return staged;
+}
+
+SpawnReply Daemon::spawn_child(const std::string& exe_path,
+                               const std::vector<std::string>& args,
+                               const std::vector<std::pair<std::string, std::string>>& env) {
+  SpawnReply reply;
+  std::string log_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_path = session_dir_ + "/proc_" + std::to_string(next_stage_id_++) + ".log";
+  }
 
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -258,12 +298,12 @@ SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
       ::dup2(log_fd, STDERR_FILENO);
       ::close(log_fd);
     }
-    for (const auto& [key, value] : request.env) {
+    for (const auto& [key, value] : env) {
       ::setenv(key.c_str(), value.c_str(), 1);
     }
     std::vector<char*> argv;
     argv.push_back(const_cast<char*>(exe_path.c_str()));
-    for (const std::string& arg : request.args) argv.push_back(const_cast<char*>(arg.c_str()));
+    for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
     argv.push_back(nullptr);
     ::execv(exe_path.c_str(), argv.data());
     std::fprintf(stderr, "execv %s: %s\n", exe_path.c_str(), std::strerror(errno));
@@ -275,7 +315,7 @@ SpawnReply Daemon::handle_spawn(const SpawnRequest& request) {
   // World::from_env so subscribers can address device-layer state directly.
   std::int32_t rank = -1;
   std::uint64_t session = 0;
-  for (const auto& [key, value] : request.env) {
+  for (const auto& [key, value] : env) {
     if (key == "MPCX_RANK") rank = static_cast<std::int32_t>(std::atoi(value.c_str()));
     if (key == "MPCX_SESSION") session = static_cast<std::uint64_t>(std::atoll(value.c_str()));
   }

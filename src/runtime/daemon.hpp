@@ -59,6 +59,13 @@ class Daemon {
  private:
   void handle_connection(const std::shared_ptr<net::Socket>& sock);
   SpawnReply handle_spawn(const SpawnRequest& request);
+  SpawnBatchReply handle_spawn_batch(const SpawnBatchRequest& request);
+  /// Materialize a staged binary into the session dir; returns its path or
+  /// "" with `error` set. A batch stages ONCE for all its ranks.
+  std::string stage_binary(const SpawnRequest& request, std::string& error);
+  /// fork+exec one child with the given (already merged) environment.
+  SpawnReply spawn_child(const std::string& exe_path, const std::vector<std::string>& args,
+                         const std::vector<std::pair<std::string, std::string>>& env);
   StatusReply handle_status(const StatusRequest& request);
   FetchReply handle_fetch(const FetchRequest& request);
   AbortReply handle_abort(const AbortRequest& request);

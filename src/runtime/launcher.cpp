@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -23,6 +24,15 @@ SpawnReply DaemonClient::spawn(const SpawnRequest& request) {
   const Frame frame = read_frame(sock_);
   if (frame.kind != MsgKind::SpawnReply) throw RuntimeError("mpcxrun: bad spawn reply");
   return frame.as<SpawnReply>();
+}
+
+SpawnBatchReply DaemonClient::spawn_batch(const SpawnBatchRequest& request) {
+  write_frame(sock_, MsgKind::SpawnBatch, request);
+  const Frame frame = read_frame(sock_);
+  if (frame.kind != MsgKind::SpawnBatchReply) {
+    throw RuntimeError("mpcxrun: bad spawn-batch reply");
+  }
+  return frame.as<SpawnBatchReply>();
 }
 
 StatusReply DaemonClient::status(std::int32_t pid) {
@@ -141,73 +151,105 @@ std::vector<ProcessResult> launch_world(const LaunchSpec& spec) {
   clients.reserve(spec.daemons.size());
   for (const DaemonAddr& addr : spec.daemons) clients.emplace_back(addr);
 
-  struct Placement {
-    std::size_t daemon;
-    std::int32_t pid;
-  };
   // One session token for the whole launch: every rank must derive the
   // same ProcessIDs. Time-based so ProcessIDs (and shmdev segment names)
   // never collide with stale runs even when pids recycle.
   const std::string session = std::to_string(
       (std::chrono::steady_clock::now().time_since_epoch().count() >> 10) ^
       (static_cast<long long>(::getpid()) << 16));
-  std::vector<Placement> placements;
+
+  // Spawn payload shared by every rank. The staged binary travels once per
+  // DAEMON (inside the batch), not once per rank.
+  SpawnRequest common;
+  common.staged = spec.stage_binary;
+  common.exe = spec.stage_binary ? basename_of(spec.exe) : spec.exe;
+  common.args = spec.args;
+  common.binary = std::move(binary);
+  common.env = {
+      {"MPCX_WORLD", world},
+      {"MPCX_NODES", nodes},
+      {"MPCX_DEVICE", spec.device},
+      {"MPCX_SESSION", session},
+  };
+  if (spec.eager_threshold > 0) {
+    common.env.emplace_back("MPCX_EAGER_THRESHOLD", std::to_string(spec.eager_threshold));
+  }
+  if (spec.socket_buffer_bytes > 0) {
+    common.env.emplace_back("MPCX_SOCKET_BUFFER", std::to_string(spec.socket_buffer_bytes));
+  }
+  if (spec.metrics_ms > 0) {
+    common.env.emplace_back("MPCX_METRICS_MS", std::to_string(spec.metrics_ms));
+  }
+  for (const auto& kv : spec.extra_env) common.env.push_back(kv);
+
+  std::vector<std::vector<int>> ranks_by_daemon(spec.daemons.size());
   for (int r = 0; r < spec.nprocs; ++r) {
-    const std::size_t d = static_cast<std::size_t>(r) % spec.daemons.size();
-    SpawnRequest request;
-    request.staged = spec.stage_binary;
-    request.exe = spec.stage_binary ? basename_of(spec.exe) : spec.exe;
-    request.args = spec.args;
-    request.binary = binary;
-    request.env = {
-        {"MPCX_RANK", std::to_string(r)},
-        {"MPCX_WORLD", world},
-        {"MPCX_NODES", nodes},
-        {"MPCX_DEVICE", spec.device},
-        {"MPCX_SESSION", session},
-        // Rank's own daemon, so World::Abort can escalate to the whole job.
-        {"MPCX_DAEMON", spec.daemons[d].host + ":" + std::to_string(spec.daemons[d].port)},
-    };
-    if (spec.eager_threshold > 0) {
-      request.env.emplace_back("MPCX_EAGER_THRESHOLD", std::to_string(spec.eager_threshold));
-    }
-    if (spec.socket_buffer_bytes > 0) {
-      request.env.emplace_back("MPCX_SOCKET_BUFFER", std::to_string(spec.socket_buffer_bytes));
-    }
-    if (!spec.trace_path.empty()) {
-      request.env.emplace_back("MPCX_TRACE", rank_trace_file(spec.trace_path, r));
-    }
-    if (spec.metrics_ms > 0) {
-      request.env.emplace_back("MPCX_METRICS_MS", std::to_string(spec.metrics_ms));
-      request.env.emplace_back("MPCX_METRICS_PATH", absolutize(spec.metrics_base) + ".rank" +
-                                                        std::to_string(r) + ".jsonl");
-    }
-    for (const auto& kv : spec.extra_env) request.env.push_back(kv);
-    const SpawnReply reply = clients[d].spawn(request);
-    if (reply.pid < 0) throw RuntimeError("mpcxrun: spawn failed: " + reply.error);
-    placements.push_back(Placement{d, reply.pid});
+    ranks_by_daemon[static_cast<std::size_t>(r) % spec.daemons.size()].push_back(r);
   }
 
-  // Wait for every rank.
+  // Tree bootstrap: one thread per daemon issues a single SpawnBatch round
+  // trip (launcher → daemon → children fan-out), then polls only its own
+  // ranks. Startup latency is one batch round trip plus the slowest
+  // daemon's fork loop — independent of ranks-per-daemon on the wire —
+  // instead of nprocs serialized spawn round trips.
   std::vector<ProcessResult> results(static_cast<std::size_t>(spec.nprocs));
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
-  for (int r = 0; r < spec.nprocs; ++r) {
-    const Placement& placement = placements[static_cast<std::size_t>(r)];
-    for (;;) {
-      const StatusReply status = clients[placement.daemon].status(placement.pid);
-      if (!status.error.empty()) throw RuntimeError("mpcxrun: " + status.error);
-      if (status.exited) {
-        results[static_cast<std::size_t>(r)].pid = placement.pid;
-        results[static_cast<std::size_t>(r)].exit_code = status.exit_code;
-        break;
+  std::vector<std::exception_ptr> errors(spec.daemons.size());
+  std::vector<std::thread> waiters;
+  waiters.reserve(spec.daemons.size());
+  for (std::size_t d = 0; d < spec.daemons.size(); ++d) {
+    waiters.emplace_back([&, d] {
+      try {
+        const std::vector<int>& ranks = ranks_by_daemon[d];
+        if (ranks.empty()) return;
+        SpawnBatchRequest batch;
+        batch.common = common;
+        // Rank's own daemon, so World::Abort can escalate to the whole job.
+        batch.common.env.emplace_back(
+            "MPCX_DAEMON", spec.daemons[d].host + ":" + std::to_string(spec.daemons[d].port));
+        for (const int r : ranks) {
+          std::vector<std::pair<std::string, std::string>> env = {
+              {"MPCX_RANK", std::to_string(r)}};
+          if (!spec.trace_path.empty()) {
+            env.emplace_back("MPCX_TRACE", rank_trace_file(spec.trace_path, r));
+          }
+          if (spec.metrics_ms > 0) {
+            env.emplace_back("MPCX_METRICS_PATH", absolutize(spec.metrics_base) + ".rank" +
+                                                      std::to_string(r) + ".jsonl");
+          }
+          batch.per_rank_env.push_back(std::move(env));
+        }
+        const SpawnBatchReply reply = clients[d].spawn_batch(batch);
+        if (!reply.error.empty()) throw RuntimeError("mpcxrun: spawn failed: " + reply.error);
+        if (reply.pids.size() != ranks.size()) {
+          throw RuntimeError("mpcxrun: spawn-batch reply size mismatch");
+        }
+        for (std::size_t i = 0; i < ranks.size(); ++i) {
+          const int r = ranks[i];
+          const std::int32_t pid = reply.pids[i];
+          for (;;) {
+            const StatusReply status = clients[d].status(pid);
+            if (!status.error.empty()) throw RuntimeError("mpcxrun: " + status.error);
+            if (status.exited) {
+              results[static_cast<std::size_t>(r)].pid = pid;
+              results[static_cast<std::size_t>(r)].exit_code = status.exit_code;
+              break;
+            }
+            if (std::chrono::steady_clock::now() > deadline) {
+              throw RuntimeError("mpcxrun: timeout waiting for rank " + std::to_string(r));
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+          results[static_cast<std::size_t>(r)].output = clients[d].fetch(pid).output;
+        }
+      } catch (...) {
+        errors[d] = std::current_exception();
       }
-      if (std::chrono::steady_clock::now() > deadline) {
-        throw RuntimeError("mpcxrun: timeout waiting for rank " + std::to_string(r));
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-    results[static_cast<std::size_t>(r)].output =
-        clients[placement.daemon].fetch(placement.pid).output;
+    });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
 
   if (!spec.trace_path.empty()) {

@@ -28,6 +28,10 @@ class DaemonClient {
   explicit DaemonClient(const DaemonAddr& addr);
 
   SpawnReply spawn(const SpawnRequest& request);
+  /// Spawn every rank placed on this daemon in one round trip (the shared
+  /// binary/args/env travel once). Used by launch_world's per-daemon
+  /// bootstrap threads.
+  SpawnBatchReply spawn_batch(const SpawnBatchRequest& request);
   StatusReply status(std::int32_t pid);
   FetchReply fetch(std::int32_t pid);
   /// Kill every live child on the daemon (MPI_Abort escalation); returns

@@ -43,6 +43,8 @@ enum class MsgKind : std::uint8_t {
   AbortReply = 10,
   Subscribe = 11,   ///< header-only: register for RankFailed push events
   RankFailed = 12,  ///< daemon -> subscriber push (RankFailedEvent)
+  SpawnBatch = 13,      ///< spawn every rank placed on this daemon in one trip
+  SpawnBatchReply = 14,
 };
 
 struct SpawnRequest {
@@ -83,6 +85,54 @@ struct SpawnReply {
   static SpawnReply deserialize(buf::ByteSource& source) {
     SpawnReply reply;
     reply.pid = source.get<std::int32_t>();
+    reply.error = source.get_string();
+    return reply;
+  }
+};
+
+/// One launcher→daemon round trip spawning EVERY rank placed on that
+/// daemon. The payload all ranks share — executable path, staged binary
+/// bytes, argv, common environment — travels once instead of once per
+/// rank, and the daemon answers with one reply after forking the whole
+/// batch. With per-daemon batches issued concurrently, bootstrap cost is
+/// one round trip regardless of ranks-per-node (the launcher→daemon→child
+/// spawn tree replaces the old flat rank-at-a-time loop).
+struct SpawnBatchRequest {
+  /// Shared spawn parameters. `common.env` applies to every rank.
+  SpawnRequest common;
+  /// Rank-specific environment (MPCX_RANK etc.), appended after common.env
+  /// so a per-rank entry wins. One element per process to spawn.
+  std::vector<std::vector<std::pair<std::string, std::string>>> per_rank_env;
+
+  void serialize(buf::ByteSink& sink) const {
+    common.serialize(sink);
+    sink.put<std::uint32_t>(static_cast<std::uint32_t>(per_rank_env.size()));
+    for (const auto& env : per_rank_env) buf::encode_value(sink, env);
+  }
+  static SpawnBatchRequest deserialize(buf::ByteSource& source) {
+    SpawnBatchRequest req;
+    req.common = SpawnRequest::deserialize(source);
+    req.per_rank_env.resize(source.get<std::uint32_t>());
+    for (auto& env : req.per_rank_env) {
+      env = buf::decode_value<std::vector<std::pair<std::string, std::string>>>(source);
+    }
+    return req;
+  }
+};
+
+struct SpawnBatchReply {
+  std::vector<std::int32_t> pids;  ///< parallel to per_rank_env; -1 = failed
+  std::string error;               ///< first failure, if any
+
+  void serialize(buf::ByteSink& sink) const {
+    sink.put<std::uint32_t>(static_cast<std::uint32_t>(pids.size()));
+    for (const std::int32_t pid : pids) sink.put(pid);
+    sink.put_string(error);
+  }
+  static SpawnBatchReply deserialize(buf::ByteSource& source) {
+    SpawnBatchReply reply;
+    reply.pids.resize(source.get<std::uint32_t>());
+    for (auto& pid : reply.pids) pid = source.get<std::int32_t>();
     reply.error = source.get_string();
     return reply;
   }

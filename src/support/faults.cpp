@@ -113,6 +113,7 @@ const char* site_name(Site site) {
     case Site::TcpWrite: return "tcp_write";
     case Site::TcpRead: return "tcp_read";
     case Site::ShmPush: return "shm_push";
+    case Site::TcpConnect: return "tcp_connect";
     case Site::Count: break;
   }
   return "?";

@@ -45,9 +45,10 @@ namespace mpcx::faults {
 /// Injection points. Each site has its own deterministic operation counter
 /// so plans replay identically regardless of cross-site interleaving.
 enum class Site : std::size_t {
-  TcpWrite,  ///< tcpdev write_message/write_control (one op per logical frame)
-  TcpRead,   ///< Socket::read_some / read_all (input-handler reads)
-  ShmPush,   ///< shmdev Segment ring push
+  TcpWrite,    ///< tcpdev write_message/write_control (one op per logical frame)
+  TcpRead,     ///< Socket::read_some / read_all (input-handler reads)
+  ShmPush,     ///< shmdev Segment ring push
+  TcpConnect,  ///< tcpdev lazy channel dial (one op per dial attempt)
   Count
 };
 

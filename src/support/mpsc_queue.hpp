@@ -1,0 +1,76 @@
+// Intrusive lock-free multi-producer/single-consumer queue (Vyukov's
+// algorithm) — the submission side of tcpdev's per-peer send queues.
+//
+// Producers (application threads posting sends) push with one atomic
+// exchange and one store: no CAS loop, no contention on a mutex, wait-free
+// for each producer. The single consumer — whoever currently owns the
+// peer's write channel — pops in FIFO order. tcpdev pairs this with a
+// try-lock drain protocol (see drain_sends there): the queue itself never
+// blocks, and the "who drains" race is resolved by the channel mutex.
+//
+// pop() has one documented soft spot inherited from the algorithm: when a
+// producer has exchanged the head but not yet linked its node, the queue is
+// momentarily "non-empty but unpoppable" and pop() returns nullptr. Callers
+// that track an external element count (tcpdev's `queued` counter) simply
+// retry; the window is a few instructions on the producer's thread.
+#pragma once
+
+#include <atomic>
+
+namespace mpcx::support {
+
+/// Base class for queue elements; derive your node type from it.
+struct MpscNode {
+  std::atomic<MpscNode*> next{nullptr};
+};
+
+/// The queue. Not copyable or movable (nodes point into it via the stub).
+/// Destruction does not free queued nodes — drain first.
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side: wait-free, safe from any number of threads.
+  void push(MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer side: exactly one thread at a time (tcpdev: the holder of the
+  /// peer's write mutex). Returns nullptr when empty OR when a producer is
+  /// mid-push (see header comment); callers with an external count retry.
+  MpscNode* pop() {
+    MpscNode* tail = tail_;
+    MpscNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or producer mid-push)
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    // tail is the last linked node. If a producer already exchanged head_
+    // past it, its link is still in flight — report empty and let the
+    // caller retry. Otherwise re-thread the stub behind tail so tail can be
+    // handed out while the list stays terminated.
+    if (head_.load(std::memory_order_acquire) != tail) return nullptr;
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return nullptr;  // stub link in flight; retry later
+    tail_ = next;
+    return tail;
+  }
+
+ private:
+  std::atomic<MpscNode*> head_;  ///< producers exchange here
+  MpscNode* tail_;               ///< consumer-owned
+  MpscNode stub_;
+};
+
+}  // namespace mpcx::support

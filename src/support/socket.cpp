@@ -8,9 +8,15 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -25,6 +31,17 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& op) {
   throw SocketError(op + ": " + std::strerror(errno));
 }
+
+/// Descriptor exhaustion gets an actionable message instead of raw errno:
+/// every fd here is a connection, so the fix is either more fds or fewer
+/// concurrent connections (tcpdev's LRU connection cap).
+[[noreturn]] void throw_fd_exhausted(const std::string& op) {
+  throw SocketError(op + ": " + std::strerror(errno) +
+                    " — file-descriptor limit reached; raise `ulimit -n` or lower "
+                    "MPCX_MAX_CONNS so the connection manager keeps fewer channels open");
+}
+
+bool fd_exhausted(int err) { return err == EMFILE || err == ENFILE; }
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
@@ -68,7 +85,10 @@ Socket Socket::connect(const std::string& host, std::uint16_t port, int timeout_
                           std::chrono::steady_clock::now().time_since_epoch().count()));
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket");
+    if (fd < 0) {
+      if (fd_exhausted(errno)) throw_fd_exhausted("connect to " + host);
+      throw_errno("socket");
+    }
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
       return Socket(fd);
     }
@@ -287,6 +307,7 @@ Socket Acceptor::accept() {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
     if (errno == EINTR) continue;
+    if (fd_exhausted(errno)) throw_fd_exhausted("accept");
     throw_errno("accept");
   }
 }
@@ -311,7 +332,40 @@ void Acceptor::close() {
   }
 }
 
+namespace {
+
+bool force_poll_backend() {
+  const char* value = std::getenv("MPCX_POLLER");
+  return value != nullptr && std::strcmp(value, "poll") == 0;
+}
+
+}  // namespace
+
 Poller::Poller() {
+#ifdef __linux__
+  if (!force_poll_backend()) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ >= 0) {
+      wake_eventfd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (wake_eventfd_ < 0) {
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+      } else {
+        struct epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLET;
+        ev.data.fd = wake_eventfd_;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_eventfd_, &ev) < 0) {
+          ::close(wake_eventfd_);
+          ::close(epoll_fd_);
+          wake_eventfd_ = -1;
+          epoll_fd_ = -1;
+        }
+      }
+    }
+    if (epoll_fd_ >= 0) return;
+    // epoll unavailable (fd exhaustion, odd kernel): fall through to poll.
+  }
+#endif
   if (::pipe(wake_pipe_) < 0) throw_errno("pipe");
   for (int end : wake_pipe_) {
     const int flags = ::fcntl(end, F_GETFL, 0);
@@ -321,13 +375,38 @@ Poller::Poller() {
 }
 
 Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_eventfd_ >= 0) ::close(wake_eventfd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
 }
 
-void Poller::add(int fd) { fds_.push_back(pollfd{fd, POLLIN, 0}); }
+void Poller::add(int fd) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev{};
+    // Edge-triggered: one wakeup per arrival burst. EPOLLRDHUP surfaces an
+    // orderly peer shutdown even when the edge's data was already drained.
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0 && errno != EEXIST) {
+      throw_errno("epoll_ctl(ADD)");
+    }
+    return;
+  }
+#endif
+  fds_.push_back(pollfd{fd, POLLIN, 0});
+}
 
 void Poller::remove(int fd) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    // ENOENT/EBADF tolerated: callers may remove an fd that was never added
+    // or whose socket already closed (kernel auto-deregisters on close).
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
   for (auto it = fds_.begin() + 1; it != fds_.end(); ++it) {
     if (it->fd == fd) {
       fds_.erase(it);
@@ -338,6 +417,28 @@ void Poller::remove(int fd) {
 
 std::vector<PollEvent> Poller::wait(int timeout_ms) {
   std::vector<PollEvent> events;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ready[64];
+    const int rc = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) return events;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < rc; ++i) {
+      if (ready[i].data.fd == wake_eventfd_) {
+        std::uint64_t tick = 0;
+        [[maybe_unused]] ssize_t n = ::read(wake_eventfd_, &tick, sizeof(tick));
+        continue;
+      }
+      const std::uint32_t re = ready[i].events;
+      events.push_back(PollEvent{ready[i].data.fd, (re & EPOLLIN) != 0,
+                                 (re & (EPOLLHUP | EPOLLRDHUP)) != 0,
+                                 (re & EPOLLERR) != 0});
+    }
+    return events;
+  }
+#endif
   const int rc = ::poll(fds_.data(), fds_.size(), timeout_ms);
   if (rc < 0) {
     if (errno == EINTR) return events;
@@ -360,6 +461,13 @@ std::vector<PollEvent> Poller::wait(int timeout_ms) {
 }
 
 void Poller::wakeup() {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_eventfd_, &one, sizeof(one));
+    return;
+  }
+#endif
   const char byte = 1;
   [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
 }

@@ -1,4 +1,4 @@
-// RAII TCP socket wrappers and a poll(2)-based readiness multiplexer.
+// RAII TCP socket wrappers and an edge-triggered readiness multiplexer.
 //
 // tcpdev (the paper's niodev analog) uses:
 //   - blocking sockets for writing messages (one write channel per peer,
@@ -6,6 +6,11 @@
 //   - non-blocking sockets for reading, all registered with one Poller that
 //     drives the single input-handler ("progress engine") thread — the C++
 //     equivalent of a java.nio Selector.
+//
+// The Poller is epoll(7)-backed on Linux (edge-triggered, so the progress
+// engine wakes per ready channel instead of scanning all N registrations)
+// with a portable poll(2) fallback, selected at construction
+// (MPCX_POLLER=poll forces the fallback for testing).
 #pragma once
 
 #include <poll.h>
@@ -137,9 +142,17 @@ struct PollEvent {
   bool error = false;
 };
 
-/// poll(2)-based multiplexer with a self-pipe wakeup, mirroring
+/// Readiness multiplexer with a self-wakeup channel, mirroring
 /// Selector.select()/wakeup() from java.nio that niodev's input handler
-/// is built on.
+/// is built on. Two backends:
+///   - epoll (Linux, the default): edge-triggered EPOLLIN|EPOLLET, O(ready)
+///     per wait instead of O(registered). Edge semantics require consumers
+///     to drain a ready descriptor until EAGAIN before the next wait —
+///     exactly what tcpdev's pump loop and loop-accept already do.
+///   - poll(2) (fallback; forced via MPCX_POLLER=poll): the original
+///     level-triggered linear scan, kept for portability.
+/// Not thread-safe except wakeup(): add/remove/wait belong to the one
+/// progress-engine thread (plus pre-thread setup).
 class Poller {
  public:
   Poller();
@@ -148,19 +161,28 @@ class Poller {
   Poller(const Poller&) = delete;
   Poller& operator=(const Poller&) = delete;
 
-  /// Register a descriptor for read-readiness events.
+  /// Register a descriptor for read-readiness events. Registration reports
+  /// an initial edge if data is already pending.
   void add(int fd);
-  /// Deregister a descriptor.
+  /// Deregister a descriptor (no-op if it was never added).
   void remove(int fd);
 
   /// Wait up to timeout_ms (-1 = forever) and return ready descriptors.
   /// A wakeup() call makes wait return early with an empty (or partial) set.
   std::vector<PollEvent> wait(int timeout_ms);
 
-  /// Interrupt a concurrent wait().
+  /// Interrupt a concurrent wait(). Safe from any thread.
   void wakeup();
 
+  /// Active backend, "epoll" or "poll" (diagnostics and tests).
+  const char* backend() const { return epoll_fd_ >= 0 ? "epoll" : "poll"; }
+
  private:
+  // epoll backend (Linux).
+  int epoll_fd_ = -1;
+  int wake_eventfd_ = -1;
+
+  // poll(2) fallback.
   std::vector<pollfd> fds_;  // fds_[0] is the self-pipe read end
   int wake_pipe_[2] = {-1, -1};
 };

@@ -1,15 +1,35 @@
 // tcpdev — the paper's niodev rendered over POSIX TCP sockets.
 //
 // Structure (Sec. IV-A):
-//   * Each process connects TWO channels with every peer (including itself,
-//     for uniformity): one it WRITES on (blocking mode, guarded by a
-//     per-destination lock) and one it READS from (non-blocking, registered
-//     with a Poller). Java NIO forbids mixing blocking modes on one channel,
-//     which is where the two-channel design comes from; we keep it because
-//     it also removes all reader/writer interference.
-//   * One INPUT-HANDLER thread (the progress engine) poll()s every read
-//     channel and runs the receive state machine. No lock is needed for
-//     reading because only this thread reads.
+//   * Each process keeps TWO channels per peer it talks to: one it WRITES
+//     on (blocking mode, guarded by a per-destination lock) and one it
+//     READS from (non-blocking, registered with a Poller). Java NIO forbids
+//     mixing blocking modes on one channel, which is where the two-channel
+//     design comes from; we keep it because it also removes all
+//     reader/writer interference.
+//   * Channels are LAZY: init opens nothing but the acceptor. A write
+//     channel is dialed on the first frame toward that peer (Hello
+//     handshake, epoch 1); the peer installs the read end through the same
+//     accept path that serves reliable-mode repair reconnects. Self-sends
+//     never touch a socket at all — they are delivered in-process through
+//     the matching engine. MPCX_LAZY_CONNECT=0 pre-dials every peer at
+//     init ("flat" mode, for A/B benchmarking) via the same machinery.
+//   * A CONNECTION MANAGER bounds descriptor usage at scale: MPCX_MAX_CONNS
+//     caps concurrently open write channels (least-recently-used idle
+//     channel is closed over the cap), MPCX_IDLE_CLOSE_MS reaps idle ones,
+//     and EMFILE/ENFILE on dial or accept evicts instead of failing. An
+//     evicted channel closes at a frame boundary, so the receiver sees an
+//     orderly EOF (not a peer failure) and the next send just redials.
+//   * One INPUT-HANDLER thread (the progress engine) drives every read
+//     channel off the edge-triggered epoll Poller (src/support/socket) and
+//     runs the receive state machine. No lock is needed for reading
+//     because only this thread reads.
+//   * Outgoing frames pass through a LOCK-FREE MPSC QUEUE per peer:
+//     application threads enqueue without contending the channel mutex;
+//     whoever wins the try-lock drains the queue in FIFO order with the
+//     gathered writev path (see drain_sends). Sequencing, retransmit-buffer
+//     pinning and fault decisions all happen at drain time, under the lock,
+//     exactly as they did when writers serialized on the mutex directly.
 //   * Messages <= eager_threshold use the EAGER protocol (Figs. 3-5);
 //     larger messages and all synchronous-mode sends use the RENDEZVOUS
 //     protocol (Figs. 6-8), including the forked rendez-write-thread that
@@ -27,12 +47,16 @@
 //     receiver-side seq dedup making the repair invisible to the matching
 //     layer. Redial exhaustion (or an external failure detector) declares
 //     the peer dead and errors its operations with ErrCode::ProcFailed.
+#include <poll.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -48,6 +72,7 @@
 #include "support/backoff.hpp"
 #include "support/faults.hpp"
 #include "support/logging.hpp"
+#include "support/mpsc_queue.hpp"
 #include "support/socket.hpp"
 #include "xdev/completion_queue.hpp"
 #include "xdev/device.hpp"
@@ -78,6 +103,10 @@ struct UnexpMsg {
   buf::Buffer* claim_buffer = nullptr;
   bool claim_direct = false;
   RecvSpan claim_span{};
+  /// Synchronous self-send (issend to self) whose message is staged here:
+  /// completes when a receive consumes the entry — the loopback analog of
+  /// "the RTR proves the receiver matched".
+  DevRequest self_sync;
 };
 
 /// A posted-but-unmatched receive. `direct` receives carry a borrowed
@@ -161,6 +190,36 @@ struct RetransEntry {
   std::size_t bytes = 0;  ///< header + body, as accounted in retrans_bytes
 };
 
+/// One outgoing frame queued on a peer's MPSC send queue, written at drain
+/// time under the channel lock. The body takes one of three shapes:
+///   * borrow_buffer — a committed Buffer borrowed from the caller (eager
+///     buffered sends, staged rendezvous data),
+///   * sect_header/segments — zero-copy gather spans (segment sends),
+///   * none — control frames (RTS / RTR), header only.
+/// seq/ack/epoch are NOT assigned here: the drainer stamps them under the
+/// lock so the reliable sequence stream stays gapless and ordered even
+/// though producers enqueue concurrently.
+struct SendFrame : support::MpscNode {
+  FrameHeader hdr;
+  buf::Buffer* borrow_buffer = nullptr;
+  std::array<std::byte, buf::Buffer::kSectionHeaderBytes> sect_header{};
+  std::size_t sect_len = 0;
+  std::vector<SendSegment> segments;
+  DevRequest request;       ///< settled by the drainer (or on cumulative ack if pinned)
+  DevStatus ok_status;      ///< completion status when the write succeeds
+  bool pin_body = false;    ///< reliable zero-copy: body stays borrowed until acked
+  bool record_wire = false; ///< emit the SendWire flight stage after the write
+  /// Overrides default failure handling (complete request with the error):
+  /// rendezvous control frames unwind their pending-set entries here.
+  std::function<void(const Error&)> on_error;
+};
+
+/// Thrown by pump() when a read channel hits a clean FIN at a frame
+/// boundary: the peer's connection manager closed an idle or evicted
+/// channel gracefully. Distinct from Error on purpose — the input handler
+/// retires the channel quietly instead of running failure recovery.
+struct ConnClosed {};
+
 bool env_truthy(const char* name) {
   const char* value = std::getenv(name);
   return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
@@ -214,129 +273,51 @@ class TcpDevice final : public Device, public RequestCanceller {
     reconnect_max_ = env_u64("MPCX_RECONNECT_MAX", 10);
     retrans_max_bytes_ = env_u64("MPCX_RETRANS_MAX", std::uint64_t{4} << 20);
 
+    // Connection-manager knobs. Lazy is the default: a channel exists only
+    // once there is traffic for it, so an N-rank job with nearest-neighbor
+    // communication holds O(degree) descriptors instead of O(N).
+    lazy_connect_ = env_u64("MPCX_LAZY_CONNECT", 1) != 0;
+    max_conns_ = env_u64("MPCX_MAX_CONNS", 0);
+    idle_close_ms_ = env_u64("MPCX_IDLE_CLOSE_MS", 0);
+
     if (config.acceptor) {
       acceptor_ = std::move(*config.acceptor);
     } else {
       acceptor_ = net::Acceptor(self_info.port);
     }
-    const std::size_t n = config.world.size();
 
-    // Accept read channels from every process (including ourselves) while
-    // concurrently connecting our write channels outward.
-    std::vector<net::Socket> accepted(n);
-    std::vector<std::uint64_t> accepted_ids(n, 0);
-    std::exception_ptr accept_error;
-    const int accept_timeout_ms = static_cast<int>(faults::connect_timeout_ms());
-    std::thread accept_thread([&] {
-      try {
-        for (std::size_t i = 0; i < n; ++i) {
-          auto sock = acceptor_.accept_for(accept_timeout_ms);
-          if (!sock) {
-            // Name the peers whose hellos never arrived so a wedged rank is
-            // identifiable from this rank's error alone.
-            std::string missing;
-            for (const EndpointInfo& info : config.world) {
-              bool seen = false;
-              for (std::size_t j = 0; j < i; ++j) {
-                if (accepted_ids[j] == info.id.value) {
-                  seen = true;
-                  break;
-                }
-              }
-              if (seen) continue;
-              if (!missing.empty()) missing += ", ";
-              missing += std::to_string(info.id.value) + " (" + info.host + ":" +
-                         std::to_string(info.port) + ")";
-            }
-            throw DeviceError(
-                "tcpdev: rank " + std::to_string(self_.value) +
-                    " timed out accepting peer connections after " +
-                    std::to_string(accept_timeout_ms) +
-                    " ms (MPCX_CONNECT_TIMEOUT_MS); still waiting for: " + missing,
-                ErrCode::Timeout);
-          }
-          std::array<std::byte, kHeaderBytes> hello{};
-          sock->read_all(hello);
-          const FrameHeader hdr = tcp::decode_header(hello);
-          if (hdr.type != FrameType::Hello) {
-            throw DeviceError("tcpdev: expected hello frame during bootstrap");
-          }
-          accepted_ids[i] = hdr.src;
-          accepted[i] = std::move(*sock);
-        }
-      } catch (...) {
-        accept_error = std::current_exception();
-      }
-    });
-
-    try {
-      for (const EndpointInfo& info : config.world) {
-        net::Socket sock;
-        try {
-          sock = net::Socket::connect(info.host, info.port);
-        } catch (const net::SocketError& e) {
-          throw DeviceError("tcpdev: rank " + std::to_string(self_.value) +
-                                " failed to connect write channel to rank " +
-                                std::to_string(info.id.value) + ": " + e.what(),
-                            e.code());
-        }
-        sock.set_nodelay(true);
-        if (config.socket_buffer_bytes > 0) {
-          sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
-        }
-        FrameHeader hello;
-        hello.type = FrameType::Hello;
-        hello.src = self_.value;
-        std::array<std::byte, kHeaderBytes> bytes{};
-        tcp::encode_header(bytes, hello);
-        sock.write_all(bytes);
-        // Write-side faults are decided per logical message in
-        // write_message/write_control (never here), so bootstrap and the
-        // hello are never subject to the plan.
-        auto peer = std::make_unique<Peer>();
-        peer->write_channel = std::move(sock);
-        peer->id = info.id.value;
-        peer->host = info.host;
-        peer->port = info.port;
-        peers_.emplace(info.id.value, std::move(peer));
-      }
-    } catch (...) {
-      accept_thread.join();
-      throw;
-    }
-    accept_thread.join();
-    if (accept_error) std::rethrow_exception(accept_error);
-
-    // Wire up the read channels and hand them to the input handler.
-    for (std::size_t i = 0; i < n; ++i) {
-      auto it = peers_.find(accepted_ids[i]);
-      if (it == peers_.end()) {
-        throw DeviceError("tcpdev: hello from unknown process " + std::to_string(accepted_ids[i]));
-      }
-      net::Socket sock = std::move(accepted[i]);
-      sock.set_nodelay(true);
-      if (config.socket_buffer_bytes > 0) {
-        sock.set_buffer_sizes(config.socket_buffer_bytes, config.socket_buffer_bytes);
-      }
-      sock.set_nonblocking(true);
-      sock.set_fault_site(faults::Site::TcpRead);
-      auto conn = std::make_unique<Conn>();
-      conn->peer = accepted_ids[i];
-      conn->sock = std::move(sock);
-      conn->peer_state = it->second.get();
-      conns_by_fd_.emplace(conn->sock.fd(), std::move(conn));
+    // Peer records only — no sockets yet. Self gets no record at all:
+    // self-traffic is routed in-process through the matching engine
+    // (self_send), never over loopback.
+    for (const EndpointInfo& info : config.world) {
+      if (info.id.value == self_.value) continue;
+      auto peer = std::make_unique<Peer>();
+      peer->id = info.id.value;
+      peer->host = info.host;
+      peer->port = info.port;
+      peers_.emplace(info.id.value, std::move(peer));
     }
 
-    for (const auto& [fd, conn] : conns_by_fd_) poller_.add(fd);
-    // In reliable mode the acceptor stays live after bootstrap: a peer whose
-    // write channel to us died redials here, and the input handler completes
-    // the Hello handshake and swaps the read channel in place.
-    if (reliable_) poller_.add(acceptor_.fd());
+    // The acceptor lives in the poller for the device's whole lifetime:
+    // first-contact Hellos, post-eviction redials and reliable-mode repair
+    // reconnects all arrive through the same accept path.
+    poller_.add(acceptor_.fd());
     running_ = true;
     input_thread_ = std::thread([this] { input_loop(); });
 
+    if (!lazy_connect_) {
+      // Flat mode (A/B benchmarking, bisection): dial every write channel
+      // up front through the same machinery lazy mode uses. No accept
+      // barrier — peers install our Hello whenever their input loop runs;
+      // dial-side refusal retry (Socket::connect) absorbs start skew.
+      for (auto& [id, peer] : peers_) {
+        std::lock_guard<std::mutex> lock(peer->write_mu);
+        ensure_connected_locked(*peer);
+      }
+    }
+
     std::vector<ProcessID> world;
-    world.reserve(n);
+    world.reserve(config.world.size());
     for (const EndpointInfo& info : config.world) world.push_back(info.id);
     return world;
   }
@@ -362,6 +343,18 @@ class TcpDevice final : public Device, public RequestCanceller {
       std::unique_lock<std::mutex> lock(writer_mu_);
       writer_cv_.wait(lock, [&] { return active_writers_ == 0; });
     }
+    // Settle frames still sitting on the MPSC send queues (producers are
+    // quiesced now): nothing will ever write them, so their requests must
+    // not be left hanging.
+    for (auto& [id, peer] : peers_) {
+      std::lock_guard<std::mutex> lock(peer->write_mu);
+      while (auto* node = static_cast<SendFrame*>(peer->send_q.pop())) {
+        std::unique_ptr<SendFrame> frame(node);
+        peer->queued.fetch_sub(1, std::memory_order_relaxed);
+        fail_frame(*frame, DeviceError("tcpdev: device finished with sends queued",
+                                       ErrCode::Cancelled));
+      }
+    }
     conns_by_fd_.clear();
     peers_.clear();
     acceptor_.close();
@@ -385,29 +378,41 @@ class TcpDevice final : public Device, public RequestCanceller {
 
   DevRequest isend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
     require_buffer_committed(buffer);
-    require_peer_alive(dst);
     const std::size_t total = buffer.static_size() + buffer.dynamic_size();
     note_send(dst, tag, context, total);
+    if (dst.value == self_.value) {
+      return self_send(buffer.static_payload(), buffer.dynamic_payload(), tag, context,
+                       /*sync=*/false);
+    }
+    require_peer_alive(dst);
     if (total <= config_.eager_threshold) return eager_send(buffer, dst, tag, context);
     return rndv_send(buffer, dst, tag, context);
   }
 
   DevRequest issend(buf::Buffer& buffer, ProcessID dst, int tag, int context) override {
     // Synchronous mode always rendezvouses: completion implies the receiver
-    // matched (the RTR proves it).
+    // matched (the RTR proves it). Self-sends get the same guarantee from
+    // the matching engine directly.
     require_buffer_committed(buffer);
-    require_peer_alive(dst);
     note_send(dst, tag, context, buffer.static_size() + buffer.dynamic_size());
+    if (dst.value == self_.value) {
+      return self_send(buffer.static_payload(), buffer.dynamic_payload(), tag, context,
+                       /*sync=*/true);
+    }
+    require_peer_alive(dst);
     return rndv_send(buffer, dst, tag, context);
   }
 
   DevRequest isend_segments(std::span<const std::byte> header,
                             std::span<const SendSegment> segments, ProcessID dst, int tag,
                             int context) override {
-    require_peer_alive(dst);
     std::size_t payload = 0;
     for (const SendSegment& seg : segments) payload += seg.size;
     note_send(dst, tag, context, header.size() + payload);
+    if (dst.value == self_.value) {
+      return self_send_segments(header, segments, payload, tag, context, /*sync=*/false);
+    }
+    require_peer_alive(dst);
     if (header.size() + payload <= config_.eager_threshold) {
       return eager_send_segments(header, segments, payload, dst, tag, context);
     }
@@ -417,10 +422,13 @@ class TcpDevice final : public Device, public RequestCanceller {
   DevRequest issend_segments(std::span<const std::byte> header,
                              std::span<const SendSegment> segments, ProcessID dst, int tag,
                              int context) override {
-    require_peer_alive(dst);
     std::size_t payload = 0;
     for (const SendSegment& seg : segments) payload += seg.size;
     note_send(dst, tag, context, header.size() + payload);
+    if (dst.value == self_.value) {
+      return self_send_segments(header, segments, payload, tag, context, /*sync=*/true);
+    }
+    require_peer_alive(dst);
     return rndv_send_segments(header, segments, payload, dst, tag, context);
   }
 
@@ -462,27 +470,13 @@ class TcpDevice final : public Device, public RequestCanceller {
         note_rndv_slots_locked();
       }
     }
-    // Locks released before touching any channel, as in Fig. 7.
+    // Locks released before touching any channel, as in Fig. 7. A lost RTR
+    // unwinds via the queued frame's on_error (see send_rtr).
     if (msg->kind == FrameType::Eager) {
       deliver_buffered(*msg, buffer, request);
     } else {
-      try {
-        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
-                 msg->dynamic_len, msg->msg_id);
-      } catch (const Error& e) {
-        // RTR never left: unhook the pending record and surface the failure
-        // on the request instead of leaking a receive that cannot complete.
-        {
-          std::lock_guard<std::mutex> lock(recv_mu_);
-          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
-        }
-        DevStatus status;
-        status.source = msg->key.src;
-        status.tag = msg->key.tag;
-        status.context = msg->key.context;
-        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-        request->complete(status);
-      }
+      send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+               msg->dynamic_len, msg->msg_id);
     }
     return request;
   }
@@ -544,21 +538,8 @@ class TcpDevice final : public Device, public RequestCanceller {
     if (msg->kind == FrameType::Eager) {
       deliver_buffered_direct(*msg, dst, request);
     } else {
-      try {
-        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
-                 msg->dynamic_len, msg->msg_id);
-      } catch (const Error& e) {
-        {
-          std::lock_guard<std::mutex> lock(recv_mu_);
-          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
-        }
-        DevStatus status;
-        status.source = msg->key.src;
-        status.tag = msg->key.tag;
-        status.context = msg->key.context;
-        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-        request->complete(status);
-      }
+      send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+               msg->dynamic_len, msg->msg_id);
     }
     return request;
   }
@@ -630,21 +611,8 @@ class TcpDevice final : public Device, public RequestCanceller {
         deliver_buffered(*msg, *buffer, request);
       }
     } else {
-      try {
-        send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
-                 msg->dynamic_len, msg->msg_id);
-      } catch (const Error& e) {
-        {
-          std::lock_guard<std::mutex> lock(recv_mu_);
-          rndv_pending_.erase(RndvKey{msg->key.src.value, msg->msg_id});
-        }
-        DevStatus status;
-        status.source = msg->key.src;
-        status.tag = msg->key.tag;
-        status.context = msg->key.context;
-        status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-        request->complete(status);
-      }
+      send_rtr(msg->key.src.value, msg->key.context, msg->key.tag, msg->static_len,
+               msg->dynamic_len, msg->msg_id);
     }
     return true;
   }
@@ -818,6 +786,27 @@ class TcpDevice final : public Device, public RequestCanceller {
     std::string host;
     std::uint16_t port = 0;
 
+    // ---- connection manager ----
+    /// Channel-open flag mirrored outside write_mu so the LRU scan and the
+    /// cap check can look without locking every peer.
+    std::atomic<bool> open{false};
+    /// Monotonic-clock stamp of the last frame written; the LRU victim is
+    /// the open channel with the smallest stamp.
+    std::atomic<std::uint64_t> last_used_ns{0};
+    bool evicted_once = false;  ///< (write_mu) a redial after this counts as conns_redialed
+    /// Non-reliable fail-fast: a write error poisons the channel so later
+    /// sends to this peer error out instead of silently redialing around a
+    /// failure the application was already told about.
+    bool write_failed = false;  ///< (write_mu)
+
+    // ---- MPSC send queue (lock-free producer side) ----
+    support::MpscQueue send_q;
+    /// Queued-frame count, maintained OUTSIDE the queue: push is counted
+    /// after enqueue, pop before write. drain_sends' try-lock loop re-checks
+    /// it after every unlock, which closes the lost-wakeup race the
+    /// queue-only view would have (see drain_sends).
+    std::atomic<std::size_t> queued{0};
+
     // ---- send direction (write_mu) ----
     std::uint64_t next_seq = 1;  ///< next frame sequence number to assign
     std::uint32_t epoch = 0;     ///< write-channel incarnation (bumped per redial)
@@ -938,6 +927,12 @@ class TcpDevice final : public Device, public RequestCanceller {
 
   // ---- eager protocol, send side (Fig. 3) --------------------------------------
 
+  /// Eager buffered send: the frame goes on the peer's MPSC queue borrowing
+  /// the caller's committed Buffer (valid until the request completes) and
+  /// is written by whichever thread drains the queue. The request carries no
+  /// completion sink — plain eager sends completed synchronously before the
+  /// queue existed and were never published to the completion queue; the
+  /// queued form preserves that.
   DevRequest eager_send(buf::Buffer& buffer, ProcessID dst, int tag, int context) {
     counters_->add(prof::Ctr::EagerSends);
     // Correlation id only minted while tracing: the disabled path keeps its
@@ -945,37 +940,37 @@ class TcpDevice final : public Device, public RequestCanceller {
     const std::size_t total = buffer.static_size() + buffer.dynamic_size();
     const std::uint64_t corr = prof::tracing() ? prof::alloc_corr_id(self_.value) : 0;
     prof::record_flight(corr, prof::FlightStage::SendPosted, dst.value, tag, context, total);
-    FrameHeader hdr;
-    hdr.type = FrameType::Eager;
-    hdr.context = tag_to_wire(context);
-    hdr.tag = tag_to_wire(tag);
-    hdr.src = self_.value;
-    hdr.static_len = static_cast<std::uint32_t>(buffer.static_size());
-    hdr.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
-    hdr.msg_id = corr;
-    DevStatus status;
-    status.source = self_;
-    status.tag = tag;
-    status.context = context;
-    try {
-      write_message(buffer, peer_for(dst.value), hdr);
-      prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context, total);
-      status.static_bytes = buffer.static_size();
-      status.dynamic_bytes = buffer.dynamic_size();
-    } catch (const Error& e) {
-      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-    }
-    return make_completed_request(DevRequestState::Kind::Send, status, corr);
+    auto frame = std::make_unique<SendFrame>();
+    frame->hdr.type = FrameType::Eager;
+    frame->hdr.context = tag_to_wire(context);
+    frame->hdr.tag = tag_to_wire(tag);
+    frame->hdr.src = self_.value;
+    frame->hdr.static_len = static_cast<std::uint32_t>(buffer.static_size());
+    frame->hdr.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
+    frame->hdr.msg_id = corr;
+    frame->borrow_buffer = &buffer;
+    frame->record_wire = true;
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, nullptr,
+                                                     nullptr, this);
+    request->set_corr(corr);
+    frame->request = request;
+    frame->ok_status.source = self_;
+    frame->ok_status.tag = tag;
+    frame->ok_status.context = context;
+    frame->ok_status.static_bytes = buffer.static_size();
+    frame->ok_status.dynamic_bytes = buffer.dynamic_size();
+    // pin_body stays false: reliable mode copies the body into the
+    // retransmit buffer (buffered-send semantics — the caller may reuse the
+    // Buffer as soon as the request completes, which is at drain time).
+    submit_frame(peer_for(dst.value), std::move(frame));
+    return request;
   }
 
   /// Zero-copy eager send: one gathered writev of [frame header | section
-  /// header | user payload]. Blocking on the write channel means the
-  /// borrowed segments are out of our hands when this returns, so the
-  /// request completes synchronously just like eager_send. In reliable mode
-  /// the segments instead stay pinned in the retransmit buffer and the
-  /// request completes only when the cumulative ack covers the frame —
-  /// zero-copy semantics survive replay because the user's spans remain
-  /// valid until the request completes.
+  /// header | user payload] at drain time. The borrowed segments stay valid
+  /// until the request completes: at drain in plain mode, or — reliable
+  /// mode — only when the cumulative ack covers the frame (the spans stay
+  /// pinned in the retransmit buffer so zero-copy semantics survive replay).
   DevRequest eager_send_segments(std::span<const std::byte> header,
                                  std::span<const SendSegment> segments, std::size_t payload,
                                  ProcessID dst, int tag, int context) {
@@ -983,43 +978,325 @@ class TcpDevice final : public Device, public RequestCanceller {
     const std::size_t total = header.size() + payload;
     const std::uint64_t corr = prof::tracing() ? prof::alloc_corr_id(self_.value) : 0;
     prof::record_flight(corr, prof::FlightStage::SendPosted, dst.value, tag, context, total);
-    FrameHeader hdr;
-    hdr.type = FrameType::Eager;
-    hdr.context = tag_to_wire(context);
-    hdr.tag = tag_to_wire(tag);
-    hdr.src = self_.value;
-    hdr.static_len = static_cast<std::uint32_t>(header.size() + payload);
-    hdr.dynamic_len = 0;
-    hdr.msg_id = corr;
-    DevStatus status;
-    status.source = self_;
-    status.tag = tag;
-    status.context = context;
-    if (reliable_) {
-      auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send, sink_,
-                                                       nullptr, this);
-      request->set_corr(corr);
-      DevStatus ok = status;
-      ok.static_bytes = header.size() + payload;
-      try {
-        write_segments(peer_for(dst.value), hdr, header, segments, request, ok);
-        prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context,
-                            total);
-      } catch (const Error& e) {
-        DevStatus err = status;
-        err.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-        request->complete(err);
+    auto frame = std::make_unique<SendFrame>();
+    frame->hdr.type = FrameType::Eager;
+    frame->hdr.context = tag_to_wire(context);
+    frame->hdr.tag = tag_to_wire(tag);
+    frame->hdr.src = self_.value;
+    frame->hdr.static_len = static_cast<std::uint32_t>(total);
+    frame->hdr.dynamic_len = 0;
+    frame->hdr.msg_id = corr;
+    frame->sect_len = std::min(header.size(), frame->sect_header.size());
+    std::memcpy(frame->sect_header.data(), header.data(), frame->sect_len);
+    frame->segments.assign(segments.begin(), segments.end());
+    frame->record_wire = true;
+    frame->pin_body = reliable_;
+    auto request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send,
+                                                     reliable_ ? sink_ : nullptr, nullptr,
+                                                     this);
+    request->set_corr(corr);
+    frame->request = request;
+    frame->ok_status.source = self_;
+    frame->ok_status.tag = tag;
+    frame->ok_status.context = context;
+    frame->ok_status.static_bytes = total;
+    submit_frame(peer_for(dst.value), std::move(frame));
+    return request;
+  }
+
+  // ---- self-sends (in-process loopback) -----------------------------------------
+
+  /// Self-sends never touch a socket — the seed kept two loopback channels
+  /// per rank just for them. Deliver straight through the matching engine:
+  /// a posted receive gets the bytes memcpy'd in; otherwise the message is
+  /// staged as an already-complete unexpected entry. Synchronous (ssend)
+  /// self-sends complete when a receive consumes the entry.
+  DevRequest self_send(std::span<const std::byte> stat, std::span<const std::byte> dyn,
+                       int tag, int context, bool sync) {
+    counters_->add(prof::Ctr::EagerSends);
+    counters_->add(prof::Ctr::SelfDeliveries);
+    const std::size_t total = stat.size() + dyn.size();
+    const std::uint64_t corr = prof::tracing() ? prof::alloc_corr_id(self_.value) : 0;
+    prof::record_flight(corr, prof::FlightStage::SendPosted, self_.value, tag, context,
+                        total);
+    const MatchKey key{context, tag, self_};
+    DevStatus ok;
+    ok.source = self_;
+    ok.tag = tag;
+    ok.context = context;
+    ok.static_bytes = stat.size();
+    ok.dynamic_bytes = dyn.size();
+
+    std::optional<RecvRec> rec;
+    DevRequest sync_request;
+    {
+      std::lock_guard<std::mutex> lock(recv_mu_);
+      rec = posted_.match_where(key, claim_recv);
+      if (rec) {
+        note_match(key, total, /*was_posted=*/true);
+        note_posted_depth_locked();
+        rec->request->mark_matched(corr, self_.value, tag, context, total);
+      } else {
+        auto msg = std::make_shared<UnexpMsg>();
+        msg->key = key;
+        msg->kind = FrameType::Eager;
+        msg->static_len = static_cast<std::uint32_t>(stat.size());
+        msg->dynamic_len = static_cast<std::uint32_t>(dyn.size());
+        msg->msg_id = corr;
+        msg->temp = pool_.get(msg->static_len);
+        auto sdst = msg->temp->prepare_static(msg->static_len);
+        if (!stat.empty()) std::memcpy(sdst.data(), stat.data(), stat.size());
+        auto ddst = msg->temp->prepare_dynamic(msg->dynamic_len);
+        if (!dyn.empty()) std::memcpy(ddst.data(), dyn.data(), dyn.size());
+        msg->temp->seal_received();
+        msg->data_complete = true;
+        if (sync) {
+          sync_request = std::make_shared<DevRequestState>(DevRequestState::Kind::Send,
+                                                           sink_, nullptr, this);
+          sync_request->set_corr(corr);
+          msg->self_sync = sync_request;
+        }
+        unexpected_.add(key, msg);
+        counters_->record_max(prof::Ctr::UnexpectedDepthHwm, unexpected_.size());
+        note_unexpected_locked(unexp_payload_bytes(*msg));
+        arrival_cv_.notify_all();
       }
-      return request;
     }
+    prof::record_flight(corr, prof::FlightStage::SendWire, self_.value, tag, context, total);
+    if (!rec) {
+      if (sync) return sync_request;  // completes when a receive matches
+      return make_completed_request(DevRequestState::Kind::Send, ok, corr);
+    }
+    deliver_self(*rec, stat, dyn, ok);
+    return make_completed_request(DevRequestState::Kind::Send, ok, corr);
+  }
+
+  /// Zero-copy shapes collapse to a flat copy on loopback — a self-send IS
+  /// a memcpy, so gather [section header | segments] once and reuse
+  /// self_send.
+  DevRequest self_send_segments(std::span<const std::byte> header,
+                                std::span<const SendSegment> segments, std::size_t payload,
+                                int tag, int context, bool sync) {
+    std::vector<std::byte> flat;
+    flat.reserve(header.size() + payload);
+    flat.insert(flat.end(), header.begin(), header.end());
+    for (const SendSegment& seg : segments) {
+      flat.insert(flat.end(), seg.data, seg.data + seg.size);
+    }
+    return self_send(flat, {}, tag, context, sync);
+  }
+
+  /// Land a self-send in a matched posted receive, honoring the same
+  /// truncation and direct-eligibility rules as a wire arrival
+  /// (handle_eager / deliver_buffered_direct).
+  void deliver_self(RecvRec& rec, std::span<const std::byte> stat,
+                    std::span<const std::byte> dyn, const DevStatus& sent) {
+    DevStatus status = sent;
+    constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
+    if (rec.direct) {
+      if (stat.size() > sect + rec.span.payload_capacity) {
+        status.truncated = true;
+        rec.request->complete(status);
+        return;
+      }
+      if (direct_eligible(static_cast<std::uint32_t>(stat.size()),
+                          static_cast<std::uint32_t>(dyn.size()), rec.span)) {
+        std::memcpy(rec.span.header, stat.data(), sect);
+        if (stat.size() > sect) {
+          std::memcpy(rec.span.payload, stat.data() + sect, stat.size() - sect);
+        }
+        status.direct = true;
+        rec.request->complete(status);
+        return;
+      }
+      // Ineligible shape that still fits: stage into a buffer attached to
+      // the request (direct stays false; the core unpacks it).
+      auto staging = std::make_unique<buf::Buffer>(sect + rec.span.payload_capacity);
+      auto sdst = staging->prepare_static(static_cast<std::uint32_t>(stat.size()));
+      if (!stat.empty()) std::memcpy(sdst.data(), stat.data(), stat.size());
+      auto ddst = staging->prepare_dynamic(static_cast<std::uint32_t>(dyn.size()));
+      if (!dyn.empty()) std::memcpy(ddst.data(), dyn.data(), dyn.size());
+      staging->seal_received();
+      rec.request->attach_buffer(std::move(staging));
+      rec.request->complete(status);
+      return;
+    }
+    if (stat.size() > rec.buffer->capacity()) {
+      status.truncated = true;
+      rec.request->complete(status);
+      return;
+    }
+    auto sdst = rec.buffer->prepare_static(static_cast<std::uint32_t>(stat.size()));
+    if (!stat.empty()) std::memcpy(sdst.data(), stat.data(), stat.size());
+    auto ddst = rec.buffer->prepare_dynamic(static_cast<std::uint32_t>(dyn.size()));
+    if (!dyn.empty()) std::memcpy(ddst.data(), dyn.data(), dyn.size());
+    rec.buffer->seal_received();
+    rec.request->complete(status);
+  }
+
+  /// Complete a staged synchronous self-send once a receive consumed its
+  /// unexpected entry (the loopback analog of "the RTR proves the receiver
+  /// matched").
+  static void complete_self_sync(UnexpMsg& msg) {
+    if (!msg.self_sync) return;
+    DevStatus status;
+    status.source = msg.key.src;
+    status.tag = msg.key.tag;
+    status.context = msg.key.context;
+    status.static_bytes = msg.static_len;
+    status.dynamic_bytes = msg.dynamic_len;
+    DevRequest request = std::move(msg.self_sync);
+    msg.self_sync = nullptr;
+    request->complete(status);
+  }
+
+  // ---- per-peer MPSC send queues ------------------------------------------------
+
+  /// Queue one outgoing frame for `peer` and make sure somebody writes it.
+  /// Producers never block on write_mu: the push is wait-free, and if
+  /// another thread holds the channel it is obligated to re-check the queue
+  /// after unlocking (unlock_and_drain), so the frame cannot be stranded.
+  void submit_frame(Peer& peer, std::unique_ptr<SendFrame> frame) {
+    peer.send_q.push(frame.release());
+    peer.queued.fetch_add(1, std::memory_order_release);
+    drain_sends(peer);
+  }
+
+  /// Lost-wakeup-free drain: try-lock the channel and write queued frames
+  /// in FIFO order. Losing the try-lock is fine — the current holder
+  /// re-enters here after unlocking. The outer loop re-checks `queued`
+  /// after every drain pass because a producer may enqueue (or be caught
+  /// mid-push, making pop() transiently return null) between the pass and
+  /// the unlock.
+  void drain_sends(Peer& peer) {
+    while (peer.queued.load(std::memory_order_acquire) > 0) {
+      std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+      if (!wl.owns_lock()) return;  // holder drains after unlocking
+      drain_sends_locked(peer);
+    }
+  }
+
+  void drain_sends_locked(Peer& peer) {
+    while (auto* node = static_cast<SendFrame*>(peer.send_q.pop())) {
+      std::unique_ptr<SendFrame> frame(node);
+      peer.queued.fetch_sub(1, std::memory_order_release);
+      write_frame_locked(peer, *frame);
+    }
+  }
+
+  /// Every write_mu release must route through here: unlocking and then
+  /// re-checking the queue is what closes the race where a producer pushed,
+  /// lost the try-lock to us, and returned counting on us to write its
+  /// frame. Input-handler call sites pass inline_ok=false: the input thread
+  /// must never block on a large queued write (both ranks doing so at once
+  /// is a distributed deadlock — neither side reads), so leftover frames
+  /// are handed to a short-lived drainer thread instead. The hand-off only
+  /// happens on the rare lost-race path, so the thread churn is negligible.
+  void unlock_and_drain(Peer& peer, std::unique_lock<std::mutex>& wl,
+                        bool inline_ok = true) {
+    wl.unlock();
+    if (inline_ok) {
+      drain_sends(peer);
+      return;
+    }
+    if (peer.queued.load(std::memory_order_acquire) > 0) spawn_drainer(peer);
+  }
+
+  /// Drain a peer's send queue on a dedicated thread (blocking lock is fine
+  /// there). Registered with the writer bookkeeping so finish() waits for
+  /// it like any rendez-write-thread.
+  void spawn_drainer(Peer& peer) {
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      ++active_writers_;
+    }
+    std::thread([this, &peer] {
+      {
+        std::unique_lock<std::mutex> wl(peer.write_mu);
+        drain_sends_locked(peer);
+        unlock_and_drain(peer, wl);
+      }
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      if (--active_writers_ == 0) writer_cv_.notify_all();
+    }).detach();
+  }
+
+  /// Transmit one queued frame on the (locked) channel: lazy-dial if the
+  /// channel is closed, apply the per-frame fault decision, gather
+  /// [header | body] in one writev, and settle the frame's request.
+  /// Reliable mode routes through the retransmit buffer exactly as before
+  /// the queue existed. A failure in plain mode poisons the channel
+  /// (fail-fast): later sends to this peer error instead of silently
+  /// redialing around a failure the application was already told about.
+  void write_frame_locked(Peer& peer, SendFrame& frame) {
     try {
-      write_segments(peer_for(dst.value), hdr, header, segments);
-      prof::record_flight(corr, prof::FlightStage::SendWire, dst.value, tag, context, total);
-      status.static_bytes = header.size() + payload;
+      ensure_connected_locked(peer);
+      if (reliable_) {
+        reliable_write_locked(peer, frame);
+        return;
+      }
+      std::array<std::byte, kHeaderBytes> bytes{};
+      tcp::encode_header(bytes, frame.hdr);
+      if (apply_write_fault_locked(peer, bytes)) {
+        std::vector<std::span<const std::byte>> parts;
+        parts.reserve(4 + frame.segments.size());
+        parts.emplace_back(bytes);
+        append_body_parts(frame, parts);
+        peer.write_channel.writev_all(parts);
+      }
+      touch(peer);
+      note_frame_wire(peer, frame);
+      if (frame.request) frame.request->complete(frame.ok_status);
     } catch (const Error& e) {
-      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+      if (!reliable_) {
+        close_channel_locked(peer, /*evicted=*/false);
+        peer.write_failed = true;
+      }
+      fail_frame(frame, e);
     }
-    return make_completed_request(DevRequestState::Kind::Send, status, corr);
+  }
+
+  /// Settle a frame that will never reach the wire.
+  void fail_frame(SendFrame& frame, const Error& e) {
+    if (frame.on_error) {
+      frame.on_error(e);
+      return;
+    }
+    if (!frame.request) return;
+    DevStatus status = frame.ok_status;
+    status.static_bytes = 0;
+    status.dynamic_bytes = 0;
+    status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+    frame.request->complete(status);
+  }
+
+  static void append_body_parts(const SendFrame& frame,
+                                std::vector<std::span<const std::byte>>& parts) {
+    if (frame.borrow_buffer != nullptr) {
+      parts.emplace_back(frame.borrow_buffer->static_payload());
+      parts.emplace_back(frame.borrow_buffer->dynamic_payload());
+      return;
+    }
+    if (frame.sect_len > 0) parts.emplace_back(frame.sect_header.data(), frame.sect_len);
+    for (const SendSegment& seg : frame.segments) parts.emplace_back(seg.data, seg.size);
+  }
+
+  static std::size_t frame_body_bytes(const SendFrame& frame) {
+    if (frame.borrow_buffer != nullptr) {
+      return frame.borrow_buffer->static_payload().size() +
+             frame.borrow_buffer->dynamic_payload().size();
+    }
+    std::size_t total = frame.sect_len;
+    for (const SendSegment& seg : frame.segments) total += seg.size;
+    return total;
+  }
+
+  void note_frame_wire(Peer& peer, const SendFrame& frame) {
+    if (!frame.record_wire) return;
+    prof::record_flight(frame.hdr.msg_id, prof::FlightStage::SendWire, peer.id,
+                        frame.hdr.tag, frame.hdr.context,
+                        static_cast<std::size_t>(frame.hdr.static_len) +
+                            frame.hdr.dynamic_len);
   }
 
   /// Decide the injected fault for ONE logical outgoing frame
@@ -1030,8 +1307,8 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// a stalled stream); corrupts the already-ENCODED header in place for
   /// Corrupt (the CRC was computed over the pristine bytes, so the peer's
   /// header validation is guaranteed to catch it); hard-resets the channel
-  /// and throws for Reset.
-  bool apply_write_fault(Peer& peer, std::span<std::byte> encoded_header) {
+  /// and throws for Reset. Called with the peer's write_mu held.
+  bool apply_write_fault_locked(Peer& peer, std::span<std::byte> encoded_header) {
     if (!faults::enabled()) return true;
     switch (faults::next_action(faults::Site::TcpWrite)) {
       case faults::Action::None:
@@ -1041,96 +1318,240 @@ class TcpDevice final : public Device, public RequestCanceller {
       case faults::Action::Corrupt:
         encoded_header[8] ^= std::byte{0x5A};
         return true;
-      case faults::Action::Reset: {
-        std::lock_guard<std::mutex> lock(peer.write_mu);
+      case faults::Action::Reset:
         peer.write_channel.shutdown_both();
         throw net::SocketError("send: connection reset (injected fault)");
-      }
     }
     return true;
   }
 
-  /// Write one frame — [header | static | dynamic] — as a single gathered
-  /// writev_all under the destination channel lock. The fault decision is
-  /// made once, before any byte of the frame is handed to the socket, so an
-  /// injected Drop removes the whole frame and Corrupt flips a post-CRC
-  /// header byte the receiver is guaranteed to detect.
-  ///
-  /// Returns true when completion was deferred to the cumulative ack
-  /// (reliable mode with `deferred` set: the buffer is pinned until the
-  /// receiver provably has the bytes); false when the frame is out of our
-  /// hands on return.
-  bool write_message(buf::Buffer& buffer, Peer& peer, const FrameHeader& hdr,
-                     DevRequest deferred = nullptr, DevStatus ok_status = {}) {
-    if (reliable_) {
-      return reliable_write(peer, hdr, buffer.static_payload(), buffer.dynamic_payload(),
-                            {}, deferred ? &buffer : nullptr, std::move(deferred),
-                            ok_status);
+  // ---- connection manager (lazy dial, LRU cap, idle close) ----------------------
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// LRU stamp, refreshed on every frame written. Relaxed: the LRU scan
+  /// only needs an approximate order.
+  static void touch(Peer& peer) {
+    peer.last_used_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Make the peer's write channel usable, dialing it if closed (first
+  /// send, or first send after an eviction). Called with write_mu held.
+  void ensure_connected_locked(Peer& peer) {
+    if (peer.write_channel.valid()) return;
+    if (!reliable_ && peer.write_failed) {
+      throw DeviceError("tcpdev: write channel to peer " + std::to_string(peer.id) +
+                            " failed",
+                        ErrCode::ConnReset);
     }
-    if (buffer.header_reserve() >= kHeaderBytes) {
-      // Header written in place: [header|static] is one contiguous segment.
-      auto header = buffer.header_region();
-      auto encoded = header.subspan(header.size() - kHeaderBytes);
-      tcp::encode_header(encoded, hdr);
-      if (!apply_write_fault(peer, encoded)) return false;
-      const std::span<const std::byte> parts[] = {
-          buffer.framed_payload().subspan(buffer.header_reserve() - kHeaderBytes),
-          buffer.dynamic_payload()};
-      std::lock_guard<std::mutex> lock(peer.write_mu);
-      peer.write_channel.writev_all(parts);
-    } else {
-      std::array<std::byte, kHeaderBytes> bytes{};
-      tcp::encode_header(bytes, hdr);
-      if (!apply_write_fault(peer, bytes)) return false;
-      const std::span<const std::byte> parts[] = {bytes, buffer.static_payload(),
-                                                  buffer.dynamic_payload()};
-      std::lock_guard<std::mutex> lock(peer.write_mu);
-      peer.write_channel.writev_all(parts);
+    dial_channel_locked(peer);
+  }
+
+  /// Dial the peer's write channel and run the Hello handshake. The Hello
+  /// carries the next epoch (so the receiver can order incarnations: a
+  /// first contact and a post-eviction redial look identical) and, in
+  /// reliable mode, the cumulative ack; unacked frames are replayed after
+  /// the swap. Honors Site::TcpConnect fault injection per attempt and
+  /// recovers from descriptor exhaustion by evicting the least-recently-
+  /// used idle channel. Called with write_mu held.
+  void dial_channel_locked(Peer& peer) {
+    if (!running_) throw DeviceError("tcpdev: send after finish");
+    const std::uint32_t deadline_ms = faults::connect_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+    const std::uint64_t seed = (static_cast<std::uint64_t>(self_.value) << 32) ^ peer.id ^
+                               now_ns();
+    Backoff backoff(reconnect_ms_, reconnect_ms_ * 16, seed);
+    for (;;) {
+      bool injected_fail = false;
+      if (faults::enabled() &&
+          faults::next_action(faults::Site::TcpConnect) == faults::Action::Reset) {
+        // Reset at the connect site means "this dial attempt fails"; the
+        // retry loop below absorbs it. Drop/Corrupt are data-frame faults —
+        // letting them kill dial attempts would turn a corrupt=1.0 plan
+        // aimed at payload integrity into a 30-second connect stall.
+        injected_fail = true;
+      }
+      if (!injected_fail) {
+        try {
+          net::Socket sock = net::Socket::connect(
+              peer.host, peer.port,
+              static_cast<int>(std::max<std::uint64_t>(reconnect_ms_, 10)));
+          install_channel_locked(peer, std::move(sock));
+          return;
+        } catch (const net::SocketError& e) {
+          if (fd_exhausted_error(e) && evict_lru_channel(peer.id)) continue;
+          log::debug("tcpdev: dial to peer ", peer.id, " failed: ", e.what());
+          if (fd_exhausted_error(e)) throw;  // nothing evictable: actionable error up
+        } catch (const Error& e) {
+          log::debug("tcpdev: dial to peer ", peer.id, " failed: ", e.what());
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        faults::counters().add(prof::Ctr::OpTimeouts);
+        throw DeviceError("tcpdev: rank " + std::to_string(self_.value) +
+                              " failed to connect write channel to rank " +
+                              std::to_string(peer.id) + " within " +
+                              std::to_string(deadline_ms) +
+                              " ms (MPCX_CONNECT_TIMEOUT_MS)",
+                          ErrCode::Timeout);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_delay_ms()));
+    }
+  }
+
+  /// The socket layer tags EMFILE/ENFILE with an actionable message (see
+  /// throw_fd_exhausted); the connection manager keys recovery off it.
+  static bool fd_exhausted_error(const net::SocketError& e) {
+    return std::string_view(e.what()).find("file-descriptor limit") !=
+           std::string_view::npos;
+  }
+
+  /// Complete the handshake on a freshly dialed socket and swap it in.
+  /// Called with write_mu held.
+  void install_channel_locked(Peer& peer, net::Socket sock) {
+    sock.set_nodelay(true);
+    if (config_.socket_buffer_bytes > 0) {
+      sock.set_buffer_sizes(config_.socket_buffer_bytes, config_.socket_buffer_bytes);
+    }
+    FrameHeader hello;
+    hello.type = FrameType::Hello;
+    hello.src = self_.value;
+    hello.epoch = peer.epoch + 1;
+    hello.ack = peer.last_seen.load(std::memory_order_acquire);
+    std::array<std::byte, kHeaderBytes> bytes{};
+    tcp::encode_header(bytes, hello);
+    sock.write_all(bytes);
+    const bool was_open = peer.write_channel.valid();
+    peer.write_channel = std::move(sock);
+    ++peer.epoch;
+    note_ack_sent(peer, hello.ack);
+    if (!was_open) {
+      peer.open.store(true, std::memory_order_relaxed);
+      open_conns_.fetch_add(1, std::memory_order_relaxed);
+      pvars_->gauge_add(prof::Pv::OpenConnections, 1);
+    }
+    counters_->add(prof::Ctr::ConnsOpened);
+    if (peer.evicted_once) counters_->add(prof::Ctr::ConnsRedialed);
+    peer.write_failed = false;
+    touch(peer);
+    if (reliable_) {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      for (const RetransEntry& entry : peer.retrans) {
+        write_entry(peer, entry);
+        counters_->add(prof::Ctr::FramesRetransmitted);
+      }
+    }
+    enforce_conn_cap(peer.id);
+    log::debug("tcpdev: dialed write channel to peer ", peer.id, " (epoch ", peer.epoch,
+               ")");
+  }
+
+  /// Close an open write channel in an orderly way. Frames are written
+  /// whole under write_mu, so the FIN lands at a frame boundary: the
+  /// receiver sees a graceful EOF, drops the read channel, and does NOT
+  /// treat us as failed. Called with write_mu held.
+  void close_channel_locked(Peer& peer, bool evicted) {
+    if (!peer.write_channel.valid()) return;
+    peer.write_channel = net::Socket();
+    peer.open.store(false, std::memory_order_relaxed);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    pvars_->gauge_add(prof::Pv::OpenConnections, -1);
+    if (evicted) {
+      peer.evicted_once = true;
+      counters_->add(prof::Ctr::ConnsEvicted);
+    }
+  }
+
+  /// A channel is quiescent — safe to close without losing anything — when
+  /// nothing is queued for it, no reliable frame awaits an ack (the
+  /// retransmit watchdog would immediately redial an evicted channel with
+  /// unacked frames), and we owe the peer no ack (flush_ack would redial
+  /// to deliver it). try-locks so two dialers can never deadlock evicting
+  /// each other; a busy channel just isn't idle. Returns true if closed.
+  bool close_if_quiescent(Peer& peer) {
+    std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
+    if (!wl.owns_lock()) return false;
+    bool closed = false;
+    if (peer.write_channel.valid() && peer.queued.load(std::memory_order_acquire) == 0 &&
+        (!reliable_ || quiescent_reliable(peer))) {
+      close_channel_locked(peer, /*evicted=*/true);
+      closed = true;
+    }
+    unlock_and_drain(peer, wl, /*inline_ok=*/false);
+    return closed;
+  }
+
+  bool quiescent_reliable(Peer& peer) {
+    {
+      std::lock_guard<std::mutex> rl(peer.rel_mu);
+      if (!peer.retrans.empty()) return false;
+    }
+    // An owed ack means a close would force an immediate redial just to
+    // deliver it (flush_ack dials when the channel is down).
+    return peer.last_seen.load(std::memory_order_acquire) ==
+           peer.last_ack_sent.load(std::memory_order_acquire);
+  }
+
+  /// Close the least-recently-used quiescent write channel other than
+  /// `keep`. Candidates are tried in LRU order until one closes.
+  bool evict_lru_channel(std::uint64_t keep) {
+    std::vector<std::pair<std::uint64_t, Peer*>> candidates;
+    for (auto& [id, peer] : peers_) {
+      if (id == keep || !peer->open.load(std::memory_order_relaxed)) continue;
+      candidates.emplace_back(peer->last_used_ns.load(std::memory_order_relaxed),
+                              peer.get());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [stamp, peer] : candidates) {
+      if (close_if_quiescent(*peer)) return true;
     }
     return false;
   }
 
-  /// Zero-copy frame write: gather [frame header | section header | payload
-  /// segments] from their separate homes in one writev_all — the bytes never
-  /// pass through a staging Buffer. Same once-per-frame fault discipline and
-  /// deferred-completion contract as write_message.
-  bool write_segments(Peer& peer, const FrameHeader& hdr,
-                      std::span<const std::byte> sect_header,
-                      std::span<const SendSegment> segments,
-                      DevRequest deferred = nullptr, DevStatus ok_status = {}) {
-    if (reliable_) {
-      return reliable_write(peer, hdr, sect_header, {}, segments, nullptr,
-                            std::move(deferred), ok_status);
+  /// MPCX_MAX_CONNS: over the cap, shed LRU channels. A cap with nothing
+  /// quiescent to shed is a soft cap — correctness first.
+  void enforce_conn_cap(std::uint64_t keep) {
+    if (max_conns_ == 0) return;
+    while (open_conns_.load(std::memory_order_relaxed) > max_conns_) {
+      if (!evict_lru_channel(keep)) return;
     }
-    std::array<std::byte, kHeaderBytes> bytes{};
-    tcp::encode_header(bytes, hdr);
-    if (!apply_write_fault(peer, bytes)) return false;
-    std::vector<std::span<const std::byte>> parts;
-    parts.reserve(2 + segments.size());
-    parts.emplace_back(bytes);
-    parts.emplace_back(sect_header);
-    for (const SendSegment& seg : segments) parts.emplace_back(seg.data, seg.size);
-    std::lock_guard<std::mutex> lock(peer.write_mu);
-    peer.write_channel.writev_all(parts);
-    return false;
+  }
+
+  /// MPCX_IDLE_CLOSE_MS: input-loop tick reaping channels idle longer than
+  /// the threshold.
+  void close_idle_channels() {
+    if (idle_close_ms_ == 0) return;
+    const std::uint64_t cutoff = idle_close_ms_ * 1'000'000ull;
+    const std::uint64_t now = now_ns();
+    for (auto& [id, peer] : peers_) {
+      if (!peer->open.load(std::memory_order_relaxed)) continue;
+      const std::uint64_t used = peer->last_used_ns.load(std::memory_order_relaxed);
+      if (now - used < cutoff) continue;
+      close_if_quiescent(*peer);
+    }
   }
 
   // ---- reliability session layer (MPCX_RELIABLE=1) ------------------------------
 
-  /// Transmit one sequenced frame: under the channel lock, assign the next
-  /// seq (wire order == seq order), piggyback the cumulative ack, append
-  /// the retransmit entry, then write. An injected or real write failure
-  /// sends the channel through redial-with-backoff + handshake + replay
-  /// before this returns; redial exhaustion declares the peer dead
-  /// (ErrCode::ProcFailed). Body description: [part1 | part2 | segments],
-  /// with `borrow_buffer` naming the Buffer behind part1/part2 when the
-  /// body should be borrowed rather than copied.
-  bool reliable_write(Peer& peer, FrameHeader hdr, std::span<const std::byte> part1,
-                      std::span<const std::byte> part2,
-                      std::span<const SendSegment> segments, buf::Buffer* borrow_buffer,
-                      DevRequest deferred, DevStatus ok_status) {
-    std::unique_lock<std::mutex> wl(peer.write_mu);
+  /// Transmit one queued frame under the reliability session: assign the
+  /// next seq (wire order == seq order — seq assignment at drain time,
+  /// under the lock, is what keeps the stream gapless with concurrent
+  /// producers), piggyback the cumulative ack, append the retransmit
+  /// entry, then write. An injected or real write failure sends the
+  /// channel through redial-with-backoff + handshake + replay before this
+  /// returns; redial exhaustion declares the peer dead (ProcFailed, thrown
+  /// to write_frame_locked which settles the frame). Called with write_mu
+  /// held.
+  void reliable_write_locked(Peer& peer, SendFrame& frame) {
     wait_retrans_capacity(peer);
+    FrameHeader hdr = frame.hdr;
     hdr.seq = peer.next_seq++;
     hdr.ack = peer.last_seen.load(std::memory_order_acquire);
     hdr.epoch = peer.epoch;
@@ -1161,23 +1582,35 @@ class TcpDevice final : public Device, public RequestCanceller {
           break;
       }
     }
-    const bool defer = deferred != nullptr;
-    std::size_t body_bytes = part1.size() + part2.size();
-    for (const SendSegment& seg : segments) body_bytes += seg.size;
-    if (defer) {
+    const std::size_t body_bytes = frame_body_bytes(frame);
+    if (frame.pin_body) {
+      // Zero-copy pinning: the body stays borrowed from caller memory and
+      // the request completes only when the cumulative ack covers the seq.
       entry.borrowed = true;
-      entry.body_buffer = borrow_buffer;
-      if (borrow_buffer == nullptr) {
-        entry.sect_len = std::min(part1.size(), entry.sect_header.size());
-        std::memcpy(entry.sect_header.data(), part1.data(), entry.sect_len);
-        entry.segments.assign(segments.begin(), segments.end());
+      entry.body_buffer = frame.borrow_buffer;
+      if (frame.borrow_buffer == nullptr) {
+        entry.sect_header = frame.sect_header;
+        entry.sect_len = frame.sect_len;
+        entry.segments = frame.segments;
       }
-      entry.request = std::move(deferred);
-      entry.ok_status = ok_status;
+      entry.request = frame.request;
+      entry.ok_status = frame.ok_status;
     } else {
+      // Buffered-send semantics: own a private copy; the request (if any)
+      // completes as soon as the frame is handed to the channel.
       entry.owned.reserve(body_bytes);
-      entry.owned.insert(entry.owned.end(), part1.begin(), part1.end());
-      entry.owned.insert(entry.owned.end(), part2.begin(), part2.end());
+      if (frame.borrow_buffer != nullptr) {
+        const auto sp = frame.borrow_buffer->static_payload();
+        const auto dp = frame.borrow_buffer->dynamic_payload();
+        entry.owned.insert(entry.owned.end(), sp.begin(), sp.end());
+        entry.owned.insert(entry.owned.end(), dp.begin(), dp.end());
+      } else {
+        entry.owned.insert(entry.owned.end(), frame.sect_header.begin(),
+                           frame.sect_header.begin() + frame.sect_len);
+        for (const SendSegment& seg : frame.segments) {
+          entry.owned.insert(entry.owned.end(), seg.data, seg.data + seg.size);
+        }
+      }
     }
     entry.bytes = kHeaderBytes + body_bytes;
     {
@@ -1191,11 +1624,9 @@ class TcpDevice final : public Device, public RequestCanceller {
     if (!drop) {
       try {
         std::vector<std::span<const std::byte>> parts;
-        parts.reserve(3 + segments.size());
+        parts.reserve(4 + frame.segments.size());
         parts.emplace_back(wire);
-        if (!part1.empty()) parts.emplace_back(part1);
-        if (!part2.empty()) parts.emplace_back(part2);
-        for (const SendSegment& seg : segments) parts.emplace_back(seg.data, seg.size);
+        append_body_parts(frame, parts);
         peer.write_channel.writev_all(parts);
         // The piggybacked ack reached the wire — suppress the redundant
         // standalone flush. (If the socket silently eats the frame, any
@@ -1205,7 +1636,9 @@ class TcpDevice final : public Device, public RequestCanceller {
         reconnect_replay(peer);
       }
     }
-    return defer;
+    touch(peer);
+    note_frame_wire(peer, frame);
+    if (!frame.pin_body && frame.request) frame.request->complete(frame.ok_status);
   }
 
   /// Block while the retransmit buffer is over MPCX_RETRANS_MAX — the
@@ -1276,9 +1709,16 @@ class TcpDevice final : public Device, public RequestCanceller {
         std::array<std::byte, kHeaderBytes> bytes{};
         tcp::encode_header(bytes, hello);
         sock.write_all(bytes);
+        const bool was_open = peer.write_channel.valid();
         peer.write_channel = std::move(sock);
         ++peer.epoch;
         note_ack_sent(peer, hello.ack);
+        if (!was_open) {
+          peer.open.store(true, std::memory_order_relaxed);
+          open_conns_.fetch_add(1, std::memory_order_relaxed);
+          pvars_->gauge_add(prof::Pv::OpenConnections, 1);
+        }
+        touch(peer);
         counters_->add(prof::Ctr::Reconnects);
         std::size_t replayed = 0;
         {
@@ -1376,17 +1816,25 @@ class TcpDevice final : public Device, public RequestCanceller {
     // Re-read under the lock: a data frame sent while we waited may have
     // piggybacked the very ack we came to flush.
     const std::uint64_t seen = peer.last_seen.load(std::memory_order_acquire);
-    if (seen <= peer.last_ack_sent.load(std::memory_order_relaxed)) return;
-    FrameHeader ack;
-    ack.type = FrameType::Ack;
-    ack.src = self_.value;
-    ack.ack = seen;
-    ack.epoch = peer.epoch;
-    std::array<std::byte, kHeaderBytes> bytes{};
-    tcp::encode_header(bytes, ack);
+    if (seen <= peer.last_ack_sent.load(std::memory_order_relaxed)) {
+      unlock_and_drain(peer, wl, /*inline_ok=*/false);
+      return;
+    }
     try {
-      peer.write_channel.write_all(bytes);
-      note_ack_sent(peer, seen);
+      if (!peer.write_channel.valid()) {
+        // Lazy/evicted channel: a fresh dial's Hello carries the ack.
+        dial_channel_locked(peer);
+      } else {
+        FrameHeader ack;
+        ack.type = FrameType::Ack;
+        ack.src = self_.value;
+        ack.ack = seen;
+        ack.epoch = peer.epoch;
+        std::array<std::byte, kHeaderBytes> bytes{};
+        tcp::encode_header(bytes, ack);
+        peer.write_channel.write_all(bytes);
+        note_ack_sent(peer, seen);
+      }
     } catch (const Error&) {
       // Channel down. When traffic is one-directional this channel carries
       // ONLY acks, so no data writer will ever trip over it and redial —
@@ -1400,6 +1848,7 @@ class TcpDevice final : public Device, public RequestCanceller {
         log::debug("tcpdev: ack-channel redial to peer ", peer.id, " failed: ", e.what());
       }
     }
+    unlock_and_drain(peer, wl, /*inline_ok=*/false);
   }
 
   /// Input handler only: tell `peer` its write channel to us just died
@@ -1409,6 +1858,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   void send_reset_notice(Peer& peer) {
     std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
     if (!wl.owns_lock()) return;  // a writer owns the channel; the watchdog backstops
+    if (!peer.write_channel.valid()) {
+      // Channel lazily closed: nothing rides it, and the peer learns our
+      // read side died from the Hello epoch of our next dial.
+      unlock_and_drain(peer, wl, /*inline_ok=*/false);
+      return;
+    }
     const std::uint64_t seen = peer.last_seen.load(std::memory_order_acquire);
     FrameHeader notice;
     notice.type = FrameType::Ack;
@@ -1432,6 +1887,7 @@ class TcpDevice final : public Device, public RequestCanceller {
         (void)e;
       }
     }
+    unlock_and_drain(peer, wl, /*inline_ok=*/false);
   }
 
   /// Input handler only: the peer says our write channel to it is dead.
@@ -1440,16 +1896,20 @@ class TcpDevice final : public Device, public RequestCanceller {
   void redial_for_notice(Peer& peer) {
     std::unique_lock<std::mutex> wl(peer.write_mu, std::try_to_lock);
     if (!wl.owns_lock()) return;  // an active writer will hit the error itself
-    {
+    bool skip = !peer.write_channel.valid();  // already closed: next send redials anyway
+    if (!skip) {
       std::lock_guard<std::mutex> rl(peer.rel_mu);
-      if (peer.failed) return;
+      skip = peer.failed;
     }
-    try {
-      reconnect_replay(peer);
-    } catch (const Error& e) {
-      log::debug("tcpdev: notice-triggered redial to peer ", peer.id, " failed: ",
-                 e.what());
+    if (!skip) {
+      try {
+        reconnect_replay(peer);
+      } catch (const Error& e) {
+        log::debug("tcpdev: notice-triggered redial to peer ", peer.id, " failed: ",
+                   e.what());
+      }
     }
+    unlock_and_drain(peer, wl, /*inline_ok=*/false);
   }
 
   /// The frame whose seq is parked on `conn` has now been FULLY consumed:
@@ -1502,62 +1962,125 @@ class TcpDevice final : public Device, public RequestCanceller {
     }
   }
 
-  /// A peer redialed after losing its write channel to us: complete the
-  /// Hello handshake and swap the read channel in place (input handler
-  /// only). The Hello's epoch guards against a stale redial racing a fresh
-  /// one; its ack field carries the peer's last_seq_seen of OUR frames and
-  /// is processed as a cumulative ack — the failure may have eaten the acks
-  /// for frames that did arrive.
-  void accept_reconnect() {
-    auto sock = acceptor_.accept_for(0);
-    if (!sock) return;
+  /// Accept every pending dial on the listening socket (input handler
+  /// only). The poller is edge-triggered: one readiness notification may
+  /// cover several queued dials, so we must accept to empty. First contact
+  /// (lazy connect), post-eviction redial, and post-failure repair all
+  /// arrive here — the Hello handshake makes them indistinguishable by
+  /// design. Descriptor exhaustion on accept evicts an idle channel and
+  /// returns; the dialer's connect retry loop re-delivers the attempt.
+  void accept_channels() {
+    for (;;) {
+      std::optional<net::Socket> sock;
+      try {
+        sock = acceptor_.accept_for(0);
+      } catch (const net::SocketError& e) {
+        if (fd_exhausted_error(e)) {
+          log::warn("tcpdev: accept hit the fd limit (", e.what(),
+                    "); evicting an idle channel");
+          evict_lru_channel(self_.value);  // self id matches no peer: evict any
+          return;
+        }
+        throw;
+      }
+      if (!sock) return;
+      install_accepted(std::move(*sock));
+    }
+  }
+
+  /// Complete the Hello handshake on an accepted socket and swap the read
+  /// channel in. The Hello's epoch guards against a stale redial racing a
+  /// fresh one; in reliable mode its ack field carries the peer's
+  /// last_seq_seen of OUR frames and is processed as a cumulative ack —
+  /// a failure may have eaten the acks for frames that did arrive.
+  void install_accepted(net::Socket sock) {
     FrameHeader hdr;
     try {
       std::array<std::byte, kHeaderBytes> hello{};
-      sock->read_all(hello);
+      sock.read_all(hello);
       hdr = tcp::decode_header(hello);
     } catch (const Error& e) {
-      log::debug("tcpdev: reconnect handshake failed: ", e.what());
+      log::debug("tcpdev: accept handshake failed: ", e.what());
       return;
     }
     if (hdr.type != FrameType::Hello) {
-      log::debug("tcpdev: reconnect socket sent a non-hello frame; dropping it");
+      log::debug("tcpdev: accepted socket sent a non-hello frame; dropping it");
       return;
     }
     auto pit = peers_.find(hdr.src);
     if (pit == peers_.end()) {
-      log::debug("tcpdev: reconnect hello from unknown process ", hdr.src);
+      log::debug("tcpdev: hello from unknown process ", hdr.src);
       return;
     }
     Peer& peer = *pit->second;
     if (hdr.epoch <= peer.recv_epoch) {
-      log::debug("tcpdev: ignoring stale reconnect from peer ", hdr.src, " (epoch ",
+      log::debug("tcpdev: ignoring stale dial from peer ", hdr.src, " (epoch ",
                  hdr.epoch, " <= ", peer.recv_epoch, ")");
       return;
     }
     peer.recv_epoch = hdr.epoch;
-    process_ack(peer, hdr.ack);
-    for (auto it = conns_by_fd_.begin(); it != conns_by_fd_.end(); ++it) {
-      if (it->second->peer != hdr.src) continue;
-      drop_conn_for_repair(*it->second);
-      poller_.remove(it->first);
-      conns_by_fd_.erase(it);
-      break;
-    }
-    sock->set_nodelay(true);
+    if (reliable_) process_ack(peer, hdr.ack);
+    retire_existing_conn(hdr.src);
+    sock.set_nodelay(true);
     if (config_.socket_buffer_bytes > 0) {
-      sock->set_buffer_sizes(config_.socket_buffer_bytes, config_.socket_buffer_bytes);
+      sock.set_buffer_sizes(config_.socket_buffer_bytes, config_.socket_buffer_bytes);
     }
-    sock->set_nonblocking(true);
-    sock->set_fault_site(faults::Site::TcpRead);
+    sock.set_nonblocking(true);
+    sock.set_fault_site(faults::Site::TcpRead);
     auto conn = std::make_unique<Conn>();
     conn->peer = hdr.src;
-    conn->sock = std::move(*sock);
+    conn->sock = std::move(sock);
     conn->peer_state = &peer;
     const int fd = conn->sock.fd();
     conns_by_fd_.emplace(fd, std::move(conn));
     poller_.add(fd);
-    log::debug("tcpdev: accepted reconnect from peer ", hdr.src, " (epoch ", hdr.epoch, ")");
+    log::debug("tcpdev: accepted channel from peer ", hdr.src, " (epoch ", hdr.epoch, ")");
+  }
+
+  /// A fresh channel from `src` supersedes any read channel already held.
+  /// Reliable mode just drops the old conn — replay re-delivers whatever a
+  /// teardown loses. Non-reliable mode has no replay, so per-pair ordering
+  /// demands the old channel be drained to its FIN before the new one is
+  /// read: the peer closed it at a frame boundary with any final frames
+  /// already ahead of the FIN in the stream.
+  void retire_existing_conn(std::uint64_t src) {
+    auto it = conns_by_fd_.begin();
+    for (; it != conns_by_fd_.end(); ++it) {
+      if (it->second->peer == src) break;
+    }
+    if (it == conns_by_fd_.end()) return;
+    if (reliable_) {
+      drop_conn_for_repair(*it->second);
+    } else {
+      drain_retired_conn(*it->second);
+    }
+    poller_.remove(it->first);
+    conns_by_fd_.erase(it);
+  }
+
+  /// Pump a superseded read channel until its FIN so no tail frames are
+  /// lost across an eviction (non-reliable mode only). Bounded: a peer that
+  /// redials without having closed the old socket would otherwise park the
+  /// input handler here forever.
+  void drain_retired_conn(Conn& conn) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    try {
+      for (;;) {
+        pump(conn);  // returns on WouldBlock
+        if (std::chrono::steady_clock::now() >= deadline) {
+          log::warn("tcpdev: retired channel from peer ", conn.peer,
+                    " did not reach EOF in time; dropping it");
+          return;
+        }
+        struct pollfd pfd = {conn.sock.fd(), POLLIN, 0};
+        ::poll(&pfd, 1, 10);
+      }
+    } catch (const ConnClosed&) {
+      // clean FIN at a frame boundary: fully drained
+    } catch (const Error& e) {
+      log::debug("tcpdev: error draining retired channel from peer ", conn.peer, ": ",
+                 e.what());
+    }
   }
 
   /// Convert a borrowed retransmit entry to an owned copy in place: the
@@ -1620,11 +2143,18 @@ class TcpDevice final : public Device, public RequestCanceller {
     rts.static_len = static_cast<std::uint32_t>(buffer.static_size());
     rts.dynamic_len = static_cast<std::uint32_t>(buffer.dynamic_size());
     rts.msg_id = id;
-    try {
-      write_control(peer_for(dst.value), rts);
-    } catch (const Error& e) {
-      // RTS never left: retire the send record and surface the failure on
-      // the request so wait() observes it.
+    submit_rts(rts, id, dst, tag, context, request);
+    return request;
+  }
+
+  /// Queue a rendezvous RTS. If it can never reach the wire, the send
+  /// record is retired and the failure surfaces on the request so wait()
+  /// observes it instead of hanging.
+  void submit_rts(const FrameHeader& rts, std::uint64_t id, ProcessID dst, int tag,
+                  int context, const DevRequest& request) {
+    auto frame = std::make_unique<SendFrame>();
+    frame->hdr = rts;
+    frame->on_error = [this, id, tag, context, request](const Error& e) {
       {
         std::lock_guard<std::mutex> lock(send_mu_);
         pending_sends_.erase(id);
@@ -1636,8 +2166,15 @@ class TcpDevice final : public Device, public RequestCanceller {
       status.context = context;
       status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
       request->complete(status);
+    };
+    Peer* peer = nullptr;
+    try {
+      peer = &peer_for(dst.value);
+    } catch (const Error& e) {
+      fail_frame(*frame, e);
+      return;
     }
-    return request;
+    submit_frame(*peer, std::move(frame));
   }
 
   /// Zero-copy rendezvous send: same RTS/RTR handshake as rndv_send, but the
@@ -1677,38 +2214,14 @@ class TcpDevice final : public Device, public RequestCanceller {
     rts.static_len = static_cast<std::uint32_t>(header.size() + payload);
     rts.dynamic_len = 0;
     rts.msg_id = id;
-    try {
-      write_control(peer_for(dst.value), rts);
-    } catch (const Error& e) {
-      {
-        std::lock_guard<std::mutex> lock(send_mu_);
-        pending_sends_.erase(id);
-        note_send_backlog_locked();
-      }
-      DevStatus status;
-      status.source = self_;
-      status.tag = tag;
-      status.context = context;
-      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
-      request->complete(status);
-    }
+    submit_rts(rts, id, dst, tag, context, request);
     return request;
   }
 
-  void write_control(Peer& peer, const FrameHeader& hdr) {
-    if (reliable_) {
-      // Control frames (RTS/RTR) are sequenced and replayed like data:
-      // losing a handshake frame would wedge the rendezvous on both ends.
-      reliable_write(peer, hdr, {}, {}, {}, nullptr, nullptr, {});
-      return;
-    }
-    std::array<std::byte, kHeaderBytes> bytes{};
-    tcp::encode_header(bytes, hdr);
-    if (!apply_write_fault(peer, bytes)) return;
-    std::lock_guard<std::mutex> lock(peer.write_mu);
-    peer.write_channel.write_all(bytes);
-  }
-
+  /// Queue a rendezvous RTR (receiver side: "buffer posted, send the
+  /// data"). A lost RTR unhooks the pending rendezvous and fails the
+  /// receive — without that, the sender never transmits and the receiver's
+  /// wait() hangs forever.
   void send_rtr(std::uint64_t to, int context, int tag, std::uint32_t static_len,
                 std::uint32_t dynamic_len, std::uint64_t msg_id) {
     FrameHeader rtr;
@@ -1719,7 +2232,32 @@ class TcpDevice final : public Device, public RequestCanceller {
     rtr.static_len = static_len;
     rtr.dynamic_len = dynamic_len;
     rtr.msg_id = msg_id;
-    write_control(peer_for(to), rtr);
+    auto frame = std::make_unique<SendFrame>();
+    frame->hdr = rtr;
+    frame->on_error = [this, to, msg_id](const Error& e) {
+      DevRequest victim;
+      {
+        std::lock_guard<std::mutex> lock(recv_mu_);
+        auto it = rndv_pending_.find(RndvKey{to, msg_id});
+        if (it == rndv_pending_.end()) return;
+        victim = std::move(it->second.request);
+        rndv_pending_.erase(it);
+        note_rndv_slots_locked();
+      }
+      if (!victim) return;
+      DevStatus status;
+      status.source = ProcessID{to};
+      status.error = e.code() == ErrCode::Success ? ErrCode::ConnReset : e.code();
+      victim->complete(status);
+    };
+    Peer* peer = nullptr;
+    try {
+      peer = &peer_for(to);
+    } catch (const Error& e) {
+      fail_frame(*frame, e);
+      return;
+    }
+    submit_frame(*peer, std::move(frame));
   }
 
   static std::int32_t tag_to_wire(int value) { return static_cast<std::int32_t>(value); }
@@ -1732,15 +2270,22 @@ class TcpDevice final : public Device, public RequestCanceller {
     const int wait_ms = reliable_ ? 50 : 200;
     while (running_) {
       auto events = poller_.wait(wait_ms);
+      if (!events.empty()) counters_->add(prof::Ctr::EpollWakeups);
       for (const net::PollEvent& event : events) {
-        if (reliable_ && event.fd == acceptor_.fd()) {
-          accept_reconnect();
+        if (event.fd == acceptor_.fd()) {
+          accept_channels();
           continue;
         }
         auto it = conns_by_fd_.find(event.fd);
         if (it == conns_by_fd_.end()) continue;
         try {
           pump(*it->second);
+        } catch (const ConnClosed&) {
+          // Orderly FIN: the peer's connection manager reaped an idle or
+          // evicted channel. Retire the read side quietly — nothing failed
+          // and nothing needs replay; the peer redials on its next send.
+          poller_.remove(event.fd);
+          conns_by_fd_.erase(it);
         } catch (const Error& e) {
           if (running_) log::debug("tcpdev input handler: ", e.what());
           if (e.code() == ErrCode::Checksum) {
@@ -1774,6 +2319,7 @@ class TcpDevice final : public Device, public RequestCanceller {
           nudge_stalled_retrans(*peer);
         }
       }
+      close_idle_channels();
     }
   }
 
@@ -1804,6 +2350,7 @@ class TcpDevice final : public Device, public RequestCanceller {
       log::debug("tcpdev: retransmit watchdog redial to peer ", peer.id, " failed: ",
                  e.what());
     }
+    unlock_and_drain(peer, wl, /*inline_ok=*/false);
   }
 
   /// Error out every pending operation pinned to a failed peer: posted
@@ -1907,7 +2454,13 @@ class TcpDevice final : public Device, public RequestCanceller {
         std::size_t got = 0;
         const auto io = conn.sock.read_some(
             std::span<std::byte>(conn.hdr_bytes).subspan(conn.hdr_got), got);
-        if (io == net::IoStatus::Eof) throw net::SocketError("peer closed");
+        if (io == net::IoStatus::Eof) {
+          // Frames are written whole under the sender's channel lock, so a
+          // FIN landing exactly between frames is an orderly close (idle
+          // reap or LRU eviction on the other side), not a failure.
+          if (conn.hdr_got == 0) throw ConnClosed{};
+          throw net::SocketError("peer closed mid-frame");
+        }
         if (io == net::IoStatus::WouldBlock) return;
         conn.hdr_got += got;
         if (conn.hdr_got < kHeaderBytes) continue;
@@ -2163,8 +2716,10 @@ class TcpDevice final : public Device, public RequestCanceller {
   }
 
   /// Copy a fully buffered unexpected message into the user's buffer and
-  /// complete the receive.
+  /// complete the receive. Consuming the entry also releases a staged
+  /// synchronous self-send, if one is parked on it.
   void deliver_buffered(UnexpMsg& msg, buf::Buffer& buffer, const DevRequest& request) {
+    complete_self_sync(msg);
     DevStatus status = unexpected_status(msg);
     if (msg.static_len > buffer.capacity()) {
       status.truncated = true;
@@ -2198,6 +2753,7 @@ class TcpDevice final : public Device, public RequestCanceller {
   /// span when the shape allows, otherwise hand the staged pool buffer to the
   /// request itself (direct stays false and the core unpacks it).
   void deliver_buffered_direct(UnexpMsg& msg, const RecvSpan& span, const DevRequest& request) {
+    complete_self_sync(msg);
     constexpr std::size_t sect = buf::Buffer::kSectionHeaderBytes;
     DevStatus status = unexpected_status(msg);
     if (msg.static_len > sect + span.payload_capacity) {
@@ -2395,40 +2951,43 @@ class TcpDevice final : public Device, public RequestCanceller {
     }
     std::thread([this, rec = std::move(rec), msg_id = hdr.msg_id] {
       try {
-        FrameHeader data;
-        data.type = FrameType::RndvData;
-        data.context = tag_to_wire(rec.context);
-        data.tag = tag_to_wire(rec.tag);
-        data.src = self_.value;
+        auto frame = std::make_unique<SendFrame>();
+        frame->hdr.type = FrameType::RndvData;
+        frame->hdr.context = tag_to_wire(rec.context);
+        frame->hdr.tag = tag_to_wire(rec.tag);
+        frame->hdr.src = self_.value;
         if (rec.direct) {
-          data.static_len =
+          frame->hdr.static_len =
               static_cast<std::uint32_t>(rec.sect_header.size()) + rec.payload_bytes;
-          data.dynamic_len = 0;
+          frame->hdr.dynamic_len = 0;
+          frame->sect_header = rec.sect_header;
+          frame->sect_len = rec.sect_header.size();
+          frame->segments = rec.segments;
         } else {
-          data.static_len = static_cast<std::uint32_t>(rec.buffer->static_size());
-          data.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
+          frame->hdr.static_len = static_cast<std::uint32_t>(rec.buffer->static_size());
+          frame->hdr.dynamic_len = static_cast<std::uint32_t>(rec.buffer->dynamic_size());
+          frame->borrow_buffer = rec.buffer;
         }
-        data.msg_id = msg_id;
-        DevStatus status;
-        status.source = self_;
-        status.tag = rec.tag;
-        status.context = rec.context;
-        status.static_bytes = data.static_len;
-        status.dynamic_bytes = data.dynamic_len;
-        // In reliable mode the data stays pinned (borrowed by the
+        frame->hdr.msg_id = msg_id;
+        frame->request = rec.request;
+        frame->ok_status.source = self_;
+        frame->ok_status.tag = rec.tag;
+        frame->ok_status.context = rec.context;
+        frame->ok_status.static_bytes = frame->hdr.static_len;
+        frame->ok_status.dynamic_bytes = frame->hdr.dynamic_len;
+        frame->record_wire = true;
+        // In reliable mode the body stays pinned (borrowed by the
         // retransmit buffer) and the request completes on the cumulative
-        // ack rather than here.
-        bool deferred;
-        if (rec.direct) {
-          deferred = write_segments(peer_for(rec.dst.value), data, rec.sect_header,
-                                    rec.segments, rec.request, status);
-        } else {
-          deferred = write_message(*rec.buffer, peer_for(rec.dst.value), data,
-                                   rec.request, status);
-        }
-        prof::record_flight(msg_id, prof::FlightStage::SendWire, rec.dst.value, rec.tag,
-                            rec.context, data.static_len + data.dynamic_len);
-        if (!deferred) rec.request->complete(status);
+        // ack rather than at write time.
+        frame->pin_body = reliable_;
+        Peer& peer = peer_for(rec.dst.value);
+        submit_frame(peer, std::move(frame));
+        // This thread is the preferred drainer for its own (large) frame: a
+        // blocking lock is fine here, and it keeps bulk rendezvous writes
+        // off the app threads that merely lost the submit race.
+        std::unique_lock<std::mutex> wl(peer.write_mu);
+        drain_sends_locked(peer);
+        unlock_and_drain(peer, wl);
       } catch (const Error& e) {
         // Route the failure into the owning send request — a swallowed log
         // line here used to leave the sender's wait() hanging forever.
@@ -2514,6 +3073,12 @@ class TcpDevice final : public Device, public RequestCanceller {
   std::uint64_t reconnect_ms_ = 50;
   std::uint64_t reconnect_max_ = 10;
   std::uint64_t retrans_max_bytes_ = std::uint64_t{4} << 20;
+
+  // Connection manager knobs (see init()).
+  bool lazy_connect_ = true;          ///< MPCX_LAZY_CONNECT: dial on first send
+  std::uint64_t max_conns_ = 0;       ///< MPCX_MAX_CONNS soft cap (0 = unlimited)
+  std::uint64_t idle_close_ms_ = 0;   ///< MPCX_IDLE_CLOSE_MS reap threshold (0 = off)
+  std::atomic<std::uint64_t> open_conns_{0};  ///< open write channels (gauge mirror)
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;  // by ProcessID value
   std::unordered_map<int, std::unique_ptr<Conn>> conns_by_fd_;

@@ -3,6 +3,7 @@
 // tcpdev) in both local-exec and staged-binary modes (Fig. 9a / 9b).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -14,7 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/cluster.hpp"
+#include "core/intracomm.hpp"
 #include "env_util.hpp"
+#include "prof/counters.hpp"
+#include "prof/pvars.hpp"
 #include "runtime/daemon.hpp"
 #include "runtime/launcher.hpp"
 
@@ -440,6 +445,71 @@ TEST(Launcher, ValidationErrors) {
   spec.nprocs = 1;
   spec.daemons.clear();
   EXPECT_THROW(launch_world(spec), ArgumentError);
+}
+
+// ---- scalability smoke: 128 hybdev ranks under the connection cap ------------------
+//
+// An in-process 128-rank hybrid world across 8 simulated nodes
+// (MPCX_NODE_ID): intra-node traffic rides shmdev, inter-node rides lazy
+// tcpdev channels under MPCX_MAX_CONNS=4. Without the connection manager
+// every rank would hold ~112 inter-node sockets (128 * 112 fds total and
+// an O(N^2) connect storm at init); with it the suite-wide open-channel
+// high-water mark stays near ranks * cap.
+TEST(HybridScale, Ring128RanksUnderConnCap) {
+  mpcx::testing::ScopedEnv nodes("MPCX_NODE_ID", "8");
+  mpcx::testing::ScopedEnv lazy("MPCX_LAZY_CONNECT", "1");
+  mpcx::testing::ScopedEnv cap("MPCX_MAX_CONNS", "4");
+  prof::set_stats_enabled(true);
+  prof::set_pvars_enabled(true);
+  constexpr int kRanks = 128;
+  constexpr int kStrides = 12;
+  std::atomic<std::uint64_t> peak_open{0};
+  cluster::Options options;
+  options.device = "hybdev";
+  cluster::launch(
+      kRanks,
+      [&](World& world) {
+        Intracomm& comm = world.COMM_WORLD();
+        const int rank = comm.Rank();
+        const int size = comm.Size();
+        int mine = rank + 1;
+        int sum = 0;
+        comm.Allreduce(&mine, 0, &sum, 0, 1, types::INT(), ops::SUM());
+        EXPECT_EQ(sum, size * (size + 1) / 2);
+        // Shifted rings: every rank eagerly messages kStrides neighbors,
+        // most of them inter-node (stride % 8 != 0), so each rank churns
+        // through far more tcp peers than the cap allows at once.
+        for (int s = 1; s <= kStrides; ++s) {
+          int token = rank;
+          comm.Send(&token, 0, 1, types::INT(), (rank + s) % size, 50 + s);
+        }
+        for (int s = 1; s <= kStrides; ++s) {
+          int got = -1;
+          comm.Recv(&got, 0, 1, types::INT(), (rank - s + size) % size, 50 + s);
+          EXPECT_EQ(got, (rank - s + size) % size);
+        }
+        comm.Barrier();
+        if (rank == 0) {
+          // All devices are still alive here: sum the per-device peak of
+          // the open_connections gauge across every tcpdev child.
+          std::uint64_t total = 0;
+          for (const auto& entry : prof::PvarRegistry::global().snapshot()) {
+            if (entry.label == "tcpdev") {
+              total += entry.set->gauge(prof::Pv::OpenConnections).hwm;
+            }
+          }
+          peak_open.store(total);
+        }
+        comm.Barrier();
+      },
+      options);
+  EXPECT_GT(peak_open.load(), 0u);
+  // Soft cap: busy channels ride out a collective, so allow generous
+  // headroom over ranks * 4 — but stay an order of magnitude below the
+  // ~112 channels/rank a flat all-to-all mesh would pin.
+  EXPECT_LE(peak_open.load(), static_cast<std::uint64_t>(kRanks) * 16u);
+  prof::set_pvars_enabled(false);
+  prof::set_stats_enabled(false);
 }
 
 }  // namespace
