@@ -27,6 +27,7 @@
 #include "fig_common.hpp"
 #include "netsim/collective_model.hpp"
 #include "netsim/profiles.hpp"
+#include "support/faults.hpp"
 
 namespace {
 
@@ -131,11 +132,150 @@ int live_main(int argc, char** argv) {
   return 0;
 }
 
+// ---- n-level mode: flat vs two-level vs n-level single-copy ----------------
+
+/// One launch, returning per-collective times and verifying every payload.
+/// Exits nonzero on any integrity mismatch — a fast wrong answer is not a
+/// benchmark result.
+LiveTimes run_nlevel(int nprocs, std::size_t bytes, int iters) {
+  constexpr int kWarmup = 3;
+  cluster::Options options;
+  options.device = "hybdev";
+  LiveTimes times;
+  cluster::launch(nprocs, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    const int count = static_cast<int>(bytes / sizeof(std::int32_t));
+    std::vector<std::int32_t> buf(static_cast<std::size_t>(count));
+    std::vector<std::int32_t> out(static_cast<std::size_t>(count), 0);
+    const auto fill = [&] {
+      for (int i = 0; i < count; ++i) {
+        buf[static_cast<std::size_t>(i)] = rank == 0 ? i * 3 + 1 : -1;
+      }
+    };
+    for (int i = 0; i < kWarmup; ++i) {
+      fill();
+      comm.Bcast(buf.data(), 0, count, types::INT(), 0);
+      comm.Allreduce(buf.data(), 0, out.data(), 0, count, types::INT(), ops::SUM());
+      comm.Barrier();
+    }
+    const double bcast = timed_us(comm, iters, [&] {
+      comm.Bcast(buf.data(), 0, count, types::INT(), 0);
+    });
+    // Integrity: the broadcast payload pattern must survive the timed loop.
+    for (int i = 0; i < count; ++i) {
+      if (buf[static_cast<std::size_t>(i)] != i * 3 + 1) {
+        std::fprintf(stderr, "bcast integrity FAILED at rank %d index %d\n", rank, i);
+        std::exit(2);
+      }
+    }
+    for (int i = 0; i < count; ++i) buf[static_cast<std::size_t>(i)] = rank + i;
+    const double allreduce = timed_us(comm, iters, [&] {
+      comm.Allreduce(buf.data(), 0, out.data(), 0, count, types::INT(), ops::SUM());
+    });
+    for (int i = 0; i < count; ++i) {
+      if (out[static_cast<std::size_t>(i)] != n * (n - 1) / 2 + n * i) {
+        std::fprintf(stderr, "allreduce integrity FAILED at rank %d index %d\n", rank, i);
+        std::exit(2);
+      }
+    }
+    const double barrier = timed_us(comm, iters, [&] { comm.Barrier(); });
+    if (rank == 0) times = {bcast, allreduce, barrier};
+  }, options);
+  return times;
+}
+
+int nlevel_main(int argc, char** argv) {
+  const std::size_t kBytes = 64 * 1024;
+  // 4 simulated nodes, each split into 2 NUMA domains of 2 cache groups: a
+  // 4-level locality tree (node/numa/cache/leaf) on every rank count.
+  ::setenv("MPCX_NODE_ID", "4", 1);
+
+  const struct {
+    const char* name;
+    const char* hier;
+    const char* topo;        // nullptr = unset
+    const char* singlecopy;
+  } variants[] = {
+      {"flat", "0", nullptr, "0"},
+      {"two_level", "1", nullptr, "0"},     // PR 4's node-aware p2p path
+      {"nlevel_singlecopy", "1", "numa:2,cache:2", "1"},
+  };
+
+  std::vector<bench::JsonRecord> records;
+  std::printf("== flat vs two-level vs n-level single-copy (hybdev, 4 simulated nodes, "
+              "%zu KB payloads) ==\n", kBytes / 1024);
+  std::printf("%6s %-20s %12s %12s %12s\n", "ranks", "variant", "bcast(us)",
+              "allreduce(us)", "barrier(us)");
+  for (const int np : {16, 32, 64}) {
+    const int iters = np >= 64 ? 10 : 20;
+    for (const auto& variant : variants) {
+      ::setenv("MPCX_HIER_COLLS", variant.hier, 1);
+      ::setenv("MPCX_SINGLECOPY", variant.singlecopy, 1);
+      if (variant.topo != nullptr) {
+        ::setenv("MPCX_TOPO", variant.topo, 1);
+      } else {
+        ::unsetenv("MPCX_TOPO");
+      }
+      const LiveTimes t = run_nlevel(np, kBytes, iters);
+      std::printf("%6d %-20s %12.1f %12.1f %12.1f\n", np, variant.name, t.bcast_us,
+                  t.allreduce_us, t.barrier_us);
+      const struct {
+        const char* coll;
+        double us;
+        std::size_t bytes;
+      } rows[] = {{"bcast", t.bcast_us, kBytes},
+                  {"allreduce", t.allreduce_us, kBytes},
+                  {"barrier", t.barrier_us, 0}};
+      for (const auto& row : rows) {
+        bench::JsonRecord rec;
+        rec.bench = std::string("collective_scaling_nlevel/") + row.coll + "_np" +
+                    std::to_string(np) + "_" + variant.name;
+        rec.msg_size = row.bytes;
+        rec.latency_us = row.us;
+        rec.bandwidth_MBps =
+            row.bytes == 0 ? 0.0 : static_cast<double>(row.bytes) / rec.latency_us;
+        records.push_back(rec);
+      }
+    }
+  }
+
+  // Integrity leg under an armed delay plan: the single-copy handoffs must
+  // stay correct when every publish is artificially widened.
+  {
+    faults::set_plan(*faults::parse_plan("delay_ms=1,seed=3"));
+    ::setenv("MPCX_HIER_COLLS", "1", 1);
+    ::setenv("MPCX_SINGLECOPY", "1", 1);
+    ::setenv("MPCX_TOPO", "numa:2,cache:2", 1);
+    const LiveTimes t = run_nlevel(16, kBytes, 3);
+    faults::clear_plan();
+    std::printf("%6d %-20s %12.1f %12.1f %12.1f  (delay plan, integrity-checked)\n", 16,
+                "nlevel_delay_plan", t.bcast_us, t.allreduce_us, t.barrier_us);
+    bench::JsonRecord rec;
+    rec.bench = "collective_scaling_nlevel/allreduce_np16_delay_plan_verified";
+    rec.msg_size = kBytes;
+    rec.latency_us = t.allreduce_us;
+    rec.bandwidth_MBps = static_cast<double>(kBytes) / rec.latency_us;
+    records.push_back(rec);
+  }
+  ::unsetenv("MPCX_HIER_COLLS");
+  ::unsetenv("MPCX_SINGLECOPY");
+  ::unsetenv("MPCX_TOPO");
+
+  std::printf("\nReading: the n-level tree keeps every fold inside its locality domain and the\n"
+              "single-copy buffer replaces the node-local p2p hops with one shared-segment\n"
+              "write per chunk, so the gap over the two-level path widens with ranks/node.\n");
+  bench::maybe_write_json(argc, argv, records);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--live") == 0) return live_main(argc, argv);
+    if (std::strcmp(argv[i], "--nlevel") == 0) return nlevel_main(argc, argv);
   }
   using namespace mpcx::netsim;
   const SoftwareProfile mpcx_profile{.name = "MPCX",

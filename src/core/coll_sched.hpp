@@ -3,7 +3,7 @@
 // Iallgather).
 //
 // Each nonblocking collective call COMPILES its algorithm (the same binomial
-// tree / recursive doubling / dissemination / two-level hierarchical shapes
+// tree / recursive doubling / dissemination / n-level hierarchical shapes
 // the blocking collectives use) into a DAG of rounds at call time. A round
 // is a set of independent wire operations ({isend, irecv} steps, posted
 // together) followed by local {reduce-op, copy} steps that run once every

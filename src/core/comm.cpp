@@ -2,8 +2,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string_view>
 
 #include "core/world.hpp"
 #include "prof/trace.hpp"
@@ -58,6 +60,18 @@ Comm::Comm(World* world, Group group, int ptp_context, int coll_context)
       ptp_context_(ptp_context),
       coll_context_(coll_context) {
   local_rank_ = group_.Rank_of_world(world_->Rank());
+  refresh_hier_config();
+}
+
+void Comm::refresh_hier_config() {
+  const char* hier = std::getenv("MPCX_HIER_COLLS");
+  hier_config_.hier_enabled = hier == nullptr || std::string_view(hier) != "0";
+  const char* singlecopy = std::getenv("MPCX_SINGLECOPY");
+  hier_config_.singlecopy =
+      singlecopy == nullptr || std::string_view(singlecopy) != "0";
+  const char* topo = std::getenv("MPCX_TOPO");
+  hier_config_.topo_spec =
+      topo == nullptr ? topo::TopoSpec{} : topo::parse_spec(topo);
 }
 
 mpdev::Engine& Comm::engine() const { return world_->engine(); }

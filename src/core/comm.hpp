@@ -29,6 +29,7 @@
 #include "core/group.hpp"
 #include "core/request.hpp"
 #include "core/status.hpp"
+#include "core/topo.hpp"
 #include "core/types.hpp"
 #include "mpdev/engine.hpp"
 
@@ -257,6 +258,13 @@ class Comm {
   std::optional<std::any> Attr_get(int keyval) const;
   void Attr_delete(int keyval) const;
 
+  /// Re-read the hierarchy environment (MPCX_HIER_COLLS / MPCX_TOPO /
+  /// MPCX_SINGLECOPY) for this communicator. The knobs are resolved once at
+  /// construction — never on the collective hot path, and never racing a
+  /// concurrent setenv — so a test that flips them after creating the
+  /// communicator must call this to observe the change.
+  void refresh_hier_config();
+
  protected:
   friend class Request;
   friend class Prequest;
@@ -354,6 +362,17 @@ class Comm {
   // Attribute cache (mutable: caching on a const communicator is fine).
   mutable std::mutex attrs_mu_;
   mutable std::map<int, std::any> attrs_;
+
+  // Hierarchy knobs, resolved once at construction (refresh_hier_config()
+  // re-reads them for tests). hier_enabled gates the n-level collective
+  // paths; topo_spec supplies the virtual levels below the engine's node
+  // map; singlecopy gates the process-shared collective buffers.
+  struct HierConfig {
+    bool hier_enabled = true;
+    bool singlecopy = true;
+    topo::TopoSpec topo_spec;
+  };
+  HierConfig hier_config_;
 };
 
 }  // namespace mpcx

@@ -15,6 +15,7 @@
 #include "core/world.hpp"
 #include "prof/trace.hpp"
 #include "support/error.hpp"
+#include "xdev/collbuf.hpp"
 
 namespace mpcx {
 namespace {
@@ -58,9 +59,12 @@ void Intracomm::require_contiguous(const DatatypePtr& type, const char* op) {
 void Intracomm::Barrier() const {
   world_->counters().add(prof::Ctr::CollectiveCalls);
   if (hierarchy_enabled()) {
-    prof::Span coll_span("Barrier(hierarchical)", "coll");
-    hier_barrier(node_topology(-1));
-    return;
+    const topo::View view = hier_topology(-1);
+    if (view.depth > 0) {
+      prof::Span coll_span("Barrier(hierarchical)", "coll");
+      hier_barrier(view);
+      return;
+    }
   }
   prof::Span coll_span("Barrier(dissemination)", "coll");
   const int n = Size();
@@ -92,9 +96,12 @@ void Intracomm::Bcast(void* buf, int offset, int count, const DatatypePtr& type,
   // the same count).
   if (n == 1 || count == 0) return;
   if (hierarchy_enabled()) {
-    prof::Span coll_span("Bcast(hierarchical)", "coll");
-    hier_bcast(buf, offset, count, type, root, node_topology(root));
-    return;
+    const topo::View view = hier_topology(root);
+    if (view.depth > 0) {
+      prof::Span coll_span("Bcast(hierarchical)", "coll");
+      hier_bcast(buf, offset, count, type, root, view);
+      return;
+    }
   }
   prof::Span coll_span("Bcast(binomial)", "coll");
   const int vrank = (Rank() - root + n) % n;
@@ -485,11 +492,16 @@ void Intracomm::Reduce(const void* sendbuf, int sendoffset, void* recvbuf, int r
   // Nothing to reduce: skip the exchange rather than pushing empty frames
   // (every rank sees the same count, so the skip is symmetric).
   if (count == 0) return;
-  if (op.is_commutative() && hierarchy_enabled()) {
-    prof::Span coll_span("Reduce(hierarchical)", "coll");
-    hier_reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, root,
-                node_topology(root));
-    return;
+  if (hierarchy_enabled()) {
+    const topo::View view = hier_topology(root);
+    // Non-commutative ops only take the hierarchical path when every group
+    // is a contiguous rank block: per-level ordered folds then compose to
+    // exactly the canonical rank-order fold the flat algorithm performs.
+    if (view.depth > 0 && (op.is_commutative() || view.contiguous)) {
+      prof::Span coll_span("Reduce(hierarchical)", "coll");
+      hier_reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, root, view);
+      return;
+    }
   }
   prof::Span coll_span(op.is_commutative() ? "Reduce(binomial)" : "Reduce(linear)", "coll");
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
@@ -505,10 +517,15 @@ void Intracomm::Allreduce(const void* sendbuf, int sendoffset, void* recvbuf, in
   const int n = Size();
   world_->counters().add(prof::Ctr::CollectiveCalls);
   if (count == 0) return;
-  if (op.is_commutative() && hierarchy_enabled()) {
-    prof::Span coll_span("Allreduce(hierarchical)", "coll");
-    hier_allreduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, node_topology(-1));
-    return;
+  if (hierarchy_enabled()) {
+    const topo::View view = hier_topology(-1);
+    // Same contiguity gate as Reduce: ordered per-level folds are only
+    // canonical-order-equivalent on contiguous layouts.
+    if (view.depth > 0 && (op.is_commutative() || view.contiguous)) {
+      prof::Span coll_span("Allreduce(hierarchical)", "coll");
+      hier_allreduce(sendbuf, sendoffset, recvbuf, recvoffset, count, type, op, view);
+      return;
+    }
   }
   prof::Span coll_span(op.is_commutative() && n > 1 && (n & (n - 1)) == 0
                            ? "Allreduce(recursive-doubling)"
@@ -596,243 +613,390 @@ void Intracomm::Scan(const void* sendbuf, int sendoffset, void* recvbuf, int rec
   }
 }
 
-// ---- hierarchical (two-level) collectives ------------------------------------------------------
+// ---- hierarchical (n-level) collectives --------------------------------------------------------
 //
 // On a multi-node communicator the flat algorithms scatter inter-node
 // traffic across every round (recursive doubling's first round, for
-// instance, is ALL cross-node under round-robin placement). The two-level
-// forms confine the slow transport to one exchange among node leaders and
-// keep everything else on the intra-node path (shmdev under hybdev).
+// instance, is ALL cross-node under round-robin placement). The n-level
+// forms walk the locality tree's exchanges (core/topo.hpp): each exchange
+// runs a self-contained binomial/fold among its peers, so slow transports
+// only carry their own level's traffic. The node-local exchanges are
+// replaced wholesale by the single-copy shared buffer (xdev/collbuf.hpp)
+// when the payload qualifies.
+
+namespace {
+
+enum HierPhase { kPhaseUp = 0, kPhaseDown = 1 };
+
+/// Reserved tag for one exchange level + direction (see types.hpp).
+int hier_tag(int level, int phase) {
+  return kHierLevelTagBase - (level * kHierLevelPhases + phase);
+}
+
+/// Index of `rank` within a node-member list (ascending rank order).
+int member_index(const std::vector<int>& members, int rank) {
+  return static_cast<int>(std::find(members.begin(), members.end(), rank) - members.begin());
+}
+
+/// Payload-side single-copy eligibility. Must be a pure function of values
+/// every member of the node group shares (count/type are collective
+/// arguments): a split decision inside one group would deadlock the buffer
+/// protocol. The group-side conditions live in node_collbuf().
+bool collbuf_payload_ok(int count, const DatatypePtr& type) {
+  return count > 0 && type->extent_bytes() == type->size_bytes() &&
+         type->base_size() <= xdev::collbuf::kChunkBytes;
+}
+
+}  // namespace
+
+Intracomm::Intracomm(World* world, Group group, int ptp_context, int coll_context)
+    : Comm(world, std::move(group), ptp_context, coll_context) {}
+
+Intracomm::~Intracomm() = default;
 
 bool Intracomm::hierarchy_enabled() const {
   const int n = Size();
-  if (n <= 1) return false;
+  if (n <= 1 || !hier_config_.hier_enabled) return false;
+  if (!hier_config_.topo_spec.empty()) return true;
   mpdev::Engine& eng = engine();
   if (eng.node_count() <= 1) return false;
   const int first = eng.node_of(group_.world_rank(0));
-  bool spans = false;
-  for (int r = 1; r < n && !spans; ++r) {
-    spans = eng.node_of(group_.world_rank(r)) != first;
+  for (int r = 1; r < n; ++r) {
+    if (eng.node_of(group_.world_rank(r)) != first) return true;
   }
-  if (!spans) return false;
-  // Read per call, not cached: benchmarks flip the switch between their
-  // flat and hierarchical phases inside one process.
-  const char* env = std::getenv("MPCX_HIER_COLLS");
-  return env == nullptr || std::string_view(env) != "0";
+  return false;
 }
 
-Intracomm::NodeTopology Intracomm::node_topology(int root) const {
-  mpdev::Engine& eng = engine();
+topo::View Intracomm::hier_topology(int root) const {
   const int n = Size();
-  const int rank = Rank();
-  NodeTopology topo;
-  // Dense per-communicator node indices in first-seen comm-rank order:
-  // deterministic, so every member computes the identical map.
-  std::vector<int> node_of(static_cast<std::size_t>(n));
-  std::unordered_map<int, int> dense;
-  for (int r = 0; r < n; ++r) {
-    const int engine_node = eng.node_of(group_.world_rank(r));
-    const auto [it, inserted] = dense.emplace(engine_node, static_cast<int>(dense.size()));
-    node_of[static_cast<std::size_t>(r)] = it->second;
-    if (inserted) topo.leaders.push_back(r);  // lowest comm rank on the node
-  }
-  topo.node_count = static_cast<int>(topo.leaders.size());
-  topo.my_node = node_of[static_cast<std::size_t>(rank)];
-  if (root >= 0) {
-    // The root must lead its node so rooted collectives start/end at the
-    // root itself, not via an extra intra-node hop.
-    topo.root_node = node_of[static_cast<std::size_t>(root)];
-    topo.leaders[static_cast<std::size_t>(topo.root_node)] = root;
-  }
-  topo.my_leader = topo.leaders[static_cast<std::size_t>(topo.my_node)];
-  topo.is_leader = topo.my_leader == rank;
-  topo.my_members.push_back(topo.my_leader);
-  for (int r = 0; r < n; ++r) {
-    if (node_of[static_cast<std::size_t>(r)] == topo.my_node && r != topo.my_leader) {
-      topo.my_members.push_back(r);
+  mpdev::Engine& eng = engine();
+  std::vector<int> node_of;
+  if (eng.node_count() > 1) {
+    node_of.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      node_of[static_cast<std::size_t>(r)] = eng.node_of(group_.world_rank(r));
     }
   }
-  return topo;
+  return topo::build_view(n, Rank(), root, node_of, hier_config_.topo_spec);
 }
 
-void Intracomm::hier_bcast(void* buf, int offset, int count, const DatatypePtr& type, int root,
-                           const NodeTopology& topo) const {
-  world_->counters().add(prof::Ctr::HierarchicalColls);
-  (void)root;
-  if (topo.is_leader) {
-    // Inter-node binomial over the leaders, rooted at the root's node.
-    const int nodes = topo.node_count;
-    const int vnode = (topo.my_node - topo.root_node + nodes) % nodes;
+xdev::collbuf::Group* Intracomm::node_collbuf(const topo::View& view) const {
+  if (!hier_config_.singlecopy) return nullptr;
+  const int members = static_cast<int>(view.node_members.size());
+  if (members < 2 || members > xdev::collbuf::kMaxMembers) return nullptr;
+  std::lock_guard<std::mutex> lock(collbuf_mu_);
+  if (!collbuf_) {
+    // The segment name must be identical on every member and unique per
+    // communicator: key it by the fixed lowest member's process identity
+    // (stable across re-rooting) and the collective context.
+    const int creator_rank = view.node_members.front();
+    const std::uint64_t creator_pid =
+        engine().pid_of(group_.world_rank(creator_rank)).value;
+    const std::string name = "/mpcx_coll_" + std::to_string(creator_pid) + "_" +
+                             std::to_string(coll_context_);
+    // Open failures propagate: a member silently falling back to p2p while
+    // the rest of its group waits on the shared buffer would deadlock.
+    collbuf_ = std::make_unique<xdev::collbuf::Group>(name, view.node_member_idx, members,
+                                                      Rank() == creator_rank);
+    // A member that dies mid-collective never publishes, so the buffer wait
+    // would only ever hit the coarse timeout backstop. Surface the failure
+    // detector's verdict instead, as the p2p path does.
+    std::vector<int> member_worlds;
+    member_worlds.reserve(view.node_members.size());
+    for (int r : view.node_members) member_worlds.push_back(group_.world_rank(r));
+    collbuf_->set_abort_check([this, member_worlds = std::move(member_worlds)] {
+      const std::vector<int> failed = world_->failed_ranks();
+      if (failed.empty()) return;
+      for (int wr : member_worlds) {
+        if (std::find(failed.begin(), failed.end(), wr) != failed.end()) {
+          throw CommError("collbuf: node-group member (world rank " + std::to_string(wr) +
+                              ") failed mid-collective",
+                          ErrCode::ProcFailed);
+        }
+      }
+    });
+  }
+  return collbuf_.get();
+}
+
+void Intracomm::exchange_bcast(const topo::Exchange& ex, int tag, void* buf, int offset,
+                               int count, const DatatypePtr& type) const {
+  const int m = static_cast<int>(ex.peers.size());
+  if (m <= 1) return;
+  // Binomial among the peers, rotated so the exchange root is vrank 0.
+  const int vrank = (ex.my_vidx - ex.root_vidx + m) % m;
+  int mask = 1;
+  while (mask < m) {
+    if (vrank & mask) {
+      const int src = ex.peers[static_cast<std::size_t>(((vrank - mask) + ex.root_vidx) % m)];
+      ctx_recv(coll_context_, tag, buf, offset, count, type, src);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < m) {
+      const int dst = ex.peers[static_cast<std::size_t>(((vrank + mask) + ex.root_vidx) % m)];
+      ctx_send(coll_context_, tag, buf, offset, count, type, dst);
+    }
+    mask >>= 1;
+  }
+}
+
+void Intracomm::exchange_reduce(const topo::Exchange& ex, int tag, std::byte* acc,
+                                std::size_t bytes, std::size_t elements, buf::TypeCode code,
+                                const Op& op) const {
+  const int m = static_cast<int>(ex.peers.size());
+  if (m <= 1) return;
+  const DatatypePtr wire = types::BYTE();
+  if (op.is_commutative()) {
+    // Binomial fold toward the exchange root.
+    const int vrank = (ex.my_vidx - ex.root_vidx + m) % m;
+    std::vector<std::byte> incoming(bytes);
     int mask = 1;
-    while (mask < nodes) {
-      if (vnode & mask) {
-        const int src_node = ((vnode - mask) + topo.root_node) % nodes;
-        ctx_recv(coll_context_, coll_tag(CollTag::HierBcastInter), buf, offset, count, type,
-                 topo.leaders[static_cast<std::size_t>(src_node)]);
+    while (mask < m) {
+      if (vrank & mask) {
+        const int dst = ex.peers[static_cast<std::size_t>(((vrank - mask) + ex.root_vidx) % m)];
+        ctx_send(coll_context_, tag, acc, 0, static_cast<int>(bytes), wire, dst);
         break;
+      }
+      const int src_vrank = vrank + mask;
+      if (src_vrank < m) {
+        const int src = ex.peers[static_cast<std::size_t>((src_vrank + ex.root_vidx) % m)];
+        ctx_recv(coll_context_, tag, incoming.data(), 0, static_cast<int>(bytes), wire, src);
+        op.apply(code, incoming.data(), acc, elements);
       }
       mask <<= 1;
     }
-    mask >>= 1;
-    while (mask > 0) {
-      if (vnode + mask < nodes) {
-        const int dst_node = ((vnode + mask) + topo.root_node) % nodes;
-        ctx_send(coll_context_, coll_tag(CollTag::HierBcastInter), buf, offset, count, type,
-                 topo.leaders[static_cast<std::size_t>(dst_node)]);
-      }
-      mask >>= 1;
+    return;
+  }
+  // Non-commutative: ordered linear fold at the exchange root. Peers are in
+  // canonical group order (ascending lowest-member order on the contiguous
+  // layouts that gate this path), so folding v = 0..m-1 composes into the
+  // flat canonical rank-order fold.
+  if (ex.my_vidx != ex.root_vidx) {
+    ctx_send(coll_context_, tag, acc, 0, static_cast<int>(bytes), wire,
+             ex.peers[static_cast<std::size_t>(ex.root_vidx)]);
+    return;
+  }
+  std::vector<std::byte> incoming(bytes);
+  std::vector<std::byte> folded(bytes);
+  for (int v = 0; v < m; ++v) {
+    const std::byte* contribution;
+    if (v == ex.my_vidx) {
+      contribution = acc;
+    } else {
+      ctx_recv(coll_context_, tag, incoming.data(), 0, static_cast<int>(bytes), wire,
+               ex.peers[static_cast<std::size_t>(v)]);
+      contribution = incoming.data();
     }
-    // Intra-node fanout over the fast (shm) path.
-    for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-      ctx_send(coll_context_, coll_tag(CollTag::HierBcastIntra), buf, offset, count, type,
-               topo.my_members[i]);
+    if (v == 0) {
+      std::memcpy(folded.data(), contribution, bytes);
+    } else {
+      op.apply(code, contribution, folded.data(), elements);
     }
-  } else {
-    ctx_recv(coll_context_, coll_tag(CollTag::HierBcastIntra), buf, offset, count, type,
-             topo.my_leader);
+  }
+  std::memcpy(acc, folded.data(), bytes);
+}
+
+void Intracomm::hier_bcast(void* buf, int offset, int count, const DatatypePtr& type, int root,
+                           const topo::View& view) const {
+  (void)root;  // leadership is already root-aligned inside the view
+  world_->counters().add(prof::Ctr::HierarchicalColls);
+  world_->pvars().gauge_set(prof::Pv::TopoLevels,
+                            static_cast<std::uint64_t>(view.depth) + 1);
+  xdev::collbuf::Group* cb = collbuf_payload_ok(count, type) ? node_collbuf(view) : nullptr;
+  // Top-down: each exchange's root already holds the payload once the level
+  // above it has run. The single-copy buffer replaces every node-local
+  // exchange in one shot.
+  const int last = cb != nullptr ? view.node_exchange_begin : view.depth + 1;
+  for (int k = 0; k < last; ++k) {
+    const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+    if (ex.my_vidx < 0) continue;
+    exchange_bcast(ex, hier_tag(k, kPhaseDown), buf, offset, count, type);
+  }
+  if (cb != nullptr) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(count) * type->size_elements() * type->base_size();
+    cb->bcast(member_index(view.node_members, view.node_leader), mbyte(buf, offset, type),
+              bytes);
+    world_->counters().add(prof::Ctr::SinglecopyColls);
+    world_->counters().add(prof::Ctr::LevelLocalBytes, bytes);
   }
 }
 
 void Intracomm::hier_reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
                             int count, const DatatypePtr& type, const Op& op, int root,
-                            const NodeTopology& topo) const {
+                            const topo::View& view) const {
   world_->counters().add(prof::Ctr::HierarchicalColls);
+  world_->pvars().gauge_set(prof::Pv::TopoLevels,
+                            static_cast<std::uint64_t>(view.depth) + 1);
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
-  const std::size_t bytes = elements * type->base_size();
+  const std::size_t elsize = type->base_size();
+  const std::size_t bytes = elements * elsize;
   const buf::TypeCode code = type->base();
-  const DatatypePtr wire = types::BYTE();
 
-  std::vector<std::byte> acc(bytes);
-  std::memcpy(acc.data(), cbyte(sendbuf, sendoffset, type), bytes);
-
-  if (!topo.is_leader) {
-    ctx_send(coll_context_, coll_tag(CollTag::HierReduceIntra), acc.data(), 0,
-             static_cast<int>(bytes), wire, topo.my_leader);
+  // Fold directly in the receive buffer at the root; heap scratch elsewhere.
+  std::vector<std::byte> scratch;
+  std::byte* acc;
+  if (Rank() == root) {
+    acc = mbyte(recvbuf, recvoffset, type);
   } else {
-    // Fold the node's contributions first (shm path), then run the
-    // inter-node binomial among leaders, rooted at the root's node.
-    std::vector<std::byte> incoming(bytes);
-    for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-      ctx_recv(coll_context_, coll_tag(CollTag::HierReduceIntra), incoming.data(), 0,
-               static_cast<int>(bytes), wire, topo.my_members[i]);
-      op.apply(code, incoming.data(), acc.data(), elements);
-    }
-    const int nodes = topo.node_count;
-    const int vnode = (topo.my_node - topo.root_node + nodes) % nodes;
-    int mask = 1;
-    while (mask < nodes) {
-      if (vnode & mask) {
-        const int dst_node = ((vnode - mask) + topo.root_node) % nodes;
-        ctx_send(coll_context_, coll_tag(CollTag::HierReduceInter), acc.data(), 0,
-                 static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(dst_node)]);
-        break;
-      }
-      const int src_vnode = vnode + mask;
-      if (src_vnode < nodes) {
-        const int src_node = (src_vnode + topo.root_node) % nodes;
-        ctx_recv(coll_context_, coll_tag(CollTag::HierReduceInter), incoming.data(), 0,
-                 static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(src_node)]);
-        op.apply(code, incoming.data(), acc.data(), elements);
-      }
-      mask <<= 1;
-    }
+    scratch.resize(bytes);
+    acc = scratch.data();
   }
-  if (Rank() == root) std::memcpy(mbyte(recvbuf, recvoffset, type), acc.data(), bytes);
+  std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
+
+  xdev::collbuf::Group* cb = collbuf_payload_ok(count, type) ? node_collbuf(view) : nullptr;
+  int deepest = view.depth;
+  if (cb != nullptr) {
+    // The buffer fold may overwrite `acc` before consuming our contribution,
+    // so an aliasing send/recv pair needs a stable copy of the contribution.
+    const std::byte* contrib = cbyte(sendbuf, sendoffset, type);
+    std::vector<std::byte> own_copy;
+    if (contrib == acc) {
+      own_copy.assign(contrib, contrib + bytes);
+      contrib = own_copy.data();
+    }
+    cb->reduce(member_index(view.node_members, view.node_leader), contrib, acc, bytes, elsize,
+               [&](const std::byte* src, std::byte* dst, std::size_t len) {
+                 op.apply(code, src, dst, len / elsize);
+               });
+    world_->counters().add(prof::Ctr::SinglecopyColls);
+    world_->counters().add(prof::Ctr::LevelLocalBytes, bytes);
+    deepest = view.node_exchange_begin - 1;
+  }
+  // Bottom-up: fold each level into its exchange root; only the levels the
+  // single-copy buffer did not already cover remain.
+  for (int k = deepest; k >= 0; --k) {
+    const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+    if (ex.my_vidx < 0) continue;
+    exchange_reduce(ex, hier_tag(k, kPhaseUp), acc, bytes, elements, code, op);
+  }
 }
 
-void Intracomm::hier_allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
-                               int count, const DatatypePtr& type, const Op& op,
-                               const NodeTopology& topo) const {
+void Intracomm::hier_allreduce(const void* sendbuf, int sendoffset, void* recvbuf,
+                               int recvoffset, int count, const DatatypePtr& type, const Op& op,
+                               const topo::View& view) const {
   world_->counters().add(prof::Ctr::HierarchicalColls);
+  world_->pvars().gauge_set(prof::Pv::TopoLevels,
+                            static_cast<std::uint64_t>(view.depth) + 1);
   const std::size_t elements = static_cast<std::size_t>(count) * type->size_elements();
-  const std::size_t bytes = elements * type->base_size();
+  const std::size_t elsize = type->base_size();
+  const std::size_t bytes = elements * elsize;
   const buf::TypeCode code = type->base();
   const DatatypePtr wire = types::BYTE();
 
   std::byte* acc = mbyte(recvbuf, recvoffset, type);
   std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
 
-  if (!topo.is_leader) {
-    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceIntra), acc, 0,
-             static_cast<int>(bytes), wire, topo.my_leader);
-    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceFan), acc, 0, static_cast<int>(bytes),
-             wire, topo.my_leader);
-    return;
-  }
+  xdev::collbuf::Group* cb = collbuf_payload_ok(count, type) ? node_collbuf(view) : nullptr;
+  const int collector =
+      cb != nullptr ? member_index(view.node_members, view.node_leader) : 0;
 
-  std::vector<std::byte> incoming(bytes);
-  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceIntra), incoming.data(), 0,
-             static_cast<int>(bytes), wire, topo.my_members[i]);
-    op.apply(code, incoming.data(), acc, elements);
-  }
-
-  const int nodes = topo.node_count;
-  if ((nodes & (nodes - 1)) == 0) {
-    // Recursive doubling over the leaders (both directions concurrent).
-    for (int mask = 1; mask < nodes; mask <<= 1) {
-      const int partner = topo.leaders[static_cast<std::size_t>(topo.my_node ^ mask)];
-      Request send = ctx_isend(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
-                               static_cast<int>(bytes), wire, partner);
-      ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), incoming.data(), 0,
-               static_cast<int>(bytes), wire, partner);
-      send.Wait();
-      op.apply(code, incoming.data(), acc, elements);
+  // Up pass: fold every level below the top exchange into its root.
+  if (cb != nullptr) {
+    // Stable contribution copy when the caller aliases send/recv (the fold
+    // may overwrite `acc` before our own contribution is consumed).
+    const std::byte* contrib = cbyte(sendbuf, sendoffset, type);
+    std::vector<std::byte> own_copy;
+    if (contrib == acc) {
+      own_copy.assign(contrib, contrib + bytes);
+      contrib = own_copy.data();
     }
-  } else if (topo.my_node == 0) {
-    // Odd node counts: linear fold at node 0's leader, then fan back out
-    // (node counts are small, so the serial cost is bounded).
-    for (int nd = 1; nd < nodes; ++nd) {
-      ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), incoming.data(), 0,
-               static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(nd)]);
-      op.apply(code, incoming.data(), acc, elements);
-    }
-    for (int nd = 1; nd < nodes; ++nd) {
-      ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
-               static_cast<int>(bytes), wire, topo.leaders[static_cast<std::size_t>(nd)]);
-    }
+    cb->reduce(collector, contrib, acc, bytes, elsize,
+               [&](const std::byte* src, std::byte* dst, std::size_t len) {
+                 op.apply(code, src, dst, len / elsize);
+               });
+    world_->counters().add(prof::Ctr::SinglecopyColls);
+    world_->counters().add(prof::Ctr::LevelLocalBytes, bytes);
   } else {
-    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
-             static_cast<int>(bytes), wire, topo.leaders[0]);
-    ctx_recv(coll_context_, coll_tag(CollTag::HierAllreduceInter), acc, 0,
-             static_cast<int>(bytes), wire, topo.leaders[0]);
+    for (int k = view.depth; k >= 1; --k) {
+      const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+      if (ex.my_vidx < 0) continue;
+      exchange_reduce(ex, hier_tag(k, kPhaseUp), acc, bytes, elements, code, op);
+    }
   }
 
-  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-    ctx_send(coll_context_, coll_tag(CollTag::HierAllreduceFan), acc, 0, static_cast<int>(bytes),
-             wire, topo.my_members[i]);
+  // Top exchange: all-reduce among the top-level leaders. The algorithm is
+  // chosen from this exchange's own peer count — every participant of the
+  // exchange sees the same m, so one level never mixes algorithms.
+  if (cb == nullptr || view.node_exchange_begin > 0) {
+    const topo::Exchange& top = view.exchanges.front();
+    const int m = static_cast<int>(top.peers.size());
+    if (top.my_vidx >= 0 && m > 1) {
+      if (op.is_commutative() && (m & (m - 1)) == 0) {
+        // Recursive doubling on the exchange's virtual indices.
+        std::vector<std::byte> incoming(bytes);
+        for (int mask = 1; mask < m; mask <<= 1) {
+          const int partner = top.peers[static_cast<std::size_t>(top.my_vidx ^ mask)];
+          Request send = ctx_isend(coll_context_, hier_tag(0, kPhaseUp), acc, 0,
+                                   static_cast<int>(bytes), wire, partner);
+          ctx_recv(coll_context_, hier_tag(0, kPhaseUp), incoming.data(), 0,
+                   static_cast<int>(bytes), wire, partner);
+          send.Wait();
+          op.apply(code, incoming.data(), acc, elements);
+        }
+      } else {
+        exchange_reduce(top, hier_tag(0, kPhaseUp), acc, bytes, elements, code, op);
+        exchange_bcast(top, hier_tag(0, kPhaseDown), acc, 0, static_cast<int>(bytes), wire);
+      }
+    }
+  }
+
+  // Down pass: the mirrored broadcast of the result.
+  if (cb != nullptr) {
+    cb->bcast(collector, acc, bytes);
+    world_->counters().add(prof::Ctr::LevelLocalBytes, bytes);
+  } else {
+    for (int k = 1; k <= view.depth; ++k) {
+      const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+      if (ex.my_vidx < 0) continue;
+      exchange_bcast(ex, hier_tag(k, kPhaseDown), acc, 0, static_cast<int>(bytes), wire);
+    }
   }
 }
 
-void Intracomm::hier_barrier(const NodeTopology& topo) const {
+void Intracomm::hier_barrier(const topo::View& view) const {
   world_->counters().add(prof::Ctr::HierarchicalColls);
+  world_->pvars().gauge_set(prof::Pv::TopoLevels,
+                            static_cast<std::uint64_t>(view.depth) + 1);
   std::uint8_t outgoing = 1;
   std::uint8_t incoming = 0;
-  if (!topo.is_leader) {
-    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierGather), &outgoing, 0, 1, types::BYTE(),
-             topo.my_leader);
-    ctx_recv(coll_context_, coll_tag(CollTag::HierBarrierRelease), &incoming, 0, 1, types::BYTE(),
-             topo.my_leader);
-    return;
+  const DatatypePtr wire = types::BYTE();
+  // Gather up: every exchange root absorbs one token per peer, so by the
+  // time the top exchange's root has all of them every rank has arrived.
+  for (int k = view.depth; k >= 0; --k) {
+    const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+    const int m = static_cast<int>(ex.peers.size());
+    if (ex.my_vidx < 0 || m <= 1) continue;
+    if (ex.my_vidx == ex.root_vidx) {
+      for (int v = 0; v < m; ++v) {
+        if (v == ex.root_vidx) continue;
+        ctx_recv(coll_context_, hier_tag(k, kPhaseUp), &incoming, 0, 1, wire,
+                 ex.peers[static_cast<std::size_t>(v)]);
+      }
+    } else {
+      ctx_send(coll_context_, hier_tag(k, kPhaseUp), &outgoing, 0, 1, wire,
+               ex.peers[static_cast<std::size_t>(ex.root_vidx)]);
+    }
   }
-  // Collect the node, disseminate among leaders, release the node.
-  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-    ctx_recv(coll_context_, coll_tag(CollTag::HierBarrierGather), &incoming, 0, 1, types::BYTE(),
-             topo.my_members[i]);
-  }
-  const int nodes = topo.node_count;
-  for (int k = 1; k < nodes; k <<= 1) {
-    const int to = topo.leaders[static_cast<std::size_t>((topo.my_node + k) % nodes)];
-    const int from = topo.leaders[static_cast<std::size_t>((topo.my_node - k + nodes) % nodes)];
-    Request recv = ctx_irecv(coll_context_, coll_tag(CollTag::HierBarrierInter), &incoming, 0, 1,
-                             types::BYTE(), from);
-    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierInter), &outgoing, 0, 1, types::BYTE(),
-             to);
-    recv.Wait();
-  }
-  for (std::size_t i = 1; i < topo.my_members.size(); ++i) {
-    ctx_send(coll_context_, coll_tag(CollTag::HierBarrierRelease), &outgoing, 0, 1, types::BYTE(),
-             topo.my_members[i]);
+  // Release down: the mirror image.
+  for (int k = 0; k <= view.depth; ++k) {
+    const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+    const int m = static_cast<int>(ex.peers.size());
+    if (ex.my_vidx < 0 || m <= 1) continue;
+    if (ex.my_vidx == ex.root_vidx) {
+      for (int v = 0; v < m; ++v) {
+        if (v == ex.root_vidx) continue;
+        ctx_send(coll_context_, hier_tag(k, kPhaseDown), &outgoing, 0, 1, wire,
+                 ex.peers[static_cast<std::size_t>(v)]);
+      }
+    } else {
+      ctx_recv(coll_context_, hier_tag(k, kPhaseDown), &incoming, 0, 1, wire,
+               ex.peers[static_cast<std::size_t>(ex.root_vidx)]);
+    }
   }
 }
 

@@ -18,10 +18,15 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/comm.hpp"
 #include "core/op.hpp"
+
+namespace mpcx::xdev::collbuf {
+class Group;
+}  // namespace mpcx::xdev::collbuf
 
 namespace mpcx {
 
@@ -31,8 +36,10 @@ class Intercomm;
 
 class Intracomm : public Comm {
  public:
-  Intracomm(World* world, Group group, int ptp_context, int coll_context)
-      : Comm(world, std::move(group), ptp_context, coll_context) {}
+  // Both out of line: collbuf::Group is incomplete here, and the collbuf_
+  // member's deleter must only be instantiated where it is complete.
+  Intracomm(World* world, Group group, int ptp_context, int coll_context);
+  ~Intracomm();
 
   // ---- collectives ------------------------------------------------------------
 
@@ -96,8 +103,9 @@ class Intracomm : public Comm {
   // ---- nonblocking collectives (schedule engine, see coll_sched.hpp) ----------
   //
   // Each I* call compiles its algorithm (the same shapes as the blocking
-  // versions, including the two-level hierarchical variants when the comm
-  // spans nodes) into a CollState round DAG and returns an ordinary Request
+  // versions, including the n-level hierarchical variants when the comm
+  // spans nodes or MPCX_TOPO supplies virtual levels) into a CollState
+  // round DAG and returns an ordinary Request
   // that composes with Wait/Test/Waitall/Waitany. Buffers follow MPI's
   // nonblocking contract: untouched until the request completes. Datatypes
   // must be memory-contiguous (the schedule moves raw byte spans).
@@ -185,44 +193,55 @@ class Intracomm : public Comm {
   /// directly on user arrays.
   static void require_contiguous(const DatatypePtr& type, const char* op);
 
-  // ---- hierarchical (two-level) collectives -----------------------------------
+  // ---- hierarchical (n-level) collectives -------------------------------------
   //
-  // When a communicator spans more than one node, Bcast / Reduce / Allreduce
-  // / Barrier run in two levels: an inter-node exchange among one leader per
-  // node, and an intra-node fanout/fanin within each node. Disabled with
-  // MPCX_HIER_COLLS=0 (checked per call). Everything is plain point-to-point
-  // on coll_context_ with reserved CollTag::Hier* tags — no sub-communicator
-  // construction, so the paths stay cheap and reentrant.
+  // When a communicator spans more than one node — or MPCX_TOPO defines a
+  // virtual locality tree — Bcast / Reduce / Allreduce / Barrier walk the
+  // tree's exchanges (core/topo.hpp): top-down per-exchange binomials for
+  // broadcast, bottom-up folds for reduction (ordered linear folds for
+  // non-commutative ops on contiguous layouts), and a per-exchange
+  // recursive-doubling or reduce+bcast top step for allreduce. The node-
+  // local portion moves through the single-copy shared buffer
+  // (xdev/collbuf.hpp) when MPCX_SINGLECOPY allows it; everything else is
+  // plain point-to-point on coll_context_ with per-level reserved tags
+  // (kHierLevelTagBase) — no sub-communicator construction, so the paths
+  // stay cheap and reentrant. The hierarchy knobs are cached on the
+  // communicator at construction (Comm::refresh_hier_config re-reads them).
 
-  /// Per-call map of the communicator onto nodes. `root` (a comm rank)
-  /// becomes its node's leader so rooted collectives start/end at the root
-  /// without an extra hop; pass -1 for rootless collectives (lowest comm
-  /// rank per node leads).
-  struct NodeTopology {
-    std::vector<int> leaders;     ///< node index -> leader comm rank
-    std::vector<int> my_members;  ///< comm ranks on my node, leader first
-    int node_count = 1;
-    int my_node = 0;
-    int my_leader = 0;
-    int root_node = 0;  ///< node of the rooted collective's root (0 if rootless)
-    bool is_leader = false;
-  };
-  NodeTopology node_topology(int root) const;
+  /// Per-call view of the locality tree (leaders re-rooted at `root`; -1
+  /// for rootless collectives).
+  topo::View hier_topology(int root) const;
 
-  /// True when this call should take the two-level path: >1 rank, spanning
-  /// >1 node, and MPCX_HIER_COLLS != 0 (env read per call — benchmarks flip
-  /// it between phases).
+  /// Cheap pre-check: >1 rank, knob not off, and either the communicator
+  /// spans >1 engine node or MPCX_TOPO supplies virtual levels. The hier
+  /// paths additionally require hier_topology() to yield depth > 0.
   bool hierarchy_enabled() const;
 
+  /// The single-copy buffer shared by this communicator's node group, or
+  /// nullptr when MPCX_SINGLECOPY=0 / the group is too small or too large.
+  /// Lazily opened on the first eligible collective (a collective call, so
+  /// every member arrives). The eligibility decision is a pure function of
+  /// per-communicator state every member shares — a split decision across
+  /// members of one node group would deadlock the protocol.
+  xdev::collbuf::Group* node_collbuf(const topo::View& view) const;
+
   void hier_bcast(void* buf, int offset, int count, const DatatypePtr& type, int root,
-                  const NodeTopology& topo) const;
+                  const topo::View& view) const;
   void hier_reduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset, int count,
                    const DatatypePtr& type, const Op& op, int root,
-                   const NodeTopology& topo) const;
+                   const topo::View& view) const;
   void hier_allreduce(const void* sendbuf, int sendoffset, void* recvbuf, int recvoffset,
                       int count, const DatatypePtr& type, const Op& op,
-                      const NodeTopology& topo) const;
-  void hier_barrier(const NodeTopology& topo) const;
+                      const topo::View& view) const;
+  void hier_barrier(const topo::View& view) const;
+
+  /// One exchange's binomial broadcast / reduction legs (reduction falls
+  /// back to an ordered linear fold at the exchange root for
+  /// non-commutative operations).
+  void exchange_bcast(const topo::Exchange& ex, int tag, void* buf, int offset, int count,
+                      const DatatypePtr& type) const;
+  void exchange_reduce(const topo::Exchange& ex, int tag, std::byte* acc, std::size_t bytes,
+                       std::size_t elements, buf::TypeCode code, const Op& op) const;
 
   /// Seal a compiled schedule, wrap it in a Request, and (if it has wire
   /// work) register it with the World for progression-from-any-thread.
@@ -240,6 +259,12 @@ class Intracomm : public Comm {
 
   void ft_send_u64(int world_rank, CollTag tag, std::uint64_t value) const;
   std::uint64_t ft_recv_u64(int world_rank, CollTag tag) const;
+
+ private:
+  // Lazily opened single-copy collective buffer for this communicator's
+  // node group (see node_collbuf). Mutable: collectives are const.
+  mutable std::mutex collbuf_mu_;
+  mutable std::unique_ptr<xdev::collbuf::Group> collbuf_;
 };
 
 }  // namespace mpcx

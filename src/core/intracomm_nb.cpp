@@ -4,9 +4,11 @@
 // The round compilers below mirror the blocking algorithms in intracomm.cpp
 // (binomial bcast/reduce, recursive-doubling allreduce, dissemination
 // barrier, ring allgather, linear gather) but are generalized over an
-// explicit participant list so the same compiler builds both the flat
-// schedule (participants = every comm rank) and the inter-node leg of the
-// two-level hierarchical schedule (participants = one leader per node).
+// explicit participant list so one compiler builds both the flat schedule
+// (participants = every comm rank) and each exchange of the n-level
+// hierarchical schedule (participants = that exchange's peers — one group
+// leader per sibling group, or the deepest group's members at the leaf;
+// see core/topo.hpp).
 //
 // Tag discipline: every call draws one sequence number from the comm's
 // nb_coll_seq_. MPI requires collectives to be issued in the same order on
@@ -55,6 +57,13 @@ struct NbTags {
   int intra;
   int inter;
   int extra;
+
+  /// Per-exchange-level tag pair for the n-level hierarchical schedules
+  /// (up = reduction/gather direction, down = broadcast/release). With
+  /// kMaxTopoLevels levels plus the leaf exchange, 5 + 2*(kMaxTopoLevels+1)
+  /// = 23 phases fit the kNbCollPhases = 32 stride.
+  int level_up(int level) const { return main - 5 - 2 * level; }
+  int level_down(int level) const { return main - 5 - 2 * level - 1; }
 };
 
 NbTags make_tags(std::uint32_t sid) {
@@ -213,35 +222,52 @@ Request Intracomm::Ibarrier() const {
   const int n = Size();
   const NbTags tags = make_tags(nb_coll_seq_.fetch_add(1, std::memory_order_relaxed));
   auto st = std::make_shared<CollState>(this, "Ibarrier", std::nullopt);
-  if (n > 1) {
-    if (hierarchy_enabled()) {
+  bool scheduled = false;
+  if (n > 1 && hierarchy_enabled()) {
+    const topo::View view = hier_topology(-1);
+    if (view.depth > 0) {
       world_->counters().add(prof::Ctr::HierarchicalColls);
-      const NodeTopology topo = node_topology(-1);
-      if (!topo.is_leader) {
-        std::byte* token = st->scratch(2);
-        token[0] = std::byte{1};
-        st->add_send(st->add_round(), topo.my_leader, tags.intra, token, 1);
-        st->add_recv(st->add_round(), topo.my_leader, tags.fan, token + 1, 1);
-      } else {
-        if (topo.my_members.size() > 1) {
+      // Gather up (each exchange root absorbs one token per peer), then the
+      // mirrored release down — the same shape as the blocking hier_barrier.
+      std::byte* token = st->scratch(2);
+      token[0] = std::byte{1};
+      for (int k = view.depth; k >= 0; --k) {
+        const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+        const int m = static_cast<int>(ex.peers.size());
+        if (ex.my_vidx < 0 || m <= 1) continue;
+        if (ex.my_vidx == ex.root_vidx) {
           CollState::Round& gather = st->add_round();
-          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-            st->add_recv(gather, topo.my_members[m], tags.intra, st->scratch(1), 1);
+          for (int v = 0; v < m; ++v) {
+            if (v == ex.root_vidx) continue;
+            st->add_recv(gather, ex.peers[static_cast<std::size_t>(v)], tags.level_up(k),
+                         st->scratch(1), 1);
           }
-        }
-        barrier_rounds(*st, topo.leaders, topo.my_node, tags.inter);
-        if (topo.my_members.size() > 1) {
-          CollState::Round& release = st->add_round();
-          std::byte* token = st->scratch(1);
-          token[0] = std::byte{1};
-          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-            st->add_send(release, topo.my_members[m], tags.fan, token, 1);
-          }
+        } else {
+          st->add_send(st->add_round(), ex.peers[static_cast<std::size_t>(ex.root_vidx)],
+                       tags.level_up(k), token, 1);
         }
       }
-    } else {
-      barrier_rounds(*st, all_ranks(n), Rank(), tags.main);
+      for (int k = 0; k <= view.depth; ++k) {
+        const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+        const int m = static_cast<int>(ex.peers.size());
+        if (ex.my_vidx < 0 || m <= 1) continue;
+        if (ex.my_vidx == ex.root_vidx) {
+          CollState::Round& release = st->add_round();
+          for (int v = 0; v < m; ++v) {
+            if (v == ex.root_vidx) continue;
+            st->add_send(release, ex.peers[static_cast<std::size_t>(v)], tags.level_down(k),
+                         token, 1);
+          }
+        } else {
+          st->add_recv(st->add_round(), ex.peers[static_cast<std::size_t>(ex.root_vidx)],
+                       tags.level_down(k), token + 1, 1);
+        }
+      }
+      scheduled = true;
     }
+  }
+  if (n > 1 && !scheduled) {
+    barrier_rounds(*st, all_ranks(n), Rank(), tags.main);
   }
   return launch_nb(std::move(st));
 }
@@ -260,21 +286,23 @@ Request Intracomm::Ibcast(void* buf, int offset, int count, const DatatypePtr& t
   if (n > 1 && count > 0) {
     const std::size_t bytes = static_cast<std::size_t>(count) * type->size_bytes();
     std::byte* base = mbyte(buf, offset, type);
+    bool scheduled = false;
     if (hierarchy_enabled()) {
-      world_->counters().add(prof::Ctr::HierarchicalColls);
-      const NodeTopology topo = node_topology(root);
-      if (!topo.is_leader) {
-        st->add_recv(st->add_round(), topo.my_leader, tags.intra, base, bytes);
-      } else {
-        bcast_rounds(*st, topo.leaders, topo.root_node, topo.my_node, tags.inter, base, bytes);
-        if (topo.my_members.size() > 1) {
-          CollState::Round& fan = st->add_round();
-          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-            st->add_send(fan, topo.my_members[m], tags.intra, base, bytes);
-          }
+      const topo::View view = hier_topology(root);
+      if (view.depth > 0) {
+        world_->counters().add(prof::Ctr::HierarchicalColls);
+        // Top-down: each exchange's root holds the payload once the level
+        // above has run, so chaining the per-exchange binomials in order
+        // yields a correct n-level schedule.
+        for (int k = 0; k <= view.depth; ++k) {
+          const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+          if (ex.my_vidx < 0) continue;
+          bcast_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_down(k), base, bytes);
         }
+        scheduled = true;
       }
-    } else {
+    }
+    if (!scheduled) {
       bcast_rounds(*st, all_ranks(n), root, Rank(), tags.main, base, bytes);
     }
   }
@@ -298,35 +326,62 @@ Request Intracomm::Ireduce(const void* sendbuf, int sendoffset, void* recvbuf, i
     const std::size_t bytes = elements * type->base_size();
     const buf::TypeCode code = type->base();
     const std::byte* own = cbyte(sendbuf, sendoffset, type);
+    bool scheduled = false;
     if (n == 1) {
       std::memcpy(mbyte(recvbuf, recvoffset, type), own, bytes);
-    } else if (op.is_commutative() && hierarchy_enabled()) {
-      world_->counters().add(prof::Ctr::HierarchicalColls);
-      const NodeTopology topo = node_topology(root);
-      if (!topo.is_leader) {
-        st->add_send(st->add_round(), topo.my_leader, tags.intra, own, bytes);
-      } else {
-        std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
-        std::memcpy(acc, own, bytes);
-        if (topo.my_members.size() > 1) {
-          CollState::Round& gather = st->add_round();
-          for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-            std::byte* incoming = st->scratch(bytes);
-            st->add_recv(gather, topo.my_members[m], tags.intra, incoming, bytes);
-            st->add_reduce(gather, incoming, acc, elements, code);
+      scheduled = true;
+    } else if (hierarchy_enabled()) {
+      const topo::View view = hier_topology(root);
+      // Non-commutative ops ride the hierarchy only on contiguous layouts
+      // (per-level ordered folds then compose to the canonical rank order).
+      if (view.depth > 0 && (op.is_commutative() || view.contiguous)) {
+        world_->counters().add(prof::Ctr::HierarchicalColls);
+        if (op.is_commutative()) {
+          // Bottom-up: fold each level into its exchange root on `acc`.
+          std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
+          std::memcpy(acc, own, bytes);
+          for (int k = view.depth; k >= 0; --k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0) continue;
+            reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k), acc, bytes,
+                          elements, code);
+          }
+        } else {
+          // Ordered chain: each exchange root folds its peers' partials (in
+          // canonical order) into fresh scratch, which becomes its own
+          // contribution one level up. The comm root's final partial lands
+          // in recvbuf via a local copy round.
+          const std::byte* cur = own;
+          for (int k = view.depth; k >= 0; --k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0 || ex.peers.size() <= 1) continue;
+            if (ex.my_vidx != ex.root_vidx) {
+              linear_reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k),
+                                   nullptr, cur, bytes, elements, code);
+              continue;
+            }
+            std::byte* folded = st->scratch(bytes);
+            linear_reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k),
+                                 folded, cur, bytes, elements, code);
+            cur = folded;
+          }
+          if (rank == root) {
+            st->add_copy(st->add_round(), cur, mbyte(recvbuf, recvoffset, type), bytes);
           }
         }
-        reduce_rounds(*st, topo.leaders, topo.root_node, topo.my_node, tags.inter, acc, bytes,
-                      elements, code);
+        scheduled = true;
       }
-    } else if (op.is_commutative()) {
-      std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
-      std::memcpy(acc, own, bytes);
-      reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, bytes, elements, code);
-    } else {
-      std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : nullptr;
-      linear_reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, own, bytes, elements,
-                           code);
+    }
+    if (!scheduled) {
+      if (op.is_commutative()) {
+        std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : st->scratch(bytes);
+        std::memcpy(acc, own, bytes);
+        reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, bytes, elements, code);
+      } else {
+        std::byte* acc = rank == root ? mbyte(recvbuf, recvoffset, type) : nullptr;
+        linear_reduce_rounds(*st, all_ranks(n), root, rank, tags.main, acc, own, bytes, elements,
+                             code);
+      }
     }
   }
   return launch_nb(std::move(st));
@@ -347,40 +402,75 @@ Request Intracomm::Iallreduce(const void* sendbuf, int sendoffset, void* recvbuf
     const buf::TypeCode code = type->base();
     std::byte* acc = mbyte(recvbuf, recvoffset, type);
     std::memcpy(acc, cbyte(sendbuf, sendoffset, type), bytes);
-    if (n > 1) {
-      if (op.is_commutative() && hierarchy_enabled()) {
+    bool scheduled = false;
+    if (n > 1 && hierarchy_enabled()) {
+      const topo::View view = hier_topology(-1);
+      if (view.depth > 0 && (op.is_commutative() || view.contiguous)) {
         world_->counters().add(prof::Ctr::HierarchicalColls);
-        const NodeTopology topo = node_topology(-1);
-        if (!topo.is_leader) {
-          // Contribute up, then receive the full result back.
-          st->add_send(st->add_round(), topo.my_leader, tags.intra, acc, bytes);
-          st->add_recv(st->add_round(), topo.my_leader, tags.fan, acc, bytes);
+        if (op.is_commutative()) {
+          // Up pass below the top exchange, rootless all-reduce at the top,
+          // mirrored broadcast back down. The top algorithm is chosen from
+          // the top exchange's own peer count, so one level never mixes
+          // recursive doubling with reduce+bcast.
+          for (int k = view.depth; k >= 1; --k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0) continue;
+            reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k), acc, bytes,
+                          elements, code);
+          }
+          const topo::Exchange& top = view.exchanges.front();
+          const int m = static_cast<int>(top.peers.size());
+          if (top.my_vidx >= 0 && m > 1) {
+            if ((m & (m - 1)) == 0) {
+              allreduce_rd_rounds(*st, top.peers, top.my_vidx, tags.level_up(0), acc, bytes,
+                                  elements, code);
+            } else {
+              reduce_rounds(*st, top.peers, top.root_vidx, top.my_vidx, tags.level_up(0), acc,
+                            bytes, elements, code);
+              bcast_rounds(*st, top.peers, top.root_vidx, top.my_vidx, tags.level_down(0), acc,
+                           bytes);
+            }
+          }
+          for (int k = 1; k <= view.depth; ++k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0) continue;
+            bcast_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_down(k), acc, bytes);
+          }
         } else {
-          if (topo.my_members.size() > 1) {
-            CollState::Round& gather = st->add_round();
-            for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-              std::byte* incoming = st->scratch(bytes);
-              st->add_recv(gather, topo.my_members[m], tags.intra, incoming, bytes);
-              st->add_reduce(gather, incoming, acc, elements, code);
+          // Ordered chain up (same as Ireduce), result at the top exchange's
+          // root, then the n-level broadcast back down through acc.
+          std::byte* own = st->scratch(bytes);
+          std::memcpy(own, acc, bytes);
+          const std::byte* cur = own;
+          bool top_root = true;
+          for (int k = view.depth; k >= 0; --k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0 || ex.peers.size() <= 1) continue;
+            if (ex.my_vidx != ex.root_vidx) {
+              linear_reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k),
+                                   nullptr, cur, bytes, elements, code);
+              top_root = false;
+              continue;
             }
+            std::byte* folded = st->scratch(bytes);
+            linear_reduce_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_up(k),
+                                 folded, cur, bytes, elements, code);
+            cur = folded;
           }
-          const int nodes = topo.node_count;
-          if (nodes > 1 && (nodes & (nodes - 1)) == 0) {
-            allreduce_rd_rounds(*st, topo.leaders, topo.my_node, tags.inter, acc, bytes, elements,
-                                code);
-          } else if (nodes > 1) {
-            reduce_rounds(*st, topo.leaders, 0, topo.my_node, tags.inter, acc, bytes, elements,
-                          code);
-            bcast_rounds(*st, topo.leaders, 0, topo.my_node, tags.extra, acc, bytes);
+          if (top_root) {
+            st->add_copy(st->add_round(), cur, acc, bytes);
           }
-          if (topo.my_members.size() > 1) {
-            CollState::Round& fan = st->add_round();
-            for (std::size_t m = 1; m < topo.my_members.size(); ++m) {
-              st->add_send(fan, topo.my_members[m], tags.fan, acc, bytes);
-            }
+          for (int k = 0; k <= view.depth; ++k) {
+            const topo::Exchange& ex = view.exchanges[static_cast<std::size_t>(k)];
+            if (ex.my_vidx < 0) continue;
+            bcast_rounds(*st, ex.peers, ex.root_vidx, ex.my_vidx, tags.level_down(k), acc, bytes);
           }
         }
-      } else if (op.is_commutative() && (n & (n - 1)) == 0) {
+        scheduled = true;
+      }
+    }
+    if (n > 1 && !scheduled) {
+      if (op.is_commutative() && (n & (n - 1)) == 0) {
         allreduce_rd_rounds(*st, all_ranks(n), rank, tags.main, acc, bytes, elements, code);
       } else if (op.is_commutative()) {
         reduce_rounds(*st, all_ranks(n), 0, rank, tags.main, acc, bytes, elements, code);

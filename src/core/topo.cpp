@@ -1,0 +1,186 @@
+#include "core/topo.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace mpcx::topo {
+
+TopoSpec parse_spec(const std::string& spec) {
+  TopoSpec out;
+  if (spec.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= token.size()) {
+      log::warn("MPCX_TOPO: malformed level '", token, "' in '", spec,
+                "' (want name:fanout) — ignoring the whole spec");
+      return TopoSpec{};
+    }
+    int fanout = 0;
+    for (std::size_t i = colon + 1; i < token.size(); ++i) {
+      const char c = token[i];
+      if (c < '0' || c > '9' || fanout > 100000) {
+        fanout = -1;
+        break;
+      }
+      fanout = fanout * 10 + (c - '0');
+    }
+    if (fanout < 1) {
+      log::warn("MPCX_TOPO: bad fanout in '", token, "' — ignoring the whole spec");
+      return TopoSpec{};
+    }
+    out.levels.push_back(LevelSpec{token.substr(0, colon), fanout});
+  }
+  return out;
+}
+
+namespace {
+
+int index_of(const std::vector<int>& v, int value) {
+  const auto it = std::find(v.begin(), v.end(), value);
+  return it == v.end() ? -1 : static_cast<int>(it - v.begin());
+}
+
+}  // namespace
+
+View build_view(int size, int my_rank, int root,
+                const std::vector<int>& engine_node_of, const TopoSpec& spec) {
+  View view;
+  if (size <= 1) return view;
+
+  // ---- grouping levels: [level][rank] -> dense group id ----------------
+  // Group ids are assigned in first-seen rank order, so id order == order
+  // of each group's first (lowest) member — the canonical fold order.
+  std::vector<std::vector<int>> group_of;
+  bool have_node_level = false;
+  if (engine_node_of.size() == static_cast<std::size_t>(size)) {
+    std::vector<int> dense(size);
+    std::unordered_map<int, int> ids;
+    for (int r = 0; r < size; ++r) {
+      const auto [it, inserted] =
+          ids.emplace(engine_node_of[r], static_cast<int>(ids.size()));
+      dense[r] = it->second;
+      (void)inserted;
+    }
+    if (ids.size() > 1) {
+      group_of.push_back(std::move(dense));
+      have_node_level = true;
+    }
+  }
+  for (const auto& level : spec.levels) {
+    if (static_cast<int>(group_of.size()) >= kMaxTopoLevels) break;
+    if (level.fanout <= 1) continue;
+    const std::vector<int>* parent = group_of.empty() ? nullptr : &group_of.back();
+    const int parent_groups =
+        parent ? 1 + *std::max_element(parent->begin(), parent->end()) : 1;
+    std::vector<int> parent_size(parent_groups, 0);
+    std::vector<int> pos(size);  // my index within my parent group's member list
+    for (int r = 0; r < size; ++r) {
+      const int p = parent ? (*parent)[r] : 0;
+      pos[r] = parent_size[p]++;
+    }
+    std::vector<int> next(size);
+    std::unordered_map<long long, int> key_to_id;
+    for (int r = 0; r < size; ++r) {
+      const int p = parent ? (*parent)[r] : 0;
+      const int block_size = (parent_size[p] + level.fanout - 1) / level.fanout;
+      const int block = pos[r] / block_size;
+      const long long key =
+          static_cast<long long>(p) * (level.fanout + 1) + block;
+      const auto [it, inserted] =
+          key_to_id.emplace(key, static_cast<int>(key_to_id.size()));
+      next[r] = it->second;
+      (void)inserted;
+    }
+    const int groups = static_cast<int>(key_to_id.size());
+    if (groups == parent_groups) continue;  // fanout split nothing
+    if (groups == size) break;  // all singletons — the level above already is the leaf
+    group_of.push_back(std::move(next));
+  }
+
+  const int depth = static_cast<int>(group_of.size());
+  view.depth = depth;
+  if (depth == 0) return view;
+
+  // ---- leaders (lowest member, re-rooted along the root's path) --------
+  std::vector<std::vector<int>> leaders(depth);
+  for (int k = 0; k < depth; ++k) {
+    const int groups = 1 + *std::max_element(group_of[k].begin(), group_of[k].end());
+    leaders[k].assign(groups, INT_MAX);
+    for (int r = 0; r < size; ++r) {
+      if (leaders[k][group_of[k][r]] == INT_MAX) leaders[k][group_of[k][r]] = r;
+    }
+    if (root >= 0) leaders[k][group_of[k][root]] = root;
+  }
+
+  // ---- contiguity ------------------------------------------------------
+  for (int k = 0; k < depth && view.contiguous; ++k) {
+    const int groups = static_cast<int>(leaders[k].size());
+    std::vector<int> lo(groups, INT_MAX), hi(groups, -1), count(groups, 0);
+    for (int r = 0; r < size; ++r) {
+      const int g = group_of[k][r];
+      lo[g] = std::min(lo[g], r);
+      hi[g] = std::max(hi[g], r);
+      ++count[g];
+    }
+    for (int g = 0; g < groups; ++g) {
+      if (hi[g] - lo[g] + 1 != count[g]) {
+        view.contiguous = false;
+        break;
+      }
+    }
+  }
+
+  // ---- exchanges -------------------------------------------------------
+  view.exchanges.resize(depth + 1);
+  for (int k = 0; k < depth; ++k) {
+    Exchange& ex = view.exchanges[k];
+    const int my_parent = k == 0 ? 0 : group_of[k - 1][my_rank];
+    const int groups = static_cast<int>(leaders[k].size());
+    for (int g = 0; g < groups; ++g) {
+      const int leader = leaders[k][g];
+      const int parent_of_g = k == 0 ? 0 : group_of[k - 1][leader];
+      if (parent_of_g == my_parent) ex.peers.push_back(leader);
+    }
+    ex.my_vidx = index_of(ex.peers, my_rank);
+    const int exchange_root =
+        k == 0 ? (root >= 0 ? root : ex.peers.front()) : leaders[k - 1][my_parent];
+    ex.root_vidx = index_of(ex.peers, exchange_root);
+  }
+  {
+    Exchange& leaf = view.exchanges[depth];
+    const int my_group = group_of[depth - 1][my_rank];
+    for (int r = 0; r < size; ++r) {
+      if (group_of[depth - 1][r] == my_group) leaf.peers.push_back(r);
+    }
+    leaf.my_vidx = index_of(leaf.peers, my_rank);
+    leaf.root_vidx = index_of(leaf.peers, leaders[depth - 1][my_group]);
+  }
+
+  // ---- single-copy sharing domain (the engine-node group) --------------
+  if (have_node_level) {
+    const int my_node = group_of[0][my_rank];
+    for (int r = 0; r < size; ++r) {
+      if (group_of[0][r] == my_node) view.node_members.push_back(r);
+    }
+    view.node_leader = leaders[0][my_node];
+    view.node_exchange_begin = 1;
+  } else {
+    view.node_members.resize(size);
+    for (int r = 0; r < size; ++r) view.node_members[r] = r;
+    view.node_leader = root >= 0 ? root : 0;
+    view.node_exchange_begin = 0;
+  }
+  view.node_member_idx = index_of(view.node_members, my_rank);
+  return view;
+}
+
+}  // namespace mpcx::topo

@@ -1,0 +1,101 @@
+// mpcx::topo — the n-level locality tree behind hierarchical collectives.
+//
+// PR 4's node-aware collectives knew exactly two levels: "my node" and
+// "everyone else". This module generalizes that into an arbitrary-depth
+// locality tree (node -> NUMA -> socket -> cache -> core) built from two
+// inputs:
+//
+//   * the engine's node map (real hosts, or MPCX_NODE_ID round-robin
+//     simulation) — always the top level when the communicator spans more
+//     than one node;
+//   * an MPCX_TOPO spec string describing the levels *inside* a node (or a
+//     fully virtual hierarchy when everything is on one node), XHC-style:
+//
+//       MPCX_TOPO=numa:2,cache:2        # each node splits into 2 NUMA
+//                                       # domains, each NUMA into 2 caches
+//
+//     Levels are listed top-first as `name:fanout` pairs. Each level splits
+//     every group of the level above into `fanout` contiguous blocks of
+//     communicator ranks (ceil-sized, like a block distribution). Names are
+//     documentation only; the fanouts define the tree.
+//
+// The per-rank view is a list of *exchanges*: depth-k exchange (k < depth)
+// runs among the leaders of the depth-k groups that share a depth-(k-1)
+// group, and the leaf exchange (k == depth) runs among all members of the
+// deepest group. Leadership is hierarchical — the lowest communicator rank
+// of a group leads it, except that a rooted collective re-roots every group
+// on the root's path at the root — so each rank has a minimal leadership
+// depth m: it participates in exchanges m..depth, receiving/contributing at
+// exchange m and acting as the exchange root at every deeper one. Walking
+// the exchanges top-down yields a broadcast schedule; bottom-up, a
+// reduction; both directions, a barrier or allreduce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mpcx::topo {
+
+/// One MPCX_TOPO level: split each group of the level above into `fanout`
+/// contiguous blocks. `name` is carried for diagnostics only.
+struct LevelSpec {
+  std::string name;
+  int fanout = 1;
+};
+
+/// A parsed MPCX_TOPO string. Empty levels => no virtual hierarchy.
+struct TopoSpec {
+  std::vector<LevelSpec> levels;
+  bool empty() const { return levels.empty(); }
+};
+
+/// Parse the `name:fanout,name:fanout,...` grammar. Malformed specs (bad
+/// fanout, missing colon) yield an empty spec — collectives fall back to
+/// the flat/engine-node behaviour rather than half-applying a topology.
+TopoSpec parse_spec(const std::string& spec);
+
+/// One exchange of the locality tree as seen by a single rank. `peers`
+/// holds communicator ranks in canonical group order (groups are numbered
+/// in first-seen rank order, so for contiguous layouts this is ascending
+/// lowest-member order — the order a non-commutative fold must follow).
+struct Exchange {
+  std::vector<int> peers;
+  int my_vidx = -1;   ///< my index in peers, or -1 when I do not participate
+  int root_vidx = 0;  ///< index of the exchange root (leader of the enclosing group)
+};
+
+/// The per-rank view of the whole tree. depth == number of grouping levels;
+/// exchanges has depth+1 entries (index depth is the leaf exchange among the
+/// deepest group's members). depth == 0 means "no hierarchy" — callers
+/// should take the flat path.
+struct View {
+  int depth = 0;
+  std::vector<Exchange> exchanges;
+
+  /// True when every group at every level is a contiguous communicator-rank
+  /// block. Ordered per-level folds are only canonical-order-equivalent to
+  /// the flat fold under contiguity, so non-commutative hierarchical
+  /// reductions are gated on this flag.
+  bool contiguous = true;
+
+  /// The engine-node group this rank belongs to (whole communicator when it
+  /// spans a single node): the sharing domain for single-copy collective
+  /// buffers. Members are in ascending rank order; the writer/collector for
+  /// a given collective is `node_leader` (root-aligned).
+  std::vector<int> node_members;
+  int node_leader = 0;       ///< comm rank of the node group's (root-aligned) leader
+  int node_member_idx = 0;   ///< my index within node_members
+  int node_exchange_begin = 0;  ///< first exchange level fully inside the node group
+};
+
+/// Build the per-rank view. `engine_node_of[r]` gives the engine node of
+/// communicator rank r (pass an empty vector when node identity is unknown
+/// or irrelevant); `spec` supplies the virtual levels below (or instead of)
+/// the node level; `root` re-roots leadership for rooted collectives (-1
+/// for rootless ones, which lead at the lowest rank of every group).
+View build_view(int size, int my_rank, int root,
+                const std::vector<int>& engine_node_of, const TopoSpec& spec);
+
+}  // namespace mpcx::topo

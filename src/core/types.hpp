@@ -43,8 +43,9 @@ enum class CollTag : int {
   Split = -19,
   Intercomm = -20,
   Merge = -21,
-  // Hierarchical (two-level) collectives: distinct tags per phase so the
-  // intra-node and inter-node rounds of one collective can never cross-match.
+  // Legacy two-level hierarchical-collective tags. Retired by the n-level
+  // scheme (kHierLevelTagBase below) but the values stay reserved so old
+  // and new builds sharing a wire never cross-match.
   HierBcastInter = -22,
   HierBcastIntra = -23,
   HierReduceIntra = -24,
@@ -66,15 +67,30 @@ enum class CollTag : int {
 
 inline constexpr int kMaxUserTag = 0x3FFFFFFF;
 
+/// N-level hierarchical (blocking) collective tag space. Each locality-tree
+/// exchange level derives kHierLevelPhases tags below kHierLevelTagBase, so
+/// the upward (reduce/gather), downward (bcast/release) and exchange
+/// (recursive-doubling) phases of adjacent levels can never cross-match.
+/// With kMaxTopoLevels levels plus the leaf exchange the space spans
+/// [-40, -40 - 4*(8+1)) = (-76, -40], comfortably above kNbCollTagBase.
+inline constexpr int kHierLevelTagBase = -40;
+inline constexpr int kHierLevelPhases = 4;
+
+/// Cap on locality-tree depth (engine node level + MPCX_TOPO spec levels).
+/// Extra spec levels beyond the cap are ignored.
+inline constexpr int kMaxTopoLevels = 8;
+
 /// Nonblocking-collective tag space (collective context). Each launched
 /// schedule draws a per-communicator sequence number and derives one tag per
 /// phase from it, so concurrent schedules on one communicator — and the
 /// intra-node / inter-node / fan-out rounds within one schedule — can never
 /// cross-match. The base sits far below every CollTag value and ANY_TAG; the
 /// window wraps after 2^20 in-flight-distinguishable schedules, which at
-/// kNbCollPhases tags each still stays comfortably above INT_MIN.
+/// kNbCollPhases tags each still stays comfortably above INT_MIN. The phase
+/// budget covers the five flat phases plus an up/down tag pair per locality
+/// level (5 + 2*(kMaxTopoLevels+1) = 23, rounded up to 32).
 inline constexpr int kNbCollTagBase = -1000;
-inline constexpr int kNbCollPhases = 8;
+inline constexpr int kNbCollPhases = 32;
 inline constexpr int kNbCollSeqWindow = 1 << 20;
 
 }  // namespace mpcx

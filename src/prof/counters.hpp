@@ -69,7 +69,9 @@ enum class Ctr : std::size_t {
   ChecksumFailures,    ///< frames rejected by CRC32C / magic / version checks
   HybIntraMsgs,        ///< hybdev sends/receives routed over the intra-node child
   HybInterMsgs,        ///< hybdev sends/receives routed over the inter-node child
-  HierarchicalColls,   ///< collectives that took the two-level node-aware path
+  HierarchicalColls,   ///< collectives that took the n-level topology-aware path
+  SinglecopyColls,     ///< collectives whose node-local leg used the shared single-copy buffer
+  LevelLocalBytes,     ///< payload bytes moved through the single-copy buffer (no device hop)
   NbCollsStarted,      ///< nonblocking collectives launched (Ibcast, Iallreduce, ...)
   NbCollsCompleted,    ///< nonblocking collectives finalized through their Request
   SchedRounds,         ///< collective-schedule rounds completed by the progress engine

@@ -79,6 +79,8 @@ const char* ctr_name(Ctr counter) {
     case Ctr::HybIntraMsgs: return "hybdev_intra_msgs";
     case Ctr::HybInterMsgs: return "hybdev_inter_msgs";
     case Ctr::HierarchicalColls: return "hierarchical_colls";
+    case Ctr::SinglecopyColls: return "singlecopy_colls";
+    case Ctr::LevelLocalBytes: return "level_local_bytes";
     case Ctr::NbCollsStarted: return "nb_colls_started";
     case Ctr::NbCollsCompleted: return "nb_colls_completed";
     case Ctr::SchedRounds: return "sched_rounds";

@@ -40,6 +40,8 @@ const PvInfo& pv_info(Pv v) {
        "unacked frame bytes held for replay (reliable tcpdev)"},
       {"open_connections", PvClass::Gauge,
        "write channels currently open (hwm = peak concurrent connections)"},
+      {"topo_levels", PvClass::Gauge,
+       "exchange levels of the last hierarchical collective (hwm = deepest)"},
       {"match_latency_ns", PvClass::Histogram, "receive post/arrival to match (ns)"},
       {"op_completion_ns", PvClass::Histogram, "request creation to completion (ns)"},
   };

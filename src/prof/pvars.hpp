@@ -54,6 +54,7 @@ enum class Pv : std::size_t {
   InflightScheds,   ///< gauge: nonblocking-collective schedules outstanding
   RetransmitBufferBytes,  ///< gauge: unacked frame bytes held for replay (reliable tcpdev)
   OpenConnections,  ///< gauge: write channels currently open (hwm = peak concurrent dials)
+  TopoLevels,       ///< gauge: exchange levels of the last hierarchical collective (hwm = deepest)
   MatchLatencyNs,   ///< histogram: receive post (or arrival) -> match
   OpCompletionNs,   ///< histogram: request creation -> completion
   Count

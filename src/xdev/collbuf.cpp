@@ -1,0 +1,243 @@
+#include "xdev/collbuf.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "prof/counters.hpp"
+#include "support/error.hpp"
+#include "support/faults.hpp"
+
+namespace mpcx::xdev::collbuf {
+namespace {
+
+constexpr std::uint32_t kMagicReady = 0x4D434C42;  // "MCLB"
+constexpr std::size_t kAlign = 64;
+
+constexpr std::size_t align_up(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+/// Control block at offset 0. pub counters get a cache line each (they are
+/// the hot handoff flags); the ack matrix follows unpadded.
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t members;
+};
+
+constexpr std::size_t pub_offset() { return kAlign; }
+std::size_t ack_offset(int members) {
+  return pub_offset() + static_cast<std::size_t>(members) * kAlign;
+}
+std::size_t data_offset(int members) {
+  return align_up(ack_offset(members) +
+                  static_cast<std::size_t>(members) * members * sizeof(std::uint64_t));
+}
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "collbuf flags must be lock-free to work across processes");
+static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+
+}  // namespace
+
+std::size_t segment_bytes(int member_count) {
+  return data_offset(member_count) + static_cast<std::size_t>(member_count) *
+                                         kSlotChunks * kChunkBytes;
+}
+
+Group::Group(const std::string& name, int my_index, int member_count, bool creator)
+    : my_(my_index), members_(member_count), mirror_(member_count, 0) {
+  if (member_count < 2 || member_count > kMaxMembers) {
+    throw DeviceError("collbuf: group size " + std::to_string(member_count) +
+                      " outside [2, " + std::to_string(kMaxMembers) + "]");
+  }
+  const std::size_t total = segment_bytes(member_count);
+  if (creator) {
+    mapping_ = shmmap::create(name, total, "collbuf");
+    // A fresh segment is zero-filled by ftruncate, so every pub/ack counter
+    // already reads version 0; only the header needs stores.
+    auto* header = static_cast<Header*>(mapping_.base());
+    header->members = static_cast<std::uint32_t>(member_count);
+    std::atomic_thread_fence(std::memory_order_release);
+    header->magic = kMagicReady;
+  } else {
+    mapping_ = shmmap::open_peer(name, total, -1, "collbuf");
+    const auto* header = static_cast<const Header*>(mapping_.base());
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(faults::connect_timeout_ms());
+    while (header->magic != kMagicReady) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw DeviceError("collbuf: segment never initialized: " + name);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (header->members != static_cast<std::uint32_t>(member_count)) {
+      throw DeviceError("collbuf: member-count mismatch on " + name);
+    }
+  }
+}
+
+std::size_t Group::chunk_payload(std::size_t align) const {
+  if (align <= 1) return kChunkBytes;
+  if (align > kChunkBytes) {
+    throw DeviceError("collbuf: element size " + std::to_string(align) +
+                      " exceeds the chunk size");
+  }
+  return kChunkBytes - kChunkBytes % align;
+}
+
+std::atomic<std::uint64_t>& Group::pub(int member) {
+  auto* base = static_cast<std::byte*>(mapping_.base());
+  return *reinterpret_cast<std::atomic<std::uint64_t>*>(
+      base + pub_offset() + static_cast<std::size_t>(member) * kAlign);
+}
+
+std::atomic<std::uint64_t>& Group::ack(int reader, int writer) {
+  auto* base = static_cast<std::byte*>(mapping_.base());
+  return *reinterpret_cast<std::atomic<std::uint64_t>*>(
+      base + ack_offset(members_) +
+      (static_cast<std::size_t>(reader) * members_ + writer) * sizeof(std::uint64_t));
+}
+
+std::byte* Group::region(int member, std::uint64_t version) {
+  auto* base = static_cast<std::byte*>(mapping_.base());
+  return base + data_offset(members_) +
+         (static_cast<std::size_t>(member) * kSlotChunks +
+          version % kSlotChunks) *
+             kChunkBytes;
+}
+
+void Group::wait_or_throw(const std::function<bool()>& ready, const char* what) const {
+  const std::uint32_t timeout_ms = faults::op_timeout_ms();
+  const auto start = std::chrono::steady_clock::now();
+  std::uint32_t spins = 0;
+  while (!ready()) {
+    if (++spins < 256) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    // A dead peer never publishes: give the failure detector a chance to
+    // surface ProcFailed before the coarse timeout backstop fires.
+    if (abort_check_) abort_check_();
+    if (timeout_ms != 0 &&
+        std::chrono::steady_clock::now() - start >
+            std::chrono::milliseconds(timeout_ms)) {
+      faults::counters().add(prof::Ctr::OpTimeouts);
+      throw DeviceError(std::string("collbuf: ") + what +
+                            " expired under MPCX_OP_TIMEOUT_MS",
+                        ErrCode::Timeout);
+    }
+  }
+}
+
+std::byte* Group::write_begin() {
+  const std::uint64_t version = mirror_[my_];
+  if (version >= static_cast<std::uint64_t>(kSlotChunks)) {
+    // The region we are about to fill last held version - kSlotChunks:
+    // every recorded reader of that version must have consumed it.
+    const std::uint64_t prior = version - kSlotChunks;
+    const std::uint64_t mask = pending_readers_[prior % kSlotChunks];
+    for (int reader = 0; reader < members_; ++reader) {
+      if (((mask >> reader) & 1) == 0) continue;
+      auto& slot = ack(reader, my_);
+      wait_or_throw(
+          [&] { return slot.load(std::memory_order_acquire) >= prior + 1; },
+          "reader-ack wait (slot reuse)");
+    }
+  }
+  return region(my_, version);
+}
+
+void Group::write_commit(std::uint64_t readers_mask) {
+  if (faults::enabled()) {
+    // Delay plans widen the publish/consume window exactly like a slow
+    // writer would; the destructive outcomes (drop/corrupt/reset) model
+    // transport faults and have no analog for a shared mapping, so the
+    // returned action is deliberately ignored.
+    (void)faults::next_action(faults::Site::ShmPush);
+  }
+  const std::uint64_t version = mirror_[my_]++;
+  pending_readers_[version % kSlotChunks] = readers_mask;
+  pub(my_).store(version + 1, std::memory_order_release);
+}
+
+const std::byte* Group::read_begin(int writer) {
+  const std::uint64_t version = mirror_[writer];
+  auto& flag = pub(writer);
+  wait_or_throw(
+      [&] { return flag.load(std::memory_order_acquire) >= version + 1; },
+      "publication wait");
+  return region(writer, version);
+}
+
+void Group::read_commit(int writer) {
+  const std::uint64_t version = mirror_[writer]++;
+  ack(my_, writer).store(version + 1, std::memory_order_release);
+}
+
+void Group::bcast(int writer, void* data, std::size_t bytes) {
+  if (bytes == 0 || members_ <= 1) return;
+  const std::size_t chunk = chunk_payload(1);
+  if (my_ == writer) {
+    std::uint64_t mask = 0;
+    for (int m = 0; m < members_; ++m) {
+      if (m != my_) mask |= std::uint64_t{1} << m;
+    }
+    const auto* src = static_cast<const std::byte*>(data);
+    for (std::size_t off = 0; off < bytes; off += chunk) {
+      const std::size_t len = std::min(chunk, bytes - off);
+      std::memcpy(write_begin(), src + off, len);
+      write_commit(mask);
+    }
+  } else {
+    auto* dst = static_cast<std::byte*>(data);
+    for (std::size_t off = 0; off < bytes; off += chunk) {
+      const std::size_t len = std::min(chunk, bytes - off);
+      std::memcpy(dst + off, read_begin(writer), len);
+      read_commit(writer);
+    }
+  }
+}
+
+void Group::reduce(int collector, const void* contrib, void* acc, std::size_t bytes,
+                   std::size_t align, const FoldFn& fold) {
+  if (bytes == 0 || members_ <= 1) return;
+  const std::size_t chunk = chunk_payload(align);
+  const std::uint64_t chunks = (bytes + chunk - 1) / chunk;
+  if (my_ != collector) {
+    const auto* src = static_cast<const std::byte*>(contrib);
+    const std::uint64_t mask = std::uint64_t{1} << collector;
+    for (std::size_t off = 0; off < bytes; off += chunk) {
+      const std::size_t len = std::min(chunk, bytes - off);
+      std::memcpy(write_begin(), src + off, len);
+      write_commit(mask);
+    }
+    // The other contributors published `chunks` versions each that only the
+    // collector consumes; advance their mirrors so the next op agrees.
+    for (int m = 0; m < members_; ++m) {
+      if (m != my_ && m != collector) mirror_[m] += chunks;
+    }
+  } else {
+    // Fold in ascending member order — the canonical order for
+    // non-commutative operations over a contiguous rank block. `acc` must
+    // not alias `contrib` unless this member is member 0 (member 0's
+    // contribution seeds the fold before our own is consumed).
+    auto* out = static_cast<std::byte*>(acc);
+    const auto* own = static_cast<const std::byte*>(contrib);
+    for (std::size_t off = 0; off < bytes; off += chunk) {
+      const std::size_t len = std::min(chunk, bytes - off);
+      for (int m = 0; m < members_; ++m) {
+        const std::byte* src = m == my_ ? own + off : read_begin(m);
+        if (m == 0) {
+          std::memcpy(out + off, src, len);
+        } else {
+          fold(src, out + off, len);
+        }
+        if (m != my_) read_commit(m);
+      }
+    }
+  }
+}
+
+}  // namespace mpcx::xdev::collbuf

@@ -1,0 +1,126 @@
+// mpcx::xdev::collbuf — process-shared single-copy collective buffers.
+//
+// shmdev moves every intra-node payload through a per-process ring: one
+// copy user->ring, one copy ring->user, plus record framing. For
+// collectives that is wasted motion — per the MPI ordering contract, the
+// members of a node group all know exactly which collective runs next. This
+// component gives each (communicator, node-group) pair one shared segment
+// in which the *writer lands data exactly where every reader consumes it*
+// (XHC-style): a broadcast writes each chunk once and N-1 readers copy it
+// straight into their user buffers; a reduction has every member deposit
+// its contribution once and the collector folds all of them directly into
+// its accumulation buffer.
+//
+// Protocol (flag handoff + pipelined chunking):
+//   * Each member owns a slot of kSlotChunks chunk regions and a monotonic
+//     publication counter `pub[m]`. Publishing version v fills region
+//     v % kSlotChunks and release-stores pub[m] = v+1.
+//   * Every member mirrors every other member's version counter locally.
+//     The mirrors never need communication: collectives are issued in the
+//     same order on every member, and each op advances each member's
+//     counter by a deterministic chunk count.
+//   * A reader of member m's version v acquire-polls pub[m] >= v+1, copies
+//     or folds straight out of the region, then release-stores its per-pair
+//     ack. A writer reuses a region only once every recorded reader of the
+//     version that previously occupied it has acked — so up to kSlotChunks
+//     chunks are in flight per member and adjacent pipeline stages overlap.
+//
+// The segment is created by the group's fixed lowest-rank member and
+// attached by the rest via the shared shmmap machinery (the same
+// unlink-stale / create-exclusive / poll-and-map cycle as shmdev's rings).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xdev/shmmap.hpp"
+
+namespace mpcx::xdev::collbuf {
+
+/// Chunk granularity: small enough to pipeline, large enough to amortize
+/// the flag handoff. kSlotChunks regions per member bound the in-flight
+/// window.
+inline constexpr std::size_t kChunkBytes = 32 * 1024;
+inline constexpr int kSlotChunks = 4;
+
+/// Sharing-domain cap (the ack matrix is M x M and reader sets are u64
+/// bitmasks). Node groups larger than this fall back to the p2p schedule.
+inline constexpr int kMaxMembers = 64;
+
+class Group {
+ public:
+  /// Collective constructor: every member of the sharing domain calls it
+  /// with the same `name` and `member_count`; exactly the member with
+  /// `creator == true` (by convention the lowest rank) creates the segment,
+  /// the rest attach.
+  Group(const std::string& name, int my_index, int member_count, bool creator);
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  int member_count() const { return members_; }
+
+  /// Broadcast `bytes` from member `writer`'s `data` into every other
+  /// member's `data`. One copy in (writer), one copy out per reader,
+  /// chunk-pipelined.
+  void bcast(int writer, void* data, std::size_t bytes);
+
+  /// dst = dst op src over `bytes` (both inside the op's element domain).
+  using FoldFn =
+      std::function<void(const std::byte* src, std::byte* dst, std::size_t bytes)>;
+
+  /// Reduce: every member deposits `contrib` once; member `collector` folds
+  /// the contributions *in ascending member order* (the canonical order a
+  /// non-commutative operation requires when the group is a contiguous rank
+  /// block) directly into its `acc`. Only the collector's `acc` is written.
+  /// `align` is the base element size: chunks split on element boundaries
+  /// so `fold` always sees whole elements.
+  void reduce(int collector, const void* contrib, void* acc, std::size_t bytes,
+              std::size_t align, const FoldFn& fold);
+
+  /// Peer liveness is invisible through a shared mapping: a wait on a dead
+  /// member's publication would otherwise only ever hit the op-timeout
+  /// backstop. The owner installs a check that throws (e.g. ProcFailed from
+  /// the failure detector) when the sharing domain is known broken; the
+  /// wait loops poll it while blocked.
+  using AbortCheck = std::function<void()>;
+  void set_abort_check(AbortCheck check) { abort_check_ = std::move(check); }
+
+ private:
+  std::size_t chunk_payload(std::size_t align) const;
+
+  std::atomic<std::uint64_t>& pub(int member);
+  std::atomic<std::uint64_t>& ack(int reader, int writer);
+  std::byte* region(int member, std::uint64_t version);
+
+  /// Writer side: wait until my next version's region is reusable, fill it,
+  /// publish it to the members in `readers_mask`.
+  std::byte* write_begin();
+  void write_commit(std::uint64_t readers_mask);
+
+  /// Reader side: wait for member w's next version, consume, ack.
+  const std::byte* read_begin(int writer);
+  void read_commit(int writer);
+
+  void wait_or_throw(const std::function<bool()>& ready, const char* what) const;
+
+  shmmap::Mapping mapping_;
+  int my_ = 0;
+  int members_ = 0;
+
+  // Local mirrors of every member's publication counter (see file comment)
+  // and the reader sets of my last kSlotChunks published versions.
+  std::vector<std::uint64_t> mirror_;
+  std::uint64_t pending_readers_[kSlotChunks] = {};
+  AbortCheck abort_check_;
+};
+
+/// Total segment bytes for a group of `member_count` (layout is computed at
+/// runtime from the member count).
+std::size_t segment_bytes(int member_count);
+
+}  // namespace mpcx::xdev::collbuf

@@ -51,6 +51,7 @@
 #include "xdev/completion_queue.hpp"
 #include "xdev/device.hpp"
 #include "xdev/matching.hpp"
+#include "xdev/shmmap.hpp"
 
 namespace mpcx::xdev {
 namespace {
@@ -125,15 +126,8 @@ class Segment {
  public:
   /// Create and initialize the segment we own.
   static std::unique_ptr<Segment> create(std::uint64_t id) {
-    const std::string name = segment_name(id);
-    ::shm_unlink(name.c_str());  // stale segment from a crashed run
-    const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
-    if (fd < 0) throw DeviceError("shmdev: shm_open(create " + name + "): " + std::strerror(errno));
-    if (::ftruncate(fd, static_cast<off_t>(kSegmentBytes)) != 0) {
-      ::close(fd);
-      throw DeviceError(std::string("shmdev: ftruncate: ") + std::strerror(errno));
-    }
-    auto segment = map(fd, name, /*owner=*/true);
+    auto segment = std::make_unique<Segment>();
+    segment->mapping_ = shmmap::create(segment_name(id), kSegmentBytes, "shmdev");
     auto* header = segment->header();
     pthread_mutexattr_t mu_attr;
     pthread_mutexattr_init(&mu_attr);
@@ -160,42 +154,19 @@ class Segment {
     const std::string name = segment_name(id);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-    for (;;) {
-      const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
-      if (fd >= 0) {
-        // Creation is not atomic: wait until the creator's ftruncate has
-        // sized the file, or mapping it would SIGBUS on first touch.
-        struct stat st {};
-        while (::fstat(fd, &st) == 0 && st.st_size < static_cast<off_t>(kSegmentBytes)) {
-          if (std::chrono::steady_clock::now() > deadline) {
-            ::close(fd);
-            throw DeviceError("shmdev: peer segment never sized: " + name);
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
-        auto segment = map(fd, name, /*owner=*/false);
-        while (segment->header()->magic != kMagicReady) {
-          if (std::chrono::steady_clock::now() > deadline) {
-            throw DeviceError("shmdev: peer segment never initialized: " + name);
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
-        return segment;
+    auto segment = std::make_unique<Segment>();
+    segment->mapping_ = shmmap::open_peer(name, kSegmentBytes, timeout_ms, "shmdev");
+    while (segment->header()->magic != kMagicReady) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw DeviceError("shmdev: peer segment never initialized: " + name);
       }
-      if (errno != ENOENT || std::chrono::steady_clock::now() > deadline) {
-        throw DeviceError("shmdev: shm_open(" + name + "): " + std::strerror(errno));
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+    return segment;
   }
 
-  ~Segment() {
-    if (base_ != nullptr) ::munmap(base_, kSegmentBytes);
-    if (owner_) ::shm_unlink(name_.c_str());
-  }
-
-  SegmentHeader* header() { return reinterpret_cast<SegmentHeader*>(base_); }
-  std::byte* data() { return static_cast<std::byte*>(base_) + kDataOffset; }
+  SegmentHeader* header() { return reinterpret_cast<SegmentHeader*>(mapping_.base()); }
+  std::byte* data() { return static_cast<std::byte*>(mapping_.base()) + kDataOffset; }
 
   /// Push one record (header + payload chunks) into the ring, blocking
   /// while the ring is too full.
@@ -256,19 +227,6 @@ class Segment {
   }
 
  private:
-  static std::unique_ptr<Segment> map(int fd, const std::string& name, bool owner) {
-    void* base = ::mmap(nullptr, kSegmentBytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-    ::close(fd);
-    if (base == MAP_FAILED) {
-      throw DeviceError(std::string("shmdev: mmap: ") + std::strerror(errno));
-    }
-    auto segment = std::make_unique<Segment>();
-    segment->base_ = base;
-    segment->name_ = name;
-    segment->owner_ = owner;
-    return segment;
-  }
-
   void write_wrapped(std::uint64_t pos, const void* src, std::size_t size) {
     if (size == 0) return;
     const std::size_t at = static_cast<std::size_t>(pos % kRingBytes);
@@ -289,9 +247,7 @@ class Segment {
     }
   }
 
-  void* base_ = nullptr;
-  std::string name_;
-  bool owner_ = false;
+  shmmap::Mapping mapping_;
 
  public:
   Segment() = default;

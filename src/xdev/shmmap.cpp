@@ -1,0 +1,106 @@
+#include "xdev/shmmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/faults.hpp"
+
+namespace mpcx::xdev::shmmap {
+
+Mapping& Mapping::operator=(Mapping&& other) noexcept {
+  if (this != &other) {
+    reset();
+    base_ = std::exchange(other.base_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    name_ = std::move(other.name_);
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+void Mapping::reset() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+  if (owner_) ::shm_unlink(name_.c_str());
+  base_ = nullptr;
+  bytes_ = 0;
+  owner_ = false;
+}
+
+namespace {
+
+/// mmap the sized fd and close it; unlinks on failure when `owner`.
+void* map_fd(int fd, const std::string& name, std::size_t bytes, bool owner,
+             const char* who) {
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    if (owner) ::shm_unlink(name.c_str());
+    throw DeviceError(std::string(who) + ": mmap: " + std::strerror(errno));
+  }
+  return base;
+}
+
+}  // namespace
+
+Mapping create(const std::string& name, std::size_t bytes, const char* who) {
+  ::shm_unlink(name.c_str());  // stale segment from a crashed run
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    throw DeviceError(std::string(who) + ": shm_open(create " + name +
+                      "): " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw DeviceError(std::string(who) + ": ftruncate: " + std::strerror(errno));
+  }
+  Mapping mapping;
+  mapping.base_ = map_fd(fd, name, bytes, /*owner=*/true, who);
+  mapping.bytes_ = bytes;
+  mapping.name_ = name;
+  mapping.owner_ = true;
+  return mapping;
+}
+
+Mapping open_peer(const std::string& name, std::size_t bytes, int timeout_ms,
+                  const char* who) {
+  if (timeout_ms < 0) timeout_ms = static_cast<int>(faults::connect_timeout_ms());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd >= 0) {
+      // Creation is not atomic: wait until the owner's ftruncate has sized
+      // the file, or mapping it would SIGBUS on first touch.
+      struct stat st {};
+      while (::fstat(fd, &st) == 0 && st.st_size < static_cast<off_t>(bytes)) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          ::close(fd);
+          throw DeviceError(std::string(who) + ": peer segment never sized: " + name);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      Mapping mapping;
+      mapping.base_ = map_fd(fd, name, bytes, /*owner=*/false, who);
+      mapping.bytes_ = bytes;
+      mapping.name_ = name;
+      return mapping;
+    }
+    if (errno != ENOENT || std::chrono::steady_clock::now() > deadline) {
+      throw DeviceError(std::string(who) + ": shm_open(" + name +
+                        "): " + std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace mpcx::xdev::shmmap

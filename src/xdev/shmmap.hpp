@@ -1,0 +1,60 @@
+// mpcx::xdev::shmmap — shared POSIX shm_open/mmap plumbing.
+//
+// Two components ride the same mapping machinery: shmdev's per-process
+// message rings and the collective single-copy buffers (collbuf). Both
+// follow the same life cycle — the owner unlinks any stale name from a
+// crashed run, creates the object exclusively, sizes it, and maps it;
+// peers poll for the name to appear and reach full size before mapping —
+// so the cycle lives here once. Readiness of the *contents* (a magic word
+// published behind a release fence) stays with the callers, whose layouts
+// differ.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mpcx::xdev::shmmap {
+
+/// One RAII mapping. Move-only; unmaps on destruction and unlinks the name
+/// when this mapping created it (peers leave the name to the owner).
+class Mapping {
+ public:
+  Mapping() = default;
+  Mapping(Mapping&& other) noexcept { *this = std::move(other); }
+  Mapping& operator=(Mapping&& other) noexcept;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() { reset(); }
+
+  void* base() const { return base_; }
+  std::size_t bytes() const { return bytes_; }
+  bool valid() const { return base_ != nullptr; }
+  const std::string& name() const { return name_; }
+
+  /// Unmap (and unlink when owner) now instead of at destruction.
+  void reset();
+
+ private:
+  friend Mapping create(const std::string&, std::size_t, const char*);
+  friend Mapping open_peer(const std::string&, std::size_t, int, const char*);
+
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::string name_;
+  bool owner_ = false;
+};
+
+/// Create the segment we own: unlink any stale name, shm_open it
+/// exclusively, size it to `bytes`, and map it. The caller initializes the
+/// contents and publishes readiness itself. `who` prefixes error messages.
+Mapping create(const std::string& name, std::size_t bytes, const char* who);
+
+/// Map a peer's segment of exactly `bytes`, polling until the owner has
+/// created and sized it. `timeout_ms` < 0 uses faults::connect_timeout_ms()
+/// (MPCX_CONNECT_TIMEOUT_MS). Callers must still wait for the owner's ready
+/// magic after mapping — the mapping being sized does not mean the control
+/// block is initialized.
+Mapping open_peer(const std::string& name, std::size_t bytes, int timeout_ms,
+                  const char* who);
+
+}  // namespace mpcx::xdev::shmmap

@@ -14,6 +14,7 @@
 #include "core/intracomm.hpp"
 #include "env_util.hpp"
 #include "prof/counters.hpp"
+#include "support/faults.hpp"
 
 namespace mpcx {
 namespace {
@@ -508,6 +509,90 @@ TEST_P(Collectives, HierarchicalMatchesFlatUnderSimulatedNodes) {
   }
 }
 
+TEST_P(Collectives, NLevelTopoMatchesFlat) {
+  // Deep virtual hierarchies under a simulated 2-node engine map must match
+  // the flat results exactly, with and without the single-copy buffers.
+  struct StatsGuard {
+    StatsGuard() { prof::set_stats_enabled(true); }
+    ~StatsGuard() { prof::set_stats_enabled(false); }
+  } stats;
+  const auto workload = [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> data(33, rank == root ? root * 11 + 5 : -1);
+      comm.Bcast(data.data(), 0, 33, types::INT(), root);
+      for (const std::int32_t v : data) EXPECT_EQ(v, root * 11 + 5);
+      std::vector<std::int32_t> mine(33), sum(33, -1);
+      for (int i = 0; i < 33; ++i) mine[static_cast<std::size_t>(i)] = rank * 100 + i;
+      comm.Reduce(mine.data(), 0, sum.data(), 0, 33, types::INT(), ops::SUM(), root);
+      if (rank == root) {
+        for (int i = 0; i < 33; ++i) {
+          EXPECT_EQ(sum[static_cast<std::size_t>(i)], n * (n - 1) / 2 * 100 + n * i);
+        }
+      }
+      comm.Allreduce(mine.data(), 0, sum.data(), 0, 33, types::INT(), ops::SUM());
+      for (int i = 0; i < 33; ++i) {
+        EXPECT_EQ(sum[static_cast<std::size_t>(i)], n * (n - 1) / 2 * 100 + n * i);
+      }
+      comm.Barrier();
+    }
+  };
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  for (const char* spec : {"cache:2", "numa:2,cache:2"}) {
+    ScopedEnv topo("MPCX_TOPO", spec);
+    for (const char* singlecopy : {"1", "0"}) {
+      ScopedEnv sc("MPCX_SINGLECOPY", singlecopy);
+      cluster::launch(nprocs(), [&](World& world) {
+        const std::uint64_t before = world.counters().get(prof::Ctr::HierarchicalColls);
+        workload(world);
+        if (world.COMM_WORLD().Size() > 1) {
+          EXPECT_GT(world.counters().get(prof::Ctr::HierarchicalColls), before);
+        }
+      }, opts());
+    }
+  }
+}
+
+TEST_P(Collectives, NonCommutativeUserOpMatchesCanonicalOrder) {
+  // A non-commutative user op must produce the bitwise canonical rank-order
+  // fold on every path: the hierarchical per-level ordered folds when the
+  // topology is contiguous (pure virtual tree), and the flat fallback when
+  // it is not (hybdev's round-robin node simulation).
+  struct StatsGuard {
+    StatsGuard() { prof::set_stats_enabled(true); }
+    ~StatsGuard() { prof::set_stats_enabled(false); }
+  } stats;
+  const bool contiguous = std::string(std::get<0>(GetParam())) != "hybdev";
+  ScopedEnv topo("MPCX_TOPO", "numa:2,cache:2");
+  cluster::launch(nprocs(), [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    const Op chain = Op::make_user<std::int64_t>(
+        [](std::int64_t a, std::int64_t b) { return a * 10 + b; }, /*commutative=*/false);
+    std::int64_t expect = 0;
+    for (int r = 0; r < n; ++r) expect = r == 0 ? 1 : expect * 10 + (r + 1);
+    const std::uint64_t before = world.counters().get(prof::Ctr::HierarchicalColls);
+    const std::int64_t mine = rank + 1;
+    for (int root = 0; root < n; ++root) {
+      std::int64_t out = -1;
+      comm.Reduce(&mine, 0, &out, 0, 1, types::LONG(), chain, root);
+      if (rank == root) EXPECT_EQ(out, expect);
+    }
+    std::int64_t all = -1;
+    comm.Allreduce(&mine, 0, &all, 0, 1, types::LONG(), chain);
+    EXPECT_EQ(all, expect);
+    const std::uint64_t after = world.counters().get(prof::Ctr::HierarchicalColls);
+    // np=2 yields singleton virtual groups (depth 0 -> flat); from 3 ranks
+    // on, the contiguous virtual tree must take the hierarchical path.
+    if (n > 2 && contiguous) {
+      EXPECT_GT(after, before) << "contiguous topology should take the hierarchical path";
+    }
+  }, opts());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     DeviceBySize, Collectives,
     ::testing::Combine(::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
@@ -516,6 +601,83 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(info.param)) + "_np" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---- fixed-size topology regressions (not in the device matrix) -------------------
+
+TEST(CollectivesTopology, AllreduceThreeLevelNonPow2Regression) {
+  // ISSUE 10 regression: the recursive-doubling power-of-two gate must be
+  // evaluated against each exchange's own peer count. A 3-level tree over
+  // np=6/np=12 mixes power-of-two and odd peer sets across levels; choosing
+  // the algorithm from any other level's size deadlocks or corrupts.
+  for (const int np : {6, 12}) {
+    ScopedEnv sim("MPCX_NODE_ID", "3");
+    ScopedEnv topo("MPCX_TOPO", "numa:2");
+    cluster::Options options;
+    options.device = "hybdev";
+    cluster::launch(np, [&](World& world) {
+      Intracomm& comm = world.COMM_WORLD();
+      const int n = comm.Size();
+      const int rank = comm.Rank();
+      std::vector<std::int32_t> mine(17), out(17, -1);
+      for (int i = 0; i < 17; ++i) mine[static_cast<std::size_t>(i)] = rank * 31 + i;
+      comm.Allreduce(mine.data(), 0, out.data(), 0, 17, types::INT(), ops::SUM());
+      for (int i = 0; i < 17; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], n * (n - 1) / 2 * 31 + n * i);
+      }
+      // BXOR is commutative but order-sensitive to duplication bugs: any
+      // rank folded twice (or dropped) changes the result.
+      std::int32_t pattern = 1 << (rank % 30);
+      std::int32_t folded = 0;
+      comm.Allreduce(&pattern, 0, &folded, 0, 1, types::INT(), ops::BXOR());
+      std::int32_t expect = 0;
+      for (int r = 0; r < n; ++r) expect ^= 1 << (r % 30);
+      EXPECT_EQ(folded, expect);
+    }, options);
+  }
+}
+
+TEST(CollectivesTopology, SinglecopyKeepsIntegrityUnderDelayPlan) {
+  // An armed ShmPush delay plan widens every publish/consume window in the
+  // shared buffer; multi-chunk payloads (beyond the kSlotChunks pipeline
+  // window, so slot reuse and reader acks engage) must still arrive intact.
+  struct StatsGuard {
+    StatsGuard() { prof::set_stats_enabled(true); }
+    ~StatsGuard() { prof::set_stats_enabled(false); }
+  } stats;
+  struct PlanGuard {
+    PlanGuard() { faults::set_plan(*faults::parse_plan("delay_ms=1,seed=11")); }
+    ~PlanGuard() { faults::clear_plan(); }
+  } plan;
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  cluster::Options options;
+  options.device = "shmdev";
+  // 48k ints = 192 KiB = 6 chunks of 32 KiB > the 4-chunk slot window.
+  const int count = 48 * 1024;
+  cluster::launch(4, [&](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    const std::uint64_t before = world.counters().get(prof::Ctr::SinglecopyColls);
+    std::vector<std::int32_t> data(static_cast<std::size_t>(count));
+    if (rank == 1) {
+      for (int i = 0; i < count; ++i) data[static_cast<std::size_t>(i)] = i * 7 + 3;
+    }
+    comm.Bcast(data.data(), 0, count, types::INT(), 1);
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(data[static_cast<std::size_t>(i)], i * 7 + 3) << "bcast corrupt at " << i;
+    }
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(count));
+    std::vector<std::int32_t> sum(static_cast<std::size_t>(count), -1);
+    for (int i = 0; i < count; ++i) mine[static_cast<std::size_t>(i)] = rank + i;
+    comm.Allreduce(mine.data(), 0, sum.data(), 0, count, types::INT(), ops::SUM());
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(sum[static_cast<std::size_t>(i)], n * (n - 1) / 2 + n * i)
+          << "allreduce corrupt at " << i;
+    }
+    EXPECT_GT(world.counters().get(prof::Ctr::SinglecopyColls), before)
+        << "single-copy path should engage on the simulated node groups";
+  }, options);
+}
 
 }  // namespace
 }  // namespace mpcx

@@ -299,6 +299,48 @@ TEST_P(NbColl, HierarchicalMatchesFlat) {
   }
 }
 
+TEST_P(NbColl, NLevelTopoMatchesFlat) {
+  // The schedule engine's n-level schedules (deep virtual hierarchy below
+  // the simulated node map) against the flat ones, including the ordered
+  // non-commutative chain.
+  auto workload = [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    const int rank = comm.Rank();
+    std::vector<std::int32_t> in(9);
+    for (int i = 0; i < 9; ++i) in[static_cast<std::size_t>(i)] = rank * 13 + i;
+    std::vector<std::int32_t> sum(9, -1);
+    comm.Iallreduce(in.data(), 0, sum.data(), 0, 9, types::INT(), ops::SUM()).Wait();
+    for (int i = 0; i < 9; ++i) {
+      EXPECT_EQ(sum[static_cast<std::size_t>(i)], n * (n - 1) / 2 * 13 + n * i);
+    }
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> data(7, rank == root ? root + 9 : -1);
+      comm.Ibcast(data.data(), 0, 7, types::INT(), root).Wait();
+      for (const std::int32_t v : data) EXPECT_EQ(v, root + 9);
+    }
+    const Op chain = Op::make_user<std::int64_t>(
+        [](std::int64_t a, std::int64_t b) { return a * 10 + b; }, /*commutative=*/false);
+    std::int64_t expect = 0;
+    for (int r = 0; r < n; ++r) expect = r == 0 ? 1 : expect * 10 + (r + 1);
+    const std::int64_t mine = rank + 1;
+    std::int64_t chained = -1;
+    comm.Ireduce(&mine, 0, &chained, 0, 1, types::LONG(), chain, n - 1).Wait();
+    if (rank == n - 1) EXPECT_EQ(chained, expect);
+    std::int64_t all = -1;
+    comm.Iallreduce(&mine, 0, &all, 0, 1, types::LONG(), chain).Wait();
+    EXPECT_EQ(all, expect);
+    comm.Ibarrier().Wait();
+  };
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  ScopedEnv topo("MPCX_TOPO", "numa:2,cache:2");
+  cluster::launch(nprocs(), workload, opts());
+  {
+    ScopedEnv flat("MPCX_HIER_COLLS", "0");
+    cluster::launch(nprocs(), workload, opts());
+  }
+}
+
 TEST(NbCollFaults, InjectedDropSurfacesThroughRequestError) {
   // A dropped frame under an operation deadline must surface as an error on
   // the collective's own Request (ERRORS_RETURN), not hang the schedule.

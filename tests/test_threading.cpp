@@ -273,6 +273,47 @@ TEST_P(Threading, MultithreadedHierarchicalAllreduce) {
   }, opts());
 }
 
+TEST_P(Threading, ConcurrentSinglecopyCollectivesOnDuppedComms) {
+  // The n-level path with single-copy buffers: each thread collects on its
+  // own Dup, so each drives its OWN per-communicator shared segment
+  // concurrently with the others. TSan must see clean handoffs through the
+  // pub/ack counters while payloads stay intact.
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 8;
+  constexpr int kCount = 1024;
+  ScopedEnv sim("MPCX_NODE_ID", "2");
+  ScopedEnv topo("MPCX_TOPO", "cache:2");
+  cluster::launch(4, [](World& world) {
+    Intracomm& comm = world.COMM_WORLD();
+    const int n = comm.Size();
+    std::vector<std::unique_ptr<Intracomm>> comms;
+    for (int t = 0; t < kThreads; ++t) comms.push_back(comm.Dup());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Intracomm& my_comm = *comms[static_cast<std::size_t>(t)];
+        for (int round = 0; round < kRounds; ++round) {
+          std::vector<std::int32_t> mine(kCount), sum(kCount, -1);
+          for (int i = 0; i < kCount; ++i) {
+            mine[static_cast<std::size_t>(i)] = my_comm.Rank() + t * 7 + round + i;
+          }
+          my_comm.Allreduce(mine.data(), 0, sum.data(), 0, kCount, types::INT(),
+                            ops::SUM());
+          for (int i = 0; i < kCount; ++i) {
+            ASSERT_EQ(sum[static_cast<std::size_t>(i)],
+                      n * (n - 1) / 2 + n * (t * 7 + round + i));
+          }
+          std::vector<std::int32_t> data(
+              kCount, my_comm.Rank() == round % n ? t * 100 + round : -1);
+          my_comm.Bcast(data.data(), 0, kCount, types::INT(), round % n);
+          for (const std::int32_t v : data) ASSERT_EQ(v, t * 100 + round);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }, opts());
+}
+
 INSTANTIATE_TEST_SUITE_P(Devices, Threading,
                          ::testing::Values("mxdev", "tcpdev", "shmdev", "hybdev"),
                          [](const auto& info) { return std::string(info.param); });

@@ -1,0 +1,178 @@
+// Unit tests for the n-level locality tree (mpcx::topo): MPCX_TOPO spec
+// parsing and the per-rank exchange views driving hierarchical collectives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/topo.hpp"
+
+namespace mpcx::topo {
+namespace {
+
+TEST(TopoSpec, ParsesLevels) {
+  const TopoSpec spec = parse_spec("numa:2,cache:4");
+  ASSERT_EQ(spec.levels.size(), 2u);
+  EXPECT_EQ(spec.levels[0].name, "numa");
+  EXPECT_EQ(spec.levels[0].fanout, 2);
+  EXPECT_EQ(spec.levels[1].name, "cache");
+  EXPECT_EQ(spec.levels[1].fanout, 4);
+}
+
+TEST(TopoSpec, EmptyAndTrailingComma) {
+  EXPECT_TRUE(parse_spec("").empty());
+  const TopoSpec spec = parse_spec("numa:2,");
+  ASSERT_EQ(spec.levels.size(), 1u);
+  EXPECT_EQ(spec.levels[0].fanout, 2);
+}
+
+TEST(TopoSpec, MalformedSpecsAreRejectedWhole) {
+  // A half-applied topology is worse than none: any bad token voids the
+  // entire spec so collectives fall back to the flat/engine-node behaviour.
+  EXPECT_TRUE(parse_spec("numa").empty());
+  EXPECT_TRUE(parse_spec("numa:").empty());
+  EXPECT_TRUE(parse_spec(":2").empty());
+  EXPECT_TRUE(parse_spec("numa:0").empty());
+  EXPECT_TRUE(parse_spec("numa:x").empty());
+  EXPECT_TRUE(parse_spec("numa:2,cache:zzz").empty());
+  EXPECT_TRUE(parse_spec("numa:99999999999").empty());
+}
+
+TEST(TopoView, SingleRankOrNoLevelsIsFlat) {
+  EXPECT_EQ(build_view(1, 0, -1, {}, parse_spec("numa:2")).depth, 0);
+  EXPECT_EQ(build_view(8, 3, -1, {}, TopoSpec{}).depth, 0);
+  // One engine node and no virtual levels: nothing to split on.
+  EXPECT_EQ(build_view(4, 0, -1, {7, 7, 7, 7}, TopoSpec{}).depth, 0);
+}
+
+TEST(TopoView, RoundRobinNodesGiveTwoLevels) {
+  // MPCX_NODE_ID=2 style simulation: ranks alternate nodes, so node groups
+  // are NOT contiguous rank blocks.
+  const std::vector<int> node_of = {0, 1, 0, 1};
+  const View v0 = build_view(4, 0, -1, node_of, TopoSpec{});
+  EXPECT_EQ(v0.depth, 1);
+  EXPECT_FALSE(v0.contiguous);
+  ASSERT_EQ(v0.exchanges.size(), 2u);
+  // Exchange 0: the node leaders; exchange 1: my node's members.
+  EXPECT_EQ(v0.exchanges[0].peers, (std::vector<int>{0, 1}));
+  EXPECT_EQ(v0.exchanges[0].my_vidx, 0);
+  EXPECT_EQ(v0.exchanges[1].peers, (std::vector<int>{0, 2}));
+  EXPECT_EQ(v0.node_members, (std::vector<int>{0, 2}));
+  EXPECT_EQ(v0.node_leader, 0);
+  EXPECT_EQ(v0.node_member_idx, 0);
+  EXPECT_EQ(v0.node_exchange_begin, 1);
+
+  const View v3 = build_view(4, 3, -1, node_of, TopoSpec{});
+  // Rank 3 is no leader: it only participates in its leaf exchange.
+  EXPECT_EQ(v3.exchanges[0].my_vidx, -1);
+  EXPECT_EQ(v3.exchanges[1].peers, (std::vector<int>{1, 3}));
+  EXPECT_EQ(v3.exchanges[1].my_vidx, 1);
+  EXPECT_EQ(v3.exchanges[1].root_vidx, 0);
+  EXPECT_EQ(v3.node_members, (std::vector<int>{1, 3}));
+  EXPECT_EQ(v3.node_leader, 1);
+}
+
+TEST(TopoView, ContiguousNodeBlocksSetTheFlag) {
+  const View v = build_view(4, 1, -1, {0, 0, 1, 1}, TopoSpec{});
+  EXPECT_EQ(v.depth, 1);
+  EXPECT_TRUE(v.contiguous);
+}
+
+TEST(TopoView, VirtualHierarchySplitsContiguousBlocks) {
+  // 8 ranks on one node, numa:2,cache:2 -> {0..3}{4..7} then {01}{23}{45}{67}.
+  const TopoSpec spec = parse_spec("numa:2,cache:2");
+  const View v0 = build_view(8, 0, -1, {}, spec);
+  EXPECT_EQ(v0.depth, 2);
+  EXPECT_TRUE(v0.contiguous);
+  ASSERT_EQ(v0.exchanges.size(), 3u);
+  EXPECT_EQ(v0.exchanges[0].peers, (std::vector<int>{0, 4}));
+  EXPECT_EQ(v0.exchanges[1].peers, (std::vector<int>{0, 2}));
+  EXPECT_EQ(v0.exchanges[2].peers, (std::vector<int>{0, 1}));
+  // No engine node level: the whole communicator is the sharing domain and
+  // the single-copy buffer (if eligible) covers every exchange.
+  EXPECT_EQ(v0.node_members.size(), 8u);
+  EXPECT_EQ(v0.node_exchange_begin, 0);
+
+  const View v6 = build_view(8, 6, -1, {}, spec);
+  EXPECT_EQ(v6.exchanges[0].my_vidx, -1);  // numa leader is 4
+  EXPECT_EQ(v6.exchanges[1].peers, (std::vector<int>{4, 6}));
+  EXPECT_EQ(v6.exchanges[1].my_vidx, 1);
+  EXPECT_EQ(v6.exchanges[2].peers, (std::vector<int>{6, 7}));
+  EXPECT_EQ(v6.exchanges[2].root_vidx, 0);
+}
+
+TEST(TopoView, RootedCollectivesReRootTheRootsPath) {
+  // Every group on rank 5's path is led by 5, so a rooted broadcast never
+  // relays through a rank that is not on the path from the root.
+  const TopoSpec spec = parse_spec("numa:2,cache:2");
+  const View v5 = build_view(8, 5, 5, {}, spec);
+  EXPECT_EQ(v5.exchanges[0].peers, (std::vector<int>{0, 5}));
+  EXPECT_EQ(v5.exchanges[0].root_vidx, 1);
+  EXPECT_EQ(v5.exchanges[1].peers, (std::vector<int>{5, 6}));
+  EXPECT_EQ(v5.exchanges[1].root_vidx, 0);
+  EXPECT_EQ(v5.exchanges[2].peers, (std::vector<int>{4, 5}));
+  EXPECT_EQ(v5.exchanges[2].root_vidx, 1);
+  // An off-path rank sees the re-rooted leaders too.
+  const View v0 = build_view(8, 0, 5, {}, spec);
+  EXPECT_EQ(v0.exchanges[0].peers, (std::vector<int>{0, 5}));
+  EXPECT_EQ(v0.exchanges[0].root_vidx, 1);
+  // Node leadership is root-aligned for the single-copy writer/collector.
+  EXPECT_EQ(v0.node_leader, 5);
+}
+
+TEST(TopoView, OverDeepSpecsDegradeToSingletonFloor) {
+  // 4 ranks, three fanout-2 levels: the second level would already produce
+  // singletons, so the tree stops above it instead of adding empty levels.
+  const View v = build_view(4, 2, -1, {}, parse_spec("a:2,b:2,c:2"));
+  EXPECT_EQ(v.depth, 1);
+  EXPECT_EQ(v.exchanges[1].peers, (std::vector<int>{2, 3}));
+}
+
+TEST(TopoView, FanoutOneAndNoOpLevelsAreSkipped) {
+  const View v = build_view(4, 0, -1, {}, parse_spec("numa:1,cache:2"));
+  EXPECT_EQ(v.depth, 1);
+  EXPECT_EQ(v.exchanges[1].peers, (std::vector<int>{0, 1}));
+}
+
+TEST(TopoView, DepthIsClampedToMaxLevels) {
+  std::string spec;
+  for (int i = 0; i < 12; ++i) spec += (i ? "," : "") + std::string("l") +
+                                       std::to_string(i) + ":2";
+  const View v = build_view(1 << 11, 0, -1, {}, parse_spec(spec));
+  EXPECT_EQ(v.depth, kMaxTopoLevels);
+}
+
+TEST(TopoView, ParticipationIsASuffixAndEveryRankReachesTheTree) {
+  // Invariant the collective schedules rely on: each rank participates in a
+  // contiguous suffix of exchanges m..depth (its minimal leadership depth
+  // onward), is the exchange root everywhere but exchange m, and always
+  // participates at the leaf.
+  const std::vector<int> node_of = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2};
+  const TopoSpec spec = parse_spec("numa:2");
+  for (int root : {-1, 0, 5, 11}) {
+    for (int r = 0; r < 12; ++r) {
+      const View v = build_view(12, r, root, node_of, spec);
+      ASSERT_EQ(static_cast<int>(v.exchanges.size()), v.depth + 1);
+      int first = -1;
+      for (int k = 0; k <= v.depth; ++k) {
+        const Exchange& ex = v.exchanges[k];
+        ASSERT_FALSE(ex.peers.empty());
+        ASSERT_GE(ex.root_vidx, 0);
+        if (ex.my_vidx >= 0) {
+          if (first < 0) first = k;
+        } else {
+          EXPECT_LT(first, 0) << "participation not a suffix: rank " << r;
+        }
+        if (first >= 0 && k > first && ex.my_vidx >= 0) {
+          EXPECT_EQ(ex.my_vidx, ex.root_vidx)
+              << "rank " << r << " not exchange root below its minimal depth";
+        }
+      }
+      EXPECT_EQ(v.exchanges[v.depth].my_vidx >= 0, true);
+      EXPECT_GE(v.node_member_idx, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcx::topo
